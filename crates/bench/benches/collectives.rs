@@ -1,0 +1,118 @@
+//! A5 — collective algorithm selection.
+//!
+//! Prints the modeled crossover between recursive doubling and
+//! Rabenseifner allreduce / Bruck and pairwise alltoall, and benchmarks
+//! the simulation throughput of the algorithm engines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpisim::collectives::{allreduce, alltoall, Ctx, Recorder};
+use mpisim::host::IdealHost;
+use mpisim::p2p::P2pParams;
+use mpisim::regcache::RegCache;
+use netsim::{Fabric, LinkParams};
+use simcore::{Cycles, StreamRng};
+use std::hint::black_box;
+
+struct Rig {
+    fabric: Fabric,
+    host: IdealHost,
+    params: P2pParams,
+    regcaches: Vec<RegCache>,
+    recorder: Recorder,
+}
+
+impl Rig {
+    fn new(p: usize) -> Rig {
+        Rig {
+            fabric: Fabric::new(p, LinkParams::fdr_infiniband()),
+            host: IdealHost::new(),
+            params: P2pParams::default(),
+            regcaches: (0..p)
+                .map(|i| RegCache::new(StreamRng::root(1).stream("r", i as u64)))
+                .collect(),
+            recorder: None,
+        }
+    }
+
+    fn ctx(&mut self) -> Ctx<'_, IdealHost> {
+        Ctx {
+            hybrid_aware: false,
+            fabric: &mut self.fabric,
+            host: &mut self.host,
+            params: &self.params,
+            regcaches: &mut self.regcaches,
+            recorder: &mut self.recorder,
+            reduce_per_kib: Cycles::from_ns(350),
+            churn: 0.0,
+        }
+    }
+}
+
+fn report_crossovers() {
+    let p = 64;
+    println!("\nallreduce algorithm crossover (64 ranks, modeled latency):");
+    for bytes in [256u64, 1 << 10, 4 << 10, 64 << 10, 1 << 20] {
+        let start = vec![Cycles::ZERO; p];
+        let mut a = Rig::new(p);
+        let rd = *allreduce::allreduce_rd(&mut a.ctx(), p, bytes, &start)
+            .iter()
+            .max()
+            .expect("nonempty");
+        let mut b = Rig::new(p);
+        let rab = *allreduce::allreduce_rabenseifner(&mut b.ctx(), p, bytes, &start)
+            .iter()
+            .max()
+            .expect("nonempty");
+        println!(
+            "  {:>8}B: recursive-doubling {:>12}  rabenseifner {:>12}  winner: {}",
+            bytes,
+            rd,
+            rab,
+            if rd < rab { "RD" } else { "Rabenseifner" }
+        );
+    }
+    println!("alltoall algorithm crossover (64 ranks, modeled latency):");
+    for bytes in [8u64, 64, 512, 4 << 10, 64 << 10] {
+        let start = vec![Cycles::ZERO; p];
+        let mut a = Rig::new(p);
+        let bruck = *alltoall::alltoall_bruck(&mut a.ctx(), p, bytes, &start)
+            .iter()
+            .max()
+            .expect("nonempty");
+        let mut b = Rig::new(p);
+        let pw = *alltoall::alltoall_pairwise(&mut b.ctx(), p, bytes, &start)
+            .iter()
+            .max()
+            .expect("nonempty");
+        println!(
+            "  {:>8}B: bruck {:>12}  pairwise {:>12}  winner: {}",
+            bytes,
+            bruck,
+            pw,
+            if bruck < pw { "Bruck" } else { "pairwise" }
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report_crossovers();
+    let start64 = vec![Cycles::ZERO; 64];
+    c.bench_function("collectives/allreduce_rd_64r_1k", |b| {
+        let mut rig = Rig::new(64);
+        b.iter(|| black_box(allreduce::allreduce_rd(&mut rig.ctx(), 64, 1024, &start64)))
+    });
+    c.bench_function("collectives/alltoall_pairwise_64r_4k", |b| {
+        let mut rig = Rig::new(64);
+        b.iter(|| {
+            black_box(alltoall::alltoall_pairwise(
+                &mut rig.ctx(),
+                64,
+                4096,
+                &start64,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! A6 — IKC queue depth and marshalling throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hlwk_core::ihk::ikc::{IkcChannel, IkcMessage};
+use hlwk_core::mck::syscall::{SyscallReply, SyscallRequest};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let req = SyscallRequest {
+        seq: 1,
+        pid: 1000,
+        tid: 1000,
+        sysno: 1,
+        args: [3, 0x2000_0000, 4096, 0, 0, 0],
+    };
+
+    c.bench_function("ikc/marshal_request", |b| {
+        b.iter(|| black_box(SyscallRequest::decode(&black_box(&req).encode())))
+    });
+    c.bench_function("ikc/marshal_reply", |b| {
+        let rep = SyscallReply { seq: 1, ret: 4096 };
+        b.iter(|| black_box(SyscallReply::decode(&black_box(&rep).encode())))
+    });
+
+    let mut group = c.benchmark_group("ikc/queue_depth");
+    for depth in [4usize, 64, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let mut ch = IkcChannel::new(depth);
+            b.iter(|| {
+                // Fill and drain half the queue.
+                for i in 0..depth / 2 {
+                    let mut r = req;
+                    r.seq = i as u64;
+                    ch.send(IkcMessage::syscall_request(&r)).expect("fits");
+                }
+                for _ in 0..depth / 2 {
+                    black_box(ch.recv());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! A7 — memory-management micro-costs: buddy allocator and page table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hlwk_core::mck::mem::pagetable::{PageTable, PteFlags};
+use hlwk_core::mck::mem::phys::{BuddyAllocator, ORDER_2M};
+use hwmodel::addr::{PhysAddr, VirtAddr, PAGE_SIZE, PAGE_SIZE_2M};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("buddy/alloc_free_4k", |b| {
+        let mut a = BuddyAllocator::new(PhysAddr(0), 64 << 20);
+        b.iter(|| {
+            let p = a.alloc(0).expect("free memory");
+            black_box(p);
+            a.free(p).expect("just allocated");
+        })
+    });
+
+    c.bench_function("buddy/alloc_free_2m", |b| {
+        let mut a = BuddyAllocator::new(PhysAddr(0), 64 << 20);
+        b.iter(|| {
+            let p = a.alloc(ORDER_2M).expect("free memory");
+            black_box(p);
+            a.free(p).expect("just allocated");
+        })
+    });
+
+    c.bench_function("buddy/fragmentation_churn", |b| {
+        let mut a = BuddyAllocator::new(PhysAddr(0), 64 << 20);
+        let mut held = Vec::new();
+        b.iter(|| {
+            for _ in 0..32 {
+                if let Ok(p) = a.alloc(3) {
+                    held.push(p);
+                }
+            }
+            // Free every other block (classic fragmentation pattern).
+            let mut i = 0;
+            held.retain(|p| {
+                i += 1;
+                if i % 2 == 0 {
+                    a.free(*p).expect("held");
+                    false
+                } else {
+                    true
+                }
+            });
+        });
+        for p in held {
+            a.free(p).expect("held");
+        }
+    });
+
+    c.bench_function("pagetable/map_unmap_4k", |b| {
+        let mut pt = PageTable::new();
+        b.iter(|| {
+            pt.map_4k(VirtAddr(0x40_0000), PhysAddr(0x1000), PteFlags::rw())
+                .expect("unmapped");
+            black_box(pt.translate(VirtAddr(0x40_0123)));
+            pt.unmap(VirtAddr(0x40_0000)).expect("mapped");
+        })
+    });
+
+    c.bench_function("pagetable/translate_4k_vs_2m", |b| {
+        let mut pt = PageTable::new();
+        for i in 0..512u64 {
+            pt.map_4k(
+                VirtAddr(0x40_0000_0000 + i * PAGE_SIZE),
+                PhysAddr(i * PAGE_SIZE),
+                PteFlags::rw(),
+            )
+            .expect("unmapped");
+        }
+        pt.map_2m(VirtAddr(0x80_0000_0000), PhysAddr(PAGE_SIZE_2M), PteFlags::rw())
+            .expect("unmapped");
+        b.iter(|| {
+            black_box(pt.translate(VirtAddr(0x40_0000_5123)));
+            black_box(pt.translate(VirtAddr(0x80_0010_0123)));
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! A1 — in-LWK vs offloaded system-call paths.
+//!
+//! Benchmarks the two hot paths of the hybrid stack: a local McKernel
+//! syscall (table dispatch only) against a fully offloaded call (marshal,
+//! IKC queue, delegator, proxy service with unified-address-space
+//! dereference, reply). Also prints the *modeled* latency of each path,
+//! which is the number the paper's design argues about.
+
+use cluster::{node::NodeRuntime, ClusterConfig, OsVariant};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hlwk_core::abi::Sysno;
+use simcore::{Cycles, StreamRng};
+use std::hint::black_box;
+
+fn build_node() -> NodeRuntime {
+    let mut cfg = ClusterConfig::paper(OsVariant::McKernel).with_nodes(1);
+    cfg.horizon_secs = 5;
+    NodeRuntime::build(&cfg, 0, &StreamRng::root(1))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut node = build_node();
+    let mut t = Cycles::from_ms(1);
+
+    // Report the modeled latencies once.
+    let (_, done) = node.offload_syscall(Sysno::Getpid, [0; 6], t);
+    let local_cost = done - t;
+    let (_, done) = node.offload_syscall(
+        Sysno::GetRandom,
+        [node.arena_va.raw(), 64, 0, 0, 0, 0],
+        t,
+    );
+    let offload_cost = done - t;
+    println!(
+        "modeled latency: local={} offloaded={} (x{:.1})",
+        local_cost,
+        offload_cost,
+        offload_cost.raw() as f64 / local_cost.raw() as f64
+    );
+
+    c.bench_function("syscall/local_getpid", |b| {
+        b.iter(|| {
+            t += Cycles(1000);
+            black_box(node.offload_syscall(Sysno::Getpid, [0; 6], t))
+        })
+    });
+    c.bench_function("syscall/offloaded_getrandom", |b| {
+        b.iter(|| {
+            t += Cycles(1000);
+            black_box(node.offload_syscall(
+                Sysno::GetRandom,
+                [node.arena_va.raw(), 64, 0, 0, 0, 0],
+                t,
+            ))
+        })
+    });
+    c.bench_function("syscall/offloaded_mr_register_1mb", |b| {
+        b.iter(|| {
+            t += Cycles(1000);
+            black_box(node.mr_register(t, 1 << 20))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

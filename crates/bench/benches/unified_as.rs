@@ -1,0 +1,64 @@
+//! A2 — unified-address-space fault-resolution cost.
+//!
+//! Cold faults (consult LWK page tables, install a pseudo-mapping PTE)
+//! versus warm hits, and cross-page reads through the pseudo mapping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hlwk_core::costs::CostModel;
+use hlwk_core::mck::mem::pagetable::{PageTable, PteFlags};
+use hlwk_core::proxy::unified::UnifiedAddressSpace;
+use hwmodel::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
+use hwmodel::memory::PhysMemory;
+use std::hint::black_box;
+
+fn setup(pages: u64) -> (PageTable, PhysMemory) {
+    let mut pt = PageTable::new();
+    for i in 0..pages {
+        pt.map_4k(
+            VirtAddr(0x100_0000 + i * PAGE_SIZE),
+            PhysAddr(0x20_0000 + i * PAGE_SIZE),
+            PteFlags::rw(),
+        )
+        .expect("fresh mapping");
+    }
+    (pt, PhysMemory::new(1 << 30, 1))
+}
+
+fn bench(c: &mut Criterion) {
+    let costs = CostModel::default();
+    let (pt, mem) = setup(1024);
+
+    c.bench_function("uas/cold_fault", |b| {
+        b.iter_batched(
+            UnifiedAddressSpace::new,
+            |mut uas| {
+                for i in 0..64u64 {
+                    black_box(
+                        uas.resolve(VirtAddr(0x100_0000 + i * PAGE_SIZE), &pt, &costs)
+                            .expect("mapped"),
+                    );
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("uas/warm_hit", |b| {
+        let mut uas = UnifiedAddressSpace::new();
+        uas.resolve(VirtAddr(0x100_0000), &pt, &costs).expect("mapped");
+        b.iter(|| black_box(uas.resolve(VirtAddr(0x100_0123), &pt, &costs)))
+    });
+
+    c.bench_function("uas/read_64k_cross_page", |b| {
+        let mut uas = UnifiedAddressSpace::new();
+        let mut buf = vec![0u8; 64 << 10];
+        b.iter(|| {
+            uas.read(VirtAddr(0x100_0000), &mut buf, &pt, &mem, &costs)
+                .expect("mapped");
+            black_box(&buf);
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

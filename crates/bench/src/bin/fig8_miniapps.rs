@@ -1,0 +1,63 @@
+//! Figure 8: mini-application execution time vs node count, Linux+cgroup
+//! vs McKernel, plain runs (no in-situ workload).
+
+use bench::{header, node_sweep, runs};
+use cluster::experiment::{parallel_runs, run_seed, RunStats};
+use cluster::{Cluster, ClusterConfig, OsVariant};
+use simcore::Cycles;
+use workloads::miniapps::MiniApp;
+
+fn min_nodes(app: &MiniApp) -> u32 {
+    match app.name {
+        "miniFE" => 2,
+        "HPC-CG" => 4,
+        _ => 8,
+    }
+}
+
+fn main() {
+    let n_runs = runs();
+    header(&format!(
+        "Figure 8 — mini-app execution time (s), avg over {n_runs} runs (variation in %)"
+    ));
+    for app in MiniApp::paper_suite() {
+        println!(
+            "\n--- {} ({:?} scaling) ---",
+            app.name, app.scaling
+        );
+        println!(
+            "{:>6} {:>22} {:>22} {:>10}",
+            "nodes", "Linux+cgroup", "McKernel", "mck gain"
+        );
+        for nodes in node_sweep(min_nodes(&app)) {
+            let measure = |os: OsVariant| -> RunStats {
+                let app = app.clone();
+                let values = parallel_runs(n_runs, |run| {
+                    let cfg = ClusterConfig::paper(os)
+                        .with_nodes(nodes)
+                        .with_seed(run_seed(0xF168, run));
+                    let mut cluster = Cluster::build(cfg);
+                    cluster
+                        .run_miniapp(&app, Cycles::from_ms(1))
+                        .as_secs_f64()
+                });
+                RunStats::new(values)
+            };
+            let lin = measure(OsVariant::LinuxCgroup);
+            let mck = measure(OsVariant::McKernel);
+            let gain = (lin.mean() / mck.mean() - 1.0) * 100.0;
+            println!(
+                "{:>6} {:>14.2}s ({:>4.1}%) {:>14.2}s ({:>4.1}%) {:>9.1}%",
+                nodes,
+                lin.mean(),
+                lin.max_variation_pct(),
+                mck.mean(),
+                mck.max_variation_pct(),
+                gain
+            );
+        }
+    }
+    println!("\nPaper shape: McKernel outperforms Linux by ~1-8% across the suite with");
+    println!("lower variation (most visible for HPC-CG); the gap comes from contiguous");
+    println!("2MiB-backed memory (fewer TLB/LLC misses) plus the absence of OS noise.");
+}

@@ -1,0 +1,73 @@
+//! Figure 9: mini-application execution time under a co-located Hadoop
+//! workload, for the three isolation configurations.
+
+use bench::{header, node_sweep, runs};
+use cluster::experiment::{parallel_runs, run_seed, RunStats};
+use cluster::{Cluster, ClusterConfig, OsVariant};
+use simcore::Cycles;
+use workloads::miniapps::MiniApp;
+
+fn min_nodes(app: &MiniApp) -> u32 {
+    match app.name {
+        "miniFE" => 4,
+        "HPC-CG" => 4,
+        _ => 8,
+    }
+}
+
+fn main() {
+    let n_runs = runs();
+    header(&format!(
+        "Figure 9 — mini-app execution time (s) with competing Hadoop, avg over {n_runs} runs (variation in %)"
+    ));
+    let mut worst = [0.0f64; 3];
+    let mut worst_ratio = [0.0f64; 3];
+    for app in MiniApp::paper_suite() {
+        println!("\n--- {} ({:?} scaling) ---", app.name, app.scaling);
+        println!(
+            "{:>6} {:>22} {:>24} {:>20}",
+            "nodes", "Linux+cgroup", "Linux+cgroup+isolcpus", "McKernel"
+        );
+        for nodes in node_sweep(min_nodes(&app)) {
+            let mut cells = Vec::new();
+            for (vi, os) in OsVariant::all().into_iter().enumerate() {
+                let app = app.clone();
+                let values = parallel_runs(n_runs, |run| {
+                    let cfg = ClusterConfig::paper(os)
+                        .with_nodes(nodes)
+                        .with_insitu()
+                        .with_seed(run_seed(0xF169, run));
+                    let mut cluster = Cluster::build(cfg);
+                    cluster
+                        .run_miniapp(&app, Cycles::from_ms(1))
+                        .as_secs_f64()
+                });
+                let stats = RunStats::new(values);
+                worst[vi] = worst[vi].max(stats.max_variation_pct());
+                worst_ratio[vi] = worst_ratio[vi].max(stats.summary.worst_slowdown());
+                cells.push(stats);
+            }
+            println!(
+                "{:>6} {:>14.2}s ({:>4.1}%) {:>16.2}s ({:>4.1}%) {:>12.2}s ({:>4.1}%)",
+                nodes,
+                cells[0].mean(),
+                cells[0].max_variation_pct(),
+                cells[1].mean(),
+                cells[1].max_variation_pct(),
+                cells[2].mean(),
+                cells[2].max_variation_pct(),
+            );
+        }
+    }
+    println!("\nWorst-case variation across all workloads:");
+    for (vi, os) in OsVariant::all().into_iter().enumerate() {
+        println!(
+            "  {:<24} {:>7.1}%   (slowest/fastest run: {:.1}x)",
+            os.label(),
+            worst[vi],
+            worst_ratio[vi]
+        );
+    }
+    println!("\nPaper shape: worst case ~3.1x (310%) for Linux+cgroup, ~16% for");
+    println!("Linux+cgroup+isolcpus, ~3% for McKernel.");
+}

@@ -1,0 +1,60 @@
+//! Future-work ablation — "in the future, we will further investigate
+//! eliminating the RDMA registration issue" (Sec. VI).
+//!
+//! The paper proposes making MPI aware of the hybrid setting so internal
+//! buffers are pre-registered at init and registration `write()`s never
+//! offload on the critical path. This bin measures large-message Reduce
+//! variation under Hadoop, with and without that fix.
+
+use bench::{header, size_label};
+use cluster::experiment::{parallel_runs, run_seed};
+use cluster::{Cluster, ClusterConfig, OsVariant};
+use simcore::{Cycles, Summary};
+use workloads::osu::{Collective, OsuConfig};
+
+fn measure(nodes: u32, runs: usize, bytes: u64, hybrid_aware: bool) -> Summary {
+    let osu = OsuConfig {
+        warmup: 5,
+        iters: 6,
+        iter_gap: Cycles::from_us(300),
+    };
+    let vals = parallel_runs(runs, |run| {
+        let mut cfg = ClusterConfig::paper(OsVariant::McKernel)
+            .with_nodes(nodes)
+            .with_insitu()
+            .with_seed(run_seed(0x8E6F, run));
+        cfg.mpi_hybrid_aware = hybrid_aware;
+        let mut cluster = Cluster::build(cfg);
+        let res = cluster.run_osu(Collective::Reduce, bytes, &osu, Cycles::from_ms(1));
+        res.latencies_us.iter().sum::<f64>() / res.latencies_us.len() as f64
+    });
+    Summary::from_samples(&vals)
+}
+
+fn main() {
+    let nodes = bench::max_nodes().min(16);
+    let runs = bench::runs().min(10);
+    header(&format!(
+        "Future-work ablation — hybrid-aware MPI registration (Reduce, McKernel+Hadoop, {nodes} nodes, {runs} runs)"
+    ));
+    println!(
+        "{:>8} {:>20} {:>20} {:>22}",
+        "size", "stock MVAPICH", "hybrid-aware MPI", "variation reduction"
+    );
+    for bytes in [64u64 << 10, 256 << 10, 1 << 20] {
+        let stock = measure(nodes, runs, bytes, false);
+        let fixed = measure(nodes, runs, bytes, true);
+        println!(
+            "{:>8} {:>14.1}us {:>4.0}% {:>14.1}us {:>4.0}% {:>21.1}x",
+            size_label(bytes),
+            stock.mean,
+            stock.max_variation_pct(),
+            fixed.mean,
+            fixed.max_variation_pct(),
+            stock.max_variation_pct() / fixed.max_variation_pct().max(0.01)
+        );
+    }
+    println!("\nExpected: the fix collapses McKernel's large-message variation to its");
+    println!("small-message noise floor — the artifact is entirely the offloaded");
+    println!("registration path, not the data path.");
+}

@@ -1,0 +1,64 @@
+//! Point-to-point validation: osu_latency / osu_bw equivalents.
+//!
+//! Not a paper figure — a calibration check that the LogGP parameters
+//! reproduce FDR-class point-to-point behaviour (the paper's Fig. 6
+//! collectives are built on this substrate).
+
+use bench::{header, size_label};
+use mpisim::collectives::{Ctx, Recorder};
+use mpisim::host::IdealHost;
+use mpisim::p2p::P2pParams;
+use mpisim::regcache::RegCache;
+use netsim::{Fabric, LinkParams};
+use simcore::{Cycles, StreamRng};
+use workloads::osu::{pt2pt_bandwidth, pt2pt_latency, OsuConfig};
+
+fn with_ctx<R>(f: impl FnOnce(&mut Ctx<'_, IdealHost>) -> R) -> R {
+    let mut fabric = Fabric::new(2, LinkParams::fdr_infiniband());
+    let mut host = IdealHost::new();
+    let params = P2pParams::default();
+    let mut regcaches: Vec<RegCache> = (0..2)
+        .map(|i| RegCache::new(StreamRng::root(1).stream("r", i as u64)))
+        .collect();
+    let mut recorder: Recorder = None;
+    let mut ctx = Ctx {
+        hybrid_aware: false,
+        fabric: &mut fabric,
+        host: &mut host,
+        params: &params,
+        regcaches: &mut regcaches,
+        recorder: &mut recorder,
+        reduce_per_kib: Cycles::from_ns(350),
+        churn: 0.0,
+    };
+    f(&mut ctx)
+}
+
+fn main() {
+    header("pt2pt calibration — osu_latency / osu_bw over the modeled FDR link");
+    let cfg = OsuConfig::default();
+    println!(
+        "{:>8} {:>14} {:>16}",
+        "size", "latency (us)", "bandwidth (MB/s)"
+    );
+    for p in 0..=20u32 {
+        let bytes = 1u64 << p;
+        let lat = with_ctx(|ctx| pt2pt_latency(ctx, bytes, &cfg, Cycles::from_us(1)));
+        let bw = with_ctx(|ctx| {
+            pt2pt_bandwidth(
+                ctx,
+                bytes,
+                64,
+                &OsuConfig {
+                    warmup: 5,
+                    iters: 4,
+                    iter_gap: Cycles::ZERO,
+                },
+                Cycles::from_us(1),
+            )
+        });
+        println!("{:>8} {:>14.2} {:>16.0}", size_label(bytes), lat, bw);
+    }
+    println!("\nReference (Connect-IB FDR era): ~1-1.5us small-message latency,");
+    println!("~5.8-6.0 GB/s peak bandwidth, rendezvous switch at 16kB.");
+}

@@ -1,0 +1,95 @@
+//! Shared helpers for the figure-regeneration binaries.
+//!
+//! Each binary regenerates one figure of the paper's evaluation
+//! (Sec. IV), printing the same series the figure plots. Knobs via
+//! environment variables so CI can run quick versions:
+//!
+//! * `HLWK_RUNS` — repetitions (paper: 15);
+//! * `HLWK_NODES` — top node count (paper: 64);
+//! * `HLWK_FWQ_SECS` — FWQ measurement interval (paper: 30);
+//! * `HLWK_OSU_ITERS` — timed iterations per OSU cell.
+
+use simcore::Summary;
+
+/// Repetitions (paper: 15).
+pub fn runs() -> usize {
+    env_or("HLWK_RUNS", 15)
+}
+
+/// Largest node count in sweeps (paper: 64).
+pub fn max_nodes() -> u32 {
+    env_or("HLWK_NODES", 64)
+}
+
+/// FWQ measurement interval in seconds (paper: 30).
+pub fn fwq_secs() -> u64 {
+    env_or("HLWK_FWQ_SECS", 10)
+}
+
+/// OSU timed iterations per cell.
+pub fn osu_iters() -> usize {
+    env_or("HLWK_OSU_ITERS", 8)
+}
+
+fn env_or<T: std::str::FromStr + Copy>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Human-readable message size (matches the paper's axis labels).
+pub fn size_label(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}MB", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{}kB", bytes >> 10)
+    } else {
+        format!("{bytes}")
+    }
+}
+
+/// Node counts for a scaling sweep starting at `min`, doubling to
+/// [`max_nodes`].
+pub fn node_sweep(min: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut n = min;
+    while n <= max_nodes() {
+        out.push(n);
+        n *= 2;
+    }
+    out
+}
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Format a summary as `mean ± std [min..max]`.
+pub fn fmt_summary(s: &Summary, unit: &str) -> String {
+    format!(
+        "{:>10.2} ± {:>8.2} {unit}  [{:.2} .. {:.2}]",
+        s.mean, s.std_dev, s.min, s.max
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(2), "2");
+        assert_eq!(size_label(1024), "1kB");
+        assert_eq!(size_label(512 << 10), "512kB");
+        assert_eq!(size_label(1 << 20), "1MB");
+    }
+
+    #[test]
+    fn node_sweep_doubles() {
+        std::env::remove_var("HLWK_NODES");
+        assert_eq!(node_sweep(2), vec![2, 4, 8, 16, 32, 64]);
+        assert_eq!(node_sweep(8), vec![8, 16, 32, 64]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # cluster — composition and experiment harness
+//!
+//! Builds simulated compute nodes in each of the paper's configurations
+//! and runs the evaluation workloads on them:
+//!
+//! * [`config`] — the three OS variants (Linux+cgroup,
+//!   Linux+cgroup+isolcpus, IHK/McKernel) and co-location settings;
+//! * [`node`] — one node's runtime: hardware + Linux (+ IHK/McKernel
+//!   partition, proxy process, verbs context); job setup walks the real
+//!   protocols: IHK reservation, LWK boot, proxy spawn, offloaded
+//!   `open()` of the uverbs device *through the unified address space*,
+//!   and the Fig. 4 device-file mmap of the doorbell page;
+//! * [`host`] — the [`mpisim::HostModel`] implementation mapping MPI
+//!   ranks onto node runtimes (1 rank per node, 8 OpenMP threads);
+//! * [`sim`] — the [`sim::Cluster`]: fabric + nodes + workload entry
+//!   points (FWQ, OSU collectives, mini-apps);
+//! * [`experiment`] — deterministic seeding, parallel repetition runner
+//!   (crossbeam scoped threads), result tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiment;
+pub mod host;
+pub mod node;
+pub mod pipeline;
+pub mod sim;
+
+pub use config::{ClusterConfig, OsVariant};
+pub use experiment::{parallel_runs, RunStats};
+pub use sim::Cluster;

@@ -1,0 +1,648 @@
+//! One compute node's runtime: hardware + OS stack + job state.
+//!
+//! Job setup on a McKernel node is not a cost formula — it walks the real
+//! protocols of the core crate: IHK reserves cores and memory and boots
+//! the LWK; a proxy process is spawned on the leftover core; the uverbs
+//! device is opened through a fully marshalled, IKC-delivered, unified-
+//! address-space-dereferenced offloaded `open()`; and the HCA doorbell
+//! page is mapped by the eleven-step Fig. 4 flow. Only after all of that
+//! does the node run application work.
+
+use crate::config::{ClusterConfig, OsVariant};
+use hlwk_core::abi::{Pid, Sysno, Tid};
+use hlwk_core::costs::CostModel;
+use hlwk_core::ihk::ikc::{IkcMessage, IkcPair};
+use hlwk_core::mck::mem::FaultOutcome;
+use hlwk_core::mck::syscall::SyscallRequest;
+use hlwk_core::mck::{McKernel, SyscallOutcome};
+use hlwk_core::proxy::devmap;
+use hlwk_core::IhkManager;
+use hwmodel::addr::VirtAddr;
+use hwmodel::cpu::{CoreId, NumaId};
+use hwmodel::interference::{InterferenceModel, MemProfile, PageBacking, Pollution};
+use hwmodel::node::{NodeHw, NodeId, NodeSpec};
+use hwmodel::pci::DeviceClass;
+use linuxsim::{LinuxKernel, NoiseConfig};
+use netsim::verbs::IbContext;
+use simcore::{Cycles, StreamRng};
+use workloads::hadoop;
+
+/// Per-node runtime state.
+pub struct NodeRuntime {
+    /// Node index (== MPI rank; 1 rank per node).
+    pub id: u32,
+    /// OS variant this node runs.
+    pub os: OsVariant,
+    /// Hardware.
+    pub hw: NodeHw,
+    /// The Linux instance (the whole node, or the Linux partition).
+    pub linux: LinuxKernel,
+    /// IHK manager (McKernel variant only).
+    pub ihk: Option<IhkManager>,
+    /// The LWK (McKernel variant only).
+    pub mck: Option<McKernel>,
+    /// IKC channel pair between the kernels.
+    pub ikc: IkcPair,
+    /// Application process id.
+    pub app_pid: Pid,
+    /// First application thread (McKernel bookkeeping).
+    pub app_tid: Option<Tid>,
+    /// Proxy process id (McKernel variant only).
+    pub proxy_pid: Option<Pid>,
+    /// Cores the 8 OpenMP threads run on.
+    pub app_cores: Vec<CoreId>,
+    /// uverbs file descriptor (lives in Linux either way).
+    pub uverbs_fd: i64,
+    /// Per-process verbs context.
+    pub ib: IbContext,
+    /// Registered-buffer arena base (for MR registration calls).
+    pub arena_va: VirtAddr,
+    /// Interference model + inputs.
+    pub interference: InterferenceModel,
+    /// Cache/bandwidth pollution from co-located work.
+    pub pollution: Pollution,
+    /// Workload memory intensity (set per experiment).
+    pub mem_intensity: f64,
+    /// Busy phases of the co-located job (empty without in-situ load);
+    /// pollution only applies inside them.
+    pub busy_phases: Vec<(Cycles, Cycles)>,
+    /// How the app's anonymous memory is backed (2 MiB contiguous on
+    /// McKernel, 4 KiB scattered on Linux). Public so the A3 ablation can
+    /// force either policy.
+    pub backing: PageBacking,
+    costs: CostModel,
+}
+
+impl NodeRuntime {
+    /// Build and fully set up one node for `cfg`.
+    pub fn build(cfg: &ClusterConfig, idx: u32, rng: &StreamRng) -> NodeRuntime {
+        let node_rng = rng.stream("node", u64::from(idx));
+        let mut hw = NodeSpec::paper_testbed().build(NodeId(idx));
+        let horizon = Cycles::from_secs(cfg.horizon_secs);
+
+        // --- IHK partitioning + LWK boot (McKernel variant). ---
+        let costs = CostModel::default();
+        let (ihk, mut mck) = if cfg.os == OsVariant::McKernel {
+            let mut ihk = IhkManager::new(hw.topology.num_cores());
+            let os_idx = ihk
+                .create_os(&mut hw.mem, &cfg.lwk_cores(), NumaId(1), 16 << 30)
+                .expect("testbed node has the resources");
+            let mck = ihk.boot(os_idx, costs).expect("fresh instance boots");
+            (Some(ihk), Some(mck))
+        } else {
+            (None, None)
+        };
+
+        // --- Linux boot over its cores. ---
+        let noise = NoiseConfig {
+            isolcpus: cfg.isolcpus().into_iter().collect(),
+            daemon_activity: if cfg.insitu { 4.0 } else { 1.0 },
+            // Memory pressure (and hence reclaim) lives on NUMA 0: the
+            // analytics job's domain, and where Linux itself booted.
+            reclaim_cores: Some((0..10).map(CoreId).collect()),
+        };
+        let devices: Vec<(String, DeviceClass)> = hw
+            .devices
+            .iter()
+            .map(|d| (d.dev_name.clone(), d.class))
+            .collect();
+        let mut linux = LinuxKernel::boot(
+            cfg.linux_cores(),
+            devices,
+            &noise,
+            node_rng.stream("linux", 0),
+        );
+
+        // --- In-situ Hadoop load. ---
+        let mut pollution = Pollution::NONE;
+        let mut busy_phases = Vec::new();
+        if cfg.insitu {
+            // Phase schedule is CLUSTER-wide (derived from the run seed,
+            // not the node id): the analytics job's waves hit every node
+            // together. Container placement stays per-node.
+            let phases = hadoop::generate_phases(
+                &hadoop::HadoopParams::default(),
+                horizon,
+                &rng.stream("hadoop-phases", 0),
+            );
+            let load = hadoop::generate_with_phases(
+                &hadoop::HadoopParams::default(),
+                &cfg.hadoop_cores(),
+                horizon,
+                phases,
+                &node_rng.stream("hadoop", 0),
+            );
+            for iv in &load.intervals {
+                linux.occupancy.add_load(iv.core, iv.start, iv.end, iv.tasks);
+            }
+            // Same-socket cache pollution only when Hadoop can actually
+            // reach the application's socket (cgroup-only variant).
+            let hadoop_reaches_app_socket = cfg
+                .hadoop_cores()
+                .iter()
+                .any(|c| hw.topology.numa_of(*c) == NumaId(1) && c.0 < 18);
+            // Cross-socket pressure: on Linux the analytics job's page
+            // cache and reclaim spill into the application's NUMA domain;
+            // IHK's reservation hides the LWK partition from Linux's
+            // allocator, leaving McKernel only a QPI-snoop residual.
+            let cross_factor = if cfg.os == OsVariant::McKernel { 0.15 } else { 1.0 };
+            pollution = Pollution {
+                same_socket: if hadoop_reaches_app_socket {
+                    load.same_socket_pollution
+                } else {
+                    0.0
+                },
+                cross_socket: load.cross_socket_pollution * cross_factor,
+            };
+            // Phase-gated HDFS/GbE IRQ + flush pressure reaches every
+            // *Linux-managed* application core — including isolcpus ones
+            // (interrupt handlers don't honor isolcpus). McKernel's app
+            // cores are outside Linux entirely, so nothing lands there.
+            if cfg.os != OsVariant::McKernel {
+                for &core in &cfg.app_cores() {
+                    let crng = node_rng.stream("io-noise", u64::from(core.0));
+                    linux.add_core_daemon(
+                        core,
+                        linuxsim::daemons::DaemonSource::eth_irq(crng.stream("eth", 0))
+                            .with_activity(5.0)
+                            .with_windows(load.busy_phases.clone()),
+                    );
+                    linux.add_core_daemon(
+                        core,
+                        linuxsim::daemons::DaemonSource::kworker(crng.stream("kw", 0))
+                            .with_activity(3.0)
+                            .with_windows(load.busy_phases.clone()),
+                    );
+                }
+            }
+            busy_phases = load.busy_phases;
+        }
+        linux.occupancy.seal();
+
+        let mut node = NodeRuntime {
+            id: idx,
+            os: cfg.os,
+            hw,
+            linux,
+            ihk,
+            mck: None,
+            ikc: IkcPair::default(),
+            app_pid: Pid(1),
+            app_tid: None,
+            proxy_pid: None,
+            app_cores: cfg.app_cores(),
+            uverbs_fd: -1,
+            ib: IbContext::new(),
+            arena_va: VirtAddr::NULL,
+            interference: InterferenceModel::default(),
+            pollution,
+            busy_phases,
+            mem_intensity: cfg.mem_intensity,
+            backing: if cfg.os == OsVariant::McKernel {
+                PageBacking::Large2mContiguous
+            } else {
+                PageBacking::Small4k
+            },
+            costs,
+        };
+
+        // --- Job setup. ---
+        match cfg.os {
+            OsVariant::McKernel => {
+                let mut k = mck.take().expect("booted above");
+                let app_pid = k.create_process(None);
+                let tid = k.spawn_thread(app_pid, node.app_cores[0]);
+                for &core in &node.app_cores[1..] {
+                    k.spawn_thread(app_pid, core);
+                }
+                let proxy_pid = node.linux.spawn_proxy(app_pid, cfg.proxy_core());
+                k.process_mut(app_pid).expect("created").proxy_pid = Some(proxy_pid);
+                node.app_pid = app_pid;
+                node.app_tid = Some(tid);
+                node.proxy_pid = Some(proxy_pid);
+                node.mck = Some(k);
+                node.setup_mck_job();
+            }
+            _ => {
+                node.linux.vfs.create_process(Pid(1));
+                let (fd, _) = node
+                    .linux
+                    .vfs
+                    .open(Pid(1), "/dev/infiniband/uverbs0")
+                    .expect("uverbs registered");
+                node.uverbs_fd = i64::from(fd.0);
+                let dev = node
+                    .hw
+                    .device_of_class(DeviceClass::InfinibandHca)
+                    .expect("testbed has an HCA");
+                node.ib.doorbell_phys = dev.bar_phys(0, 0);
+            }
+        }
+        node
+    }
+
+    /// McKernel job setup: the real offload/devmap protocols.
+    fn setup_mck_job(&mut self) {
+        let mut now = Cycles::from_us(100);
+        // 1. Map a page for the path string and write it through the
+        //    McKernel fault path into real physical memory.
+        let (path_va, t) = self.mck_mmap_anon(4096, now);
+        now = t;
+        let path_pa = self
+            .mck
+            .as_ref()
+            .expect("mck set")
+            .process(self.app_pid)
+            .expect("app")
+            .aspace
+            .pt
+            .translate(path_va)
+            .expect("just faulted")
+            .phys;
+        self.hw.mem.write(path_pa, b"/dev/infiniband/uverbs0\0");
+        // 2. Offloaded open() — marshalled, IKC-delivered, path read back
+        //    through the unified address space by the proxy.
+        let (fd, t) = self.offload_syscall(Sysno::Open, [path_va.raw(), 0, 0, 0, 0, 0], now);
+        assert!(fd >= 0, "offloaded open failed: {fd}");
+        self.uverbs_fd = fd;
+        now = t;
+        // 3. Registered-buffer arena (4 MiB, 2 MiB-backed).
+        let (arena, t) = self.mck_mmap_anon(4 << 20, now);
+        self.arena_va = arena;
+        now = t;
+        for off in [0u64, 2 << 20] {
+            match self
+                .mck
+                .as_mut()
+                .expect("mck set")
+                .page_fault(self.app_pid, arena + off)
+            {
+                FaultOutcome::Mapped { .. } => {}
+                o => panic!("arena fault failed: {o:?}"),
+            }
+        }
+        // 4. Doorbell (UAR) page via the Fig. 4 flow.
+        let dev = self
+            .hw
+            .device_of_class(DeviceClass::InfinibandHca)
+            .expect("testbed has an HCA")
+            .clone();
+        let mck = self.mck.as_mut().expect("mck set");
+        let (proxy, delegator) = self
+            .linux
+            .proxy_and_delegator(self.proxy_pid.expect("proxy spawned"))
+            .expect("registered");
+        let map = devmap::device_mmap(mck, self.app_pid, proxy, delegator, &dev, 0, 0, 8192)
+            .expect("UAR maps");
+        let (phys, _) = devmap::device_fault(mck, self.app_pid, delegator, map.lwk_va)
+            .expect("fault resolves");
+        self.ib.doorbell_phys = Some(phys);
+        let _ = now;
+    }
+
+    /// Anonymous mmap + first-touch fault on the LWK.
+    fn mck_mmap_anon(&mut self, len: u64, at: Cycles) -> (VirtAddr, Cycles) {
+        let mck = self.mck.as_mut().expect("LWK present");
+        let tid = self.app_tid.expect("thread spawned");
+        match mck.handle_syscall(
+            self.app_pid,
+            tid,
+            Sysno::Mmap,
+            [0, len, 3, 0x22, u64::MAX, 0],
+            at,
+        ) {
+            SyscallOutcome::Done { ret, cost } if ret > 0 => {
+                let va = VirtAddr(ret as u64);
+                match mck.page_fault(self.app_pid, va) {
+                    FaultOutcome::Mapped { cost: fc, .. } => (va, at + cost + fc),
+                    o => panic!("anon fault failed: {o:?}"),
+                }
+            }
+            o => panic!("mmap failed: {o:?}"),
+        }
+    }
+
+    /// Execute one offloaded system call through the full machinery:
+    /// McKernel marshal → IKC queue → IPI → delegator → proxy wake →
+    /// Linux service (unified-address-space dereferences) → IKC reply.
+    /// Returns (return value, completion instant).
+    pub fn offload_syscall(&mut self, sysno: Sysno, args: [u64; 6], at: Cycles) -> (i64, Cycles) {
+        let mck = self.mck.as_mut().expect("offload from LWK only");
+        let tid = self.app_tid.expect("thread spawned");
+        let outcome = mck.handle_syscall(self.app_pid, tid, sysno, args, at);
+        match outcome {
+            SyscallOutcome::Offload { req, cost } => {
+                let costs = self.costs;
+                // LWK -> Linux over the real bounded queue.
+                self.ikc
+                    .to_linux
+                    .send(IkcMessage::syscall_request(&req))
+                    .expect("IKC queue sized for the workload");
+                let delivered = at + cost + costs.ikc_ipi;
+                let msg = self.ikc.to_linux.recv().expect("just sent");
+                let wire_req =
+                    SyscallRequest::decode(&msg.payload).expect("well-formed request");
+                debug_assert_eq!(wire_req, req);
+                let proxy_pid = self.proxy_pid.expect("proxy spawned");
+                // Delegator module: wake the parked proxy.
+                let _action = self
+                    .linux
+                    .delegator
+                    .on_syscall_request(proxy_pid, wire_req);
+                let dispatched = delivered + costs.delegator_dispatch;
+                let fetched = self
+                    .linux
+                    .delegator
+                    .proxy_fetch(proxy_pid)
+                    .expect("request queued");
+                // Service on Linux with real pointer dereferencing.
+                let svc = {
+                    let mck_ref = self.mck.as_ref().expect("LWK present");
+                    let pt = &mck_ref
+                        .process(self.app_pid)
+                        .expect("app")
+                        .aspace
+                        .pt;
+                    self.linux
+                        .service_syscall(proxy_pid, &fetched, dispatched, pt, &mut self.hw.mem)
+                };
+                let reply = self
+                    .linux
+                    .delegator
+                    .complete(fetched.seq, svc.ret)
+                    .expect("in flight");
+                self.ikc
+                    .to_lwk
+                    .send(IkcMessage::syscall_reply(&reply))
+                    .expect("IKC queue sized for the workload");
+                let _ = self.ikc.to_lwk.recv();
+                let finish = dispatched
+                    + svc.wake_delay
+                    + costs.proxy_dispatch
+                    + svc.service
+                    + costs.ikc_send
+                    + costs.ikc_ipi;
+                (svc.ret, finish)
+            }
+            SyscallOutcome::Done { ret, cost } => (ret, at + cost),
+            SyscallOutcome::DoneInvalidate { ret, cost, ranges } => {
+                self.linux.sync_munmap(self.app_pid, &ranges);
+                (ret, at + cost)
+            }
+            o => panic!("unexpected outcome for {sysno:?}: {o:?}"),
+        }
+    }
+
+    /// Whether the co-located job is in a busy phase at `at`.
+    pub fn in_busy_phase(&self, at: Cycles) -> bool {
+        self.busy_phases.iter().any(|&(a, b)| a <= at && at < b)
+    }
+
+    /// DMA bandwidth degradation while the co-located job is busy: the
+    /// HCA reads/writes DRAM that Hadoop's page cache churn also hammers.
+    pub fn dma_stretch(&self, at: Cycles) -> f64 {
+        if self.in_busy_phase(at) {
+            1.0 + self.pollution.cross_socket * 0.12 + self.pollution.same_socket * 0.05
+        } else {
+            1.0
+        }
+    }
+
+    /// Interference stretch for the current workload on this node at `at`
+    /// (cache/bandwidth pollution exists only during busy phases).
+    fn stretch(&self, at: Cycles) -> f64 {
+        let pol = if self.in_busy_phase(at) {
+            self.pollution
+        } else {
+            Pollution::NONE
+        };
+        self.interference.stretch(
+            MemProfile {
+                mem_intensity: self.mem_intensity,
+            },
+            self.backing,
+            pol,
+        )
+    }
+
+    /// Execute an application compute quantum on thread `thread_idx`.
+    pub fn exec_app_thread(&mut self, thread_idx: usize, at: Cycles, work: Cycles) -> Cycles {
+        let stretched = work.scale(self.stretch(at));
+        match self.os {
+            OsVariant::McKernel => {
+                // Tick-less cooperative LWK: nothing shares the core, so
+                // the quantum runs to completion exactly.
+                let pol = if self.in_busy_phase(at) {
+                    self.pollution
+                } else {
+                    Pollution::NONE
+                };
+                if let (Some(mck), Some(tid)) = (self.mck.as_mut(), self.app_tid) {
+                    if let Some(pc) = mck.perf_counters_mut(tid) {
+                        pc.account_compute(
+                            stretched,
+                            &self.interference,
+                            MemProfile {
+                                mem_intensity: self.mem_intensity,
+                            },
+                            self.backing,
+                            pol,
+                        );
+                    }
+                }
+                at + stretched
+            }
+            _ => {
+                let core = self.app_cores[thread_idx % self.app_cores.len()];
+                self.linux.execute_on(core, at, stretched).finish
+            }
+        }
+    }
+
+    /// Execute an 8-thread OpenMP region; ends at the slowest thread.
+    pub fn omp_region(&mut self, at: Cycles, per_thread: Cycles, threads: u32) -> Cycles {
+        (0..threads as usize)
+            .map(|i| self.exec_app_thread(i, at, per_thread))
+            .max()
+            .unwrap_or(at)
+    }
+
+    /// MR registration (the Fig. 7 artifact): a `write()` on the uverbs
+    /// fd. Local on Linux; a full offload on McKernel.
+    pub fn mr_register(&mut self, at: Cycles, bytes: u64) -> Cycles {
+        match self.os {
+            OsVariant::McKernel => {
+                let (_, done) = self.offload_syscall(
+                    Sysno::Write,
+                    [
+                        self.uverbs_fd as u64,
+                        self.arena_va.raw(),
+                        bytes.min(4 << 20),
+                        0,
+                        0,
+                        0,
+                    ],
+                    at,
+                );
+                done
+            }
+            _ => {
+                let service = self
+                    .linux
+                    .vfs
+                    .rw_cost(Pid(1), hlwk_core::abi::Fd(self.uverbs_fd as i32), bytes)
+                    .unwrap_or(Cycles::from_us(5))
+                    + self.costs.linux_syscall_entry;
+                self.linux
+                    .execute_on(self.app_cores[0], at, service)
+                    .finish
+            }
+        }
+    }
+
+    /// Tear the job down. McKernel nodes must return to a pristine LWK —
+    /// the paper reinitializes McKernel between runs (Sec. IV-B3).
+    pub fn reap_job(&mut self) {
+        if let Some(mck) = self.mck.as_mut() {
+            mck.reap_process(self.app_pid);
+            assert!(mck.is_pristine(), "reinit policy violated");
+        }
+        if let Some(proxy) = self.proxy_pid {
+            self.linux.reap_proxy(proxy);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+
+    fn build(os: OsVariant, insitu: bool) -> NodeRuntime {
+        let mut cfg = ClusterConfig::paper(os).with_nodes(1).with_seed(77);
+        cfg.insitu = insitu;
+        cfg.horizon_secs = 5;
+        NodeRuntime::build(&cfg, 0, &StreamRng::root(cfg.seed))
+    }
+
+    #[test]
+    fn mckernel_node_boots_and_sets_up_the_whole_stack() {
+        let n = build(OsVariant::McKernel, false);
+        assert!(n.mck.is_some());
+        assert!(n.proxy_pid.is_some());
+        assert!(n.uverbs_fd >= 3, "offloaded open returned {}", n.uverbs_fd);
+        assert!(n.ib.doorbell_phys.is_some());
+        assert_ne!(n.arena_va, VirtAddr::NULL);
+        // The doorbell resolves into the HCA BAR.
+        let bar = n.hw.device_of_class(DeviceClass::InfinibandHca).unwrap().bars[0];
+        assert!(bar.contains(n.ib.doorbell_phys.unwrap()));
+        // fd state lives on the Linux side.
+        assert!(n.linux.vfs.fd_count(n.proxy_pid.unwrap()) >= 4);
+        // The unified AS actually faulted pages (path read).
+        let proxy = n.linux.proxy(n.proxy_pid.unwrap()).unwrap();
+        assert!(proxy.uas.stats().0 >= 1, "pseudo-mapping never used");
+    }
+
+    #[test]
+    fn linux_node_sets_up_locally() {
+        let n = build(OsVariant::LinuxCgroup, false);
+        assert!(n.mck.is_none());
+        assert!(n.proxy_pid.is_none());
+        assert!(n.uverbs_fd >= 3);
+        assert!(n.ib.doorbell_phys.is_some());
+    }
+
+    #[test]
+    fn lwk_compute_is_exact_linux_compute_is_noisy() {
+        let mut mck = build(OsVariant::McKernel, false);
+        mck.mem_intensity = 0.0; // pure ALU: no stretch at all
+        let w = Cycles::from_ms(50);
+        let done = mck.exec_app_thread(0, Cycles::from_us(3), w);
+        assert_eq!(done, Cycles::from_us(3) + w, "tick-less LWK is exact");
+        let mut lin = build(OsVariant::LinuxCgroup, false);
+        lin.mem_intensity = 0.0;
+        let done = lin.exec_app_thread(0, Cycles::from_us(3), w);
+        assert!(done > Cycles::from_us(3) + w, "ticks steal time on Linux");
+    }
+
+    #[test]
+    fn offloaded_getrandom_round_trips() {
+        let mut n = build(OsVariant::McKernel, false);
+        // Write into the arena through an offloaded getrandom.
+        let (ret, done) = n.offload_syscall(
+            Sysno::GetRandom,
+            [n.arena_va.raw(), 256, 0, 0, 0, 0],
+            Cycles::from_ms(1),
+        );
+        assert_eq!(ret, 256);
+        assert!(done > Cycles::from_ms(1));
+        // The bytes are visible in the app's physical memory.
+        let pa = n
+            .mck
+            .as_ref()
+            .unwrap()
+            .process(n.app_pid)
+            .unwrap()
+            .aspace
+            .pt
+            .translate(n.arena_va)
+            .unwrap()
+            .phys;
+        let mut buf = [0u8; 256];
+        n.hw.mem.read(pa, &mut buf);
+        assert!(buf.iter().any(|&b| b != 0), "random bytes landed");
+    }
+
+    #[test]
+    fn mr_register_costs_more_on_mckernel_than_linux() {
+        let mut mck = build(OsVariant::McKernel, false);
+        let mut lin = build(OsVariant::LinuxCgroupIsolcpus, false);
+        let at = Cycles::from_ms(2);
+        let mck_cost = mck.mr_register(at, 1 << 20) - at;
+        let lin_cost = lin.mr_register(at, 1 << 20) - at;
+        assert!(
+            mck_cost > lin_cost,
+            "offloaded registration ({mck_cost}) must exceed local ({lin_cost})"
+        );
+        // But still microseconds-scale, not catastrophic.
+        assert!(mck_cost < Cycles::from_ms(1), "{mck_cost}");
+    }
+
+    #[test]
+    fn local_syscalls_stay_on_the_lwk() {
+        let mut n = build(OsVariant::McKernel, false);
+        let before = n.mck.as_ref().unwrap().trace.get("mck.syscall.local");
+        let (ret, _) = n.offload_syscall(Sysno::Getpid, [0; 6], Cycles::from_ms(1));
+        assert_eq!(ret, n.app_pid.0 as i64);
+        let after = n.mck.as_ref().unwrap().trace.get("mck.syscall.local");
+        assert_eq!(after, before + 1);
+        assert_eq!(n.linux.trace.get("linux.offload.serviced"), 1, "only the open()");
+    }
+
+    #[test]
+    fn insitu_contention_reaches_app_cores_only_under_cgroup() {
+        let cg = build(OsVariant::LinuxCgroup, true);
+        let iso = build(OsVariant::LinuxCgroupIsolcpus, true);
+        let app_core = CoreId(10);
+        assert!(
+            cg.linux.occupancy.has_load(app_core),
+            "cgroup-only: Hadoop lands on app cores"
+        );
+        assert!(
+            !iso.linux.occupancy.has_load(app_core),
+            "isolcpus keeps them off"
+        );
+        let mck = build(OsVariant::McKernel, true);
+        assert!(
+            mck.linux.occupancy.has_load(CoreId(19)),
+            "Hadoop can occupy the proxy core"
+        );
+    }
+
+    #[test]
+    fn reap_restores_pristine_lwk() {
+        let mut n = build(OsVariant::McKernel, false);
+        n.reap_job();
+        assert!(n.mck.as_ref().unwrap().is_pristine());
+    }
+}

@@ -1,0 +1,257 @@
+//! Linux-compatible ABI surface.
+//!
+//! McKernel "retains a binary compatible ABI with Linux" (Sec. II): the
+//! same application runs on either kernel. Here that means both kernels
+//! speak the same [`Sysno`] numbering (the x86-64 Linux table), the same
+//! [`Errno`] values, and the same id types.
+
+use std::fmt;
+
+/// Process id (shared between McKernel and its Linux proxy pairing).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pid(pub u32);
+
+/// Thread id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Tid(pub u32);
+
+/// File descriptor. McKernel deliberately has *no* fd table: "McKernel for
+/// instance has no notion of file descriptors, but rather it simply returns
+/// the number it receives from the proxy process" (Sec. II).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Fd(pub i32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tid{}", self.0)
+    }
+}
+
+/// Errno values (x86-64 Linux numbering).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(i32)]
+#[allow(missing_docs)]
+pub enum Errno {
+    EPERM = 1,
+    ENOENT = 2,
+    EINTR = 4,
+    EIO = 5,
+    EBADF = 9,
+    EAGAIN = 11,
+    ENOMEM = 12,
+    EACCES = 13,
+    EFAULT = 14,
+    EBUSY = 16,
+    EEXIST = 17,
+    ENODEV = 19,
+    EINVAL = 22,
+    ENFILE = 23,
+    ENOSPC = 28,
+    ENOSYS = 38,
+    EOVERFLOW = 75,
+}
+
+/// Result of a system call: non-negative value or errno.
+pub type SyscallResult = Result<i64, Errno>;
+
+/// Encode a [`SyscallResult`] in the Linux register convention
+/// (negative errno in `rax`).
+pub fn encode_result(r: SyscallResult) -> i64 {
+    match r {
+        Ok(v) => v,
+        Err(e) => -(e as i32 as i64),
+    }
+}
+
+/// Decode the Linux register convention back into a [`SyscallResult`].
+/// Unknown negative values map to `EINVAL` (they cannot occur internally).
+pub fn decode_result(raw: i64) -> SyscallResult {
+    if raw >= 0 {
+        return Ok(raw);
+    }
+    let e = match -raw {
+        1 => Errno::EPERM,
+        2 => Errno::ENOENT,
+        4 => Errno::EINTR,
+        5 => Errno::EIO,
+        9 => Errno::EBADF,
+        11 => Errno::EAGAIN,
+        12 => Errno::ENOMEM,
+        13 => Errno::EACCES,
+        14 => Errno::EFAULT,
+        16 => Errno::EBUSY,
+        17 => Errno::EEXIST,
+        19 => Errno::ENODEV,
+        22 => Errno::EINVAL,
+        23 => Errno::ENFILE,
+        28 => Errno::ENOSPC,
+        38 => Errno::ENOSYS,
+        75 => Errno::EOVERFLOW,
+        _ => Errno::EINVAL,
+    };
+    Err(e)
+}
+
+/// System call numbers (x86-64 Linux table subset used by the workloads).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u32)]
+#[allow(missing_docs)]
+pub enum Sysno {
+    Read = 0,
+    Write = 1,
+    Open = 2,
+    Close = 3,
+    Stat = 4,
+    Mmap = 9,
+    Mprotect = 10,
+    Munmap = 11,
+    Brk = 12,
+    RtSigaction = 13,
+    RtSigprocmask = 14,
+    Ioctl = 16,
+    SchedYield = 24,
+    Madvise = 28,
+    Nanosleep = 35,
+    Getpid = 39,
+    Clone = 56,
+    Exit = 60,
+    Kill = 62,
+    Uname = 63,
+    Fcntl = 72,
+    Getcwd = 79,
+    Gettimeofday = 96,
+    SchedSetaffinity = 203,
+    SchedGetaffinity = 204,
+    ExitGroup = 231,
+    Openat = 257,
+    PerfEventOpen = 298,
+    GetRandom = 318,
+}
+
+impl Sysno {
+    /// The raw Linux syscall number.
+    pub fn nr(self) -> u32 {
+        self as u32
+    }
+
+    /// Look up a syscall by number.
+    pub fn from_nr(nr: u32) -> Option<Sysno> {
+        use Sysno::*;
+        Some(match nr {
+            0 => Read,
+            1 => Write,
+            2 => Open,
+            3 => Close,
+            4 => Stat,
+            9 => Mmap,
+            10 => Mprotect,
+            11 => Munmap,
+            12 => Brk,
+            13 => RtSigaction,
+            14 => RtSigprocmask,
+            16 => Ioctl,
+            24 => SchedYield,
+            28 => Madvise,
+            35 => Nanosleep,
+            39 => Getpid,
+            56 => Clone,
+            60 => Exit,
+            62 => Kill,
+            63 => Uname,
+            72 => Fcntl,
+            79 => Getcwd,
+            96 => Gettimeofday,
+            203 => SchedSetaffinity,
+            204 => SchedGetaffinity,
+            231 => ExitGroup,
+            257 => Openat,
+            298 => PerfEventOpen,
+            318 => GetRandom,
+            _ => return None,
+        })
+    }
+
+    /// Every syscall this model knows about.
+    pub fn all() -> &'static [Sysno] {
+        use Sysno::*;
+        &[
+            Read,
+            Write,
+            Open,
+            Close,
+            Stat,
+            Mmap,
+            Mprotect,
+            Munmap,
+            Brk,
+            RtSigaction,
+            RtSigprocmask,
+            Ioctl,
+            SchedYield,
+            Madvise,
+            Nanosleep,
+            Getpid,
+            Clone,
+            Exit,
+            Kill,
+            Uname,
+            Fcntl,
+            Getcwd,
+            Gettimeofday,
+            SchedSetaffinity,
+            SchedGetaffinity,
+            ExitGroup,
+            Openat,
+            PerfEventOpen,
+            GetRandom,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nr_round_trips() {
+        for &s in Sysno::all() {
+            assert_eq!(Sysno::from_nr(s.nr()), Some(s));
+        }
+    }
+
+    #[test]
+    fn unknown_nr_is_none() {
+        assert_eq!(Sysno::from_nr(9999), None);
+        assert_eq!(Sysno::from_nr(5), None); // fstat not modeled
+    }
+
+    #[test]
+    fn result_encoding_matches_linux_convention() {
+        assert_eq!(encode_result(Ok(42)), 42);
+        assert_eq!(encode_result(Err(Errno::ENOSYS)), -38);
+        assert_eq!(decode_result(42), Ok(42));
+        assert_eq!(decode_result(-38), Err(Errno::ENOSYS));
+        assert_eq!(decode_result(0), Ok(0));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for e in [
+            Errno::EPERM,
+            Errno::ENOENT,
+            Errno::EBADF,
+            Errno::ENOMEM,
+            Errno::EFAULT,
+            Errno::EINVAL,
+            Errno::ENOSYS,
+        ] {
+            assert_eq!(decode_result(encode_result(Err(e))), Err(e));
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! The IHK system-call delegator — a kernel module loaded into Linux
+//! ("the latest version of IHK is implemented as a collection of kernel
+//! modules without any modifications to the kernel code itself", Sec. II).
+//!
+//! It owns two pieces of state:
+//!
+//! * the pending-request table matching offloaded syscalls to the proxy
+//!   processes that execute them ("the corresponding proxy process ... is
+//!   by default waiting for system call requests through an `ioctl()` call
+//!   into IHK's system call delegator kernel module", Sec. III-A);
+//! * the **tracking objects** created when a device file is mapped
+//!   (Fig. 4, step 3) and consulted on every LWK-side device fault.
+
+use crate::abi::Pid;
+use crate::mck::syscall::{SyscallReply, SyscallRequest};
+use hwmodel::addr::PhysAddr;
+use std::collections::{HashMap, VecDeque};
+
+/// A device-file mapping tracked on the Linux side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrackingObject {
+    /// Id handed back to McKernel.
+    pub id: u64,
+    /// Owning (McKernel) process.
+    pub pid: Pid,
+    /// Device file name.
+    pub dev_name: String,
+    /// Physical base the mapping resolves to (BAR base + file offset).
+    pub phys_base: PhysAddr,
+    /// Mapping length.
+    pub len: u64,
+    /// Virtual address of the proxy-side mapping (never touched by the
+    /// proxy — "the proxy process on Linux will never access its mapping,
+    /// because the proxy process never runs actual application code").
+    pub proxy_va: u64,
+}
+
+impl TrackingObject {
+    /// Resolve a byte offset to a physical address (Fig. 4, step 9).
+    pub fn resolve(&self, offset: u64) -> Option<PhysAddr> {
+        if offset >= self.len {
+            return None;
+        }
+        Some(self.phys_base + offset)
+    }
+}
+
+/// Per-proxy delegation state.
+#[derive(Debug, Default)]
+struct ProxySlot {
+    /// Requests waiting for the proxy to pick up via `ioctl()`.
+    inbox: VecDeque<SyscallRequest>,
+    /// Whether the proxy is parked in the delegator waiting for work.
+    parked: bool,
+}
+
+/// The delegator module state (one per LWK instance).
+#[derive(Debug, Default)]
+pub struct Delegator {
+    proxies: HashMap<Pid, ProxySlot>,
+    /// In-flight requests: seq -> proxy pid.
+    in_flight: HashMap<u64, Pid>,
+    tracking: HashMap<u64, TrackingObject>,
+    next_tracking: u64,
+}
+
+/// What the delegator wants done after accepting a request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DispatchAction {
+    /// The named proxy was parked in `ioctl()` and must be woken.
+    WakeProxy(Pid),
+    /// The proxy is busy executing another call; the request queues.
+    Queued,
+    /// No proxy registered for this pid (protocol error).
+    NoProxy,
+}
+
+impl Delegator {
+    /// Fresh module state.
+    pub fn new() -> Self {
+        Delegator::default()
+    }
+
+    /// Register a proxy process for an application. The proxy immediately
+    /// parks waiting for requests.
+    pub fn register_proxy(&mut self, proxy_pid: Pid) {
+        self.proxies.insert(
+            proxy_pid,
+            ProxySlot {
+                inbox: VecDeque::new(),
+                parked: true,
+            },
+        );
+    }
+
+    /// Remove a proxy (application teardown).
+    pub fn unregister_proxy(&mut self, proxy_pid: Pid) {
+        self.proxies.remove(&proxy_pid);
+        self.in_flight.retain(|_, p| *p != proxy_pid);
+        self.tracking.retain(|_, t| t.pid != proxy_pid);
+    }
+
+    /// IKC interrupt handler: a syscall request arrived from the LWK for
+    /// the application served by `proxy_pid`.
+    pub fn on_syscall_request(&mut self, proxy_pid: Pid, req: SyscallRequest) -> DispatchAction {
+        let Some(slot) = self.proxies.get_mut(&proxy_pid) else {
+            return DispatchAction::NoProxy;
+        };
+        self.in_flight.insert(req.seq, proxy_pid);
+        slot.inbox.push_back(req);
+        if slot.parked {
+            slot.parked = false;
+            DispatchAction::WakeProxy(proxy_pid)
+        } else {
+            DispatchAction::Queued
+        }
+    }
+
+    /// The proxy's `ioctl()` fetch: take the next request, or park.
+    pub fn proxy_fetch(&mut self, proxy_pid: Pid) -> Option<SyscallRequest> {
+        let slot = self.proxies.get_mut(&proxy_pid)?;
+        match slot.inbox.pop_front() {
+            Some(r) => Some(r),
+            None => {
+                slot.parked = true;
+                None
+            }
+        }
+    }
+
+    /// The proxy finished executing a request; build the reply for IKC.
+    /// Returns `None` for an unknown sequence number (double completion).
+    pub fn complete(&mut self, seq: u64, ret: i64) -> Option<SyscallReply> {
+        self.in_flight.remove(&seq)?;
+        Some(SyscallReply { seq, ret })
+    }
+
+    /// Number of requests not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Create a tracking object for a freshly mapped device file
+    /// (Fig. 4, step 3). Returns its id.
+    pub fn create_tracking(
+        &mut self,
+        pid: Pid,
+        dev_name: &str,
+        phys_base: PhysAddr,
+        len: u64,
+        proxy_va: u64,
+    ) -> u64 {
+        self.next_tracking += 1;
+        let id = self.next_tracking;
+        self.tracking.insert(
+            id,
+            TrackingObject {
+                id,
+                pid,
+                dev_name: dev_name.to_string(),
+                phys_base,
+                len,
+                proxy_va,
+            },
+        );
+        id
+    }
+
+    /// Resolve a device fault (Fig. 4, step 9): tracking id + offset to a
+    /// physical address.
+    pub fn resolve_pfn(&mut self, tracking: u64, offset: u64) -> Option<PhysAddr> {
+        self.tracking.get(&tracking)?.resolve(offset)
+    }
+
+    /// Tracking object accessor (tests / teardown).
+    pub fn tracking(&self, id: u64) -> Option<&TrackingObject> {
+        self.tracking.get(&id)
+    }
+
+    /// Drop a tracking object (munmap of the device range).
+    pub fn drop_tracking(&mut self, id: u64) -> bool {
+        self.tracking.remove(&id).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abi::Sysno;
+
+    fn req(seq: u64) -> SyscallRequest {
+        SyscallRequest {
+            seq,
+            pid: 1000,
+            tid: 1000,
+            sysno: Sysno::Write.nr(),
+            args: [0; 6],
+        }
+    }
+
+    #[test]
+    fn parked_proxy_is_woken_once() {
+        let mut d = Delegator::new();
+        let proxy = Pid(500);
+        d.register_proxy(proxy);
+        assert_eq!(
+            d.on_syscall_request(proxy, req(1)),
+            DispatchAction::WakeProxy(proxy)
+        );
+        // Second request while the first is unfetched: proxy already awake.
+        assert_eq!(d.on_syscall_request(proxy, req(2)), DispatchAction::Queued);
+        assert_eq!(d.proxy_fetch(proxy).unwrap().seq, 1);
+        assert_eq!(d.proxy_fetch(proxy).unwrap().seq, 2);
+        // Inbox empty: proxy parks again.
+        assert_eq!(d.proxy_fetch(proxy), None);
+        assert_eq!(
+            d.on_syscall_request(proxy, req(3)),
+            DispatchAction::WakeProxy(proxy)
+        );
+    }
+
+    #[test]
+    fn completion_matches_sequence() {
+        let mut d = Delegator::new();
+        let proxy = Pid(500);
+        d.register_proxy(proxy);
+        d.on_syscall_request(proxy, req(7));
+        assert_eq!(d.in_flight(), 1);
+        let rep = d.complete(7, 512).unwrap();
+        assert_eq!(rep, SyscallReply { seq: 7, ret: 512 });
+        assert_eq!(d.in_flight(), 0);
+        assert_eq!(d.complete(7, 512), None, "double completion rejected");
+    }
+
+    #[test]
+    fn unregistered_proxy_rejected() {
+        let mut d = Delegator::new();
+        assert_eq!(d.on_syscall_request(Pid(1), req(1)), DispatchAction::NoProxy);
+        assert_eq!(d.proxy_fetch(Pid(1)), None);
+    }
+
+    #[test]
+    fn tracking_object_resolution() {
+        let mut d = Delegator::new();
+        let id = d.create_tracking(
+            Pid(1000),
+            "infiniband/uverbs0",
+            PhysAddr(0x10_0000_0000),
+            0x4000,
+            0x7f55_0000_0000,
+        );
+        assert_eq!(
+            d.resolve_pfn(id, 0x2000),
+            Some(PhysAddr(0x10_0000_2000))
+        );
+        assert_eq!(d.resolve_pfn(id, 0x4000), None, "offset past mapping");
+        assert_eq!(d.resolve_pfn(id + 1, 0), None, "unknown tracking id");
+        assert!(d.drop_tracking(id));
+        assert!(!d.drop_tracking(id));
+        assert_eq!(d.resolve_pfn(id, 0), None);
+    }
+
+    #[test]
+    fn unregister_cleans_tracking_and_inflight() {
+        let mut d = Delegator::new();
+        let proxy = Pid(500);
+        d.register_proxy(proxy);
+        d.on_syscall_request(proxy, req(1));
+        d.create_tracking(proxy, "eth0", PhysAddr(0x10_0000_0000), 0x1000, 0);
+        d.unregister_proxy(proxy);
+        assert_eq!(d.in_flight(), 0);
+        assert_eq!(d.complete(1, 0), None);
+    }
+}

@@ -1,0 +1,303 @@
+//! Inter-Kernel Communication: bounded message queues between McKernel and
+//! Linux, with typed payloads for syscall delegation and the device-mapping
+//! protocol (Fig. 4).
+
+use crate::mck::syscall::{SyscallReply, SyscallRequest};
+use bytes::Bytes;
+use std::collections::VecDeque;
+
+/// Message discriminator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MsgKind {
+    /// LWK -> Linux: offloaded syscall.
+    SyscallRequest,
+    /// Linux -> LWK: offload result.
+    SyscallReply,
+    /// LWK -> Linux: resolve a device-mapping page (Fig. 4, step 8).
+    PfnRequest,
+    /// Linux -> LWK: resolved physical address (Fig. 4, step 10).
+    PfnReply,
+    /// Management traffic (boot/shutdown handshakes).
+    Control,
+}
+
+/// One IKC message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IkcMessage {
+    /// Payload discriminator.
+    pub kind: MsgKind,
+    /// Serialized payload.
+    pub payload: Bytes,
+}
+
+impl IkcMessage {
+    /// Wrap a syscall request.
+    pub fn syscall_request(req: &SyscallRequest) -> Self {
+        IkcMessage {
+            kind: MsgKind::SyscallRequest,
+            payload: Bytes::from(req.encode()),
+        }
+    }
+
+    /// Wrap a syscall reply.
+    pub fn syscall_reply(rep: &SyscallReply) -> Self {
+        IkcMessage {
+            kind: MsgKind::SyscallReply,
+            payload: Bytes::from(rep.encode()),
+        }
+    }
+
+    /// Wrap a PFN resolution request.
+    pub fn pfn_request(req: &PfnRequest) -> Self {
+        IkcMessage {
+            kind: MsgKind::PfnRequest,
+            payload: Bytes::from(req.encode()),
+        }
+    }
+
+    /// Wrap a PFN resolution reply.
+    pub fn pfn_reply(rep: &PfnReply) -> Self {
+        IkcMessage {
+            kind: MsgKind::PfnReply,
+            payload: Bytes::from(rep.encode()),
+        }
+    }
+}
+
+/// Device-fault resolution request: "McKernel's page fault handler ...
+/// requests the IHK module on Linux to resolve the physical address based
+/// on the tracking object and the offset in the mapping" (Sec. III-B).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PfnRequest {
+    /// Correlates request and reply.
+    pub seq: u64,
+    /// Tracking-object id.
+    pub tracking: u64,
+    /// Byte offset within the tracked mapping.
+    pub offset: u64,
+}
+
+/// Reply carrying the physical address.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PfnReply {
+    /// Correlates request and reply.
+    pub seq: u64,
+    /// Resolved physical address (0 == failure).
+    pub phys: u64,
+}
+
+impl PfnRequest {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(24);
+        v.extend_from_slice(&self.seq.to_le_bytes());
+        v.extend_from_slice(&self.tracking.to_le_bytes());
+        v.extend_from_slice(&self.offset.to_le_bytes());
+        v
+    }
+
+    /// Deserialize.
+    pub fn decode(b: &[u8]) -> Option<Self> {
+        if b.len() != 24 {
+            return None;
+        }
+        Some(PfnRequest {
+            seq: u64::from_le_bytes(b[0..8].try_into().ok()?),
+            tracking: u64::from_le_bytes(b[8..16].try_into().ok()?),
+            offset: u64::from_le_bytes(b[16..24].try_into().ok()?),
+        })
+    }
+}
+
+impl PfnReply {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(16);
+        v.extend_from_slice(&self.seq.to_le_bytes());
+        v.extend_from_slice(&self.phys.to_le_bytes());
+        v
+    }
+
+    /// Deserialize.
+    pub fn decode(b: &[u8]) -> Option<Self> {
+        if b.len() != 16 {
+            return None;
+        }
+        Some(PfnReply {
+            seq: u64::from_le_bytes(b[0..8].try_into().ok()?),
+            phys: u64::from_le_bytes(b[8..16].try_into().ok()?),
+        })
+    }
+}
+
+/// Send failure: the bounded queue is full (back-pressure; the sender
+/// spins/retries, which the cost model surfaces as delay).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IkcFull;
+
+/// A one-directional bounded FIFO channel.
+#[derive(Debug)]
+pub struct IkcChannel {
+    queue: VecDeque<IkcMessage>,
+    capacity: usize,
+    sent: u64,
+    received: u64,
+    full_events: u64,
+}
+
+impl IkcChannel {
+    /// Channel with the given queue depth.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        IkcChannel {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            sent: 0,
+            received: 0,
+            full_events: 0,
+        }
+    }
+
+    /// Default depth used by the stack (and swept by the A6 ablation).
+    pub fn default_depth() -> usize {
+        64
+    }
+
+    /// Enqueue a message.
+    pub fn send(&mut self, msg: IkcMessage) -> Result<(), IkcFull> {
+        if self.queue.len() >= self.capacity {
+            self.full_events += 1;
+            return Err(IkcFull);
+        }
+        self.queue.push_back(msg);
+        self.sent += 1;
+        Ok(())
+    }
+
+    /// Dequeue the oldest message.
+    pub fn recv(&mut self) -> Option<IkcMessage> {
+        let m = self.queue.pop_front();
+        if m.is_some() {
+            self.received += 1;
+        }
+        m
+    }
+
+    /// Messages waiting.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// (sent, received, times-full) counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.sent, self.received, self.full_events)
+    }
+}
+
+/// The bidirectional channel pair between one LWK and Linux.
+#[derive(Debug)]
+pub struct IkcPair {
+    /// LWK -> Linux direction.
+    pub to_linux: IkcChannel,
+    /// Linux -> LWK direction.
+    pub to_lwk: IkcChannel,
+}
+
+impl IkcPair {
+    /// Pair with symmetric depth.
+    pub fn new(depth: usize) -> Self {
+        IkcPair {
+            to_linux: IkcChannel::new(depth),
+            to_lwk: IkcChannel::new(depth),
+        }
+    }
+}
+
+impl Default for IkcPair {
+    fn default() -> Self {
+        IkcPair::new(IkcChannel::default_depth())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abi::Sysno;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut ch = IkcChannel::new(8);
+        for i in 0..5u64 {
+            ch.send(IkcMessage::pfn_request(&PfnRequest {
+                seq: i,
+                tracking: 1,
+                offset: 0,
+            }))
+            .unwrap();
+        }
+        for i in 0..5u64 {
+            let m = ch.recv().unwrap();
+            assert_eq!(m.kind, MsgKind::PfnRequest);
+            assert_eq!(PfnRequest::decode(&m.payload).unwrap().seq, i);
+        }
+        assert!(ch.recv().is_none());
+    }
+
+    #[test]
+    fn bounded_queue_back_pressures() {
+        let mut ch = IkcChannel::new(2);
+        let msg = IkcMessage {
+            kind: MsgKind::Control,
+            payload: Bytes::new(),
+        };
+        ch.send(msg.clone()).unwrap();
+        ch.send(msg.clone()).unwrap();
+        assert_eq!(ch.send(msg.clone()), Err(IkcFull));
+        assert_eq!(ch.stats(), (2, 0, 1));
+        ch.recv().unwrap();
+        ch.send(msg).unwrap();
+    }
+
+    #[test]
+    fn syscall_round_trip_through_channel() {
+        let mut pair = IkcPair::default();
+        let req = SyscallRequest {
+            seq: 42,
+            pid: 1,
+            tid: 2,
+            sysno: Sysno::Read.nr(),
+            args: [5, 0x1000, 512, 0, 0, 0],
+        };
+        pair.to_linux.send(IkcMessage::syscall_request(&req)).unwrap();
+        let m = pair.to_linux.recv().unwrap();
+        assert_eq!(m.kind, MsgKind::SyscallRequest);
+        let got = SyscallRequest::decode(&m.payload).unwrap();
+        assert_eq!(got, req);
+        let rep = SyscallReply { seq: 42, ret: 512 };
+        pair.to_lwk.send(IkcMessage::syscall_reply(&rep)).unwrap();
+        let m = pair.to_lwk.recv().unwrap();
+        assert_eq!(SyscallReply::decode(&m.payload), Some(rep));
+    }
+
+    #[test]
+    fn pfn_messages_round_trip() {
+        let req = PfnRequest {
+            seq: 9,
+            tracking: 3,
+            offset: 0x2000,
+        };
+        assert_eq!(PfnRequest::decode(&req.encode()), Some(req));
+        let rep = PfnReply {
+            seq: 9,
+            phys: 0x10_0000_2000,
+        };
+        assert_eq!(PfnReply::decode(&rep.encode()), Some(rep));
+        assert_eq!(PfnRequest::decode(&[0; 23]), None);
+        assert_eq!(PfnReply::decode(&[0; 15]), None);
+    }
+}

@@ -1,0 +1,198 @@
+//! LWK lifecycle management: create an OS instance, assign resources,
+//! boot McKernel, shut it down, release resources — all dynamically, with
+//! no host reboot.
+
+use crate::costs::CostModel;
+use crate::ihk::partition::{
+    release_memory, reserve_memory, CpuRegistry, Partition, PartitionError,
+};
+use crate::mck::McKernel;
+use hwmodel::cpu::{CoreId, NumaId};
+use hwmodel::memory::PhysMemory;
+
+/// Lifecycle state of an OS instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OsState {
+    /// Created, resources assigned, not booted.
+    Assigned,
+    /// LWK running.
+    Booted,
+    /// Shut down; resources released.
+    Destroyed,
+}
+
+/// One managed LWK instance.
+#[derive(Debug)]
+pub struct OsInstance {
+    /// Instance number (mirrors `/dev/mcos0`, `/dev/mcos1`, ...).
+    pub index: u32,
+    /// Assigned resources.
+    pub partition: Partition,
+    /// Lifecycle state.
+    pub state: OsState,
+}
+
+/// Per-node IHK manager.
+#[derive(Debug)]
+pub struct IhkManager {
+    cpus: CpuRegistry,
+    instances: Vec<OsInstance>,
+}
+
+impl IhkManager {
+    /// Manager for a node with `total_cores` cores.
+    pub fn new(total_cores: u16) -> Self {
+        IhkManager {
+            cpus: CpuRegistry::new(total_cores),
+            instances: Vec::new(),
+        }
+    }
+
+    /// Cores Linux currently schedules on.
+    pub fn linux_cores(&self) -> Vec<CoreId> {
+        self.cpus.linux_cores()
+    }
+
+    /// Whether a core is reserved away from Linux.
+    pub fn is_reserved(&self, core: CoreId) -> bool {
+        self.cpus.is_reserved(core)
+    }
+
+    /// Reserve cores + memory and create an OS instance.
+    pub fn create_os(
+        &mut self,
+        mem: &mut PhysMemory,
+        cores: &[CoreId],
+        numa: NumaId,
+        mem_bytes: u64,
+    ) -> Result<u32, PartitionError> {
+        self.cpus.reserve(cores)?;
+        let mem_base = match reserve_memory(mem, numa, mem_bytes) {
+            Ok(b) => b,
+            Err(e) => {
+                self.cpus.release(cores).expect("just reserved");
+                return Err(e);
+            }
+        };
+        let index = self.instances.len() as u32;
+        self.instances.push(OsInstance {
+            index,
+            partition: Partition {
+                cores: cores.to_vec(),
+                mem_base,
+                mem_len: mem_bytes.div_ceil(4 << 20) * (4 << 20),
+            },
+            state: OsState::Assigned,
+        });
+        Ok(index)
+    }
+
+    /// Boot McKernel on an assigned instance.
+    pub fn boot(&mut self, index: u32, costs: CostModel) -> Result<McKernel, PartitionError> {
+        let inst = self
+            .instances
+            .get_mut(index as usize)
+            .ok_or(PartitionError::NotReserved)?;
+        assert_eq!(inst.state, OsState::Assigned, "boot from wrong state");
+        inst.state = OsState::Booted;
+        Ok(McKernel::boot(
+            inst.partition.cores.clone(),
+            inst.partition.mem_base,
+            inst.partition.mem_len,
+            costs,
+        ))
+    }
+
+    /// Shut the instance down and return its resources to Linux.
+    pub fn destroy(&mut self, index: u32, mem: &mut PhysMemory) -> Result<(), PartitionError> {
+        let inst = self
+            .instances
+            .get_mut(index as usize)
+            .ok_or(PartitionError::NotReserved)?;
+        assert_ne!(inst.state, OsState::Destroyed, "double destroy");
+        release_memory(mem, inst.partition.mem_base, inst.partition.mem_len)?;
+        self.cpus.release(&inst.partition.cores)?;
+        inst.state = OsState::Destroyed;
+        Ok(())
+    }
+
+    /// Instance accessor.
+    pub fn instance(&self, index: u32) -> Option<&OsInstance> {
+        self.instances.get(index as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lwk_cores() -> Vec<CoreId> {
+        (10..19).map(CoreId).collect()
+    }
+
+    #[test]
+    fn full_lifecycle_without_reboot() {
+        let mut mem = PhysMemory::new(8 << 30, 2);
+        let mut ihk = IhkManager::new(20);
+        // Paper configuration: 9 LWK cores in NUMA 1, core 19 left to the
+        // proxy, memory from NUMA 1.
+        let idx = ihk
+            .create_os(&mut mem, &lwk_cores(), NumaId(1), 2 << 30)
+            .unwrap();
+        assert_eq!(ihk.linux_cores().len(), 11);
+        let k = ihk.boot(idx, CostModel::default()).unwrap();
+        assert_eq!(k.cores().len(), 9);
+        assert_eq!(k.alloc.len_bytes(), 2 << 30);
+        // Dynamic release: resources come back with no reboot.
+        ihk.destroy(idx, &mut mem).unwrap();
+        assert_eq!(ihk.linux_cores().len(), 20);
+        // And can be re-reserved immediately (the reinit-between-runs policy).
+        let idx2 = ihk
+            .create_os(&mut mem, &lwk_cores(), NumaId(1), 2 << 30)
+            .unwrap();
+        assert_ne!(idx, idx2);
+    }
+
+    #[test]
+    fn failed_memory_reservation_rolls_back_cpus() {
+        let mut mem = PhysMemory::new(2 << 30, 2); // only 1 GiB per domain
+        let mut ihk = IhkManager::new(20);
+        let err = ihk
+            .create_os(&mut mem, &lwk_cores(), NumaId(1), 4 << 30)
+            .unwrap_err();
+        assert!(matches!(err, PartitionError::MemUnavailable { .. }));
+        assert_eq!(ihk.linux_cores().len(), 20, "CPU reservation rolled back");
+    }
+
+    #[test]
+    fn conflicting_core_sets_rejected() {
+        let mut mem = PhysMemory::new(8 << 30, 2);
+        let mut ihk = IhkManager::new(20);
+        ihk.create_os(&mut mem, &lwk_cores(), NumaId(1), 1 << 30)
+            .unwrap();
+        let err = ihk
+            .create_os(&mut mem, &[CoreId(18), CoreId(19)], NumaId(0), 1 << 30)
+            .unwrap_err();
+        assert_eq!(err, PartitionError::CpuUnavailable(CoreId(18)));
+    }
+
+    #[test]
+    fn two_instances_coexist() {
+        let mut mem = PhysMemory::new(8 << 30, 2);
+        let mut ihk = IhkManager::new(20);
+        let a = ihk
+            .create_os(&mut mem, &[CoreId(10), CoreId(11)], NumaId(1), 1 << 30)
+            .unwrap();
+        let b = ihk
+            .create_os(&mut mem, &[CoreId(12), CoreId(13)], NumaId(1), 1 << 30)
+            .unwrap();
+        let ka = ihk.boot(a, CostModel::default()).unwrap();
+        let kb = ihk.boot(b, CostModel::default()).unwrap();
+        // Disjoint physical ranges.
+        assert!(
+            ka.alloc.base().raw() + ka.alloc.len_bytes() <= kb.alloc.base().raw()
+                || kb.alloc.base().raw() + kb.alloc.len_bytes() <= ka.alloc.base().raw()
+        );
+        assert_eq!(ihk.linux_cores().len(), 16);
+    }
+}

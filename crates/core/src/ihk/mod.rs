@@ -1,0 +1,14 @@
+//! Interface for Heterogeneous Kernels.
+//!
+//! "IHK is a general framework that provides capabilities for partitioning
+//! resources in a many-core environment (e.g., CPU cores and physical
+//! memory) and it enables management of lightweight kernels... IHK can
+//! allocate and release host resources dynamically and no reboot of the
+//! host machine is required when altering configuration... Besides resource
+//! and LWK management, IHK also provides an Inter-Kernel Communication
+//! (IKC) layer, upon which system call delegation is implemented" (Sec. II).
+
+pub mod delegator;
+pub mod ikc;
+pub mod manager;
+pub mod partition;

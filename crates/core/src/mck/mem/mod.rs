@@ -1,0 +1,438 @@
+//! McKernel memory management: buddy allocator, page tables, VMAs, and the
+//! demand-paging fault path that ties them together.
+
+pub mod pagetable;
+pub mod phys;
+pub mod vm;
+
+use crate::abi::Errno;
+use crate::costs::CostModel;
+use hwmodel::addr::{PhysAddr, VirtAddr, PAGE_SIZE, PAGE_SIZE_2M};
+use pagetable::{PageSize, PageTable, PteFlags};
+use phys::{AllocError, BuddyAllocator, ORDER_2M};
+use simcore::Cycles;
+use vm::{VmSpace, Vma, VmaKind};
+
+/// One process's address space: VMA tree + hardware page table.
+#[derive(Debug)]
+pub struct AddressSpace {
+    /// VMA tree and layout policy.
+    pub vm: VmSpace,
+    /// Four-level page table.
+    pub pt: PageTable,
+}
+
+impl AddressSpace {
+    /// New space. `on_mckernel` enables the proxy-exclusion hole.
+    pub fn new(on_mckernel: bool) -> Self {
+        AddressSpace {
+            vm: VmSpace::new(on_mckernel),
+            pt: PageTable::new(),
+        }
+    }
+}
+
+/// Outcome of a page fault on the LWK.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Anonymous page mapped locally.
+    Mapped {
+        /// Base physical address of the installed leaf.
+        phys: PhysAddr,
+        /// Leaf size installed.
+        size: PageSize,
+        /// Fault service cost.
+        cost: Cycles,
+    },
+    /// The fault hit a device mapping: resolution requires the Fig. 4
+    /// steps 8-10 (IKC round trip to the Linux-side tracking object).
+    /// The caller drives that flow and finishes with
+    /// [`complete_device_fault`].
+    NeedsDeviceResolve {
+        /// Device name of the VMA.
+        dev_name: String,
+        /// Offset into the device file at the faulting page.
+        file_off: u64,
+        /// Tracking-object id.
+        tracking: u64,
+        /// Page-aligned faulting address.
+        page_va: VirtAddr,
+    },
+    /// No VMA covers the address.
+    SegFault,
+}
+
+/// Service an LWK page fault at `va`.
+///
+/// Anonymous memory is backed from the buddy allocator; when the VMA allows
+/// it, a full 2 MiB naturally aligned window is installed at once (the
+/// McKernel policy that produces its TLB advantage). Falls back to 4 KiB
+/// when the window doesn't fit or physical memory is too fragmented.
+pub fn handle_fault(
+    aspace: &mut AddressSpace,
+    alloc: &mut BuddyAllocator,
+    costs: &CostModel,
+    va: VirtAddr,
+) -> FaultOutcome {
+    // Already mapped (racing fault): treat as spurious, cheap refill.
+    if aspace.pt.translate(va).is_some() {
+        return FaultOutcome::Mapped {
+            phys: aspace.pt.translate(va).expect("just checked").phys.page_align_down(),
+            size: aspace.pt.translate(va).expect("just checked").size,
+            cost: costs.lwk_syscall, // TLB refill-ish, nominal
+        };
+    }
+    let Some(vma) = aspace.vm.vma_at(va) else {
+        return FaultOutcome::SegFault;
+    };
+    let writable = vma.writable;
+    match &vma.kind {
+        VmaKind::Device {
+            dev_name,
+            file_off,
+            tracking,
+        } => {
+            let page_va = va.page_align_down();
+            FaultOutcome::NeedsDeviceResolve {
+                dev_name: dev_name.clone(),
+                file_off: file_off + (page_va - vma.start),
+                tracking: *tracking,
+                page_va,
+            }
+        }
+        VmaKind::Anon { large_ok } => {
+            let large_ok = *large_ok;
+            let (vstart, vend) = (vma.start.raw(), vma.end.raw());
+            let flags = if writable {
+                PteFlags::rw()
+            } else {
+                PteFlags::ro()
+            };
+            // Try a 2 MiB leaf when policy and geometry allow.
+            if large_ok {
+                let win = va.raw() / PAGE_SIZE_2M * PAGE_SIZE_2M;
+                if win >= vstart && win + PAGE_SIZE_2M <= vend {
+                    if let Ok(pa) = alloc.alloc(ORDER_2M) {
+                        aspace
+                            .pt
+                            .map_2m(VirtAddr(win), pa, flags)
+                            .expect("fault path checked translate above");
+                        return FaultOutcome::Mapped {
+                            phys: pa,
+                            size: PageSize::Size2m,
+                            cost: costs.lwk_page_fault + costs.page_touch * 4,
+                        };
+                    }
+                }
+            }
+            match alloc.alloc(0) {
+                Ok(pa) => {
+                    let page = va.page_align_down();
+                    aspace
+                        .pt
+                        .map_4k(page, pa, flags)
+                        .expect("fault path checked translate above");
+                    FaultOutcome::Mapped {
+                        phys: pa,
+                        size: PageSize::Size4k,
+                        cost: costs.lwk_page_fault + costs.page_touch,
+                    }
+                }
+                Err(AllocError::OutOfMemory) => FaultOutcome::SegFault,
+                Err(e) => unreachable!("alloc(0) cannot fail with {e:?}"),
+            }
+        }
+        VmaKind::Heap | VmaKind::Stack => {
+            let flags = if writable {
+                PteFlags::rw()
+            } else {
+                PteFlags::ro()
+            };
+            match alloc.alloc(0) {
+                Ok(pa) => {
+                    let page = va.page_align_down();
+                    aspace.pt.map_4k(page, pa, flags).expect("unmapped page");
+                    FaultOutcome::Mapped {
+                        phys: pa,
+                        size: PageSize::Size4k,
+                        cost: costs.lwk_page_fault + costs.page_touch,
+                    }
+                }
+                Err(_) => FaultOutcome::SegFault,
+            }
+        }
+    }
+}
+
+/// Finish a device fault after Linux resolved the physical address
+/// (Fig. 4, step 11: "fill in the missing page table entry").
+pub fn complete_device_fault(
+    aspace: &mut AddressSpace,
+    page_va: VirtAddr,
+    phys: PhysAddr,
+) -> Result<(), Errno> {
+    aspace
+        .pt
+        .map_4k(page_va, phys.page_align_down(), PteFlags::device())
+        .map_err(|_| Errno::EEXIST)
+}
+
+/// Result of an address-space range teardown.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct UnmapStats {
+    /// 4 KiB leaves removed.
+    pub pages_4k: u64,
+    /// 2 MiB leaves removed.
+    pub pages_2m: u64,
+    /// Buddy blocks returned.
+    pub blocks_freed: u64,
+    /// Total teardown cost (PTE removal + TLB shootdowns + frees).
+    pub cost: Cycles,
+    /// The removed VMA fragments (the proxy pseudo-mapping must be
+    /// invalidated over exactly these ranges).
+    pub removed: Vec<Vma>,
+}
+
+/// `munmap` semantics: drop VMAs over `[start, start+len)`, tear down any
+/// installed leaves, return anonymous frames to the buddy allocator.
+///
+/// A 2 MiB leaf partially covered by the range is removed in full (VMA
+/// geometry guarantees leaves never span VMA boundaries, so this only
+/// happens for sub-VMA unmaps; documented simplification).
+pub fn unmap_range(
+    aspace: &mut AddressSpace,
+    alloc: &mut BuddyAllocator,
+    costs: &CostModel,
+    start: VirtAddr,
+    len: u64,
+) -> Result<UnmapStats, Errno> {
+    let removed = aspace.vm.munmap(start, len)?;
+    let mut stats = UnmapStats::default();
+    for vma in &removed {
+        let mut va = vma.start;
+        while va < vma.end {
+            match aspace.pt.unmap(va) {
+                Some((pa, PageSize::Size4k)) => {
+                    stats.pages_4k += 1;
+                    stats.cost += costs.tlb_shootdown_page;
+                    if !matches!(vma.kind, VmaKind::Device { .. }) {
+                        alloc.free(pa).expect("frame came from this allocator");
+                        stats.blocks_freed += 1;
+                    }
+                    va = va + PAGE_SIZE;
+                }
+                Some((pa, PageSize::Size2m)) => {
+                    stats.pages_2m += 1;
+                    stats.cost += costs.tlb_shootdown_page;
+                    if !matches!(vma.kind, VmaKind::Device { .. }) {
+                        alloc.free(pa).expect("frame came from this allocator");
+                        stats.blocks_freed += 1;
+                    }
+                    // Skip to the end of the 2M window we just removed.
+                    let win_end = (va.raw() / PAGE_SIZE_2M + 1) * PAGE_SIZE_2M;
+                    va = VirtAddr(win_end);
+                }
+                None => va = va + PAGE_SIZE,
+            }
+        }
+    }
+    stats.removed = removed;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (AddressSpace, BuddyAllocator, CostModel) {
+        (
+            AddressSpace::new(true),
+            BuddyAllocator::new(PhysAddr(64 << 20), 32 << 20),
+            CostModel::default(),
+        )
+    }
+
+    #[test]
+    fn anon_fault_small_vma_gets_4k() {
+        let (mut a, mut alloc, costs) = setup();
+        let va = a
+            .vm
+            .mmap(0x3000, VmaKind::Anon { large_ok: true }, true, None)
+            .unwrap();
+        match handle_fault(&mut a, &mut alloc, &costs, va + 0x1234) {
+            FaultOutcome::Mapped { size, .. } => assert_eq!(size, PageSize::Size4k),
+            o => panic!("{o:?}"),
+        }
+        let t = a.pt.translate(va + 0x1234).unwrap();
+        assert!(t.flags.write);
+    }
+
+    #[test]
+    fn anon_fault_large_vma_gets_2m_on_mckernel_policy() {
+        let (mut a, mut alloc, costs) = setup();
+        let va = a
+            .vm
+            .mmap(8 << 20, VmaKind::Anon { large_ok: true }, true, None)
+            .unwrap();
+        match handle_fault(&mut a, &mut alloc, &costs, va + 0x100) {
+            FaultOutcome::Mapped { size, phys, .. } => {
+                assert_eq!(size, PageSize::Size2m);
+                assert!(phys.is_2m_aligned());
+            }
+            o => panic!("{o:?}"),
+        }
+        // Whole 2M window now translates.
+        assert!(a.pt.translate(va + PAGE_SIZE_2M - 1).is_some());
+    }
+
+    #[test]
+    fn anon_fault_linux_policy_stays_4k() {
+        let (_, mut alloc, costs) = setup();
+        let mut a = AddressSpace::new(false);
+        let va = a
+            .vm
+            .mmap(8 << 20, VmaKind::Anon { large_ok: false }, true, None)
+            .unwrap();
+        match handle_fault(&mut a, &mut alloc, &costs, va) {
+            FaultOutcome::Mapped { size, .. } => assert_eq!(size, PageSize::Size4k),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_outside_any_vma_segfaults() {
+        let (mut a, mut alloc, costs) = setup();
+        assert_eq!(
+            handle_fault(&mut a, &mut alloc, &costs, VirtAddr(0x4141_0000)),
+            FaultOutcome::SegFault
+        );
+    }
+
+    #[test]
+    fn device_fault_requests_resolution_then_completes() {
+        let (mut a, mut alloc, costs) = setup();
+        let va = a
+            .vm
+            .mmap(
+                0x4000,
+                VmaKind::Device {
+                    dev_name: "infiniband/uverbs0".into(),
+                    file_off: 0x10000,
+                    tracking: 42,
+                },
+                true,
+                None,
+            )
+            .unwrap();
+        let fault_va = va + 0x2345;
+        match handle_fault(&mut a, &mut alloc, &costs, fault_va) {
+            FaultOutcome::NeedsDeviceResolve {
+                dev_name,
+                file_off,
+                tracking,
+                page_va,
+            } => {
+                assert_eq!(dev_name, "infiniband/uverbs0");
+                assert_eq!(file_off, 0x10000 + 0x2000);
+                assert_eq!(tracking, 42);
+                assert_eq!(page_va, va + 0x2000);
+                complete_device_fault(&mut a, page_va, PhysAddr(0x10_0000_4000)).unwrap();
+            }
+            o => panic!("{o:?}"),
+        }
+        let t = a.pt.translate(fault_va).unwrap();
+        assert!(t.flags.device);
+        assert_eq!(t.phys, PhysAddr(0x10_0000_4345).page_align_down() + 0x345);
+    }
+
+    #[test]
+    fn fragmentation_falls_back_to_4k() {
+        let (mut a, mut alloc, costs) = setup();
+        // Fragment physical memory: keep odd order-0 allocations so no 2M
+        // block remains.
+        let mut held = Vec::new();
+        while let Ok(p) = alloc.alloc(ORDER_2M) {
+            held.push(p);
+        }
+        // Release one 2M block, then split it with a 4K allocation so
+        // max contiguity is below 2M.
+        let p = held.pop().unwrap();
+        alloc.free(p).unwrap();
+        let _pin = alloc.alloc(0).unwrap();
+        let va = a
+            .vm
+            .mmap(4 << 20, VmaKind::Anon { large_ok: true }, true, None)
+            .unwrap();
+        match handle_fault(&mut a, &mut alloc, &costs, va) {
+            FaultOutcome::Mapped { size, .. } => assert_eq!(size, PageSize::Size4k),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn unmap_returns_frames_and_reports_ranges() {
+        let (mut a, mut alloc, costs) = setup();
+        let free0 = alloc.free_bytes();
+        let va = a
+            .vm
+            .mmap(4 << 20, VmaKind::Anon { large_ok: true }, true, None)
+            .unwrap();
+        // Touch both 2M windows.
+        handle_fault(&mut a, &mut alloc, &costs, va);
+        handle_fault(&mut a, &mut alloc, &costs, va + PAGE_SIZE_2M);
+        assert_eq!(a.pt.leaf_counts(), (0, 2));
+        let stats = unmap_range(&mut a, &mut alloc, &costs, va, 4 << 20).unwrap();
+        assert_eq!(stats.pages_2m, 2);
+        assert_eq!(stats.blocks_freed, 2);
+        assert_eq!(stats.removed.len(), 1);
+        assert_eq!(alloc.free_bytes(), free0);
+        assert!(a.pt.is_empty());
+        assert_eq!(a.vm.count(), 0);
+    }
+
+    #[test]
+    fn unmap_skips_device_frames() {
+        let (mut a, mut alloc, costs) = setup();
+        let free0 = alloc.free_bytes();
+        let va = a
+            .vm
+            .mmap(
+                0x2000,
+                VmaKind::Device {
+                    dev_name: "eth0".into(),
+                    file_off: 0,
+                    tracking: 1,
+                },
+                true,
+                None,
+            )
+            .unwrap();
+        complete_device_fault(&mut a, va, PhysAddr(0x10_0000_0000)).unwrap();
+        let stats = unmap_range(&mut a, &mut alloc, &costs, va, 0x2000).unwrap();
+        assert_eq!(stats.pages_4k, 1);
+        assert_eq!(stats.blocks_freed, 0, "BAR pages are not buddy frames");
+        assert_eq!(alloc.free_bytes(), free0);
+    }
+
+    #[test]
+    fn spurious_refault_is_cheap_noop() {
+        let (mut a, mut alloc, costs) = setup();
+        let va = a
+            .vm
+            .mmap(0x1000, VmaKind::Anon { large_ok: false }, true, None)
+            .unwrap();
+        let first = handle_fault(&mut a, &mut alloc, &costs, va);
+        let again = handle_fault(&mut a, &mut alloc, &costs, va);
+        match (first, again) {
+            (
+                FaultOutcome::Mapped { phys: p1, cost: c1, .. },
+                FaultOutcome::Mapped { phys: p2, cost: c2, .. },
+            ) => {
+                assert_eq!(p1, p2, "no second frame allocated");
+                assert!(c2 < c1);
+            }
+            o => panic!("{o:?}"),
+        }
+        assert_eq!(alloc.allocation_count(), 1);
+    }
+}

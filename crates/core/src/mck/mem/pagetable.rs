@@ -1,0 +1,365 @@
+//! Four-level page table (x86-64 style) with 4 KiB and 2 MiB leaves.
+//!
+//! This is the authoritative virtual-to-physical mapping for a McKernel
+//! process. The proxy process's pseudo-mapping fault handler "consults the
+//! page tables corresponding to the application on the LWK and maps it to
+//! the exact same physical page" (Sec. III-A) — i.e., it calls
+//! [`PageTable::translate`] on this structure.
+
+use hwmodel::addr::{PhysAddr, VirtAddr, PAGE_SIZE, PAGE_SIZE_2M};
+use std::collections::HashMap;
+
+/// Leaf mapping size.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PageSize {
+    /// 4 KiB leaf at level 1.
+    Size4k,
+    /// 2 MiB leaf at level 2.
+    Size2m,
+}
+
+impl PageSize {
+    /// Bytes covered by one leaf.
+    pub fn bytes(self) -> u64 {
+        match self {
+            PageSize::Size4k => PAGE_SIZE,
+            PageSize::Size2m => PAGE_SIZE_2M,
+        }
+    }
+}
+
+/// PTE permission/attribute flags.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PteFlags {
+    /// Writable.
+    pub write: bool,
+    /// User-accessible (always true for the mappings we model).
+    pub user: bool,
+    /// Device memory (uncached; device-file mappings).
+    pub device: bool,
+}
+
+impl PteFlags {
+    /// Read/write anonymous user memory.
+    pub fn rw() -> Self {
+        PteFlags {
+            write: true,
+            user: true,
+            device: false,
+        }
+    }
+
+    /// Read-only user memory.
+    pub fn ro() -> Self {
+        PteFlags {
+            write: false,
+            user: true,
+            device: false,
+        }
+    }
+
+    /// Device (MMIO) mapping.
+    pub fn device() -> Self {
+        PteFlags {
+            write: true,
+            user: true,
+            device: true,
+        }
+    }
+}
+
+/// A successful translation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Translation {
+    /// Physical address corresponding to the queried virtual address
+    /// (leaf base + offset).
+    pub phys: PhysAddr,
+    /// Leaf size.
+    pub size: PageSize,
+    /// Leaf flags.
+    pub flags: PteFlags,
+}
+
+/// Mapping errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MapError {
+    /// Address not aligned for the requested page size.
+    Misaligned,
+    /// A mapping already exists somewhere in the target range.
+    AlreadyMapped(VirtAddr),
+    /// A 2 MiB leaf would overlap existing 4 KiB leaves (or vice versa).
+    Overlap,
+}
+
+#[derive(Debug)]
+enum Entry {
+    Table(Box<Level>),
+    Leaf2m { phys: PhysAddr, flags: PteFlags },
+    Leaf4k { phys: PhysAddr, flags: PteFlags },
+}
+
+#[derive(Debug, Default)]
+struct Level {
+    entries: HashMap<u16, Entry>,
+}
+
+/// Index of `va` at page-table level `lvl` (3 = root/PML4 ... 0 = PT).
+#[inline]
+fn index(va: u64, lvl: u8) -> u16 {
+    ((va >> (12 + 9 * lvl as u64)) & 0x1ff) as u16
+}
+
+/// Four-level page table.
+#[derive(Debug, Default)]
+pub struct PageTable {
+    root: Level,
+    leaves_4k: u64,
+    leaves_2m: u64,
+}
+
+impl PageTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        PageTable::default()
+    }
+
+    /// Map a 4 KiB page.
+    pub fn map_4k(&mut self, va: VirtAddr, pa: PhysAddr, flags: PteFlags) -> Result<(), MapError> {
+        if !va.is_page_aligned() || !pa.is_page_aligned() {
+            return Err(MapError::Misaligned);
+        }
+        let mut lvl_ref = &mut self.root;
+        for lvl in (1..=3u8).rev() {
+            let idx = index(va.raw(), lvl);
+            let entry = lvl_ref
+                .entries
+                .entry(idx)
+                .or_insert_with(|| Entry::Table(Box::default()));
+            match entry {
+                Entry::Table(next) => lvl_ref = next,
+                Entry::Leaf2m { .. } | Entry::Leaf4k { .. } => return Err(MapError::Overlap),
+            }
+        }
+        let idx = index(va.raw(), 0);
+        if lvl_ref.entries.contains_key(&idx) {
+            return Err(MapError::AlreadyMapped(va));
+        }
+        lvl_ref.entries.insert(idx, Entry::Leaf4k { phys: pa, flags });
+        self.leaves_4k += 1;
+        Ok(())
+    }
+
+    /// Map a 2 MiB page (leaf at level 1).
+    pub fn map_2m(&mut self, va: VirtAddr, pa: PhysAddr, flags: PteFlags) -> Result<(), MapError> {
+        if va.raw() % PAGE_SIZE_2M != 0 || pa.raw() % PAGE_SIZE_2M != 0 {
+            return Err(MapError::Misaligned);
+        }
+        let mut lvl_ref = &mut self.root;
+        for lvl in (2..=3u8).rev() {
+            let idx = index(va.raw(), lvl);
+            let entry = lvl_ref
+                .entries
+                .entry(idx)
+                .or_insert_with(|| Entry::Table(Box::default()));
+            match entry {
+                Entry::Table(next) => lvl_ref = next,
+                _ => return Err(MapError::Overlap),
+            }
+        }
+        let idx = index(va.raw(), 1);
+        match lvl_ref.entries.get(&idx) {
+            None => {
+                lvl_ref.entries.insert(idx, Entry::Leaf2m { phys: pa, flags });
+                self.leaves_2m += 1;
+                Ok(())
+            }
+            Some(Entry::Table(_)) => Err(MapError::Overlap),
+            Some(_) => Err(MapError::AlreadyMapped(va)),
+        }
+    }
+
+    /// Translate a virtual address.
+    pub fn translate(&self, va: VirtAddr) -> Option<Translation> {
+        let mut lvl_ref = &self.root;
+        for lvl in (1..=3u8).rev() {
+            let idx = index(va.raw(), lvl);
+            match lvl_ref.entries.get(&idx)? {
+                Entry::Table(next) => lvl_ref = next,
+                Entry::Leaf2m { phys, flags } if lvl == 1 => {
+                    let off = va.raw() & (PAGE_SIZE_2M - 1);
+                    return Some(Translation {
+                        phys: *phys + off,
+                        size: PageSize::Size2m,
+                        flags: *flags,
+                    });
+                }
+                _ => return None,
+            }
+        }
+        let idx = index(va.raw(), 0);
+        match lvl_ref.entries.get(&idx)? {
+            Entry::Leaf4k { phys, flags } => Some(Translation {
+                phys: *phys + va.page_offset(),
+                size: PageSize::Size4k,
+                flags: *flags,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Unmap the leaf containing `va`. Returns the leaf's base physical
+    /// address and size, or `None` if nothing was mapped. Empty intermediate
+    /// tables are pruned so table growth stays bounded.
+    pub fn unmap(&mut self, va: VirtAddr) -> Option<(PhysAddr, PageSize)> {
+        let result = Self::unmap_rec(&mut self.root, va.raw(), 3)?;
+        match result.1 {
+            PageSize::Size4k => self.leaves_4k -= 1,
+            PageSize::Size2m => self.leaves_2m -= 1,
+        }
+        Some(result)
+    }
+
+    fn unmap_rec(level: &mut Level, va: u64, lvl: u8) -> Option<(PhysAddr, PageSize)> {
+        let idx = index(va, lvl);
+        let entry = level.entries.get_mut(&idx)?;
+        match entry {
+            Entry::Leaf4k { phys, .. } => {
+                let pa = *phys;
+                level.entries.remove(&idx);
+                Some((pa, PageSize::Size4k))
+            }
+            Entry::Leaf2m { phys, .. } if lvl == 1 => {
+                let pa = *phys;
+                level.entries.remove(&idx);
+                Some((pa, PageSize::Size2m))
+            }
+            Entry::Leaf2m { .. } => None,
+            Entry::Table(next) => {
+                let r = Self::unmap_rec(next, va, lvl - 1)?;
+                if next.entries.is_empty() {
+                    level.entries.remove(&idx);
+                }
+                Some(r)
+            }
+        }
+    }
+
+    /// Count of (4 KiB, 2 MiB) leaves — the "TLB reach" diagnostic the
+    /// interference model keys off.
+    pub fn leaf_counts(&self) -> (u64, u64) {
+        (self.leaves_4k, self.leaves_2m)
+    }
+
+    /// True if no leaves are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.leaves_4k == 0 && self.leaves_2m == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_translate_4k() {
+        let mut pt = PageTable::new();
+        pt.map_4k(VirtAddr(0x4000), PhysAddr(0x10_0000), PteFlags::rw())
+            .unwrap();
+        let t = pt.translate(VirtAddr(0x4123)).unwrap();
+        assert_eq!(t.phys, PhysAddr(0x10_0123));
+        assert_eq!(t.size, PageSize::Size4k);
+        assert!(t.flags.write);
+        assert!(pt.translate(VirtAddr(0x5000)).is_none());
+    }
+
+    #[test]
+    fn map_translate_2m() {
+        let mut pt = PageTable::new();
+        pt.map_2m(VirtAddr(0x4000_0000), PhysAddr(0x800000), PteFlags::rw())
+            .unwrap();
+        let t = pt.translate(VirtAddr(0x4000_0000 + 0x12345)).unwrap();
+        assert_eq!(t.phys, PhysAddr(0x800000 + 0x12345));
+        assert_eq!(t.size, PageSize::Size2m);
+        assert_eq!(pt.leaf_counts(), (0, 1));
+    }
+
+    #[test]
+    fn misaligned_rejected() {
+        let mut pt = PageTable::new();
+        assert_eq!(
+            pt.map_4k(VirtAddr(0x123), PhysAddr(0x1000), PteFlags::rw()),
+            Err(MapError::Misaligned)
+        );
+        assert_eq!(
+            pt.map_2m(VirtAddr(0x1000), PhysAddr(0x200000), PteFlags::rw()),
+            Err(MapError::Misaligned)
+        );
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let mut pt = PageTable::new();
+        pt.map_4k(VirtAddr(0x1000), PhysAddr(0x1000), PteFlags::rw())
+            .unwrap();
+        assert_eq!(
+            pt.map_4k(VirtAddr(0x1000), PhysAddr(0x2000), PteFlags::rw()),
+            Err(MapError::AlreadyMapped(VirtAddr(0x1000)))
+        );
+    }
+
+    #[test]
+    fn mixed_granularity_overlap_rejected() {
+        let mut pt = PageTable::new();
+        pt.map_4k(VirtAddr(0x20_0000), PhysAddr(0x1000), PteFlags::rw())
+            .unwrap();
+        // 2M leaf over the same region must be refused: a page table
+        // already hangs at that level-1 slot.
+        assert_eq!(
+            pt.map_2m(VirtAddr(0x20_0000), PhysAddr(0x200000), PteFlags::rw()),
+            Err(MapError::Overlap)
+        );
+        // And the converse: 4K inside an existing 2M leaf.
+        pt.map_2m(VirtAddr(0x40_0000), PhysAddr(0x400000), PteFlags::rw())
+            .unwrap();
+        assert_eq!(
+            pt.map_4k(VirtAddr(0x40_1000), PhysAddr(0x3000), PteFlags::rw()),
+            Err(MapError::Overlap)
+        );
+    }
+
+    #[test]
+    fn unmap_returns_leaf_and_prunes() {
+        let mut pt = PageTable::new();
+        pt.map_4k(VirtAddr(0x7000), PhysAddr(0x9000), PteFlags::ro())
+            .unwrap();
+        assert_eq!(
+            pt.unmap(VirtAddr(0x7abc)),
+            Some((PhysAddr(0x9000), PageSize::Size4k))
+        );
+        assert!(pt.translate(VirtAddr(0x7000)).is_none());
+        assert!(pt.is_empty());
+        assert_eq!(pt.unmap(VirtAddr(0x7000)), None);
+    }
+
+    #[test]
+    fn distant_addresses_do_not_collide() {
+        let mut pt = PageTable::new();
+        // Same low 9-bit indices at some levels, different higher ones.
+        let a = VirtAddr(0x0000_1000);
+        let b = VirtAddr(0x7f00_0000_1000);
+        pt.map_4k(a, PhysAddr(0xa000), PteFlags::rw()).unwrap();
+        pt.map_4k(b, PhysAddr(0xb000), PteFlags::rw()).unwrap();
+        assert_eq!(pt.translate(a).unwrap().phys, PhysAddr(0xa000));
+        assert_eq!(pt.translate(b).unwrap().phys, PhysAddr(0xb000));
+        pt.unmap(a);
+        assert!(pt.translate(b).is_some());
+    }
+
+    #[test]
+    fn device_flag_survives() {
+        let mut pt = PageTable::new();
+        pt.map_4k(VirtAddr(0x1000), PhysAddr(0x10_0000_0000), PteFlags::device())
+            .unwrap();
+        assert!(pt.translate(VirtAddr(0x1000)).unwrap().flags.device);
+    }
+}

@@ -1,0 +1,304 @@
+//! Physical page-frame allocator for the LWK partition.
+//!
+//! A binary buddy allocator over the physically contiguous memory range
+//! IHK reserved for McKernel. Two properties matter for the paper:
+//!
+//! * **Contiguity**: the buddy structure hands out naturally aligned,
+//!   physically contiguous blocks, letting anonymous mappings be backed by
+//!   2 MiB extents — the mechanism behind McKernel's TLB/LLC advantage
+//!   ("contiguous physical memory behind anonymous mappings", Sec. IV-B3).
+//! * **Determinism**: free lists are ordered sets, so allocation is
+//!   lowest-address-first and replays identically across runs.
+
+use hwmodel::addr::{PhysAddr, PAGE_SHIFT, PAGE_SIZE};
+use std::collections::{BTreeSet, HashMap};
+
+/// Maximum buddy order: 2^10 pages = 4 MiB blocks.
+pub const MAX_ORDER: u8 = 10;
+
+/// Order of a 2 MiB block.
+pub const ORDER_2M: u8 = 9;
+
+/// Errors from the allocator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AllocError {
+    /// No free block of the requested (or any higher) order.
+    OutOfMemory,
+    /// `free` of an address that is not an allocated block start.
+    BadFree(PhysAddr),
+}
+
+/// Binary buddy allocator.
+#[derive(Debug)]
+pub struct BuddyAllocator {
+    base: PhysAddr,
+    len: u64,
+    /// Free block start offsets (in pages from base), per order.
+    free: Vec<BTreeSet<u64>>,
+    /// Allocated block start page-offset -> order.
+    allocated: HashMap<u64, u8>,
+    free_pages: u64,
+}
+
+impl BuddyAllocator {
+    /// Manage `[base, base+len)`. Both must be 4 MiB aligned so every
+    /// maximal block is naturally aligned.
+    pub fn new(base: PhysAddr, len: u64) -> Self {
+        let block = PAGE_SIZE << MAX_ORDER;
+        assert!(len > 0 && len % block == 0, "length must be 4MiB aligned");
+        assert_eq!(base.raw() % block, 0, "base must be 4MiB aligned");
+        let mut free: Vec<BTreeSet<u64>> = (0..=MAX_ORDER).map(|_| BTreeSet::new()).collect();
+        let pages = len >> PAGE_SHIFT;
+        let top = &mut free[MAX_ORDER as usize];
+        let step = 1u64 << MAX_ORDER;
+        for off in (0..pages).step_by(step as usize) {
+            top.insert(off);
+        }
+        BuddyAllocator {
+            base,
+            len,
+            free,
+            allocated: HashMap::new(),
+            free_pages: pages,
+        }
+    }
+
+    /// Managed range start.
+    pub fn base(&self) -> PhysAddr {
+        self.base
+    }
+
+    /// Managed range length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Free bytes remaining.
+    pub fn free_bytes(&self) -> u64 {
+        self.free_pages << PAGE_SHIFT
+    }
+
+    /// Largest order with a free block, if any.
+    pub fn largest_free_order(&self) -> Option<u8> {
+        (0..=MAX_ORDER).rev().find(|&o| !self.free[o as usize].is_empty())
+    }
+
+    /// Allocate a block of `1 << order` pages, naturally aligned.
+    pub fn alloc(&mut self, order: u8) -> Result<PhysAddr, AllocError> {
+        assert!(order <= MAX_ORDER, "order {order} > MAX_ORDER");
+        // Find the smallest order >= requested with a free block.
+        let mut o = order;
+        while (o as usize) < self.free.len() && self.free[o as usize].is_empty() {
+            o += 1;
+        }
+        if o > MAX_ORDER {
+            return Err(AllocError::OutOfMemory);
+        }
+        let off = *self.free[o as usize].iter().next().expect("nonempty");
+        self.free[o as usize].remove(&off);
+        // Split down to the requested order, freeing the upper halves.
+        while o > order {
+            o -= 1;
+            let buddy = off + (1u64 << o);
+            self.free[o as usize].insert(buddy);
+        }
+        self.allocated.insert(off, order);
+        self.free_pages -= 1u64 << order;
+        Ok(self.base + (off << PAGE_SHIFT))
+    }
+
+    /// Allocate the smallest block covering `bytes`.
+    pub fn alloc_bytes(&mut self, bytes: u64) -> Result<(PhysAddr, u8), AllocError> {
+        assert!(bytes > 0);
+        let pages = (bytes + PAGE_SIZE - 1) >> PAGE_SHIFT;
+        let order = pages.next_power_of_two().trailing_zeros() as u8;
+        if order > MAX_ORDER {
+            return Err(AllocError::OutOfMemory);
+        }
+        self.alloc(order).map(|a| (a, order))
+    }
+
+    /// Free a previously allocated block (identified by its start address).
+    pub fn free(&mut self, addr: PhysAddr) -> Result<(), AllocError> {
+        if addr < self.base || addr.raw() >= self.base.raw() + self.len {
+            return Err(AllocError::BadFree(addr));
+        }
+        let mut off = (addr - self.base) >> PAGE_SHIFT;
+        let Some(mut order) = self.allocated.remove(&off) else {
+            return Err(AllocError::BadFree(addr));
+        };
+        self.free_pages += 1u64 << order;
+        // Coalesce with the buddy while possible.
+        while order < MAX_ORDER {
+            let buddy = off ^ (1u64 << order);
+            if !self.free[order as usize].remove(&buddy) {
+                break;
+            }
+            off = off.min(buddy);
+            order += 1;
+        }
+        self.free[order as usize].insert(off);
+        Ok(())
+    }
+
+    /// Order of the allocated block starting at `addr`, if any.
+    pub fn allocated_order(&self, addr: PhysAddr) -> Option<u8> {
+        if addr < self.base {
+            return None;
+        }
+        self.allocated
+            .get(&((addr - self.base) >> PAGE_SHIFT))
+            .copied()
+    }
+
+    /// Number of live allocations.
+    pub fn allocation_count(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// Internal consistency check (used by tests and debug assertions):
+    /// free lists disjoint from allocations, page accounting exact.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut counted = 0u64;
+        let mut seen = BTreeSet::new();
+        for (o, set) in self.free.iter().enumerate() {
+            for &off in set {
+                if off % (1 << o) != 0 {
+                    return Err(format!("free block {off} misaligned for order {o}"));
+                }
+                for p in off..off + (1 << o) {
+                    if !seen.insert(p) {
+                        return Err(format!("page {p} on two free lists"));
+                    }
+                }
+                counted += 1 << o;
+            }
+        }
+        for (&off, &o) in &self.allocated {
+            for p in off..off + (1 << o) {
+                if !seen.insert(p) {
+                    return Err(format!("allocated page {p} also free"));
+                }
+            }
+        }
+        if counted != self.free_pages {
+            return Err(format!(
+                "free page accounting mismatch: {counted} vs {}",
+                self.free_pages
+            ));
+        }
+        if seen.len() as u64 != self.len >> PAGE_SHIFT {
+            return Err(format!(
+                "pages unaccounted for: {} of {}",
+                seen.len(),
+                self.len >> PAGE_SHIFT
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> BuddyAllocator {
+        BuddyAllocator::new(PhysAddr(8 << 20), 16 << 20) // 16 MiB at 8 MiB
+    }
+
+    #[test]
+    fn fresh_allocator_is_all_free() {
+        let a = mk();
+        assert_eq!(a.free_bytes(), 16 << 20);
+        assert_eq!(a.largest_free_order(), Some(MAX_ORDER));
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn alloc_is_lowest_address_first_and_aligned() {
+        let mut a = mk();
+        let p0 = a.alloc(0).unwrap();
+        assert_eq!(p0, PhysAddr(8 << 20));
+        let p2m = a.alloc(ORDER_2M).unwrap();
+        assert_eq!(p2m.raw() % (2 << 20), 0, "2M block naturally aligned");
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn free_coalesces_back_to_max_order() {
+        let mut a = mk();
+        let mut blocks = Vec::new();
+        loop {
+            match a.alloc(0) {
+                Ok(p) => blocks.push(p),
+                Err(AllocError::OutOfMemory) => break,
+                Err(e) => panic!("{e:?}"),
+            }
+        }
+        assert_eq!(a.free_bytes(), 0);
+        for p in blocks {
+            a.free(p).unwrap();
+        }
+        assert_eq!(a.free_bytes(), 16 << 20);
+        assert_eq!(a.largest_free_order(), Some(MAX_ORDER));
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = mk();
+        let p = a.alloc(3).unwrap();
+        a.free(p).unwrap();
+        assert_eq!(a.free(p), Err(AllocError::BadFree(p)));
+    }
+
+    #[test]
+    fn free_of_interior_address_rejected() {
+        let mut a = mk();
+        let p = a.alloc(2).unwrap();
+        assert_eq!(
+            a.free(p + PAGE_SIZE),
+            Err(AllocError::BadFree(p + PAGE_SIZE))
+        );
+        assert_eq!(a.free(PhysAddr(0)), Err(AllocError::BadFree(PhysAddr(0))));
+    }
+
+    #[test]
+    fn alloc_bytes_picks_covering_order() {
+        let mut a = mk();
+        let (_, o1) = a.alloc_bytes(1).unwrap();
+        assert_eq!(o1, 0);
+        let (_, o2) = a.alloc_bytes(PAGE_SIZE + 1).unwrap();
+        assert_eq!(o2, 1);
+        let (p, o3) = a.alloc_bytes(2 << 20).unwrap();
+        assert_eq!(o3, ORDER_2M);
+        assert!(p.is_2m_aligned());
+        assert!(a.alloc_bytes(4 << 20).is_ok(), "max block is 4 MiB");
+        assert_eq!(a.alloc_bytes(8 << 20), Err(AllocError::OutOfMemory));
+    }
+
+    #[test]
+    fn exhaustion_then_recovery() {
+        let mut a = mk();
+        let b1 = a.alloc(MAX_ORDER).unwrap();
+        let b2 = a.alloc(MAX_ORDER).unwrap();
+        let b3 = a.alloc(MAX_ORDER).unwrap();
+        let b4 = a.alloc(MAX_ORDER).unwrap();
+        assert_eq!(a.alloc(0), Err(AllocError::OutOfMemory));
+        a.free(b2).unwrap();
+        assert!(a.alloc(ORDER_2M).is_ok());
+        for p in [b1, b3, b4] {
+            a.free(p).unwrap();
+        }
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn allocated_order_lookup() {
+        let mut a = mk();
+        let p = a.alloc(4).unwrap();
+        assert_eq!(a.allocated_order(p), Some(4));
+        assert_eq!(a.allocated_order(p + PAGE_SIZE), None);
+        assert_eq!(a.allocation_count(), 1);
+    }
+}

@@ -1,0 +1,429 @@
+//! Virtual memory areas and address-space layout.
+//!
+//! McKernel "has its own memory management" (Sec. II): this module holds
+//! the per-process VMA tree and layout policy. One paper-specific twist is
+//! the **excluded range** (Fig. 3): the proxy process binary is position-
+//! independent and loaded at an address range explicitly *excluded* from
+//! McKernel user space, so the unified address space can cover the whole
+//! valid application range with a pseudo-mapping without colliding with
+//! the proxy's own text/data/heap.
+
+use crate::abi::Errno;
+use hwmodel::addr::{VirtAddr, PAGE_SIZE, PAGE_SIZE_2M};
+use std::collections::BTreeMap;
+
+/// Lowest user address McKernel hands out.
+pub const USER_START: u64 = 0x40_0000; // 4 MiB
+/// One past the highest user address (128 TiB, x86-64 canonical low half).
+pub const USER_END: u64 = 0x8000_0000_0000;
+/// Start of the range excluded for the proxy process image.
+pub const EXCLUDED_START: u64 = 0x7f00_0000_0000;
+/// End of the excluded range.
+pub const EXCLUDED_END: u64 = 0x7f80_0000_0000;
+/// Where the anonymous mmap cursor starts.
+const MMAP_BASE: u64 = 0x2000_0000_0000;
+
+/// What backs a VMA.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VmaKind {
+    /// Anonymous memory. `large_ok` allows 2 MiB backing (the default on
+    /// McKernel; Linux-modeled processes use 4 KiB unless THP kicks in).
+    Anon {
+        /// Whether fault service may install 2 MiB leaves.
+        large_ok: bool,
+    },
+    /// Device-file mapping established by the Fig. 4 flow.
+    Device {
+        /// Device name (e.g. `infiniband/uverbs0`).
+        dev_name: String,
+        /// Offset into the device file / BAR.
+        file_off: u64,
+        /// Tracking-object id assigned by the Linux-side delegator.
+        tracking: u64,
+    },
+    /// Process heap (`brk`).
+    Heap,
+    /// Thread stack.
+    Stack,
+}
+
+/// One virtual memory area `[start, end)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Vma {
+    /// Inclusive start (page-aligned).
+    pub start: VirtAddr,
+    /// Exclusive end (page-aligned).
+    pub end: VirtAddr,
+    /// Backing.
+    pub kind: VmaKind,
+    /// Whether stores are permitted.
+    pub writable: bool,
+}
+
+impl Vma {
+    /// Bytes covered.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the area is degenerate (never true for live VMAs; present
+    /// for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `va` falls inside.
+    pub fn contains(&self, va: VirtAddr) -> bool {
+        va >= self.start && va < self.end
+    }
+}
+
+/// Per-process VMA tree + layout policy.
+#[derive(Debug)]
+pub struct VmSpace {
+    vmas: BTreeMap<u64, Vma>,
+    mmap_cursor: u64,
+    /// Whether the proxy-exclusion hole applies (true on McKernel).
+    exclude_proxy_range: bool,
+}
+
+impl VmSpace {
+    /// Fresh address space. `exclude_proxy_range` carves out the
+    /// [`EXCLUDED_START`]..[`EXCLUDED_END`] hole (McKernel processes).
+    pub fn new(exclude_proxy_range: bool) -> Self {
+        VmSpace {
+            vmas: BTreeMap::new(),
+            mmap_cursor: MMAP_BASE,
+            exclude_proxy_range,
+        }
+    }
+
+    /// Address space for the *proxy process* on Linux: its own mappings
+    /// (PIE image, Linux-side device mappings) are placed inside the
+    /// window excluded from McKernel user space, because everything
+    /// outside it belongs to the unified-address-space pseudo mapping
+    /// (Fig. 3).
+    pub fn proxy_side() -> Self {
+        VmSpace {
+            vmas: BTreeMap::new(),
+            mmap_cursor: EXCLUDED_START,
+            exclude_proxy_range: false,
+        }
+    }
+
+    /// Whether `va` lies in the excluded proxy range of this space.
+    pub fn in_excluded(&self, va: VirtAddr) -> bool {
+        self.exclude_proxy_range && (EXCLUDED_START..EXCLUDED_END).contains(&va.raw())
+    }
+
+    /// The VMA containing `va`, if any.
+    pub fn vma_at(&self, va: VirtAddr) -> Option<&Vma> {
+        self.vmas
+            .range(..=va.raw())
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| v.contains(va))
+    }
+
+    /// Iterate all VMAs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &Vma> {
+        self.vmas.values()
+    }
+
+    /// Number of VMAs.
+    pub fn count(&self) -> usize {
+        self.vmas.len()
+    }
+
+    /// Total mapped bytes.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.vmas.values().map(Vma::len).sum()
+    }
+
+    fn range_free(&self, start: u64, end: u64) -> bool {
+        if self.exclude_proxy_range && start < EXCLUDED_END && end > EXCLUDED_START {
+            return false;
+        }
+        if start < USER_START || end > USER_END {
+            return false;
+        }
+        // Any VMA overlapping [start, end)?
+        if let Some((_, v)) = self.vmas.range(..end).next_back() {
+            if v.end.raw() > start {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Create a mapping. `fixed` requests an exact placement (MAP_FIXED
+    /// without the clobber semantics: overlap is an error). Without
+    /// `fixed`, the allocator bump-searches from the mmap base, aligning
+    /// 2 MiB-eligible anonymous areas so large leaves are usable.
+    pub fn mmap(
+        &mut self,
+        len: u64,
+        kind: VmaKind,
+        writable: bool,
+        fixed: Option<VirtAddr>,
+    ) -> Result<VirtAddr, Errno> {
+        if len == 0 {
+            return Err(Errno::EINVAL);
+        }
+        let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let align = match kind {
+            VmaKind::Anon { large_ok: true } if len >= PAGE_SIZE_2M => PAGE_SIZE_2M,
+            _ => PAGE_SIZE,
+        };
+        let start = match fixed {
+            Some(va) => {
+                if !va.is_page_aligned() {
+                    return Err(Errno::EINVAL);
+                }
+                if !self.range_free(va.raw(), va.raw() + len) {
+                    return Err(Errno::EEXIST);
+                }
+                va.raw()
+            }
+            None => {
+                let mut cand = self.mmap_cursor.div_ceil(align) * align;
+                loop {
+                    if cand + len > USER_END {
+                        return Err(Errno::ENOMEM);
+                    }
+                    if self.range_free(cand, cand + len) {
+                        break;
+                    }
+                    // Skip past the blocker (existing VMA or excluded hole).
+                    if self.exclude_proxy_range
+                        && cand < EXCLUDED_END
+                        && cand + len > EXCLUDED_START
+                    {
+                        cand = EXCLUDED_END.div_ceil(align) * align;
+                        continue;
+                    }
+                    let blocker_end = self
+                        .vmas
+                        .range(..cand + len)
+                        .next_back()
+                        .map(|(_, v)| v.end.raw())
+                        .unwrap_or(cand + align);
+                    cand = blocker_end.max(cand + 1).div_ceil(align) * align;
+                }
+                self.mmap_cursor = cand + len;
+                cand
+            }
+        };
+        self.vmas.insert(
+            start,
+            Vma {
+                start: VirtAddr(start),
+                end: VirtAddr(start + len),
+                kind,
+                writable,
+            },
+        );
+        Ok(VirtAddr(start))
+    }
+
+    /// Remove mappings overlapping `[start, start+len)`, splitting VMAs at
+    /// the boundaries. Returns the removed sub-ranges (for PTE teardown and
+    /// pseudo-mapping synchronization — Sec. III-A notes Linux-side PTEs
+    /// "have to be occasionally synchronized with McKernel, for instance,
+    /// when the application calls munmap()").
+    pub fn munmap(&mut self, start: VirtAddr, len: u64) -> Result<Vec<Vma>, Errno> {
+        if !start.is_page_aligned() || len == 0 {
+            return Err(Errno::EINVAL);
+        }
+        let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let (s, e) = (start.raw(), start.raw() + len);
+        let overlapping: Vec<u64> = self
+            .vmas
+            .range(..e)
+            .filter(|(_, v)| v.end.raw() > s)
+            .map(|(&k, _)| k)
+            .collect();
+        let mut removed = Vec::new();
+        for key in overlapping {
+            let v = self.vmas.remove(&key).expect("key just enumerated");
+            // Left remainder.
+            if v.start.raw() < s {
+                let mut left = v.clone();
+                left.end = VirtAddr(s);
+                self.vmas.insert(left.start.raw(), left);
+            }
+            // Right remainder.
+            if v.end.raw() > e {
+                let mut right = v.clone();
+                right.start = VirtAddr(e);
+                self.vmas.insert(right.start.raw(), right);
+            }
+            let cut = Vma {
+                start: VirtAddr(v.start.raw().max(s)),
+                end: VirtAddr(v.end.raw().min(e)),
+                kind: v.kind,
+                writable: v.writable,
+            };
+            removed.push(cut);
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmap_places_and_finds() {
+        let mut vs = VmSpace::new(true);
+        let a = vs
+            .mmap(8192, VmaKind::Anon { large_ok: false }, true, None)
+            .unwrap();
+        let v = vs.vma_at(a).unwrap();
+        assert_eq!(v.len(), 8192);
+        assert!(vs.vma_at(a + 8192).is_none());
+        assert_eq!(vs.count(), 1);
+        assert_eq!(vs.mapped_bytes(), 8192);
+    }
+
+    #[test]
+    fn large_anon_is_2m_aligned() {
+        let mut vs = VmSpace::new(true);
+        let a = vs
+            .mmap(4 << 20, VmaKind::Anon { large_ok: true }, true, None)
+            .unwrap();
+        assert_eq!(a.raw() % PAGE_SIZE_2M, 0);
+    }
+
+    #[test]
+    fn fixed_mapping_respected_and_conflicts_detected() {
+        let mut vs = VmSpace::new(true);
+        let want = VirtAddr(0x5000_0000);
+        let a = vs
+            .mmap(0x3000, VmaKind::Stack, true, Some(want))
+            .unwrap();
+        assert_eq!(a, want);
+        assert_eq!(
+            vs.mmap(0x1000, VmaKind::Stack, true, Some(want + 0x2000)),
+            Err(Errno::EEXIST)
+        );
+        assert_eq!(
+            vs.mmap(0x1000, VmaKind::Stack, true, Some(VirtAddr(0x123))),
+            Err(Errno::EINVAL)
+        );
+    }
+
+    #[test]
+    fn excluded_range_is_untouchable_on_mckernel() {
+        let mut vs = VmSpace::new(true);
+        assert_eq!(
+            vs.mmap(
+                0x1000,
+                VmaKind::Anon { large_ok: false },
+                true,
+                Some(VirtAddr(EXCLUDED_START + 0x1000))
+            ),
+            Err(Errno::EEXIST)
+        );
+        assert!(vs.in_excluded(VirtAddr(EXCLUDED_START)));
+        assert!(!vs.in_excluded(VirtAddr(EXCLUDED_END)));
+        // A Linux-side space has no such hole.
+        let mut linux = VmSpace::new(false);
+        assert!(linux
+            .mmap(
+                0x1000,
+                VmaKind::Anon { large_ok: false },
+                true,
+                Some(VirtAddr(EXCLUDED_START + 0x1000))
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn unfixed_mmap_skips_over_collisions() {
+        let mut vs = VmSpace::new(true);
+        // Occupy where the cursor would land first.
+        let first = vs
+            .mmap(0x1000, VmaKind::Anon { large_ok: false }, true, None)
+            .unwrap();
+        let second = vs
+            .mmap(0x1000, VmaKind::Anon { large_ok: false }, true, None)
+            .unwrap();
+        assert_ne!(first, second);
+        assert!(second > first);
+    }
+
+    #[test]
+    fn munmap_whole_and_partial() {
+        let mut vs = VmSpace::new(true);
+        let a = vs
+            .mmap(0x4000, VmaKind::Anon { large_ok: false }, true, None)
+            .unwrap();
+        // Punch out the middle two pages.
+        let removed = vs.munmap(a + 0x1000, 0x2000).unwrap();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].start, a + 0x1000);
+        assert_eq!(removed[0].end, a + 0x3000);
+        assert_eq!(vs.count(), 2, "split into left and right remainders");
+        assert!(vs.vma_at(a).is_some());
+        assert!(vs.vma_at(a + 0x1000).is_none());
+        assert!(vs.vma_at(a + 0x3000).is_some());
+        // Unmap everything.
+        let removed = vs.munmap(a, 0x4000).unwrap();
+        assert_eq!(removed.len(), 2);
+        assert_eq!(vs.count(), 0);
+    }
+
+    #[test]
+    fn munmap_spanning_multiple_vmas() {
+        let mut vs = VmSpace::new(true);
+        let a = vs
+            .mmap(0x2000, VmaKind::Anon { large_ok: false }, true, Some(VirtAddr(0x100_0000)))
+            .unwrap();
+        let b = vs
+            .mmap(0x2000, VmaKind::Stack, false, Some(VirtAddr(0x100_2000)))
+            .unwrap();
+        let removed = vs.munmap(a, 0x4000).unwrap();
+        assert_eq!(removed.len(), 2);
+        assert_eq!(removed[0].start, a);
+        assert_eq!(removed[1].start, b);
+        assert_eq!(vs.count(), 0);
+    }
+
+    #[test]
+    fn munmap_nothing_is_ok_and_empty() {
+        let mut vs = VmSpace::new(true);
+        assert!(vs.munmap(VirtAddr(0x100_0000), 0x1000).unwrap().is_empty());
+        assert_eq!(vs.munmap(VirtAddr(0x100_0000), 0), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn device_vma_kind_round_trips() {
+        let mut vs = VmSpace::new(true);
+        let a = vs
+            .mmap(
+                0x2000,
+                VmaKind::Device {
+                    dev_name: "infiniband/uverbs0".into(),
+                    file_off: 0x1000,
+                    tracking: 7,
+                },
+                true,
+                None,
+            )
+            .unwrap();
+        match &vs.vma_at(a).unwrap().kind {
+            VmaKind::Device {
+                dev_name,
+                file_off,
+                tracking,
+            } => {
+                assert_eq!(dev_name, "infiniband/uverbs0");
+                assert_eq!(*file_off, 0x1000);
+                assert_eq!(*tracking, 7);
+            }
+            k => panic!("wrong kind {k:?}"),
+        }
+    }
+}

@@ -1,0 +1,663 @@
+//! The McKernel lightweight kernel.
+//!
+//! A from-scratch LWK (Sec. II): own memory management, processes and
+//! multi-threading under a cooperative tick-less round-robin scheduler,
+//! signaling, inter-process mappings and perf counters — everything else
+//! is delegated to Linux through IKC.
+
+pub mod mem;
+pub mod perfctr;
+pub mod process;
+pub mod sched;
+pub mod shm;
+pub mod signal;
+pub mod syscall;
+
+use crate::abi::{Errno, Pid, Sysno, Tid};
+use crate::costs::CostModel;
+use hwmodel::addr::{PhysAddr, VirtAddr};
+use hwmodel::cpu::CoreId;
+use mem::phys::BuddyAllocator;
+use mem::vm::VmaKind;
+use mem::FaultOutcome;
+use perfctr::PerfCounters;
+use process::{Process, Thread, ThreadState};
+use sched::CoopScheduler;
+use shm::{ShmId, ShmRegistry};
+use signal::SignalState;
+use simcore::{Cycles, Trace};
+use std::collections::HashMap;
+use syscall::{Disposition, SyscallRequest};
+
+/// What the kernel wants the simulation to do after a syscall entry.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SyscallOutcome {
+    /// Completed locally.
+    Done {
+        /// Return value (Linux convention).
+        ret: i64,
+        /// Kernel time consumed.
+        cost: Cycles,
+    },
+    /// Completed locally and the proxy's pseudo-mapping must be invalidated
+    /// over these ranges (munmap synchronization, Sec. III-A).
+    DoneInvalidate {
+        /// Return value.
+        ret: i64,
+        /// Kernel time consumed.
+        cost: Cycles,
+        /// Ranges to shoot down in the proxy pseudo mapping.
+        ranges: Vec<(VirtAddr, u64)>,
+    },
+    /// Must be offloaded: the calling thread blocks until the reply.
+    Offload {
+        /// Marshalled request for the IKC channel.
+        req: SyscallRequest,
+        /// Marshal + enqueue cost before the thread blocks.
+        cost: Cycles,
+    },
+    /// Voluntary yield.
+    Yield {
+        /// Kernel time consumed.
+        cost: Cycles,
+    },
+    /// Sleep for a duration.
+    Sleep {
+        /// Requested sleep time.
+        dur: Cycles,
+        /// Kernel time consumed.
+        cost: Cycles,
+    },
+    /// Process exit.
+    Exit {
+        /// Exit code.
+        code: i32,
+    },
+}
+
+/// The LWK instance for one node.
+#[derive(Debug)]
+pub struct McKernel {
+    /// Cost table.
+    pub costs: CostModel,
+    cores: Vec<CoreId>,
+    /// Physical allocator over the IHK-reserved range.
+    pub alloc: BuddyAllocator,
+    /// Cooperative scheduler.
+    pub sched: CoopScheduler,
+    procs: HashMap<Pid, Process>,
+    threads: HashMap<Tid, Thread>,
+    signals: HashMap<Pid, SignalState>,
+    perf: HashMap<Tid, PerfCounters>,
+    next_pid: u32,
+    next_tid: u32,
+    next_seq: u64,
+    shm: ShmRegistry,
+    /// Mechanism counters (offloads, faults, ...).
+    pub trace: Trace,
+}
+
+impl McKernel {
+    /// Boot the LWK over `cores` and the reserved physical range.
+    pub fn boot(cores: Vec<CoreId>, mem_base: PhysAddr, mem_len: u64, costs: CostModel) -> Self {
+        assert!(!cores.is_empty(), "LWK needs at least one core");
+        let sched = CoopScheduler::new(&cores);
+        McKernel {
+            costs,
+            alloc: BuddyAllocator::new(mem_base, mem_len),
+            sched,
+            cores,
+            procs: HashMap::new(),
+            threads: HashMap::new(),
+            signals: HashMap::new(),
+            perf: HashMap::new(),
+            next_pid: 1000,
+            next_tid: 1000,
+            next_seq: 1,
+            shm: ShmRegistry::new(),
+            trace: Trace::new(),
+        }
+    }
+
+    /// Cores in the LWK partition.
+    pub fn cores(&self) -> &[CoreId] {
+        &self.cores
+    }
+
+    /// Create a process (paired with a Linux proxy).
+    pub fn create_process(&mut self, proxy_pid: Option<Pid>) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let mut p = Process::new(pid);
+        p.proxy_pid = proxy_pid;
+        self.procs.insert(pid, p);
+        self.signals.insert(pid, SignalState::new());
+        pid
+    }
+
+    /// Create a thread bound to `core` and make it runnable.
+    pub fn spawn_thread(&mut self, pid: Pid, core: CoreId) -> Tid {
+        assert!(self.cores.contains(&core), "{core} not in LWK partition");
+        let tid = Tid(self.next_tid);
+        self.next_tid += 1;
+        self.threads.insert(
+            tid,
+            Thread {
+                tid,
+                pid,
+                state: ThreadState::Ready,
+                core,
+            },
+        );
+        self.procs
+            .get_mut(&pid)
+            .expect("spawn_thread on unknown pid")
+            .threads
+            .push(tid);
+        self.sched.enqueue(core, tid);
+        self.perf.insert(tid, PerfCounters::default());
+        tid
+    }
+
+    /// Process accessor.
+    pub fn process(&self, pid: Pid) -> Option<&Process> {
+        self.procs.get(&pid)
+    }
+
+    /// Mutable process accessor.
+    pub fn process_mut(&mut self, pid: Pid) -> Option<&mut Process> {
+        self.procs.get_mut(&pid)
+    }
+
+    /// Thread accessor.
+    pub fn thread(&self, tid: Tid) -> Option<&Thread> {
+        self.threads.get(&tid)
+    }
+
+    /// Mutable thread accessor.
+    pub fn thread_mut(&mut self, tid: Tid) -> Option<&mut Thread> {
+        self.threads.get_mut(&tid)
+    }
+
+    /// Per-thread perf counters.
+    pub fn perf_counters(&self, tid: Tid) -> Option<&PerfCounters> {
+        self.perf.get(&tid)
+    }
+
+    /// Mutable perf counters.
+    pub fn perf_counters_mut(&mut self, tid: Tid) -> Option<&mut PerfCounters> {
+        self.perf.get_mut(&tid)
+    }
+
+    /// Signal state of a process.
+    pub fn signals_mut(&mut self, pid: Pid) -> Option<&mut SignalState> {
+        self.signals.get_mut(&pid)
+    }
+
+    /// System call entry. `now` provides the clock for `gettimeofday`.
+    ///
+    /// Local calls complete synchronously; delegated calls return
+    /// [`SyscallOutcome::Offload`] and the caller blocks the thread until
+    /// the IKC reply.
+    pub fn handle_syscall(
+        &mut self,
+        pid: Pid,
+        tid: Tid,
+        sysno: Sysno,
+        args: [u64; 6],
+        now: Cycles,
+    ) -> SyscallOutcome {
+        let base = self.costs.lwk_syscall;
+        let disposition = match sysno {
+            Sysno::Mmap => syscall::mmap_disposition(args[4]),
+            s => syscall::disposition(s),
+        };
+        if disposition == Disposition::Delegate {
+            self.trace.bump("mck.syscall.offloaded");
+            let req = SyscallRequest {
+                seq: self.next_seq,
+                pid: pid.0,
+                tid: tid.0,
+                sysno: sysno.nr(),
+                args,
+            };
+            self.next_seq += 1;
+            return SyscallOutcome::Offload {
+                req,
+                cost: base + self.costs.ikc_send,
+            };
+        }
+        self.trace.bump("mck.syscall.local");
+        match sysno {
+            Sysno::Getpid => SyscallOutcome::Done {
+                ret: pid.0 as i64,
+                cost: base,
+            },
+            Sysno::Gettimeofday => SyscallOutcome::Done {
+                ret: now.as_us_f64() as i64,
+                cost: base,
+            },
+            Sysno::Mmap => {
+                // Anonymous mmap handled locally, 2 MiB eligible.
+                let len = args[1];
+                let proc = self.procs.get_mut(&pid).expect("mmap on unknown pid");
+                match proc
+                    .aspace
+                    .vm
+                    .mmap(len, VmaKind::Anon { large_ok: true }, true, None)
+                {
+                    Ok(va) => SyscallOutcome::Done {
+                        ret: va.raw() as i64,
+                        cost: base,
+                    },
+                    Err(e) => SyscallOutcome::Done {
+                        ret: crate::abi::encode_result(Err(e)),
+                        cost: base,
+                    },
+                }
+            }
+            Sysno::Munmap => {
+                let (start, len) = (VirtAddr(args[0]), args[1]);
+                let proc = self.procs.get_mut(&pid).expect("munmap on unknown pid");
+                match mem::unmap_range(&mut proc.aspace, &mut self.alloc, &self.costs, start, len)
+                {
+                    Ok(stats) => {
+                        let ranges = stats
+                            .removed
+                            .iter()
+                            .map(|v| (v.start, v.len()))
+                            .collect();
+                        SyscallOutcome::DoneInvalidate {
+                            ret: 0,
+                            cost: base + stats.cost,
+                            ranges,
+                        }
+                    }
+                    Err(e) => SyscallOutcome::Done {
+                        ret: crate::abi::encode_result(Err(e)),
+                        cost: base,
+                    },
+                }
+            }
+            Sysno::Brk | Sysno::Mprotect | Sysno::Madvise => SyscallOutcome::Done {
+                ret: 0,
+                cost: base,
+            },
+            Sysno::SchedYield => SyscallOutcome::Yield { cost: base },
+            Sysno::Nanosleep => SyscallOutcome::Sleep {
+                dur: Cycles::from_ns(args[0]),
+                cost: base,
+            },
+            Sysno::Exit | Sysno::ExitGroup => SyscallOutcome::Exit {
+                code: args[0] as i32,
+            },
+            Sysno::Clone => {
+                let core = CoreId(args[0] as u16);
+                if !self.cores.contains(&core) {
+                    return SyscallOutcome::Done {
+                        ret: crate::abi::encode_result(Err(Errno::EINVAL)),
+                        cost: base,
+                    };
+                }
+                let tid = self.spawn_thread(pid, core);
+                SyscallOutcome::Done {
+                    ret: tid.0 as i64,
+                    cost: base * 4,
+                }
+            }
+            Sysno::RtSigaction => {
+                let signo = args[0] as u8;
+                let action = match args[1] {
+                    0 => signal::SigAction::Default,
+                    1 => signal::SigAction::Ignore,
+                    _ => signal::SigAction::Handler,
+                };
+                let sig = self.signals.get_mut(&pid).expect("signals for pid");
+                let ret = match sig.set_action(signo, action) {
+                    Ok(()) => 0,
+                    Err(()) => crate::abi::encode_result(Err(Errno::EINVAL)),
+                };
+                SyscallOutcome::Done { ret, cost: base }
+            }
+            Sysno::RtSigprocmask => {
+                let sig = self.signals.get_mut(&pid).expect("signals for pid");
+                let signo = args[1] as u8;
+                if args[0] == 0 {
+                    sig.block(signo);
+                } else {
+                    sig.unblock(signo);
+                }
+                SyscallOutcome::Done { ret: 0, cost: base }
+            }
+            Sysno::Kill => {
+                let target = Pid(args[0] as u32);
+                let signo = args[1] as u8;
+                match self.signals.get_mut(&target) {
+                    Some(s) => {
+                        s.send(signo);
+                        SyscallOutcome::Done { ret: 0, cost: base }
+                    }
+                    None => SyscallOutcome::Done {
+                        ret: crate::abi::encode_result(Err(Errno::ENOENT)),
+                        cost: base,
+                    },
+                }
+            }
+            Sysno::SchedSetaffinity | Sysno::SchedGetaffinity => SyscallOutcome::Done {
+                ret: 0,
+                cost: base,
+            },
+            Sysno::PerfEventOpen => SyscallOutcome::Done {
+                ret: 100 + tid.0 as i64,
+                cost: base,
+            },
+            // Remaining local syscalls are trivially acknowledged.
+            _ => SyscallOutcome::Done { ret: 0, cost: base },
+        }
+    }
+
+    /// Page fault entry (split borrow over process map and allocator).
+    pub fn page_fault(&mut self, pid: Pid, va: VirtAddr) -> FaultOutcome {
+        self.trace.bump("mck.fault");
+        let proc = self.procs.get_mut(&pid).expect("fault on unknown pid");
+        mem::handle_fault(&mut proc.aspace, &mut self.alloc, &self.costs, va)
+    }
+
+    /// Install the LWK-side VMA for a device mapping after Linux completed
+    /// its half of the Fig. 4 flow (steps 4-5: "Linux replies to McKernel
+    /// so that it can also allocate its own virtual memory range").
+    pub fn complete_device_mmap(
+        &mut self,
+        pid: Pid,
+        len: u64,
+        dev_name: &str,
+        file_off: u64,
+        tracking: u64,
+    ) -> Result<VirtAddr, Errno> {
+        let proc = self.procs.get_mut(&pid).ok_or(Errno::ENOENT)?;
+        proc.aspace.vm.mmap(
+            len,
+            VmaKind::Device {
+                dev_name: dev_name.to_string(),
+                file_off,
+                tracking,
+            },
+            true,
+            None,
+        )
+    }
+
+    /// Create an inter-process shared segment (Sec. II: "it also allows
+    /// inter-process memory mappings") and attach it to `pid`.
+    pub fn shm_create_attach(
+        &mut self,
+        pid: Pid,
+        len: u64,
+    ) -> Result<(ShmId, VirtAddr), Errno> {
+        let id = self.shm.create(&mut self.alloc, len)?;
+        let proc = self.procs.get_mut(&pid).ok_or(Errno::ENOENT)?;
+        let va = self.shm.attach(id, &mut proc.aspace)?;
+        self.trace.bump("mck.shm.created");
+        Ok((id, va))
+    }
+
+    /// Attach an existing segment to another process.
+    pub fn shm_attach(&mut self, pid: Pid, id: ShmId) -> Result<VirtAddr, Errno> {
+        let proc = self.procs.get_mut(&pid).ok_or(Errno::ENOENT)?;
+        self.shm.attach(id, &mut proc.aspace)
+    }
+
+    /// Detach a segment from a process.
+    pub fn shm_detach(&mut self, pid: Pid, id: ShmId, va: VirtAddr) -> Result<(), Errno> {
+        let proc = self.procs.get_mut(&pid).ok_or(Errno::ENOENT)?;
+        self.shm.detach(id, &mut proc.aspace, va)
+    }
+
+    /// Destroy a fully detached segment.
+    pub fn shm_destroy(&mut self, id: ShmId) -> Result<(), Errno> {
+        self.shm.destroy(id, &mut self.alloc)
+    }
+
+    /// Segment accessor — a *Linux-side* consumer resolves physical
+    /// addresses through this (the simulation → in-situ hand-off path).
+    pub fn shm_segment(&self, id: ShmId) -> Option<&shm::ShmSegment> {
+        self.shm.segment(id)
+    }
+
+    /// Tear down a process: free every mapped frame, drop threads.
+    /// "It is our policy to have McKernel reinitialized between subsequent
+    /// executions" (Sec. IV-B3) — experiments call this between runs and
+    /// assert the allocator returns to a pristine state.
+    pub fn reap_process(&mut self, pid: Pid) {
+        let Some(mut proc) = self.procs.remove(&pid) else {
+            return;
+        };
+        let ranges: Vec<(VirtAddr, u64)> = proc
+            .aspace
+            .vm
+            .iter()
+            .map(|v| (v.start, v.len()))
+            .collect();
+        for (start, len) in ranges {
+            let _ = mem::unmap_range(&mut proc.aspace, &mut self.alloc, &self.costs, start, len);
+        }
+        for tid in proc.threads {
+            self.threads.remove(&tid);
+            self.perf.remove(&tid);
+        }
+        self.signals.remove(&pid);
+    }
+
+    /// Whether the kernel is back to a pristine state (no processes, all
+    /// physical memory free).
+    pub fn is_pristine(&self) -> bool {
+        self.procs.is_empty() && self.alloc.free_bytes() == self.alloc.len_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boot() -> McKernel {
+        McKernel::boot(
+            (10..19).map(CoreId).collect(),
+            PhysAddr(1 << 30),
+            64 << 20,
+            CostModel::default(),
+        )
+    }
+
+    #[test]
+    fn local_getpid() {
+        let mut k = boot();
+        let pid = k.create_process(None);
+        let tid = k.spawn_thread(pid, CoreId(10));
+        match k.handle_syscall(pid, tid, Sysno::Getpid, [0; 6], Cycles::ZERO) {
+            SyscallOutcome::Done { ret, cost } => {
+                assert_eq!(ret, pid.0 as i64);
+                assert!(cost > Cycles::ZERO);
+            }
+            o => panic!("{o:?}"),
+        }
+        assert_eq!(k.trace.get("mck.syscall.local"), 1);
+    }
+
+    #[test]
+    fn write_offloads() {
+        let mut k = boot();
+        let pid = k.create_process(None);
+        let tid = k.spawn_thread(pid, CoreId(10));
+        match k.handle_syscall(pid, tid, Sysno::Write, [3, 0x1000, 64, 0, 0, 0], Cycles::ZERO) {
+            SyscallOutcome::Offload { req, .. } => {
+                assert_eq!(req.sysno, Sysno::Write.nr());
+                assert_eq!(req.pid, pid.0);
+                assert_eq!(req.args[2], 64);
+            }
+            o => panic!("{o:?}"),
+        }
+        assert_eq!(k.trace.get("mck.syscall.offloaded"), 1);
+    }
+
+    #[test]
+    fn anon_mmap_local_but_device_mmap_offloads() {
+        let mut k = boot();
+        let pid = k.create_process(None);
+        let tid = k.spawn_thread(pid, CoreId(10));
+        let anon = k.handle_syscall(
+            pid,
+            tid,
+            Sysno::Mmap,
+            [0, 1 << 20, 3, 0x22, u64::MAX, 0],
+            Cycles::ZERO,
+        );
+        assert!(matches!(anon, SyscallOutcome::Done { ret, .. } if ret > 0));
+        let dev = k.handle_syscall(
+            pid,
+            tid,
+            Sysno::Mmap,
+            [0, 1 << 20, 3, 0x1, 5, 0],
+            Cycles::ZERO,
+        );
+        assert!(matches!(dev, SyscallOutcome::Offload { .. }));
+    }
+
+    #[test]
+    fn mmap_fault_munmap_cycle_reports_invalidation() {
+        let mut k = boot();
+        let pid = k.create_process(None);
+        let tid = k.spawn_thread(pid, CoreId(10));
+        let va = match k.handle_syscall(
+            pid,
+            tid,
+            Sysno::Mmap,
+            [0, 4 << 20, 3, 0x22, u64::MAX, 0],
+            Cycles::ZERO,
+        ) {
+            SyscallOutcome::Done { ret, .. } => VirtAddr(ret as u64),
+            o => panic!("{o:?}"),
+        };
+        assert!(matches!(
+            k.page_fault(pid, va),
+            FaultOutcome::Mapped { .. }
+        ));
+        match k.handle_syscall(pid, tid, Sysno::Munmap, [va.raw(), 4 << 20, 0, 0, 0, 0], Cycles::ZERO)
+        {
+            SyscallOutcome::DoneInvalidate { ret, ranges, .. } => {
+                assert_eq!(ret, 0);
+                assert_eq!(ranges, vec![(va, 4 << 20)]);
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn clone_spawns_bound_thread() {
+        let mut k = boot();
+        let pid = k.create_process(None);
+        let tid = k.spawn_thread(pid, CoreId(10));
+        match k.handle_syscall(pid, tid, Sysno::Clone, [11, 0, 0, 0, 0, 0], Cycles::ZERO) {
+            SyscallOutcome::Done { ret, .. } => {
+                let new_tid = Tid(ret as u32);
+                assert_eq!(k.thread(new_tid).unwrap().core, CoreId(11));
+                assert_eq!(k.process(pid).unwrap().threads.len(), 2);
+            }
+            o => panic!("{o:?}"),
+        }
+        // Core outside the partition is rejected.
+        match k.handle_syscall(pid, tid, Sysno::Clone, [0, 0, 0, 0, 0, 0], Cycles::ZERO) {
+            SyscallOutcome::Done { ret, .. } => assert!(ret < 0),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn sleep_yield_exit_outcomes() {
+        let mut k = boot();
+        let pid = k.create_process(None);
+        let tid = k.spawn_thread(pid, CoreId(10));
+        assert!(matches!(
+            k.handle_syscall(pid, tid, Sysno::SchedYield, [0; 6], Cycles::ZERO),
+            SyscallOutcome::Yield { .. }
+        ));
+        match k.handle_syscall(pid, tid, Sysno::Nanosleep, [1_000_000, 0, 0, 0, 0, 0], Cycles::ZERO)
+        {
+            SyscallOutcome::Sleep { dur, .. } => assert_eq!(dur, Cycles::from_ms(1)),
+            o => panic!("{o:?}"),
+        }
+        assert_eq!(
+            k.handle_syscall(pid, tid, Sysno::ExitGroup, [3, 0, 0, 0, 0, 0], Cycles::ZERO),
+            SyscallOutcome::Exit { code: 3 }
+        );
+    }
+
+    #[test]
+    fn signal_syscalls_route_to_signal_state() {
+        let mut k = boot();
+        let pid = k.create_process(None);
+        let tid = k.spawn_thread(pid, CoreId(10));
+        k.handle_syscall(
+            pid,
+            tid,
+            Sysno::RtSigaction,
+            [signal::sig::USR1 as u64, 2, 0, 0, 0, 0],
+            Cycles::ZERO,
+        );
+        k.handle_syscall(
+            pid,
+            tid,
+            Sysno::Kill,
+            [pid.0 as u64, signal::sig::USR1 as u64, 0, 0, 0, 0],
+            Cycles::ZERO,
+        );
+        let (signo, d) = k.signals_mut(pid).unwrap().deliver_next().unwrap();
+        assert_eq!(signo, signal::sig::USR1);
+        assert_eq!(d, signal::Delivery::RunHandler);
+        // Kill to a dead pid errors.
+        match k.handle_syscall(pid, tid, Sysno::Kill, [9999, 15, 0, 0, 0, 0], Cycles::ZERO) {
+            SyscallOutcome::Done { ret, .. } => assert!(ret < 0),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn reap_restores_pristine_state() {
+        let mut k = boot();
+        let pid = k.create_process(None);
+        let tid = k.spawn_thread(pid, CoreId(10));
+        let va = match k.handle_syscall(
+            pid,
+            tid,
+            Sysno::Mmap,
+            [0, 8 << 20, 3, 0x22, u64::MAX, 0],
+            Cycles::ZERO,
+        ) {
+            SyscallOutcome::Done { ret, .. } => VirtAddr(ret as u64),
+            o => panic!("{o:?}"),
+        };
+        k.page_fault(pid, va);
+        k.page_fault(pid, va + (2 << 20));
+        assert!(!k.is_pristine());
+        k.reap_process(pid);
+        assert!(k.is_pristine(), "reinit policy requires clean state");
+        assert!(k.thread(tid).is_none());
+    }
+
+    #[test]
+    fn device_mmap_completion_installs_vma() {
+        let mut k = boot();
+        let pid = k.create_process(None);
+        let va = k
+            .complete_device_mmap(pid, 0x3000, "infiniband/uverbs0", 0x1000, 7)
+            .unwrap();
+        match k.page_fault(pid, va + 0x1000) {
+            FaultOutcome::NeedsDeviceResolve {
+                file_off, tracking, ..
+            } => {
+                assert_eq!(file_off, 0x2000);
+                assert_eq!(tracking, 7);
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+}

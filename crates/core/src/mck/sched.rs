@@ -1,0 +1,205 @@
+//! The cooperative, tick-less, round-robin scheduler.
+//!
+//! McKernel schedules "with a simple round-robin cooperative (tick-less)
+//! scheduler" (Sec. II). Three properties make the LWK noiseless and all
+//! three are structural here:
+//!
+//! * **No timer tick** — there is no periodic event source at all; the
+//!   scheduler only acts when a thread yields, blocks, or is woken.
+//! * **Cooperative** — a running thread is never preempted.
+//! * **Per-core queues, no migration/balancing** — no cross-core locks, no
+//!   work stealing, no IPIs between LWK cores.
+
+use crate::abi::Tid;
+use hwmodel::cpu::CoreId;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Per-core cooperative run queues.
+#[derive(Debug)]
+pub struct CoopScheduler {
+    queues: BTreeMap<CoreId, VecDeque<Tid>>,
+    current: BTreeMap<CoreId, Option<Tid>>,
+}
+
+impl CoopScheduler {
+    /// Scheduler over the LWK's core partition.
+    pub fn new(cores: &[CoreId]) -> Self {
+        CoopScheduler {
+            queues: cores.iter().map(|&c| (c, VecDeque::new())).collect(),
+            current: cores.iter().map(|&c| (c, None)).collect(),
+        }
+    }
+
+    /// Cores managed by this scheduler.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> + '_ {
+        self.queues.keys().copied()
+    }
+
+    fn queue_mut(&mut self, core: CoreId) -> &mut VecDeque<Tid> {
+        self.queues
+            .get_mut(&core)
+            .unwrap_or_else(|| panic!("{core} not in LWK partition"))
+    }
+
+    /// Make `tid` runnable on `core` (enqueue at tail).
+    pub fn enqueue(&mut self, core: CoreId, tid: Tid) {
+        self.queue_mut(core).push_back(tid);
+    }
+
+    /// Thread currently on `core`.
+    pub fn current(&self, core: CoreId) -> Option<Tid> {
+        *self
+            .current
+            .get(&core)
+            .unwrap_or_else(|| panic!("{core} not in LWK partition"))
+    }
+
+    /// Pick the next thread for an idle `core`. Returns `None` if the
+    /// queue is empty (the core then simply halts — no idle tick).
+    pub fn pick_next(&mut self, core: CoreId) -> Option<Tid> {
+        assert!(
+            self.current(core).is_none(),
+            "pick_next on busy core {core}"
+        );
+        let next = self.queue_mut(core).pop_front();
+        self.current.insert(core, next);
+        next
+    }
+
+    /// Voluntary yield: requeue the current thread at the tail and pick the
+    /// next. With a single thread on the core this is a no-op returning the
+    /// same thread.
+    pub fn yield_current(&mut self, core: CoreId) -> Option<Tid> {
+        if let Some(tid) = self.current(core) {
+            self.queue_mut(core).push_back(tid);
+            self.current.insert(core, None);
+        }
+        self.pick_next(core)
+    }
+
+    /// Current thread blocks (offload wait, futex, CQ wait). The core picks
+    /// the next runnable thread, if any.
+    pub fn block_current(&mut self, core: CoreId) -> Option<Tid> {
+        assert!(
+            self.current(core).is_some(),
+            "block_current with nothing running on {core}"
+        );
+        self.current.insert(core, None);
+        self.pick_next(core)
+    }
+
+    /// Current thread exits.
+    pub fn exit_current(&mut self, core: CoreId) -> Option<Tid> {
+        self.current.insert(core, None);
+        self.pick_next(core)
+    }
+
+    /// Wake `tid` onto `core`. Returns `true` if the core was idle and the
+    /// thread was dispatched immediately (the caller then charges a
+    /// dispatch, not an enqueue).
+    pub fn wake(&mut self, core: CoreId, tid: Tid) -> bool {
+        if self.current(core).is_none() && self.queue_mut(core).is_empty() {
+            self.current.insert(core, Some(tid));
+            true
+        } else {
+            self.enqueue(core, tid);
+            false
+        }
+    }
+
+    /// Runnable (queued, not running) count on a core.
+    pub fn queued(&self, core: CoreId) -> usize {
+        self.queues.get(&core).map(VecDeque::len).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cores() -> Vec<CoreId> {
+        (10..13).map(CoreId).collect()
+    }
+
+    #[test]
+    fn round_robin_order_is_fifo() {
+        let mut s = CoopScheduler::new(&cores());
+        let c = CoreId(10);
+        for t in [1, 2, 3] {
+            s.enqueue(c, Tid(t));
+        }
+        assert_eq!(s.pick_next(c), Some(Tid(1)));
+        assert_eq!(s.yield_current(c), Some(Tid(2)));
+        assert_eq!(s.yield_current(c), Some(Tid(3)));
+        assert_eq!(s.yield_current(c), Some(Tid(1)), "wraps around");
+    }
+
+    #[test]
+    fn single_thread_yield_keeps_running() {
+        let mut s = CoopScheduler::new(&cores());
+        let c = CoreId(11);
+        s.enqueue(c, Tid(9));
+        assert_eq!(s.pick_next(c), Some(Tid(9)));
+        assert_eq!(s.yield_current(c), Some(Tid(9)));
+        assert_eq!(s.current(c), Some(Tid(9)));
+    }
+
+    #[test]
+    fn block_and_wake_cycle() {
+        let mut s = CoopScheduler::new(&cores());
+        let c = CoreId(10);
+        s.enqueue(c, Tid(1));
+        s.enqueue(c, Tid(2));
+        s.pick_next(c);
+        // Tid(1) blocks on an offload; Tid(2) runs.
+        assert_eq!(s.block_current(c), Some(Tid(2)));
+        // Reply arrives; core busy, so Tid(1) queues.
+        assert!(!s.wake(c, Tid(1)));
+        assert_eq!(s.queued(c), 1);
+        // Tid(2) blocks; Tid(1) resumes.
+        assert_eq!(s.block_current(c), Some(Tid(1)));
+    }
+
+    #[test]
+    fn wake_onto_idle_core_dispatches_immediately() {
+        let mut s = CoopScheduler::new(&cores());
+        let c = CoreId(12);
+        assert!(s.wake(c, Tid(5)));
+        assert_eq!(s.current(c), Some(Tid(5)));
+    }
+
+    #[test]
+    fn idle_core_stays_idle() {
+        let mut s = CoopScheduler::new(&cores());
+        assert_eq!(s.pick_next(CoreId(10)), None);
+        assert_eq!(s.current(CoreId(10)), None);
+    }
+
+    #[test]
+    fn cores_are_independent() {
+        let mut s = CoopScheduler::new(&cores());
+        s.enqueue(CoreId(10), Tid(1));
+        s.enqueue(CoreId(11), Tid(2));
+        assert_eq!(s.pick_next(CoreId(10)), Some(Tid(1)));
+        assert_eq!(s.pick_next(CoreId(11)), Some(Tid(2)));
+        assert_eq!(s.queued(CoreId(10)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in LWK partition")]
+    fn foreign_core_rejected() {
+        let mut s = CoopScheduler::new(&cores());
+        s.enqueue(CoreId(0), Tid(1)); // core 0 belongs to Linux
+    }
+
+    #[test]
+    fn exit_moves_on() {
+        let mut s = CoopScheduler::new(&cores());
+        let c = CoreId(10);
+        s.enqueue(c, Tid(1));
+        s.enqueue(c, Tid(2));
+        s.pick_next(c);
+        assert_eq!(s.exit_current(c), Some(Tid(2)));
+        assert_eq!(s.exit_current(c), None);
+    }
+}

@@ -1,0 +1,254 @@
+//! Inter-process shared-memory segments.
+//!
+//! Sec. II: McKernel "allows inter-process memory mappings", and Sec. IV-A
+//! notes the paper "simply assume\[s\] that a straightforward shared memory
+//! segment would be sufficient" for communication between the simulation
+//! and in-situ processes. This module provides those segments: physically
+//! contiguous (buddy-backed) ranges mapped into any number of LWK
+//! processes — and, because the physical frames are plain node memory,
+//! equally readable by a Linux-side analytics process (which is exactly
+//! the simulation→in-situ hand-off path).
+
+use crate::abi::Errno;
+use crate::mck::mem::pagetable::PteFlags;
+use crate::mck::mem::phys::{BuddyAllocator, ORDER_2M};
+use crate::mck::mem::vm::VmaKind;
+use crate::mck::mem::AddressSpace;
+use hwmodel::addr::{PhysAddr, VirtAddr, PAGE_SIZE_2M};
+use std::collections::HashMap;
+
+/// Identifier of a shared segment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ShmId(pub u64);
+
+/// One shared segment: eagerly backed, physically contiguous chunks.
+#[derive(Debug)]
+pub struct ShmSegment {
+    /// Segment id.
+    pub id: ShmId,
+    /// Byte length (2 MiB granular).
+    pub len: u64,
+    /// Backing chunks (each a buddy block of `ORDER_2M`).
+    chunks: Vec<PhysAddr>,
+    /// Attach count.
+    refs: u32,
+}
+
+impl ShmSegment {
+    /// Physical address of byte `offset` within the segment.
+    pub fn phys_at(&self, offset: u64) -> Option<PhysAddr> {
+        if offset >= self.len {
+            return None;
+        }
+        let chunk = (offset / PAGE_SIZE_2M) as usize;
+        Some(self.chunks[chunk] + offset % PAGE_SIZE_2M)
+    }
+
+    /// Current attach count.
+    pub fn refs(&self) -> u32 {
+        self.refs
+    }
+}
+
+/// Segment registry (one per LWK instance).
+#[derive(Debug, Default)]
+pub struct ShmRegistry {
+    segments: HashMap<ShmId, ShmSegment>,
+    next_id: u64,
+}
+
+impl ShmRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        ShmRegistry::default()
+    }
+
+    /// Create a segment of at least `len` bytes (rounded up to 2 MiB),
+    /// eagerly backed from the buddy allocator.
+    pub fn create(&mut self, alloc: &mut BuddyAllocator, len: u64) -> Result<ShmId, Errno> {
+        if len == 0 {
+            return Err(Errno::EINVAL);
+        }
+        let len = len.div_ceil(PAGE_SIZE_2M) * PAGE_SIZE_2M;
+        let n_chunks = (len / PAGE_SIZE_2M) as usize;
+        let mut chunks = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            match alloc.alloc(ORDER_2M) {
+                Ok(p) => chunks.push(p),
+                Err(_) => {
+                    // Roll back partial allocation.
+                    for p in chunks {
+                        alloc.free(p).expect("just allocated");
+                    }
+                    return Err(Errno::ENOMEM);
+                }
+            }
+        }
+        self.next_id += 1;
+        let id = ShmId(self.next_id);
+        self.segments.insert(
+            id,
+            ShmSegment {
+                id,
+                len,
+                chunks,
+                refs: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Map the segment into `aspace` with 2 MiB leaves; bumps the attach
+    /// count. Returns the virtual base.
+    pub fn attach(&mut self, id: ShmId, aspace: &mut AddressSpace) -> Result<VirtAddr, Errno> {
+        let seg = self.segments.get_mut(&id).ok_or(Errno::ENOENT)?;
+        let va = aspace
+            .vm
+            .mmap(seg.len, VmaKind::Anon { large_ok: true }, true, None)?;
+        debug_assert!(va.raw() % PAGE_SIZE_2M == 0, "2MiB-eligible placement");
+        for (i, &chunk) in seg.chunks.iter().enumerate() {
+            aspace
+                .pt
+                .map_2m(va + i as u64 * PAGE_SIZE_2M, chunk, PteFlags::rw())
+                .map_err(|_| Errno::EEXIST)?;
+        }
+        seg.refs += 1;
+        Ok(va)
+    }
+
+    /// Unmap from one process; the segment itself persists until
+    /// [`ShmRegistry::destroy`].
+    pub fn detach(
+        &mut self,
+        id: ShmId,
+        aspace: &mut AddressSpace,
+        va: VirtAddr,
+    ) -> Result<(), Errno> {
+        let seg = self.segments.get_mut(&id).ok_or(Errno::ENOENT)?;
+        // Tear down leaves + the VMA, but do NOT free frames (shared).
+        for i in 0..seg.chunks.len() as u64 {
+            aspace.pt.unmap(va + i * PAGE_SIZE_2M);
+        }
+        aspace.vm.munmap(va, seg.len)?;
+        seg.refs = seg.refs.saturating_sub(1);
+        Ok(())
+    }
+
+    /// Destroy a segment; fails while still attached anywhere. Returns
+    /// the frames to the allocator.
+    pub fn destroy(&mut self, id: ShmId, alloc: &mut BuddyAllocator) -> Result<(), Errno> {
+        let seg = self.segments.get(&id).ok_or(Errno::ENOENT)?;
+        if seg.refs > 0 {
+            return Err(Errno::EBUSY);
+        }
+        let seg = self.segments.remove(&id).expect("just found");
+        for p in seg.chunks {
+            alloc.free(p).expect("segment owned these frames");
+        }
+        Ok(())
+    }
+
+    /// Segment accessor (Linux-side readers resolve physical addresses
+    /// through this — the cross-kernel hand-off).
+    pub fn segment(&self, id: ShmId) -> Option<&ShmSegment> {
+        self.segments.get(&id)
+    }
+
+    /// Live segment count.
+    pub fn count(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwmodel::addr::PAGE_SIZE;
+    use hwmodel::memory::PhysMemory;
+
+    fn setup() -> (ShmRegistry, BuddyAllocator, AddressSpace, AddressSpace) {
+        (
+            ShmRegistry::new(),
+            BuddyAllocator::new(PhysAddr(1 << 30), 64 << 20),
+            AddressSpace::new(true),
+            AddressSpace::new(true),
+        )
+    }
+
+    #[test]
+    fn two_processes_share_the_same_bytes() {
+        let (mut shm, mut alloc, mut a, mut b) = setup();
+        let mut mem = PhysMemory::new(4 << 30, 1);
+        let id = shm.create(&mut alloc, 3 << 20).expect("fits");
+        let va_a = shm.attach(id, &mut a).expect("attach a");
+        let va_b = shm.attach(id, &mut b).expect("attach b");
+        // Separate address spaces: the two placements may or may not
+        // coincide numerically; what matters is the shared backing.
+        // Process A writes through its translation...
+        let pa = a.pt.translate(va_a + 0x12345).expect("mapped").phys;
+        mem.write(pa, b"simulation step 42 output");
+        // ...process B reads the identical bytes through its own.
+        let pb = b.pt.translate(va_b + 0x12345).expect("mapped").phys;
+        assert_eq!(pa, pb, "same physical byte");
+        let mut buf = [0u8; 25];
+        mem.read(pb, &mut buf);
+        assert_eq!(&buf, b"simulation step 42 output");
+        assert_eq!(shm.segment(id).expect("live").refs(), 2);
+    }
+
+    #[test]
+    fn segment_is_2m_contiguous_per_chunk() {
+        let (mut shm, mut alloc, mut a, _) = setup();
+        let id = shm.create(&mut alloc, 5 << 20).expect("fits"); // rounds to 6 MiB
+        let seg_len = shm.segment(id).expect("live").len;
+        assert_eq!(seg_len, 6 << 20);
+        let va = shm.attach(id, &mut a).expect("attach");
+        // Every 2 MiB window maps as a single large leaf.
+        for i in 0..3u64 {
+            let t = a.pt.translate(va + i * PAGE_SIZE_2M).expect("mapped");
+            assert_eq!(
+                t.size,
+                crate::mck::mem::pagetable::PageSize::Size2m
+            );
+        }
+    }
+
+    #[test]
+    fn linux_side_reader_resolves_offsets() {
+        let (mut shm, mut alloc, _, _) = setup();
+        let id = shm.create(&mut alloc, 2 << 20).expect("fits");
+        let seg = shm.segment(id).expect("live");
+        let p0 = seg.phys_at(0).expect("in range");
+        let p1 = seg.phys_at(PAGE_SIZE).expect("in range");
+        assert_eq!(p1 - p0, PAGE_SIZE, "contiguous within a chunk");
+        assert!(seg.phys_at(2 << 20).is_none(), "past the end");
+    }
+
+    #[test]
+    fn destroy_requires_full_detach_and_frees_frames() {
+        let (mut shm, mut alloc, mut a, _) = setup();
+        let free0 = alloc.free_bytes();
+        let id = shm.create(&mut alloc, 2 << 20).expect("fits");
+        let va = shm.attach(id, &mut a).expect("attach");
+        assert_eq!(shm.destroy(id, &mut alloc), Err(Errno::EBUSY));
+        shm.detach(id, &mut a, va).expect("detach");
+        assert!(a.pt.translate(va).is_none(), "leaves torn down");
+        shm.destroy(id, &mut alloc).expect("no attachments left");
+        assert_eq!(alloc.free_bytes(), free0, "frames returned");
+        assert_eq!(shm.count(), 0);
+    }
+
+    #[test]
+    fn create_rolls_back_on_exhaustion() {
+        let (mut shm, mut alloc, _, _) = setup();
+        let free0 = alloc.free_bytes();
+        assert_eq!(shm.create(&mut alloc, 1 << 30), Err(Errno::ENOMEM));
+        assert_eq!(alloc.free_bytes(), free0, "partial allocation rolled back");
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        let (mut shm, mut alloc, _, _) = setup();
+        assert_eq!(shm.create(&mut alloc, 0), Err(Errno::EINVAL));
+    }
+}

@@ -1,0 +1,230 @@
+//! The system-call table: what McKernel implements locally and what it
+//! delegates to Linux.
+//!
+//! Sec. II: McKernel "implements only a small set of performance sensitive
+//! system calls and the rest are delegated to Linux. Specifically, McKernel
+//! has its own memory management, it supports processes and multi-threading
+//! ... and it implements signaling. It also allows inter-process memory
+//! mappings and it provides interfaces to hardware performance counters."
+//! Everything filesystem/device shaped goes to the proxy.
+
+use crate::abi::Sysno;
+
+/// Where a system call executes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Disposition {
+    /// Handled entirely inside McKernel (performance-sensitive set).
+    Lwk,
+    /// Marshalled over IKC and executed by the proxy process on Linux.
+    Delegate,
+}
+
+/// Static disposition of a syscall. `mmap` is special-cased: anonymous
+/// mappings are local, file/device-backed mappings take the Fig. 4
+/// delegation path — use [`mmap_disposition`] for those.
+pub fn disposition(s: Sysno) -> Disposition {
+    use Sysno::*;
+    match s {
+        // Memory management — McKernel's own.
+        Mmap | Munmap | Brk | Mprotect | Madvise => Disposition::Lwk,
+        // Process / thread / scheduling.
+        Clone | SchedYield | Getpid | Exit | ExitGroup | SchedSetaffinity
+        | SchedGetaffinity | Nanosleep => Disposition::Lwk,
+        // Signaling is implemented in the LWK.
+        RtSigaction | RtSigprocmask | Kill => Disposition::Lwk,
+        // Performance counters.
+        PerfEventOpen => Disposition::Lwk,
+        // Cheap local reads.
+        Gettimeofday => Disposition::Lwk,
+        // Everything touching files, devices, or Linux state.
+        Read | Write | Open | Openat | Close | Stat | Ioctl | Fcntl | Getcwd | Uname
+        | GetRandom => Disposition::Delegate,
+    }
+}
+
+/// `mmap` disposition by backing: `fd == -1` (anonymous) stays local;
+/// file/device mmap is forwarded to Linux (Fig. 4 step 2).
+pub fn mmap_disposition(fd_arg: u64) -> Disposition {
+    if fd_arg == u64::MAX {
+        Disposition::Lwk
+    } else {
+        Disposition::Delegate
+    }
+}
+
+/// A marshalled system call crossing the IKC channel.
+///
+/// "During system call delegation McKernel marshalls the system call number
+/// along with its arguments and sends a message to Linux via a dedicated
+/// IKC channel" (Sec. III-A). Pointer arguments are *not* chased at marshal
+/// time — the unified address space lets the proxy dereference them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SyscallRequest {
+    /// Request sequence number (matches the reply).
+    pub seq: u64,
+    /// Calling process.
+    pub pid: u32,
+    /// Calling thread.
+    pub tid: u32,
+    /// System call number.
+    pub sysno: u32,
+    /// The six x86-64 argument registers.
+    pub args: [u64; 6],
+}
+
+/// Reply to a [`SyscallRequest`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SyscallReply {
+    /// Request sequence number.
+    pub seq: u64,
+    /// Raw return value in Linux convention (negative errno on failure).
+    pub ret: i64,
+}
+
+impl SyscallRequest {
+    /// Wire size in bytes.
+    pub const WIRE_SIZE: usize = 8 + 4 + 4 + 4 + 4 + 6 * 8;
+
+    /// Serialize (little-endian, fixed layout).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::WIRE_SIZE);
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.pid.to_le_bytes());
+        out.extend_from_slice(&self.tid.to_le_bytes());
+        out.extend_from_slice(&self.sysno.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // pad
+        for a in self.args {
+            out.extend_from_slice(&a.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize; `None` on short/garbled input.
+    pub fn decode(buf: &[u8]) -> Option<SyscallRequest> {
+        if buf.len() != Self::WIRE_SIZE {
+            return None;
+        }
+        let u64_at =
+            |i: usize| u64::from_le_bytes(buf[i..i + 8].try_into().expect("length checked"));
+        let u32_at =
+            |i: usize| u32::from_le_bytes(buf[i..i + 4].try_into().expect("length checked"));
+        let seq = u64_at(0);
+        let pid = u32_at(8);
+        let tid = u32_at(12);
+        let sysno = u32_at(16);
+        let mut args = [0u64; 6];
+        for (k, a) in args.iter_mut().enumerate() {
+            *a = u64_at(24 + 8 * k);
+        }
+        Some(SyscallRequest {
+            seq,
+            pid,
+            tid,
+            sysno,
+            args,
+        })
+    }
+}
+
+impl SyscallReply {
+    /// Wire size in bytes.
+    pub const WIRE_SIZE: usize = 16;
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::WIRE_SIZE);
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.ret.to_le_bytes());
+        out
+    }
+
+    /// Deserialize.
+    pub fn decode(buf: &[u8]) -> Option<SyscallReply> {
+        if buf.len() != Self::WIRE_SIZE {
+            return None;
+        }
+        Some(SyscallReply {
+            seq: u64::from_le_bytes(buf[0..8].try_into().ok()?),
+            ret: i64::from_le_bytes(buf[8..16].try_into().ok()?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_sensitive_set_is_local() {
+        for s in [
+            Sysno::Mmap,
+            Sysno::Munmap,
+            Sysno::Brk,
+            Sysno::SchedYield,
+            Sysno::Getpid,
+            Sysno::Clone,
+            Sysno::RtSigaction,
+            Sysno::PerfEventOpen,
+            Sysno::Gettimeofday,
+        ] {
+            assert_eq!(disposition(s), Disposition::Lwk, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn io_and_files_delegate() {
+        for s in [
+            Sysno::Read,
+            Sysno::Write,
+            Sysno::Open,
+            Sysno::Close,
+            Sysno::Ioctl,
+            Sysno::Stat,
+            Sysno::Getcwd,
+        ] {
+            assert_eq!(disposition(s), Disposition::Delegate, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn every_syscall_has_a_disposition() {
+        // Force the match to stay total as the table grows.
+        for &s in Sysno::all() {
+            let _ = disposition(s);
+        }
+    }
+
+    #[test]
+    fn mmap_splits_on_backing() {
+        assert_eq!(mmap_disposition(u64::MAX), Disposition::Lwk);
+        assert_eq!(mmap_disposition(3), Disposition::Delegate);
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let req = SyscallRequest {
+            seq: 77,
+            pid: 1000,
+            tid: 1001,
+            sysno: Sysno::Write.nr(),
+            args: [3, 0x2000_0000_0000, 4096, 0, 0, 0],
+        };
+        let bytes = req.encode();
+        assert_eq!(bytes.len(), SyscallRequest::WIRE_SIZE);
+        assert_eq!(SyscallRequest::decode(&bytes), Some(req));
+    }
+
+    #[test]
+    fn reply_round_trip_including_errno() {
+        for ret in [0i64, 4096, -38] {
+            let r = SyscallReply { seq: 9, ret };
+            assert_eq!(SyscallReply::decode(&r.encode()), Some(r));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_short_buffers() {
+        assert_eq!(SyscallRequest::decode(&[0u8; 10]), None);
+        assert_eq!(SyscallReply::decode(&[0u8; 15]), None);
+    }
+}

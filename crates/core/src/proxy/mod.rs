@@ -1,0 +1,96 @@
+//! The proxy process.
+//!
+//! "For each process running on McKernel there is a process created on the
+//! Linux side, which we call the proxy-process. The proxy process' central
+//! role is to facilitate system call offloading... The proxy process also
+//! enables Linux to maintain certain state information that would have to
+//! be otherwise kept track of in the LWK" (Sec. II) — e.g., the file
+//! descriptor table lives in Linux, not in McKernel.
+
+pub mod devmap;
+pub mod unified;
+
+use crate::abi::Pid;
+use crate::mck::mem::vm::{VmSpace, EXCLUDED_END, EXCLUDED_START};
+use hwmodel::addr::VirtAddr;
+use unified::UnifiedAddressSpace;
+
+/// Execution state of the proxy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProxyState {
+    /// Parked in the delegator `ioctl()` waiting for requests.
+    Parked,
+    /// Executing an offloaded syscall (sequence number attached).
+    Executing(u64),
+}
+
+/// A proxy process on Linux, paired with one McKernel application.
+#[derive(Debug)]
+pub struct ProxyProcess {
+    /// Linux pid of the proxy.
+    pub pid: Pid,
+    /// McKernel pid of the application it serves.
+    pub app_pid: Pid,
+    /// Load address of the position-independent proxy image — inside the
+    /// range excluded from McKernel user space (Fig. 3, red box).
+    pub image_base: VirtAddr,
+    /// The proxy's Linux-side VMA tree (device files are `vm_mmap()`ed
+    /// here in Fig. 4 step 3).
+    pub linux_vm: VmSpace,
+    /// The pseudo mapping covering the application's user range
+    /// (Fig. 3, green box).
+    pub uas: UnifiedAddressSpace,
+    /// Current state.
+    pub state: ProxyState,
+}
+
+impl ProxyProcess {
+    /// Spawn the proxy for application `app_pid`. The PIE image is placed
+    /// in the excluded range.
+    pub fn new(pid: Pid, app_pid: Pid) -> Self {
+        let mut linux_vm = VmSpace::proxy_side();
+        // Load the proxy image (text+data+heap, modeled as one 32 MiB VMA)
+        // at the start of the excluded window.
+        let image_base = linux_vm
+            .mmap(
+                32 << 20,
+                crate::mck::mem::vm::VmaKind::Anon { large_ok: false },
+                true,
+                Some(VirtAddr(EXCLUDED_START)),
+            )
+            .expect("excluded range free in a fresh proxy");
+        ProxyProcess {
+            pid,
+            app_pid,
+            image_base,
+            linux_vm,
+            uas: UnifiedAddressSpace::new(),
+            state: ProxyState::Parked,
+        }
+    }
+
+    /// Whether the image landed inside the excluded window (invariant the
+    /// unified address space depends on).
+    pub fn image_in_excluded_range(&self) -> bool {
+        self.image_base.raw() >= EXCLUDED_START && self.image_base.raw() < EXCLUDED_END
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxy_image_is_in_excluded_window() {
+        let p = ProxyProcess::new(Pid(500), Pid(1000));
+        assert!(p.image_in_excluded_range());
+        assert_eq!(p.state, ProxyState::Parked);
+    }
+
+    #[test]
+    fn proxy_vm_holds_the_image() {
+        let p = ProxyProcess::new(Pid(500), Pid(1000));
+        assert!(p.linux_vm.vma_at(p.image_base).is_some());
+        assert_eq!(p.linux_vm.mapped_bytes(), 32 << 20);
+    }
+}

@@ -1,0 +1,292 @@
+//! The unified address space (Sec. III-A, Fig. 3).
+//!
+//! "The entire valid virtual address range of McKernel's application
+//! user-space is covered by a special mapping in the proxy process for
+//! which we use a pseudo file mapping in Linux... Every time an unmapped
+//! address is accessed, the page fault handler of the pseudo mapping
+//! consults the page tables corresponding to the application on the LWK
+//! and maps it to the exact same physical page."
+//!
+//! The payoff is testable directly here: offloaded syscalls executed by
+//! the proxy read and write **the application's bytes** through
+//! [`UnifiedAddressSpace::read`]/[`write`](UnifiedAddressSpace::write),
+//! which go va → (LWK page table) → physical frame → `PhysMemory`.
+
+use crate::costs::CostModel;
+use crate::mck::mem::pagetable::PageTable;
+use crate::mck::mem::vm::{EXCLUDED_END, EXCLUDED_START, USER_END, USER_START};
+use hwmodel::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
+use hwmodel::memory::PhysMemory;
+use simcore::Cycles;
+use std::collections::HashMap;
+
+/// Faults the pseudo mapping can raise.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UasFault {
+    /// Address is inside the excluded proxy-image window — by construction
+    /// the pseudo mapping does not cover it.
+    ExcludedRange(VirtAddr),
+    /// Address is outside McKernel's valid user range.
+    OutOfRange(VirtAddr),
+    /// The LWK page tables have no translation: the *application* never
+    /// touched this page either, so the access is a genuine EFAULT (the
+    /// app would have passed a bad pointer).
+    NotMappedOnLwk(VirtAddr),
+}
+
+/// Proxy-side pseudo-mapping state: which pages have been faulted in and
+/// what they resolve to.
+#[derive(Debug, Default)]
+pub struct UnifiedAddressSpace {
+    faulted: HashMap<u64, PhysAddr>,
+    fault_count: u64,
+    hit_count: u64,
+    invalidated: u64,
+}
+
+impl UnifiedAddressSpace {
+    /// Empty pseudo mapping (no pages faulted).
+    pub fn new() -> Self {
+        UnifiedAddressSpace::default()
+    }
+
+    /// Resolve `va` to the physical page backing the application's memory,
+    /// faulting the pseudo-mapping PTE in on first touch. Returns the
+    /// physical address of the *byte* and the service cost (near zero for
+    /// already-faulted pages).
+    pub fn resolve(
+        &mut self,
+        va: VirtAddr,
+        lwk_pt: &PageTable,
+        costs: &CostModel,
+    ) -> Result<(PhysAddr, Cycles), UasFault> {
+        let raw = va.raw();
+        if (EXCLUDED_START..EXCLUDED_END).contains(&raw) {
+            return Err(UasFault::ExcludedRange(va));
+        }
+        if !(USER_START..USER_END).contains(&raw) {
+            return Err(UasFault::OutOfRange(va));
+        }
+        let page = va.page_align_down().raw();
+        if let Some(&base) = self.faulted.get(&page) {
+            self.hit_count += 1;
+            return Ok((base + va.page_offset(), Cycles::ZERO));
+        }
+        let tr = lwk_pt
+            .translate(va)
+            .ok_or(UasFault::NotMappedOnLwk(va))?;
+        let page_phys = tr.phys.page_align_down();
+        self.faulted.insert(page, page_phys);
+        self.fault_count += 1;
+        Ok((page_phys + va.page_offset(), costs.unified_fault))
+    }
+
+    /// Proxy-side read of application memory (pointer-argument
+    /// dereference during an offloaded syscall). Returns total fault cost.
+    pub fn read(
+        &mut self,
+        va: VirtAddr,
+        out: &mut [u8],
+        lwk_pt: &PageTable,
+        mem: &PhysMemory,
+        costs: &CostModel,
+    ) -> Result<Cycles, UasFault> {
+        let mut cost = Cycles::ZERO;
+        let mut done = 0usize;
+        while done < out.len() {
+            let cur = va + done as u64;
+            let (pa, c) = self.resolve(cur, lwk_pt, costs)?;
+            cost += c;
+            let n = (out.len() - done).min((PAGE_SIZE - cur.page_offset()) as usize);
+            mem.read(pa, &mut out[done..done + n]);
+            done += n;
+        }
+        Ok(cost)
+    }
+
+    /// Proxy-side write into application memory (e.g. `read()` results).
+    pub fn write(
+        &mut self,
+        va: VirtAddr,
+        data: &[u8],
+        lwk_pt: &PageTable,
+        mem: &mut PhysMemory,
+        costs: &CostModel,
+    ) -> Result<Cycles, UasFault> {
+        let mut cost = Cycles::ZERO;
+        let mut done = 0usize;
+        while done < data.len() {
+            let cur = va + done as u64;
+            let (pa, c) = self.resolve(cur, lwk_pt, costs)?;
+            cost += c;
+            let n = (data.len() - done).min((PAGE_SIZE - cur.page_offset()) as usize);
+            mem.write(pa, &data[done..done + n]);
+            done += n;
+        }
+        Ok(cost)
+    }
+
+    /// Synchronization on `munmap`: "Linux' page table entries in the
+    /// pseudo mapping have to be occasionally synchronized with McKernel,
+    /// for instance, when the application calls munmap()". Returns the
+    /// number of PTEs shot down.
+    pub fn invalidate_range(&mut self, start: VirtAddr, len: u64) -> u64 {
+        let s = start.page_align_down().raw();
+        let e = start.raw() + len;
+        let before = self.faulted.len();
+        self.faulted.retain(|&page, _| page < s || page >= e);
+        let removed = (before - self.faulted.len()) as u64;
+        self.invalidated += removed;
+        removed
+    }
+
+    /// (first-touch faults, cached hits, invalidated PTEs).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.fault_count, self.hit_count, self.invalidated)
+    }
+
+    /// Populated pseudo-mapping PTE count.
+    pub fn resident_ptes(&self) -> usize {
+        self.faulted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mck::mem::pagetable::PteFlags;
+
+    fn setup() -> (PageTable, PhysMemory, CostModel) {
+        let mut pt = PageTable::new();
+        pt.map_4k(VirtAddr(0x100_0000), PhysAddr(0x20_0000), PteFlags::rw())
+            .unwrap();
+        pt.map_4k(VirtAddr(0x100_1000), PhysAddr(0x5_0000), PteFlags::rw())
+            .unwrap();
+        (pt, PhysMemory::new(1 << 30, 1), CostModel::default())
+    }
+
+    #[test]
+    fn resolves_to_the_exact_same_physical_page() {
+        let (pt, _, costs) = setup();
+        let mut uas = UnifiedAddressSpace::new();
+        let (pa, cost) = uas.resolve(VirtAddr(0x100_0123), &pt, &costs).unwrap();
+        assert_eq!(pa, PhysAddr(0x20_0123));
+        assert_eq!(cost, costs.unified_fault);
+        // Second access: PTE cached, no fault cost.
+        let (pa2, cost2) = uas.resolve(VirtAddr(0x100_0456), &pt, &costs).unwrap();
+        assert_eq!(pa2, PhysAddr(0x20_0456));
+        assert_eq!(cost2, Cycles::ZERO);
+        assert_eq!(uas.stats().0, 1);
+        assert_eq!(uas.stats().1, 1);
+    }
+
+    #[test]
+    fn proxy_sees_app_bytes() {
+        let (pt, mut mem, costs) = setup();
+        // The "application" wrote through its own mapping.
+        mem.write(PhysAddr(0x20_0100), b"syscall-arg-buffer");
+        let mut uas = UnifiedAddressSpace::new();
+        let mut buf = [0u8; 18];
+        uas.read(VirtAddr(0x100_0100), &mut buf, &pt, &mem, &costs)
+            .unwrap();
+        assert_eq!(&buf, b"syscall-arg-buffer");
+    }
+
+    #[test]
+    fn proxy_writes_are_visible_to_app() {
+        let (pt, mut mem, costs) = setup();
+        let mut uas = UnifiedAddressSpace::new();
+        uas.write(VirtAddr(0x100_0800), b"result", &pt, &mut mem, &costs)
+            .unwrap();
+        // The app reads through its own translation.
+        let pa = pt.translate(VirtAddr(0x100_0800)).unwrap().phys;
+        let mut back = [0u8; 6];
+        mem.read(pa, &mut back);
+        assert_eq!(&back, b"result");
+    }
+
+    #[test]
+    fn cross_page_read_spans_discontiguous_frames() {
+        let (pt, mut mem, costs) = setup();
+        // Pages 0x100_0000 and 0x100_1000 map to wildly different frames.
+        mem.write(PhysAddr(0x20_0000 + 0xff0), b"AAAABBBBCCCCDDDD");
+        // ... but only the first 16 bytes of that write are on page one;
+        // emulate the app writing the tail on the second page.
+        mem.write(PhysAddr(0x5_0000), b"tail-on-page-two");
+        let mut uas = UnifiedAddressSpace::new();
+        let mut buf = [0u8; 32];
+        uas.read(VirtAddr(0x100_0ff0), &mut buf, &pt, &mem, &costs)
+            .unwrap();
+        assert_eq!(&buf[..16], b"AAAABBBBCCCCDDDD");
+        assert_eq!(&buf[16..], b"tail-on-page-two");
+        assert_eq!(uas.resident_ptes(), 2);
+    }
+
+    #[test]
+    fn excluded_range_faults() {
+        let (pt, _, costs) = setup();
+        let mut uas = UnifiedAddressSpace::new();
+        let va = VirtAddr(EXCLUDED_START + 0x1000);
+        assert_eq!(
+            uas.resolve(va, &pt, &costs),
+            Err(UasFault::ExcludedRange(va))
+        );
+    }
+
+    #[test]
+    fn unmapped_app_page_is_efault() {
+        let (pt, _, costs) = setup();
+        let mut uas = UnifiedAddressSpace::new();
+        let va = VirtAddr(0x7000_0000);
+        assert_eq!(
+            uas.resolve(va, &pt, &costs),
+            Err(UasFault::NotMappedOnLwk(va))
+        );
+    }
+
+    #[test]
+    fn out_of_user_range_rejected() {
+        let (pt, _, costs) = setup();
+        let mut uas = UnifiedAddressSpace::new();
+        assert_eq!(
+            uas.resolve(VirtAddr(0x100), &pt, &costs),
+            Err(UasFault::OutOfRange(VirtAddr(0x100)))
+        );
+        assert_eq!(
+            uas.resolve(VirtAddr(USER_END + 0x1000), &pt, &costs),
+            Err(UasFault::OutOfRange(VirtAddr(USER_END + 0x1000)))
+        );
+    }
+
+    #[test]
+    fn munmap_sync_invalidates_pseudo_ptes() {
+        let (pt, _, costs) = setup();
+        let mut uas = UnifiedAddressSpace::new();
+        uas.resolve(VirtAddr(0x100_0000), &pt, &costs).unwrap();
+        uas.resolve(VirtAddr(0x100_1000), &pt, &costs).unwrap();
+        assert_eq!(uas.resident_ptes(), 2);
+        let n = uas.invalidate_range(VirtAddr(0x100_0000), 0x1000);
+        assert_eq!(n, 1);
+        assert_eq!(uas.resident_ptes(), 1);
+        // After invalidation, a fresh access re-faults (and would observe a
+        // *new* translation if McKernel remapped the page).
+        let (_, cost) = uas.resolve(VirtAddr(0x100_0000), &pt, &costs).unwrap();
+        assert_eq!(cost, costs.unified_fault);
+    }
+
+    #[test]
+    fn stale_translation_detected_after_remap() {
+        // Documented semantics: invalidate-then-refault picks up remaps.
+        let (mut pt, _, costs) = setup();
+        let mut uas = UnifiedAddressSpace::new();
+        let va = VirtAddr(0x100_0000);
+        let (pa1, _) = uas.resolve(va, &pt, &costs).unwrap();
+        // McKernel unmaps and remaps the page to a different frame.
+        pt.unmap(va);
+        pt.map_4k(va, PhysAddr(0x77_0000), PteFlags::rw()).unwrap();
+        uas.invalidate_range(va, PAGE_SIZE);
+        let (pa2, _) = uas.resolve(va, &pt, &costs).unwrap();
+        assert_ne!(pa1.page_align_down(), pa2.page_align_down());
+        assert_eq!(pa2, PhysAddr(0x77_0000));
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests for McKernel memory management: the buddy allocator and
+//! the page table are checked against simple reference models under random
+//! operation sequences.
+
+use hlwk_core::mck::mem::pagetable::{PageSize, PageTable, PteFlags};
+use hlwk_core::mck::mem::phys::{AllocError, BuddyAllocator, MAX_ORDER};
+use hwmodel::addr::{PhysAddr, VirtAddr, PAGE_SIZE, PAGE_SIZE_2M};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const POOL_BASE: u64 = 64 << 20;
+const POOL_LEN: u64 = 8 << 20;
+
+#[derive(Clone, Debug)]
+enum AllocOp {
+    Alloc(u8),
+    FreeNth(usize),
+}
+
+fn alloc_ops() -> impl Strategy<Value = Vec<AllocOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..=MAX_ORDER).prop_map(AllocOp::Alloc),
+            (0usize..64).prop_map(AllocOp::FreeNth),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// Invariants hold and accounting is exact under arbitrary alloc/free
+    /// interleavings; blocks never overlap.
+    #[test]
+    fn buddy_invariants_under_random_ops(ops in alloc_ops()) {
+        let mut a = BuddyAllocator::new(PhysAddr(POOL_BASE), POOL_LEN);
+        let mut live: Vec<(PhysAddr, u8)> = Vec::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                AllocOp::Alloc(order) => match a.alloc(order) {
+                    Ok(p) => {
+                        // Natural alignment.
+                        prop_assert_eq!(
+                            (p.raw() - POOL_BASE) % (PAGE_SIZE << order), 0
+                        );
+                        // No overlap with any live block.
+                        for &(q, qo) in &live {
+                            let (ps, pe) = (p.raw(), p.raw() + (PAGE_SIZE << order));
+                            let (qs, qe) = (q.raw(), q.raw() + (PAGE_SIZE << qo));
+                            prop_assert!(pe <= qs || qe <= ps, "overlap");
+                        }
+                        live.push((p, order));
+                    }
+                    Err(AllocError::OutOfMemory) => {}
+                    Err(e) => prop_assert!(false, "unexpected {e:?}"),
+                },
+                AllocOp::FreeNth(i) => {
+                    if !live.is_empty() {
+                        let (p, _) = live.swap_remove(i % live.len());
+                        a.free(p).expect("live block frees cleanly");
+                    }
+                }
+            }
+            // Full invariant sweep is O(pages); sample it.
+            if i % 29 == 0 {
+                a.check_invariants().map_err(|e| {
+                    TestCaseError::fail(format!("invariant: {e}"))
+                })?;
+            }
+        }
+        a.check_invariants().map_err(|e| {
+            TestCaseError::fail(format!("invariant: {e}"))
+        })?;
+        // Free everything: allocator must return to pristine.
+        for (p, _) in live {
+            a.free(p).unwrap();
+        }
+        prop_assert_eq!(a.free_bytes(), POOL_LEN);
+        prop_assert_eq!(a.largest_free_order(), Some(MAX_ORDER));
+    }
+}
+
+#[derive(Clone, Debug)]
+enum PtOp {
+    Map4k { slot: u16, frame: u16 },
+    Map2m { slot: u16, frame: u16 },
+    Unmap { slot: u16 },
+    Translate { slot: u16, off: u32 },
+}
+
+fn pt_ops() -> impl Strategy<Value = Vec<PtOp>> {
+    // Slots index into a small set of 2 MiB-aligned virtual windows so
+    // collisions between 4K and 2M mappings actually happen.
+    prop::collection::vec(
+        prop_oneof![
+            (0u16..32, 0u16..512).prop_map(|(slot, frame)| PtOp::Map4k { slot, frame }),
+            (0u16..32, 0u16..64).prop_map(|(slot, frame)| PtOp::Map2m { slot, frame }),
+            (0u16..32).prop_map(|slot| PtOp::Unmap { slot }),
+            (0u16..32, 0u32..0x20_0000).prop_map(|(slot, off)| PtOp::Translate { slot, off }),
+        ],
+        1..300,
+    )
+}
+
+fn slot_va(slot: u16) -> u64 {
+    0x4000_0000 + (slot as u64) * PAGE_SIZE_2M
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// The page table agrees with a flat reference map under random
+    /// map/unmap/translate sequences mixing 4 KiB and 2 MiB leaves.
+    #[test]
+    fn pagetable_matches_reference_model(ops in pt_ops()) {
+        let mut pt = PageTable::new();
+        // Reference: page-va -> (phys base, is_2m)
+        let mut model: HashMap<u64, (u64, bool)> = HashMap::new();
+        for op in ops {
+            match op {
+                PtOp::Map4k { slot, frame } => {
+                    let va = slot_va(slot) + u64::from(frame) * PAGE_SIZE;
+                    let pa = 0x100_0000 + u64::from(frame) * PAGE_SIZE
+                        + u64::from(slot) * PAGE_SIZE_2M;
+                    let conflict = model.contains_key(&va)
+                        || model.contains_key(&slot_va(slot))
+                            && model[&slot_va(slot)].1;
+                    let r = pt.map_4k(VirtAddr(va), PhysAddr(pa), PteFlags::rw());
+                    if conflict {
+                        prop_assert!(r.is_err(), "model expected conflict at {va:#x}");
+                    } else if r.is_ok() {
+                        model.insert(va, (pa, false));
+                    }
+                }
+                PtOp::Map2m { slot, frame } => {
+                    let va = slot_va(slot);
+                    let pa = (0x4000_0000 + u64::from(frame) * PAGE_SIZE_2M)
+                        / PAGE_SIZE_2M * PAGE_SIZE_2M;
+                    // Conflicts with any 4K page inside the window or an
+                    // existing 2M leaf.
+                    let window_conflict = model
+                        .keys()
+                        .any(|&k| k >= va && k < va + PAGE_SIZE_2M);
+                    let r = pt.map_2m(VirtAddr(va), PhysAddr(pa), PteFlags::rw());
+                    if window_conflict {
+                        prop_assert!(r.is_err());
+                    } else {
+                        prop_assert!(r.is_ok());
+                        model.insert(va, (pa, true));
+                    }
+                }
+                PtOp::Unmap { slot } => {
+                    let va = slot_va(slot);
+                    // Remove whichever leaf covers the window start.
+                    let removed = pt.unmap(VirtAddr(va));
+                    match removed {
+                        Some((pa, PageSize::Size2m)) => {
+                            prop_assert_eq!(model.remove(&va), Some((pa.raw(), true)));
+                        }
+                        Some((pa, PageSize::Size4k)) => {
+                            prop_assert_eq!(model.remove(&va), Some((pa.raw(), false)));
+                        }
+                        None => prop_assert!(!model.contains_key(&va)),
+                    }
+                }
+                PtOp::Translate { slot, off } => {
+                    let va = slot_va(slot) + u64::from(off);
+                    let got = pt.translate(VirtAddr(va));
+                    // Compute expectation from the model.
+                    let page_va = va / PAGE_SIZE * PAGE_SIZE;
+                    let win_va = va / PAGE_SIZE_2M * PAGE_SIZE_2M;
+                    let expected = if let Some(&(pa, true)) = model.get(&win_va) {
+                        Some(pa + (va - win_va))
+                    } else {
+                        model
+                            .get(&page_va)
+                            .filter(|&&(_, big)| !big)
+                            .map(|&(pa, _)| pa + (va - page_va))
+                    };
+                    prop_assert_eq!(got.map(|t| t.phys.raw()), expected);
+                }
+            }
+        }
+        // Leaf accounting matches the model.
+        let (n4k, n2m) = pt.leaf_counts();
+        let m2m = model.values().filter(|v| v.1).count() as u64;
+        let m4k = model.values().filter(|v| !v.1).count() as u64;
+        prop_assert_eq!((n4k, n2m), (m4k, m2m));
+    }
+}

@@ -1,0 +1,168 @@
+//! Virtual and physical addresses with page arithmetic.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Base page size (x86-64 4 KiB pages).
+pub const PAGE_SIZE: u64 = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+/// Large page size (x86-64 2 MiB pages) — McKernel backs anonymous memory
+/// with these when alignment and length allow, which is the mechanism
+/// behind its TLB advantage (DESIGN.md D4).
+pub const PAGE_SIZE_2M: u64 = 2 * 1024 * 1024;
+
+/// A virtual address in some process address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+/// A physical (or PCI bus) address on some node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+macro_rules! addr_impl {
+    ($t:ident, $tag:literal) => {
+        impl $t {
+            /// Zero address.
+            pub const NULL: $t = $t(0);
+
+            /// Round down to a page boundary.
+            #[inline]
+            pub fn page_align_down(self) -> $t {
+                $t(self.0 & !(PAGE_SIZE - 1))
+            }
+
+            /// Round up to a page boundary.
+            #[inline]
+            pub fn page_align_up(self) -> $t {
+                $t((self.0 + PAGE_SIZE - 1) & !(PAGE_SIZE - 1))
+            }
+
+            /// Is this page-aligned?
+            #[inline]
+            pub fn is_page_aligned(self) -> bool {
+                self.0 & (PAGE_SIZE - 1) == 0
+            }
+
+            /// Is this aligned to a 2 MiB boundary?
+            #[inline]
+            pub fn is_2m_aligned(self) -> bool {
+                self.0 & (PAGE_SIZE_2M - 1) == 0
+            }
+
+            /// Byte offset within the containing 4 KiB page.
+            #[inline]
+            pub fn page_offset(self) -> u64 {
+                self.0 & (PAGE_SIZE - 1)
+            }
+
+            /// Raw numeric value.
+            #[inline]
+            pub fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Checked addition of a byte offset.
+            #[inline]
+            pub fn checked_add(self, off: u64) -> Option<$t> {
+                self.0.checked_add(off).map($t)
+            }
+        }
+
+        impl Add<u64> for $t {
+            type Output = $t;
+            #[inline]
+            fn add(self, rhs: u64) -> $t {
+                $t(self.0 + rhs)
+            }
+        }
+
+        impl Sub<u64> for $t {
+            type Output = $t;
+            #[inline]
+            fn sub(self, rhs: u64) -> $t {
+                $t(self.0 - rhs)
+            }
+        }
+
+        impl Sub<$t> for $t {
+            type Output = u64;
+            #[inline]
+            fn sub(self, rhs: $t) -> u64 {
+                self.0 - rhs.0
+            }
+        }
+
+        impl fmt::Debug for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{:#x}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+    };
+}
+
+addr_impl!(VirtAddr, "v");
+addr_impl!(PhysAddr, "p");
+
+/// Iterate over the page-aligned starts of every 4 KiB page overlapping
+/// `[start, start+len)`.
+pub fn pages_covering(start: VirtAddr, len: u64) -> impl Iterator<Item = VirtAddr> {
+    let first = start.page_align_down().raw();
+    let end = start.raw() + len;
+    let last = if len == 0 { first } else { (end - 1) & !(PAGE_SIZE - 1) };
+    (first..=last).step_by(PAGE_SIZE as usize).map(VirtAddr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment() {
+        let a = VirtAddr(0x1234);
+        assert_eq!(a.page_align_down(), VirtAddr(0x1000));
+        assert_eq!(a.page_align_up(), VirtAddr(0x2000));
+        assert!(VirtAddr(0x3000).is_page_aligned());
+        assert!(!a.is_page_aligned());
+        assert_eq!(a.page_offset(), 0x234);
+        assert!(PhysAddr(0x200000).is_2m_aligned());
+        assert!(!PhysAddr(0x201000).is_2m_aligned());
+    }
+
+    #[test]
+    fn align_up_of_aligned_is_identity() {
+        assert_eq!(VirtAddr(0x4000).page_align_up(), VirtAddr(0x4000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = PhysAddr(0x1000);
+        assert_eq!(a + 0x10, PhysAddr(0x1010));
+        assert_eq!((a + 0x10) - a, 0x10);
+        assert_eq!(a.checked_add(u64::MAX), None);
+    }
+
+    #[test]
+    fn pages_covering_spans() {
+        let pages: Vec<_> = pages_covering(VirtAddr(0x1800), 0x1000).collect();
+        assert_eq!(pages, vec![VirtAddr(0x1000), VirtAddr(0x2000)]);
+        let one: Vec<_> = pages_covering(VirtAddr(0x1000), 1).collect();
+        assert_eq!(one, vec![VirtAddr(0x1000)]);
+        let zero: Vec<_> = pages_covering(VirtAddr(0x1000), 0).collect();
+        assert_eq!(zero, vec![VirtAddr(0x1000)]);
+        let exact: Vec<_> = pages_covering(VirtAddr(0x1000), 0x1000).collect();
+        assert_eq!(exact, vec![VirtAddr(0x1000)]);
+    }
+
+    #[test]
+    fn debug_formats_tagged() {
+        assert_eq!(format!("{:?}", VirtAddr(0x10)), "v0x10");
+        assert_eq!(format!("{:?}", PhysAddr(0x10)), "p0x10");
+    }
+}

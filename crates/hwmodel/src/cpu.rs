@@ -1,0 +1,138 @@
+//! Socket / core / NUMA topology.
+
+use std::fmt;
+
+/// Node-local logical CPU core number (0-based, dense).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CoreId(pub u16);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// NUMA domain number within a node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NumaId(pub u16);
+
+impl fmt::Display for NumaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "numa{}", self.0)
+    }
+}
+
+/// Static CPU topology of one node.
+///
+/// Cores are numbered socket-major: socket 0 holds cores
+/// `0..cores_per_socket`, socket 1 the next batch, and so on. Each socket is
+/// one NUMA domain (true for the E5-2680v2 testbed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CpuTopology {
+    sockets: u16,
+    cores_per_socket: u16,
+}
+
+impl CpuTopology {
+    /// Build a topology; panics on a zero dimension.
+    pub fn new(sockets: u16, cores_per_socket: u16) -> Self {
+        assert!(sockets > 0 && cores_per_socket > 0);
+        CpuTopology {
+            sockets,
+            cores_per_socket,
+        }
+    }
+
+    /// The paper's testbed: 2 sockets x 10 cores.
+    pub fn paper_testbed() -> Self {
+        CpuTopology::new(2, 10)
+    }
+
+    /// Number of sockets (== NUMA domains).
+    pub fn sockets(&self) -> u16 {
+        self.sockets
+    }
+
+    /// Cores per socket.
+    pub fn cores_per_socket(&self) -> u16 {
+        self.cores_per_socket
+    }
+
+    /// Total core count.
+    pub fn num_cores(&self) -> u16 {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Number of NUMA domains.
+    pub fn num_numa(&self) -> u16 {
+        self.sockets
+    }
+
+    /// NUMA domain of a core. Panics on an out-of-range core.
+    pub fn numa_of(&self, core: CoreId) -> NumaId {
+        assert!(core.0 < self.num_cores(), "core {core} out of range");
+        NumaId(core.0 / self.cores_per_socket)
+    }
+
+    /// All cores in a NUMA domain, ascending.
+    pub fn cores_in_numa(&self, numa: NumaId) -> Vec<CoreId> {
+        assert!(numa.0 < self.num_numa(), "{numa} out of range");
+        let start = numa.0 * self.cores_per_socket;
+        (start..start + self.cores_per_socket).map(CoreId).collect()
+    }
+
+    /// All cores on the node, ascending.
+    pub fn all_cores(&self) -> Vec<CoreId> {
+        (0..self.num_cores()).map(CoreId).collect()
+    }
+
+    /// Whether two cores share a socket (and therefore an LLC).
+    pub fn share_llc(&self, a: CoreId, b: CoreId) -> bool {
+        self.numa_of(a) == self.numa_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_dimensions() {
+        let t = CpuTopology::paper_testbed();
+        assert_eq!(t.num_cores(), 20);
+        assert_eq!(t.num_numa(), 2);
+        assert_eq!(t.cores_per_socket(), 10);
+    }
+
+    #[test]
+    fn numa_mapping_is_socket_major() {
+        let t = CpuTopology::paper_testbed();
+        assert_eq!(t.numa_of(CoreId(0)), NumaId(0));
+        assert_eq!(t.numa_of(CoreId(9)), NumaId(0));
+        assert_eq!(t.numa_of(CoreId(10)), NumaId(1));
+        assert_eq!(t.numa_of(CoreId(19)), NumaId(1));
+    }
+
+    #[test]
+    fn cores_in_numa_partition_all_cores() {
+        let t = CpuTopology::paper_testbed();
+        let mut all: Vec<CoreId> = (0..t.num_numa())
+            .flat_map(|n| t.cores_in_numa(NumaId(n)))
+            .collect();
+        all.sort();
+        assert_eq!(all, t.all_cores());
+    }
+
+    #[test]
+    fn llc_sharing_follows_sockets() {
+        let t = CpuTopology::paper_testbed();
+        assert!(t.share_llc(CoreId(0), CoreId(9)));
+        assert!(!t.share_llc(CoreId(0), CoreId(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn numa_of_rejects_bad_core() {
+        CpuTopology::paper_testbed().numa_of(CoreId(20));
+    }
+}

@@ -1,0 +1,184 @@
+//! Node composition: topology + memory + devices.
+
+use crate::cpu::CpuTopology;
+use crate::memory::{FrameOwner, PhysMemory};
+use crate::pci::{Bar, DeviceClass, MmioWindow, PciAddress, PciDevice};
+use std::fmt;
+
+/// Cluster-wide node number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Descriptive node specification (cheap to clone; build into [`NodeHw`]).
+#[derive(Clone, Debug)]
+pub struct NodeSpec {
+    /// CPU layout.
+    pub topology: CpuTopology,
+    /// Total RAM bytes.
+    pub ram_bytes: u64,
+    /// NUMA domain count (must divide `ram_bytes`).
+    pub numa_domains: u16,
+    /// Whether the node has an InfiniBand HCA.
+    pub with_ib: bool,
+    /// Whether the node has an Ethernet NIC.
+    pub with_eth: bool,
+}
+
+impl NodeSpec {
+    /// The paper's testbed node.
+    pub fn paper_testbed() -> Self {
+        NodeSpec {
+            topology: CpuTopology::paper_testbed(),
+            ram_bytes: 64 << 30,
+            numa_domains: 2,
+            with_ib: true,
+            with_eth: true,
+        }
+    }
+
+    /// Instantiate hardware state for node `id`.
+    pub fn build(&self, id: NodeId) -> NodeHw {
+        let mut mem = PhysMemory::new(self.ram_bytes, self.numa_domains);
+        let mut mmio = MmioWindow::above_ram(self.ram_bytes, 4 << 30);
+        let mut devices = Vec::new();
+        if self.with_ib {
+            // Connect-IB: BAR0 = command/doorbell (UAR) space.
+            let base = mmio.alloc(2 << 20).expect("MMIO window exhausted");
+            mem.set_owner(base, 2 << 20, FrameOwner::Mmio);
+            devices.push(PciDevice {
+                address: PciAddress {
+                    bus: 0x81,
+                    device: 0,
+                    function: 0,
+                },
+                class: DeviceClass::InfinibandHca,
+                dev_name: "infiniband/uverbs0".into(),
+                bars: vec![Bar {
+                    index: 0,
+                    base,
+                    size: 2 << 20,
+                }],
+            });
+        }
+        if self.with_eth {
+            let base = mmio.alloc(128 << 10).expect("MMIO window exhausted");
+            mem.set_owner(base, 128 << 10, FrameOwner::Mmio);
+            devices.push(PciDevice {
+                address: PciAddress {
+                    bus: 0x02,
+                    device: 0,
+                    function: 0,
+                },
+                class: DeviceClass::EthernetNic,
+                dev_name: "eth0".into(),
+                bars: vec![Bar {
+                    index: 0,
+                    base,
+                    size: 128 << 10,
+                }],
+            });
+        }
+        NodeHw {
+            id,
+            topology: self.topology.clone(),
+            mem,
+            devices,
+        }
+    }
+}
+
+/// Instantiated hardware state of one node.
+#[derive(Debug)]
+pub struct NodeHw {
+    /// Cluster-wide id.
+    pub id: NodeId,
+    /// CPU layout.
+    pub topology: CpuTopology,
+    /// Physical memory (RAM + registered MMIO).
+    pub mem: PhysMemory,
+    /// PCI devices.
+    pub devices: Vec<PciDevice>,
+}
+
+impl NodeHw {
+    /// First device of the given class, if present.
+    pub fn device_of_class(&self, class: DeviceClass) -> Option<&PciDevice> {
+        self.devices.iter().find(|d| d.class == class)
+    }
+
+    /// Device by its `/dev` name.
+    pub fn device_by_name(&self, name: &str) -> Option<&PciDevice> {
+        self.devices.iter().find(|d| d.dev_name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PhysAddr;
+
+    #[test]
+    fn testbed_node_builds() {
+        let hw = NodeSpec::paper_testbed().build(NodeId(3));
+        assert_eq!(hw.id, NodeId(3));
+        assert_eq!(hw.topology.num_cores(), 20);
+        assert_eq!(hw.mem.ram_bytes(), 64 << 30);
+        assert_eq!(hw.devices.len(), 2);
+        let ib = hw.device_of_class(DeviceClass::InfinibandHca).unwrap();
+        assert_eq!(ib.dev_name, "infiniband/uverbs0");
+        assert!(hw.device_by_name("eth0").is_some());
+        assert!(hw.device_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn bars_are_mmio_above_ram() {
+        let hw = NodeSpec::paper_testbed().build(NodeId(0));
+        for dev in &hw.devices {
+            for bar in &dev.bars {
+                assert!(bar.base.raw() >= hw.mem.ram_bytes());
+                assert_eq!(hw.mem.owner_of(bar.base), FrameOwner::Mmio);
+            }
+        }
+    }
+
+    #[test]
+    fn bars_do_not_overlap() {
+        let hw = NodeSpec::paper_testbed().build(NodeId(0));
+        let bars: Vec<_> = hw.devices.iter().flat_map(|d| d.bars.iter()).collect();
+        for (i, a) in bars.iter().enumerate() {
+            for b in &bars[i + 1..] {
+                let disjoint = a.base.raw() + a.size <= b.base.raw()
+                    || b.base.raw() + b.size <= a.base.raw();
+                assert!(disjoint, "BARs overlap: {a:?} {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn diskless_node_without_nics() {
+        let spec = NodeSpec {
+            with_ib: false,
+            with_eth: false,
+            ..NodeSpec::paper_testbed()
+        };
+        let hw = spec.build(NodeId(1));
+        assert!(hw.devices.is_empty());
+        assert!(hw.device_of_class(DeviceClass::InfinibandHca).is_none());
+    }
+
+    #[test]
+    fn ram_defaults_linux_owned() {
+        let hw = NodeSpec::paper_testbed().build(NodeId(0));
+        assert_eq!(hw.mem.owner_of(PhysAddr(0x1000)), FrameOwner::Linux);
+        assert_eq!(
+            hw.mem.bytes_owned_by(FrameOwner::Linux),
+            hw.mem.ram_bytes()
+        );
+    }
+}

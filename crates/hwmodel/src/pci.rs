@@ -1,0 +1,174 @@
+//! PCI devices and BARs.
+//!
+//! The paper's device-driver-transparency mechanism revolves around
+//! `mmap()` of device files whose pages resolve to PCI BAR space (the HCA's
+//! doorbell/UAR pages). The hardware side of that story is here: devices
+//! with typed classes and BARs placed in an MMIO window above RAM.
+
+use crate::addr::{PhysAddr, PAGE_SIZE};
+use std::fmt;
+
+/// Bus/device/function triple.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PciAddress {
+    /// Bus number.
+    pub bus: u8,
+    /// Device number (0-31).
+    pub device: u8,
+    /// Function number (0-7).
+    pub function: u8,
+}
+
+impl fmt::Display for PciAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}.{:x}",
+            self.bus, self.device, self.function
+        )
+    }
+}
+
+/// Device category — determines which driver binds and which fabric the
+/// device reaches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeviceClass {
+    /// InfiniBand host channel adapter (Connect-IB FDR in the testbed).
+    InfinibandHca,
+    /// Gigabit Ethernet NIC.
+    EthernetNic,
+}
+
+/// One memory BAR.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Bar {
+    /// BAR index (0-5).
+    pub index: u8,
+    /// Physical (bus) base address; page-aligned.
+    pub base: PhysAddr,
+    /// Size in bytes; page-aligned.
+    pub size: u64,
+}
+
+impl Bar {
+    /// Whether `addr` falls inside this BAR.
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        addr >= self.base && addr.raw() < self.base.raw() + self.size
+    }
+}
+
+/// A PCI device instance on a node.
+#[derive(Clone, Debug)]
+pub struct PciDevice {
+    /// Location on the bus.
+    pub address: PciAddress,
+    /// Category.
+    pub class: DeviceClass,
+    /// Device-file name under `/dev` (e.g. `infiniband/uverbs0`).
+    pub dev_name: String,
+    /// Memory BARs.
+    pub bars: Vec<Bar>,
+}
+
+impl PciDevice {
+    /// Resolve a byte offset into BAR `bar_index` to a physical address.
+    pub fn bar_phys(&self, bar_index: u8, offset: u64) -> Option<PhysAddr> {
+        let bar = self.bars.iter().find(|b| b.index == bar_index)?;
+        if offset >= bar.size {
+            return None;
+        }
+        Some(bar.base + offset)
+    }
+}
+
+/// Allocates BAR space in the MMIO window above RAM.
+#[derive(Debug)]
+pub struct MmioWindow {
+    next: u64,
+    end: u64,
+}
+
+impl MmioWindow {
+    /// Window starting just above `ram_bytes`, aligned up to 1 GiB, spanning
+    /// `span` bytes.
+    pub fn above_ram(ram_bytes: u64, span: u64) -> Self {
+        let gib = 1u64 << 30;
+        let start = ram_bytes.div_ceil(gib) * gib;
+        MmioWindow {
+            next: start,
+            end: start + span,
+        }
+    }
+
+    /// Carve a page-aligned BAR of `size` bytes.
+    pub fn alloc(&mut self, size: u64) -> Option<PhysAddr> {
+        let size = size.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        if self.next + size > self.end {
+            return None;
+        }
+        let base = self.next;
+        self.next += size;
+        Some(PhysAddr(base))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_contains_and_resolve() {
+        let dev = PciDevice {
+            address: PciAddress {
+                bus: 3,
+                device: 0,
+                function: 0,
+            },
+            class: DeviceClass::InfinibandHca,
+            dev_name: "infiniband/uverbs0".into(),
+            bars: vec![Bar {
+                index: 0,
+                base: PhysAddr(0x10_0000_0000),
+                size: 0x10000,
+            }],
+        };
+        assert!(dev.bars[0].contains(PhysAddr(0x10_0000_0000)));
+        assert!(dev.bars[0].contains(PhysAddr(0x10_0000_ffff)));
+        assert!(!dev.bars[0].contains(PhysAddr(0x10_0001_0000)));
+        assert_eq!(
+            dev.bar_phys(0, 0x2000),
+            Some(PhysAddr(0x10_0000_2000))
+        );
+        assert_eq!(dev.bar_phys(0, 0x10000), None);
+        assert_eq!(dev.bar_phys(1, 0), None);
+    }
+
+    #[test]
+    fn mmio_window_allocates_above_ram() {
+        let mut w = MmioWindow::above_ram(64 << 30, 1 << 30);
+        let a = w.alloc(0x1000).unwrap();
+        let b = w.alloc(0x2345).unwrap(); // rounds to 0x3000
+        assert_eq!(a, PhysAddr(64 << 30));
+        assert_eq!(b, PhysAddr((64 << 30) + 0x1000));
+        let c = w.alloc(0x1000).unwrap();
+        assert_eq!(c.raw(), (64 << 30) + 0x1000 + 0x3000);
+    }
+
+    #[test]
+    fn mmio_window_exhausts() {
+        let mut w = MmioWindow::above_ram(1 << 30, 0x2000);
+        assert!(w.alloc(0x1000).is_some());
+        assert!(w.alloc(0x1000).is_some());
+        assert!(w.alloc(0x1000).is_none());
+    }
+
+    #[test]
+    fn pci_address_display() {
+        let a = PciAddress {
+            bus: 0x81,
+            device: 0,
+            function: 1,
+        };
+        assert_eq!(a.to_string(), "81:00.1");
+    }
+}

@@ -1,0 +1,61 @@
+//! Cluster-level topology.
+
+use crate::node::{NodeHw, NodeId, NodeSpec};
+
+/// A homogeneous cluster of nodes (the paper's is 64 identical nodes).
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Number of compute nodes.
+    pub num_nodes: u32,
+    /// Per-node hardware.
+    pub node: NodeSpec,
+}
+
+impl ClusterSpec {
+    /// The paper's 64-node KNSC cluster.
+    pub fn paper_testbed() -> Self {
+        ClusterSpec {
+            num_nodes: 64,
+            node: NodeSpec::paper_testbed(),
+        }
+    }
+
+    /// Same node spec, different node count (for scaling sweeps).
+    pub fn with_nodes(&self, n: u32) -> ClusterSpec {
+        ClusterSpec {
+            num_nodes: n,
+            node: self.node.clone(),
+        }
+    }
+
+    /// Instantiate hardware for every node.
+    pub fn build_nodes(&self) -> Vec<NodeHw> {
+        (0..self.num_nodes)
+            .map(|i| self.node.build(NodeId(i)))
+            .collect()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_all_nodes_with_distinct_ids() {
+        let spec = ClusterSpec::paper_testbed().with_nodes(4);
+        let nodes = spec.build_nodes();
+        assert_eq!(nodes.len(), 4);
+        let ids: Vec<_> = nodes.iter().map(|n| n.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn paper_testbed_is_64_nodes() {
+        assert_eq!(ClusterSpec::paper_testbed().num_nodes, 64);
+    }
+}

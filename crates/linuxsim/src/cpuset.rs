@@ -1,0 +1,142 @@
+//! cgroup cpusets and the `isolcpus` boot parameter.
+//!
+//! These are the two Linux-side isolation mechanisms the paper evaluates
+//! against McKernel:
+//!
+//! * **Linux+cgroup** — the application is *pinned* to a cpuset, but other
+//!   workloads remain free to be scheduled anywhere, including onto the
+//!   application's cores (Fig. 5c: up to 16x slowdown).
+//! * **Linux+cgroup+isolcpus** — the application cores are additionally
+//!   excluded from the general scheduler, so other tasks cannot land there
+//!   (unless explicitly bound); kernel threads and IRQs still run (Fig. 5d:
+//!   better, still visible spikes).
+
+use hwmodel::cpu::{CoreId, CpuTopology, NumaId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A named cpuset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cpuset {
+    /// cgroup name (e.g. `/hpc`).
+    pub name: String,
+    /// Allowed cores.
+    pub cores: BTreeSet<CoreId>,
+}
+
+/// cgroup cpuset registry plus the isolcpus boot set.
+#[derive(Debug, Default)]
+pub struct CpusetConfig {
+    sets: BTreeMap<String, Cpuset>,
+    isolcpus: BTreeSet<CoreId>,
+}
+
+impl CpusetConfig {
+    /// No cpusets, no isolation.
+    pub fn new() -> Self {
+        CpusetConfig::default()
+    }
+
+    /// Boot with `isolcpus=` covering `cores`.
+    pub fn with_isolcpus(mut self, cores: impl IntoIterator<Item = CoreId>) -> Self {
+        self.isolcpus = cores.into_iter().collect();
+        self
+    }
+
+    /// Create a cpuset.
+    pub fn create(&mut self, name: &str, cores: impl IntoIterator<Item = CoreId>) {
+        self.sets.insert(
+            name.to_string(),
+            Cpuset {
+                name: name.to_string(),
+                cores: cores.into_iter().collect(),
+            },
+        );
+    }
+
+    /// Allowed cores for a task in cpuset `name` (None = root cpuset).
+    ///
+    /// A task in the *root* cpuset is subject to `isolcpus`: the general
+    /// scheduler never places it on isolated cores. A task explicitly
+    /// bound to a cpuset can use exactly that set's cores — even isolated
+    /// ones (that is how FWQ is "explicitly run on those cores").
+    pub fn allowed_cores(&self, name: Option<&str>, topo: &CpuTopology) -> Vec<CoreId> {
+        match name {
+            Some(n) => self
+                .sets
+                .get(n)
+                .map(|s| s.cores.iter().copied().collect())
+                .unwrap_or_default(),
+            None => topo
+                .all_cores()
+                .into_iter()
+                .filter(|c| !self.isolcpus.contains(c))
+                .collect(),
+        }
+    }
+
+    /// Whether a core is isolated.
+    pub fn is_isolated(&self, core: CoreId) -> bool {
+        self.isolcpus.contains(&core)
+    }
+
+    /// The paper's standard layout: the `/hpc` cpuset covers NUMA 1, the
+    /// `/hadoop` cpuset covers NUMA 0 (for the co-location experiments of
+    /// Fig. 8/9) — with `hadoop_confined = false` Hadoop stays in the root
+    /// cpuset and roams everywhere Linux allows (Fig. 5c).
+    pub fn paper_layout(topo: &CpuTopology, hadoop_confined: bool) -> CpusetConfig {
+        let mut c = CpusetConfig::new();
+        c.create("hpc", topo.cores_in_numa(NumaId(1)));
+        if hadoop_confined {
+            c.create("hadoop", topo.cores_in_numa(NumaId(0)));
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpuset_pins_tasks() {
+        let topo = CpuTopology::paper_testbed();
+        let cfg = CpusetConfig::paper_layout(&topo, true);
+        let hpc = cfg.allowed_cores(Some("hpc"), &topo);
+        assert_eq!(hpc.len(), 10);
+        assert!(hpc.iter().all(|c| topo.numa_of(*c) == NumaId(1)));
+        let hadoop = cfg.allowed_cores(Some("hadoop"), &topo);
+        assert!(hadoop.iter().all(|c| topo.numa_of(*c) == NumaId(0)));
+    }
+
+    #[test]
+    fn root_tasks_roam_everywhere_without_isolcpus() {
+        let topo = CpuTopology::paper_testbed();
+        let cfg = CpusetConfig::paper_layout(&topo, false);
+        // The cgroup-only failure mode: an unconfined task may land on the
+        // HPC cores.
+        let roam = cfg.allowed_cores(None, &topo);
+        assert_eq!(roam.len(), 20);
+    }
+
+    #[test]
+    fn isolcpus_excludes_root_tasks_but_not_bound_ones() {
+        let topo = CpuTopology::paper_testbed();
+        let cfg = CpusetConfig::paper_layout(&topo, false)
+            .with_isolcpus(topo.cores_in_numa(NumaId(1)));
+        let roam = cfg.allowed_cores(None, &topo);
+        assert_eq!(roam.len(), 10, "isolated cores invisible to the balancer");
+        assert!(roam.iter().all(|c| topo.numa_of(*c) == NumaId(0)));
+        // But a task explicitly bound to the hpc cpuset still reaches
+        // them ("FWQ is then explicitly run on those cores").
+        let hpc = cfg.allowed_cores(Some("hpc"), &topo);
+        assert_eq!(hpc.len(), 10);
+        assert!(hpc.iter().all(|c| cfg.is_isolated(*c)));
+    }
+
+    #[test]
+    fn unknown_cpuset_is_empty() {
+        let topo = CpuTopology::paper_testbed();
+        let cfg = CpusetConfig::new();
+        assert!(cfg.allowed_cores(Some("nope"), &topo).is_empty());
+    }
+}

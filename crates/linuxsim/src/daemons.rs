@@ -1,0 +1,280 @@
+//! Kernel daemons and IRQ activity.
+//!
+//! Beyond the tick, a busy Linux node runs kworkers, kswapd, RCU batch
+//! work, the soft-lockup watchdog, and device IRQs. These are the noise
+//! events that *survive* `isolcpus`: the boot parameter removes user tasks
+//! from isolated cores but per-cpu kernel threads and interrupt handlers
+//! still fire there — the mechanism behind the residual variation of the
+//! paper's Linux+cgroup+isolcpus configuration (Fig. 5d, Fig. 7, Fig. 9).
+//!
+//! Arrivals are generated per fixed *epoch* from a stream indexed by the
+//! epoch number, so window queries are deterministic and order-independent.
+
+use crate::tick::Interruption;
+use simcore::{Cycles, StreamRng};
+
+/// Epoch length for arrival generation.
+const EPOCH: Cycles = Cycles(28_000_000); // 10 ms at 2.8 GHz
+
+/// A daemon/IRQ noise source on one core.
+#[derive(Debug, Clone)]
+pub struct DaemonSource {
+    /// Human-readable name (kworker, kswapd, ...).
+    pub name: &'static str,
+    /// Mean arrivals per second (before the activity multiplier).
+    rate_per_sec: f64,
+    /// Minimum busy time per arrival.
+    dur_floor: Cycles,
+    /// Pareto tail scale for busy time.
+    dur_cap: Cycles,
+    /// Pareto tail index (lower = heavier tail).
+    alpha: f64,
+    /// Workload-dependent multiplier (I/O heavy co-located work raises it).
+    activity: f64,
+    /// When set, arrivals only fire inside these windows (used to tie
+    /// IRQ/flush pressure to the phases of a co-located job).
+    windows: Option<Vec<(u64, u64)>>,
+    rng: StreamRng,
+}
+
+impl DaemonSource {
+    /// Per-cpu kworker: frequent, short.
+    pub fn kworker(rng: StreamRng) -> Self {
+        DaemonSource {
+            name: "kworker",
+            rate_per_sec: 25.0,
+            dur_floor: Cycles::from_us(3),
+            dur_cap: Cycles::from_us(15),
+            alpha: 1.8,
+            activity: 1.0,
+            windows: None,
+            rng,
+        }
+    }
+
+    /// kswapd / page reclaim: rare, long.
+    pub fn kswapd(rng: StreamRng) -> Self {
+        DaemonSource {
+            name: "kswapd",
+            // Page reclaim barely runs on an idle node; co-located I/O
+            // raises it through the activity multiplier.
+            rate_per_sec: 0.004,
+            dur_floor: Cycles::from_us(30),
+            dur_cap: Cycles::from_us(100),
+            alpha: 1.4,
+            activity: 1.0,
+            windows: None,
+            rng,
+        }
+    }
+
+    /// RCU softirq batches.
+    pub fn rcu(rng: StreamRng) -> Self {
+        DaemonSource {
+            name: "rcu",
+            rate_per_sec: 8.0,
+            dur_floor: Cycles::from_us(2),
+            dur_cap: Cycles::from_us(12),
+            alpha: 2.0,
+            activity: 1.0,
+            windows: None,
+            rng,
+        }
+    }
+
+    /// Soft-lockup watchdog: once a second, short.
+    pub fn watchdog(rng: StreamRng) -> Self {
+        DaemonSource {
+            name: "watchdog",
+            rate_per_sec: 1.0,
+            dur_floor: Cycles::from_us(6),
+            dur_cap: Cycles::from_us(15),
+            alpha: 3.0,
+            activity: 1.0,
+            windows: None,
+            rng,
+        }
+    }
+
+    /// Ethernet IRQ + softirq work; rate follows network activity.
+    pub fn eth_irq(rng: StreamRng) -> Self {
+        DaemonSource {
+            name: "eth-irq",
+            rate_per_sec: 30.0,
+            dur_floor: Cycles::from_us(2),
+            dur_cap: Cycles::from_us(20),
+            alpha: 1.9,
+            activity: 1.0,
+            windows: None,
+            rng,
+        }
+    }
+
+    /// Scale the arrival rate (e.g. x4 when Hadoop hammers disk/network).
+    pub fn with_activity(mut self, multiplier: f64) -> Self {
+        assert!(multiplier >= 0.0);
+        self.activity = multiplier;
+        self
+    }
+
+    /// Gate arrivals to the given windows (phase-coupled noise).
+    pub fn with_windows(mut self, windows: Vec<(Cycles, Cycles)>) -> Self {
+        self.windows = Some(windows.into_iter().map(|(a, b)| (a.raw(), b.raw())).collect());
+        self
+    }
+
+    fn in_windows(&self, at: Cycles) -> bool {
+        match &self.windows {
+            None => true,
+            Some(ws) => ws.iter().any(|&(a, b)| a <= at.raw() && at.raw() < b),
+        }
+    }
+
+    /// Arrivals (start, busy-time) in `[from, to)`, deterministic per epoch.
+    pub fn interruptions_in(&self, from: Cycles, to: Cycles) -> Vec<Interruption> {
+        if to <= from {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let e0 = from.raw() / EPOCH.raw();
+        let e1 = (to.raw() - 1) / EPOCH.raw();
+        let lambda = self.rate_per_sec * self.activity * EPOCH.as_secs_f64();
+        for epoch in e0..=e1 {
+            let mut r = self.rng.stream(self.name, epoch);
+            // Poisson arrival count (Knuth; lambda is small per epoch).
+            let limit = (-lambda).exp();
+            let mut count = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= r.uniform();
+                if p <= limit {
+                    break;
+                }
+                count += 1;
+            }
+            let base = epoch * EPOCH.raw();
+            for _ in 0..count {
+                let at = Cycles(base + r.range_u64(0, EPOCH.raw()));
+                if at < from || at >= to || !self.in_windows(at) {
+                    continue;
+                }
+                let cost = Cycles(r.pareto(
+                    self.dur_floor.raw() as f64,
+                    self.alpha,
+                    self.dur_cap.raw() as f64,
+                ) as u64);
+                out.push(Interruption { at, cost });
+            }
+        }
+        out.sort_by_key(|i| i.at);
+        out
+    }
+
+    /// The full daemon complement of one *general* (non-isolated) core.
+    pub fn standard_set(core_rng: &StreamRng) -> Vec<DaemonSource> {
+        vec![
+            DaemonSource::kworker(core_rng.stream("kworker", 0)),
+            DaemonSource::rcu(core_rng.stream("rcu", 0)),
+            DaemonSource::watchdog(core_rng.stream("watchdog", 0)),
+            DaemonSource::kswapd(core_rng.stream("kswapd", 0)),
+        ]
+    }
+
+    /// What still runs on an `isolcpus` core: per-cpu kernel threads and
+    /// the watchdog; kswapd prefers non-isolated cores.
+    pub fn isolcpus_set(core_rng: &StreamRng) -> Vec<DaemonSource> {
+        vec![
+            DaemonSource::kworker(core_rng.stream("kworker", 0)),
+            DaemonSource::rcu(core_rng.stream("rcu", 0)).with_activity(0.5),
+            DaemonSource::watchdog(core_rng.stream("watchdog", 0)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StreamRng {
+        StreamRng::root(99).stream("core", 5)
+    }
+
+    #[test]
+    fn rate_is_roughly_respected() {
+        let d = DaemonSource::kworker(rng());
+        let ints = d.interruptions_in(Cycles::ZERO, Cycles::from_secs(10));
+        // 25/s * 10s = 250 expected (+5% fattening).
+        assert!(
+            (150..400).contains(&ints.len()),
+            "kworker arrivals: {}",
+            ints.len()
+        );
+    }
+
+    #[test]
+    fn activity_multiplier_scales_rate() {
+        let quiet = DaemonSource::eth_irq(rng());
+        let busy = DaemonSource::eth_irq(rng()).with_activity(8.0);
+        let nq = quiet
+            .interruptions_in(Cycles::ZERO, Cycles::from_secs(5))
+            .len();
+        let nb = busy
+            .interruptions_in(Cycles::ZERO, Cycles::from_secs(5))
+            .len();
+        assert!(nb > nq * 4, "quiet={nq} busy={nb}");
+    }
+
+    #[test]
+    fn window_split_equals_whole() {
+        // Query [0,1s) in one call vs. ten 100ms calls: identical events.
+        let d = DaemonSource::rcu(rng());
+        let whole = d.interruptions_in(Cycles::ZERO, Cycles::from_secs(1));
+        let mut parts = Vec::new();
+        for k in 0..10 {
+            parts.extend(d.interruptions_in(Cycles::from_ms(k * 100), Cycles::from_ms((k + 1) * 100)));
+        }
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn durations_bounded_and_heavy_tailed() {
+        let d = DaemonSource::kswapd(rng()).with_activity(800.0);
+        let ints = d.interruptions_in(Cycles::ZERO, Cycles::from_secs(200));
+        assert!(!ints.is_empty());
+        for i in &ints {
+            assert!(i.cost >= Cycles::from_us(30));
+            assert!(i.cost <= Cycles::from_us(100));
+        }
+        // Tail: some events at least 3x the floor.
+        assert!(ints.iter().any(|i| i.cost > Cycles::from_us(90)));
+    }
+
+    #[test]
+    fn sorted_by_time() {
+        let d = DaemonSource::kworker(rng());
+        let ints = d.interruptions_in(Cycles::from_ms(37), Cycles::from_secs(3));
+        for w in ints.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        // Bounds respected.
+        assert!(ints.iter().all(|i| i.at >= Cycles::from_ms(37)));
+        assert!(ints.iter().all(|i| i.at < Cycles::from_secs(3)));
+    }
+
+    #[test]
+    fn isolcpus_set_is_quieter_than_standard() {
+        let r = rng();
+        let std_noise: u64 = DaemonSource::standard_set(&r)
+            .iter()
+            .flat_map(|d| d.interruptions_in(Cycles::ZERO, Cycles::from_secs(20)))
+            .map(|i| i.cost.raw())
+            .sum();
+        let iso_noise: u64 = DaemonSource::isolcpus_set(&r)
+            .iter()
+            .flat_map(|d| d.interruptions_in(Cycles::ZERO, Cycles::from_secs(20)))
+            .map(|i| i.cost.raw())
+            .sum();
+        assert!(iso_noise < std_noise, "iso={iso_noise} std={std_noise}");
+        assert!(iso_noise > 0, "isolcpus is NOT noise-free (key paper point)");
+    }
+}

@@ -1,0 +1,537 @@
+//! The Linux kernel facade: cores + noise runtimes + VFS + the loaded IHK
+//! delegator module + proxy processes.
+//!
+//! This is "unmodified Linux": IHK lives inside it as a kernel module and
+//! proxy processes are ordinary Linux tasks subject to its scheduler —
+//! which is why offload latency depends on how busy the proxy's core is.
+
+use crate::cfs::CfsParams;
+use crate::cpuset::CpusetConfig;
+use crate::daemons::DaemonSource;
+use crate::occupancy::CoreOccupancy;
+use crate::runtime::{ExecOutcome, LinuxCoreRuntime};
+use crate::tick::TickSource;
+use crate::vfs::Vfs;
+use hlwk_core::abi::{encode_result, Errno, Fd, Pid, Sysno};
+use hlwk_core::ihk::delegator::Delegator;
+use hlwk_core::mck::mem::pagetable::PageTable;
+use hlwk_core::mck::syscall::SyscallRequest;
+use hlwk_core::proxy::{ProxyProcess, ProxyState};
+use hwmodel::addr::VirtAddr;
+use hwmodel::cpu::CoreId;
+use hwmodel::memory::PhysMemory;
+use hwmodel::pci::DeviceClass;
+use simcore::{Cycles, StreamRng, Trace};
+use std::collections::{BTreeSet, HashMap};
+
+/// Noise configuration for a node's Linux instance.
+#[derive(Clone, Debug, Default)]
+pub struct NoiseConfig {
+    /// Cores listed in `isolcpus=`.
+    pub isolcpus: BTreeSet<CoreId>,
+    /// Daemon/IRQ activity multiplier (>1 when I/O-heavy co-located work
+    /// runs; 1.0 for an idle node).
+    pub daemon_activity: f64,
+    /// Cores where page-reclaim (kswapd) runs. Reclaim scans happen on
+    /// the NUMA node with memory pressure — the analytics job's domain —
+    /// so HPC cores rarely host them. `None` = any core.
+    pub reclaim_cores: Option<BTreeSet<CoreId>>,
+}
+
+impl NoiseConfig {
+    /// Quiet node, no isolation.
+    pub fn idle() -> Self {
+        NoiseConfig {
+            isolcpus: BTreeSet::new(),
+            daemon_activity: 1.0,
+            reclaim_cores: None,
+        }
+    }
+}
+
+/// Result of servicing one offloaded syscall on Linux.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceResult {
+    /// Return value in Linux convention.
+    pub ret: i64,
+    /// Scheduling delay before the proxy ran (CFS wake latency).
+    pub wake_delay: Cycles,
+    /// Kernel + proxy service time for the call itself.
+    pub service: Cycles,
+}
+
+/// One node's Linux instance.
+#[derive(Debug)]
+pub struct LinuxKernel {
+    cores: Vec<CoreId>,
+    runtimes: HashMap<CoreId, LinuxCoreRuntime>,
+    /// Competing-load timeline (Hadoop tasks register here).
+    pub occupancy: CoreOccupancy,
+    /// cgroup cpusets + isolcpus view.
+    pub cpusets: CpusetConfig,
+    /// VFS with fd tables for proxies.
+    pub vfs: Vfs,
+    /// The IHK delegator kernel module.
+    pub delegator: Delegator,
+    proxies: HashMap<Pid, ProxyProcess>,
+    app_to_proxy: HashMap<Pid, Pid>,
+    /// Core each proxy is pinned to.
+    proxy_cores: HashMap<Pid, CoreId>,
+    params: CfsParams,
+    next_pid: u32,
+    rng: StreamRng,
+    /// Mechanism counters.
+    pub trace: Trace,
+}
+
+impl LinuxKernel {
+    /// Boot Linux over `cores` (the cores *not* reserved by IHK) with the
+    /// node's device list and noise configuration.
+    pub fn boot(
+        cores: Vec<CoreId>,
+        devices: impl IntoIterator<Item = (String, DeviceClass)>,
+        noise: &NoiseConfig,
+        rng: StreamRng,
+    ) -> Self {
+        assert!(!cores.is_empty(), "Linux needs at least one core");
+        let mut runtimes = HashMap::new();
+        for &core in &cores {
+            let core_rng = rng.stream("core", u64::from(core.0));
+            let daemons: Vec<DaemonSource> = if noise.isolcpus.contains(&core) {
+                DaemonSource::isolcpus_set(&core_rng)
+            } else {
+                DaemonSource::standard_set(&core_rng)
+            }
+            .into_iter()
+            .filter(|d| {
+                d.name != "kswapd"
+                    || noise
+                        .reclaim_cores
+                        .as_ref()
+                        .is_none_or(|set| set.contains(&core))
+            })
+            .map(|d| d.with_activity(noise.daemon_activity))
+            .collect();
+            runtimes.insert(
+                core,
+                LinuxCoreRuntime::with_rng(
+                    core,
+                    Some(TickSource::hz1000(core_rng.stream("tick", 0))),
+                    daemons,
+                    core_rng.stream("exec", 0),
+                ),
+            );
+        }
+        LinuxKernel {
+            cores,
+            runtimes,
+            occupancy: CoreOccupancy::new(),
+            cpusets: CpusetConfig::new(),
+            vfs: Vfs::new(devices),
+            delegator: Delegator::new(),
+            proxies: HashMap::new(),
+            app_to_proxy: HashMap::new(),
+            proxy_cores: HashMap::new(),
+            params: CfsParams::default(),
+            next_pid: 300,
+            rng,
+            trace: Trace::new(),
+        }
+    }
+
+    /// Cores Linux schedules on.
+    pub fn cores(&self) -> &[CoreId] {
+        &self.cores
+    }
+
+    /// Attach an extra noise source to one core (phase-gated IRQ/flush
+    /// pressure from co-located I/O work — this is what still reaches
+    /// `isolcpus` cores).
+    pub fn add_core_daemon(&mut self, core: CoreId, d: DaemonSource) {
+        self.runtimes
+            .get_mut(&core)
+            .unwrap_or_else(|| panic!("{core} is not a Linux core"))
+            .push_daemon(d);
+    }
+
+    /// Execute an application quantum on a Linux core (Linux-hosted HPC
+    /// runs and FWQ probes go through this).
+    pub fn execute_on(&self, core: CoreId, start: Cycles, work: Cycles) -> ExecOutcome {
+        self.runtimes
+            .get(&core)
+            .unwrap_or_else(|| panic!("{core} is not a Linux core"))
+            .execute(start, work, &self.occupancy)
+    }
+
+    /// Spawn the proxy process for application `app_pid`, pinned to `core`
+    /// (the paper assigns "the remaining single core to the proxy
+    /// process").
+    pub fn spawn_proxy(&mut self, app_pid: Pid, core: CoreId) -> Pid {
+        assert!(self.cores.contains(&core), "{core} is not a Linux core");
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let proxy = ProxyProcess::new(pid, app_pid);
+        self.vfs.create_process(pid);
+        self.delegator.register_proxy(pid);
+        self.proxies.insert(pid, proxy);
+        self.app_to_proxy.insert(app_pid, pid);
+        self.proxy_cores.insert(pid, core);
+        pid
+    }
+
+    /// Tear down a proxy.
+    pub fn reap_proxy(&mut self, proxy_pid: Pid) {
+        if let Some(p) = self.proxies.remove(&proxy_pid) {
+            self.app_to_proxy.remove(&p.app_pid);
+        }
+        self.vfs.destroy_process(proxy_pid);
+        self.delegator.unregister_proxy(proxy_pid);
+        self.proxy_cores.remove(&proxy_pid);
+    }
+
+    /// Proxy pid serving an application.
+    pub fn proxy_for_app(&self, app_pid: Pid) -> Option<Pid> {
+        self.app_to_proxy.get(&app_pid).copied()
+    }
+
+    /// Proxy accessor.
+    pub fn proxy(&self, pid: Pid) -> Option<&ProxyProcess> {
+        self.proxies.get(&pid)
+    }
+
+    /// CFS wake latency for the proxy at `at`: idle core = context switch
+    /// only; contended core = up to a timeslice of queueing, drawn
+    /// deterministically from the wake instant.
+    pub fn proxy_wake_latency(&self, proxy_pid: Pid, at: Cycles) -> Cycles {
+        let core = self.proxy_cores[&proxy_pid];
+        let competitors = self.occupancy.competitors_at(core, at);
+        let base = self.params.ctx_switch;
+        if competitors == 0 {
+            return base;
+        }
+        // The woken proxy (vruntime at min) preempts the running task at
+        // the next scheduler tick at the latest; queue depth adds cache
+        // and runqueue-lock overhead on top.
+        let horizon = self
+            .params
+            .timeslice(competitors + 1)
+            .min(Cycles::from_us(100));
+        let mut r = self.rng.stream("wake", at.raw());
+        base + horizon.scale(r.uniform() * competitors.min(4) as f64 / 4.0)
+    }
+
+    /// Service one offloaded system call (the proxy's userspace turn plus
+    /// the kernel work under it). `lwk_pt` and `mem` let pointer arguments
+    /// dereference through the unified address space.
+    pub fn service_syscall(
+        &mut self,
+        proxy_pid: Pid,
+        req: &SyscallRequest,
+        at: Cycles,
+        lwk_pt: &PageTable,
+        mem: &mut PhysMemory,
+    ) -> ServiceResult {
+        let wake_delay = self.proxy_wake_latency(proxy_pid, at);
+        let proxy = self
+            .proxies
+            .get_mut(&proxy_pid)
+            .expect("service_syscall for unknown proxy");
+        proxy.state = ProxyState::Executing(req.seq);
+        self.trace.bump("linux.offload.serviced");
+        let costs = hlwk_core::costs::CostModel::default();
+        let vfs = &mut self.vfs;
+        let (ret, service): (i64, Cycles) = match Sysno::from_nr(req.sysno) {
+            Some(Sysno::Open) | Some(Sysno::Openat) => {
+                // Path pointer in args[0] (openat: args[1]).
+                let ptr = if req.sysno == Sysno::Openat.nr() {
+                    req.args[1]
+                } else {
+                    req.args[0]
+                };
+                let mut buf = [0u8; 256];
+                match proxy
+                    .uas
+                    .read(VirtAddr(ptr), &mut buf, lwk_pt, mem, &costs)
+                {
+                    Ok(fault_cost) => {
+                        let nul = buf.iter().position(|&b| b == 0).unwrap_or(buf.len());
+                        let path = String::from_utf8_lossy(&buf[..nul]).into_owned();
+                        match vfs.open(proxy_pid, &path) {
+                            Ok((fd, c)) => (i64::from(fd.0), c + fault_cost),
+                            Err(e) => (encode_result(Err(e)), vfs.costs.open + fault_cost),
+                        }
+                    }
+                    Err(_) => (encode_result(Err(Errno::EFAULT)), vfs.costs.open),
+                }
+            }
+            Some(Sysno::Close) => match vfs.close(proxy_pid, Fd(req.args[0] as i32)) {
+                Ok(c) => (0, c),
+                Err(e) => (encode_result(Err(e)), vfs.costs.close),
+            },
+            Some(Sysno::Read) => {
+                let (fd, ptr, len) = (Fd(req.args[0] as i32), req.args[1], req.args[2]);
+                match vfs.rw_cost(proxy_pid, fd, len) {
+                    Ok(c) => {
+                        // Produce bytes into the app buffer through the
+                        // unified address space (bounded materialization).
+                        // /proc and /sys reads return real generated
+                        // content reflecting Linux's view of the node.
+                        let data: Vec<u8> = match &vfs.file(proxy_pid, fd).expect("checked").kind
+                        {
+                            crate::vfs::FileKind::ProcSys { path } => {
+                                crate::procfs::generate(path, &self.cores, mem)
+                                    .unwrap_or_else(|| b"0\n".to_vec())
+                            }
+                            _ => vec![0xABu8; len.min(64 << 10) as usize],
+                        };
+                        let n = data.len().min(len as usize);
+                        match proxy.uas.write(VirtAddr(ptr), &data[..n], lwk_pt, mem, &costs) {
+                            Ok(fc) => {
+                                let _ = vfs.advance(proxy_pid, fd, n as u64);
+                                (n as i64, c + fc)
+                            }
+                            Err(_) => (encode_result(Err(Errno::EFAULT)), c),
+                        }
+                    }
+                    Err(e) => (encode_result(Err(e)), vfs.costs.rw_base),
+                }
+            }
+            Some(Sysno::Write) => {
+                let (fd, ptr, len) = (Fd(req.args[0] as i32), req.args[1], req.args[2]);
+                match vfs.rw_cost(proxy_pid, fd, len) {
+                    Ok(c) => {
+                        let n = len.min(64 << 10) as usize;
+                        let mut data = vec![0u8; n];
+                        match proxy.uas.read(VirtAddr(ptr), &mut data, lwk_pt, mem, &costs) {
+                            Ok(fc) => {
+                                let _ = vfs.advance(proxy_pid, fd, len);
+                                (len as i64, c + fc)
+                            }
+                            Err(_) => (encode_result(Err(Errno::EFAULT)), c),
+                        }
+                    }
+                    Err(e) => (encode_result(Err(e)), vfs.costs.rw_base),
+                }
+            }
+            Some(Sysno::Ioctl) => match vfs.ioctl_cost(proxy_pid, Fd(req.args[0] as i32)) {
+                Ok(c) => (0, c),
+                Err(e) => (encode_result(Err(e)), vfs.costs.ioctl),
+            },
+            Some(Sysno::Stat) | Some(Sysno::Fcntl) | Some(Sysno::Uname)
+            | Some(Sysno::Getcwd) => (0, Cycles::from_us(1)),
+            Some(Sysno::GetRandom) => {
+                let (ptr, len) = (req.args[0], req.args[1].min(4096));
+                let mut r = self.rng.stream("getrandom", req.seq);
+                let data: Vec<u8> = (0..len).map(|_| r.range_u64(0, 256) as u8).collect();
+                match proxy.uas.write(VirtAddr(ptr), &data, lwk_pt, mem, &costs) {
+                    Ok(fc) => (len as i64, Cycles::from_us(2) + fc),
+                    Err(_) => (encode_result(Err(Errno::EFAULT)), Cycles::from_us(2)),
+                }
+            }
+            _ => (encode_result(Err(Errno::ENOSYS)), Cycles::from_us(1)),
+        };
+        let proxy = self.proxies.get_mut(&proxy_pid).expect("still present");
+        proxy.state = ProxyState::Parked;
+        ServiceResult {
+            ret,
+            wake_delay,
+            service: service + costs.linux_syscall_entry,
+        }
+    }
+
+    /// Invalidate proxy pseudo-mapping PTEs after an LWK munmap.
+    pub fn sync_munmap(&mut self, app_pid: Pid, ranges: &[(VirtAddr, u64)]) -> u64 {
+        let Some(proxy_pid) = self.proxy_for_app(app_pid) else {
+            return 0;
+        };
+        let proxy = self.proxies.get_mut(&proxy_pid).expect("proxy registered");
+        let mut n = 0;
+        for &(start, len) in ranges {
+            n += proxy.uas.invalidate_range(start, len);
+        }
+        self.trace.add("linux.uas.invalidated", n);
+        n
+    }
+
+    /// Mutable proxy accessor (device mapping flow).
+    pub fn proxy_mut(&mut self, pid: Pid) -> Option<&mut ProxyProcess> {
+        self.proxies.get_mut(&pid)
+    }
+
+    /// Split borrow of a proxy and the delegator module together — the
+    /// device-mapping flow (Fig. 4) mutates both at once.
+    pub fn proxy_and_delegator(
+        &mut self,
+        pid: Pid,
+    ) -> Option<(&mut ProxyProcess, &mut Delegator)> {
+        let proxy = self.proxies.get_mut(&pid)?;
+        Some((proxy, &mut self.delegator))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlwk_core::mck::mem::pagetable::PteFlags;
+    use hwmodel::addr::PhysAddr;
+
+    fn boot_linux() -> LinuxKernel {
+        LinuxKernel::boot(
+            (0..20).map(CoreId).collect(),
+            [
+                ("infiniband/uverbs0".to_string(), DeviceClass::InfinibandHca),
+                ("eth0".to_string(), DeviceClass::EthernetNic),
+            ],
+            &NoiseConfig::idle(),
+            StreamRng::root(1).stream("linux", 0),
+        )
+    }
+
+    /// A tiny app-side world: one mapped page holding a path string.
+    fn app_world() -> (PageTable, PhysMemory) {
+        let mut pt = PageTable::new();
+        pt.map_4k(VirtAddr(0x100_0000), PhysAddr(0x40_0000), PteFlags::rw())
+            .unwrap();
+        let mut mem = PhysMemory::new(1 << 30, 1);
+        mem.write(PhysAddr(0x40_0000), b"/dev/infiniband/uverbs0\0");
+        (pt, mem)
+    }
+
+    #[test]
+    fn offloaded_open_reads_path_through_unified_as() {
+        let mut linux = boot_linux();
+        let (pt, mut mem) = app_world();
+        let proxy = linux.spawn_proxy(Pid(1000), CoreId(19));
+        let req = SyscallRequest {
+            seq: 1,
+            pid: 1000,
+            tid: 1000,
+            sysno: Sysno::Open.nr(),
+            args: [0x100_0000, 0, 0, 0, 0, 0],
+        };
+        let res = linux.service_syscall(proxy, &req, Cycles::from_us(10), &pt, &mut mem);
+        assert_eq!(res.ret, 3, "first free fd");
+        assert!(res.service > Cycles::ZERO);
+        // fd state lives in Linux, not in McKernel.
+        assert_eq!(linux.vfs.fd_count(proxy), 4);
+    }
+
+    #[test]
+    fn offloaded_write_derefs_app_buffer() {
+        let mut linux = boot_linux();
+        let (pt, mut mem) = app_world();
+        let proxy = linux.spawn_proxy(Pid(1000), CoreId(19));
+        // open /tmp file: put path at the same page.
+        mem.write(PhysAddr(0x40_0100), b"/tmp/out\0");
+        let open = SyscallRequest {
+            seq: 1,
+            pid: 1000,
+            tid: 1000,
+            sysno: Sysno::Open.nr(),
+            args: [0x100_0100, 0, 0, 0, 0, 0],
+        };
+        let fd = linux
+            .service_syscall(proxy, &open, Cycles::from_us(1), &pt, &mut mem)
+            .ret;
+        mem.write(PhysAddr(0x40_0200), b"hello");
+        let write = SyscallRequest {
+            seq: 2,
+            pid: 1000,
+            tid: 1000,
+            sysno: Sysno::Write.nr(),
+            args: [fd as u64, 0x100_0200, 5, 0, 0, 0],
+        };
+        let res = linux.service_syscall(proxy, &write, Cycles::from_us(2), &pt, &mut mem);
+        assert_eq!(res.ret, 5);
+        assert_eq!(
+            linux.vfs.file(proxy, Fd(fd as i32)).unwrap().pos,
+            5,
+            "file position managed by Linux"
+        );
+    }
+
+    #[test]
+    fn bad_pointer_faults_cleanly() {
+        let mut linux = boot_linux();
+        let (pt, mut mem) = app_world();
+        let proxy = linux.spawn_proxy(Pid(1000), CoreId(19));
+        let req = SyscallRequest {
+            seq: 1,
+            pid: 1000,
+            tid: 1000,
+            sysno: Sysno::Open.nr(),
+            args: [0x7770_0000, 0, 0, 0, 0, 0], // never mapped on the LWK
+        };
+        let res = linux.service_syscall(proxy, &req, Cycles::ZERO, &pt, &mut mem);
+        assert_eq!(res.ret, -(Errno::EFAULT as i32 as i64));
+    }
+
+    #[test]
+    fn wake_latency_grows_with_contention() {
+        let mut linux = boot_linux();
+        let proxy = linux.spawn_proxy(Pid(1000), CoreId(19));
+        let idle = linux.proxy_wake_latency(proxy, Cycles::from_ms(1));
+        linux
+            .occupancy
+            .add_load(CoreId(19), Cycles::ZERO, Cycles::from_secs(1), 8);
+        linux.occupancy.seal();
+        // Sample several wake instants; contended wakes must on average
+        // exceed the idle wake by a lot.
+        let avg: u64 = (0..32)
+            .map(|i| {
+                linux
+                    .proxy_wake_latency(proxy, Cycles::from_ms(2 + i))
+                    .raw()
+            })
+            .sum::<u64>()
+            / 32;
+        assert!(avg > idle.raw() * 10, "idle={} avg={}", idle.raw(), avg);
+    }
+
+    #[test]
+    fn unknown_syscall_is_enosys() {
+        let mut linux = boot_linux();
+        let (pt, mut mem) = app_world();
+        let proxy = linux.spawn_proxy(Pid(1000), CoreId(19));
+        let req = SyscallRequest {
+            seq: 9,
+            pid: 1000,
+            tid: 1000,
+            sysno: 9999,
+            args: [0; 6],
+        };
+        let res = linux.service_syscall(proxy, &req, Cycles::ZERO, &pt, &mut mem);
+        assert_eq!(res.ret, -(Errno::ENOSYS as i32 as i64));
+    }
+
+    #[test]
+    fn munmap_sync_reaches_the_proxy() {
+        let mut linux = boot_linux();
+        let (pt, mut mem) = app_world();
+        let proxy = linux.spawn_proxy(Pid(1000), CoreId(19));
+        // Fault a page into the pseudo mapping via a write.
+        mem.write(PhysAddr(0x40_0300), b"/tmp/f\0");
+        let open = SyscallRequest {
+            seq: 1,
+            pid: 1000,
+            tid: 1000,
+            sysno: Sysno::Open.nr(),
+            args: [0x100_0300, 0, 0, 0, 0, 0],
+        };
+        linux.service_syscall(proxy, &open, Cycles::ZERO, &pt, &mut mem);
+        assert_eq!(linux.proxy(proxy).unwrap().uas.resident_ptes(), 1);
+        let n = linux.sync_munmap(Pid(1000), &[(VirtAddr(0x100_0000), 0x1000)]);
+        assert_eq!(n, 1);
+        assert_eq!(linux.proxy(proxy).unwrap().uas.resident_ptes(), 0);
+    }
+
+    #[test]
+    fn reap_proxy_cleans_up() {
+        let mut linux = boot_linux();
+        let proxy = linux.spawn_proxy(Pid(1000), CoreId(19));
+        assert!(linux.proxy_for_app(Pid(1000)).is_some());
+        linux.reap_proxy(proxy);
+        assert!(linux.proxy_for_app(Pid(1000)).is_none());
+        assert_eq!(linux.vfs.fd_count(proxy), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! `/proc` and `/sys` content generation.
+//!
+//! The paper motivates hybrid kernels with applications that need "the
+//! Linux APIs (such as the /proc, /sys filesystems, etc.) in particular"
+//! (Sec. I). On IHK/McKernel those reads are offloaded and served by the
+//! real Linux — so the content reflects *Linux's* view of the node:
+//! notably, memory reserved for the LWK partition has vanished from
+//! `MemTotal`, and LWK cores are absent from the online-CPU mask.
+
+use hwmodel::cpu::CoreId;
+use hwmodel::memory::{FrameOwner, PhysMemory};
+use std::fmt::Write as _;
+
+/// Generate the content of a proc/sys file as Linux on this node would
+/// render it. Returns `None` for paths the model doesn't implement.
+pub fn generate(path: &str, linux_cores: &[CoreId], mem: &PhysMemory) -> Option<Vec<u8>> {
+    match path {
+        "/proc/meminfo" => {
+            let visible = mem.bytes_owned_by(FrameOwner::Linux);
+            let mut s = String::new();
+            let _ = writeln!(s, "MemTotal:       {:>10} kB", visible >> 10);
+            let _ = writeln!(s, "MemFree:        {:>10} kB", (visible * 9 / 10) >> 10);
+            let _ = writeln!(s, "Cached:         {:>10} kB", (visible / 20) >> 10);
+            let _ = writeln!(s, "HugePages_Total:         0");
+            Some(s.into_bytes())
+        }
+        "/proc/cpuinfo" => {
+            let mut s = String::new();
+            for c in linux_cores {
+                let _ = writeln!(s, "processor\t: {}", c.0);
+                let _ = writeln!(s, "model name\t: Intel(R) Xeon(R) CPU E5-2680 v2 @ 2.80GHz");
+                let _ = writeln!(s, "cpu MHz\t\t: 2800.000");
+                let _ = writeln!(s);
+            }
+            Some(s.into_bytes())
+        }
+        "/proc/stat" => {
+            let mut s = String::from("cpu  0 0 0 0 0 0 0 0 0 0\n");
+            for c in linux_cores {
+                let _ = writeln!(s, "cpu{} 0 0 0 0 0 0 0 0 0 0", c.0);
+            }
+            Some(s.into_bytes())
+        }
+        "/sys/devices/system/cpu/online" => {
+            // Render the Linux-visible cores as a range list.
+            let mut ids: Vec<u16> = linux_cores.iter().map(|c| c.0).collect();
+            ids.sort_unstable();
+            let mut parts: Vec<String> = Vec::new();
+            let mut i = 0;
+            while i < ids.len() {
+                let start = ids[i];
+                let mut end = start;
+                while i + 1 < ids.len() && ids[i + 1] == end + 1 {
+                    i += 1;
+                    end = ids[i];
+                }
+                parts.push(if start == end {
+                    format!("{start}")
+                } else {
+                    format!("{start}-{end}")
+                });
+                i += 1;
+            }
+            Some(format!("{}\n", parts.join(",")).into_bytes())
+        }
+        "/proc/self/status" => Some(
+            b"Name:\tproxy\nState:\tS (sleeping)\nThreads:\t1\n".to_vec(),
+        ),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cores(v: &[u16]) -> Vec<CoreId> {
+        v.iter().map(|&c| CoreId(c)).collect()
+    }
+
+    #[test]
+    fn meminfo_reflects_the_ihk_reservation() {
+        let mut mem = PhysMemory::new(64 << 30, 2);
+        let all = String::from_utf8(
+            generate("/proc/meminfo", &cores(&[0, 1]), &mem).expect("implemented"),
+        )
+        .expect("utf8");
+        assert!(all.contains(&format!("MemTotal:       {:>10} kB", (64u64 << 30) >> 10)));
+        // IHK reserves 16 GiB: Linux's MemTotal shrinks accordingly.
+        mem.set_owner(
+            hwmodel::addr::PhysAddr(32 << 30),
+            16 << 30,
+            FrameOwner::Lwk,
+        );
+        let after = String::from_utf8(
+            generate("/proc/meminfo", &cores(&[0, 1]), &mem).expect("implemented"),
+        )
+        .expect("utf8");
+        assert!(after.contains(&format!("MemTotal:       {:>10} kB", (48u64 << 30) >> 10)));
+    }
+
+    #[test]
+    fn cpuinfo_lists_only_linux_cores() {
+        let mem = PhysMemory::new(1 << 30, 1);
+        let s = String::from_utf8(
+            generate("/proc/cpuinfo", &cores(&[0, 1, 19]), &mem).expect("implemented"),
+        )
+        .expect("utf8");
+        assert_eq!(s.matches("processor").count(), 3);
+        assert!(s.contains("processor\t: 19"));
+        assert!(!s.contains("processor\t: 10"), "LWK cores invisible");
+    }
+
+    #[test]
+    fn online_mask_renders_ranges() {
+        let mem = PhysMemory::new(1 << 30, 1);
+        let s = String::from_utf8(
+            generate(
+                "/sys/devices/system/cpu/online",
+                &cores(&[0, 1, 2, 3, 19]),
+                &mem,
+            )
+            .expect("implemented"),
+        )
+        .expect("utf8");
+        assert_eq!(s, "0-3,19\n");
+    }
+
+    #[test]
+    fn unknown_paths_are_none() {
+        let mem = PhysMemory::new(1 << 30, 1);
+        assert!(generate("/proc/interrupts", &cores(&[0]), &mem).is_none());
+    }
+}

@@ -1,0 +1,317 @@
+//! The VFS layer serving delegated I/O.
+//!
+//! McKernel keeps no file state at all: "the actual set of open files
+//! (i.e., file descriptor table, file positions, etc.) are managed by the
+//! Linux kernel" (Sec. II). When the proxy executes an offloaded `open`/
+//! `read`/`write`/`ioctl`, it lands here. Device files route to the bound
+//! driver class; `/proc`//`/sys` reads are generated; regular files get a
+//! simple page-cache cost model.
+
+use hlwk_core::abi::{Errno, Fd, Pid};
+use hwmodel::pci::DeviceClass;
+use simcore::Cycles;
+use std::collections::HashMap;
+
+/// What an open file descriptor refers to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// A regular (page-cached) file.
+    Regular {
+        /// Path for diagnostics.
+        path: String,
+    },
+    /// A character device file bound to a driver.
+    Device {
+        /// `/dev`-relative name.
+        name: String,
+        /// Driver class.
+        class: DeviceClass,
+    },
+    /// A `/proc` or `/sys` pseudo file.
+    ProcSys {
+        /// Full path.
+        path: String,
+    },
+}
+
+/// One open file.
+#[derive(Clone, Debug)]
+pub struct OpenFile {
+    /// Backing object.
+    pub kind: FileKind,
+    /// Read/write position (regular files).
+    pub pos: u64,
+}
+
+/// Per-process descriptor table.
+#[derive(Debug, Default)]
+struct FdTable {
+    files: HashMap<i32, OpenFile>,
+    next_fd: i32,
+}
+
+/// Costs of VFS operations.
+#[derive(Clone, Copy, Debug)]
+pub struct VfsCosts {
+    /// Path walk + inode for `open`.
+    pub open: Cycles,
+    /// `close`.
+    pub close: Cycles,
+    /// Base cost of `read`/`write` (page-cache hit).
+    pub rw_base: Cycles,
+    /// Additional cost per 4 KiB transferred.
+    pub rw_per_page: Cycles,
+    /// Base cost of an `ioctl` into a driver.
+    pub ioctl: Cycles,
+    /// Extra per-page cost of uverbs memory-registration commands
+    /// (get_user_pages + IOMMU map) — the mechanism behind the paper's
+    /// large-message RDMA-registration artifact (Sec. IV-B2).
+    pub reg_per_page: Cycles,
+    /// Generating a /proc read.
+    pub procfs_read: Cycles,
+}
+
+impl Default for VfsCosts {
+    fn default() -> Self {
+        VfsCosts {
+            open: Cycles::from_us(2),
+            close: Cycles::from_ns(400),
+            rw_base: Cycles::from_ns(700),
+            rw_per_page: Cycles::from_ns(350),
+            ioctl: Cycles::from_us(1),
+            reg_per_page: Cycles::from_ns(260),
+            procfs_read: Cycles::from_us(3),
+        }
+    }
+}
+
+/// The node-wide VFS: fd tables per (proxy) process and device registry.
+#[derive(Debug)]
+pub struct Vfs {
+    tables: HashMap<Pid, FdTable>,
+    devices: HashMap<String, DeviceClass>,
+    /// Cost table.
+    pub costs: VfsCosts,
+}
+
+impl Vfs {
+    /// Empty VFS with a device registry.
+    pub fn new(devices: impl IntoIterator<Item = (String, DeviceClass)>) -> Self {
+        Vfs {
+            tables: HashMap::new(),
+            devices: devices.into_iter().collect(),
+            costs: VfsCosts::default(),
+        }
+    }
+
+    /// Create the fd table for a process (0/1/2 pre-opened).
+    pub fn create_process(&mut self, pid: Pid) {
+        let mut table = FdTable {
+            files: HashMap::new(),
+            next_fd: 3,
+        };
+        for fd in 0..3 {
+            table.files.insert(
+                fd,
+                OpenFile {
+                    kind: FileKind::Regular {
+                        path: format!("/dev/std{fd}"),
+                    },
+                    pos: 0,
+                },
+            );
+        }
+        self.tables.insert(pid, table);
+    }
+
+    /// Tear down a process's descriptors.
+    pub fn destroy_process(&mut self, pid: Pid) {
+        self.tables.remove(&pid);
+    }
+
+    /// `open(path)`. Returns (fd, cost).
+    pub fn open(&mut self, pid: Pid, path: &str) -> Result<(Fd, Cycles), Errno> {
+        let kind = if let Some(dev) = path.strip_prefix("/dev/") {
+            let class = *self.devices.get(dev).ok_or(Errno::ENODEV)?;
+            FileKind::Device {
+                name: dev.to_string(),
+                class,
+            }
+        } else if path.starts_with("/proc/") || path.starts_with("/sys/") {
+            FileKind::ProcSys {
+                path: path.to_string(),
+            }
+        } else {
+            FileKind::Regular {
+                path: path.to_string(),
+            }
+        };
+        let table = self.tables.get_mut(&pid).ok_or(Errno::ENOENT)?;
+        let fd = table.next_fd;
+        table.next_fd += 1;
+        table.files.insert(fd, OpenFile { kind, pos: 0 });
+        Ok((Fd(fd), self.costs.open))
+    }
+
+    /// `close(fd)`.
+    pub fn close(&mut self, pid: Pid, fd: Fd) -> Result<Cycles, Errno> {
+        let table = self.tables.get_mut(&pid).ok_or(Errno::ENOENT)?;
+        table.files.remove(&fd.0).ok_or(Errno::EBADF)?;
+        Ok(self.costs.close)
+    }
+
+    /// Look up an open file.
+    pub fn file(&self, pid: Pid, fd: Fd) -> Result<&OpenFile, Errno> {
+        self.tables
+            .get(&pid)
+            .ok_or(Errno::ENOENT)?
+            .files
+            .get(&fd.0)
+            .ok_or(Errno::EBADF)
+    }
+
+    /// `read`/`write` service cost for `len` bytes on `fd`. Device writes
+    /// to a uverbs fd model memory-registration commands: cost scales with
+    /// the number of pages being pinned.
+    pub fn rw_cost(&self, pid: Pid, fd: Fd, len: u64) -> Result<Cycles, Errno> {
+        let f = self.file(pid, fd)?;
+        let pages = len.div_ceil(4096).max(1);
+        Ok(match &f.kind {
+            FileKind::Regular { .. } => self.costs.rw_base + self.costs.rw_per_page * pages,
+            FileKind::ProcSys { .. } => self.costs.procfs_read,
+            FileKind::Device { class, .. } => match class {
+                DeviceClass::InfinibandHca => {
+                    // uverbs command channel: treat the byte count as the
+                    // registration length.
+                    self.costs.ioctl + self.costs.reg_per_page * pages
+                }
+                DeviceClass::EthernetNic => self.costs.ioctl,
+            },
+        })
+    }
+
+    /// Advance a regular file position (successful read/write of `len`).
+    pub fn advance(&mut self, pid: Pid, fd: Fd, len: u64) -> Result<(), Errno> {
+        let table = self.tables.get_mut(&pid).ok_or(Errno::ENOENT)?;
+        let f = table.files.get_mut(&fd.0).ok_or(Errno::EBADF)?;
+        f.pos += len;
+        Ok(())
+    }
+
+    /// `ioctl` service cost on `fd`.
+    pub fn ioctl_cost(&self, pid: Pid, fd: Fd) -> Result<Cycles, Errno> {
+        let f = self.file(pid, fd)?;
+        match &f.kind {
+            FileKind::Device { .. } => Ok(self.costs.ioctl),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// Open descriptor count for a process.
+    pub fn fd_count(&self, pid: Pid) -> usize {
+        self.tables.get(&pid).map(|t| t.files.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vfs() -> Vfs {
+        let mut v = Vfs::new([
+            ("infiniband/uverbs0".to_string(), DeviceClass::InfinibandHca),
+            ("eth0".to_string(), DeviceClass::EthernetNic),
+        ]);
+        v.create_process(Pid(500));
+        v
+    }
+
+    #[test]
+    fn std_fds_preopened_and_fd_numbers_grow() {
+        let mut v = vfs();
+        assert_eq!(v.fd_count(Pid(500)), 3);
+        let (fd, _) = v.open(Pid(500), "/tmp/data").unwrap();
+        assert_eq!(fd, Fd(3));
+        let (fd2, _) = v.open(Pid(500), "/tmp/data2").unwrap();
+        assert_eq!(fd2, Fd(4));
+    }
+
+    #[test]
+    fn device_open_requires_registered_device() {
+        let mut v = vfs();
+        let (fd, _) = v.open(Pid(500), "/dev/infiniband/uverbs0").unwrap();
+        match &v.file(Pid(500), fd).unwrap().kind {
+            FileKind::Device { class, .. } => {
+                assert_eq!(*class, DeviceClass::InfinibandHca)
+            }
+            k => panic!("{k:?}"),
+        }
+        assert_eq!(v.open(Pid(500), "/dev/nvme0"), Err(Errno::ENODEV));
+    }
+
+    #[test]
+    fn procfs_detected() {
+        let mut v = vfs();
+        let (fd, _) = v.open(Pid(500), "/proc/self/status").unwrap();
+        assert!(matches!(
+            v.file(Pid(500), fd).unwrap().kind,
+            FileKind::ProcSys { .. }
+        ));
+        assert_eq!(
+            v.rw_cost(Pid(500), fd, 100).unwrap(),
+            v.costs.procfs_read
+        );
+    }
+
+    #[test]
+    fn close_then_use_is_ebadf() {
+        let mut v = vfs();
+        let (fd, _) = v.open(Pid(500), "/tmp/x").unwrap();
+        v.close(Pid(500), fd).unwrap();
+        assert_eq!(v.rw_cost(Pid(500), fd, 10), Err(Errno::EBADF));
+        assert_eq!(v.close(Pid(500), fd), Err(Errno::EBADF));
+    }
+
+    #[test]
+    fn rw_cost_scales_with_pages() {
+        let mut v = vfs();
+        let (fd, _) = v.open(Pid(500), "/tmp/big").unwrap();
+        let small = v.rw_cost(Pid(500), fd, 100).unwrap();
+        let big = v.rw_cost(Pid(500), fd, 1 << 20).unwrap();
+        assert!(big > small * 50);
+    }
+
+    #[test]
+    fn uverbs_write_models_registration() {
+        let mut v = vfs();
+        let (fd, _) = v.open(Pid(500), "/dev/infiniband/uverbs0").unwrap();
+        // Registering 1 MiB costs ~256 page-pin units; 4 KiB costs one.
+        let reg_1m = v.rw_cost(Pid(500), fd, 1 << 20).unwrap();
+        let reg_4k = v.rw_cost(Pid(500), fd, 4096).unwrap();
+        assert!(reg_1m > reg_4k * 20);
+        assert!(v.ioctl_cost(Pid(500), fd).is_ok());
+    }
+
+    #[test]
+    fn ioctl_on_regular_file_is_einval() {
+        let mut v = vfs();
+        let (fd, _) = v.open(Pid(500), "/tmp/f").unwrap();
+        assert_eq!(v.ioctl_cost(Pid(500), fd), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn positions_advance() {
+        let mut v = vfs();
+        let (fd, _) = v.open(Pid(500), "/tmp/f").unwrap();
+        v.advance(Pid(500), fd, 4096).unwrap();
+        assert_eq!(v.file(Pid(500), fd).unwrap().pos, 4096);
+    }
+
+    #[test]
+    fn destroy_process_drops_fds() {
+        let mut v = vfs();
+        v.destroy_process(Pid(500));
+        assert_eq!(v.fd_count(Pid(500)), 0);
+        assert_eq!(v.open(Pid(500), "/tmp/x"), Err(Errno::ENOENT));
+    }
+}

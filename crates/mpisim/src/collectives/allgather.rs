@@ -1,0 +1,163 @@
+//! Allgather: recursive doubling (small, power-of-two) and ring (large).
+//!
+//! Block id = origin rank.
+
+use super::{ceil_log2, Ctx};
+use crate::host::HostModel;
+use simcore::Cycles;
+
+/// MVAPICH-style selector.
+pub fn allgather<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    p: usize,
+    bytes_per_rank: u64,
+    start: &[Cycles],
+) -> Vec<Cycles> {
+    if p.is_power_of_two() && bytes_per_rank <= 32 << 10 {
+        allgather_rd(ctx, p, bytes_per_rank, start)
+    } else {
+        allgather_ring(ctx, p, bytes_per_rank, start)
+    }
+}
+
+/// Recursive doubling: log2(p) rounds; in round `k` ranks exchange their
+/// accumulated aligned window of `2^k` blocks with the partner at XOR
+/// distance `2^k`. Power-of-two only.
+pub fn allgather_rd<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    p: usize,
+    bytes_per_rank: u64,
+    start: &[Cycles],
+) -> Vec<Cycles> {
+    assert!(p.is_power_of_two(), "recursive doubling needs 2^k ranks");
+    assert_eq!(start.len(), p);
+    let mut clocks = start.to_vec();
+    for k in 0..ceil_log2(p) {
+        let dist = 1usize << k;
+        let window = 1usize << k;
+        let round = clocks.clone();
+        for r in 0..p {
+            let partner = r ^ dist;
+            if r > partner {
+                continue;
+            }
+            // Both directions posted as one sendrecv; each ships its
+            // aligned window.
+            let base_r = r & !(window - 1);
+            let base_p = partner & !(window - 1);
+            let bytes = window as u64 * bytes_per_rank;
+            ctx.xfer_at(r, partner, bytes, round[r], round[partner], &mut clocks, || {
+                (base_r..base_r + window).map(|b| b as u32).collect()
+            });
+            ctx.xfer_at(partner, r, bytes, round[partner], round[r], &mut clocks, || {
+                (base_p..base_p + window).map(|b| b as u32).collect()
+            });
+        }
+    }
+    clocks
+}
+
+/// Ring: `p-1` rounds; in round `i` rank `r` forwards the block that
+/// originated at `(r - i) mod p` to its right neighbour.
+pub fn allgather_ring<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    p: usize,
+    bytes_per_rank: u64,
+    start: &[Cycles],
+) -> Vec<Cycles> {
+    assert_eq!(start.len(), p);
+    let mut clocks = start.to_vec();
+    if p == 1 {
+        return clocks;
+    }
+    for i in 0..p - 1 {
+        let round = clocks.clone();
+        for r in 0..p {
+            let dst = (r + 1) % p;
+            let origin = (r + p - i) % p;
+            ctx.xfer_at(r, dst, bytes_per_rank, round[r], round[dst], &mut clocks, || {
+                vec![origin as u32]
+            });
+        }
+    }
+    clocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::testutil::{replay_possession, Rig};
+
+    fn initial(p: usize) -> Vec<Vec<u32>> {
+        (0..p).map(|r| vec![r as u32]).collect()
+    }
+
+    #[test]
+    fn rd_everyone_gets_everything() {
+        let p = 16;
+        let mut rig = Rig::new(p);
+        let start = vec![Cycles::ZERO; p];
+        allgather_rd(&mut rig.ctx(), p, 1024, &start);
+        let held = replay_possession(p, initial(p), rig.records());
+        for (r, s) in held.iter().enumerate() {
+            assert_eq!(s.len(), p, "rank {r} holds {}", s.len());
+        }
+        // Message count: log2(p) rounds * p messages.
+        assert_eq!(rig.records().len(), 4 * p);
+    }
+
+    #[test]
+    fn ring_everyone_gets_everything_any_p() {
+        for p in [2usize, 5, 8, 11] {
+            let mut rig = Rig::new(p);
+            let start = vec![Cycles::ZERO; p];
+            allgather_ring(&mut rig.ctx(), p, 4096, &start);
+            let held = replay_possession(p, initial(p), rig.records());
+            for s in &held {
+                assert_eq!(s.len(), p);
+            }
+            assert_eq!(rig.records().len(), p * (p - 1));
+        }
+    }
+
+    #[test]
+    fn selector_picks_rd_small_ring_large() {
+        let p = 8;
+        let mut rig = Rig::new(p);
+        let start = vec![Cycles::ZERO; p];
+        allgather(&mut rig.ctx(), p, 8, &start);
+        let small_msgs = rig.records().len();
+        assert_eq!(small_msgs, 3 * p, "recursive doubling rounds");
+        let mut rig2 = Rig::new(p);
+        allgather(&mut rig2.ctx(), p, 1 << 20, &start);
+        assert_eq!(rig2.records().len(), p * (p - 1), "ring rounds");
+    }
+
+    #[test]
+    fn rd_beats_ring_for_small_messages() {
+        let p = 16;
+        let start = vec![Cycles::ZERO; p];
+        let mut a = Rig::new(p);
+        let rd_done = allgather_rd(&mut a.ctx(), p, 64, &start);
+        let mut b = Rig::new(p);
+        let ring_done = allgather_ring(&mut b.ctx(), p, 64, &start);
+        assert!(
+            rd_done.iter().max().unwrap() < ring_done.iter().max().unwrap(),
+            "log rounds beat linear rounds at small sizes"
+        );
+    }
+
+    #[test]
+    fn completion_grows_with_size() {
+        let p = 8;
+        let start = vec![Cycles::ZERO; p];
+        let mut last = Cycles::ZERO;
+        for bytes in [1u64 << 10, 1 << 14, 1 << 18, 1 << 20] {
+            let mut rig = Rig::new(p);
+            let done = allgather(&mut rig.ctx(), p, bytes, &start);
+            let worst = *done.iter().max().unwrap();
+            assert!(worst > last);
+            last = worst;
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Alltoall: Bruck (small messages) and pairwise exchange (large).
+//!
+//! Block id encodes an (origin, destination) pair as `origin * p + dest`.
+
+use super::Ctx;
+use crate::host::HostModel;
+use simcore::Cycles;
+
+/// Selector: Bruck below 512 B per pair, pairwise above.
+pub fn alltoall<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    p: usize,
+    bytes_per_pair: u64,
+    start: &[Cycles],
+) -> Vec<Cycles> {
+    if bytes_per_pair <= 512 {
+        alltoall_bruck(ctx, p, bytes_per_pair, start)
+    } else {
+        alltoall_pairwise(ctx, p, bytes_per_pair, start)
+    }
+}
+
+/// Bruck: ceil(log2 p) rounds. Represent each block by its *relative
+/// index* `j = (dest - origin_holder) mod p`; in round `k` every rank
+/// forwards all blocks whose index has bit `k` set to the rank `2^k`
+/// ahead. After all rounds each block sits at its destination.
+pub fn alltoall_bruck<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    p: usize,
+    bytes_per_pair: u64,
+    start: &[Cycles],
+) -> Vec<Cycles> {
+    assert_eq!(start.len(), p);
+    let mut clocks = start.to_vec();
+    if p == 1 {
+        return clocks;
+    }
+    // holdings[r] = blocks (origin, dest) currently at rank r, with their
+    // index j. Maintained exactly so the recorder tells the truth.
+    let mut holdings: Vec<Vec<(usize, usize)>> = (0..p)
+        .map(|r| (0..p).filter(|&d| d != r).map(|d| (r, d)).collect())
+        .collect();
+    let mut k = 0u32;
+    while (1usize << k) < p {
+        let dist = 1usize << k;
+        // Compute the outgoing sets for all ranks first (rounds are
+        // logically simultaneous).
+        let mut outgoing: Vec<Vec<(usize, usize)>> = Vec::with_capacity(p);
+        for (r, held) in holdings.iter_mut().enumerate() {
+            let (go, stay): (Vec<_>, Vec<_>) = held
+                .iter()
+                .copied()
+                .partition(|&(_, d)| ((d + p - r) % p) & dist != 0);
+            outgoing.push(go);
+            *held = stay;
+        }
+        let round = clocks.clone();
+        for (r, go) in outgoing.into_iter().enumerate() {
+            if go.is_empty() {
+                continue;
+            }
+            let dst = (r + dist) % p;
+            let bytes = go.len() as u64 * bytes_per_pair;
+            let blocks: Vec<u32> = go.iter().map(|&(o, d)| (o * p + d) as u32).collect();
+            ctx.xfer_at(r, dst, bytes, round[r], round[dst], &mut clocks, move || blocks);
+            holdings[dst].extend(go);
+        }
+        k += 1;
+    }
+    // Invariant: every block reached its destination.
+    for (r, held) in holdings.iter().enumerate() {
+        debug_assert!(held.iter().all(|&(_, d)| d == r));
+    }
+    clocks
+}
+
+/// Pairwise exchange: `p-1` rounds; in round `i` rank `r` sends its block
+/// for `(r+i) mod p` directly.
+pub fn alltoall_pairwise<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    p: usize,
+    bytes_per_pair: u64,
+    start: &[Cycles],
+) -> Vec<Cycles> {
+    assert_eq!(start.len(), p);
+    let mut clocks = start.to_vec();
+    for i in 1..p {
+        let round = clocks.clone();
+        for r in 0..p {
+            let dst = (r + i) % p;
+            ctx.xfer_at(r, dst, bytes_per_pair, round[r], round[dst], &mut clocks, || {
+                vec![(r * p + dst) as u32]
+            });
+        }
+    }
+    clocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::testutil::{replay_possession, Rig};
+
+    fn initial_pairs(p: usize) -> Vec<Vec<u32>> {
+        (0..p)
+            .map(|r| (0..p).map(|d| (r * p + d) as u32).collect())
+            .collect()
+    }
+
+    fn assert_complete(p: usize, held: &[std::collections::BTreeSet<u32>]) {
+        for (r, s) in held.iter().enumerate() {
+            for o in 0..p {
+                let block = (o * p + r) as u32;
+                assert!(s.contains(&block), "rank {r} missing block from {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn bruck_delivers_every_pair_any_p() {
+        for p in [2usize, 3, 4, 7, 8, 16] {
+            let mut rig = Rig::new(p);
+            let start = vec![Cycles::ZERO; p];
+            alltoall_bruck(&mut rig.ctx(), p, 64, &start);
+            let held = replay_possession(p, initial_pairs(p), rig.records());
+            assert_complete(p, &held);
+        }
+    }
+
+    #[test]
+    fn pairwise_delivers_every_pair() {
+        for p in [2usize, 5, 8] {
+            let mut rig = Rig::new(p);
+            let start = vec![Cycles::ZERO; p];
+            alltoall_pairwise(&mut rig.ctx(), p, 4096, &start);
+            let held = replay_possession(p, initial_pairs(p), rig.records());
+            assert_complete(p, &held);
+            assert_eq!(rig.records().len(), p * (p - 1));
+        }
+    }
+
+    #[test]
+    fn bruck_uses_log_rounds_with_bigger_messages() {
+        let p = 16;
+        let mut rig = Rig::new(p);
+        let start = vec![Cycles::ZERO; p];
+        alltoall_bruck(&mut rig.ctx(), p, 8, &start);
+        // log2(16) = 4 rounds x 16 ranks = 64 messages, each carrying
+        // p/2 = 8 blocks.
+        assert_eq!(rig.records().len(), 4 * p);
+        assert!(rig.records().iter().all(|m| m.bytes == 8 * 8));
+    }
+
+    #[test]
+    fn selector_switches_at_512() {
+        let p = 8;
+        let start = vec![Cycles::ZERO; p];
+        let mut small = Rig::new(p);
+        alltoall(&mut small.ctx(), p, 256, &start);
+        assert_eq!(small.records().len(), 3 * p, "Bruck rounds");
+        let mut large = Rig::new(p);
+        alltoall(&mut large.ctx(), p, 4096, &start);
+        assert_eq!(large.records().len(), p * (p - 1), "pairwise");
+    }
+
+    #[test]
+    fn bruck_beats_pairwise_for_tiny_messages() {
+        let p = 32;
+        let start = vec![Cycles::ZERO; p];
+        let mut a = Rig::new(p);
+        let bruck = alltoall_bruck(&mut a.ctx(), p, 8, &start);
+        let mut b = Rig::new(p);
+        let pw = alltoall_pairwise(&mut b.ctx(), p, 8, &start);
+        assert!(bruck.iter().max().unwrap() < pw.iter().max().unwrap());
+    }
+
+    #[test]
+    fn pairwise_beats_bruck_for_large_messages() {
+        let p = 8;
+        let start = vec![Cycles::ZERO; p];
+        let mut a = Rig::new(p);
+        let bruck = alltoall_bruck(&mut a.ctx(), p, 1 << 20, &start);
+        let mut b = Rig::new(p);
+        let pw = alltoall_pairwise(&mut b.ctx(), p, 1 << 20, &start);
+        assert!(
+            pw.iter().max().unwrap() < bruck.iter().max().unwrap(),
+            "Bruck forwards data multiple times"
+        );
+    }
+
+    #[test]
+    fn alltoall_is_the_heaviest_collective() {
+        // Sanity vs. the paper's Fig. 6: alltoall latencies dwarf
+        // scatter's at the same message size.
+        use crate::collectives::tree;
+        let p = 16;
+        let start = vec![Cycles::ZERO; p];
+        let mut a = Rig::new(p);
+        let a2a = alltoall(&mut a.ctx(), p, 64 << 10, &start);
+        let mut s = Rig::new(p);
+        let sc = tree::scatter(&mut s.ctx(), p, 0, 64 << 10, &start);
+        assert!(a2a.iter().max().unwrap() > sc.iter().max().unwrap());
+    }
+}

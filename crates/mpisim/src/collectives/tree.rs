@@ -1,0 +1,252 @@
+//! Binomial-tree collectives: scatter, gather, reduce, bcast.
+//!
+//! Block-id conventions for the recorder:
+//! * scatter — block `i` is the data destined to rank `i`;
+//! * gather/reduce — block `i` is rank `i`'s contribution;
+//! * bcast — the single block is the root's rank.
+
+use super::{unvrank, ceil_log2, Ctx};
+use crate::host::HostModel;
+use simcore::Cycles;
+
+/// Steady-state re-registration probability of MPI-internal buffers
+/// (reduce-family operations repack through a cycling buffer pool).
+pub const INTERNAL_BUFFER_CHURN: f64 = 0.02;
+
+/// Binomial scatter: root distributes `bytes_per_rank` to every rank.
+/// Returns per-rank completion times.
+pub fn scatter<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    p: usize,
+    root: usize,
+    bytes_per_rank: u64,
+    start: &[Cycles],
+) -> Vec<Cycles> {
+    assert!(p >= 1 && root < p && start.len() == p);
+    let mut clocks = start.to_vec();
+    if p == 1 {
+        return clocks;
+    }
+    let mut mask = 1usize << (ceil_log2(p) - 1);
+    while mask >= 1 {
+        for vsrc in (0..p).step_by(mask * 2) {
+            let vdst = vsrc + mask;
+            if vdst >= p {
+                continue;
+            }
+            // Sender forwards the whole subtree rooted at vdst.
+            let count = (p - vdst).min(mask) as u64;
+            let (src, dst) = (unvrank(vsrc, root, p), unvrank(vdst, root, p));
+            ctx.xfer(src, dst, count * bytes_per_rank, &mut clocks, || {
+                (vdst..vdst + count as usize)
+                    .map(|v| unvrank(v, root, p) as u32)
+                    .collect()
+            });
+        }
+        mask >>= 1;
+    }
+    clocks
+}
+
+/// Binomial gather: every rank's `bytes_per_rank` ends at the root.
+pub fn gather<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    p: usize,
+    root: usize,
+    bytes_per_rank: u64,
+    start: &[Cycles],
+) -> Vec<Cycles> {
+    assert!(p >= 1 && root < p && start.len() == p);
+    let mut clocks = start.to_vec();
+    let mut mask = 1usize;
+    while mask < p {
+        for vsrc in (mask..p).step_by(mask * 2) {
+            let vdst = vsrc - mask;
+            // Sender ships its accumulated subtree [vsrc, vsrc+mask).
+            let count = (p - vsrc).min(mask) as u64;
+            let (src, dst) = (unvrank(vsrc, root, p), unvrank(vdst, root, p));
+            ctx.xfer(src, dst, count * bytes_per_rank, &mut clocks, || {
+                (vsrc..vsrc + count as usize)
+                    .map(|v| unvrank(v, root, p) as u32)
+                    .collect()
+            });
+        }
+        mask <<= 1;
+    }
+    clocks
+}
+
+/// Binomial reduce: combine `bytes` from every rank at the root. Each
+/// combine charges reduction compute on the receiving rank.
+pub fn reduce<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    p: usize,
+    root: usize,
+    bytes: u64,
+    start: &[Cycles],
+) -> Vec<Cycles> {
+    assert!(p >= 1 && root < p && start.len() == p);
+    let mut clocks = start.to_vec();
+    let reduce_cost = ctx.reduce_cost(bytes);
+    // Reduce repacks through MPI-internal buffers: registration churn.
+    let saved_churn = ctx.churn;
+    ctx.churn = ctx.internal_churn();
+    let mut mask = 1usize;
+    while mask < p {
+        for vsrc in (mask..p).step_by(mask * 2) {
+            let vdst = vsrc - mask;
+            let count = (p - vsrc).min(mask);
+            let (src, dst) = (unvrank(vsrc, root, p), unvrank(vdst, root, p));
+            ctx.xfer(src, dst, bytes, &mut clocks, || {
+                (vsrc..vsrc + count)
+                    .map(|v| unvrank(v, root, p) as u32)
+                    .collect()
+            });
+            // The receiver combines the incoming vector with its own.
+            clocks[dst] = ctx.host.cpu(dst, clocks[dst], reduce_cost);
+        }
+        mask <<= 1;
+    }
+    ctx.churn = saved_churn;
+    clocks
+}
+
+/// Binomial broadcast of `bytes` from the root.
+pub fn bcast<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    p: usize,
+    root: usize,
+    bytes: u64,
+    start: &[Cycles],
+) -> Vec<Cycles> {
+    assert!(p >= 1 && root < p && start.len() == p);
+    let mut clocks = start.to_vec();
+    if p == 1 {
+        return clocks;
+    }
+    let mut mask = 1usize << (ceil_log2(p) - 1);
+    while mask >= 1 {
+        for vsrc in (0..p).step_by(mask * 2) {
+            let vdst = vsrc + mask;
+            if vdst >= p {
+                continue;
+            }
+            let (src, dst) = (unvrank(vsrc, root, p), unvrank(vdst, root, p));
+            ctx.xfer(src, dst, bytes, &mut clocks, || vec![root as u32]);
+        }
+        mask >>= 1;
+    }
+    clocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::testutil::{replay_possession, Rig};
+
+    #[test]
+    fn scatter_delivers_each_rank_its_block() {
+        let p = 8;
+        let mut rig = Rig::new(p);
+        let start = vec![Cycles::ZERO; p];
+        let done = scatter(&mut rig.ctx(), p, 2, 4096, &start);
+        // Data-flow check: root starts holding all blocks.
+        let mut initial = vec![Vec::new(); p];
+        initial[2] = (0..p as u32).collect();
+        let held = replay_possession(p, initial, rig.records());
+        for (r, set) in held.iter().enumerate() {
+            assert!(set.contains(&(r as u32)), "rank {r} lacks its block");
+        }
+        // Root finishes early; leaves finish last.
+        assert!(done[2] < *done.iter().max().unwrap());
+        // Message count is exactly p-1 (tree edges).
+        assert_eq!(rig.records().len(), p - 1);
+    }
+
+    #[test]
+    fn scatter_non_power_of_two() {
+        let p = 6;
+        let mut rig = Rig::new(p);
+        let start = vec![Cycles::ZERO; p];
+        scatter(&mut rig.ctx(), p, 0, 1024, &start);
+        let mut initial = vec![Vec::new(); p];
+        initial[0] = (0..p as u32).collect();
+        let held = replay_possession(p, initial, rig.records());
+        for (r, set) in held.iter().enumerate() {
+            assert!(set.contains(&(r as u32)));
+        }
+        assert_eq!(rig.records().len(), p - 1);
+    }
+
+    #[test]
+    fn gather_collects_everything_at_root() {
+        for p in [4usize, 7, 16] {
+            let mut rig = Rig::new(p);
+            let start = vec![Cycles::ZERO; p];
+            let done = gather(&mut rig.ctx(), p, 1, 2048, &start);
+            let initial: Vec<Vec<u32>> = (0..p).map(|r| vec![r as u32]).collect();
+            let held = replay_possession(p, initial, rig.records());
+            assert_eq!(held[1].len(), p, "root holds all contributions (p={p})");
+            assert_eq!(rig.records().len(), p - 1);
+            assert!(done[1] >= *done.iter().min().unwrap());
+        }
+    }
+
+    #[test]
+    fn reduce_combines_all_contributions() {
+        let p = 8;
+        let mut rig = Rig::new(p);
+        let start = vec![Cycles::ZERO; p];
+        let done = reduce(&mut rig.ctx(), p, 0, 64 << 10, &start);
+        let initial: Vec<Vec<u32>> = (0..p).map(|r| vec![r as u32]).collect();
+        let held = replay_possession(p, initial, rig.records());
+        assert_eq!(held[0].len(), p);
+        // Reduce ships full vectors on every edge: log2(p) rounds of
+        // halving senders => p-1 messages of `bytes` each.
+        assert!(rig.records().iter().all(|m| m.bytes == 64 << 10));
+        // The root is the last to finish (it does the final combine).
+        assert_eq!(
+            done.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0,
+            0
+        );
+    }
+
+    #[test]
+    fn bcast_reaches_everyone() {
+        for p in [2usize, 5, 32] {
+            let mut rig = Rig::new(p);
+            let start = vec![Cycles::ZERO; p];
+            let done = bcast(&mut rig.ctx(), p, 3 % p, 4096, &start);
+            let mut initial = vec![Vec::new(); p];
+            initial[3 % p] = vec![(3 % p) as u32];
+            let held = replay_possession(p, initial, rig.records());
+            assert!(held.iter().all(|s| s.contains(&((3 % p) as u32))));
+            assert!(done.iter().all(|&d| d > Cycles::ZERO || p == 1));
+        }
+    }
+
+    #[test]
+    fn tree_depth_scales_logarithmically() {
+        // Completion of bcast at 64 ranks should be ~log2(64)=6 message
+        // latencies, far from 63.
+        let mut rig = Rig::new(64);
+        let start = vec![Cycles::ZERO; 64];
+        let done = bcast(&mut rig.ctx(), 64, 0, 8, &start);
+        let worst = done.iter().max().unwrap().as_us_f64();
+        let single = 2.0; // ~2us per small hop
+        assert!(worst < single * 12.0, "worst {worst}us");
+        assert!(worst > single * 3.0, "worst {worst}us");
+    }
+
+    #[test]
+    fn scatter_root_sends_subtree_sized_messages() {
+        let p = 8;
+        let mut rig = Rig::new(p);
+        let start = vec![Cycles::ZERO; p];
+        scatter(&mut rig.ctx(), p, 0, 1000, &start);
+        // First message: root -> vrank 4 carries 4 blocks.
+        let first = &rig.records()[0];
+        assert_eq!(first.bytes, 4000);
+        assert_eq!(first.blocks.len(), 4);
+    }
+}

@@ -1,0 +1,85 @@
+//! The host-OS hook.
+//!
+//! Every CPU-side cost the MPI library pays (software overheads, copies,
+//! reductions, registration calls) is charged through this trait. The
+//! `cluster` crate implements it on top of the per-node OS runtimes so
+//! that Linux ticks/daemons/contention — or McKernel's silence — shape
+//! collective timing. [`IdealHost`] is the noise-free reference used in
+//! unit tests.
+
+use simcore::Cycles;
+
+/// Where MPI-library CPU time executes.
+pub trait HostModel {
+    /// Execute `work` of library CPU time on `rank`'s core beginning at
+    /// `at`; returns the completion instant (>= `at + work`).
+    fn cpu(&mut self, rank: usize, at: Cycles, work: Cycles) -> Cycles;
+
+    /// Register `bytes` of memory with the HCA on `rank` (pin + IOMMU).
+    /// On McKernel this is a `write()` to the uverbs fd — an *offloaded*
+    /// syscall — which is the mechanism behind the paper's large-message
+    /// variation artifact (Sec. IV-B2). Returns the completion instant.
+    fn mr_register(&mut self, rank: usize, at: Cycles, bytes: u64) -> Cycles;
+
+    /// Execute an OpenMP parallel region of `threads` threads, each doing
+    /// `per_thread` work, on `rank`'s node starting at `at`; returns the
+    /// region end (the *slowest* thread). Default: perfect parallelism,
+    /// region length == one thread's quantum.
+    fn omp_region(&mut self, rank: usize, at: Cycles, per_thread: Cycles, threads: u32) -> Cycles {
+        let _ = threads;
+        self.cpu(rank, at, per_thread)
+    }
+
+    /// Effective DMA slowdown factor (>= 1.0) on `rank` at `at`: the HCA's
+    /// DMA engines share DRAM bandwidth with whatever else the node runs,
+    /// so large transfers stretch under co-located memory traffic.
+    fn dma_stretch(&mut self, rank: usize, at: Cycles) -> f64 {
+        let _ = (rank, at);
+        1.0
+    }
+}
+
+/// Perfect host: work takes exactly its nominal time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IdealHost {
+    /// Fixed registration cost per KiB (control path, uncontended).
+    pub reg_per_kib: Cycles,
+}
+
+impl IdealHost {
+    /// Ideal host with a small nominal registration cost.
+    pub fn new() -> Self {
+        IdealHost {
+            reg_per_kib: Cycles::from_ns(70),
+        }
+    }
+}
+
+impl HostModel for IdealHost {
+    fn cpu(&mut self, _rank: usize, at: Cycles, work: Cycles) -> Cycles {
+        at + work
+    }
+
+    fn mr_register(&mut self, _rank: usize, at: Cycles, bytes: u64) -> Cycles {
+        at + Cycles::from_us(4) + Cycles(self.reg_per_kib.raw() * bytes.div_ceil(1024))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_host_is_exact() {
+        let mut h = IdealHost::new();
+        assert_eq!(h.cpu(0, Cycles(100), Cycles(50)), Cycles(150));
+    }
+
+    #[test]
+    fn registration_scales_with_bytes() {
+        let mut h = IdealHost::new();
+        let small = h.mr_register(0, Cycles::ZERO, 4096);
+        let big = h.mr_register(0, Cycles::ZERO, 4 << 20);
+        assert!(big.raw() > small.raw() * 5);
+    }
+}

@@ -1,0 +1,222 @@
+//! Point-to-point protocols: eager and rendezvous.
+//!
+//! * **Eager** (small messages): the payload is copied into a
+//!   pre-registered bounce buffer and shipped with the match header in
+//!   one fabric message; the receiver copies it out. No registration on
+//!   the critical path.
+//! * **Rendezvous** (large messages): RTS → CTS handshake, *user buffers
+//!   are registered* (registration-cache misses stall here — and on
+//!   McKernel that registration is an offloaded `write()`), then the data
+//!   moves by RDMA with no receiver CPU involvement until completion.
+
+use crate::host::HostModel;
+use crate::regcache::RegCache;
+use netsim::Fabric;
+use simcore::Cycles;
+
+/// Protocol parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct P2pParams {
+    /// Eager/rendezvous switch point (MVAPICH-era default ~16 KiB).
+    pub eager_threshold: u64,
+    /// MPI software overhead per message (matching, headers).
+    pub sw_overhead: Cycles,
+    /// memcpy cost per KiB for eager copies.
+    pub copy_per_kib: Cycles,
+    /// Rendezvous control message size.
+    pub ctrl_bytes: u64,
+}
+
+impl Default for P2pParams {
+    fn default() -> Self {
+        P2pParams {
+            eager_threshold: 16 << 10,
+            sw_overhead: Cycles::from_ns(250),
+            // ~10 GB/s memcpy: 1 KiB ~ 100 ns ~ 280 cycles.
+            copy_per_kib: Cycles::from_ns(100),
+            ctrl_bytes: 64,
+        }
+    }
+}
+
+impl P2pParams {
+    /// memcpy cost of `bytes`.
+    pub fn copy_cost(&self, bytes: u64) -> Cycles {
+        Cycles(self.copy_per_kib.raw() * bytes.div_ceil(1024))
+    }
+
+    /// Whether `bytes` goes eager.
+    pub fn is_eager(&self, bytes: u64) -> bool {
+        bytes <= self.eager_threshold
+    }
+}
+
+/// Completion instants of one send/receive pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SendTiming {
+    /// Sender's CPU free (send call returned).
+    pub sender_done: Cycles,
+    /// Receiver holds the data (receive completed).
+    pub receiver_done: Cycles,
+}
+
+/// Transfer `bytes` from `src_rank` (CPU free at `src_at`) to `dst_rank`
+/// (receive posted at `dst_at`). Ranks map 1:1 to fabric nodes.
+#[allow(clippy::too_many_arguments)]
+pub fn send<H: HostModel>(
+    fabric: &mut Fabric,
+    host: &mut H,
+    params: &P2pParams,
+    regcaches: &mut [RegCache],
+    src_rank: usize,
+    dst_rank: usize,
+    bytes: u64,
+    src_at: Cycles,
+    dst_at: Cycles,
+    churn: f64,
+) -> SendTiming {
+    debug_assert_ne!(src_rank, dst_rank);
+    if params.is_eager(bytes) {
+        // Copy-in + header, one wire message, copy-out.
+        let ready = host.cpu(
+            src_rank,
+            src_at,
+            params.sw_overhead + params.copy_cost(bytes),
+        );
+        let tr = fabric.send(src_rank, dst_rank, bytes + params.ctrl_bytes, ready);
+        let recv_start = tr.delivered.max(dst_at);
+        let receiver_done = host.cpu(
+            dst_rank,
+            recv_start,
+            params.sw_overhead + params.copy_cost(bytes),
+        );
+        SendTiming {
+            sender_done: tr.sender_free,
+            receiver_done,
+        }
+    } else {
+        // Rendezvous. RTS from sender...
+        let rts_ready = host.cpu(src_rank, src_at, params.sw_overhead);
+        let rts = fabric.send(src_rank, dst_rank, params.ctrl_bytes, rts_ready);
+        // Receiver must have posted the receive; registers its buffer if
+        // the cache misses, then CTSes back.
+        let rts_seen = rts.delivered.max(dst_at);
+        let dst_reg_done = if regcaches[dst_rank].needs_registration(bytes, churn) {
+            host.mr_register(dst_rank, rts_seen, bytes)
+        } else {
+            rts_seen
+        };
+        let cts_ready = host.cpu(dst_rank, dst_reg_done, params.sw_overhead);
+        let cts = fabric.send(dst_rank, src_rank, params.ctrl_bytes, cts_ready);
+        // Sender registers its side (often cached), then RDMA-writes.
+        let cts_seen = cts.delivered.max(rts.sender_free);
+        let src_reg_done = if regcaches[src_rank].needs_registration(bytes, churn) {
+            host.mr_register(src_rank, cts_seen, bytes)
+        } else {
+            cts_seen
+        };
+        let data_ready = host.cpu(src_rank, src_reg_done, params.sw_overhead);
+        // DMA shares DRAM with co-located work at both endpoints.
+        let stretch = host
+            .dma_stretch(src_rank, data_ready)
+            .max(host.dma_stretch(dst_rank, data_ready));
+        let wire_bytes = (bytes as f64 * stretch) as u64;
+        let data = fabric.send(src_rank, dst_rank, wire_bytes, data_ready);
+        // FIN/completion: receiver polls its CQ, trivial CPU.
+        let receiver_done = host.cpu(dst_rank, data.delivered, params.sw_overhead);
+        SendTiming {
+            sender_done: data.sender_free,
+            receiver_done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::IdealHost;
+    use netsim::LinkParams;
+    use simcore::StreamRng;
+
+    fn setup(n: usize) -> (Fabric, IdealHost, P2pParams, Vec<RegCache>) {
+        let fabric = Fabric::new(n, LinkParams::fdr_infiniband());
+        let caches = (0..n)
+            .map(|i| RegCache::new(StreamRng::root(3).stream("rank", i as u64)))
+            .collect();
+        (fabric, IdealHost::new(), P2pParams::default(), caches)
+    }
+
+    #[test]
+    fn eager_small_message_is_microseconds() {
+        let (mut f, mut h, p, mut rc) = setup(2);
+        let t = send(&mut f, &mut h, &p, &mut rc, 0, 1, 8, Cycles::ZERO, Cycles::ZERO, 0.0);
+        let us = t.receiver_done.as_us_f64();
+        assert!((1.0..4.0).contains(&us), "{us} us");
+        assert!(t.sender_done < t.receiver_done);
+    }
+
+    #[test]
+    fn rendezvous_first_use_pays_registration() {
+        let (mut f, mut h, p, mut rc) = setup(2);
+        let cold = send(
+            &mut f, &mut h, &p, &mut rc, 0, 1, 1 << 20, Cycles::ZERO, Cycles::ZERO, 0.0,
+        );
+        // Warm cache (with zero churn) is faster.
+        let (mut f2, mut h2, p2, _) = setup(2);
+        let mut warm_rc: Vec<RegCache> = (0..2)
+            .map(|i| RegCache::new(StreamRng::root(3).stream("rank", i)))
+            .collect();
+        for c in &mut warm_rc {
+            for _ in 0..4 {
+                c.needs_registration(1 << 20, 0.0);
+            }
+        }
+        let warm = send(
+            &mut f2, &mut h2, &p2, &mut warm_rc, 0, 1, 1 << 20, Cycles::ZERO, Cycles::ZERO, 0.0,
+        );
+        assert!(cold.receiver_done > warm.receiver_done);
+    }
+
+    #[test]
+    fn rendezvous_waits_for_late_receiver() {
+        let (mut f, mut h, p, mut rc) = setup(2);
+        let late = Cycles::from_ms(1);
+        let t = send(&mut f, &mut h, &p, &mut rc, 0, 1, 1 << 20, Cycles::ZERO, late, 0.0);
+        assert!(t.receiver_done > late, "CTS cannot precede the recv post");
+    }
+
+    #[test]
+    fn eager_does_not_wait_for_receiver_to_send() {
+        // Eager sender completes regardless of the receiver being late.
+        let (mut f, mut h, p, mut rc) = setup(2);
+        let late = Cycles::from_ms(5);
+        let t = send(&mut f, &mut h, &p, &mut rc, 0, 1, 1024, Cycles::ZERO, late, 0.0);
+        assert!(t.sender_done < Cycles::from_ms(1));
+        assert!(t.receiver_done >= late);
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_transfers() {
+        let (mut f, mut h, p, mut rc) = setup(2);
+        // Warm the caches first.
+        for c in &mut rc {
+            for _ in 0..8 {
+                c.needs_registration(4 << 20, 0.0);
+            }
+        }
+        let t = send(
+            &mut f, &mut h, &p, &mut rc, 0, 1, 4 << 20, Cycles::from_ms(1), Cycles::from_ms(1), 0.0,
+        );
+        let wire = LinkParams::fdr_infiniband().byte_time(4 << 20);
+        let total = t.receiver_done - Cycles::from_ms(1);
+        let ratio = total.raw() as f64 / wire.raw() as f64;
+        assert!((1.0..1.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn protocol_switch_at_threshold() {
+        let p = P2pParams::default();
+        assert!(p.is_eager(16 << 10));
+        assert!(!p.is_eager((16 << 10) + 1));
+    }
+}

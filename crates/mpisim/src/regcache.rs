@@ -1,0 +1,158 @@
+//! The registration cache.
+//!
+//! RDMA requires send/receive buffers to be registered (pinned) with the
+//! HCA. MVAPICH caches registrations, but large transfers "often utilize
+//! internal buffers which need to be registered for Infiniband's RDMA
+//! engine. Because the registration operation is performed through a
+//! write() system call, it gets offloaded even in case of McKernel"
+//! (Sec. IV-B2). The cache model: a bounded set of internal-buffer slots
+//! per size class; the first touch of a slot misses, and slot recycling
+//! causes sporadic re-registration during steady state.
+
+use simcore::StreamRng;
+use std::collections::HashSet;
+
+/// Per-rank registration cache.
+#[derive(Debug)]
+pub struct RegCache {
+    /// (size-class, slot) pairs already registered.
+    registered: HashSet<(u32, u32)>,
+    /// Internal buffer slots cycled per size class.
+    slots_per_class: u32,
+    rng: StreamRng,
+    hits: u64,
+    misses: u64,
+    call_counter: u64,
+}
+
+/// Size class of a transfer: log2 bucket.
+fn size_class(bytes: u64) -> u32 {
+    64 - bytes.max(1).leading_zeros()
+}
+
+impl RegCache {
+    /// Cache with MVAPICH-ish defaults.
+    pub fn new(rng: StreamRng) -> Self {
+        RegCache {
+            registered: HashSet::new(),
+            slots_per_class: 4,
+            rng,
+            hits: 0,
+            misses: 0,
+            call_counter: 0,
+        }
+    }
+
+    /// Record a buffer use for a transfer of `bytes`; returns `true` when
+    /// a (re-)registration is required before the transfer can start.
+    ///
+    /// `churn` is the probability that steady-state reuse still needs a
+    /// fresh registration. It is 0 for user send/receive buffers (pinned
+    /// once, cached forever) and nonzero for operations that cycle MPI-
+    /// *internal* buffers — reduce/allreduce — which is the paper's
+    /// Sec. IV-B2 artifact.
+    pub fn needs_registration(&mut self, bytes: u64, churn: f64) -> bool {
+        self.call_counter += 1;
+        let class = size_class(bytes);
+        let slot = (self.call_counter % u64::from(self.slots_per_class)) as u32;
+        let key = (class, slot);
+        if self.registered.insert(key) {
+            self.misses += 1;
+            return true;
+        }
+        // Steady state: occasional eviction/churn.
+        let mut r = self.rng.stream("rereg", self.call_counter);
+        if churn > 0.0 && r.chance(churn) {
+            self.misses += 1;
+            true
+        } else {
+            self.hits += 1;
+            false
+        }
+    }
+
+    /// (hits, misses).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Drop all cached registrations (job teardown).
+    pub fn clear(&mut self) {
+        self.registered.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> RegCache {
+        RegCache::new(StreamRng::root(5).stream("rank", 0))
+    }
+
+    #[test]
+    fn cold_cache_misses_then_warms() {
+        let mut c = cache();
+        let cold: Vec<bool> = (0..4).map(|_| c.needs_registration(1 << 20, 0.08)).collect();
+        assert!(cold.iter().all(|&m| m), "first touch of each slot misses");
+        let warm_misses = (0..100)
+            .filter(|_| c.needs_registration(1 << 20, 0.08))
+            .count();
+        assert!(warm_misses < 25, "steady state mostly hits: {warm_misses}");
+        assert!(warm_misses > 0, "but churn keeps some misses");
+    }
+
+    #[test]
+    fn different_size_classes_miss_separately() {
+        let mut c = cache();
+        for _ in 0..8 {
+            c.needs_registration(1 << 20, 0.0);
+        }
+        // New size class: fresh slots, fresh misses.
+        assert!(c.needs_registration(16 << 20, 0.0));
+    }
+
+    #[test]
+    fn zero_churn_cache_never_re_misses() {
+        let mut c = RegCache::new(StreamRng::root(5).stream("r", 1));
+        for _ in 0..4 {
+            c.needs_registration(1 << 20, 0.0);
+        }
+        for _ in 0..50 {
+            assert!(!c.needs_registration(1 << 20, 0.0));
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = RegCache::new(StreamRng::root(5).stream("r", 2));
+        for _ in 0..4 {
+            c.needs_registration(1 << 20, 0.0);
+        }
+        c.clear();
+        assert!(c.needs_registration(1 << 20, 0.0), "cold again after clear");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = cache();
+        for _ in 0..50 {
+            c.needs_registration(1 << 20, 0.08);
+        }
+        let (h, m) = c.stats();
+        assert_eq!(h + m, 50);
+        assert!(m >= 4);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = cache();
+        let mut b = cache();
+        for _ in 0..64 {
+            assert_eq!(
+                a.needs_registration(1 << 20, 0.08),
+                b.needs_registration(1 << 20, 0.08)
+            );
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The switch fabric: timing of messages between node NICs.
+//!
+//! A non-blocking full-bisection switch (the testbed is a single-switch
+//! 64-node cluster): contention exists only at the endpoints. Each NIC
+//! port serializes injections (LogGP `g` + byte time) and deliveries.
+//! The fabric keeps per-port availability timelines so back-to-back
+//! messages queue realistically — this is what makes, e.g., the root of a
+//! gather a bottleneck at scale.
+
+use crate::loggp::LinkParams;
+use simcore::Cycles;
+
+/// Messages below this size are treated as control traffic: they bypass
+/// receive-port serialization (interleaved by the NIC scheduler).
+pub const CONTROL_CUTOFF: u64 = 4096;
+
+/// Per-port send/receive availability for one NIC.
+#[derive(Clone, Copy, Debug, Default)]
+struct Port {
+    tx_free_at: Cycles,
+    rx_free_at: Cycles,
+}
+
+/// A fabric connecting `n` nodes with identical links.
+#[derive(Debug)]
+pub struct Fabric {
+    params: LinkParams,
+    ports: Vec<Port>,
+    messages: u64,
+    bytes: u64,
+}
+
+/// Timing of one transferred message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Transfer {
+    /// When the sender's CPU is free again (send overhead done).
+    pub sender_free: Cycles,
+    /// When the last byte arrives at the receiver NIC.
+    pub arrival: Cycles,
+    /// When the receiver CPU has absorbed the message (after recv
+    /// overhead; the earliest a matching receive can complete).
+    pub delivered: Cycles,
+}
+
+impl Fabric {
+    /// Fabric over `n` node ports.
+    pub fn new(n: usize, params: LinkParams) -> Self {
+        Fabric {
+            params,
+            ports: vec![Port::default(); n],
+            messages: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Link parameters.
+    pub fn params(&self) -> &LinkParams {
+        &self.params
+    }
+
+    /// Number of ports.
+    pub fn num_nodes(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Send `bytes` from `src` to `dst`, with the send-side CPU ready at
+    /// `ready`. Updates port timelines; returns the transfer timing.
+    pub fn send(&mut self, src: usize, dst: usize, bytes: u64, ready: Cycles) -> Transfer {
+        assert!(src < self.ports.len() && dst < self.ports.len());
+        assert_ne!(src, dst, "loopback handled by shared memory, not the NIC");
+        let p = self.params;
+        // Injection: wait for the TX port, pay overhead + serialization.
+        let tx_start = ready.max(self.ports[src].tx_free_at) + p.send_overhead;
+        let inject_done = tx_start + p.injection_occupancy(bytes);
+        self.ports[src].tx_free_at = inject_done;
+        // Flight: last byte arrives after wire latency + serialization.
+        // Bulk transfers are additionally gated by the receiver port
+        // draining earlier bulk arrivals (incast: concurrent arrivals
+        // space out by their serialization time). Small control messages
+        // (RTS/CTS/acks) interleave into bulk streams — HCAs schedule
+        // them independently — so they see only the wire and must not be
+        // queued behind in-flight data.
+        let arrival = if bytes >= CONTROL_CUTOFF {
+            let a = (tx_start + p.wire_time(bytes))
+                .max(self.ports[dst].rx_free_at + p.byte_time(bytes));
+            self.ports[dst].rx_free_at = a;
+            a
+        } else {
+            tx_start + p.wire_time(bytes)
+        };
+        let delivered = arrival + p.recv_overhead;
+        self.messages += 1;
+        self.bytes += bytes;
+        Transfer {
+            sender_free: tx_start,
+            arrival,
+            delivered,
+        }
+    }
+
+    /// (messages, bytes) carried so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.messages, self.bytes)
+    }
+
+    /// Reset port timelines (new iteration measured from a fresh barrier).
+    pub fn reset_timelines(&mut self) {
+        for p in &mut self.ports {
+            *p = Port::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fab(n: usize) -> Fabric {
+        Fabric::new(n, LinkParams::fdr_infiniband())
+    }
+
+    #[test]
+    fn isolated_message_matches_loggp() {
+        let mut f = fab(4);
+        let t = f.send(0, 1, 4096, Cycles::ZERO);
+        let p = LinkParams::fdr_infiniband();
+        assert_eq!(
+            t.delivered,
+            p.send_overhead + p.wire_time(4096) + p.recv_overhead
+        );
+        assert!(t.sender_free < t.arrival);
+    }
+
+    #[test]
+    fn back_to_back_sends_serialize_at_the_sender() {
+        let mut f = fab(4);
+        let a = f.send(0, 1, 1 << 20, Cycles::ZERO);
+        let b = f.send(0, 2, 1 << 20, Cycles::ZERO);
+        // The second 1 MiB message cannot start injecting until the first
+        // finished serializing.
+        assert!(b.arrival > a.arrival);
+        let gap = (b.arrival - a.arrival).as_us_f64();
+        let serial = LinkParams::fdr_infiniband().byte_time(1 << 20).as_us_f64();
+        assert!((gap - serial).abs() / serial < 0.2, "gap {gap} serial {serial}");
+    }
+
+    #[test]
+    fn incast_serializes_at_the_receiver() {
+        let mut f = fab(8);
+        // 7 nodes send 256 KiB to node 0 simultaneously.
+        let mut arrivals: Vec<Cycles> = (1..8)
+            .map(|src| f.send(src, 0, 256 << 10, Cycles::ZERO).arrival)
+            .collect();
+        arrivals.sort();
+        // Arrivals must be spread, not simultaneous (receiver port gating).
+        assert!(arrivals[6] > arrivals[0]);
+    }
+
+    #[test]
+    fn distinct_pairs_do_not_interfere() {
+        let mut f = fab(4);
+        let a = f.send(0, 1, 1 << 20, Cycles::ZERO);
+        let b = f.send(2, 3, 1 << 20, Cycles::ZERO);
+        assert_eq!(a.delivered, b.delivered, "full bisection");
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset_clears_timelines() {
+        let mut f = fab(2);
+        f.send(0, 1, 100, Cycles::ZERO);
+        f.send(0, 1, 200, Cycles::ZERO);
+        assert_eq!(f.stats(), (2, 300));
+        f.reset_timelines();
+        let t = f.send(0, 1, 100, Cycles::ZERO);
+        let fresh = Fabric::new(2, LinkParams::fdr_infiniband())
+            .send(0, 1, 100, Cycles::ZERO);
+        assert_eq!(t, fresh);
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn self_send_rejected() {
+        fab(2).send(1, 1, 8, Cycles::ZERO);
+    }
+}

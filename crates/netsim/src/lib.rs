@@ -1,0 +1,30 @@
+//! # netsim — the interconnect substrate
+//!
+//! Models the testbed's two networks:
+//!
+//! * Mellanox Connect-IB FDR (56 Gb/s) InfiniBand — used exclusively by
+//!   the HPC workload;
+//! * Gigabit Ethernet — used by the in-situ (Hadoop) workload, keeping the
+//!   two traffic classes physically separate as in the paper (Sec. IV-A).
+//!
+//! Three layers:
+//!
+//! * [`loggp`] — the LogGP-style cost model (latency, CPU overheads,
+//!   per-message gap, per-byte time);
+//! * [`verbs`] — functional InfiniBand verbs objects: contexts, memory
+//!   regions with rkeys/lkeys, queue pairs, completion queues, and the
+//!   mmap'ed doorbell (UAR) page that the device-file-mapping flow of the
+//!   core crate installs;
+//! * [`fabric`] — a full-bisection switch connecting node NICs with
+//!   per-port serialization; computes message timing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fabric;
+pub mod loggp;
+pub mod verbs;
+
+pub use fabric::Fabric;
+pub use loggp::LinkParams;
+pub use verbs::{Cq, IbContext, Mr, Qp};

@@ -1,0 +1,335 @@
+//! Functional InfiniBand verbs objects.
+//!
+//! This is the state the Mellanox driver keeps for a user process. It
+//! matters to the paper in two ways:
+//!
+//! 1. **Setup goes through Linux** — opening `/dev/infiniband/uverbs0`,
+//!    creating QPs/CQs (ioctl/write commands), and mmap'ing the doorbell
+//!    (UAR) page all offload to the proxy; the UAR mmap exercises the
+//!    Fig. 4 device-mapping flow.
+//! 2. **The data path does not** — posting a send is a doorbell *store*
+//!    to the mapped UAR page, "regular load/store instructions carried
+//!    out entirely in user-space" (Sec. III-B).
+//!
+//! Memory regions model the registration cache artifact: registering an
+//! MR pins pages via a `write()` command — which McKernel offloads,
+//! producing the large-message variation the paper reports in Fig. 7.
+
+use hwmodel::addr::{PhysAddr, VirtAddr};
+use std::collections::{HashMap, VecDeque};
+
+/// A registered memory region.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Mr {
+    /// Local key.
+    pub lkey: u32,
+    /// Registered range start (virtual, in the owning process).
+    pub addr: VirtAddr,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// Work request opcodes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WrOp {
+    /// Two-sided send.
+    Send,
+    /// One-sided RDMA write.
+    RdmaWrite,
+    /// One-sided RDMA read.
+    RdmaRead,
+}
+
+/// A posted work request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WorkRequest {
+    /// User-chosen id, returned in the completion.
+    pub wr_id: u64,
+    /// Operation.
+    pub op: WrOp,
+    /// Local buffer key (must be a registered MR).
+    pub lkey: u32,
+    /// Byte count.
+    pub bytes: u64,
+}
+
+/// A completion-queue entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Completion {
+    /// The work request this completes.
+    pub wr_id: u64,
+    /// Success flag (failed lookups produce error completions).
+    pub ok: bool,
+}
+
+/// Completion queue.
+#[derive(Debug, Default)]
+pub struct Cq {
+    entries: VecDeque<Completion>,
+}
+
+impl Cq {
+    /// Empty CQ.
+    pub fn new() -> Self {
+        Cq::default()
+    }
+
+    /// Driver-side: push a completion.
+    pub fn push(&mut self, c: Completion) {
+        self.entries.push_back(c);
+    }
+
+    /// User-side: poll one completion (non-blocking, pure user-space).
+    pub fn poll(&mut self) -> Option<Completion> {
+        self.entries.pop_front()
+    }
+
+    /// Outstanding completions.
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Queue pair state (RC, connected to one peer).
+#[derive(Debug)]
+pub struct Qp {
+    /// QP number.
+    pub qpn: u32,
+    /// Connected peer: (node index, peer qpn).
+    pub peer: Option<(u32, u32)>,
+    /// Sends posted but not yet completed.
+    pub outstanding: u32,
+}
+
+/// Per-process verbs context (what opening uverbs + ioctls builds up).
+#[derive(Debug)]
+pub struct IbContext {
+    mrs: HashMap<u32, Mr>,
+    qps: HashMap<u32, Qp>,
+    next_lkey: u32,
+    next_qpn: u32,
+    /// Physical address of the mmap'ed doorbell (UAR) page, set once the
+    /// device-file mapping flow completes.
+    pub doorbell_phys: Option<PhysAddr>,
+    /// Count of doorbell rings (pure user-space stores).
+    pub doorbells_rung: u64,
+}
+
+impl Default for IbContext {
+    fn default() -> Self {
+        IbContext::new()
+    }
+}
+
+impl IbContext {
+    /// Fresh context.
+    pub fn new() -> Self {
+        IbContext {
+            mrs: HashMap::new(),
+            qps: HashMap::new(),
+            next_lkey: 1,
+            next_qpn: 100,
+            doorbell_phys: None,
+            doorbells_rung: 0,
+        }
+    }
+
+    /// Register a memory region (the control-path `write()` command has
+    /// already been charged by the caller). Returns the MR.
+    pub fn register_mr(&mut self, addr: VirtAddr, len: u64) -> Mr {
+        let lkey = self.next_lkey;
+        self.next_lkey += 1;
+        let mr = Mr { lkey, addr, len };
+        self.mrs.insert(lkey, mr);
+        mr
+    }
+
+    /// Deregister.
+    pub fn deregister_mr(&mut self, lkey: u32) -> bool {
+        self.mrs.remove(&lkey).is_some()
+    }
+
+    /// Look up an MR covering `[addr, addr+len)`.
+    pub fn mr_covering(&self, addr: VirtAddr, len: u64) -> Option<&Mr> {
+        self.mrs.values().find(|m| {
+            addr >= m.addr && addr.raw() + len <= m.addr.raw() + m.len
+        })
+    }
+
+    /// Number of live MRs.
+    pub fn mr_count(&self) -> usize {
+        self.mrs.len()
+    }
+
+    /// Create a queue pair.
+    pub fn create_qp(&mut self) -> u32 {
+        let qpn = self.next_qpn;
+        self.next_qpn += 1;
+        self.qps.insert(
+            qpn,
+            Qp {
+                qpn,
+                peer: None,
+                outstanding: 0,
+            },
+        );
+        qpn
+    }
+
+    /// Connect a QP to a remote peer.
+    pub fn connect_qp(&mut self, qpn: u32, peer_node: u32, peer_qpn: u32) -> bool {
+        match self.qps.get_mut(&qpn) {
+            Some(qp) => {
+                qp.peer = Some((peer_node, peer_qpn));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// QP accessor.
+    pub fn qp(&self, qpn: u32) -> Option<&Qp> {
+        self.qps.get(&qpn)
+    }
+
+    /// Post a work request: validates the MR, bumps the outstanding count,
+    /// rings the doorbell (a user-space store — no kernel transition).
+    /// Returns the connected peer on success.
+    pub fn post(&mut self, qpn: u32, wr: &WorkRequest) -> Result<(u32, u32), PostError> {
+        let mr_ok = self
+            .mrs
+            .get(&wr.lkey)
+            .is_some_and(|m| wr.bytes <= m.len);
+        if !mr_ok {
+            return Err(PostError::BadLkey);
+        }
+        let qp = self.qps.get_mut(&qpn).ok_or(PostError::BadQp)?;
+        let peer = qp.peer.ok_or(PostError::NotConnected)?;
+        qp.outstanding += 1;
+        if self.doorbell_phys.is_none() {
+            return Err(PostError::NoDoorbell);
+        }
+        self.doorbells_rung += 1;
+        Ok(peer)
+    }
+
+    /// Driver-side: a send completed; drop the outstanding count.
+    pub fn complete(&mut self, qpn: u32, cq: &mut Cq, wr_id: u64) {
+        if let Some(qp) = self.qps.get_mut(&qpn) {
+            qp.outstanding = qp.outstanding.saturating_sub(1);
+        }
+        cq.push(Completion { wr_id, ok: true });
+    }
+}
+
+/// Errors when posting work.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PostError {
+    /// lkey unknown or region too small.
+    BadLkey,
+    /// No such QP.
+    BadQp,
+    /// QP not connected.
+    NotConnected,
+    /// Doorbell page not mapped (device mmap flow not run).
+    NoDoorbell,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_with_doorbell() -> IbContext {
+        let mut c = IbContext::new();
+        c.doorbell_phys = Some(PhysAddr(0x10_0000_0000));
+        c
+    }
+
+    #[test]
+    fn mr_registration_and_covering_lookup() {
+        let mut c = IbContext::new();
+        let mr = c.register_mr(VirtAddr(0x1000), 0x4000);
+        assert_eq!(c.mr_count(), 1);
+        assert!(c.mr_covering(VirtAddr(0x2000), 0x1000).is_some());
+        assert!(c.mr_covering(VirtAddr(0x4000), 0x2000).is_none());
+        assert!(c.deregister_mr(mr.lkey));
+        assert!(!c.deregister_mr(mr.lkey));
+        assert!(c.mr_covering(VirtAddr(0x2000), 0x1000).is_none());
+    }
+
+    #[test]
+    fn post_requires_mr_qp_connection_and_doorbell() {
+        let mut c = IbContext::new();
+        let mr = c.register_mr(VirtAddr(0x1000), 0x1000);
+        let qpn = c.create_qp();
+        let wr = WorkRequest {
+            wr_id: 1,
+            op: WrOp::Send,
+            lkey: mr.lkey,
+            bytes: 512,
+        };
+        assert_eq!(c.post(qpn, &wr), Err(PostError::NotConnected));
+        c.connect_qp(qpn, 3, 200);
+        assert_eq!(c.post(qpn, &wr), Err(PostError::NoDoorbell));
+        c.doorbell_phys = Some(PhysAddr(0x10_0000_0000));
+        assert_eq!(c.post(qpn, &wr), Ok((3, 200)));
+        assert_eq!(c.doorbells_rung, 1);
+        assert_eq!(c.qp(qpn).unwrap().outstanding, 2, "one failed + one ok post");
+    }
+
+    #[test]
+    fn post_with_bad_lkey_or_oversize_fails() {
+        let mut c = ctx_with_doorbell();
+        let qpn = c.create_qp();
+        c.connect_qp(qpn, 0, 1);
+        let wr = WorkRequest {
+            wr_id: 1,
+            op: WrOp::RdmaWrite,
+            lkey: 99,
+            bytes: 8,
+        };
+        assert_eq!(c.post(qpn, &wr), Err(PostError::BadLkey));
+        let mr = c.register_mr(VirtAddr(0), 64);
+        let wr2 = WorkRequest {
+            wr_id: 2,
+            op: WrOp::RdmaWrite,
+            lkey: mr.lkey,
+            bytes: 128,
+        };
+        assert_eq!(c.post(qpn, &wr2), Err(PostError::BadLkey));
+    }
+
+    #[test]
+    fn completions_flow_through_cq() {
+        let mut c = ctx_with_doorbell();
+        let mr = c.register_mr(VirtAddr(0x1000), 0x1000);
+        let qpn = c.create_qp();
+        c.connect_qp(qpn, 1, 101);
+        let mut cq = Cq::new();
+        c.post(
+            qpn,
+            &WorkRequest {
+                wr_id: 7,
+                op: WrOp::Send,
+                lkey: mr.lkey,
+                bytes: 64,
+            },
+        )
+        .unwrap();
+        c.complete(qpn, &mut cq, 7);
+        assert_eq!(c.qp(qpn).unwrap().outstanding, 0);
+        assert_eq!(cq.poll(), Some(Completion { wr_id: 7, ok: true }));
+        assert_eq!(cq.poll(), None);
+    }
+
+    #[test]
+    fn qpns_and_lkeys_are_unique() {
+        let mut c = IbContext::new();
+        let q1 = c.create_qp();
+        let q2 = c.create_qp();
+        assert_ne!(q1, q2);
+        let m1 = c.register_mr(VirtAddr(0), 16);
+        let m2 = c.register_mr(VirtAddr(0x100), 16);
+        assert_ne!(m1.lkey, m2.lkey);
+    }
+}

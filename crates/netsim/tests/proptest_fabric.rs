@@ -1,0 +1,99 @@
+//! Property tests for the fabric timing model.
+
+use netsim::{Fabric, LinkParams};
+use proptest::prelude::*;
+use simcore::Cycles;
+
+#[derive(Clone, Debug)]
+struct Msg {
+    src: u8,
+    dst: u8,
+    bytes: u32,
+    ready_us: u32,
+}
+
+fn msgs(n_nodes: u8) -> impl Strategy<Value = Vec<Msg>> {
+    prop::collection::vec(
+        (0..n_nodes, 0..n_nodes, 1u32..2_000_000, 0u32..10_000).prop_filter_map(
+            "no loopback",
+            |(src, dst, bytes, ready_us)| {
+                if src == dst {
+                    None
+                } else {
+                    Some(Msg {
+                        src,
+                        dst,
+                        bytes,
+                        ready_us,
+                    })
+                }
+            },
+        ),
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    /// Physical sanity of every transfer: causality, a lower bound of the
+    /// pure LogGP time, per-port monotone timelines, and exact stats.
+    #[test]
+    fn fabric_invariants(ms in msgs(8)) {
+        let params = LinkParams::fdr_infiniband();
+        let mut f = Fabric::new(8, params);
+        // Messages must be fed in nondecreasing ready order for per-port
+        // timelines to be meaningful (the MPI layer guarantees this per
+        // rank); sort to satisfy it.
+        let mut ms = ms;
+        ms.sort_by_key(|m| m.ready_us);
+        let mut total_bytes = 0u64;
+        let mut last_arrival_per_port = [Cycles::ZERO; 8];
+        for m in &ms {
+            let ready = Cycles::from_us(u64::from(m.ready_us));
+            let bytes = u64::from(m.bytes);
+            let t = f.send(m.src as usize, m.dst as usize, bytes, ready);
+            total_bytes += bytes;
+            // Causality.
+            prop_assert!(t.sender_free > ready);
+            prop_assert!(t.arrival > t.sender_free - params.send_overhead);
+            prop_assert!(t.delivered == t.arrival + params.recv_overhead);
+            // Lower bound: can't beat the uncontended LogGP time.
+            prop_assert!(
+                t.delivered >= ready + params.message_time(bytes),
+                "delivered {:?} beats physics {:?}",
+                t.delivered,
+                ready + params.message_time(bytes)
+            );
+            // Receiver port timeline is monotone for bulk transfers
+            // (control messages interleave by design).
+            if bytes >= netsim::fabric::CONTROL_CUTOFF {
+                prop_assert!(t.arrival >= last_arrival_per_port[m.dst as usize]);
+                last_arrival_per_port[m.dst as usize] = t.arrival;
+            }
+        }
+        let (count, bytes) = f.stats();
+        prop_assert_eq!(count, ms.len() as u64);
+        prop_assert_eq!(bytes, total_bytes);
+    }
+
+    /// Adding load never makes an *unrelated* later message arrive earlier
+    /// than it would on an idle fabric (no time travel through contention).
+    #[test]
+    fn contention_only_delays(extra in msgs(4), probe_bytes in 1u32..1_000_000) {
+        let params = LinkParams::fdr_infiniband();
+        let probe_ready = Cycles::from_ms(100); // after all extra traffic
+        // Idle fabric reference.
+        let mut idle = Fabric::new(4, params);
+        let idle_t = idle.send(0, 1, u64::from(probe_bytes), probe_ready);
+        // Loaded fabric.
+        let mut loaded = Fabric::new(4, params);
+        let mut extra = extra;
+        extra.sort_by_key(|m| m.ready_us);
+        for m in &extra {
+            loaded.send(m.src as usize, m.dst as usize, u64::from(m.bytes),
+                Cycles::from_us(u64::from(m.ready_us)));
+        }
+        let loaded_t = loaded.send(0, 1, u64::from(probe_bytes), probe_ready);
+        prop_assert!(loaded_t.delivered >= idle_t.delivered);
+    }
+}

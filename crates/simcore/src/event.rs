@@ -1,0 +1,205 @@
+//! A cancellable event queue with FIFO-stable ordering.
+//!
+//! Events scheduled for the same instant pop in insertion order, which keeps
+//! simulations deterministic regardless of `BinaryHeap` internals.
+//! Cancellation is lazy: a cancelled key is remembered and the entry is
+//! discarded when it surfaces, which keeps `cancel` O(log n) amortized and
+//! avoids heap surgery. Schedulers use this for preemption timers that are
+//! frequently armed and disarmed.
+
+use crate::time::Cycles;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventKey(u64);
+
+#[derive(PartialEq, Eq)]
+struct Entry<E> {
+    at: Cycles,
+    seq: u64,
+    payload: E,
+}
+
+impl<E: Eq> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Priority queue of `(time, payload)` pairs.
+///
+/// `E` only needs `Eq` for heap ordering plumbing; ordering is entirely by
+/// `(time, sequence)`.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    /// Last time returned by `pop`; used to assert monotonicity.
+    last_popped: Cycles,
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            last_popped: Cycles::ZERO,
+        }
+    }
+
+    /// Schedule `payload` at absolute time `at`. Scheduling in the past
+    /// (before the last popped instant) is a logic error in the caller and
+    /// panics in debug builds; in release it is clamped to "now" to keep
+    /// time monotonic.
+    pub fn schedule(&mut self, at: Cycles, payload: E) -> EventKey {
+        debug_assert!(
+            at >= self.last_popped,
+            "scheduling into the past: {at:?} < {:?}",
+            self.last_popped
+        );
+        let at = at.max(self.last_popped);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+        EventKey(seq)
+    }
+
+    /// Schedule `payload` `delay` after `now`.
+    pub fn schedule_after(&mut self, now: Cycles, delay: Cycles, payload: E) -> EventKey {
+        self.schedule(now + delay, payload)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event had
+    /// not fired (or been cancelled) yet.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if key.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(key.0)
+    }
+
+    /// Remove and return the next event in time order.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.last_popped = entry.at;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// Time of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<Cycles> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of live (uncancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(30), "c");
+        q.schedule(Cycles(10), "a");
+        q.schedule(Cycles(20), "b");
+        assert_eq!(q.pop(), Some((Cycles(10), "a")));
+        assert_eq!(q.pop(), Some((Cycles(20), "b")));
+        assert_eq!(q.pop(), Some((Cycles(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycles(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycles(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let k1 = q.schedule(Cycles(10), 1);
+        let _k2 = q.schedule(Cycles(20), 2);
+        assert!(q.cancel(k1));
+        assert!(!q.cancel(k1), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Cycles(20), 2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_key_is_false() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert!(!q.cancel(EventKey(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(Cycles(5), 1);
+        q.schedule(Cycles(9), 2);
+        q.cancel(k);
+        assert_eq!(q.peek_time(), Some(Cycles(9)));
+        assert_eq!(q.pop(), Some((Cycles(9), 2)));
+    }
+
+    #[test]
+    fn schedule_after_adds_delay() {
+        let mut q = EventQueue::new();
+        q.schedule_after(Cycles(100), Cycles(11), ());
+        assert_eq!(q.pop(), Some((Cycles(111), ())));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    #[cfg(debug_assertions)]
+    fn past_scheduling_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(50), ());
+        q.pop();
+        q.schedule(Cycles(10), ());
+    }
+}

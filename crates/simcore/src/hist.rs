@@ -1,0 +1,166 @@
+//! Log-scaled latency histograms.
+//!
+//! FWQ/FTQ analysis wants the *distribution* of sample latencies, not
+//! just extremes: a noise signature is "a tight mode at the quantum plus
+//! a tail". Buckets are power-of-two so six decades of latency fit in a
+//! few dozen buckets with no allocation surprises.
+
+/// Histogram over `u64` values with log2 buckets.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    /// `counts[k]` counts values with `floor(log2(v)) == k`; index 0 also
+    /// holds zeros.
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; 64],
+            total: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.total += 1;
+    }
+
+    /// Record a whole slice.
+    pub fn record_all(&mut self, vs: &[u64]) {
+        for &v in vs {
+            self.record(v);
+        }
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in the bucket containing `v`.
+    pub fn count_at(&self, v: u64) -> u64 {
+        self.counts[Self::bucket_of(v)]
+    }
+
+    /// Fraction of samples strictly above `threshold`'s bucket — a quick
+    /// tail mass estimate.
+    pub fn tail_fraction_above(&self, threshold: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let b = Self::bucket_of(threshold);
+        let tail: u64 = self.counts[b + 1..].iter().sum();
+        tail as f64 / self.total as f64
+    }
+
+    /// Iterate non-empty buckets as `(bucket_low, bucket_high, count)`.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts.iter().enumerate().filter_map(|(k, &c)| {
+            if c == 0 {
+                None
+            } else {
+                let lo = if k == 0 { 0 } else { 1u64 << k };
+                let hi = (1u64 << k) * 2 - 1;
+                Some((lo, hi, c))
+            }
+        })
+    }
+
+    /// Render an ASCII distribution (one row per non-empty bucket).
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return String::from("(empty)\n");
+        }
+        let mut out = String::new();
+        for (lo, hi, c) in self.buckets() {
+            let bar = "#".repeat(((c as f64 / max as f64) * width as f64).ceil() as usize);
+            out.push_str(&format!("{lo:>12}..{hi:<12} {c:>9} |{bar}\n"));
+        }
+        out
+    }
+
+    /// Merge another histogram.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_log_buckets() {
+        let mut h = LogHistogram::new();
+        h.record_all(&[0, 1, 2, 3, 4, 7, 8, 1000, 1023, 1024]);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.count_at(0), 2); // 0 and 1 share bucket 0
+        assert_eq!(h.count_at(2), 2); // bucket 2..3 holds {2, 3}
+        assert_eq!(h.count_at(5), 2); // bucket 4..7 holds {4, 7}
+        assert_eq!(h.count_at(4), h.count_at(7));
+        assert_eq!(h.count_at(1000), 2); // 512..1023: 1000, 1023
+        assert_eq!(h.count_at(1024), 1);
+    }
+
+    #[test]
+    fn tail_fraction() {
+        let mut h = LogHistogram::new();
+        // 99 samples at ~4000, 1 at 64000.
+        for _ in 0..99 {
+            h.record(4000);
+        }
+        h.record(64_000);
+        let tail = h.tail_fraction_above(8191);
+        assert!((tail - 0.01).abs() < 1e-9, "{tail}");
+        assert_eq!(h.tail_fraction_above(1 << 20), 0.0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = LogHistogram::new();
+        a.record(5);
+        let mut b = LogHistogram::new();
+        b.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count_at(5), 2);
+    }
+
+    #[test]
+    fn render_shows_nonempty_buckets() {
+        let mut h = LogHistogram::new();
+        h.record_all(&[4000; 50]);
+        h.record(64_000);
+        let r = h.render(40);
+        assert_eq!(r.lines().count(), 2);
+        assert!(r.contains("4096..8191") || r.contains("2048..4095"));
+    }
+
+    #[test]
+    fn empty_render() {
+        assert_eq!(LogHistogram::new().render(10), "(empty)\n");
+    }
+}

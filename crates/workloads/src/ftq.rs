@@ -1,0 +1,130 @@
+//! Fixed Time Quantum (the companion of FWQ in the ASC Sequoia suite the
+//! paper cites as ref. 21).
+//!
+//! Where FWQ fixes the *work* and measures elapsed time, FTQ fixes the
+//! *time window* and counts how much work completes in it — noise shows
+//! up as dips in the per-window work count, which makes periodic
+//! interference visible as a frequency component.
+
+use simcore::Cycles;
+
+/// Default unit of work counted per iteration.
+pub const DEFAULT_UNIT: Cycles = Cycles(1_000);
+
+/// Default window: ~360 us, the classic FTQ granularity.
+pub const DEFAULT_WINDOW: Cycles = Cycles(1_000_000);
+
+/// Run FTQ for `windows` consecutive windows of `window` cycles starting
+/// at `start`, performing `unit`-sized work items through `exec`. Returns
+/// the completed work count per window.
+pub fn run(
+    unit: Cycles,
+    window: Cycles,
+    windows: usize,
+    start: Cycles,
+    mut exec: impl FnMut(Cycles, Cycles) -> Cycles,
+) -> Vec<u64> {
+    assert!(unit.raw() > 0 && window >= unit);
+    let mut out = Vec::with_capacity(windows);
+    let mut t = start;
+    for w in 0..windows {
+        let window_end = start + window * (w as u64 + 1);
+        let mut count = 0u64;
+        // Work items that *complete* within the window count; the one in
+        // flight at the boundary is attributed to the next window (as in
+        // the reference implementation, which re-reads the clock after
+        // each unit).
+        loop {
+            let done = exec(t, unit);
+            if done > window_end {
+                t = done;
+                break;
+            }
+            count += 1;
+            t = done;
+            if t == window_end {
+                break;
+            }
+        }
+        out.push(count);
+    }
+    out
+}
+
+/// Normalized noise metric over FTQ counts: `1 - mean/max` — 0 for a
+/// perfectly quiet system.
+pub fn noise_fraction(counts: &[u64]) -> f64 {
+    let max = counts.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return 0.0;
+    }
+    let mean = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
+    1.0 - mean / max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_system_counts_are_constant() {
+        let counts = run(
+            DEFAULT_UNIT,
+            DEFAULT_WINDOW,
+            50,
+            Cycles(1),
+            |t, w| t + w,
+        );
+        assert_eq!(counts.len(), 50);
+        let expected = DEFAULT_WINDOW.raw() / DEFAULT_UNIT.raw();
+        // All windows within one unit of the ideal count.
+        assert!(counts.iter().all(|&c| c >= expected - 1 && c <= expected));
+        assert!(noise_fraction(&counts) < 0.002);
+    }
+
+    #[test]
+    fn interference_dips_the_count() {
+        // Steal 200k cycles once mid-run.
+        let mut stolen = false;
+        let counts = run(DEFAULT_UNIT, DEFAULT_WINDOW, 20, Cycles(1), |t, w| {
+            if !stolen && t > Cycles(5_000_000) {
+                stolen = true;
+                t + w + Cycles(200_000)
+            } else {
+                t + w
+            }
+        });
+        let max = *counts.iter().max().expect("nonempty");
+        let min = *counts.iter().min().expect("nonempty");
+        assert!(max - min >= 190, "dip of ~200 units, got {}", max - min);
+        assert!(noise_fraction(&counts) > 0.005);
+    }
+
+    #[test]
+    fn periodic_noise_hits_periodically() {
+        // 50us of noise every 5 windows' worth of time.
+        let period = DEFAULT_WINDOW.raw() * 5;
+        let counts = run(DEFAULT_UNIT, DEFAULT_WINDOW, 40, Cycles(1), |t, w| {
+            let before = t.raw() / period;
+            let after = (t + w).raw() / period;
+            if after > before {
+                t + w + Cycles(140_000)
+            } else {
+                t + w
+            }
+        });
+        let dips = counts
+            .iter()
+            .filter(|&&c| c < DEFAULT_WINDOW.raw() / DEFAULT_UNIT.raw() - 50)
+            .count();
+        assert!((6..=10).contains(&dips), "~8 periodic dips, got {dips}");
+    }
+
+    #[test]
+    fn noise_fraction_edge_cases() {
+        assert_eq!(noise_fraction(&[]), 0.0);
+        assert_eq!(noise_fraction(&[0, 0]), 0.0);
+        assert_eq!(noise_fraction(&[100, 100]), 0.0);
+        assert!((noise_fraction(&[100, 50]) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Fixed Work Quantum (ASC Sequoia benchmark).
+//!
+//! "The FWQ benchmark measures hardware and software interference by
+//! repetitively performing a fixed amount of work (the work quanta),
+//! measuring the time necessary to complete the task" (Sec. IV-B1).
+//! The paper measures multiple 30-second intervals and reports the
+//! worst 480-sample window; [`worst_window`] implements that selection.
+
+use simcore::Cycles;
+
+/// Default work quantum: ~4k cycles, chosen so the paper's y-axis
+/// (≤ 7e4 cycles, 16x slowdown spikes) reproduces.
+pub const DEFAULT_QUANTUM: Cycles = Cycles(4_000);
+
+/// Samples per reported window (the paper plots 480).
+pub const WINDOW: usize = 480;
+
+/// Run FWQ: `samples` consecutive quanta of `quantum` work, executed by
+/// `exec(start, work) -> finish`. Returns each quantum's latency in
+/// cycles.
+pub fn run(
+    quantum: Cycles,
+    samples: usize,
+    start: Cycles,
+    mut exec: impl FnMut(Cycles, Cycles) -> Cycles,
+) -> Vec<u64> {
+    let mut out = Vec::with_capacity(samples);
+    let mut t = start;
+    for _ in 0..samples {
+        let done = exec(t, quantum);
+        out.push((done - t).raw());
+        t = done;
+    }
+    out
+}
+
+/// Run FWQ for a full measurement interval of `duration`, returning all
+/// sample latencies (the number of samples depends on the noise hit).
+pub fn run_for(
+    quantum: Cycles,
+    duration: Cycles,
+    start: Cycles,
+    mut exec: impl FnMut(Cycles, Cycles) -> Cycles,
+) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut t = start;
+    let end = start + duration;
+    while t < end {
+        let done = exec(t, quantum);
+        out.push((done - t).raw());
+        t = done;
+    }
+    out
+}
+
+/// The paper's reporting rule: "we measured multiple 30 seconds intervals
+/// and report the values where OS noise was the most significant" —
+/// select the contiguous `win`-sample window with the largest total
+/// latency.
+pub fn worst_window(samples: &[u64], win: usize) -> &[u64] {
+    if samples.len() <= win {
+        return samples;
+    }
+    let mut sum: u64 = samples[..win].iter().sum();
+    let (mut best_sum, mut best_at) = (sum, 0usize);
+    for i in win..samples.len() {
+        sum = sum + samples[i] - samples[i - win];
+        if sum > best_sum {
+            best_sum = sum;
+            best_at = i - win + 1;
+        }
+    }
+    &samples[best_at..best_at + win]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_execution_is_flat() {
+        let samples = run(DEFAULT_QUANTUM, 1000, Cycles(1), |t, w| t + w);
+        assert_eq!(samples.len(), 1000);
+        assert!(samples.iter().all(|&s| s == DEFAULT_QUANTUM.raw()));
+    }
+
+    #[test]
+    fn noise_shows_up_as_latency() {
+        // Every 100th quantum is interrupted for 10k cycles.
+        let mut n = 0u64;
+        let samples = run(DEFAULT_QUANTUM, 1000, Cycles(1), |t, w| {
+            n += 1;
+            if n % 100 == 0 {
+                t + w + Cycles(10_000)
+            } else {
+                t + w
+            }
+        });
+        let spikes = samples.iter().filter(|&&s| s > 4_000).count();
+        assert_eq!(spikes, 10);
+        assert_eq!(*samples.iter().max().unwrap(), 14_000);
+    }
+
+    #[test]
+    fn run_for_covers_duration() {
+        let samples = run_for(Cycles(1000), Cycles(100_000), Cycles::ZERO, |t, w| t + w);
+        assert_eq!(samples.len(), 100);
+    }
+
+    #[test]
+    fn worst_window_finds_the_noisy_region() {
+        let mut samples = vec![4_000u64; 10_000];
+        for s in &mut samples[7_000..7_480] {
+            *s = 60_000;
+        }
+        let w = worst_window(&samples, WINDOW);
+        assert_eq!(w.len(), WINDOW);
+        assert!(w.iter().all(|&s| s == 60_000));
+    }
+
+    #[test]
+    fn worst_window_of_short_input_is_input() {
+        let samples = vec![1u64, 2, 3];
+        assert_eq!(worst_window(&samples, WINDOW), &samples[..]);
+    }
+}

@@ -1,0 +1,343 @@
+//! Mini-application models (Fig. 8/9).
+//!
+//! The paper runs miniFE and HPC-CG from Sandia's Mantevo suite and
+//! Modylas and FFVC from RIKEN's Fiber suite, all MPI+OpenMP with 8
+//! threads per node; "miniFE and Modylas are strong scaling, while
+//! HPC-CG and FFVC are weak scaling applications" (Sec. IV-B3).
+//!
+//! Each app is a bulk-synchronous loop: an OpenMP compute region (8
+//! parallel per-thread quanta — the cluster executes each on its own
+//! core, so the region ends at the *slowest* thread), followed by the
+//! app's communication pattern. This structure is exactly what makes BSP
+//! codes noise-sensitive: one delayed thread delays the step for every
+//! rank.
+
+use mpisim::collectives::{allgather, allreduce, Ctx};
+use mpisim::host::HostModel;
+use simcore::Cycles;
+
+/// How the problem scales with node count.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scaling {
+    /// Fixed global problem: per-node work shrinks as nodes grow.
+    Strong,
+    /// Fixed per-node problem: work per node constant.
+    Weak,
+}
+
+/// Per-iteration communication.
+#[derive(Clone, Debug, Default)]
+pub struct IterComm {
+    /// Allreduce vector sizes (bytes) — dot products, residuals.
+    pub allreduces: Vec<u64>,
+    /// Allgather per-rank sizes (bytes) — e.g. FMM multipole exchange.
+    pub allgathers: Vec<u64>,
+    /// Nearest-neighbour halo exchange bytes (sent to each ring
+    /// neighbour), if any.
+    pub halo_bytes: Option<u64>,
+}
+
+/// A mini-application description.
+#[derive(Clone, Debug)]
+pub struct MiniApp {
+    /// Display name.
+    pub name: &'static str,
+    /// Scaling mode.
+    pub scaling: Scaling,
+    /// BSP iterations.
+    pub iterations: u32,
+    /// Compute per iteration in *thread-cycles*: total across all threads
+    /// of all nodes for strong scaling; per node for weak scaling.
+    pub work_per_iter: Cycles,
+    /// Memory intensity (feeds the TLB/LLC interference model).
+    pub mem_intensity: f64,
+    /// Communication pattern per iteration.
+    pub comm: IterComm,
+}
+
+/// Threads per node (the paper uses 8: "the largest number which is power
+/// of two and still fits into one NUMA domain").
+pub const THREADS_PER_NODE: u32 = 8;
+
+impl MiniApp {
+    /// miniFE: implicit finite elements, CG solve. Strong scaling.
+    pub fn minife() -> MiniApp {
+        MiniApp {
+            name: "miniFE",
+            scaling: Scaling::Strong,
+            iterations: 120,
+            // Calibrated so 2 nodes ≈ 70 s, 64 nodes ≈ 2.5 s (Fig. 8a).
+            work_per_iter: Cycles((9.3 * 2.8e9) as u64),
+            mem_intensity: 0.75,
+            comm: IterComm {
+                allreduces: vec![8, 8],
+                allgathers: vec![],
+                halo_bytes: Some(48 << 10),
+            },
+        }
+    }
+
+    /// HPC-CG: sparse conjugate gradient. Weak scaling.
+    pub fn hpccg() -> MiniApp {
+        MiniApp {
+            name: "HPC-CG",
+            scaling: Scaling::Weak,
+            iterations: 149,
+            // Calibrated so every node count lands near 49 s (Fig. 8b).
+            work_per_iter: Cycles((2.6 * 2.8e9) as u64),
+            mem_intensity: 0.85,
+            comm: IterComm {
+                allreduces: vec![8, 8],
+                allgathers: vec![],
+                halo_bytes: Some(64 << 10),
+            },
+        }
+    }
+
+    /// Modylas: molecular dynamics (FMM). Strong scaling.
+    pub fn modylas() -> MiniApp {
+        MiniApp {
+            name: "Modylas",
+            scaling: Scaling::Strong,
+            iterations: 100,
+            // Calibrated so 8 nodes ≈ 220 s, 64 nodes ≈ 29 s (Fig. 8c).
+            work_per_iter: Cycles((140.0 * 2.8e9) as u64),
+            mem_intensity: 0.35,
+            comm: IterComm {
+                allreduces: vec![8],
+                allgathers: vec![2 << 10],
+                halo_bytes: Some(16 << 10),
+            },
+        }
+    }
+
+    /// FFVC: incompressible flow stencil. Weak scaling.
+    pub fn ffvc() -> MiniApp {
+        MiniApp {
+            name: "FFVC",
+            scaling: Scaling::Weak,
+            iterations: 120,
+            // Calibrated so every node count lands near 47 s (Fig. 8d).
+            work_per_iter: Cycles((3.1 * 2.8e9) as u64),
+            mem_intensity: 0.70,
+            comm: IterComm {
+                allreduces: vec![8],
+                allgathers: vec![],
+                halo_bytes: Some(128 << 10),
+            },
+        }
+    }
+
+    /// The paper's four apps.
+    pub fn paper_suite() -> Vec<MiniApp> {
+        vec![
+            MiniApp::minife(),
+            MiniApp::hpccg(),
+            MiniApp::modylas(),
+            MiniApp::ffvc(),
+        ]
+    }
+
+    /// Per-thread compute quantum per iteration on `p` nodes.
+    pub fn thread_quantum(&self, p: usize) -> Cycles {
+        let per_node = match self.scaling {
+            Scaling::Strong => Cycles(self.work_per_iter.raw() / p as u64),
+            Scaling::Weak => self.work_per_iter,
+        };
+        per_node / u64::from(THREADS_PER_NODE)
+    }
+}
+
+/// Run a mini-app on `p` nodes. The 8-thread OpenMP compute region runs
+/// through [`HostModel::omp_region`] (region ends at the slowest thread);
+/// MPI communication goes through `ctx`. Returns the execution time (job
+/// start to last rank's finish).
+pub fn run<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    app: &MiniApp,
+    p: usize,
+    start: Cycles,
+) -> Cycles {
+    let quantum = app.thread_quantum(p);
+    let mut clocks = vec![start; p];
+    for _iter in 0..app.iterations {
+        // OpenMP compute region on every rank.
+        for (r, c) in clocks.iter_mut().enumerate() {
+            *c = ctx.host.omp_region(r, *c, quantum, THREADS_PER_NODE);
+        }
+        // Halo exchange with ring neighbours (posted as sendrecv pairs:
+        // all departures at the region end, causality via max-merge).
+        if let (Some(bytes), true) = (app.comm.halo_bytes, p > 1) {
+            let round = clocks.clone();
+            for r in 0..p {
+                let right = (r + 1) % p;
+                ctx.xfer_at(r, right, bytes, round[r], round[right], &mut clocks, Vec::new);
+            }
+            for r in 0..p {
+                let left = (r + p - 1) % p;
+                ctx.xfer_at(r, left, bytes, round[r], round[left], &mut clocks, Vec::new);
+            }
+        }
+        // Collectives.
+        for &bytes in &app.comm.allreduces {
+            if p > 1 {
+                clocks = allreduce::allreduce(ctx, p, bytes, &clocks);
+            }
+        }
+        for &bytes in &app.comm.allgathers {
+            if p > 1 {
+                clocks = allgather::allgather(ctx, p, bytes, &clocks);
+            }
+        }
+    }
+    *clocks.iter().max().expect("p >= 1") - start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::host::IdealHost;
+    use mpisim::p2p::P2pParams;
+    use mpisim::regcache::RegCache;
+    use netsim::{Fabric, LinkParams};
+    use simcore::StreamRng;
+
+    fn run_ideal(app: &MiniApp, p: usize) -> f64 {
+        let mut fabric = Fabric::new(p, LinkParams::fdr_infiniband());
+        let mut host = IdealHost::new();
+        let params = P2pParams::default();
+        let mut regcaches: Vec<RegCache> = (0..p)
+            .map(|i| RegCache::new(StreamRng::root(1).stream("r", i as u64)))
+            .collect();
+        let mut recorder = None;
+        let mut ctx = Ctx {
+            hybrid_aware: false,
+            fabric: &mut fabric,
+            host: &mut host,
+            params: &params,
+            regcaches: &mut regcaches,
+            recorder: &mut recorder,
+            reduce_per_kib: Cycles::from_ns(350),
+            churn: 0.0,
+        };
+        let t = run(&mut ctx, app, p, Cycles::ZERO);
+        t.as_secs_f64()
+    }
+
+    #[test]
+    fn hpccg_weak_scaling_is_flat_near_49s() {
+        let app = MiniApp::hpccg();
+        let t4 = run_ideal(&app, 4);
+        let t16 = run_ideal(&app, 16);
+        assert!((45.0..53.0).contains(&t4), "{t4}");
+        // Weak scaling: growth from 4 to 16 nodes stays within ~2%.
+        assert!((t16 - t4) / t4 < 0.02, "t4={t4} t16={t16}");
+    }
+
+    #[test]
+    fn minife_strong_scaling_shrinks() {
+        let app = MiniApp::minife();
+        let t2 = run_ideal(&app, 2);
+        let t8 = run_ideal(&app, 8);
+        assert!((60.0..80.0).contains(&t2), "{t2}");
+        let speedup = t2 / t8;
+        assert!((3.0..4.2).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn modylas_magnitude_matches_paper() {
+        let app = MiniApp::modylas();
+        let t8 = run_ideal(&app, 8);
+        assert!((190.0..240.0).contains(&t8), "{t8}");
+    }
+
+    #[test]
+    fn ffvc_weak_near_47s() {
+        let t8 = run_ideal(&MiniApp::ffvc(), 8);
+        assert!((42.0..52.0).contains(&t8), "{t8}");
+    }
+
+    /// Host whose rank 3 suffers a fixed interruption per compute region.
+    struct LaggyHost {
+        inner: IdealHost,
+        lag: Cycles,
+    }
+
+    impl mpisim::host::HostModel for LaggyHost {
+        fn cpu(&mut self, rank: usize, at: Cycles, work: Cycles) -> Cycles {
+            self.inner.cpu(rank, at, work)
+        }
+        fn mr_register(&mut self, rank: usize, at: Cycles, bytes: u64) -> Cycles {
+            self.inner.mr_register(rank, at, bytes)
+        }
+        fn omp_region(&mut self, rank: usize, at: Cycles, w: Cycles, _t: u32) -> Cycles {
+            if rank == 3 {
+                at + w + self.lag
+            } else {
+                at + w
+            }
+        }
+    }
+
+    #[test]
+    fn noise_in_one_thread_slows_every_iteration() {
+        // A BSP step ends at the slowest thread: injecting delay into
+        // rank 3's region must stretch total time by ~the injected sum.
+        let app = MiniApp {
+            iterations: 10,
+            ..MiniApp::hpccg()
+        };
+        let p = 4;
+        let run_with = |lag: Cycles| {
+            let mut fabric = Fabric::new(p, LinkParams::fdr_infiniband());
+            let mut host = LaggyHost {
+                inner: IdealHost::new(),
+                lag,
+            };
+            let params = P2pParams::default();
+            let mut regcaches: Vec<RegCache> = (0..p)
+                .map(|i| RegCache::new(StreamRng::root(1).stream("r", i as u64)))
+                .collect();
+            let mut recorder = None;
+            let mut ctx = Ctx {
+                hybrid_aware: false,
+                fabric: &mut fabric,
+                host: &mut host,
+                params: &params,
+                regcaches: &mut regcaches,
+                recorder: &mut recorder,
+                reduce_per_kib: Cycles::from_ns(350),
+                churn: 0.0,
+            };
+            run(&mut ctx, &app, p, Cycles::ZERO)
+        };
+        let clean = run_with(Cycles::ZERO);
+        let noisy = run_with(Cycles::from_ms(20));
+        let extra = (noisy - clean).as_secs_f64();
+        assert!(
+            (0.15..0.30).contains(&extra),
+            "10 iterations x 20 ms = 0.2 s, got {extra}"
+        );
+    }
+
+    #[test]
+    fn thread_quantum_respects_scaling() {
+        let strong = MiniApp::minife();
+        assert_eq!(
+            strong.thread_quantum(2).raw(),
+            strong.thread_quantum(4).raw() * 2
+        );
+        let weak = MiniApp::hpccg();
+        assert_eq!(weak.thread_quantum(2), weak.thread_quantum(64));
+    }
+
+    #[test]
+    fn single_node_run_works() {
+        let app = MiniApp {
+            iterations: 3,
+            ..MiniApp::ffvc()
+        };
+        let t = run_ideal(&app, 1);
+        assert!(t > 0.0);
+    }
+}

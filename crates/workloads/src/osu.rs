@@ -1,0 +1,411 @@
+//! OSU-micro-benchmark-style collective latency driver (Fig. 6/7).
+//!
+//! Mirrors `osu_scatter`, `osu_gather`, ... from the MVAPICH
+//! distribution: per message size, a warmup phase followed by timed
+//! iterations with a barrier-equivalent between them; latency is the
+//! worst-rank completion of the operation.
+
+use mpisim::collectives::{allgather, allreduce, alltoall, tree, Ctx};
+use mpisim::host::HostModel;
+use simcore::Cycles;
+
+/// The six collectives the paper plots.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Collective {
+    /// `MPI_Scatter` (Fig. 6a).
+    Scatter,
+    /// `MPI_Gather` (Fig. 6b).
+    Gather,
+    /// `MPI_Reduce` (Fig. 6c).
+    Reduce,
+    /// `MPI_Allreduce` (Fig. 6d).
+    Allreduce,
+    /// `MPI_Allgather` (Fig. 6e).
+    Allgather,
+    /// `MPI_Alltoall` (Fig. 6f).
+    Alltoall,
+}
+
+impl Collective {
+    /// All six, in the paper's figure order.
+    pub fn all() -> [Collective; 6] {
+        [
+            Collective::Scatter,
+            Collective::Gather,
+            Collective::Reduce,
+            Collective::Allreduce,
+            Collective::Allgather,
+            Collective::Alltoall,
+        ]
+    }
+
+    /// Display name as in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Collective::Scatter => "MPI_Scatter",
+            Collective::Gather => "MPI_Gather",
+            Collective::Reduce => "MPI_Reduce",
+            Collective::Allreduce => "MPI_Allreduce",
+            Collective::Allgather => "MPI_Allgather",
+            Collective::Alltoall => "MPI_Alltoall",
+        }
+    }
+
+    /// The paper's x-axis: powers of two. Scatter/Gather/Allgather/
+    /// Alltoall start at 2 B, Reduce/Allreduce at 4 B (as in Fig. 6).
+    pub fn message_sizes(&self) -> Vec<u64> {
+        let start = match self {
+            Collective::Reduce | Collective::Allreduce => 2,
+            _ => 1,
+        };
+        (start..=20).map(|p| 1u64 << p).collect()
+    }
+}
+
+/// Driver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct OsuConfig {
+    /// Untimed warmup iterations (populate registration caches).
+    pub warmup: usize,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Gap between iterations (barrier + loop overhead in the real
+    /// benchmark): spreads the cell over enough wall time to sample the
+    /// host OS's periodic noise.
+    pub iter_gap: Cycles,
+}
+
+impl Default for OsuConfig {
+    fn default() -> Self {
+        OsuConfig {
+            // Warmup must cover every registration-cache slot (4 per size
+            // class) so cold misses never pollute timed iterations.
+            warmup: 5,
+            iters: 10,
+            iter_gap: Cycles::from_us(300),
+        }
+    }
+}
+
+/// Result for one (collective, size) cell.
+#[derive(Clone, Debug)]
+pub struct OsuResult {
+    /// Per-iteration latency in microseconds (worst rank).
+    pub latencies_us: Vec<f64>,
+    /// Simulated time when the measurement finished.
+    pub end: Cycles,
+}
+
+fn dispatch<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    coll: Collective,
+    p: usize,
+    bytes: u64,
+    start: &[Cycles],
+) -> Vec<Cycles> {
+    match coll {
+        Collective::Scatter => tree::scatter(ctx, p, 0, bytes, start),
+        Collective::Gather => tree::gather(ctx, p, 0, bytes, start),
+        Collective::Reduce => tree::reduce(ctx, p, 0, bytes, start),
+        Collective::Allreduce => allreduce::allreduce(ctx, p, bytes, start),
+        Collective::Allgather => allgather::allgather(ctx, p, bytes, start),
+        Collective::Alltoall => alltoall::alltoall(ctx, p, bytes, start),
+    }
+}
+
+/// Measure one (collective, size) cell starting at `start_at`.
+pub fn measure<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    coll: Collective,
+    p: usize,
+    bytes: u64,
+    cfg: &OsuConfig,
+    start_at: Cycles,
+) -> OsuResult {
+    let mut now = start_at;
+    for _ in 0..cfg.warmup {
+        let done = dispatch(ctx, coll, p, bytes, &vec![now; p]);
+        now = *done.iter().max().expect("nonempty") + cfg.iter_gap;
+    }
+    let mut latencies = Vec::with_capacity(cfg.iters);
+    for _ in 0..cfg.iters {
+        let t0 = now;
+        let done = dispatch(ctx, coll, p, bytes, &vec![t0; p]);
+        let end = *done.iter().max().expect("nonempty");
+        latencies.push((end - t0).as_us_f64());
+        now = end + cfg.iter_gap;
+    }
+    OsuResult {
+        latencies_us: latencies,
+        end: now,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::host::IdealHost;
+    use mpisim::p2p::P2pParams;
+    use mpisim::regcache::RegCache;
+    use netsim::{Fabric, LinkParams};
+    use simcore::StreamRng;
+
+    struct Rig {
+        fabric: Fabric,
+        host: IdealHost,
+        params: P2pParams,
+        regcaches: Vec<RegCache>,
+        recorder: mpisim::collectives::Recorder,
+    }
+
+    impl Rig {
+        fn new(p: usize) -> Rig {
+            Rig {
+                fabric: Fabric::new(p, LinkParams::fdr_infiniband()),
+                host: IdealHost::new(),
+                params: P2pParams::default(),
+                regcaches: (0..p)
+                    .map(|i| RegCache::new(StreamRng::root(1).stream("r", i as u64)))
+                    .collect(),
+                recorder: None,
+            }
+        }
+
+        fn ctx(&mut self) -> Ctx<'_, IdealHost> {
+            Ctx {
+                hybrid_aware: false,
+                fabric: &mut self.fabric,
+                host: &mut self.host,
+                params: &self.params,
+                regcaches: &mut self.regcaches,
+                recorder: &mut self.recorder,
+                reduce_per_kib: Cycles::from_ns(350),
+                churn: 0.0,
+            }
+        }
+    }
+
+    #[test]
+    fn all_collectives_measure_cleanly() {
+        let p = 8;
+        let cfg = OsuConfig {
+            warmup: 2,
+            iters: 5,
+            iter_gap: Cycles::from_us(300),
+        };
+        let mut at = Cycles::ZERO;
+        for coll in Collective::all() {
+            let mut rig = Rig::new(p);
+            let res = measure(&mut rig.ctx(), coll, p, 1024, &cfg, at);
+            assert_eq!(res.latencies_us.len(), 5);
+            assert!(res.latencies_us.iter().all(|&l| l > 0.0), "{coll:?}");
+            at = res.end;
+        }
+    }
+
+    #[test]
+    fn latency_monotone_in_size_at_scale() {
+        let p = 16;
+        let cfg = OsuConfig::default();
+        for coll in [Collective::Allreduce, Collective::Alltoall] {
+            let mut rig = Rig::new(p);
+            let small = measure(&mut rig.ctx(), coll, p, 16, &cfg, Cycles::ZERO);
+            let s_avg: f64 =
+                small.latencies_us.iter().sum::<f64>() / small.latencies_us.len() as f64;
+            let big = measure(&mut rig.ctx(), coll, p, 1 << 20, &cfg, small.end);
+            let b_avg: f64 =
+                big.latencies_us.iter().sum::<f64>() / big.latencies_us.len() as f64;
+            assert!(b_avg > s_avg * 10.0, "{coll:?}: {s_avg} vs {b_avg}");
+        }
+    }
+
+    #[test]
+    fn ideal_host_iterations_are_stable() {
+        // After warmup, an ideal host with a warmed regcache gives nearly
+        // constant latencies (tiny residual from cache churn).
+        let p = 8;
+        let mut rig = Rig::new(p);
+        let res = measure(
+            &mut rig.ctx(),
+            Collective::Scatter,
+            p,
+            4096,
+            &OsuConfig {
+                warmup: 4,
+                iters: 8,
+                iter_gap: Cycles::from_us(300),
+            },
+            Cycles::ZERO,
+        );
+        let min = res.latencies_us.iter().cloned().fold(f64::MAX, f64::min);
+        let max = res.latencies_us.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min < 1.05, "{min} .. {max}");
+    }
+
+    #[test]
+    fn paper_magnitudes_at_64_ranks() {
+        // Spot-check Fig. 6 magnitudes: alltoall at 1 MiB ~ tens of ms;
+        // small scatter ~ tens of us.
+        let p = 64;
+        let cfg = OsuConfig {
+            warmup: 2,
+            iters: 3,
+            iter_gap: Cycles::from_us(300),
+        };
+        let mut rig = Rig::new(p);
+        let sc = measure(&mut rig.ctx(), Collective::Scatter, p, 2, &cfg, Cycles::ZERO);
+        let sc_avg = sc.latencies_us.iter().sum::<f64>() / 3.0;
+        assert!((2.0..200.0).contains(&sc_avg), "scatter small: {sc_avg}us");
+        let mut rig2 = Rig::new(p);
+        let a2a = measure(
+            &mut rig2.ctx(),
+            Collective::Alltoall,
+            p,
+            1 << 20,
+            &cfg,
+            Cycles::ZERO,
+        );
+        let a2a_avg = a2a.latencies_us.iter().sum::<f64>() / 3.0;
+        assert!(
+            (5_000.0..100_000.0).contains(&a2a_avg),
+            "alltoall 1MiB: {a2a_avg}us"
+        );
+    }
+
+    #[test]
+    fn message_sizes_match_figure_axes() {
+        assert_eq!(Collective::Scatter.message_sizes()[0], 2);
+        assert_eq!(Collective::Reduce.message_sizes()[0], 4);
+        assert_eq!(*Collective::Alltoall.message_sizes().last().unwrap(), 1 << 20);
+    }
+}
+
+/// `osu_latency`-style ping-pong between two ranks: returns the one-way
+/// latency in microseconds (round trip / 2, averaged over `iters`).
+pub fn pt2pt_latency<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    bytes: u64,
+    cfg: &OsuConfig,
+    start_at: Cycles,
+) -> f64 {
+    let mut clocks = vec![start_at; 2];
+    for _ in 0..cfg.warmup {
+        ctx.xfer(0, 1, bytes, &mut clocks, Vec::new);
+        ctx.xfer(1, 0, bytes, &mut clocks, Vec::new);
+    }
+    let t0 = clocks[0];
+    for _ in 0..cfg.iters {
+        ctx.xfer(0, 1, bytes, &mut clocks, Vec::new);
+        ctx.xfer(1, 0, bytes, &mut clocks, Vec::new);
+    }
+    (clocks[0] - t0).as_us_f64() / (2.0 * cfg.iters as f64)
+}
+
+/// `osu_bw`-style streaming bandwidth: rank 0 posts a window of sends,
+/// rank 1 acks the window; returns MB/s (OSU convention: 1 MB = 1e6 B).
+pub fn pt2pt_bandwidth<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    bytes: u64,
+    window: usize,
+    cfg: &OsuConfig,
+    start_at: Cycles,
+) -> f64 {
+    let mut clocks = vec![start_at; 2];
+    // Warmup.
+    for _ in 0..cfg.warmup {
+        ctx.xfer(0, 1, bytes, &mut clocks, Vec::new);
+    }
+    let t0 = clocks[0].max(clocks[1]);
+    clocks = vec![t0; 2];
+    let mut moved = 0u64;
+    for _ in 0..cfg.iters {
+        // The sender posts the whole window without waiting for the
+        // receiver (eager) / with pipelined rendezvous; receptions land
+        // as the fabric delivers them.
+        let round = clocks.clone();
+        for _ in 0..window {
+            ctx.xfer_at(0, 1, bytes, clocks[0].max(round[0]), round[1], &mut clocks, Vec::new);
+            moved += bytes;
+        }
+        // Window ack.
+        let round = clocks.clone();
+        ctx.xfer_at(1, 0, 8, round[1], round[0], &mut clocks, Vec::new);
+    }
+    let dur_s = (clocks[0].max(clocks[1]) - t0).as_secs_f64();
+    moved as f64 / dur_s / 1e6
+}
+
+#[cfg(test)]
+mod pt2pt_tests {
+    use super::*;
+    use mpisim::host::IdealHost;
+    use mpisim::p2p::P2pParams;
+    use mpisim::regcache::RegCache;
+    use netsim::{Fabric, LinkParams};
+    use simcore::StreamRng;
+
+    fn with_ctx<R>(f: impl FnOnce(&mut Ctx<'_, IdealHost>) -> R) -> R {
+        let mut fabric = Fabric::new(2, LinkParams::fdr_infiniband());
+        let mut host = IdealHost::new();
+        let params = P2pParams::default();
+        let mut regcaches: Vec<RegCache> = (0..2)
+            .map(|i| RegCache::new(StreamRng::root(1).stream("r", i as u64)))
+            .collect();
+        let mut recorder = None;
+        let mut ctx = Ctx {
+            hybrid_aware: false,
+            fabric: &mut fabric,
+            host: &mut host,
+            params: &params,
+            regcaches: &mut regcaches,
+            recorder: &mut recorder,
+            reduce_per_kib: Cycles::from_ns(350),
+            churn: 0.0,
+        };
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn small_message_latency_matches_fdr_class() {
+        let cfg = OsuConfig::default();
+        let lat = with_ctx(|ctx| pt2pt_latency(ctx, 8, &cfg, Cycles::from_us(1)));
+        // FDR-era osu_latency small messages: ~1-2 us.
+        assert!((0.8..3.0).contains(&lat), "{lat}us");
+    }
+
+    #[test]
+    fn latency_grows_with_size() {
+        let cfg = OsuConfig::default();
+        let small = with_ctx(|ctx| pt2pt_latency(ctx, 8, &cfg, Cycles::from_us(1)));
+        let large = with_ctx(|ctx| pt2pt_latency(ctx, 1 << 20, &cfg, Cycles::from_us(1)));
+        assert!(large > small * 20.0, "{small} vs {large}");
+        // 1 MiB one-way ~ byte time ~ 180us (+rendezvous overheads).
+        assert!((150.0..400.0).contains(&large), "{large}us");
+    }
+
+    #[test]
+    fn streaming_bandwidth_approaches_wire_rate() {
+        let cfg = OsuConfig {
+            warmup: 5,
+            iters: 4,
+            iter_gap: Cycles::ZERO,
+        };
+        let bw = with_ctx(|ctx| pt2pt_bandwidth(ctx, 1 << 20, 16, &cfg, Cycles::from_us(1)));
+        // Effective FDR ~ 5800 MB/s; windowed streaming should reach
+        // >70% of it.
+        assert!(bw > 4_000.0, "bandwidth {bw} MB/s");
+        assert!(bw < 6_500.0, "bandwidth {bw} MB/s exceeds the wire");
+    }
+
+    #[test]
+    fn small_message_bandwidth_is_rate_limited() {
+        let cfg = OsuConfig {
+            warmup: 5,
+            iters: 4,
+            iter_gap: Cycles::ZERO,
+        };
+        let bw = with_ctx(|ctx| pt2pt_bandwidth(ctx, 64, 16, &cfg, Cycles::from_us(1)));
+        // Injection gap + overheads dominate: far below wire rate.
+        assert!(bw < 500.0, "{bw} MB/s");
+    }
+}

@@ -1,0 +1,58 @@
+//! Performance isolation under an in-situ workload — a miniature Fig. 9.
+//!
+//! ```text
+//! cargo run --release --example insitu_isolation
+//! ```
+//!
+//! Runs a shortened HPC-CG on 4 nodes while a Hadoop-like analytics job
+//! hammers the same machines, under each of the paper's three isolation
+//! strategies, several seeds each.
+
+use cluster::{Cluster, ClusterConfig, OsVariant};
+use simcore::{Cycles, Summary};
+use workloads::miniapps::MiniApp;
+
+fn main() {
+    println!("=== In-situ isolation shoot-out (HPC-CG, 4 nodes, Hadoop co-located) ===\n");
+    let app = MiniApp {
+        iterations: 30,
+        ..MiniApp::hpccg()
+    };
+    // Quiet baseline.
+    let baseline = {
+        let cfg = ClusterConfig::paper(OsVariant::McKernel).with_nodes(4).with_seed(1);
+        Cluster::build(cfg)
+            .run_miniapp(&app, Cycles::from_ms(1))
+            .as_secs_f64()
+    };
+    println!("quiet-system baseline: {baseline:.2}s\n");
+    println!(
+        "{:<24} {:>9} {:>9} {:>11} {:>10}",
+        "configuration", "mean(s)", "worst(s)", "variation", "vs quiet"
+    );
+    for os in OsVariant::all() {
+        let times: Vec<f64> = (0..6)
+            .map(|seed| {
+                let cfg = ClusterConfig::paper(os)
+                    .with_nodes(4)
+                    .with_insitu()
+                    .with_seed(100 + seed);
+                Cluster::build(cfg)
+                    .run_miniapp(&app, Cycles::from_ms(1))
+                    .as_secs_f64()
+            })
+            .collect();
+        let s = Summary::from_samples(&times);
+        println!(
+            "{:<24} {:>9.2} {:>9.2} {:>10.1}% {:>9.2}x",
+            os.label(),
+            s.mean,
+            s.max,
+            s.max_variation_pct(),
+            s.max / baseline
+        );
+    }
+    println!("\ncgroups pin the app but not the analytics; isolcpus fences the CPUS");
+    println!("but not interrupts or memory traffic; the LWK partition fences all");
+    println!("three (CPUs by IHK, memory by reservation, and it has no IRQs).");
+}

@@ -1,0 +1,55 @@
+//! FWQ noise probe with an ASCII rendering of the paper's Fig. 5.
+//!
+//! ```text
+//! cargo run --release --example noise_probe
+//! ```
+
+use cluster::{Cluster, ClusterConfig, OsVariant};
+use simcore::Cycles;
+use workloads::fwq;
+
+fn sparkline(samples: &[u64], quantum: u64) -> String {
+    const GLYPHS: [char; 7] = [' ', '.', ':', '+', '*', '#', '@'];
+    // Bucket 480 samples into 96 columns, plot the max of each bucket as
+    // a slowdown factor.
+    let cols = 96;
+    let per = samples.len().div_ceil(cols);
+    samples
+        .chunks(per)
+        .map(|c| {
+            let worst = *c.iter().max().expect("nonempty") as f64 / quantum as f64;
+            let idx = match worst {
+                w if w < 1.05 => 0,
+                w if w < 1.5 => 1,
+                w if w < 2.5 => 2,
+                w if w < 4.0 => 3,
+                w if w < 8.0 => 4,
+                w if w < 12.0 => 5,
+                _ => 6,
+            };
+            GLYPHS[idx]
+        })
+        .collect()
+}
+
+fn main() {
+    println!("=== FWQ worst-window, rendered (each column = 5 samples, height = slowdown) ===\n");
+    let quantum = fwq::DEFAULT_QUANTUM;
+    let configs = [
+        ("Linux+cgroup", OsVariant::LinuxCgroup, false),
+        ("McKernel", OsVariant::McKernel, false),
+        ("Linux+cgroup + Hadoop", OsVariant::LinuxCgroup, true),
+        ("Linux+isolcpus + Hadoop", OsVariant::LinuxCgroupIsolcpus, true),
+        ("McKernel + Hadoop", OsVariant::McKernel, true),
+    ];
+    for (label, os, insitu) in configs {
+        let mut cfg = ClusterConfig::paper(os).with_nodes(1).with_seed(0xBEEF);
+        cfg.insitu = insitu;
+        cfg.horizon_secs = 8;
+        let mut cluster = Cluster::build(cfg);
+        let samples = cluster.fwq(quantum, Cycles::from_secs(6), Cycles::from_us(1));
+        let worst = fwq::worst_window(&samples, fwq::WINDOW);
+        println!("{label:>24} |{}|", sparkline(worst, quantum.raw()));
+    }
+    println!("\nlegend: ' ' flat  '.' <1.5x  ':' <2.5x  '+' <4x  '*' <8x  '#' <12x  '@' >=12x");
+}

@@ -1,0 +1,76 @@
+//! Simulation → in-situ hand-off over a shared memory segment.
+//!
+//! ```text
+//! cargo run --release --example shared_segment
+//! ```
+//!
+//! The paper's co-location story assumes "a straightforward shared memory
+//! segment would be sufficient" for the simulation (on McKernel) to feed
+//! the in-situ analytics (on Linux). This example builds that pipe: a
+//! producer process on the LWK writes time-step output into a segment;
+//! a second LWK process (a coupled solver) and a Linux-side reader (the
+//! analytics job, going by physical address like a DMA consumer) both see
+//! the bytes — with zero copies and zero system calls on the fast path.
+
+use cluster::{node::NodeRuntime, ClusterConfig, OsVariant};
+use simcore::StreamRng;
+
+fn main() {
+    println!("=== shared-memory in-situ hand-off ===\n");
+    let cfg = ClusterConfig::paper(OsVariant::McKernel).with_nodes(1).with_seed(3);
+    let mut node = NodeRuntime::build(&cfg, 0, &StreamRng::root(cfg.seed));
+    let mck = node.mck.as_mut().expect("LWK booted");
+
+    // The simulation process (already running) creates a 4 MiB segment.
+    let sim_pid = node.app_pid;
+    let (shm, sim_va) = mck
+        .shm_create_attach(sim_pid, 4 << 20)
+        .expect("partition has room");
+    println!("simulation {sim_pid:?} created segment {shm:?}, mapped at {sim_va}");
+
+    // A second LWK process (say, a coupled solver) attaches.
+    let solver_pid = mck.create_process(None);
+    let solver_va = mck.shm_attach(solver_pid, shm).expect("attach");
+    println!("solver     {solver_pid:?} attached at {solver_va}");
+
+    // The simulation writes a time step (through its own translation —
+    // plain stores, 2 MiB pages).
+    let payload = b"step=42 residual=1.2e-9 cells=16777216";
+    let pa = mck
+        .process(sim_pid)
+        .expect("alive")
+        .aspace
+        .pt
+        .translate(sim_va)
+        .expect("eagerly mapped")
+        .phys;
+    node.hw.mem.write(pa, payload);
+    println!("\nsimulation wrote: {}", String::from_utf8_lossy(payload));
+
+    // The solver reads the same bytes through its own mapping.
+    let pb = mck
+        .process(solver_pid)
+        .expect("alive")
+        .aspace
+        .pt
+        .translate(solver_va)
+        .expect("eagerly mapped")
+        .phys;
+    let mut buf = vec![0u8; payload.len()];
+    node.hw.mem.read(pb, &mut buf);
+    println!("solver read:      {}", String::from_utf8_lossy(&buf));
+    assert_eq!(buf, payload);
+
+    // The Linux-side analytics consumer resolves segment offsets to
+    // physical addresses (the cross-kernel view — no LWK involvement).
+    let seg = mck.shm_segment(shm).expect("live");
+    let p_linux = seg.phys_at(0).expect("offset 0");
+    let mut buf2 = vec![0u8; payload.len()];
+    node.hw.mem.read(p_linux, &mut buf2);
+    println!("analytics read:   {}", String::from_utf8_lossy(&buf2));
+    assert_eq!(buf2, payload);
+
+    println!("\nsame physical bytes, three views, no copies — and because the");
+    println!("segment is 2 MiB-contiguous LWK memory, the analytics side can");
+    println!("DMA from it while the LWK cores stay perfectly quiet.");
+}

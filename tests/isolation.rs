@@ -1,0 +1,122 @@
+//! Kernel-level workload isolation, asserted mechanically: nothing the
+//! in-situ job does can reach the LWK partition.
+
+use cluster::{node::NodeRuntime, ClusterConfig, OsVariant};
+use hwmodel::cpu::CoreId;
+use simcore::{Cycles, StreamRng};
+
+fn insitu_node(os: OsVariant, seed: u64) -> NodeRuntime {
+    let mut cfg = ClusterConfig::paper(os).with_nodes(1).with_seed(seed);
+    cfg.insitu = true;
+    cfg.horizon_secs = 30;
+    NodeRuntime::build(&cfg, 0, &StreamRng::root(seed))
+}
+
+#[test]
+fn hadoop_never_lands_on_lwk_cores() {
+    let node = insitu_node(OsVariant::McKernel, 1);
+    for core in 10..19 {
+        assert!(
+            !node.linux.occupancy.has_load(CoreId(core)),
+            "cpu{core} is IHK-reserved; Linux cannot schedule there"
+        );
+    }
+    // ... but the proxy core is fair game (it belongs to Linux).
+    assert!(node.linux.occupancy.has_load(CoreId(19)));
+}
+
+#[test]
+fn cgroup_only_leaks_hadoop_onto_app_cores() {
+    let node = insitu_node(OsVariant::LinuxCgroup, 1);
+    let leaked = (10..18).any(|c| node.linux.occupancy.has_load(CoreId(c)));
+    assert!(leaked, "cgroups pin the app, not the analytics");
+}
+
+#[test]
+fn isolcpus_blocks_tasks_but_not_kernel_noise() {
+    let mut node = insitu_node(OsVariant::LinuxCgroupIsolcpus, 1);
+    for core in 10..18 {
+        assert!(!node.linux.occupancy.has_load(CoreId(core)));
+    }
+    // Kernel noise still reaches the isolated cores: run long enough work
+    // there and interruptions appear.
+    node.mem_intensity = 0.0;
+    let out = node
+        .linux
+        .execute_on(CoreId(10), Cycles::from_ms(7), Cycles::from_secs(1));
+    assert!(
+        out.stolen > Cycles::ZERO,
+        "isolcpus is NOT noise-free — the paper's central point"
+    );
+}
+
+#[test]
+fn lwk_compute_is_bit_exact_under_full_insitu_pressure() {
+    let mut node = insitu_node(OsVariant::McKernel, 2);
+    node.mem_intensity = 0.0; // pure ALU: immune even to cache pollution
+    let work = Cycles::from_secs(1);
+    for k in 0..5 {
+        let start = Cycles::from_ms(100 * k + 1);
+        let done = node.exec_app_thread(0, start, work);
+        assert_eq!(done, start + work, "LWK quantum perturbed at {start}");
+    }
+}
+
+#[test]
+fn memory_pollution_is_the_only_residual_on_mckernel() {
+    let mut node = insitu_node(OsVariant::McKernel, 3);
+    node.mem_intensity = 0.9; // highly memory-bound
+    // Find instants inside and outside busy phases.
+    let phases = node.busy_phases.clone();
+    assert!(!phases.is_empty(), "in-situ load has phases");
+    let inside = phases[0].0 + Cycles(1);
+    let work = Cycles::from_ms(10);
+    let in_busy = node.exec_app_thread(0, inside, work) - inside;
+    // A quiet instant: just before the first phase, or after the last.
+    let quiet_at = if phases[0].0 > Cycles::from_ms(20) {
+        Cycles::from_ms(1)
+    } else {
+        phases.last().expect("nonempty").1 + Cycles::from_ms(1)
+    };
+    let in_quiet = node.exec_app_thread(0, quiet_at, work) - quiet_at;
+    assert!(in_busy > in_quiet, "cross-socket bandwidth pressure exists");
+    let resid = in_busy.raw() as f64 / in_quiet.raw() as f64 - 1.0;
+    assert!(
+        resid < 0.05,
+        "the residual is small ({resid}) — hardware, not OS"
+    );
+}
+
+#[test]
+fn proxy_core_contention_slows_offloads_only() {
+    let mut node = insitu_node(OsVariant::McKernel, 4);
+    // Find a busy instant on the proxy core.
+    let phases = node.busy_phases.clone();
+    let busy_at = phases[0].0.midpoint(phases[0].1);
+    let quiet_at = if phases[0].0 > Cycles::from_ms(200) {
+        Cycles::from_ms(100)
+    } else {
+        phases.last().expect("nonempty").1 + Cycles::from_secs(1)
+    };
+    let reg_quiet: Vec<u64> = (0..8)
+        .map(|i| (node.mr_register(quiet_at + Cycles(i * 50_000), 1 << 20)
+            - (quiet_at + Cycles(i * 50_000)))
+        .raw())
+        .collect();
+    let reg_busy: Vec<u64> = (0..8)
+        .map(|i| (node.mr_register(busy_at + Cycles(i * 50_000), 1 << 20)
+            - (busy_at + Cycles(i * 50_000)))
+        .raw())
+        .collect();
+    let avg = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+    assert!(
+        avg(&reg_busy) > avg(&reg_quiet),
+        "offloads queue behind Hadoop on the proxy core: {} vs {}",
+        avg(&reg_busy),
+        avg(&reg_quiet)
+    );
+    // Yet compute on LWK cores at the same busy instant is untouched.
+    node.mem_intensity = 0.0;
+    let done = node.exec_app_thread(0, busy_at, Cycles::from_ms(50));
+    assert_eq!(done, busy_at + Cycles::from_ms(50));
+}
