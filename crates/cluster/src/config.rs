@@ -1,6 +1,7 @@
 //! Experiment configurations — the paper's comparison matrix.
 
 use hwmodel::cpu::CoreId;
+use simcore::fault::FaultConfig;
 
 /// Which OS stack runs the HPC workload (Sec. IV-A).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -55,6 +56,9 @@ pub struct ClusterConfig {
     /// internal buffers at init so registration never offloads on the
     /// critical path.
     pub mpi_hybrid_aware: bool,
+    /// Fault injection on the offload path (off by default, so every
+    /// existing figure runs unchanged; any experiment can turn it on).
+    pub faults: FaultConfig,
 }
 
 impl ClusterConfig {
@@ -68,6 +72,7 @@ impl ClusterConfig {
             horizon_secs: 120,
             seed: 0xC0FFEE,
             mpi_hybrid_aware: false,
+            faults: FaultConfig::off(),
         }
     }
 
@@ -86,6 +91,12 @@ impl ClusterConfig {
     /// Change the seed (per repetition).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Run with fault injection on the offload path.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 

@@ -9,11 +9,13 @@
 //! does the node run application work.
 
 use crate::config::{ClusterConfig, OsVariant};
-use hlwk_core::abi::{Pid, Sysno, Tid};
+use hlwk_core::abi::{Errno, Pid, Sysno, Tid};
 use hlwk_core::costs::CostModel;
-use hlwk_core::ihk::ikc::{IkcMessage, IkcPair};
+use hlwk_core::ihk::delegator::DispatchAction;
+use hlwk_core::ihk::ikc::{ControlMsg, IkcMessage, IkcPair};
+use hlwk_core::ihk::manager::HeartbeatMonitor;
 use hlwk_core::mck::mem::FaultOutcome;
-use hlwk_core::mck::syscall::SyscallRequest;
+use hlwk_core::mck::syscall::{RetryPolicy, SyscallRequest};
 use hlwk_core::mck::{McKernel, SyscallOutcome};
 use hlwk_core::proxy::devmap;
 use hlwk_core::IhkManager;
@@ -24,6 +26,7 @@ use hwmodel::node::{NodeHw, NodeId, NodeSpec};
 use hwmodel::pci::DeviceClass;
 use linuxsim::{LinuxKernel, NoiseConfig};
 use netsim::verbs::IbContext;
+use simcore::fault::{FaultPlan, MsgFault};
 use simcore::{Cycles, StreamRng};
 use workloads::hadoop;
 
@@ -39,6 +42,8 @@ pub struct NodeRuntime {
     pub linux: LinuxKernel,
     /// IHK manager (McKernel variant only).
     pub ihk: Option<IhkManager>,
+    /// OS-instance index inside `ihk` (needed to destroy the partition).
+    pub os_idx: Option<u32>,
     /// The LWK (McKernel variant only).
     pub mck: Option<McKernel>,
     /// IKC channel pair between the kernels.
@@ -70,6 +75,21 @@ pub struct NodeRuntime {
     /// McKernel, 4 KiB scattered on Linux). Public so the A3 ablation can
     /// force either policy.
     pub backing: PageBacking,
+    /// Per-node fault-injection plan (disabled by default; draws nothing
+    /// while inactive, so fault-free runs are bit-identical to the seed).
+    pub faults: FaultPlan,
+    /// Timeout/backoff policy for the offload retry loop.
+    pub retry: RetryPolicy,
+    /// Whether the proxy is still alive. After proxy death every offload
+    /// fast-fails with `-EIO`.
+    pub proxy_alive: bool,
+    /// Offload retransmissions performed (timeouts, NACKs, back-pressure).
+    pub offload_retries: u64,
+    /// Checksum NACKs exchanged over IKC.
+    pub nacks: u64,
+    /// Offloads that ultimately failed with `-EIO` (proxy dead or retry
+    /// budget exhausted).
+    pub offload_eio: u64,
     costs: CostModel,
 }
 
@@ -82,16 +102,22 @@ impl NodeRuntime {
 
         // --- IHK partitioning + LWK boot (McKernel variant). ---
         let costs = CostModel::default();
-        let (ihk, mut mck) = if cfg.os == OsVariant::McKernel {
+        let (ihk, mut mck, os_idx) = if cfg.os == OsVariant::McKernel {
             let mut ihk = IhkManager::new(hw.topology.num_cores());
             let os_idx = ihk
                 .create_os(&mut hw.mem, &cfg.lwk_cores(), NumaId(1), 16 << 30)
                 .expect("testbed node has the resources");
             let mck = ihk.boot(os_idx, costs).expect("fresh instance boots");
-            (Some(ihk), Some(mck))
+            (Some(ihk), Some(mck), Some(os_idx))
         } else {
-            (None, None)
+            (None, None, None)
         };
+
+        // Faults are scoped: the plan exists from the start but stays
+        // suspended through boot + job setup, so injection only hits the
+        // steady-state offload path.
+        let mut faults = FaultPlan::new(cfg.faults, rng.stream("fault", u64::from(idx)));
+        faults.set_active(false);
 
         // --- Linux boot over its cores. ---
         let noise = NoiseConfig {
@@ -185,6 +211,7 @@ impl NodeRuntime {
             hw,
             linux,
             ihk,
+            os_idx,
             mck: None,
             ikc: IkcPair::default(),
             app_pid: Pid(1),
@@ -203,6 +230,12 @@ impl NodeRuntime {
             } else {
                 PageBacking::Small4k
             },
+            faults,
+            retry: RetryPolicy::default(),
+            proxy_alive: true,
+            offload_retries: 0,
+            nacks: 0,
+            offload_eio: 0,
             costs,
         };
 
@@ -238,6 +271,9 @@ impl NodeRuntime {
                 node.ib.doorbell_phys = dev.bar_phys(0, 0);
             }
         }
+        // Setup is done: arm the plan (a disabled config stays inert —
+        // every draw gate also checks the per-fault rate).
+        node.faults.set_active(node.faults.config().enabled);
         node
     }
 
@@ -326,64 +362,26 @@ impl NodeRuntime {
     /// McKernel marshal → IKC queue → IPI → delegator → proxy wake →
     /// Linux service (unified-address-space dereferences) → IKC reply.
     /// Returns (return value, completion instant).
+    ///
+    /// The offload path is recoverable: sequence-numbered requests are
+    /// retransmitted after a timeout with exponential backoff, checksum
+    /// failures are NACKed and resent, duplicate deliveries are absorbed
+    /// by the delegator's completed-reply cache, and a proxy crash turns
+    /// into `-EIO` after heartbeat-bounded detection plus full partition
+    /// reclamation. With the fault plan inactive the timing and results
+    /// are identical to the fault-free path.
     pub fn offload_syscall(&mut self, sysno: Sysno, args: [u64; 6], at: Cycles) -> (i64, Cycles) {
+        if self.os == OsVariant::McKernel && !self.proxy_alive {
+            // The LWK already knows the proxy is gone (ControlMsg::ProxyDead):
+            // offloads fail fast without touching IKC.
+            self.offload_eio += 1;
+            return (-(Errno::EIO as i64), at + self.costs.lwk_syscall);
+        }
         let mck = self.mck.as_mut().expect("offload from LWK only");
         let tid = self.app_tid.expect("thread spawned");
         let outcome = mck.handle_syscall(self.app_pid, tid, sysno, args, at);
         match outcome {
-            SyscallOutcome::Offload { req, cost } => {
-                let costs = self.costs;
-                // LWK -> Linux over the real bounded queue.
-                self.ikc
-                    .to_linux
-                    .send(IkcMessage::syscall_request(&req))
-                    .expect("IKC queue sized for the workload");
-                let delivered = at + cost + costs.ikc_ipi;
-                let msg = self.ikc.to_linux.recv().expect("just sent");
-                let wire_req =
-                    SyscallRequest::decode(&msg.payload).expect("well-formed request");
-                debug_assert_eq!(wire_req, req);
-                let proxy_pid = self.proxy_pid.expect("proxy spawned");
-                // Delegator module: wake the parked proxy.
-                let _action = self
-                    .linux
-                    .delegator
-                    .on_syscall_request(proxy_pid, wire_req);
-                let dispatched = delivered + costs.delegator_dispatch;
-                let fetched = self
-                    .linux
-                    .delegator
-                    .proxy_fetch(proxy_pid)
-                    .expect("request queued");
-                // Service on Linux with real pointer dereferencing.
-                let svc = {
-                    let mck_ref = self.mck.as_ref().expect("LWK present");
-                    let pt = &mck_ref
-                        .process(self.app_pid)
-                        .expect("app")
-                        .aspace
-                        .pt;
-                    self.linux
-                        .service_syscall(proxy_pid, &fetched, dispatched, pt, &mut self.hw.mem)
-                };
-                let reply = self
-                    .linux
-                    .delegator
-                    .complete(fetched.seq, svc.ret)
-                    .expect("in flight");
-                self.ikc
-                    .to_lwk
-                    .send(IkcMessage::syscall_reply(&reply))
-                    .expect("IKC queue sized for the workload");
-                let _ = self.ikc.to_lwk.recv();
-                let finish = dispatched
-                    + svc.wake_delay
-                    + costs.proxy_dispatch
-                    + svc.service
-                    + costs.ikc_send
-                    + costs.ikc_ipi;
-                (svc.ret, finish)
-            }
+            SyscallOutcome::Offload { req, cost } => self.drive_offload(req, at + cost),
             SyscallOutcome::Done { ret, cost } => (ret, at + cost),
             SyscallOutcome::DoneInvalidate { ret, cost, ranges } => {
                 self.linux.sync_munmap(self.app_pid, &ranges);
@@ -391,6 +389,243 @@ impl NodeRuntime {
             }
             o => panic!("unexpected outcome for {sysno:?}: {o:?}"),
         }
+    }
+
+    /// The request/reply exchange for one marshalled offload, with the
+    /// bounded retry loop around it. `now` is the instant the request is
+    /// ready to enter IKC.
+    fn drive_offload(&mut self, req: SyscallRequest, start: Cycles) -> (i64, Cycles) {
+        let costs = self.costs;
+        let seq = req.seq;
+        let mut now = start;
+        let mut attempt: u32 = 0;
+        loop {
+            if attempt >= self.retry.max_attempts {
+                // Retry budget exhausted: the LWK gives up on this call.
+                self.offload_eio += 1;
+                return (-(Errno::EIO as i64), now);
+            }
+            let timeout = self.retry.timeout_for(attempt);
+            // Injected proxy crash at the configured in-flight depth.
+            let inflight = self.linux.delegator.in_flight() as u32 + 1;
+            if self.faults.proxy_should_crash(inflight, seq, now) {
+                let done = self.handle_proxy_death(now);
+                self.offload_eio += 1;
+                return (-(Errno::EIO as i64), done);
+            }
+            // Delegator stall: the module is busy; delivery waits it out.
+            let stall = match self.faults.draw_stall(seq, now) {
+                Some(s) => s,
+                None => Cycles::ZERO,
+            };
+            // Queue-full back-pressure on the LWK→Linux ring: the send
+            // fails and the LWK backs off before retrying.
+            if self.faults.draw_backpressure(seq, now) {
+                self.offload_retries += 1;
+                attempt += 1;
+                now += timeout;
+                continue;
+            }
+            // --- Request leg. ---
+            let mut req_msg = IkcMessage::syscall_request(&req);
+            let mut req_delay = Cycles::ZERO;
+            match self.faults.draw_msg_fault("req", seq, now) {
+                MsgFault::Drop => {
+                    // Lost on the wire: no reply ever comes; the LWK times
+                    // out and retransmits.
+                    self.offload_retries += 1;
+                    attempt += 1;
+                    now += timeout;
+                    continue;
+                }
+                MsgFault::Delay(d) => req_delay = d,
+                MsgFault::Corrupt => req_msg = req_msg.corrupted(seq),
+                MsgFault::None => {}
+            }
+            self.ikc
+                .to_linux
+                .send(req_msg)
+                .expect("IKC queue sized for the workload");
+            let delivered = now + costs.ikc_ipi + stall + req_delay;
+            let msg = self.ikc.to_linux.recv().expect("just sent");
+            if !msg.verify() {
+                // Checksum failure on arrival: the delegator NACKs and the
+                // LWK retransmits immediately (no timeout wait).
+                self.ikc
+                    .to_lwk
+                    .send(IkcMessage::control(&ControlMsg::Nack { seq }))
+                    .expect("IKC queue sized for the workload");
+                let _ = self.ikc.to_lwk.recv();
+                self.nacks += 1;
+                self.offload_retries += 1;
+                attempt += 1;
+                now = delivered + costs.ikc_send + costs.ikc_ipi;
+                continue;
+            }
+            let wire_req = SyscallRequest::decode(&msg.payload).expect("verified request decodes");
+            debug_assert_eq!(wire_req, req);
+            let proxy_pid = self.proxy_pid.expect("proxy spawned");
+            let dispatched = delivered + costs.delegator_dispatch;
+            let (reply, wake_service) =
+                match self.linux.delegator.on_syscall_request(proxy_pid, wire_req) {
+                    // Dedup: this seq already completed (the reply leg was
+                    // lost); answer from the cache without re-executing.
+                    DispatchAction::Retransmit(rep) => (rep, Cycles::ZERO),
+                    // Dedup: still executing; wait for the original reply.
+                    DispatchAction::DuplicateInFlight => {
+                        self.offload_retries += 1;
+                        attempt += 1;
+                        now = dispatched + timeout;
+                        continue;
+                    }
+                    DispatchAction::NoProxy => {
+                        // Proxy vanished between liveness check and dispatch.
+                        let done = self.handle_proxy_death(dispatched);
+                        self.offload_eio += 1;
+                        return (-(Errno::EIO as i64), done);
+                    }
+                    DispatchAction::WakeProxy(_) | DispatchAction::Queued => {
+                        let fetched = self
+                            .linux
+                            .delegator
+                            .proxy_fetch(proxy_pid)
+                            .expect("request queued");
+                        // Service on Linux with real pointer dereferencing.
+                        let svc = {
+                            let mck_ref = self.mck.as_ref().expect("LWK present");
+                            let pt = &mck_ref.process(self.app_pid).expect("app").aspace.pt;
+                            self.linux.service_syscall(
+                                proxy_pid,
+                                &fetched,
+                                dispatched,
+                                pt,
+                                &mut self.hw.mem,
+                            )
+                        };
+                        let reply = self
+                            .linux
+                            .delegator
+                            .complete(fetched.seq, svc.ret)
+                            .expect("in flight");
+                        (reply, svc.wake_delay + costs.proxy_dispatch + svc.service)
+                    }
+                };
+            // --- Reply leg. ---
+            let mut rep_msg = IkcMessage::syscall_reply(&reply);
+            let mut rep_delay = Cycles::ZERO;
+            match self.faults.draw_msg_fault("rep", seq, now) {
+                MsgFault::Drop => {
+                    // Reply lost: the LWK times out and retransmits the
+                    // request, which the completed cache will answer.
+                    self.offload_retries += 1;
+                    attempt += 1;
+                    now = dispatched + wake_service + timeout;
+                    continue;
+                }
+                MsgFault::Delay(d) => rep_delay = d,
+                MsgFault::Corrupt => rep_msg = rep_msg.corrupted(seq.rotate_left(17) | 1),
+                MsgFault::None => {}
+            }
+            self.ikc
+                .to_lwk
+                .send(rep_msg)
+                .expect("IKC queue sized for the workload");
+            let back = self.ikc.to_lwk.recv().expect("just sent");
+            if !back.verify() {
+                // The LWK NACKs; the delegator resends from its cache on
+                // the retransmitted request.
+                self.ikc
+                    .to_linux
+                    .send(IkcMessage::control(&ControlMsg::Nack { seq }))
+                    .expect("IKC queue sized for the workload");
+                let _ = self.ikc.to_linux.recv();
+                self.nacks += 1;
+                self.offload_retries += 1;
+                attempt += 1;
+                now = dispatched + wake_service + costs.ikc_send + costs.ikc_ipi;
+                continue;
+            }
+            let finish =
+                dispatched + wake_service + costs.ikc_send + costs.ikc_ipi + rep_delay;
+            return (reply.ret, finish);
+        }
+    }
+
+    /// The proxy died. Heartbeats go unanswered until the monitor declares
+    /// death (bounded by `detection_bound`), then Linux reaps the proxy:
+    /// stranded offloads are answered with `-EIO` over IKC, the LWK
+    /// application is SIGKILLed, tracking objects are dropped and the
+    /// whole partition (cores + memory) returns to Linux. Returns the
+    /// instant recovery completes.
+    fn handle_proxy_death(&mut self, now: Cycles) -> Cycles {
+        let mut hb = HeartbeatMonitor::paper_default();
+        let mut t = now;
+        loop {
+            if let Some(beat) = hb.poll(t) {
+                // Probe the proxy over the control channel; a dead proxy
+                // never acks.
+                self.ikc
+                    .to_linux
+                    .send(IkcMessage::control(&ControlMsg::Heartbeat { beat }))
+                    .expect("IKC queue sized for the workload");
+                let _ = self.ikc.to_linux.recv();
+            }
+            if hb.is_dead() {
+                break;
+            }
+            t += hb.interval;
+        }
+        debug_assert!(t - now <= hb.detection_bound());
+        let proxy_pid = self.proxy_pid.take().expect("proxy was alive");
+        let (stranded, app_pid) = self
+            .linux
+            .kill_proxy(proxy_pid)
+            .expect("proxy was registered");
+        // Stranded in-flight offloads come back as -EIO replies over IKC.
+        for rep in &stranded {
+            debug_assert_eq!(rep.ret, -(Errno::EIO as i64));
+            self.ikc
+                .to_lwk
+                .send(IkcMessage::syscall_reply(rep))
+                .expect("IKC queue sized for the workload");
+            let _ = self.ikc.to_lwk.recv();
+        }
+        // Tell the LWK; it SIGKILLs the orphaned application.
+        self.ikc
+            .to_lwk
+            .send(IkcMessage::control(&ControlMsg::ProxyDead {
+                proxy_pid: proxy_pid.0,
+            }))
+            .expect("IKC queue sized for the workload");
+        let _ = self.ikc.to_lwk.recv();
+        if let Some(mck) = self.mck.as_mut() {
+            let killed = mck.kill_process(app_pid);
+            debug_assert!(killed, "application existed");
+            debug_assert!(mck.is_pristine(), "SIGKILL must leave the LWK pristine");
+        }
+        self.mck = None;
+        self.app_tid = None;
+        // Reclaim the partition: no reboot needed, exactly like a normal
+        // destroy (Sec. IV-B3 reinit policy).
+        if let (Some(ihk), Some(os_idx)) = (self.ihk.as_mut(), self.os_idx) {
+            ihk.destroy(os_idx, &mut self.hw.mem)
+                .expect("instance was booted");
+        }
+        self.proxy_alive = false;
+        t + self.costs.delegator_dispatch
+    }
+
+    /// Kill the proxy process now (external fault injection entry point,
+    /// e.g. from tests), running the full recovery flow. Returns the
+    /// stranded-reply count, or `None` on non-McKernel nodes or if the
+    /// proxy is already dead.
+    pub fn inject_proxy_death(&mut self, at: Cycles) -> Option<usize> {
+        if self.os != OsVariant::McKernel || !self.proxy_alive {
+            return None;
+        }
+        let stranded = self.linux.delegator.in_flight();
+        let _ = self.handle_proxy_death(at);
+        Some(stranded)
     }
 
     /// Whether the co-located job is in a busy phase at `at`.

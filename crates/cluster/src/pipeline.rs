@@ -11,7 +11,34 @@
 //! shared resource.
 
 use hlwk_core::costs::CostModel;
+use simcore::fault::{FaultPlan, MsgFault};
 use simcore::{Cycles, Engine, EventQueue, World};
+
+/// Why a burst failed to produce a complete set of latencies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PipelineError {
+    /// An empty burst has no latencies to report.
+    EmptyBurst,
+    /// Request `index` never completed (its events were lost — e.g. an
+    /// injected drop with no retry at this layer).
+    Incomplete {
+        /// Index of the request that never saw its reply.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::EmptyBurst => write!(f, "empty offload burst"),
+            PipelineError::Incomplete { index } => {
+                write!(f, "request {index} never completed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
 
 /// One request's parameters.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -81,8 +108,34 @@ impl World for PipelineWorld {
 }
 
 /// Run a burst of concurrent offloads through the event-driven pipeline;
-/// returns each request's completion instant.
-pub fn run_burst(costs: CostModel, reqs: &[OffloadRequest]) -> Vec<Cycles> {
+/// returns each request's completion instant. Errors instead of panicking
+/// when a request never completes or the burst is empty.
+pub fn run_burst(
+    costs: CostModel,
+    reqs: &[OffloadRequest],
+) -> Result<Vec<Cycles>, PipelineError> {
+    let completions = run_burst_faulted(costs, reqs, &mut FaultPlan::disabled())?;
+    completions
+        .into_iter()
+        .enumerate()
+        .map(|(index, c)| c.ok_or(PipelineError::Incomplete { index }))
+        .collect()
+}
+
+/// Like [`run_burst`], but each request's delivery leg is subjected to
+/// the fault plan: a dropped (or corrupted — the delegator discards a
+/// bad checksum) request never completes and comes back as `None`; a
+/// delayed one completes late. There is no retransmission at this layer —
+/// the retry loop lives in `NodeRuntime::offload_syscall` — so the caller
+/// sees exactly which requests were lost.
+pub fn run_burst_faulted(
+    costs: CostModel,
+    reqs: &[OffloadRequest],
+    faults: &mut FaultPlan,
+) -> Result<Vec<Option<Cycles>>, PipelineError> {
+    if reqs.is_empty() {
+        return Err(PipelineError::EmptyBurst);
+    }
     let mut engine = Engine::new(PipelineWorld {
         costs,
         reqs: reqs.to_vec(),
@@ -90,18 +143,19 @@ pub fn run_burst(costs: CostModel, reqs: &[OffloadRequest]) -> Vec<Cycles> {
         completions: vec![None; reqs.len()],
     });
     for (i, r) in reqs.iter().enumerate() {
-        engine.queue_mut().schedule(
-            r.issued_at + costs.lwk_syscall + costs.ikc_send + costs.ikc_ipi,
-            Ev::Delivered(i),
-        );
+        let delivery = r.issued_at + costs.lwk_syscall + costs.ikc_send + costs.ikc_ipi;
+        match faults.draw_msg_fault("burst-req", i as u64, delivery) {
+            MsgFault::Drop | MsgFault::Corrupt => {}
+            MsgFault::Delay(d) => {
+                engine.queue_mut().schedule(delivery + d, Ev::Delivered(i));
+            }
+            MsgFault::None => {
+                engine.queue_mut().schedule(delivery, Ev::Delivered(i));
+            }
+        }
     }
     engine.run_to_completion();
-    engine
-        .into_world()
-        .completions
-        .into_iter()
-        .map(|c| c.expect("every request completes"))
-        .collect()
+    Ok(engine.into_world().completions)
 }
 
 /// The closed-form single-request composition (what
@@ -132,28 +186,29 @@ mod tests {
     }
 
     #[test]
-    fn event_model_matches_closed_form_for_one_request() {
+    fn event_model_matches_closed_form_for_one_request() -> Result<(), PipelineError> {
         let costs = CostModel::default();
         let r = req(10, 3);
-        let done = run_burst(costs, &[r])[0];
+        let done = run_burst(costs, &[r])?[0];
         assert_eq!(done, r.issued_at + single_request_latency(&costs, &r));
+        Ok(())
     }
 
     #[test]
-    fn concurrent_requests_serialize_at_the_proxy() {
+    fn concurrent_requests_serialize_at_the_proxy() -> Result<(), PipelineError> {
         let costs = CostModel::default();
         // Four threads offload at the same instant, 5 us service each.
         let burst: Vec<OffloadRequest> = (0..4).map(|_| req(10, 5)).collect();
-        let done = run_burst(costs, &burst);
+        let done = run_burst(costs, &burst)?;
         // First request pays the normal latency...
-        let first = *done.iter().min().expect("nonempty");
+        let mut sorted = done.clone();
+        sorted.sort();
+        let first = sorted[0];
         assert_eq!(
             first,
             burst[0].issued_at + single_request_latency(&costs, &burst[0])
         );
         // ...each subsequent one queues behind ~one more service time.
-        let mut sorted = done.clone();
-        sorted.sort();
         for w in sorted.windows(2) {
             let gap = w[1] - w[0];
             assert!(
@@ -163,24 +218,26 @@ mod tests {
             assert!(gap < Cycles::from_us(7), "but only queueing separates them: {gap}");
         }
         // Total burst completion ~ 4 service times, not 1.
-        let last = *sorted.last().expect("nonempty");
+        let last = sorted[sorted.len() - 1];
         assert!(last - first >= Cycles::from_us(15));
+        Ok(())
     }
 
     #[test]
-    fn spaced_requests_do_not_queue() {
+    fn spaced_requests_do_not_queue() -> Result<(), PipelineError> {
         let costs = CostModel::default();
         // 100 us apart with 5 us service: no queueing.
         let burst: Vec<OffloadRequest> =
             (0..4).map(|i| req(10 + i * 100, 5)).collect();
-        let done = run_burst(costs, &burst);
+        let done = run_burst(costs, &burst)?;
         for (r, d) in burst.iter().zip(&done) {
             assert_eq!(*d, r.issued_at + single_request_latency(&costs, r));
         }
+        Ok(())
     }
 
     #[test]
-    fn busy_proxy_skips_the_wake_delay() {
+    fn busy_proxy_skips_the_wake_delay() -> Result<(), PipelineError> {
         let costs = CostModel::default();
         // Second request arrives while the proxy still works on the first:
         // it must NOT pay another wake delay (the proxy just fetches it).
@@ -194,7 +251,7 @@ mod tests {
             service: Cycles::from_us(1),
             wake_delay: Cycles::from_us(20), // would apply only if parked
         };
-        let done = run_burst(costs, &[slow_wake, follow]);
+        let done = run_burst(costs, &[slow_wake, follow])?;
         let first_done = done[0];
         // The follow-up completes right after the first, without +20us.
         let delta = done[1] - first_done;
@@ -202,5 +259,40 @@ mod tests {
             delta < Cycles::from_us(5),
             "busy-proxy fetch should skip the wake delay: {delta}"
         );
+        Ok(())
+    }
+
+    #[test]
+    fn empty_burst_is_an_error_not_a_panic() {
+        assert_eq!(
+            run_burst(CostModel::default(), &[]),
+            Err(PipelineError::EmptyBurst)
+        );
+    }
+
+    #[test]
+    fn dropped_request_surfaces_as_incomplete() {
+        use simcore::fault::FaultConfig;
+        use simcore::StreamRng;
+        let costs = CostModel::default();
+        let burst: Vec<OffloadRequest> = (0..8).map(|i| req(10 + i * 50, 5)).collect();
+        let mut plan = FaultPlan::new(
+            FaultConfig::message_loss(0.5),
+            StreamRng::root(42).stream("pipeline-fault", 0),
+        );
+        let done = run_burst_faulted(costs, &burst, &mut plan).expect("nonempty burst");
+        let lost = done.iter().filter(|c| c.is_none()).count();
+        assert_eq!(
+            lost as u64,
+            plan.counts().0,
+            "every drawn drop is a missing completion"
+        );
+        assert!(lost > 0, "p=0.5 over 8 requests: at least one drop expected");
+        // The survivors still obey the closed form (no queueing at 50us spacing).
+        for (r, d) in burst.iter().zip(&done) {
+            if let Some(d) = d {
+                assert_eq!(*d, r.issued_at + single_request_latency(&costs, r));
+            }
+        }
     }
 }

@@ -11,7 +11,7 @@
 //! * the **tracking objects** created when a device file is mapped
 //!   (Fig. 4, step 3) and consulted on every LWK-side device fault.
 
-use crate::abi::Pid;
+use crate::abi::{Errno, Pid};
 use crate::mck::syscall::{SyscallReply, SyscallRequest};
 use hwmodel::addr::PhysAddr;
 use std::collections::{HashMap, VecDeque};
@@ -37,11 +37,13 @@ pub struct TrackingObject {
 
 impl TrackingObject {
     /// Resolve a byte offset to a physical address (Fig. 4, step 9).
+    /// `None` on out-of-range offsets, including any `phys_base +
+    /// offset` that would overflow the physical address space.
     pub fn resolve(&self, offset: u64) -> Option<PhysAddr> {
         if offset >= self.len {
             return None;
         }
-        Some(self.phys_base + offset)
+        self.phys_base.raw().checked_add(offset).map(PhysAddr)
     }
 }
 
@@ -54,12 +56,22 @@ struct ProxySlot {
     parked: bool,
 }
 
+/// How many completed replies the delegator remembers for
+/// retransmit dedup. A retransmitted request whose original already
+/// completed (the *reply* was lost) is answered from this cache
+/// instead of being executed a second time.
+const COMPLETED_CACHE: usize = 128;
+
 /// The delegator module state (one per LWK instance).
 #[derive(Debug, Default)]
 pub struct Delegator {
     proxies: HashMap<Pid, ProxySlot>,
     /// In-flight requests: seq -> proxy pid.
     in_flight: HashMap<u64, Pid>,
+    /// Recently completed replies, kept for retransmit dedup.
+    completed: HashMap<u64, SyscallReply>,
+    /// Eviction order for `completed` (oldest first).
+    completed_order: VecDeque<u64>,
     tracking: HashMap<u64, TrackingObject>,
     next_tracking: u64,
 }
@@ -71,6 +83,12 @@ pub enum DispatchAction {
     WakeProxy(Pid),
     /// The proxy is busy executing another call; the request queues.
     Queued,
+    /// Retransmit of a request that already completed (the reply leg
+    /// was lost): resend the cached reply, do **not** re-execute.
+    Retransmit(SyscallReply),
+    /// Retransmit of a request still executing: ignore it; the reply
+    /// of the original execution will answer both.
+    DuplicateInFlight,
     /// No proxy registered for this pid (protocol error).
     NoProxy,
 }
@@ -93,16 +111,56 @@ impl Delegator {
         );
     }
 
-    /// Remove a proxy (application teardown).
-    pub fn unregister_proxy(&mut self, proxy_pid: Pid) {
+    /// Remove a proxy (application teardown or proxy death). Every
+    /// request still in flight on that proxy is answered with `-EIO` so
+    /// the LWK-side waiter unblocks instead of hanging forever; the
+    /// replies come back sorted by sequence number for determinism.
+    pub fn unregister_proxy(&mut self, proxy_pid: Pid) -> Vec<SyscallReply> {
         self.proxies.remove(&proxy_pid);
+        let mut stranded: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, p)| **p == proxy_pid)
+            .map(|(seq, _)| *seq)
+            .collect();
+        stranded.sort_unstable();
         self.in_flight.retain(|_, p| *p != proxy_pid);
         self.tracking.retain(|_, t| t.pid != proxy_pid);
+        stranded
+            .into_iter()
+            .map(|seq| SyscallReply { seq, ret: -(Errno::EIO as i64) })
+            .collect()
+    }
+
+    /// Drop every tracking object owned by `pid`; returns how many were
+    /// reclaimed. Tracking objects are created under the *application*
+    /// pid (Fig. 4 step 3), so proxy-death cleanup calls this with the
+    /// app's pid after [`unregister_proxy`](Self::unregister_proxy).
+    pub fn reclaim_tracking_for(&mut self, pid: Pid) -> usize {
+        let before = self.tracking.len();
+        self.tracking.retain(|_, t| t.pid != pid);
+        before - self.tracking.len()
+    }
+
+    /// Number of live tracking objects.
+    pub fn tracking_count(&self) -> usize {
+        self.tracking.len()
     }
 
     /// IKC interrupt handler: a syscall request arrived from the LWK for
     /// the application served by `proxy_pid`.
+    ///
+    /// Retransmits are recognized by sequence number and never executed
+    /// twice: a seq still in flight is ignored (the original execution's
+    /// reply answers both), and a seq in the completed cache is answered
+    /// with the cached reply.
     pub fn on_syscall_request(&mut self, proxy_pid: Pid, req: SyscallRequest) -> DispatchAction {
+        if let Some(rep) = self.completed.get(&req.seq) {
+            return DispatchAction::Retransmit(*rep);
+        }
+        if self.in_flight.contains_key(&req.seq) {
+            return DispatchAction::DuplicateInFlight;
+        }
         let Some(slot) = self.proxies.get_mut(&proxy_pid) else {
             return DispatchAction::NoProxy;
         };
@@ -130,9 +188,20 @@ impl Delegator {
 
     /// The proxy finished executing a request; build the reply for IKC.
     /// Returns `None` for an unknown sequence number (double completion).
+    /// The reply is remembered in a bounded cache so a retransmit of the
+    /// same request (lost reply) can be answered without re-executing.
     pub fn complete(&mut self, seq: u64, ret: i64) -> Option<SyscallReply> {
         self.in_flight.remove(&seq)?;
-        Some(SyscallReply { seq, ret })
+        let rep = SyscallReply { seq, ret };
+        if self.completed.insert(seq, rep).is_none() {
+            self.completed_order.push_back(seq);
+            if self.completed_order.len() > COMPLETED_CACHE {
+                if let Some(old) = self.completed_order.pop_front() {
+                    self.completed.remove(&old);
+                }
+            }
+        }
+        Some(rep)
     }
 
     /// Number of requests not yet completed.
@@ -270,5 +339,116 @@ mod tests {
         d.unregister_proxy(proxy);
         assert_eq!(d.in_flight(), 0);
         assert_eq!(d.complete(1, 0), None);
+        assert_eq!(d.tracking_count(), 0);
+    }
+
+    #[test]
+    fn unregister_answers_stranded_requests_with_eio() {
+        let mut d = Delegator::new();
+        let proxy = Pid(500);
+        d.register_proxy(proxy);
+        d.on_syscall_request(proxy, req(3));
+        d.on_syscall_request(proxy, req(1));
+        d.on_syscall_request(proxy, req(2));
+        let replies = d.unregister_proxy(proxy);
+        assert_eq!(
+            replies,
+            vec![
+                SyscallReply { seq: 1, ret: -(Errno::EIO as i64) },
+                SyscallReply { seq: 2, ret: -(Errno::EIO as i64) },
+                SyscallReply { seq: 3, ret: -(Errno::EIO as i64) },
+            ],
+            "sorted by seq, all -EIO"
+        );
+        assert_eq!(d.in_flight(), 0);
+        // Other proxies' in-flight work is untouched.
+        let other = Pid(600);
+        d.register_proxy(other);
+        d.on_syscall_request(other, req(10));
+        assert!(d.unregister_proxy(Pid(999)).is_empty());
+        assert_eq!(d.in_flight(), 1);
+    }
+
+    #[test]
+    fn retransmit_of_inflight_request_is_not_double_executed() {
+        let mut d = Delegator::new();
+        let proxy = Pid(500);
+        d.register_proxy(proxy);
+        assert_eq!(
+            d.on_syscall_request(proxy, req(5)),
+            DispatchAction::WakeProxy(proxy)
+        );
+        // The retransmit arrives while the original is still in flight.
+        assert_eq!(
+            d.on_syscall_request(proxy, req(5)),
+            DispatchAction::DuplicateInFlight
+        );
+        // Only one copy in the inbox.
+        assert_eq!(d.proxy_fetch(proxy).unwrap().seq, 5);
+        assert_eq!(d.proxy_fetch(proxy), None);
+    }
+
+    #[test]
+    fn retransmit_after_completion_replays_cached_reply() {
+        let mut d = Delegator::new();
+        let proxy = Pid(500);
+        d.register_proxy(proxy);
+        d.on_syscall_request(proxy, req(8));
+        d.proxy_fetch(proxy);
+        let rep = d.complete(8, 4096).unwrap();
+        // The reply was lost; the LWK retransmits request 8.
+        assert_eq!(
+            d.on_syscall_request(proxy, req(8)),
+            DispatchAction::Retransmit(rep),
+            "cached reply, no second execution"
+        );
+        assert_eq!(d.in_flight(), 0, "retransmit adds no in-flight entry");
+    }
+
+    #[test]
+    fn completed_cache_is_bounded() {
+        let mut d = Delegator::new();
+        let proxy = Pid(500);
+        d.register_proxy(proxy);
+        let total = (COMPLETED_CACHE + 10) as u64;
+        for seq in 0..total {
+            d.on_syscall_request(proxy, req(seq));
+            d.proxy_fetch(proxy);
+            d.complete(seq, 0).unwrap();
+        }
+        // Oldest entries evicted: a very old retransmit re-executes (it
+        // queues as a fresh request), while a recent one replays.
+        assert_eq!(d.on_syscall_request(proxy, req(0)), DispatchAction::Queued);
+        assert_eq!(d.in_flight(), 1, "evicted seq re-enters in flight");
+        assert_eq!(
+            d.on_syscall_request(proxy, req(total - 1)),
+            DispatchAction::Retransmit(SyscallReply { seq: total - 1, ret: 0 })
+        );
+    }
+
+    #[test]
+    fn resolve_checked_against_phys_overflow() {
+        let t = TrackingObject {
+            id: 1,
+            pid: Pid(1000),
+            dev_name: "uverbs0".into(),
+            phys_base: PhysAddr(u64::MAX - 0x100),
+            len: 0x1000,
+            proxy_va: 0,
+        };
+        assert_eq!(t.resolve(0x80), Some(PhysAddr(u64::MAX - 0x80)));
+        assert_eq!(t.resolve(0x200), None, "phys_base + offset overflows");
+        assert_eq!(t.resolve(0x1000), None, "past mapping end");
+    }
+
+    #[test]
+    fn reclaim_tracking_for_app_pid() {
+        let mut d = Delegator::new();
+        let app = Pid(1000);
+        d.create_tracking(app, "uverbs0", PhysAddr(0x10_0000_0000), 0x1000, 0);
+        d.create_tracking(app, "uverbs0", PhysAddr(0x10_0001_0000), 0x1000, 0);
+        d.create_tracking(Pid(2000), "eth0", PhysAddr(0x20_0000_0000), 0x1000, 0);
+        assert_eq!(d.reclaim_tracking_for(app), 2);
+        assert_eq!(d.tracking_count(), 1);
     }
 }

@@ -21,45 +21,175 @@ pub enum MsgKind {
     Control,
 }
 
-/// One IKC message.
+impl MsgKind {
+    /// Stable wire tag, mixed into the checksum so a corrupted kind
+    /// cannot masquerade as a valid message of another kind.
+    fn tag(self) -> u8 {
+        match self {
+            MsgKind::SyscallRequest => 1,
+            MsgKind::SyscallReply => 2,
+            MsgKind::PfnRequest => 3,
+            MsgKind::PfnReply => 4,
+            MsgKind::Control => 5,
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Table-driven; the table
+/// is computed at compile time.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &b in data {
+        crc = TABLE[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// One IKC message. The checksum covers the kind tag and the payload;
+/// receivers must [`verify`](IkcMessage::verify) before decoding and
+/// NACK on mismatch (the fault model flips payload bits in flight).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct IkcMessage {
     /// Payload discriminator.
     pub kind: MsgKind,
     /// Serialized payload.
     pub payload: Bytes,
+    /// CRC-32 of the kind tag followed by the payload bytes.
+    pub checksum: u32,
 }
 
 impl IkcMessage {
+    /// Build a message with a correct checksum.
+    pub fn new(kind: MsgKind, payload: Bytes) -> Self {
+        let checksum = Self::compute_checksum(kind, &payload);
+        IkcMessage { kind, payload, checksum }
+    }
+
+    fn compute_checksum(kind: MsgKind, payload: &[u8]) -> u32 {
+        let mut buf = Vec::with_capacity(payload.len() + 1);
+        buf.push(kind.tag());
+        buf.extend_from_slice(payload);
+        crc32(&buf)
+    }
+
+    /// True when the checksum matches the payload — the message
+    /// survived the channel intact.
+    pub fn verify(&self) -> bool {
+        self.checksum == Self::compute_checksum(self.kind, &self.payload)
+    }
+
+    /// In-flight corruption: returns a copy with one payload bit
+    /// flipped (chosen by `flip`) and the checksum left stale, exactly
+    /// what a receiver's `verify` must catch. Empty payloads get a
+    /// corrupted checksum instead.
+    pub fn corrupted(&self, flip: u64) -> Self {
+        let mut c = self.clone();
+        if self.payload.is_empty() {
+            c.checksum ^= 1;
+            return c;
+        }
+        let mut bytes = self.payload.to_vec();
+        let bit = (flip % (bytes.len() as u64 * 8)) as usize;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        c.payload = Bytes::from(bytes);
+        c
+    }
+
     /// Wrap a syscall request.
     pub fn syscall_request(req: &SyscallRequest) -> Self {
-        IkcMessage {
-            kind: MsgKind::SyscallRequest,
-            payload: Bytes::from(req.encode()),
-        }
+        IkcMessage::new(MsgKind::SyscallRequest, Bytes::from(req.encode()))
     }
 
     /// Wrap a syscall reply.
     pub fn syscall_reply(rep: &SyscallReply) -> Self {
-        IkcMessage {
-            kind: MsgKind::SyscallReply,
-            payload: Bytes::from(rep.encode()),
-        }
+        IkcMessage::new(MsgKind::SyscallReply, Bytes::from(rep.encode()))
     }
 
     /// Wrap a PFN resolution request.
     pub fn pfn_request(req: &PfnRequest) -> Self {
-        IkcMessage {
-            kind: MsgKind::PfnRequest,
-            payload: Bytes::from(req.encode()),
-        }
+        IkcMessage::new(MsgKind::PfnRequest, Bytes::from(req.encode()))
     }
 
     /// Wrap a PFN resolution reply.
     pub fn pfn_reply(rep: &PfnReply) -> Self {
-        IkcMessage {
-            kind: MsgKind::PfnReply,
-            payload: Bytes::from(rep.encode()),
+        IkcMessage::new(MsgKind::PfnReply, Bytes::from(rep.encode()))
+    }
+
+    /// Wrap a control message.
+    pub fn control(msg: &ControlMsg) -> Self {
+        IkcMessage::new(MsgKind::Control, Bytes::from(msg.encode()))
+    }
+}
+
+/// Management traffic riding the Control kind: liveness heartbeats for
+/// proxy-death detection and NACKs for the corruption/retransmit
+/// protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ControlMsg {
+    /// Linux -> LWK liveness probe for the proxy serving this channel.
+    Heartbeat {
+        /// Monotone heartbeat number.
+        beat: u64,
+    },
+    /// LWK -> Linux (or reverse) acknowledgment of a heartbeat.
+    HeartbeatAck {
+        /// Echoed heartbeat number.
+        beat: u64,
+    },
+    /// Receiver saw a checksum mismatch: retransmit offload `seq`.
+    Nack {
+        /// Sequence number of the corrupted message.
+        seq: u64,
+    },
+    /// Linux announces the proxy died; the LWK must fail over.
+    ProxyDead {
+        /// Pid of the dead proxy process.
+        proxy_pid: u32,
+    },
+}
+
+impl ControlMsg {
+    /// Serialize: tag byte + one u64 field.
+    pub fn encode(&self) -> Vec<u8> {
+        let (tag, val) = match *self {
+            ControlMsg::Heartbeat { beat } => (1u8, beat),
+            ControlMsg::HeartbeatAck { beat } => (2, beat),
+            ControlMsg::Nack { seq } => (3, seq),
+            ControlMsg::ProxyDead { proxy_pid } => (4, u64::from(proxy_pid)),
+        };
+        let mut v = Vec::with_capacity(9);
+        v.push(tag);
+        v.extend_from_slice(&val.to_le_bytes());
+        v
+    }
+
+    /// Deserialize; `None` on truncation or an unknown tag.
+    pub fn decode(b: &[u8]) -> Option<Self> {
+        if b.len() != 9 {
+            return None;
+        }
+        let val = u64::from_le_bytes(b[1..9].try_into().ok()?);
+        match b[0] {
+            1 => Some(ControlMsg::Heartbeat { beat: val }),
+            2 => Some(ControlMsg::HeartbeatAck { beat: val }),
+            3 => Some(ControlMsg::Nack { seq: val }),
+            4 => u32::try_from(val).ok().map(|proxy_pid| ControlMsg::ProxyDead { proxy_pid }),
+            _ => None,
         }
     }
 }
@@ -251,10 +381,7 @@ mod tests {
     #[test]
     fn bounded_queue_back_pressures() {
         let mut ch = IkcChannel::new(2);
-        let msg = IkcMessage {
-            kind: MsgKind::Control,
-            payload: Bytes::new(),
-        };
+        let msg = IkcMessage::new(MsgKind::Control, Bytes::new());
         ch.send(msg.clone()).unwrap();
         ch.send(msg.clone()).unwrap();
         assert_eq!(ch.send(msg.clone()), Err(IkcFull));
@@ -282,6 +409,49 @@ mod tests {
         pair.to_lwk.send(IkcMessage::syscall_reply(&rep)).unwrap();
         let m = pair.to_lwk.recv().unwrap();
         assert_eq!(SyscallReply::decode(&m.payload), Some(rep));
+    }
+
+    #[test]
+    fn checksum_catches_single_bit_flips() {
+        let req = SyscallRequest {
+            seq: 7,
+            pid: 1,
+            tid: 1,
+            sysno: Sysno::Read.nr(),
+            args: [3, 0x2000, 64, 0, 0, 0],
+        };
+        let msg = IkcMessage::syscall_request(&req);
+        assert!(msg.verify());
+        for flip in 0..(msg.payload.len() as u64 * 8) {
+            assert!(!msg.corrupted(flip).verify(), "bit {flip} undetected");
+        }
+        // Empty payloads are covered through the checksum itself.
+        let ctl = IkcMessage::new(MsgKind::Control, Bytes::new());
+        assert!(ctl.verify());
+        assert!(!ctl.corrupted(0).verify());
+    }
+
+    #[test]
+    fn control_messages_round_trip() {
+        for msg in [
+            ControlMsg::Heartbeat { beat: 3 },
+            ControlMsg::HeartbeatAck { beat: 3 },
+            ControlMsg::Nack { seq: 99 },
+            ControlMsg::ProxyDead { proxy_pid: 500 },
+        ] {
+            assert_eq!(ControlMsg::decode(&msg.encode()), Some(msg));
+            let wrapped = IkcMessage::control(&msg);
+            assert!(wrapped.verify());
+            assert_eq!(ControlMsg::decode(&wrapped.payload), Some(msg));
+        }
+        assert_eq!(ControlMsg::decode(&[1, 0, 0]), None);
+        assert_eq!(ControlMsg::decode(&[9; 9]), None);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // "123456789" -> 0xCBF43926 is the canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 
     #[test]

@@ -448,6 +448,27 @@ impl McKernel {
         self.signals.remove(&pid);
     }
 
+    /// SIGKILL-equivalent delivery: send SIGKILL, confirm it delivers as
+    /// a termination, and reap the process. Used when the proxy serving
+    /// `pid` dies — without Linux there is nobody left to execute the
+    /// application's offloads, so graceful degradation is to terminate
+    /// it rather than leave a thread hung on a reply that never comes.
+    /// Returns false if the process does not exist.
+    pub fn kill_process(&mut self, pid: Pid) -> bool {
+        let Some(sigs) = self.signals_mut(pid) else {
+            return false;
+        };
+        sigs.send(signal::sig::KILL);
+        let delivered = sigs.deliver_next();
+        debug_assert!(
+            matches!(delivered, Some((signal::sig::KILL, signal::Delivery::Terminate))),
+            "SIGKILL must terminate: {delivered:?}"
+        );
+        self.trace.bump("mck.proc.killed");
+        self.reap_process(pid);
+        true
+    }
+
     /// Whether the kernel is back to a pristine state (no processes, all
     /// physical memory free).
     pub fn is_pristine(&self) -> bool {

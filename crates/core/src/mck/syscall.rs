@@ -9,6 +9,7 @@
 //! Everything filesystem/device shaped goes to the proxy.
 
 use crate::abi::Sysno;
+use simcore::Cycles;
 
 /// Where a system call executes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -150,9 +151,68 @@ impl SyscallReply {
     }
 }
 
+/// Timeout-and-retry parameters for offloaded system calls.
+///
+/// The happy path assumes every IKC message arrives; under the fault
+/// model a request or reply can vanish, so each offload attempt is
+/// bounded by a timeout and retried with exponential backoff. After
+/// `max_attempts` the offload fails with `-EIO` — the caller degrades
+/// gracefully rather than hanging an LWK thread forever.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Timeout of the first attempt.
+    pub base_timeout: Cycles,
+    /// Multiplier applied per retry (exponential backoff).
+    pub backoff_factor: u32,
+    /// Cap on any single attempt's timeout.
+    pub max_timeout: Cycles,
+    /// Total attempts (first try included). At least 1.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // The modeled offload RTT is a few microseconds; 50 us catches
+        // even heavily delayed replies while keeping recovery snappy.
+        RetryPolicy {
+            base_timeout: Cycles::from_us(50),
+            backoff_factor: 2,
+            max_timeout: Cycles::from_ms(1),
+            max_attempts: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Timeout of attempt `attempt` (0-based): `base * factor^attempt`,
+    /// saturating at [`max_timeout`](Self::max_timeout).
+    pub fn timeout_for(&self, attempt: u32) -> Cycles {
+        let factor = u64::from(self.backoff_factor).saturating_pow(attempt);
+        Cycles(self.base_timeout.raw().saturating_mul(factor)).min(self.max_timeout)
+    }
+
+    /// Upper bound on the wall time an offload can spend before the
+    /// caller observes `-EIO`: the sum of every attempt's timeout.
+    pub fn worst_case(&self) -> Cycles {
+        (0..self.max_attempts.max(1)).map(|a| self.timeout_for(a)).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn backoff_grows_then_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.timeout_for(0), Cycles::from_us(50));
+        assert_eq!(p.timeout_for(1), Cycles::from_us(100));
+        assert_eq!(p.timeout_for(2), Cycles::from_us(200));
+        assert_eq!(p.timeout_for(30), Cycles::from_ms(1), "capped");
+        assert!(p.worst_case() >= p.timeout_for(0));
+        let total: Cycles = (0..p.max_attempts).map(|a| p.timeout_for(a)).sum();
+        assert_eq!(p.worst_case(), total);
+    }
 
     #[test]
     fn performance_sensitive_set_is_local() {

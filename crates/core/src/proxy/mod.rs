@@ -22,6 +22,10 @@ pub enum ProxyState {
     Parked,
     /// Executing an offloaded syscall (sequence number attached).
     Executing(u64),
+    /// The process died (crash or kill); it will never answer again.
+    /// Stranded offloads must be failed with `-EIO` and the paired LWK
+    /// application torn down.
+    Dead,
 }
 
 /// A proxy process on Linux, paired with one McKernel application.

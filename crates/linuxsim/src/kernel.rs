@@ -15,7 +15,7 @@ use crate::vfs::Vfs;
 use hlwk_core::abi::{encode_result, Errno, Fd, Pid, Sysno};
 use hlwk_core::ihk::delegator::Delegator;
 use hlwk_core::mck::mem::pagetable::PageTable;
-use hlwk_core::mck::syscall::SyscallRequest;
+use hlwk_core::mck::syscall::{SyscallReply, SyscallRequest};
 use hlwk_core::proxy::{ProxyProcess, ProxyState};
 use hwmodel::addr::VirtAddr;
 use hwmodel::cpu::CoreId;
@@ -179,14 +179,33 @@ impl LinuxKernel {
         pid
     }
 
-    /// Tear down a proxy.
-    pub fn reap_proxy(&mut self, proxy_pid: Pid) {
+    /// Tear down a proxy in an orderly fashion (application exit).
+    /// Any still-stranded requests are answered with `-EIO`.
+    pub fn reap_proxy(&mut self, proxy_pid: Pid) -> Vec<SyscallReply> {
         if let Some(p) = self.proxies.remove(&proxy_pid) {
             self.app_to_proxy.remove(&p.app_pid);
         }
         self.vfs.destroy_process(proxy_pid);
-        self.delegator.unregister_proxy(proxy_pid);
+        let stranded = self.delegator.unregister_proxy(proxy_pid);
         self.proxy_cores.remove(&proxy_pid);
+        stranded
+    }
+
+    /// The proxy dies *unexpectedly* (fault injection: crash mid-offload).
+    ///
+    /// Linux reaps the corpse the same way an orderly teardown would —
+    /// the fd table closes, the delegator answers every stranded in-flight
+    /// request with `-EIO` — and additionally reclaims the tracking
+    /// objects of the application the proxy served (they are created
+    /// under the *app* pid, Fig. 4 step 3, so orderly unregistration
+    /// leaves them for the app's own munmap path). Returns the stranded
+    /// `-EIO` replies and the app pid the caller must now fail over.
+    pub fn kill_proxy(&mut self, proxy_pid: Pid) -> Option<(Vec<SyscallReply>, Pid)> {
+        let app_pid = self.proxies.get(&proxy_pid)?.app_pid;
+        let mut stranded = self.reap_proxy(proxy_pid);
+        stranded.sort_unstable_by_key(|r| r.seq);
+        self.delegator.reclaim_tracking_for(app_pid);
+        Some((stranded, app_pid))
     }
 
     /// Proxy pid serving an application.
@@ -530,8 +549,46 @@ mod tests {
         let mut linux = boot_linux();
         let proxy = linux.spawn_proxy(Pid(1000), CoreId(19));
         assert!(linux.proxy_for_app(Pid(1000)).is_some());
-        linux.reap_proxy(proxy);
+        assert!(linux.reap_proxy(proxy).is_empty(), "nothing in flight");
         assert!(linux.proxy_for_app(Pid(1000)).is_none());
         assert_eq!(linux.vfs.fd_count(proxy), 0);
+    }
+
+    #[test]
+    fn kill_proxy_strands_inflight_as_eio_and_reclaims_tracking() {
+        use hlwk_core::abi::Sysno;
+        use hwmodel::addr::PhysAddr;
+        let mut linux = boot_linux();
+        let app = Pid(1000);
+        let proxy = linux.spawn_proxy(app, CoreId(19));
+        // Two offloads in flight, one device mapping tracked for the app.
+        for seq in [4u64, 2] {
+            linux.delegator.on_syscall_request(
+                proxy,
+                SyscallRequest {
+                    seq,
+                    pid: app.0,
+                    tid: app.0,
+                    sysno: Sysno::Read.nr(),
+                    args: [0; 6],
+                },
+            );
+        }
+        linux
+            .delegator
+            .create_tracking(app, "uverbs0", PhysAddr(0x10_0000_0000), 0x1000, 0);
+        let (stranded, dead_app) = linux.kill_proxy(proxy).expect("proxy existed");
+        assert_eq!(dead_app, app);
+        let eio = -(Errno::EIO as i64);
+        assert_eq!(
+            stranded,
+            vec![
+                SyscallReply { seq: 2, ret: eio },
+                SyscallReply { seq: 4, ret: eio }
+            ]
+        );
+        assert_eq!(linux.delegator.tracking_count(), 0, "tracking reclaimed");
+        assert_eq!(linux.delegator.in_flight(), 0);
+        assert!(linux.kill_proxy(proxy).is_none(), "already dead");
     }
 }

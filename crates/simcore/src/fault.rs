@@ -1,0 +1,449 @@
+//! Deterministic fault injection for the offload stack.
+//!
+//! A [`FaultPlan`] owns its **own** RNG stream (derived from the
+//! experiment master seed with a dedicated label), so enabling faults
+//! never perturbs the draws seen by any other stochastic component —
+//! and a disabled plan draws nothing at all, which keeps fault-free
+//! experiments bit-identical to builds that predate this module.
+//!
+//! The plan models the fault taxonomy of the offload boundary:
+//!
+//! * **message drop** — an IKC message vanishes in flight;
+//! * **message delay** — an IKC message arrives late (exponential
+//!   extra latency);
+//! * **message corruption** — payload bytes flip; the receiver's
+//!   checksum must catch it;
+//! * **queue-full back-pressure** — a send is rejected as if the ring
+//!   were full, for a sustained burst of attempts;
+//! * **proxy crash** — the proxy process dies once the in-flight
+//!   offload depth reaches a configured threshold;
+//! * **delegator stall** — the Linux-side dispatcher freezes for a
+//!   while (e.g. preempted by a busy FWK), adding latency only.
+//!
+//! Every injected fault is appended to an event log; tests fingerprint
+//! the log to assert byte-identical schedules across runs, and the
+//! recovery machinery is judged by the log's retry/crash entries.
+
+use crate::rng::StreamRng;
+use crate::time::Cycles;
+
+/// Fault-injection knobs. All rates are per-message probabilities in
+/// `[0, 1]`; the default is everything off.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Master switch; when false the plan draws no randomness at all.
+    pub enabled: bool,
+    /// Probability that a message is dropped in flight.
+    pub drop_rate: f64,
+    /// Probability that a message is delayed (on top of normal cost).
+    pub delay_rate: f64,
+    /// Mean of the exponential extra delay, nanoseconds.
+    pub delay_mean_ns: f64,
+    /// Probability that a message payload is corrupted in flight.
+    pub corrupt_rate: f64,
+    /// Probability that a send hits sustained queue-full back-pressure.
+    pub backpressure_rate: f64,
+    /// Consecutive rejected attempts per back-pressure burst.
+    pub backpressure_burst: u32,
+    /// Crash the proxy once this many offloads are in flight at once.
+    pub proxy_crash_at_inflight: Option<u32>,
+    /// Probability that a delegator dispatch stalls.
+    pub stall_rate: f64,
+    /// Mean of the exponential stall duration, nanoseconds.
+    pub stall_mean_ns: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::off()
+    }
+}
+
+impl FaultConfig {
+    /// No faults; the plan will consume no randomness.
+    pub fn off() -> Self {
+        FaultConfig {
+            enabled: false,
+            drop_rate: 0.0,
+            delay_rate: 0.0,
+            delay_mean_ns: 20_000.0,
+            corrupt_rate: 0.0,
+            backpressure_rate: 0.0,
+            backpressure_burst: 4,
+            proxy_crash_at_inflight: None,
+            stall_rate: 0.0,
+            stall_mean_ns: 50_000.0,
+        }
+    }
+
+    /// Uniform message-loss fault model: drop each message (request or
+    /// reply leg independently) with probability `p`.
+    pub fn message_loss(p: f64) -> Self {
+        FaultConfig {
+            enabled: true,
+            drop_rate: p,
+            ..FaultConfig::off()
+        }
+    }
+
+    /// Set the corruption rate (builder style).
+    pub fn with_corruption(mut self, p: f64) -> Self {
+        self.enabled = true;
+        self.corrupt_rate = p;
+        self
+    }
+
+    /// Set the delay fault (builder style).
+    pub fn with_delay(mut self, p: f64, mean_ns: f64) -> Self {
+        self.enabled = true;
+        self.delay_rate = p;
+        self.delay_mean_ns = mean_ns;
+        self
+    }
+
+    /// Set queue-full back-pressure (builder style).
+    pub fn with_backpressure(mut self, p: f64, burst: u32) -> Self {
+        self.enabled = true;
+        self.backpressure_rate = p;
+        self.backpressure_burst = burst;
+        self
+    }
+
+    /// Arm a proxy crash at the given in-flight depth (builder style).
+    pub fn with_proxy_crash_at(mut self, depth: u32) -> Self {
+        self.enabled = true;
+        self.proxy_crash_at_inflight = Some(depth);
+        self
+    }
+
+    /// Set delegator stalls (builder style).
+    pub fn with_stalls(mut self, p: f64, mean_ns: f64) -> Self {
+        self.enabled = true;
+        self.stall_rate = p;
+        self.stall_mean_ns = mean_ns;
+        self
+    }
+}
+
+/// What the plan decided to do to one in-flight message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgFault {
+    /// Deliver normally.
+    None,
+    /// The message vanishes; the sender's timeout must recover.
+    Drop,
+    /// The message arrives this much later than modeled.
+    Delay(Cycles),
+    /// Payload bytes flipped; the checksum must catch it.
+    Corrupt,
+}
+
+/// One entry of the fault schedule, for determinism fingerprints.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Simulated time of the injection.
+    pub at: Cycles,
+    /// Which message leg was hit (e.g. `"req"`, `"rep"`).
+    pub leg: &'static str,
+    /// Offload sequence number the fault applied to.
+    pub seq: u64,
+    /// The injected fault.
+    pub kind: FaultKind,
+}
+
+/// Kinds of injected faults, as logged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Message dropped.
+    Dropped,
+    /// Message delayed by the given amount.
+    Delayed(Cycles),
+    /// Message payload corrupted.
+    Corrupted,
+    /// Send rejected by simulated queue-full back-pressure.
+    QueueFull,
+    /// Proxy process crashed.
+    ProxyCrash,
+    /// Delegator dispatch stalled for the given time.
+    DelegatorStall(Cycles),
+}
+
+/// A seeded, scoped fault injector. See the module docs.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    rng: StreamRng,
+    /// Scoped gate: injection only happens while active (setup phases
+    /// run with the plan suspended so faults target steady state).
+    active: bool,
+    log: Vec<FaultEvent>,
+    backpressure_left: u32,
+    crash_fired: bool,
+}
+
+impl FaultPlan {
+    /// Build a plan over its own RNG stream. Derive `rng` with a
+    /// dedicated label, e.g. `root.stream("fault", node_index)`.
+    pub fn new(cfg: FaultConfig, rng: StreamRng) -> Self {
+        FaultPlan {
+            active: cfg.enabled,
+            cfg,
+            rng,
+            log: Vec::new(),
+            backpressure_left: 0,
+            crash_fired: false,
+        }
+    }
+
+    /// A plan that injects nothing and draws nothing.
+    pub fn disabled() -> Self {
+        FaultPlan::new(FaultConfig::off(), StreamRng::root(0))
+    }
+
+    /// The configuration this plan runs.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// True when the plan can inject right now.
+    pub fn is_active(&self) -> bool {
+        self.active && self.cfg.enabled
+    }
+
+    /// Scoped gate: suspend or resume injection (setup vs. steady
+    /// state). Suspension does not consume randomness.
+    pub fn set_active(&mut self, active: bool) {
+        self.active = active;
+    }
+
+    /// Run `f` with injection suspended, restoring the previous state.
+    pub fn while_suspended<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let was = self.active;
+        self.active = false;
+        let r = f(self);
+        self.active = was;
+        r
+    }
+
+    /// Decide the fate of one message on leg `leg` for offload `seq`.
+    ///
+    /// Draw order is fixed (drop, corrupt, delay) so the schedule is a
+    /// pure function of the config and the stream seed.
+    pub fn draw_msg_fault(&mut self, leg: &'static str, seq: u64, now: Cycles) -> MsgFault {
+        if !self.is_active() {
+            return MsgFault::None;
+        }
+        if self.cfg.drop_rate > 0.0 && self.rng.chance(self.cfg.drop_rate) {
+            self.log.push(FaultEvent { at: now, leg, seq, kind: FaultKind::Dropped });
+            return MsgFault::Drop;
+        }
+        if self.cfg.corrupt_rate > 0.0 && self.rng.chance(self.cfg.corrupt_rate) {
+            self.log.push(FaultEvent { at: now, leg, seq, kind: FaultKind::Corrupted });
+            return MsgFault::Corrupt;
+        }
+        if self.cfg.delay_rate > 0.0 && self.rng.chance(self.cfg.delay_rate) {
+            let d = Cycles::from_ns(self.rng.exp_mean(self.cfg.delay_mean_ns) as u64);
+            self.log.push(FaultEvent { at: now, leg, seq, kind: FaultKind::Delayed(d) });
+            return MsgFault::Delay(d);
+        }
+        MsgFault::None
+    }
+
+    /// Should this send see queue-full back-pressure? Bursts reject
+    /// [`FaultConfig::backpressure_burst`] consecutive attempts.
+    pub fn draw_backpressure(&mut self, seq: u64, now: Cycles) -> bool {
+        if !self.is_active() {
+            return false;
+        }
+        if self.backpressure_left > 0 {
+            self.backpressure_left -= 1;
+            self.log.push(FaultEvent { at: now, leg: "send", seq, kind: FaultKind::QueueFull });
+            return true;
+        }
+        if self.cfg.backpressure_rate > 0.0 && self.rng.chance(self.cfg.backpressure_rate) {
+            self.backpressure_left = self.cfg.backpressure_burst.saturating_sub(1);
+            self.log.push(FaultEvent { at: now, leg: "send", seq, kind: FaultKind::QueueFull });
+            return true;
+        }
+        false
+    }
+
+    /// Extra latency if the delegator stalls on this dispatch.
+    pub fn draw_stall(&mut self, seq: u64, now: Cycles) -> Option<Cycles> {
+        if !self.is_active() || self.cfg.stall_rate == 0.0 {
+            return None;
+        }
+        if self.rng.chance(self.cfg.stall_rate) {
+            let d = Cycles::from_ns(self.rng.exp_mean(self.cfg.stall_mean_ns) as u64);
+            self.log.push(FaultEvent {
+                at: now,
+                leg: "delegator",
+                seq,
+                kind: FaultKind::DelegatorStall(d),
+            });
+            return Some(d);
+        }
+        None
+    }
+
+    /// Report the current in-flight offload depth; returns true exactly
+    /// once, when the configured crash threshold is first reached.
+    pub fn proxy_should_crash(&mut self, inflight: u32, seq: u64, now: Cycles) -> bool {
+        if !self.is_active() || self.crash_fired {
+            return false;
+        }
+        match self.cfg.proxy_crash_at_inflight {
+            Some(th) if inflight >= th => {
+                self.crash_fired = true;
+                self.log.push(FaultEvent { at: now, leg: "proxy", seq, kind: FaultKind::ProxyCrash });
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The full injection schedule so far.
+    pub fn log(&self) -> &[FaultEvent] {
+        &self.log
+    }
+
+    /// Number of injected faults of each coarse kind:
+    /// `(drops, corruptions, delays, queue_fulls, stalls, crashes)`.
+    pub fn counts(&self) -> (u64, u64, u64, u64, u64, u64) {
+        let mut c = (0, 0, 0, 0, 0, 0);
+        for e in &self.log {
+            match e.kind {
+                FaultKind::Dropped => c.0 += 1,
+                FaultKind::Corrupted => c.1 += 1,
+                FaultKind::Delayed(_) => c.2 += 1,
+                FaultKind::QueueFull => c.3 += 1,
+                FaultKind::DelegatorStall(_) => c.4 += 1,
+                FaultKind::ProxyCrash => c.5 += 1,
+            }
+        }
+        c
+    }
+
+    /// FNV-1a fold of the entire schedule — equal fingerprints mean
+    /// byte-identical fault sequences.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for e in &self.log {
+            eat(e.at.raw());
+            eat(e.leg.len() as u64);
+            for b in e.leg.as_bytes() {
+                eat(u64::from(*b));
+            }
+            eat(e.seq);
+            let (tag, arg) = match e.kind {
+                FaultKind::Dropped => (1u64, 0u64),
+                FaultKind::Corrupted => (2, 0),
+                FaultKind::Delayed(d) => (3, d.raw()),
+                FaultKind::QueueFull => (4, 0),
+                FaultKind::DelegatorStall(d) => (5, d.raw()),
+                FaultKind::ProxyCrash => (6, 0),
+            };
+            eat(tag);
+            eat(arg);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(cfg: FaultConfig) -> FaultPlan {
+        FaultPlan::new(cfg, StreamRng::root(99).stream("fault", 0))
+    }
+
+    #[test]
+    fn disabled_plan_draws_nothing() {
+        let mut p = FaultPlan::disabled();
+        for s in 0..1000 {
+            assert_eq!(p.draw_msg_fault("req", s, Cycles::ZERO), MsgFault::None);
+            assert!(!p.draw_backpressure(s, Cycles::ZERO));
+            assert!(p.draw_stall(s, Cycles::ZERO).is_none());
+        }
+        assert!(p.log().is_empty());
+        assert_eq!(p.counts(), (0, 0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = FaultConfig::message_loss(0.2)
+            .with_corruption(0.1)
+            .with_delay(0.1, 10_000.0);
+        let mut a = plan(cfg);
+        let mut b = plan(cfg);
+        for s in 0..500 {
+            let t = Cycles::from_us(s);
+            assert_eq!(a.draw_msg_fault("req", s, t), b.draw_msg_fault("req", s, t));
+        }
+        assert_eq!(a.log(), b.log());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honored() {
+        let mut p = plan(FaultConfig::message_loss(0.3));
+        let n = 20_000;
+        let dropped = (0..n)
+            .filter(|&s| p.draw_msg_fault("req", s, Cycles::ZERO) == MsgFault::Drop)
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "observed {rate}");
+    }
+
+    #[test]
+    fn suspension_gates_injection_without_consuming_randomness() {
+        let cfg = FaultConfig::message_loss(1.0);
+        let mut a = plan(cfg);
+        let mut b = plan(cfg);
+        // a: suspended draws then active draws. b: active draws only.
+        a.while_suspended(|p| {
+            for s in 0..100 {
+                assert_eq!(p.draw_msg_fault("req", s, Cycles::ZERO), MsgFault::None);
+            }
+        });
+        for s in 0..50 {
+            assert_eq!(
+                a.draw_msg_fault("req", s, Cycles::ZERO),
+                b.draw_msg_fault("req", s, Cycles::ZERO),
+                "suspended window must not shift the stream"
+            );
+        }
+    }
+
+    #[test]
+    fn backpressure_comes_in_bursts() {
+        let mut p = plan(FaultConfig::off().with_backpressure(1.0, 3));
+        assert!(p.draw_backpressure(0, Cycles::ZERO));
+        assert!(p.draw_backpressure(1, Cycles::ZERO));
+        assert!(p.draw_backpressure(2, Cycles::ZERO));
+        assert_eq!(p.counts().3, 3);
+    }
+
+    #[test]
+    fn proxy_crash_fires_once_at_threshold() {
+        let mut p = plan(FaultConfig::off().with_proxy_crash_at(4));
+        assert!(!p.proxy_should_crash(3, 0, Cycles::ZERO));
+        assert!(p.proxy_should_crash(4, 1, Cycles::ZERO));
+        assert!(!p.proxy_should_crash(9, 2, Cycles::ZERO), "fires only once");
+        assert_eq!(p.counts().5, 1);
+    }
+
+    #[test]
+    fn stalls_add_latency_only() {
+        let mut p = plan(FaultConfig::off().with_stalls(1.0, 30_000.0));
+        let d = p.draw_stall(0, Cycles::ZERO).expect("stall at rate 1");
+        assert!(d > Cycles::ZERO);
+    }
+}

@@ -9,6 +9,8 @@
 //! * [`engine`] — the event loop driving a [`engine::World`].
 //! * [`rng`] — deterministic, stream-splittable random number generation so
 //!   that every experiment run is exactly reproducible from its seed.
+//! * [`fault`] — seeded fault injection (message drop/delay/corrupt,
+//!   back-pressure, proxy crash, delegator stall) on its own RNG stream.
 //! * [`stats`] — the statistics used throughout the evaluation (mean,
 //!   standard deviation, percentiles, and the paper's "maximum performance
 //!   variation" metric).
@@ -23,6 +25,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod hist;
 pub mod rng;
 pub mod stats;
@@ -31,6 +34,7 @@ pub mod trace;
 
 pub use engine::{Engine, World};
 pub use event::{EventKey, EventQueue};
+pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultPlan, MsgFault};
 pub use hist::LogHistogram;
 pub use rng::StreamRng;
 pub use stats::{RunningStats, Summary};

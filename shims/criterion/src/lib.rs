@@ -1,0 +1,230 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors a minimal harness with criterion's calling convention:
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `bench_with_input`, and `Bencher::iter` /
+//! `iter_batched`. It measures wall-clock means over a short,
+//! time-boxed run — no statistical analysis, outlier detection, or
+//! HTML reports.
+//!
+//! When cargo invokes a `harness = false` bench target during `cargo
+//! test` (it passes `--test`), each benchmark runs exactly once as a
+//! smoke test so the suite stays fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup; all variants behave alike here.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Benchmark named by its parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+
+    /// Benchmark named `function_name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    smoke: bool,
+    /// Measured mean time per iteration, filled by `iter*`.
+    mean: Duration,
+}
+
+const WARMUP_ITERS: u64 = 3;
+const TARGET: Duration = Duration::from_millis(40);
+const MAX_ITERS: u64 = 100_000;
+
+impl Bencher {
+    /// Time `routine`, storing the mean per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            std::hint::black_box(routine());
+            return;
+        }
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < MAX_ITERS {
+            std::hint::black_box(routine());
+            iters += 1;
+            if iters.is_multiple_of(16) && start.elapsed() > TARGET {
+                break;
+            }
+        }
+        self.mean = start.elapsed() / (iters.max(1) as u32);
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.smoke {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            return;
+        }
+        for _ in 0..WARMUP_ITERS {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let mut spent = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        while iters < MAX_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            spent += start.elapsed();
+            iters += 1;
+            if iters.is_multiple_of(16) && wall.elapsed() > TARGET {
+                break;
+            }
+        }
+        self.mean = spent / (iters.max(1) as u32);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(name: &str, smoke: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { smoke, mean: Duration::ZERO };
+    f(&mut b);
+    if smoke {
+        println!("{name}: smoke ok");
+    } else {
+        println!("{name:<48} time: {}", fmt_duration(b.mean));
+    }
+}
+
+/// The benchmark manager; collects and runs benchmark functions.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test`, harness=false bench targets are executed
+        // with `--test`: run in smoke mode (one iteration each).
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.smoke, &mut f);
+        self
+    }
+
+    /// Open a named group of related parameterized benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string() }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.parent.smoke, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_and_group_run() {
+        let mut c = Criterion { smoke: true };
+        let mut hits = 0u32;
+        c.bench_function("shim/add", |b| b.iter(|| 1u64 + 1));
+        let mut g = c.benchmark_group("shim/group");
+        g.bench_with_input(BenchmarkId::from_parameter(4u32), &4u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        hits += 1;
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut b = Bencher { smoke: true, mean: Duration::ZERO };
+        b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.mean, Duration::ZERO);
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used by this workspace (the
+//! parallel repetition runner). Since Rust 1.63 the standard library
+//! provides scoped threads, so this shim is a thin adapter exposing
+//! the crossbeam calling convention (`spawn` closures receive the
+//! scope, `scope` returns a `Result`) over `std::thread::scope`.
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    /// Result of a scope: `Err` would carry a panic payload; with the
+    /// std backend a child panic propagates when the scope joins, so in
+    /// practice this is always `Ok`.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope for spawning threads that may borrow from the caller.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. As in crossbeam, the
+        /// closure receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Creates a scope, runs `f` inside it, and joins all spawned
+    /// threads before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| s.spawn(move |_| x * 10))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .expect("scope");
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .expect("scope");
+        assert_eq!(n, 7);
+    }
+}
