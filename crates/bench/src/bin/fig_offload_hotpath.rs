@@ -1,0 +1,223 @@
+//! Offload hot-path microbenchmarks — the tracked perf baseline.
+//!
+//! Unlike the `fig*` binaries (which regenerate paper figures in
+//! *modeled* time), this binary measures **host wall-clock** cost of the
+//! three structures the offload path hammers: the end-to-end offload
+//! round trip, address translation, and the IKC channel itself. The
+//! numbers land in `BENCH_offload.json` so every future PR is held to a
+//! perf trajectory (CI compares against the committed baseline with a
+//! 2x tolerance — see `scripts/ci.sh --bench-smoke`).
+//!
+//! Knobs:
+//! * `HLWK_BENCH_ITERS` — iterations per metric (default 20000);
+//! * `HLWK_BENCH_OUT`   — output JSON path (default `BENCH_offload.json`);
+//! * `--check <path>`   — compare a fresh run against a committed
+//!   baseline instead of writing one; exits non-zero past 2x.
+
+use cluster::{node::NodeRuntime, ClusterConfig, OsVariant};
+use hlwk_core::abi::Sysno;
+use hlwk_core::ihk::ikc::{IkcChannel, MsgKind};
+use hlwk_core::mck::mem::pagetable::{PageTable, PteFlags};
+use hlwk_core::mck::mem::tlb::SoftTlb;
+use hlwk_core::mck::syscall::SyscallRequest;
+use hwmodel::addr::{PhysAddr, VirtAddr, PAGE_SIZE, PAGE_SIZE_2M};
+use simcore::{Cycles, StreamRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Tolerance for the CI regression gate: a metric may regress up to
+/// this factor against the committed baseline before CI fails.
+const REGRESSION_TOLERANCE: f64 = 2.0;
+
+fn iters() -> u64 {
+    std::env::var("HLWK_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000)
+}
+
+/// Best-of-3 wall-clock nanoseconds per call of `f` over `n` calls.
+fn measure<F: FnMut()>(n: u64, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..n {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / n as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+fn build_node() -> NodeRuntime {
+    let mut cfg = ClusterConfig::paper(OsVariant::McKernel).with_nodes(1);
+    cfg.horizon_secs = 5;
+    NodeRuntime::build(&cfg, 0, &StreamRng::root(1))
+}
+
+/// The offload round trip: marshal, IKC, delegator, proxy service with
+/// unified-address-space dereference, reply. The headline metric.
+fn bench_offload_roundtrip(n: u64) -> f64 {
+    let mut node = build_node();
+    let mut t = Cycles::from_ms(1);
+    measure(n, || {
+        t += Cycles(1000);
+        black_box(node.offload_syscall(
+            Sysno::GetRandom,
+            [node.arena_va.raw(), 64, 0, 0, 0, 0],
+            t,
+        ));
+    })
+}
+
+fn populated_pt() -> PageTable {
+    let mut pt = PageTable::new();
+    for i in 0..512u64 {
+        pt.map_4k(
+            VirtAddr(0x40_0000_0000 + i * PAGE_SIZE),
+            PhysAddr(0x10_0000 + i * PAGE_SIZE),
+            PteFlags::rw(),
+        )
+        .expect("unmapped");
+    }
+    for i in 0..16u64 {
+        pt.map_2m(
+            VirtAddr(0x80_0000_0000 + i * PAGE_SIZE_2M),
+            PhysAddr(0x4000_0000 + i * PAGE_SIZE_2M),
+            PteFlags::rw(),
+        )
+        .expect("unmapped");
+    }
+    pt
+}
+
+/// Same page translated repeatedly — a software-TLB hit (one array
+/// index + tag compare in front of the radix walk).
+fn bench_translate_hit(n: u64) -> f64 {
+    let pt = populated_pt();
+    let mut tlb = SoftTlb::new();
+    measure(n, || {
+        black_box(tlb.translate(&pt, VirtAddr(0x40_0000_5123)));
+        black_box(tlb.translate(&pt, VirtAddr(0x80_0010_0123)));
+    }) / 2.0
+}
+
+/// Sweeping translations (every lookup a different page: worst case for
+/// any cache, exercises the raw walk).
+fn bench_translate_miss(n: u64) -> f64 {
+    let pt = populated_pt();
+    let mut i = 0u64;
+    measure(n, || {
+        let va = 0x40_0000_0000 + (i % 512) * PAGE_SIZE + 0x123;
+        i = i.wrapping_add(97);
+        black_box(pt.translate(VirtAddr(va)));
+    })
+}
+
+/// IKC send+recv pair throughput at the default queue depth, using the
+/// zero-allocation path: encode-into-slot sends, by-reference receives.
+fn bench_channel(n: u64) -> f64 {
+    let mut ch = IkcChannel::new(IkcChannel::default_depth());
+    let req = SyscallRequest {
+        seq: 1,
+        pid: 1000,
+        tid: 1000,
+        sysno: Sysno::Write.nr(),
+        args: [3, 0x2000_0000, 4096, 0, 0, 0],
+    };
+    let mut seq = 0u64;
+    measure(n, || {
+        // Fill and drain half the queue per iteration.
+        for _ in 0..32 {
+            let mut r = req;
+            seq += 1;
+            r.seq = seq;
+            ch.send_with(MsgKind::SyscallRequest, |b| r.encode_into(b))
+                .expect("fits");
+        }
+        for _ in 0..32 {
+            let m = ch.recv_ref().expect("just sent");
+            black_box(m.verify());
+            black_box(SyscallRequest::decode(m.payload));
+        }
+    }) / 64.0
+}
+
+fn run_all() -> Vec<(&'static str, f64)> {
+    let n = iters();
+    vec![
+        ("offload_roundtrip_ns", bench_offload_roundtrip(n)),
+        ("translate_hit_ns", bench_translate_hit(n)),
+        ("translate_miss_ns", bench_translate_miss(n)),
+        ("channel_send_recv_ns", bench_channel(n / 32)),
+    ]
+}
+
+fn to_json(metrics: &[(&str, f64)]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"fig_offload_hotpath\",\n  \"metrics\": {\n");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        out.push_str(&format!("    \"{k}\": {v:.2}{comma}\n"));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Minimal parser for the flat `"key": number` JSON this binary writes.
+fn parse_metrics(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, val)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if let Ok(v) = val.trim().parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let metrics = run_all();
+    println!("=== offload hot path (host wall clock) ===");
+    for (k, v) in &metrics {
+        println!("{k:>24}: {v:10.1} ns");
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let path = args.get(i + 1).expect("--check needs a baseline path");
+        let baseline = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let base = parse_metrics(&baseline);
+        let mut failed = false;
+        for (k, v) in &metrics {
+            match base.iter().find(|(bk, _)| bk == k) {
+                Some((_, bv)) if *v > bv * REGRESSION_TOLERANCE => {
+                    eprintln!(
+                        "PERF REGRESSION: {k} = {v:.1} ns vs baseline {bv:.1} ns (>{REGRESSION_TOLERANCE}x)"
+                    );
+                    failed = true;
+                }
+                Some((_, bv)) => {
+                    println!("{k:>24}: ok ({:.2}x of baseline)", v / bv);
+                }
+                None => eprintln!("warning: baseline is missing metric {k}"),
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("perf check passed (tolerance {REGRESSION_TOLERANCE}x)");
+        return;
+    }
+
+    let out = std::env::var("HLWK_BENCH_OUT").unwrap_or_else(|_| "BENCH_offload.json".into());
+    std::fs::write(&out, to_json(&metrics)).expect("write benchmark output");
+    println!("wrote {out}");
+}

@@ -12,10 +12,10 @@ use crate::config::{ClusterConfig, OsVariant};
 use hlwk_core::abi::{Errno, Pid, Sysno, Tid};
 use hlwk_core::costs::CostModel;
 use hlwk_core::ihk::delegator::DispatchAction;
-use hlwk_core::ihk::ikc::{ControlMsg, IkcMessage, IkcPair};
+use hlwk_core::ihk::ikc::{message_checksum, ControlMsg, IkcPair, MsgKind};
 use hlwk_core::ihk::manager::HeartbeatMonitor;
 use hlwk_core::mck::mem::FaultOutcome;
-use hlwk_core::mck::syscall::{RetryPolicy, SyscallRequest};
+use hlwk_core::mck::syscall::{RetryPolicy, SyscallReply, SyscallRequest};
 use hlwk_core::mck::{McKernel, SyscallOutcome};
 use hlwk_core::proxy::devmap;
 use hlwk_core::IhkManager;
@@ -91,6 +91,10 @@ pub struct NodeRuntime {
     /// budget exhausted).
     pub offload_eio: u64,
     costs: CostModel,
+    /// Reusable request wire buffer: each offload encodes its request
+    /// here exactly once; retransmits replay these bytes (and their CRC)
+    /// without re-serializing. Zero steady-state allocation.
+    tx_wire: Vec<u8>,
 }
 
 impl NodeRuntime {
@@ -237,6 +241,7 @@ impl NodeRuntime {
             nacks: 0,
             offload_eio: 0,
             costs,
+            tx_wire: Vec::with_capacity(SyscallRequest::WIRE_SIZE),
         };
 
         // --- Job setup. ---
@@ -394,7 +399,32 @@ impl NodeRuntime {
     /// The request/reply exchange for one marshalled offload, with the
     /// bounded retry loop around it. `now` is the instant the request is
     /// ready to enter IKC.
+    ///
+    /// Allocation discipline: the request is serialized exactly once into
+    /// the node's reusable wire buffer (CRC computed over those bytes at
+    /// the same time); every retransmit replays the buffer through
+    /// [`IkcChannel::send_encoded`](hlwk_core::ihk::ikc::IkcChannel);
+    /// replies and NACKs are encoded straight into ring slots and read
+    /// back by reference. Steady state allocates nothing.
     fn drive_offload(&mut self, req: SyscallRequest, start: Cycles) -> (i64, Cycles) {
+        // Encode-once: take the scratch buffer out of self so the borrow
+        // checker lets the retry loop borrow self freely.
+        let mut tx = std::mem::take(&mut self.tx_wire);
+        tx.clear();
+        req.encode_into(&mut tx);
+        let req_ck = message_checksum(MsgKind::SyscallRequest, &tx);
+        let out = self.drive_offload_encoded(&req, &tx, req_ck, start);
+        self.tx_wire = tx;
+        out
+    }
+
+    fn drive_offload_encoded(
+        &mut self,
+        req: &SyscallRequest,
+        req_wire: &[u8],
+        req_ck: u32,
+        start: Cycles,
+    ) -> (i64, Cycles) {
         let costs = self.costs;
         let seq = req.seq;
         let mut now = start;
@@ -426,9 +456,9 @@ impl NodeRuntime {
                 now += timeout;
                 continue;
             }
-            // --- Request leg. ---
-            let mut req_msg = IkcMessage::syscall_request(&req);
+            // --- Request leg: replay the pre-encoded wire bytes. ---
             let mut req_delay = Cycles::ZERO;
+            let mut corrupt_req = false;
             match self.faults.draw_msg_fault("req", seq, now) {
                 MsgFault::Drop => {
                     // Lost on the wire: no reply ever comes; the LWK times
@@ -439,31 +469,42 @@ impl NodeRuntime {
                     continue;
                 }
                 MsgFault::Delay(d) => req_delay = d,
-                MsgFault::Corrupt => req_msg = req_msg.corrupted(seq),
+                MsgFault::Corrupt => corrupt_req = true,
                 MsgFault::None => {}
             }
             self.ikc
                 .to_linux
-                .send(req_msg)
+                .send_encoded(MsgKind::SyscallRequest, req_wire, req_ck)
                 .expect("IKC queue sized for the workload");
+            if corrupt_req {
+                // In-flight corruption: flip a payload bit inside the ring
+                // slot, leaving the checksum stale.
+                self.ikc.to_linux.corrupt_newest(seq);
+            }
             let delivered = now + costs.ikc_ipi + stall + req_delay;
-            let msg = self.ikc.to_linux.recv().expect("just sent");
-            if !msg.verify() {
+            let wire_req = {
+                let msg = self.ikc.to_linux.recv_ref().expect("just sent");
+                if msg.verify() {
+                    Some(SyscallRequest::decode(msg.payload).expect("verified request decodes"))
+                } else {
+                    None
+                }
+            };
+            let Some(wire_req) = wire_req else {
                 // Checksum failure on arrival: the delegator NACKs and the
                 // LWK retransmits immediately (no timeout wait).
                 self.ikc
                     .to_lwk
-                    .send(IkcMessage::control(&ControlMsg::Nack { seq }))
+                    .send_with(MsgKind::Control, |b| ControlMsg::Nack { seq }.encode_into(b))
                     .expect("IKC queue sized for the workload");
-                let _ = self.ikc.to_lwk.recv();
+                let _ = self.ikc.to_lwk.recv_ref();
                 self.nacks += 1;
                 self.offload_retries += 1;
                 attempt += 1;
                 now = delivered + costs.ikc_send + costs.ikc_ipi;
                 continue;
-            }
-            let wire_req = SyscallRequest::decode(&msg.payload).expect("verified request decodes");
-            debug_assert_eq!(wire_req, req);
+            };
+            debug_assert_eq!(wire_req, *req);
             let proxy_pid = self.proxy_pid.expect("proxy spawned");
             let dispatched = delivered + costs.delegator_dispatch;
             let (reply, wake_service) =
@@ -510,9 +551,9 @@ impl NodeRuntime {
                         (reply, svc.wake_delay + costs.proxy_dispatch + svc.service)
                     }
                 };
-            // --- Reply leg. ---
-            let mut rep_msg = IkcMessage::syscall_reply(&reply);
+            // --- Reply leg: encoded straight into a ring slot. ---
             let mut rep_delay = Cycles::ZERO;
+            let mut corrupt_rep = None;
             match self.faults.draw_msg_fault("rep", seq, now) {
                 MsgFault::Drop => {
                     // Reply lost: the LWK times out and retransmits the
@@ -523,22 +564,26 @@ impl NodeRuntime {
                     continue;
                 }
                 MsgFault::Delay(d) => rep_delay = d,
-                MsgFault::Corrupt => rep_msg = rep_msg.corrupted(seq.rotate_left(17) | 1),
+                MsgFault::Corrupt => corrupt_rep = Some(seq.rotate_left(17) | 1),
                 MsgFault::None => {}
             }
             self.ikc
                 .to_lwk
-                .send(rep_msg)
+                .send_with(MsgKind::SyscallReply, |b| reply.encode_into(b))
                 .expect("IKC queue sized for the workload");
-            let back = self.ikc.to_lwk.recv().expect("just sent");
-            if !back.verify() {
+            if let Some(flip) = corrupt_rep {
+                self.ikc.to_lwk.corrupt_newest(flip);
+            }
+            // Batched receive: one drain consumes the whole Linux→LWK
+            // backlog instead of one recv per poll.
+            if self.drain_replies(seq).is_none() {
                 // The LWK NACKs; the delegator resends from its cache on
                 // the retransmitted request.
                 self.ikc
                     .to_linux
-                    .send(IkcMessage::control(&ControlMsg::Nack { seq }))
+                    .send_with(MsgKind::Control, |b| ControlMsg::Nack { seq }.encode_into(b))
                     .expect("IKC queue sized for the workload");
-                let _ = self.ikc.to_linux.recv();
+                let _ = self.ikc.to_linux.recv_ref();
                 self.nacks += 1;
                 self.offload_retries += 1;
                 attempt += 1;
@@ -549,6 +594,27 @@ impl NodeRuntime {
                 dispatched + wake_service + costs.ikc_send + costs.ikc_ipi + rep_delay;
             return (reply.ret, finish);
         }
+    }
+
+    /// Drain every message queued toward the LWK in a single pass and
+    /// return the verified reply for `want_seq` if the batch held one.
+    /// Anything else in the backlog (stale `-EIO` replies, control
+    /// traffic, corrupted frames) is consumed along the way; a reply
+    /// that fails its checksum is treated as not-received so the caller
+    /// NACKs exactly as it would for a lone corrupted message.
+    fn drain_replies(&mut self, want_seq: u64) -> Option<SyscallReply> {
+        let mut found = None;
+        while let Some(m) = self.ikc.to_lwk.recv_ref() {
+            if m.kind != MsgKind::SyscallReply || !m.verify() {
+                continue;
+            }
+            if let Some(rep) = SyscallReply::decode(m.payload) {
+                if rep.seq == want_seq {
+                    found = Some(rep);
+                }
+            }
+        }
+        found
     }
 
     /// The proxy died. Heartbeats go unanswered until the monitor declares
@@ -566,9 +632,11 @@ impl NodeRuntime {
                 // never acks.
                 self.ikc
                     .to_linux
-                    .send(IkcMessage::control(&ControlMsg::Heartbeat { beat }))
+                    .send_with(MsgKind::Control, |b| {
+                        ControlMsg::Heartbeat { beat }.encode_into(b)
+                    })
                     .expect("IKC queue sized for the workload");
-                let _ = self.ikc.to_linux.recv();
+                let _ = self.ikc.to_linux.recv_ref();
             }
             if hb.is_dead() {
                 break;
@@ -581,23 +649,36 @@ impl NodeRuntime {
             .linux
             .kill_proxy(proxy_pid)
             .expect("proxy was registered");
-        // Stranded in-flight offloads come back as -EIO replies over IKC.
+        // Stranded in-flight offloads come back as -EIO replies over IKC,
+        // batched: enqueue the whole teardown backlog, drain it once
+        // (draining mid-way only if the ring back-pressures).
         for rep in &stranded {
             debug_assert_eq!(rep.ret, -(Errno::EIO as i64));
-            self.ikc
+            if self
+                .ikc
                 .to_lwk
-                .send(IkcMessage::syscall_reply(rep))
-                .expect("IKC queue sized for the workload");
-            let _ = self.ikc.to_lwk.recv();
+                .send_with(MsgKind::SyscallReply, |b| rep.encode_into(b))
+                .is_err()
+            {
+                while self.ikc.to_lwk.recv_ref().is_some() {}
+                self.ikc
+                    .to_lwk
+                    .send_with(MsgKind::SyscallReply, |b| rep.encode_into(b))
+                    .expect("just drained");
+            }
         }
         // Tell the LWK; it SIGKILLs the orphaned application.
         self.ikc
             .to_lwk
-            .send(IkcMessage::control(&ControlMsg::ProxyDead {
-                proxy_pid: proxy_pid.0,
-            }))
+            .send_with(MsgKind::Control, |b| {
+                ControlMsg::ProxyDead {
+                    proxy_pid: proxy_pid.0,
+                }
+                .encode_into(b)
+            })
             .expect("IKC queue sized for the workload");
-        let _ = self.ikc.to_lwk.recv();
+        // One batched drain delivers everything to the LWK side.
+        while self.ikc.to_lwk.recv_ref().is_some() {}
         if let Some(mck) = self.mck.as_mut() {
             let killed = mck.kill_process(app_pid);
             debug_assert!(killed, "application existed");

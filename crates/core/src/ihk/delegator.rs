@@ -10,6 +10,16 @@
 //!   into IHK's system call delegator kernel module", Sec. III-A);
 //! * the **tracking objects** created when a device file is mapped
 //!   (Fig. 4, step 3) and consulted on every LWK-side device fault.
+//!
+//! Both per-request tables sit on the offload hot path, so they are
+//! slabs indexed by the low bits of the sequence number with the full
+//! sequence stored as a generation tag — O(1) insert, lookup, and
+//! eviction, no hashing and no allocation in steady state. Offload
+//! sequence numbers are assigned monotonically per node, so the
+//! direct-mapped reply cache degenerates to exactly a sliding window of
+//! the last [`COMPLETED_CACHE`] completions; the in-flight slab keeps a
+//! (steady-state empty) overflow map so aliased sequence numbers — which
+//! only arise in adversarial tests — still behave correctly.
 
 use crate::abi::{Errno, Pid};
 use crate::mck::syscall::{SyscallReply, SyscallRequest};
@@ -59,19 +69,163 @@ struct ProxySlot {
 /// How many completed replies the delegator remembers for
 /// retransmit dedup. A retransmitted request whose original already
 /// completed (the *reply* was lost) is answered from this cache
-/// instead of being executed a second time.
+/// instead of being executed a second time. Must be a power of two
+/// (slab slot index is `seq & (COMPLETED_CACHE - 1)`).
 const COMPLETED_CACHE: usize = 128;
+
+/// In-flight slab slots; same power-of-two indexing.
+const IN_FLIGHT_SLOTS: usize = 128;
+
+/// Tag value marking an empty slab slot. Sequence numbers start at 1
+/// and could not reach this in any simulated horizon.
+const EMPTY: u64 = u64::MAX;
+
+/// Direct-mapped completed-reply cache: slot `seq & mask`, tagged with
+/// the full sequence number (the high bits act as the slot's
+/// generation). Insertion evicts whatever aliased the slot — O(1), no
+/// scan, no allocation. With monotone sequence numbers this holds
+/// exactly the last `COMPLETED_CACHE` replies.
+#[derive(Debug)]
+struct ReplyCache {
+    seqs: Box<[u64; COMPLETED_CACHE]>,
+    rets: Box<[i64; COMPLETED_CACHE]>,
+    live: usize,
+}
+
+impl Default for ReplyCache {
+    fn default() -> Self {
+        ReplyCache {
+            seqs: Box::new([EMPTY; COMPLETED_CACHE]),
+            rets: Box::new([0; COMPLETED_CACHE]),
+            live: 0,
+        }
+    }
+}
+
+impl ReplyCache {
+    #[inline]
+    fn slot(seq: u64) -> usize {
+        (seq as usize) & (COMPLETED_CACHE - 1)
+    }
+
+    #[inline]
+    fn get(&self, seq: u64) -> Option<SyscallReply> {
+        let i = Self::slot(seq);
+        (self.seqs[i] == seq).then(|| SyscallReply { seq, ret: self.rets[i] })
+    }
+
+    /// O(1) insert-with-eviction.
+    #[inline]
+    fn insert(&mut self, rep: SyscallReply) {
+        let i = Self::slot(rep.seq);
+        if self.seqs[i] == EMPTY {
+            self.live += 1;
+        }
+        self.seqs[i] = rep.seq;
+        self.rets[i] = rep.ret;
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
+/// In-flight request table: direct-mapped slab (seq-tagged slots) with
+/// an overflow map for aliased sequence numbers. Offload seqs are
+/// monotone and far fewer than `IN_FLIGHT_SLOTS` are ever concurrently
+/// outstanding, so the overflow map stays empty in steady state and
+/// every operation is a single array access.
+#[derive(Debug)]
+struct InFlightSlab {
+    seqs: Box<[u64; IN_FLIGHT_SLOTS]>,
+    pids: Box<[Pid; IN_FLIGHT_SLOTS]>,
+    overflow: HashMap<u64, Pid>,
+    live: usize,
+}
+
+impl Default for InFlightSlab {
+    fn default() -> Self {
+        InFlightSlab {
+            seqs: Box::new([EMPTY; IN_FLIGHT_SLOTS]),
+            pids: Box::new([Pid(0); IN_FLIGHT_SLOTS]),
+            overflow: HashMap::new(),
+            live: 0,
+        }
+    }
+}
+
+impl InFlightSlab {
+    #[inline]
+    fn slot(seq: u64) -> usize {
+        (seq as usize) & (IN_FLIGHT_SLOTS - 1)
+    }
+
+    #[inline]
+    fn contains(&self, seq: u64) -> bool {
+        self.seqs[Self::slot(seq)] == seq || self.overflow.contains_key(&seq)
+    }
+
+    #[inline]
+    fn insert(&mut self, seq: u64, pid: Pid) {
+        let i = Self::slot(seq);
+        if self.seqs[i] == EMPTY || self.seqs[i] == seq {
+            self.seqs[i] = seq;
+            self.pids[i] = pid;
+        } else {
+            // Aliased slot (128 seqs apart, both in flight): overflow.
+            self.overflow.insert(seq, pid);
+        }
+        self.live += 1;
+    }
+
+    #[inline]
+    fn remove(&mut self, seq: u64) -> Option<Pid> {
+        let i = Self::slot(seq);
+        let pid = if self.seqs[i] == seq {
+            self.seqs[i] = EMPTY;
+            Some(self.pids[i])
+        } else {
+            self.overflow.remove(&seq)
+        }?;
+        self.live -= 1;
+        Some(pid)
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Remove every entry owned by `pid`; returns their seqs sorted.
+    fn remove_for(&mut self, pid: Pid) -> Vec<u64> {
+        let mut stranded = Vec::new();
+        for i in 0..IN_FLIGHT_SLOTS {
+            if self.seqs[i] != EMPTY && self.pids[i] == pid {
+                stranded.push(self.seqs[i]);
+                self.seqs[i] = EMPTY;
+            }
+        }
+        self.overflow.retain(|seq, p| {
+            if *p == pid {
+                stranded.push(*seq);
+                false
+            } else {
+                true
+            }
+        });
+        self.live -= stranded.len();
+        stranded.sort_unstable();
+        stranded
+    }
+}
 
 /// The delegator module state (one per LWK instance).
 #[derive(Debug, Default)]
 pub struct Delegator {
     proxies: HashMap<Pid, ProxySlot>,
-    /// In-flight requests: seq -> proxy pid.
-    in_flight: HashMap<u64, Pid>,
-    /// Recently completed replies, kept for retransmit dedup.
-    completed: HashMap<u64, SyscallReply>,
-    /// Eviction order for `completed` (oldest first).
-    completed_order: VecDeque<u64>,
+    /// In-flight requests: seq -> proxy pid (slab).
+    in_flight: InFlightSlab,
+    /// Recently completed replies, kept for retransmit dedup (slab).
+    completed: ReplyCache,
     tracking: HashMap<u64, TrackingObject>,
     next_tracking: u64,
 }
@@ -117,16 +271,9 @@ impl Delegator {
     /// replies come back sorted by sequence number for determinism.
     pub fn unregister_proxy(&mut self, proxy_pid: Pid) -> Vec<SyscallReply> {
         self.proxies.remove(&proxy_pid);
-        let mut stranded: Vec<u64> = self
-            .in_flight
-            .iter()
-            .filter(|(_, p)| **p == proxy_pid)
-            .map(|(seq, _)| *seq)
-            .collect();
-        stranded.sort_unstable();
-        self.in_flight.retain(|_, p| *p != proxy_pid);
         self.tracking.retain(|_, t| t.pid != proxy_pid);
-        stranded
+        self.in_flight
+            .remove_for(proxy_pid)
             .into_iter()
             .map(|seq| SyscallReply { seq, ret: -(Errno::EIO as i64) })
             .collect()
@@ -155,10 +302,10 @@ impl Delegator {
     /// reply answers both), and a seq in the completed cache is answered
     /// with the cached reply.
     pub fn on_syscall_request(&mut self, proxy_pid: Pid, req: SyscallRequest) -> DispatchAction {
-        if let Some(rep) = self.completed.get(&req.seq) {
-            return DispatchAction::Retransmit(*rep);
+        if let Some(rep) = self.completed.get(req.seq) {
+            return DispatchAction::Retransmit(rep);
         }
-        if self.in_flight.contains_key(&req.seq) {
+        if self.in_flight.contains(req.seq) {
             return DispatchAction::DuplicateInFlight;
         }
         let Some(slot) = self.proxies.get_mut(&proxy_pid) else {
@@ -191,22 +338,21 @@ impl Delegator {
     /// The reply is remembered in a bounded cache so a retransmit of the
     /// same request (lost reply) can be answered without re-executing.
     pub fn complete(&mut self, seq: u64, ret: i64) -> Option<SyscallReply> {
-        self.in_flight.remove(&seq)?;
+        self.in_flight.remove(seq)?;
         let rep = SyscallReply { seq, ret };
-        if self.completed.insert(seq, rep).is_none() {
-            self.completed_order.push_back(seq);
-            if self.completed_order.len() > COMPLETED_CACHE {
-                if let Some(old) = self.completed_order.pop_front() {
-                    self.completed.remove(&old);
-                }
-            }
-        }
+        self.completed.insert(rep);
         Some(rep)
     }
 
     /// Number of requests not yet completed.
     pub fn in_flight(&self) -> usize {
         self.in_flight.len()
+    }
+
+    /// Occupancy of the completed-reply cache (bounded by
+    /// `COMPLETED_CACHE`; exposed so tests can pin the bound).
+    pub fn completed_cache_len(&self) -> usize {
+        self.completed.len()
     }
 
     /// Create a tracking object for a freshly mapped device file
@@ -424,6 +570,58 @@ mod tests {
             d.on_syscall_request(proxy, req(total - 1)),
             DispatchAction::Retransmit(SyscallReply { seq: total - 1, ret: 0 })
         );
+    }
+
+    #[test]
+    fn completed_cache_bound_pinned_with_o1_eviction() {
+        // Pins the slab bound: run 20x the capacity through the cache
+        // and check (a) occupancy never exceeds COMPLETED_CACHE, (b) the
+        // cache is exactly the sliding window of the most recent
+        // COMPLETED_CACHE completions (monotone seqs), i.e. eviction is
+        // the O(1) direct-mapped overwrite, not a scan over a shrinking
+        // survivor set.
+        let mut d = Delegator::new();
+        let proxy = Pid(500);
+        d.register_proxy(proxy);
+        let total = (COMPLETED_CACHE * 20) as u64;
+        for seq in 0..total {
+            d.on_syscall_request(proxy, req(seq));
+            d.proxy_fetch(proxy);
+            d.complete(seq, seq as i64).unwrap();
+            assert!(d.completed_cache_len() <= COMPLETED_CACHE);
+        }
+        assert_eq!(d.completed_cache_len(), COMPLETED_CACHE);
+        // Every seq in the trailing window replays from cache...
+        for seq in (total - COMPLETED_CACHE as u64)..total {
+            assert_eq!(
+                d.on_syscall_request(proxy, req(seq)),
+                DispatchAction::Retransmit(SyscallReply { seq, ret: seq as i64 })
+            );
+        }
+        // ...and everything older was evicted.
+        for seq in [0, 1, total - COMPLETED_CACHE as u64 - 1] {
+            assert_eq!(d.on_syscall_request(proxy, req(seq)), DispatchAction::Queued);
+        }
+    }
+
+    #[test]
+    fn aliased_inflight_seqs_do_not_collide() {
+        // Two seqs 128 apart (same slab slot) in flight at once: the
+        // overflow path must keep them distinct.
+        let mut d = Delegator::new();
+        let proxy = Pid(500);
+        d.register_proxy(proxy);
+        let (a, b) = (5u64, 5 + IN_FLIGHT_SLOTS as u64);
+        d.on_syscall_request(proxy, req(a));
+        d.on_syscall_request(proxy, req(b));
+        assert_eq!(d.in_flight(), 2);
+        assert_eq!(
+            d.on_syscall_request(proxy, req(b)),
+            DispatchAction::DuplicateInFlight
+        );
+        assert_eq!(d.complete(a, 1), Some(SyscallReply { seq: a, ret: 1 }));
+        assert_eq!(d.complete(b, 2), Some(SyscallReply { seq: b, ret: 2 }));
+        assert_eq!(d.in_flight(), 0);
     }
 
     #[test]

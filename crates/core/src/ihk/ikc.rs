@@ -1,10 +1,19 @@
 //! Inter-Kernel Communication: bounded message queues between McKernel and
 //! Linux, with typed payloads for syscall delegation and the device-mapping
 //! protocol (Fig. 4).
+//!
+//! The channel is the single structure every offloaded syscall crosses
+//! twice, so it is built for **zero steady-state allocation**: a
+//! fixed-capacity power-of-two ring of preallocated slots, each owning a
+//! reusable wire buffer. Messages are encoded *once*, directly into the
+//! slot ([`IkcChannel::send_with`]), with the CRC computed over that
+//! single wire buffer during encode; retransmits replay pre-encoded
+//! bytes ([`IkcChannel::send_encoded`]) without re-serializing or
+//! re-checksumming. Receivers borrow the slot in place via
+//! [`IkcChannel::recv_ref`] — no copy, no refcount traffic.
 
 use crate::mck::syscall::{SyscallReply, SyscallRequest};
 use bytes::Bytes;
-use std::collections::VecDeque;
 
 /// Message discriminator.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -35,34 +44,110 @@ impl MsgKind {
     }
 }
 
-/// CRC-32 (IEEE 802.3 polynomial, reflected). Table-driven; the table
-/// is computed at compile time.
-pub fn crc32(data: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = {
-        let mut table = [0u32; 256];
+/// Slice-by-8 lookup tables: `CRC_TABLES[0]` is the classic byte-at-a-time
+/// table; table `j` advances a byte through `j` additional zero bytes, so
+/// eight bytes fold in one step with identical results to the serial form.
+const CRC_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        tables[0][i] = c;
+        i += 1;
+    }
+    let mut j = 1;
+    while j < 8 {
         let mut i = 0;
         while i < 256 {
-            let mut c = i as u32;
-            let mut k = 0;
-            while k < 8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
-                k += 1;
-            }
-            table[i] = c;
+            let prev = tables[j - 1][i];
+            tables[j][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
             i += 1;
         }
-        table
-    };
-    let mut crc = !0u32;
-    for &b in data {
-        crc = TABLE[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+        j += 1;
     }
-    !crc
+    tables
+};
+
+/// Streaming CRC-32 (IEEE 802.3 polynomial, reflected). Lets the message
+/// checksum cover the kind tag followed by the payload without ever
+/// materializing that concatenation in a temporary buffer. The hot loop
+/// is slice-by-8: the wire checksums sit directly on the offload round
+/// trip (twice per leg), so bytes-per-cycle here is end-to-end latency.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Crc32 { state: !0u32 }
+    }
+
+    /// Fold `data` into the running checksum.
+    #[inline]
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        let mut chunks = data.chunks_exact(8);
+        for ch in &mut chunks {
+            let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ crc;
+            let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+            crc = CRC_TABLES[7][(lo & 0xFF) as usize]
+                ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ CRC_TABLES[4][(lo >> 24) as usize]
+                ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+                ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ CRC_TABLES[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            crc = CRC_TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+        }
+        self.state = crc;
+    }
+
+    /// Final checksum value.
+    #[inline]
+    pub fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// CRC-32 of a contiguous buffer (table-driven, compile-time table).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
+/// Checksum of a message: CRC-32 over the kind tag followed by the wire
+/// payload. Streaming, so no tag+payload temporary is allocated.
+pub fn message_checksum(kind: MsgKind, payload: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(&[kind.tag()]);
+    c.update(payload);
+    c.finish()
 }
 
 /// One IKC message. The checksum covers the kind tag and the payload;
 /// receivers must [`verify`](IkcMessage::verify) before decoding and
 /// NACK on mismatch (the fault model flips payload bits in flight).
+///
+/// This owned form is the channel's *compatibility* currency (tests,
+/// cold paths); the hot path never materializes it — it encodes into
+/// ring slots and reads them back by reference as [`WireMsg`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct IkcMessage {
     /// Payload discriminator.
@@ -76,27 +161,21 @@ pub struct IkcMessage {
 impl IkcMessage {
     /// Build a message with a correct checksum.
     pub fn new(kind: MsgKind, payload: Bytes) -> Self {
-        let checksum = Self::compute_checksum(kind, &payload);
+        let checksum = message_checksum(kind, &payload);
         IkcMessage { kind, payload, checksum }
-    }
-
-    fn compute_checksum(kind: MsgKind, payload: &[u8]) -> u32 {
-        let mut buf = Vec::with_capacity(payload.len() + 1);
-        buf.push(kind.tag());
-        buf.extend_from_slice(payload);
-        crc32(&buf)
     }
 
     /// True when the checksum matches the payload — the message
     /// survived the channel intact.
     pub fn verify(&self) -> bool {
-        self.checksum == Self::compute_checksum(self.kind, &self.payload)
+        self.checksum == message_checksum(self.kind, &self.payload)
     }
 
     /// In-flight corruption: returns a copy with one payload bit
     /// flipped (chosen by `flip`) and the checksum left stale, exactly
     /// what a receiver's `verify` must catch. Empty payloads get a
-    /// corrupted checksum instead.
+    /// corrupted checksum instead. (Fault-injection/test path; in-ring
+    /// corruption uses [`IkcChannel::corrupt_newest`].)
     pub fn corrupted(&self, flip: u64) -> Self {
         let mut c = self.clone();
         if self.payload.is_empty() {
@@ -136,6 +215,35 @@ impl IkcMessage {
     }
 }
 
+/// A message borrowed straight out of a ring slot: the zero-copy view
+/// the hot path decodes from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WireMsg<'a> {
+    /// Payload discriminator.
+    pub kind: MsgKind,
+    /// Wire payload bytes (slot-resident).
+    pub payload: &'a [u8],
+    /// Checksum as enqueued (stale if the message was corrupted in
+    /// flight).
+    pub checksum: u32,
+}
+
+impl WireMsg<'_> {
+    /// True when the checksum matches the payload.
+    pub fn verify(&self) -> bool {
+        self.checksum == message_checksum(self.kind, self.payload)
+    }
+
+    /// Copy out into an owned [`IkcMessage`] (cold paths only).
+    pub fn to_owned(&self) -> IkcMessage {
+        IkcMessage {
+            kind: self.kind,
+            payload: Bytes::copy_from_slice(self.payload),
+            checksum: self.checksum,
+        }
+    }
+}
+
 /// Management traffic riding the Control kind: liveness heartbeats for
 /// proxy-death detection and NACKs for the corruption/retransmit
 /// protocol.
@@ -164,17 +272,22 @@ pub enum ControlMsg {
 }
 
 impl ControlMsg {
-    /// Serialize: tag byte + one u64 field.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serialize into `out` (tag byte + one u64 field).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         let (tag, val) = match *self {
             ControlMsg::Heartbeat { beat } => (1u8, beat),
             ControlMsg::HeartbeatAck { beat } => (2, beat),
             ControlMsg::Nack { seq } => (3, seq),
             ControlMsg::ProxyDead { proxy_pid } => (4, u64::from(proxy_pid)),
         };
+        out.push(tag);
+        out.extend_from_slice(&val.to_le_bytes());
+    }
+
+    /// Serialize: tag byte + one u64 field.
+    pub fn encode(&self) -> Vec<u8> {
         let mut v = Vec::with_capacity(9);
-        v.push(tag);
-        v.extend_from_slice(&val.to_le_bytes());
+        self.encode_into(&mut v);
         v
     }
 
@@ -217,12 +330,17 @@ pub struct PfnReply {
 }
 
 impl PfnRequest {
+    /// Serialize into `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.tracking.to_le_bytes());
+        out.extend_from_slice(&self.offset.to_le_bytes());
+    }
+
     /// Serialize.
     pub fn encode(&self) -> Vec<u8> {
         let mut v = Vec::with_capacity(24);
-        v.extend_from_slice(&self.seq.to_le_bytes());
-        v.extend_from_slice(&self.tracking.to_le_bytes());
-        v.extend_from_slice(&self.offset.to_le_bytes());
+        self.encode_into(&mut v);
         v
     }
 
@@ -240,11 +358,16 @@ impl PfnRequest {
 }
 
 impl PfnReply {
+    /// Serialize into `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.phys.to_le_bytes());
+    }
+
     /// Serialize.
     pub fn encode(&self) -> Vec<u8> {
         let mut v = Vec::with_capacity(16);
-        v.extend_from_slice(&self.seq.to_le_bytes());
-        v.extend_from_slice(&self.phys.to_le_bytes());
+        self.encode_into(&mut v);
         v
     }
 
@@ -265,23 +388,50 @@ impl PfnReply {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct IkcFull;
 
-/// A one-directional bounded FIFO channel.
+/// One ring slot: a reusable wire buffer plus the message header. The
+/// buffer's capacity is retained across reuse, so after warm-up the
+/// channel performs no allocation at any queue depth.
+#[derive(Debug, Default)]
+struct Slot {
+    kind: Option<MsgKind>,
+    checksum: u32,
+    buf: Vec<u8>,
+}
+
+/// A one-directional bounded FIFO channel: a power-of-two ring of
+/// preallocated slots.
+///
+/// `head`/`tail` are absolute (monotone) positions; the slot index is
+/// `pos & mask`. Back-pressure triggers at the *requested* capacity even
+/// when the slot count was rounded up to a power of two.
 #[derive(Debug)]
 pub struct IkcChannel {
-    queue: VecDeque<IkcMessage>,
+    slots: Box<[Slot]>,
+    mask: u64,
     capacity: usize,
+    /// Next slot to dequeue (absolute position).
+    head: u64,
+    /// Next slot to enqueue (absolute position).
+    tail: u64,
     sent: u64,
     received: u64,
     full_events: u64,
 }
 
 impl IkcChannel {
-    /// Channel with the given queue depth.
+    /// Channel with the given queue depth. The slot arena is sized to
+    /// the next power of two, but back-pressure honors `capacity`
+    /// exactly.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
+        let nslots = capacity.next_power_of_two();
+        let slots: Vec<Slot> = (0..nslots).map(|_| Slot::default()).collect();
         IkcChannel {
-            queue: VecDeque::with_capacity(capacity),
+            slots: slots.into_boxed_slice(),
+            mask: (nslots - 1) as u64,
             capacity,
+            head: 0,
+            tail: 0,
             sent: 0,
             received: 0,
             full_events: 0,
@@ -293,34 +443,116 @@ impl IkcChannel {
         64
     }
 
-    /// Enqueue a message.
-    pub fn send(&mut self, msg: IkcMessage) -> Result<(), IkcFull> {
-        if self.queue.len() >= self.capacity {
+    #[inline]
+    fn full(&mut self) -> bool {
+        if (self.tail - self.head) as usize >= self.capacity {
             self.full_events += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Enqueue a message whose payload is produced by `fill`, which
+    /// writes wire bytes directly into the slot's reusable buffer. The
+    /// checksum is computed over that single buffer during the enqueue
+    /// (no re-serialization anywhere later). Returns the checksum.
+    pub fn send_with(
+        &mut self,
+        kind: MsgKind,
+        fill: impl FnOnce(&mut Vec<u8>),
+    ) -> Result<u32, IkcFull> {
+        if self.full() {
             return Err(IkcFull);
         }
-        self.queue.push_back(msg);
+        let slot = &mut self.slots[(self.tail & self.mask) as usize];
+        slot.buf.clear();
+        fill(&mut slot.buf);
+        let checksum = message_checksum(kind, &slot.buf);
+        slot.kind = Some(kind);
+        slot.checksum = checksum;
+        self.tail += 1;
+        self.sent += 1;
+        Ok(checksum)
+    }
+
+    /// Enqueue pre-encoded wire bytes with a precomputed checksum — the
+    /// retransmit path: the sender replays the bytes it already encoded
+    /// (and their CRC) without touching the serializer again.
+    pub fn send_encoded(
+        &mut self,
+        kind: MsgKind,
+        payload: &[u8],
+        checksum: u32,
+    ) -> Result<(), IkcFull> {
+        if self.full() {
+            return Err(IkcFull);
+        }
+        let slot = &mut self.slots[(self.tail & self.mask) as usize];
+        slot.buf.clear();
+        slot.buf.extend_from_slice(payload);
+        slot.kind = Some(kind);
+        slot.checksum = checksum;
+        self.tail += 1;
         self.sent += 1;
         Ok(())
     }
 
-    /// Dequeue the oldest message.
-    pub fn recv(&mut self) -> Option<IkcMessage> {
-        let m = self.queue.pop_front();
-        if m.is_some() {
-            self.received += 1;
+    /// Enqueue an owned message (compatibility path; copies the payload
+    /// into the slot arena).
+    pub fn send(&mut self, msg: IkcMessage) -> Result<(), IkcFull> {
+        self.send_encoded(msg.kind, &msg.payload, msg.checksum)
+    }
+
+    /// Dequeue the oldest message, borrowing its bytes in place —
+    /// nothing is copied or allocated. The borrow must end before the
+    /// next channel operation (slot reuse).
+    pub fn recv_ref(&mut self) -> Option<WireMsg<'_>> {
+        if self.head == self.tail {
+            return None;
         }
-        m
+        let idx = (self.head & self.mask) as usize;
+        self.head += 1;
+        self.received += 1;
+        let slot = &self.slots[idx];
+        Some(WireMsg {
+            kind: slot.kind.expect("occupied slot has a kind"),
+            payload: &slot.buf,
+            checksum: slot.checksum,
+        })
+    }
+
+    /// Dequeue the oldest message as an owned value (compatibility
+    /// path; copies the slot bytes out).
+    pub fn recv(&mut self) -> Option<IkcMessage> {
+        self.recv_ref().map(|m| m.to_owned())
+    }
+
+    /// Fault injection: flip one payload bit (chosen by `flip`) of the
+    /// most recently enqueued message, leaving its checksum stale —
+    /// in-flight corruption the receiver's `verify` must catch. Empty
+    /// payloads get a corrupted checksum instead. No-op on an empty
+    /// channel.
+    pub fn corrupt_newest(&mut self, flip: u64) {
+        if self.head == self.tail {
+            return;
+        }
+        let slot = &mut self.slots[((self.tail - 1) & self.mask) as usize];
+        if slot.buf.is_empty() {
+            slot.checksum ^= 1;
+            return;
+        }
+        let bit = (flip % (slot.buf.len() as u64 * 8)) as usize;
+        slot.buf[bit / 8] ^= 1 << (bit % 8);
     }
 
     /// Messages waiting.
     pub fn len(&self) -> usize {
-        self.queue.len()
+        (self.tail - self.head) as usize
     }
 
     /// Whether empty.
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.head == self.tail
     }
 
     /// (sent, received, times-full) counters.
@@ -391,6 +623,96 @@ mod tests {
     }
 
     #[test]
+    fn non_power_of_two_capacity_back_pressures_exactly() {
+        let mut ch = IkcChannel::new(3);
+        let msg = IkcMessage::new(MsgKind::Control, Bytes::new());
+        for _ in 0..3 {
+            ch.send(msg.clone()).unwrap();
+        }
+        assert_eq!(ch.send(msg.clone()), Err(IkcFull), "capacity 3, not 4");
+        ch.recv().unwrap();
+        ch.send(msg).unwrap();
+        assert_eq!(ch.len(), 3);
+    }
+
+    #[test]
+    fn ring_wraps_around_many_times() {
+        let mut ch = IkcChannel::new(4);
+        for round in 0..100u64 {
+            for i in 0..3 {
+                ch.send(IkcMessage::pfn_request(&PfnRequest {
+                    seq: round * 3 + i,
+                    tracking: round,
+                    offset: i,
+                }))
+                .unwrap();
+            }
+            for i in 0..3 {
+                let m = ch.recv().unwrap();
+                assert!(m.verify());
+                assert_eq!(
+                    PfnRequest::decode(&m.payload).unwrap().seq,
+                    round * 3 + i
+                );
+            }
+        }
+        assert!(ch.is_empty());
+        assert_eq!(ch.stats(), (300, 300, 0));
+    }
+
+    #[test]
+    fn send_with_encodes_once_into_slot() {
+        let mut ch = IkcChannel::new(4);
+        let req = SyscallRequest {
+            seq: 9,
+            pid: 1,
+            tid: 1,
+            sysno: Sysno::Read.nr(),
+            args: [1, 2, 3, 4, 5, 6],
+        };
+        let ck = ch
+            .send_with(MsgKind::SyscallRequest, |buf| req.encode_into(buf))
+            .unwrap();
+        let m = ch.recv_ref().unwrap();
+        assert_eq!(m.checksum, ck);
+        assert!(m.verify());
+        assert_eq!(SyscallRequest::decode(m.payload), Some(req));
+    }
+
+    #[test]
+    fn send_encoded_replays_bytes_and_checksum() {
+        let mut ch = IkcChannel::new(4);
+        let rep = SyscallReply { seq: 5, ret: 42 };
+        let wire = rep.encode();
+        let ck = message_checksum(MsgKind::SyscallReply, &wire);
+        // Original plus one retransmit replay — same bytes, same CRC,
+        // no re-encode.
+        ch.send_encoded(MsgKind::SyscallReply, &wire, ck).unwrap();
+        ch.send_encoded(MsgKind::SyscallReply, &wire, ck).unwrap();
+        for _ in 0..2 {
+            let m = ch.recv_ref().unwrap();
+            assert!(m.verify());
+            assert_eq!(SyscallReply::decode(m.payload), Some(rep));
+        }
+    }
+
+    #[test]
+    fn corrupt_newest_is_caught_by_verify() {
+        let mut ch = IkcChannel::new(4);
+        let rep = SyscallReply { seq: 5, ret: 42 };
+        ch.send_with(MsgKind::SyscallReply, |b| rep.encode_into(b))
+            .unwrap();
+        ch.corrupt_newest(13);
+        assert!(!ch.recv_ref().unwrap().verify());
+        // Empty payloads corrupt through the checksum.
+        ch.send_with(MsgKind::Control, |_| {}).unwrap();
+        ch.corrupt_newest(0);
+        assert!(!ch.recv_ref().unwrap().verify());
+        // Corrupting an empty channel is a no-op.
+        ch.corrupt_newest(7);
+    }
+
+    #[test]
     fn syscall_round_trip_through_channel() {
         let mut pair = IkcPair::default();
         let req = SyscallRequest {
@@ -452,6 +774,53 @@ mod tests {
     fn crc32_known_vector() {
         // "123456789" -> 0xCBF43926 is the canonical CRC-32 check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        // Streaming over split input matches the one-shot value.
+        let mut c = Crc32::new();
+        c.update(b"1234");
+        c.update(b"56789");
+        assert_eq!(c.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn slice_by_8_matches_serial_reference_at_every_length() {
+        // Bit-serial CRC-32 reference (no tables). The slice-by-8 loop
+        // plus its remainder handling must agree at every length that
+        // exercises a different chunk/tail split, and across arbitrary
+        // streaming splits.
+        fn reference(data: &[u8]) -> u32 {
+            let mut crc = !0u32;
+            for &b in data {
+                crc ^= u32::from(b);
+                for _ in 0..8 {
+                    crc = if crc & 1 != 0 {
+                        0xEDB8_8320 ^ (crc >> 1)
+                    } else {
+                        crc >> 1
+                    };
+                }
+            }
+            !crc
+        }
+        let data: Vec<u8> = (0..100u32).map(|i| (i.wrapping_mul(37) ^ 0x5A) as u8).collect();
+        for len in 0..data.len() {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
+            // Uneven streaming split must match the one-shot value.
+            let split = len / 3;
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..len]);
+            assert_eq!(c.finish(), crc32(&data[..len]), "split at {split}/{len}");
+        }
+    }
+
+    #[test]
+    fn message_checksum_matches_legacy_concat() {
+        // The streaming checksum must equal CRC over tag || payload —
+        // the wire format is unchanged.
+        let payload = b"some payload bytes";
+        let mut concat = vec![MsgKind::PfnReply.tag()];
+        concat.extend_from_slice(payload);
+        assert_eq!(message_checksum(MsgKind::PfnReply, payload), crc32(&concat));
     }
 
     #[test]

@@ -3,23 +3,35 @@
 
 pub mod pagetable;
 pub mod phys;
+pub mod tlb;
 pub mod vm;
 
 use crate::abi::Errno;
 use crate::costs::CostModel;
 use hwmodel::addr::{PhysAddr, VirtAddr, PAGE_SIZE, PAGE_SIZE_2M};
-use pagetable::{PageSize, PageTable, PteFlags};
+use pagetable::{PageSize, PageTable, PteFlags, Translation};
 use phys::{AllocError, BuddyAllocator, ORDER_2M};
 use simcore::Cycles;
+use tlb::TlbSet;
 use vm::{VmSpace, Vma, VmaKind};
 
-/// One process's address space: VMA tree + hardware page table.
+/// Default per-CPU software-TLB count for an address space. McKernel
+/// partitions model up to a socket's worth of LWK cores per process.
+const DEFAULT_TLB_CPUS: usize = 8;
+
+/// One process's address space: VMA tree + hardware page table, fronted
+/// by per-CPU software TLBs ([`tlb::TlbSet`]). Hot-path callers
+/// translate through [`AddressSpace::translate_on`]; every leaf removal
+/// below goes through the shootdown hook so the caches never serve a
+/// stale mapping.
 #[derive(Debug)]
 pub struct AddressSpace {
     /// VMA tree and layout policy.
     pub vm: VmSpace,
     /// Four-level page table.
     pub pt: PageTable,
+    /// Per-CPU translation caches over `pt`.
+    pub tlb: TlbSet,
 }
 
 impl AddressSpace {
@@ -28,7 +40,31 @@ impl AddressSpace {
         AddressSpace {
             vm: VmSpace::new(on_mckernel),
             pt: PageTable::new(),
+            tlb: TlbSet::new(DEFAULT_TLB_CPUS),
         }
+    }
+
+    /// Translate `va` through CPU 0's software TLB.
+    #[inline]
+    pub fn translate(&mut self, va: VirtAddr) -> Option<Translation> {
+        self.tlb.translate_on(0, &self.pt, va)
+    }
+
+    /// Translate `va` through `cpu`'s software TLB.
+    #[inline]
+    pub fn translate_on(&mut self, cpu: usize, va: VirtAddr) -> Option<Translation> {
+        self.tlb.translate_on(cpu, &self.pt, va)
+    }
+
+    /// Remove the leaf containing `va` and shoot it down on every CPU's
+    /// TLB. All teardown paths must use this (or call
+    /// `tlb.shootdown_page` themselves) rather than `pt.unmap` directly.
+    pub fn unmap_page(&mut self, va: VirtAddr) -> Option<(PhysAddr, PageSize)> {
+        let r = self.pt.unmap(va);
+        if r.is_some() {
+            self.tlb.shootdown_page(va);
+        }
+        r
     }
 }
 
@@ -75,10 +111,11 @@ pub fn handle_fault(
     va: VirtAddr,
 ) -> FaultOutcome {
     // Already mapped (racing fault): treat as spurious, cheap refill.
-    if aspace.pt.translate(va).is_some() {
+    // One cached translation instead of three raw walks.
+    if let Some(t) = aspace.translate(va) {
         return FaultOutcome::Mapped {
-            phys: aspace.pt.translate(va).expect("just checked").phys.page_align_down(),
-            size: aspace.pt.translate(va).expect("just checked").size,
+            phys: t.phys.page_align_down(),
+            size: t.size,
             cost: costs.lwk_syscall, // TLB refill-ish, nominal
         };
     }
@@ -211,7 +248,7 @@ pub fn unmap_range(
     for vma in &removed {
         let mut va = vma.start;
         while va < vma.end {
-            match aspace.pt.unmap(va) {
+            match aspace.unmap_page(va) {
                 Some((pa, PageSize::Size4k)) => {
                     stats.pages_4k += 1;
                     stats.cost += costs.tlb_shootdown_page;

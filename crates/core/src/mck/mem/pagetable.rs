@@ -5,9 +5,15 @@
 //! page tables corresponding to the application on the LWK and maps it to
 //! the exact same physical page" (Sec. III-A) — i.e., it calls
 //! [`PageTable::translate`] on this structure.
+//!
+//! Layout mirrors the hardware: each level is a flat 512-entry array
+//! indexed directly by the 9-bit VA field, so a walk is four array loads
+//! with no hashing. Each node tracks its live-entry count so `unmap` can
+//! prune empty intermediate tables in O(1) per level. Callers that
+//! translate repeatedly should put a [`SoftTlb`](super::tlb::SoftTlb) in
+//! front (see [`super::tlb`]); this walk is the miss path.
 
 use hwmodel::addr::{PhysAddr, VirtAddr, PAGE_SIZE, PAGE_SIZE_2M};
-use std::collections::HashMap;
 
 /// Leaf mapping size.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -91,22 +97,39 @@ pub enum MapError {
     Overlap,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 enum Entry {
+    #[default]
+    Empty,
     Table(Box<Level>),
     Leaf2m { phys: PhysAddr, flags: PteFlags },
     Leaf4k { phys: PhysAddr, flags: PteFlags },
 }
 
-#[derive(Debug, Default)]
+/// One radix node: 512 slots indexed by the VA's 9-bit field, plus a
+/// live count so emptiness checks (pruning) cost O(1).
+#[derive(Debug)]
 struct Level {
-    entries: HashMap<u16, Entry>,
+    entries: Box<[Entry; 512]>,
+    live: u16,
+}
+
+impl Default for Level {
+    fn default() -> Self {
+        let entries: Box<[Entry; 512]> = (0..512)
+            .map(|_| Entry::Empty)
+            .collect::<Vec<_>>()
+            .into_boxed_slice()
+            .try_into()
+            .expect("512 entries");
+        Level { entries, live: 0 }
+    }
 }
 
 /// Index of `va` at page-table level `lvl` (3 = root/PML4 ... 0 = PT).
 #[inline]
-fn index(va: u64, lvl: u8) -> u16 {
-    ((va >> (12 + 9 * lvl as u64)) & 0x1ff) as u16
+fn index(va: u64, lvl: u8) -> usize {
+    ((va >> (12 + 9 * lvl as u64)) & 0x1ff) as usize
 }
 
 /// Four-level page table.
@@ -131,22 +154,25 @@ impl PageTable {
         let mut lvl_ref = &mut self.root;
         for lvl in (1..=3u8).rev() {
             let idx = index(va.raw(), lvl);
-            let entry = lvl_ref
-                .entries
-                .entry(idx)
-                .or_insert_with(|| Entry::Table(Box::default()));
-            match entry {
+            if matches!(lvl_ref.entries[idx], Entry::Empty) {
+                lvl_ref.entries[idx] = Entry::Table(Box::default());
+                lvl_ref.live += 1;
+            }
+            match &mut lvl_ref.entries[idx] {
                 Entry::Table(next) => lvl_ref = next,
-                Entry::Leaf2m { .. } | Entry::Leaf4k { .. } => return Err(MapError::Overlap),
+                _ => return Err(MapError::Overlap),
             }
         }
         let idx = index(va.raw(), 0);
-        if lvl_ref.entries.contains_key(&idx) {
-            return Err(MapError::AlreadyMapped(va));
+        match lvl_ref.entries[idx] {
+            Entry::Empty => {
+                lvl_ref.entries[idx] = Entry::Leaf4k { phys: pa, flags };
+                lvl_ref.live += 1;
+                self.leaves_4k += 1;
+                Ok(())
+            }
+            _ => Err(MapError::AlreadyMapped(va)),
         }
-        lvl_ref.entries.insert(idx, Entry::Leaf4k { phys: pa, flags });
-        self.leaves_4k += 1;
-        Ok(())
     }
 
     /// Map a 2 MiB page (leaf at level 1).
@@ -157,33 +183,34 @@ impl PageTable {
         let mut lvl_ref = &mut self.root;
         for lvl in (2..=3u8).rev() {
             let idx = index(va.raw(), lvl);
-            let entry = lvl_ref
-                .entries
-                .entry(idx)
-                .or_insert_with(|| Entry::Table(Box::default()));
-            match entry {
+            if matches!(lvl_ref.entries[idx], Entry::Empty) {
+                lvl_ref.entries[idx] = Entry::Table(Box::default());
+                lvl_ref.live += 1;
+            }
+            match &mut lvl_ref.entries[idx] {
                 Entry::Table(next) => lvl_ref = next,
                 _ => return Err(MapError::Overlap),
             }
         }
         let idx = index(va.raw(), 1);
-        match lvl_ref.entries.get(&idx) {
-            None => {
-                lvl_ref.entries.insert(idx, Entry::Leaf2m { phys: pa, flags });
+        match lvl_ref.entries[idx] {
+            Entry::Empty => {
+                lvl_ref.entries[idx] = Entry::Leaf2m { phys: pa, flags };
+                lvl_ref.live += 1;
                 self.leaves_2m += 1;
                 Ok(())
             }
-            Some(Entry::Table(_)) => Err(MapError::Overlap),
-            Some(_) => Err(MapError::AlreadyMapped(va)),
+            Entry::Table(_) => Err(MapError::Overlap),
+            _ => Err(MapError::AlreadyMapped(va)),
         }
     }
 
-    /// Translate a virtual address.
+    /// Translate a virtual address — the raw radix walk (TLB miss path):
+    /// four direct array indexes, no hashing.
     pub fn translate(&self, va: VirtAddr) -> Option<Translation> {
         let mut lvl_ref = &self.root;
         for lvl in (1..=3u8).rev() {
-            let idx = index(va.raw(), lvl);
-            match lvl_ref.entries.get(&idx)? {
+            match &lvl_ref.entries[index(va.raw(), lvl)] {
                 Entry::Table(next) => lvl_ref = next,
                 Entry::Leaf2m { phys, flags } if lvl == 1 => {
                     let off = va.raw() & (PAGE_SIZE_2M - 1);
@@ -196,8 +223,7 @@ impl PageTable {
                 _ => return None,
             }
         }
-        let idx = index(va.raw(), 0);
-        match lvl_ref.entries.get(&idx)? {
+        match &lvl_ref.entries[index(va.raw(), 0)] {
             Entry::Leaf4k { phys, flags } => Some(Translation {
                 phys: *phys + va.page_offset(),
                 size: PageSize::Size4k,
@@ -210,6 +236,11 @@ impl PageTable {
     /// Unmap the leaf containing `va`. Returns the leaf's base physical
     /// address and size, or `None` if nothing was mapped. Empty intermediate
     /// tables are pruned so table growth stays bounded.
+    ///
+    /// Any [`SoftTlb`](super::tlb::SoftTlb) caching this table must be
+    /// shot down for the removed range — see
+    /// [`TlbSet::shootdown_page`](super::tlb::TlbSet::shootdown_page);
+    /// [`super::AddressSpace`] does this automatically.
     pub fn unmap(&mut self, va: VirtAddr) -> Option<(PhysAddr, PageSize)> {
         let result = Self::unmap_rec(&mut self.root, va.raw(), 3)?;
         match result.1 {
@@ -221,23 +252,26 @@ impl PageTable {
 
     fn unmap_rec(level: &mut Level, va: u64, lvl: u8) -> Option<(PhysAddr, PageSize)> {
         let idx = index(va, lvl);
-        let entry = level.entries.get_mut(&idx)?;
-        match entry {
+        match &mut level.entries[idx] {
+            Entry::Empty => None,
             Entry::Leaf4k { phys, .. } => {
                 let pa = *phys;
-                level.entries.remove(&idx);
+                level.entries[idx] = Entry::Empty;
+                level.live -= 1;
                 Some((pa, PageSize::Size4k))
             }
             Entry::Leaf2m { phys, .. } if lvl == 1 => {
                 let pa = *phys;
-                level.entries.remove(&idx);
+                level.entries[idx] = Entry::Empty;
+                level.live -= 1;
                 Some((pa, PageSize::Size2m))
             }
             Entry::Leaf2m { .. } => None,
             Entry::Table(next) => {
                 let r = Self::unmap_rec(next, va, lvl - 1)?;
-                if next.entries.is_empty() {
-                    level.entries.remove(&idx);
+                if next.live == 0 {
+                    level.entries[idx] = Entry::Empty;
+                    level.live -= 1;
                 }
                 Some(r)
             }
@@ -339,6 +373,8 @@ mod tests {
         assert!(pt.translate(VirtAddr(0x7000)).is_none());
         assert!(pt.is_empty());
         assert_eq!(pt.unmap(VirtAddr(0x7000)), None);
+        // Intermediate tables were pruned back to an empty root.
+        assert_eq!(pt.root.live, 0);
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! Software TLB: a direct-mapped translation cache in front of the
+//! radix walk of [`PageTable`](super::pagetable::PageTable).
+//!
+//! The offload and fault paths translate the same handful of pages over
+//! and over (proxy dereferences of syscall pointer arguments, arena
+//! touches); a hit costs one array index and a tag compare instead of a
+//! four-level walk. The cache mirrors hardware structure: separate
+//! direct-mapped arrays for 4 KiB and 2 MiB leaves, each entry tagged
+//! with the full virtual page number so aliased slots never return a
+//! stale mapping. Like a real TLB it caches *leaf base + flags*, never
+//! an offset, and must be shot down when a mapping is removed —
+//! [`TlbSet::shootdown_page`] broadcasts the invalidation to every
+//! per-CPU cache, which is exactly the hook
+//! [`unmap_range`](super::unmap_range) drives.
+
+use super::pagetable::{PageSize, PageTable, PteFlags, Translation};
+use hwmodel::addr::{PhysAddr, VirtAddr, PAGE_SIZE_2M};
+
+/// 4 KiB-entry slots (direct-mapped by VPN low bits).
+const SLOTS_4K: usize = 256;
+/// 2 MiB-entry slots.
+const SLOTS_2M: usize = 32;
+
+/// One cached leaf: full-VPN tag + leaf base + flags. `tag == u64::MAX`
+/// marks an invalid slot (no virtual page number reaches that value:
+/// the canonical VA space tops out well below 2^52 pages).
+#[derive(Clone, Copy, Debug)]
+struct TlbEntry {
+    tag: u64,
+    base: PhysAddr,
+    flags: PteFlags,
+}
+
+const INVALID: TlbEntry = TlbEntry {
+    tag: u64::MAX,
+    base: PhysAddr(0),
+    flags: PteFlags {
+        write: false,
+        user: false,
+        device: false,
+    },
+};
+
+/// One CPU's translation cache.
+#[derive(Debug)]
+pub struct SoftTlb {
+    e4k: Box<[TlbEntry; SLOTS_4K]>,
+    e2m: Box<[TlbEntry; SLOTS_2M]>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SoftTlb {
+    /// Empty cache.
+    pub fn new() -> Self {
+        SoftTlb {
+            e4k: Box::new([INVALID; SLOTS_4K]),
+            e2m: Box::new([INVALID; SLOTS_2M]),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Cache-only lookup; counts a hit or miss.
+    #[inline]
+    pub fn lookup(&mut self, va: VirtAddr) -> Option<Translation> {
+        let vpn4k = va.raw() >> 12;
+        let e = &self.e4k[(vpn4k as usize) & (SLOTS_4K - 1)];
+        if e.tag == vpn4k {
+            self.hits += 1;
+            return Some(Translation {
+                phys: e.base + va.page_offset(),
+                size: PageSize::Size4k,
+                flags: e.flags,
+            });
+        }
+        let vpn2m = va.raw() >> 21;
+        let e = &self.e2m[(vpn2m as usize) & (SLOTS_2M - 1)];
+        if e.tag == vpn2m {
+            self.hits += 1;
+            return Some(Translation {
+                phys: e.base + (va.raw() & (PAGE_SIZE_2M - 1)),
+                size: PageSize::Size2m,
+                flags: e.flags,
+            });
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Install the leaf covering `va`. `t` may carry an in-page offset
+    /// (as [`PageTable::translate`] returns); only the leaf base is
+    /// cached.
+    #[inline]
+    pub fn insert(&mut self, va: VirtAddr, t: &Translation) {
+        match t.size {
+            PageSize::Size4k => {
+                let vpn = va.raw() >> 12;
+                self.e4k[(vpn as usize) & (SLOTS_4K - 1)] = TlbEntry {
+                    tag: vpn,
+                    base: PhysAddr(t.phys.raw() & !(super::PAGE_SIZE - 1)),
+                    flags: t.flags,
+                };
+            }
+            PageSize::Size2m => {
+                let vpn = va.raw() >> 21;
+                self.e2m[(vpn as usize) & (SLOTS_2M - 1)] = TlbEntry {
+                    tag: vpn,
+                    base: PhysAddr(t.phys.raw() & !(PAGE_SIZE_2M - 1)),
+                    flags: t.flags,
+                };
+            }
+        }
+    }
+
+    /// Translate through the cache, walking `pt` and filling on a miss.
+    #[inline]
+    pub fn translate(&mut self, pt: &PageTable, va: VirtAddr) -> Option<Translation> {
+        if let Some(t) = self.lookup(va) {
+            return Some(t);
+        }
+        let t = pt.translate(va)?;
+        self.insert(va, &t);
+        Some(t)
+    }
+
+    /// Invalidate any cached leaf covering `va` (both granularities —
+    /// the caller rarely knows which size was mapped).
+    pub fn flush_page(&mut self, va: VirtAddr) {
+        let vpn4k = va.raw() >> 12;
+        let e = &mut self.e4k[(vpn4k as usize) & (SLOTS_4K - 1)];
+        if e.tag == vpn4k {
+            *e = INVALID;
+        }
+        let vpn2m = va.raw() >> 21;
+        let e = &mut self.e2m[(vpn2m as usize) & (SLOTS_2M - 1)];
+        if e.tag == vpn2m {
+            *e = INVALID;
+        }
+    }
+
+    /// Drop every entry.
+    pub fn flush_all(&mut self) {
+        self.e4k.fill(INVALID);
+        self.e2m.fill(INVALID);
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+impl Default for SoftTlb {
+    fn default() -> Self {
+        SoftTlb::new()
+    }
+}
+
+/// Per-CPU software TLBs with shootdown broadcast — the software
+/// analogue of IPI-driven TLB invalidation: removing a mapping must
+/// invalidate every core's cached copy, not just the unmapping core's.
+#[derive(Debug)]
+pub struct TlbSet {
+    cpus: Vec<SoftTlb>,
+}
+
+impl TlbSet {
+    /// One cache per CPU.
+    pub fn new(ncpus: usize) -> Self {
+        TlbSet {
+            cpus: (0..ncpus.max(1)).map(|_| SoftTlb::new()).collect(),
+        }
+    }
+
+    /// Number of per-CPU caches.
+    pub fn len(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Whether the set is empty (never true — `new` clamps to 1 CPU).
+    pub fn is_empty(&self) -> bool {
+        self.cpus.is_empty()
+    }
+
+    /// Translate on `cpu` (indexes modulo the CPU count), filling that
+    /// CPU's cache from `pt` on a miss.
+    #[inline]
+    pub fn translate_on(&mut self, cpu: usize, pt: &PageTable, va: VirtAddr) -> Option<Translation> {
+        let n = self.cpus.len();
+        self.cpus[cpu % n].translate(pt, va)
+    }
+
+    /// Shoot down the page containing `va` on every CPU.
+    pub fn shootdown_page(&mut self, va: VirtAddr) {
+        for tlb in &mut self.cpus {
+            tlb.flush_page(va);
+        }
+    }
+
+    /// Full flush on every CPU (address-space teardown).
+    pub fn shootdown_all(&mut self) {
+        for tlb in &mut self.cpus {
+            tlb.flush_all();
+        }
+    }
+
+    /// Aggregate (hits, misses) over all CPUs.
+    pub fn stats(&self) -> (u64, u64) {
+        self.cpus.iter().fold((0, 0), |(h, m), t| {
+            let (th, tm) = t.stats();
+            (h + th, m + tm)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::pagetable::PteFlags;
+    use super::*;
+    use hwmodel::addr::PAGE_SIZE;
+
+    fn sample_pt() -> PageTable {
+        let mut pt = PageTable::new();
+        pt.map_4k(VirtAddr(0x4000), PhysAddr(0x10_0000), PteFlags::rw())
+            .unwrap();
+        pt.map_2m(VirtAddr(0x4000_0000), PhysAddr(0x80_0000), PteFlags::ro())
+            .unwrap();
+        pt
+    }
+
+    #[test]
+    fn hit_after_fill_matches_walk() {
+        let pt = sample_pt();
+        let mut tlb = SoftTlb::new();
+        for va in [VirtAddr(0x4123), VirtAddr(0x4000_5123)] {
+            let walked = pt.translate(va).unwrap();
+            assert_eq!(tlb.translate(&pt, va), Some(walked)); // miss+fill
+            assert_eq!(tlb.translate(&pt, va), Some(walked)); // hit
+        }
+        assert_eq!(tlb.stats(), (2, 2));
+    }
+
+    #[test]
+    fn aliased_slots_never_return_stale_translation() {
+        let mut pt = PageTable::new();
+        // Two VAs whose 4K VPNs alias the same direct-mapped slot
+        // (differ by exactly SLOTS_4K pages).
+        let a = VirtAddr(0x10_0000);
+        let b = VirtAddr(0x10_0000 + (SLOTS_4K as u64) * PAGE_SIZE);
+        pt.map_4k(a, PhysAddr(0xa000), PteFlags::rw()).unwrap();
+        pt.map_4k(b, PhysAddr(0xb000), PteFlags::rw()).unwrap();
+        let mut tlb = SoftTlb::new();
+        assert_eq!(tlb.translate(&pt, a).unwrap().phys, PhysAddr(0xa000));
+        // b evicts a's entry; a must re-walk, not hit b's slot data.
+        assert_eq!(tlb.translate(&pt, b).unwrap().phys, PhysAddr(0xb000));
+        assert_eq!(tlb.translate(&pt, a).unwrap().phys, PhysAddr(0xa000));
+    }
+
+    #[test]
+    fn flush_page_invalidates_both_granularities() {
+        let pt = sample_pt();
+        let mut tlb = SoftTlb::new();
+        tlb.translate(&pt, VirtAddr(0x4000)).unwrap();
+        tlb.translate(&pt, VirtAddr(0x4000_0000)).unwrap();
+        tlb.flush_page(VirtAddr(0x4abc));
+        tlb.flush_page(VirtAddr(0x4010_0000));
+        assert_eq!(tlb.lookup(VirtAddr(0x4000)), None);
+        assert_eq!(tlb.lookup(VirtAddr(0x4000_0000)), None);
+    }
+
+    #[test]
+    fn stale_entry_after_unmap_without_shootdown_is_the_hazard() {
+        // Documents WHY shootdown exists: without flushing, the cache
+        // would keep translating an unmapped page.
+        let mut pt = sample_pt();
+        let mut tlb = SoftTlb::new();
+        tlb.translate(&pt, VirtAddr(0x4000)).unwrap();
+        pt.unmap(VirtAddr(0x4000)).unwrap();
+        assert!(tlb.lookup(VirtAddr(0x4000)).is_some(), "stale without flush");
+        tlb.flush_page(VirtAddr(0x4000));
+        assert_eq!(tlb.translate(&pt, VirtAddr(0x4000)), None);
+    }
+
+    #[test]
+    fn shootdown_reaches_every_cpu() {
+        let pt = sample_pt();
+        let mut set = TlbSet::new(4);
+        for cpu in 0..4 {
+            set.translate_on(cpu, &pt, VirtAddr(0x4000)).unwrap();
+        }
+        set.shootdown_page(VirtAddr(0x4000));
+        let (hits, misses) = set.stats();
+        assert_eq!((hits, misses), (0, 4));
+        for cpu in 0..4 {
+            // All misses again: every CPU's copy was invalidated.
+            set.translate_on(cpu, &pt, VirtAddr(0x4000)).unwrap();
+        }
+        assert_eq!(set.stats(), (0, 8));
+        set.shootdown_all();
+        assert!(!set.is_empty());
+        assert_eq!(set.len(), 4);
+    }
+}

@@ -125,9 +125,10 @@ impl ShmRegistry {
         va: VirtAddr,
     ) -> Result<(), Errno> {
         let seg = self.segments.get_mut(&id).ok_or(Errno::ENOENT)?;
-        // Tear down leaves + the VMA, but do NOT free frames (shared).
+        // Tear down leaves + the VMA (with TLB shootdown), but do NOT
+        // free frames (shared).
         for i in 0..seg.chunks.len() as u64 {
-            aspace.pt.unmap(va + i * PAGE_SIZE_2M);
+            aspace.unmap_page(va + i * PAGE_SIZE_2M);
         }
         aspace.vm.munmap(va, seg.len)?;
         seg.refs = seg.refs.saturating_sub(1);

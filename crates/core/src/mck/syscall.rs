@@ -86,9 +86,9 @@ impl SyscallRequest {
     /// Wire size in bytes.
     pub const WIRE_SIZE: usize = 8 + 4 + 4 + 4 + 4 + 6 * 8;
 
-    /// Serialize (little-endian, fixed layout).
-    pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(Self::WIRE_SIZE);
+    /// Serialize into `out` (little-endian, fixed layout) — lets hot
+    /// paths reuse a preallocated wire buffer.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.seq.to_le_bytes());
         out.extend_from_slice(&self.pid.to_le_bytes());
         out.extend_from_slice(&self.tid.to_le_bytes());
@@ -97,6 +97,12 @@ impl SyscallRequest {
         for a in self.args {
             out.extend_from_slice(&a.to_le_bytes());
         }
+    }
+
+    /// Serialize (little-endian, fixed layout).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::WIRE_SIZE);
+        self.encode_into(&mut out);
         out
     }
 
@@ -131,11 +137,16 @@ impl SyscallReply {
     /// Wire size in bytes.
     pub const WIRE_SIZE: usize = 16;
 
+    /// Serialize into `out` — lets hot paths reuse a wire buffer.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.ret.to_le_bytes());
+    }
+
     /// Serialize.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(Self::WIRE_SIZE);
-        out.extend_from_slice(&self.seq.to_le_bytes());
-        out.extend_from_slice(&self.ret.to_le_bytes());
+        self.encode_into(&mut out);
         out
     }
 

@@ -34,14 +34,38 @@ pub enum UasFault {
     NotMappedOnLwk(VirtAddr),
 }
 
+/// Direct-mapped front-cache size. Every offloaded pointer dereference
+/// lands here first; the authoritative `faulted` map is only consulted
+/// (and hashed) on a front miss.
+const FRONT_SLOTS: usize = 64;
+
 /// Proxy-side pseudo-mapping state: which pages have been faulted in and
-/// what they resolve to.
-#[derive(Debug, Default)]
+/// what they resolve to. `faulted` is authoritative; `front_tags`/
+/// `front_base` are a small direct-mapped cache in front of it so the
+/// steady-state resolve is an index + compare instead of a SipHash probe.
+/// Observable behavior (fault/hit counts, resident PTEs, returned
+/// addresses) is identical with the cache disabled.
+#[derive(Debug)]
 pub struct UnifiedAddressSpace {
     faulted: HashMap<u64, PhysAddr>,
+    front_tags: [u64; FRONT_SLOTS],
+    front_base: [PhysAddr; FRONT_SLOTS],
     fault_count: u64,
     hit_count: u64,
     invalidated: u64,
+}
+
+impl Default for UnifiedAddressSpace {
+    fn default() -> Self {
+        UnifiedAddressSpace {
+            faulted: HashMap::new(),
+            front_tags: [u64::MAX; FRONT_SLOTS],
+            front_base: [PhysAddr(0); FRONT_SLOTS],
+            fault_count: 0,
+            hit_count: 0,
+            invalidated: 0,
+        }
+    }
 }
 
 impl UnifiedAddressSpace {
@@ -68,7 +92,14 @@ impl UnifiedAddressSpace {
             return Err(UasFault::OutOfRange(va));
         }
         let page = va.page_align_down().raw();
+        let slot = ((page / PAGE_SIZE) as usize) % FRONT_SLOTS;
+        if self.front_tags[slot] == page {
+            self.hit_count += 1;
+            return Ok((self.front_base[slot] + va.page_offset(), Cycles::ZERO));
+        }
         if let Some(&base) = self.faulted.get(&page) {
+            self.front_tags[slot] = page;
+            self.front_base[slot] = base;
             self.hit_count += 1;
             return Ok((base + va.page_offset(), Cycles::ZERO));
         }
@@ -77,6 +108,8 @@ impl UnifiedAddressSpace {
             .ok_or(UasFault::NotMappedOnLwk(va))?;
         let page_phys = tr.phys.page_align_down();
         self.faulted.insert(page, page_phys);
+        self.front_tags[slot] = page;
+        self.front_base[slot] = page_phys;
         self.fault_count += 1;
         Ok((page_phys + va.page_offset(), costs.unified_fault))
     }
@@ -135,6 +168,9 @@ impl UnifiedAddressSpace {
         let e = start.raw() + len;
         let before = self.faulted.len();
         self.faulted.retain(|&page, _| page < s || page >= e);
+        // Shoot down the front cache wholesale: invalidation is the cold
+        // path and a full flush can never leave a stale translation behind.
+        self.front_tags = [u64::MAX; FRONT_SLOTS];
         let removed = (before - self.faulted.len()) as u64;
         self.invalidated += removed;
         removed
@@ -272,6 +308,33 @@ mod tests {
         // *new* translation if McKernel remapped the page).
         let (_, cost) = uas.resolve(VirtAddr(0x100_0000), &pt, &costs).unwrap();
         assert_eq!(cost, costs.unified_fault);
+    }
+
+    #[test]
+    fn front_cache_aliases_never_mix_pages() {
+        // Two pages FRONT_SLOTS apart share a direct-mapped slot; ping-pong
+        // accesses must keep returning each page's own frame, with the
+        // same counter evolution as the cache-free implementation.
+        let (mut pt, _, costs) = setup();
+        let stride = FRONT_SLOTS as u64 * PAGE_SIZE;
+        pt.map_4k(
+            VirtAddr(0x100_0000 + stride),
+            PhysAddr(0x9_0000),
+            PteFlags::rw(),
+        )
+        .unwrap();
+        let mut uas = UnifiedAddressSpace::new();
+        for _ in 0..4 {
+            let (a, _) = uas.resolve(VirtAddr(0x100_0000), &pt, &costs).unwrap();
+            let (b, _) = uas
+                .resolve(VirtAddr(0x100_0000 + stride), &pt, &costs)
+                .unwrap();
+            assert_eq!(a, PhysAddr(0x20_0000));
+            assert_eq!(b, PhysAddr(0x9_0000));
+        }
+        let (faults, hits, _) = uas.stats();
+        assert_eq!(faults, 2, "one first-touch fault per page");
+        assert_eq!(hits, 6, "every later access counts as a hit");
     }
 
     #[test]

@@ -341,8 +341,15 @@ impl LinuxKernel {
             Some(Sysno::GetRandom) => {
                 let (ptr, len) = (req.args[0], req.args[1].min(4096));
                 let mut r = self.rng.stream("getrandom", req.seq);
-                let data: Vec<u8> = (0..len).map(|_| r.range_u64(0, 256) as u8).collect();
-                match proxy.uas.write(VirtAddr(ptr), &data, lwk_pt, mem, &costs) {
+                // Stack scratch, not a Vec: the hot path allocates nothing.
+                // Draw order is byte-for-byte the sequence the collect()
+                // formulation produced, so output bytes are unchanged.
+                let mut scratch = [0u8; 4096];
+                let data = &mut scratch[..len as usize];
+                for b in data.iter_mut() {
+                    *b = r.range_u64(0, 256) as u8;
+                }
+                match proxy.uas.write(VirtAddr(ptr), data, lwk_pt, mem, &costs) {
                     Ok(fc) => (len as i64, Cycles::from_us(2) + fc),
                     Err(_) => (encode_result(Err(Errno::EFAULT)), Cycles::from_us(2)),
                 }

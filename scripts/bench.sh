@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Offload hot-path benchmark driver. Run from the repo root.
+#
+#   scripts/bench.sh              # full run, rewrites BENCH_offload.json
+#   scripts/bench.sh --check      # compare a fresh run against the
+#                                 # committed baseline (2x tolerance),
+#                                 # exit non-zero on regression
+#
+# Knobs (environment):
+#   HLWK_BENCH_ITERS  iterations per metric (default 20000)
+#   HLWK_BENCH_OUT    output path (default BENCH_offload.json)
+#
+# The metrics are host wall-clock nanoseconds (NOT modeled cycles): the
+# offload round trip, software-TLB translate hit/miss, and an IKC
+# send+recv pair. See EXPERIMENTS.md for how to read and update them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench --bin fig_offload_hotpath
+
+if [[ "${1:-}" == "--check" ]]; then
+    exec ./target/release/fig_offload_hotpath --check BENCH_offload.json
+fi
+exec ./target/release/fig_offload_hotpath

@@ -1,8 +1,22 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build, test, lint. Run from the repo root.
+#
+#   scripts/ci.sh                 # build + test + clippy
+#   scripts/ci.sh --bench-smoke   # also run the offload hot-path bench
+#                                 # (few iterations) and fail on a >2x
+#                                 # regression against BENCH_offload.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+    # Smoke iterations: enough to exercise every measured path and give
+    # stable-order-of-magnitude numbers, small enough for CI. The check
+    # compares against the committed baseline with the binary's built-in
+    # 2x tolerance, so smoke-run noise does not produce false failures.
+    HLWK_BENCH_ITERS="${HLWK_BENCH_ITERS:-2000}" \
+        ./target/release/fig_offload_hotpath --check BENCH_offload.json
+fi

@@ -193,24 +193,41 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    /// Choice between boxed alternatives (`prop_oneof!`), uniform or
+    /// weighted (`weight => strategy` arms, as in upstream proptest).
     pub struct Union<V> {
-        arms: Vec<BoxedStrategy<V>>,
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total_weight: u64,
     }
 
     impl<V> Union<V> {
         /// Build from the macro's collected arms; at least one required.
         pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            Union::new_weighted(arms.into_iter().map(|a| (1, a)).collect())
+        }
+
+        /// Build from `(weight, strategy)` pairs; weights must not all
+        /// be zero.
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
             assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
-            Union { arms }
+            let total_weight = arms.iter().map(|&(w, _)| u64::from(w)).sum();
+            assert!(total_weight > 0, "prop_oneof! weights must not all be zero");
+            Union { arms, total_weight }
         }
     }
 
     impl<V> Strategy for Union<V> {
         type Value = V;
         fn generate(&self, rng: &mut TestRng) -> V {
-            let i = rng.below(self.arms.len() as u64) as usize;
-            self.arms[i].generate(rng)
+            let mut pick = rng.below(self.total_weight);
+            for (w, arm) in &self.arms {
+                let w = u64::from(*w);
+                if pick < w {
+                    return arm.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("pick < total_weight")
         }
     }
 
@@ -359,6 +376,11 @@ macro_rules! prop_assert_ne {
 /// Uniform choice among strategy arms producing the same value type.
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($weight:literal => $arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($arm))),+
+        ])
+    };
     ($($arm:expr),+ $(,)?) => {
         $crate::strategy::Union::new(vec![
             $($crate::strategy::Strategy::boxed($arm)),+
