@@ -6,16 +6,29 @@
 //! (e) McKernel with Hadoop. For each, the worst 480-sample window of a
 //! measurement interval is reported (the paper's selection rule), plus
 //! the per-panel sample series on request (`HLWK_SERIES=1`).
+//!
+//! The five panels are independent single-node clusters and run as one
+//! pool submission (whole-figure parallelism); each panel's derived
+//! values are computed in its task and printed in panel order.
 
 use bench::{fwq_secs, header};
 use cluster::{Cluster, ClusterConfig, OsVariant};
-use simcore::{Cycles, LogHistogram, Summary};
+use simcore::{par, Cycles, LogHistogram, Summary};
 use workloads::fwq;
 
 struct Panel {
     label: &'static str,
     os: OsVariant,
     insitu: bool,
+}
+
+/// Everything a panel's output rows need, computed in its pool task.
+struct PanelResult {
+    summary: Summary,
+    spikes: usize,
+    tail_pct: f64,
+    hist_render: Option<String>,
+    series: Option<String>,
 }
 
 fn main() {
@@ -48,6 +61,8 @@ fn main() {
     ];
     let secs = fwq_secs();
     let quantum = fwq::DEFAULT_QUANTUM;
+    let want_hist = std::env::var("HLWK_HIST").is_ok();
+    let want_series = std::env::var("HLWK_SERIES").is_ok();
     header(&format!(
         "Figure 5 — FWQ noise (quantum {} cycles, {secs}s interval, worst {} samples)",
         quantum.raw(),
@@ -57,7 +72,8 @@ fn main() {
         "{:<40} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
         "configuration", "min(cy)", "mean(cy)", "max(cy)", "slowdown", "spikes", "tail>2x"
     );
-    for p in panels {
+    let results: Vec<PanelResult> = par::parallel_map(panels.len(), |pi| {
+        let p = &panels[pi];
         let mut cfg = ClusterConfig::paper(p.os).with_nodes(1).with_seed(0xF165);
         cfg.insitu = p.insitu;
         cfg.horizon_secs = secs + 2;
@@ -65,7 +81,7 @@ fn main() {
         let samples = cluster.fwq(quantum, Cycles::from_secs(secs), Cycles::from_us(1));
         let worst = fwq::worst_window(&samples, fwq::WINDOW);
         let as_f: Vec<f64> = worst.iter().map(|&x| x as f64).collect();
-        let s = Summary::from_samples(&as_f);
+        let summary = Summary::from_samples(&as_f);
         let spikes = worst
             .iter()
             .filter(|&&x| x > 2 * quantum.raw())
@@ -74,21 +90,30 @@ fn main() {
         // window): what fraction of all samples exceeded 2x the quantum.
         let mut hist = LogHistogram::new();
         hist.record_all(&samples);
+        PanelResult {
+            summary,
+            spikes,
+            tail_pct: hist.tail_fraction_above(2 * quantum.raw()) * 100.0,
+            hist_render: want_hist.then(|| hist.render(48)),
+            series: want_series.then(|| format!("{worst:?}")),
+        }
+    });
+    for (p, r) in panels.iter().zip(&results) {
         println!(
             "{:<40} {:>10.0} {:>10.0} {:>10.0} {:>9.1}x {:>9} {:>8.4}%",
             p.label,
-            s.min,
-            s.mean,
-            s.max,
-            s.max / quantum.raw() as f64,
-            spikes,
-            hist.tail_fraction_above(2 * quantum.raw()) * 100.0
+            r.summary.min,
+            r.summary.mean,
+            r.summary.max,
+            r.summary.max / quantum.raw() as f64,
+            r.spikes,
+            r.tail_pct
         );
-        if std::env::var("HLWK_HIST").is_ok() {
-            print!("{}", hist.render(48));
+        if let Some(h) = &r.hist_render {
+            print!("{h}");
         }
-        if std::env::var("HLWK_SERIES").is_ok() {
-            println!("  series: {:?}", worst);
+        if let Some(s) = &r.series {
+            println!("  series: {s}");
         }
     }
     println!(

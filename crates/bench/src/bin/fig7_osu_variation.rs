@@ -4,11 +4,14 @@
 //! Y value per (operation, size): `(max - min) / mean * 100` over the
 //! repetitions — "the maximum variation in percentage compared to the
 //! average value".
+//!
+//! All (collective × OS variant × repetition) cells run as one pool
+//! submission (whole-figure parallelism).
 
 use bench::{header, max_nodes, osu_iters, runs, size_label};
-use cluster::experiment::{parallel_runs, run_seed};
+use cluster::experiment::run_seed;
 use cluster::{Cluster, ClusterConfig, OsVariant};
-use simcore::{Cycles, Summary};
+use simcore::{par, Cycles, Summary};
 use workloads::osu::{Collective, OsuConfig};
 
 fn main() {
@@ -23,7 +26,41 @@ fn main() {
         "Figure 7 — max performance variation (%) under co-located Hadoop, {nodes} nodes, {n_runs} runs"
     ));
     let variants = OsVariant::all();
-    for coll in Collective::all() {
+    let colls = Collective::all();
+
+    let cells: Vec<(Collective, OsVariant, usize)> = colls
+        .iter()
+        .flat_map(|&coll| {
+            variants
+                .iter()
+                .flat_map(move |&os| (0..n_runs).map(move |run| (coll, os, run)))
+        })
+        .collect();
+    let per_cell: Vec<Vec<f64>> = par::parallel_map(cells.len(), |ci| {
+        let (coll, os, run) = cells[ci];
+        let sizes = coll.message_sizes();
+        let cfg = ClusterConfig::paper(os)
+            .with_nodes(nodes)
+            .with_insitu()
+            .with_seed(run_seed(0xF167, run));
+        let mut cluster = Cluster::build(cfg);
+        let mut at = Cycles::from_ms(1);
+        sizes
+            .iter()
+            .map(|&bytes| {
+                let res = cluster.run_osu(coll, bytes, &osu_cfg, at);
+                // Real OSU sweeps take minutes: cells are separated by
+                // startup/teardown, sampling different phases of the
+                // co-located job.
+                at = res.end + Cycles::from_secs(2);
+                res.latencies_us.iter().sum::<f64>()
+                    / res.latencies_us.len() as f64
+            })
+            .collect()
+    });
+
+    let mut cursor = 0usize;
+    for coll in colls {
         println!("\n--- {} ---", coll.name());
         println!(
             "{:>8} {:>22} {:>22} {:>12}",
@@ -34,27 +71,9 @@ fn main() {
         );
         let sizes = coll.message_sizes();
         let mut per_variant: Vec<Vec<f64>> = Vec::new();
-        for os in variants {
-            let per_run: Vec<Vec<f64>> = parallel_runs(n_runs, |run| {
-                let cfg = ClusterConfig::paper(os)
-                    .with_nodes(nodes)
-                    .with_insitu()
-                    .with_seed(run_seed(0xF167, run));
-                let mut cluster = Cluster::build(cfg);
-                let mut at = Cycles::from_ms(1);
-                sizes
-                    .iter()
-                    .map(|&bytes| {
-                        let res = cluster.run_osu(coll, bytes, &osu_cfg, at);
-                        // Real OSU sweeps take minutes: cells are separated by
-                        // startup/teardown, sampling different phases of the
-                        // co-located job.
-                        at = res.end + Cycles::from_secs(2);
-                        res.latencies_us.iter().sum::<f64>()
-                            / res.latencies_us.len() as f64
-                    })
-                    .collect()
-            });
+        for _os in variants {
+            let per_run = &per_cell[cursor..cursor + n_runs];
+            cursor += n_runs;
             // Variation across runs per size.
             let variation: Vec<f64> = (0..sizes.len())
                 .map(|i| {

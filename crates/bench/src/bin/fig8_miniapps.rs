@@ -1,10 +1,13 @@
 //! Figure 8: mini-application execution time vs node count, Linux+cgroup
 //! vs McKernel, plain runs (no in-situ workload).
+//!
+//! The whole (app × node count × OS variant × repetition) grid is one
+//! pool submission (whole-figure parallelism).
 
 use bench::{header, node_sweep, runs};
-use cluster::experiment::{parallel_runs, run_seed, RunStats};
+use cluster::experiment::{run_seed, RunStats};
 use cluster::{Cluster, ClusterConfig, OsVariant};
-use simcore::Cycles;
+use simcore::{par, Cycles};
 use workloads::miniapps::MiniApp;
 
 fn min_nodes(app: &MiniApp) -> u32 {
@@ -20,7 +23,34 @@ fn main() {
     header(&format!(
         "Figure 8 — mini-app execution time (s), avg over {n_runs} runs (variation in %)"
     ));
-    for app in MiniApp::paper_suite() {
+    let apps = MiniApp::paper_suite();
+    let oses = [OsVariant::LinuxCgroup, OsVariant::McKernel];
+
+    // Cells in exact table-consumption order: app-major, then node
+    // count, then OS, then run.
+    let mut cells: Vec<(&MiniApp, u32, OsVariant, usize)> = Vec::new();
+    for app in &apps {
+        for nodes in node_sweep(min_nodes(app)) {
+            for os in oses {
+                for run in 0..n_runs {
+                    cells.push((app, nodes, os, run));
+                }
+            }
+        }
+    }
+    let values: Vec<f64> = par::parallel_map(cells.len(), |ci| {
+        let (app, nodes, os, run) = cells[ci];
+        let cfg = ClusterConfig::paper(os)
+            .with_nodes(nodes)
+            .with_seed(run_seed(0xF168, run));
+        let mut cluster = Cluster::build(cfg);
+        cluster
+            .run_miniapp(app, Cycles::from_ms(1))
+            .as_secs_f64()
+    });
+
+    let mut cursor = 0usize;
+    for app in &apps {
         println!(
             "\n--- {} ({:?} scaling) ---",
             app.name, app.scaling
@@ -29,22 +59,10 @@ fn main() {
             "{:>6} {:>22} {:>22} {:>10}",
             "nodes", "Linux+cgroup", "McKernel", "mck gain"
         );
-        for nodes in node_sweep(min_nodes(&app)) {
-            let measure = |os: OsVariant| -> RunStats {
-                let app = app.clone();
-                let values = parallel_runs(n_runs, |run| {
-                    let cfg = ClusterConfig::paper(os)
-                        .with_nodes(nodes)
-                        .with_seed(run_seed(0xF168, run));
-                    let mut cluster = Cluster::build(cfg);
-                    cluster
-                        .run_miniapp(&app, Cycles::from_ms(1))
-                        .as_secs_f64()
-                });
-                RunStats::new(values)
-            };
-            let lin = measure(OsVariant::LinuxCgroup);
-            let mck = measure(OsVariant::McKernel);
+        for nodes in node_sweep(min_nodes(app)) {
+            let lin = RunStats::new(values[cursor..cursor + n_runs].to_vec());
+            let mck = RunStats::new(values[cursor + n_runs..cursor + 2 * n_runs].to_vec());
+            cursor += 2 * n_runs;
             let gain = (lin.mean() / mck.mean() - 1.0) * 100.0;
             println!(
                 "{:>6} {:>14.2}s ({:>4.1}%) {:>14.2}s ({:>4.1}%) {:>9.1}%",

@@ -8,7 +8,7 @@
 use bench::header;
 use cluster::{Cluster, ClusterConfig, OsVariant};
 use hwmodel::interference::PageBacking;
-use simcore::Cycles;
+use simcore::{par, Cycles};
 use workloads::miniapps::MiniApp;
 
 fn run(app: &MiniApp, backing: PageBacking, nodes: u32) -> f64 {
@@ -31,9 +31,21 @@ fn main() {
         "{:<10} {:>10} {:>12} {:>12} {:>8}",
         "app", "mem-int", "2MiB (s)", "4KiB (s)", "gain"
     );
-    for app in MiniApp::paper_suite() {
-        let large = run(&app, PageBacking::Large2mContiguous, nodes);
-        let small = run(&app, PageBacking::Small4k, nodes);
+    // One pool submission for the whole (app × backing) grid.
+    let apps = MiniApp::paper_suite();
+    let cells: Vec<(&MiniApp, PageBacking)> = apps
+        .iter()
+        .flat_map(|app| {
+            [PageBacking::Large2mContiguous, PageBacking::Small4k]
+                .into_iter()
+                .map(move |b| (app, b))
+        })
+        .collect();
+    let times: Vec<f64> =
+        par::parallel_map(cells.len(), |ci| run(cells[ci].0, cells[ci].1, nodes));
+    for (i, app) in apps.iter().enumerate() {
+        let large = times[2 * i];
+        let small = times[2 * i + 1];
         println!(
             "{:<10} {:>10.2} {:>12.2} {:>12.2} {:>7.1}%",
             app.name,

@@ -4,32 +4,16 @@
 //! The paper proposes making MPI aware of the hybrid setting so internal
 //! buffers are pre-registered at init and registration `write()`s never
 //! offload on the critical path. This bin measures large-message Reduce
-//! variation under Hadoop, with and without that fix.
+//! variation under Hadoop, with and without that fix. The full
+//! (size × MPI variant × repetition) grid is one pool submission.
 
 use bench::{header, size_label};
-use cluster::experiment::{parallel_runs, run_seed};
+use cluster::experiment::run_seed;
 use cluster::{Cluster, ClusterConfig, OsVariant};
-use simcore::{Cycles, Summary};
+use simcore::{par, Cycles, Summary};
 use workloads::osu::{Collective, OsuConfig};
 
-fn measure(nodes: u32, runs: usize, bytes: u64, hybrid_aware: bool) -> Summary {
-    let osu = OsuConfig {
-        warmup: 5,
-        iters: 6,
-        iter_gap: Cycles::from_us(300),
-    };
-    let vals = parallel_runs(runs, |run| {
-        let mut cfg = ClusterConfig::paper(OsVariant::McKernel)
-            .with_nodes(nodes)
-            .with_insitu()
-            .with_seed(run_seed(0x8E6F, run));
-        cfg.mpi_hybrid_aware = hybrid_aware;
-        let mut cluster = Cluster::build(cfg);
-        let res = cluster.run_osu(Collective::Reduce, bytes, &osu, Cycles::from_ms(1));
-        res.latencies_us.iter().sum::<f64>() / res.latencies_us.len() as f64
-    });
-    Summary::from_samples(&vals)
-}
+const SIZES: [u64; 3] = [64 << 10, 256 << 10, 1 << 20];
 
 fn main() {
     let nodes = bench::max_nodes().min(16);
@@ -41,9 +25,38 @@ fn main() {
         "{:>8} {:>20} {:>20} {:>22}",
         "size", "stock MVAPICH", "hybrid-aware MPI", "variation reduction"
     );
-    for bytes in [64u64 << 10, 256 << 10, 1 << 20] {
-        let stock = measure(nodes, runs, bytes, false);
-        let fixed = measure(nodes, runs, bytes, true);
+
+    // Cells in table order: size-major, then {stock, fixed}, then run.
+    let cells: Vec<(u64, bool, usize)> = SIZES
+        .iter()
+        .flat_map(|&bytes| {
+            [false, true]
+                .into_iter()
+                .flat_map(move |aware| (0..runs).map(move |run| (bytes, aware, run)))
+        })
+        .collect();
+    let vals: Vec<f64> = par::parallel_map(cells.len(), |ci| {
+        let (bytes, hybrid_aware, run) = cells[ci];
+        let osu = OsuConfig {
+            warmup: 5,
+            iters: 6,
+            iter_gap: Cycles::from_us(300),
+        };
+        let mut cfg = ClusterConfig::paper(OsVariant::McKernel)
+            .with_nodes(nodes)
+            .with_insitu()
+            .with_seed(run_seed(0x8E6F, run));
+        cfg.mpi_hybrid_aware = hybrid_aware;
+        let mut cluster = Cluster::build(cfg);
+        let res = cluster.run_osu(Collective::Reduce, bytes, &osu, Cycles::from_ms(1));
+        res.latencies_us.iter().sum::<f64>() / res.latencies_us.len() as f64
+    });
+
+    let mut cursor = 0usize;
+    for bytes in SIZES {
+        let stock = Summary::from_samples(&vals[cursor..cursor + runs]);
+        let fixed = Summary::from_samples(&vals[cursor + runs..cursor + 2 * runs]);
+        cursor += 2 * runs;
         println!(
             "{:>8} {:>14.1}us {:>4.0}% {:>14.1}us {:>4.0}% {:>21.1}x",
             size_label(bytes),

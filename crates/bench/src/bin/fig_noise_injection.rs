@@ -106,17 +106,26 @@ fn main() {
     header(&format!(
         "Noise injection — HPC-CG on {p} noiseless nodes, 2.5% CPU noise budget"
     ));
-    let baseline = run(p, Cycles::from_secs(10_000), Cycles(1), 1);
+    // Constant budget: freq x duration = 2.5% of time. The baseline and
+    // every granularity are independent sims — one pool submission.
+    let sweep = [(10_000u64, "10 kHz"), (1_000, "1 kHz"), (100, "100 Hz"), (10, "10 Hz"), (1, "1 Hz")];
+    let configs: Vec<(Cycles, Cycles, u64)> = std::iter::once((Cycles::from_secs(10_000), Cycles(1), 1))
+        .chain(sweep.iter().map(|&(freq_hz, _)| {
+            let period = Cycles(simcore::time::DEFAULT_FREQ_HZ / freq_hz);
+            (period, period.scale(0.025), 7)
+        }))
+        .collect();
+    let times: Vec<f64> =
+        simcore::par::parallel_map(configs.len(), |i| run(p, configs[i].0, configs[i].1, configs[i].2));
+    let baseline = times[0];
     println!("noiseless baseline: {baseline:.2}s\n");
     println!(
         "{:>12} {:>12} {:>12} {:>12} {:>12}",
         "frequency", "duration", "runtime(s)", "slowdown", "absorbed?"
     );
-    // Constant budget: freq x duration = 2.5% of time.
-    for (freq_hz, label) in [(10_000u64, "10 kHz"), (1_000, "1 kHz"), (100, "100 Hz"), (10, "10 Hz"), (1, "1 Hz")] {
-        let period = Cycles(simcore::time::DEFAULT_FREQ_HZ / freq_hz);
-        let duration = period.scale(0.025);
-        let t = run(p, period, duration, 7);
+    for ((&(_, label), &t), &(_, duration, _)) in
+        sweep.iter().zip(&times[1..]).zip(&configs[1..])
+    {
         let slow = t / baseline - 1.0;
         println!(
             "{:>12} {:>12} {:>12.2} {:>11.1}% {:>12}",

@@ -10,7 +10,7 @@ use mpisim::host::IdealHost;
 use mpisim::p2p::P2pParams;
 use mpisim::regcache::RegCache;
 use netsim::{Fabric, LinkParams};
-use simcore::{Cycles, StreamRng};
+use simcore::{par, Cycles, StreamRng};
 use workloads::osu::{pt2pt_bandwidth, pt2pt_latency, OsuConfig};
 
 fn with_ctx<R>(f: impl FnOnce(&mut Ctx<'_, IdealHost>) -> R) -> R {
@@ -41,7 +41,9 @@ fn main() {
         "{:>8} {:>14} {:>16}",
         "size", "latency (us)", "bandwidth (MB/s)"
     );
-    for p in 0..=20u32 {
+    // Each size is an independent fabric+host pair: run all sizes as one
+    // pool submission, print in size order.
+    let rows: Vec<(f64, f64)> = par::parallel_map(21, |p| {
         let bytes = 1u64 << p;
         let lat = with_ctx(|ctx| pt2pt_latency(ctx, bytes, &cfg, Cycles::from_us(1)));
         let bw = with_ctx(|ctx| {
@@ -57,6 +59,10 @@ fn main() {
                 Cycles::from_us(1),
             )
         });
+        (lat, bw)
+    });
+    for (p, (lat, bw)) in rows.iter().enumerate() {
+        let bytes = 1u64 << p;
         println!("{:>8} {:>14.2} {:>16.0}", size_label(bytes), lat, bw);
     }
     println!("\nReference (Connect-IB FDR era): ~1-1.5us small-message latency,");

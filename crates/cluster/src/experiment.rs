@@ -2,32 +2,25 @@
 //!
 //! The paper runs every measurement 15 times and reports average plus
 //! variation. Repetitions are independent simulations with derived seeds,
-//! executed in parallel on host threads (crossbeam scoped spawn — each
+//! executed on the bounded work-stealing pool ([`simcore::par`] — each
 //! repetition owns its whole cluster, so there is no shared mutable
-//! state and the runs are embarrassingly parallel).
+//! state and the runs are embarrassingly parallel). Figure binaries
+//! flatten their *entire* task grid (collective × OS × run, …) into one
+//! pool submission via [`simcore::par::parallel_map`]; this wrapper is
+//! the single-dimension convenience used by tests and callers that only
+//! sweep repetitions.
 
 use simcore::Summary;
 
 /// Number of repetitions the paper uses.
 pub const PAPER_RUNS: usize = 15;
 
-/// Run `n` independent repetitions of `f(run_index)` in parallel and
-/// collect results in index order. `f` receives the repetition index and
-/// must derive its seed from it for determinism.
+/// Run `n` independent repetitions of `f(run_index)` on the shared task
+/// pool and collect results in index order. `f` receives the repetition
+/// index and must derive its seed from it for determinism; the output is
+/// identical at any `HLWK_THREADS` setting.
 pub fn parallel_runs<T: Send, F: Fn(usize) -> T + Sync>(n: usize, f: F) -> Vec<T> {
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        for (i, slot) in out.iter_mut().enumerate() {
-            let f = &f;
-            s.spawn(move |_| {
-                *slot = Some(f(i));
-            });
-        }
-    })
-    .expect("repetition thread panicked");
-    out.into_iter()
-        .map(|o| o.expect("every slot filled"))
-        .collect()
+    simcore::par::parallel_map(n, f)
 }
 
 /// Statistics over repeated scalar measurements (one per run).

@@ -15,7 +15,7 @@
 //! * [`sim`] — the [`sim::Cluster`]: fabric + nodes + workload entry
 //!   points (FWQ, OSU collectives, mini-apps);
 //! * [`experiment`] — deterministic seeding, parallel repetition runner
-//!   (crossbeam scoped threads), result tables.
+//!   (the [`simcore::par`] bounded work-stealing pool), result tables.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -67,8 +67,8 @@ struct PipelineWorld {
     reqs: Vec<OffloadRequest>,
     /// When the proxy becomes free.
     proxy_free_at: Cycles,
-    /// Whether the proxy has been woken at least once this burst (a
-    /// parked proxy pays the wake delay; a busy one just continues).
+    /// Completion instant of each request, indexed by request; `None`
+    /// until its reply arrives (and forever, if the request was lost).
     completions: Vec<Option<Cycles>>,
 }
 

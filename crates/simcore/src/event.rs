@@ -1,64 +1,155 @@
-//! A cancellable event queue with FIFO-stable ordering.
+//! A cancellable event queue with FIFO-stable ordering, built on a
+//! hierarchical timer wheel.
 //!
 //! Events scheduled for the same instant pop in insertion order, which keeps
-//! simulations deterministic regardless of `BinaryHeap` internals.
-//! Cancellation is lazy: a cancelled key is remembered and the entry is
-//! discarded when it surfaces, which keeps `cancel` O(log n) amortized and
-//! avoids heap surgery. Schedulers use this for preemption timers that are
+//! simulations deterministic regardless of container internals. The queue is
+//! a 4-level × 256-slot timer wheel: level *l* buckets events whose time
+//! differs from the wheel cursor somewhere in bit range `[8l, 8l+8)`
+//! (XOR-based level assignment, so an entry's slot is always strictly ahead
+//! of the cursor and cascades monotonically toward level 0). Events beyond
+//! the wheel span (2^32 cycles ≈ 1.5 s of simulated time) park in an
+//! overflow heap and are promoted when the cursor approaches.
+//!
+//! Every scheduled event owns a generation-tagged arena slot;
+//! [`EventQueue::cancel`] is O(1) slot surgery (bump the generation, free
+//! the slot) and stale wheel references are discarded lazily when their
+//! slot drains. Unlike a tombstone set, a cancelled — or already fired —
+//! key can never skew [`EventQueue::len`], and cancel-after-fire correctly
+//! reports `false`. Schedulers use this for preemption timers that are
 //! frequently armed and disarmed.
 
 use crate::time::Cycles;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Wheel geometry: 4 levels of 256 slots, 8 bits per level.
+const LEVELS: usize = 4;
+const SLOTS: usize = 256;
+const LEVEL_BITS: u32 = 8;
+/// Bits covered by the whole wheel; times whose XOR distance from the
+/// cursor needs more bits go to the overflow heap.
+const WHEEL_BITS: u32 = LEVEL_BITS * LEVELS as u32;
 
 /// Handle to a scheduled event, usable to cancel it before it fires.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventKey(u64);
+pub struct EventKey {
+    idx: u32,
+    gen: u32,
+}
 
-#[derive(PartialEq, Eq)]
-struct Entry<E> {
-    at: Cycles,
+/// Reference to an arena entry as parked in a wheel slot, the due batch,
+/// or the overflow heap. Ordering is by `(at, seq)` — the pop contract.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Ref {
+    at: u64,
     seq: u64,
-    payload: E,
+    idx: u32,
+    gen: u32,
 }
 
-impl<E: Eq> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+/// One arena slot: the payload lives here until the event fires or is
+/// cancelled; `gen` bumps on every free so stale [`Ref`]s and stale
+/// [`EventKey`]s are detected in O(1).
+struct ArenaEntry<E> {
+    gen: u32,
+    payload: Option<E>,
+}
+
+/// One wheel level: 256 slots (allocated on first use) plus an occupancy
+/// bitmap so the next non-empty slot is found with a few word scans.
+struct Level {
+    slots: Vec<Vec<Ref>>,
+    occ: [u64; SLOTS / 64],
+}
+
+impl Level {
+    fn new() -> Level {
+        Level {
+            slots: Vec::new(),
+            occ: [0; SLOTS / 64],
+        }
     }
-}
 
-impl<E: Eq> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+    fn insert(&mut self, slot: usize, r: Ref) {
+        if self.slots.is_empty() {
+            self.slots.resize_with(SLOTS, Vec::new);
+        }
+        self.slots[slot].push(r);
+        self.occ[slot / 64] |= 1 << (slot % 64);
+    }
+
+    fn drain_slot(&mut self, slot: usize) -> Vec<Ref> {
+        self.occ[slot / 64] &= !(1 << (slot % 64));
+        std::mem::take(&mut self.slots[slot])
+    }
+
+    /// First occupied slot index strictly after `pos`, if any. XOR level
+    /// assignment guarantees no entry ever sits at or behind the cursor's
+    /// own slot, so the scan never wraps.
+    fn next_occupied_after(&self, pos: usize) -> Option<usize> {
+        let start = pos + 1;
+        if start >= SLOTS {
+            return None;
+        }
+        let mut wi = start / 64;
+        let mut word = self.occ[wi] & (!0u64 << (start % 64));
+        loop {
+            if word != 0 {
+                return Some(wi * 64 + word.trailing_zeros() as usize);
+            }
+            wi += 1;
+            if wi == SLOTS / 64 {
+                return None;
+            }
+            word = self.occ[wi];
+        }
     }
 }
 
 /// Priority queue of `(time, payload)` pairs.
 ///
-/// `E` only needs `Eq` for heap ordering plumbing; ordering is entirely by
-/// `(time, sequence)`.
+/// Pop order is entirely by `(time, sequence)`; `E` needs no bounds.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    cancelled: HashSet<u64>,
+    levels: [Level; LEVELS],
+    /// Events beyond the wheel span, ordered by `(at, seq)`.
+    overflow: BinaryHeap<Reverse<Ref>>,
+    /// Due events staged for pop, sorted ascending by `(at, seq)`.
+    batch: VecDeque<Ref>,
+    arena: Vec<ArenaEntry<E>>,
+    free: Vec<u32>,
+    /// Live (scheduled, uncancelled, unfired) event count.
+    live: usize,
+    /// References currently parked in wheel slots (stale ones included);
+    /// zero means every pending event is in the batch or overflow heap.
+    wheel_count: usize,
     next_seq: u64,
+    /// Wheel cursor: advances to each drained slot's base time. Always
+    /// `>= last_popped` and `<=` every event still parked in the wheel
+    /// or overflow.
+    wheel_now: u64,
     /// Last time returned by `pop`; used to assert monotonicity.
     last_popped: Cycles,
 }
 
-impl<E: Eq> Default for EventQueue<E> {
+impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E: Eq> EventQueue<E> {
+impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            levels: [Level::new(), Level::new(), Level::new(), Level::new()],
+            overflow: BinaryHeap::new(),
+            batch: VecDeque::new(),
+            arena: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            wheel_count: 0,
             next_seq: 0,
+            wheel_now: 0,
             last_popped: Cycles::ZERO,
         }
     }
@@ -76,8 +167,21 @@ impl<E: Eq> EventQueue<E> {
         let at = at.max(self.last_popped);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, payload }));
-        EventKey(seq)
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.arena[i as usize].payload = Some(payload);
+                i
+            }
+            None => {
+                assert!(self.arena.len() < u32::MAX as usize, "event arena full");
+                self.arena.push(ArenaEntry { gen: 0, payload: Some(payload) });
+                (self.arena.len() - 1) as u32
+            }
+        };
+        let gen = self.arena[idx as usize].gen;
+        self.live += 1;
+        self.insert_ref(Ref { at: at.0, seq, idx, gen });
+        EventKey { idx, gen }
     }
 
     /// Schedule `payload` `delay` after `now`.
@@ -86,48 +190,190 @@ impl<E: Eq> EventQueue<E> {
     }
 
     /// Cancel a previously scheduled event. Returns `true` if the event had
-    /// not fired (or been cancelled) yet.
+    /// not fired (or been cancelled) yet. O(1): the arena slot is freed and
+    /// its generation bumped; the stale wheel reference is discarded when
+    /// its slot drains.
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if key.0 >= self.next_seq {
-            return false;
+        match self.arena.get_mut(key.idx as usize) {
+            Some(slot) if slot.gen == key.gen && slot.payload.is_some() => {
+                slot.payload = None;
+                slot.gen = slot.gen.wrapping_add(1);
+                self.free.push(key.idx);
+                self.live -= 1;
+                true
+            }
+            _ => false,
         }
-        self.cancelled.insert(key.0)
     }
 
     /// Remove and return the next event in time order.
     pub fn pop(&mut self) -> Option<(Cycles, E)> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+        loop {
+            if self.batch.is_empty() {
+                self.refill_batch();
             }
-            self.last_popped = entry.at;
-            return Some((entry.at, entry.payload));
+            let r = self.batch.pop_front()?;
+            if !self.is_current(r) {
+                continue; // cancelled after being staged
+            }
+            let entry = &mut self.arena[r.idx as usize];
+            let payload = entry.payload.take().expect("current ref has payload");
+            entry.gen = entry.gen.wrapping_add(1);
+            self.free.push(r.idx);
+            self.live -= 1;
+            self.last_popped = Cycles(r.at);
+            return Some((Cycles(r.at), payload));
         }
-        None
     }
 
     /// Time of the next live event, if any.
     pub fn peek_time(&mut self) -> Option<Cycles> {
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                continue;
+        loop {
+            if self.batch.is_empty() {
+                self.refill_batch();
             }
-            return Some(entry.at);
+            let r = *self.batch.front()?;
+            if self.is_current(r) {
+                return Some(Cycles(r.at));
+            }
+            self.batch.pop_front();
         }
-        None
     }
 
     /// Number of live (uncancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live
     }
 
     /// Whether no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
+    }
+
+    /// Whether `r` still refers to a scheduled, uncancelled event.
+    #[inline]
+    fn is_current(&self, r: Ref) -> bool {
+        self.arena[r.idx as usize].gen == r.gen
+    }
+
+    /// Park `r` where it belongs: the due batch (at or before the cursor),
+    /// a wheel slot keyed by the highest differing bit vs. the cursor, or
+    /// the overflow heap beyond the wheel span.
+    fn insert_ref(&mut self, r: Ref) {
+        if r.at <= self.wheel_now {
+            // Due already (the cursor may have advanced ahead of
+            // `last_popped` while staging). Keep the batch sorted; the
+            // common case is an append.
+            let mut i = self.batch.len();
+            while i > 0 && self.batch[i - 1] > r {
+                i -= 1;
+            }
+            self.batch.insert(i, r);
+            return;
+        }
+        let diff = r.at ^ self.wheel_now;
+        let level = (63 - diff.leading_zeros()) / LEVEL_BITS;
+        if level >= WHEEL_BITS / LEVEL_BITS {
+            self.overflow.push(Reverse(r));
+            return;
+        }
+        let slot = ((r.at >> (level * LEVEL_BITS)) & (SLOTS as u64 - 1)) as usize;
+        self.levels[level as usize].insert(slot, r);
+        self.wheel_count += 1;
+    }
+
+    /// Advance the cursor to the next due instant and stage that slot's
+    /// events (in `(at, seq)` order) in the batch. Cascades higher-level
+    /// slots and promotes overflow entries as the cursor approaches them.
+    fn refill_batch(&mut self) {
+        // Fast path for sparse horizons: when every wheel level is empty,
+        // all live events sit in the overflow heap, which is already
+        // `(at, seq)`-ordered — stage its head directly instead of walking
+        // the cursor toward it in wheel-slot steps.
+        if self.wheel_count == 0 {
+            while let Some(Reverse(top)) = self.overflow.pop() {
+                if !self.is_current(top) {
+                    continue;
+                }
+                debug_assert!(top.at >= self.wheel_now);
+                self.wheel_now = top.at;
+                self.batch.push_back(top);
+                return;
+            }
+            return;
+        }
+        loop {
+            // Promote parked far-future events that now fit in the wheel.
+            while let Some(&Reverse(top)) = self.overflow.peek() {
+                if (top.at ^ self.wheel_now) >> WHEEL_BITS != 0 {
+                    break;
+                }
+                let top = self.overflow.pop().expect("peeked").0;
+                if self.is_current(top) {
+                    self.insert_ref(top);
+                }
+            }
+            // Earliest wheel slot across levels (min slot base wins; a
+            // slot's base lower-bounds every event in it).
+            let mut cand: Option<(usize, usize, u64)> = None;
+            for (l, level) in self.levels.iter().enumerate() {
+                let shift = l as u32 * LEVEL_BITS;
+                let pos = ((self.wheel_now >> shift) & (SLOTS as u64 - 1)) as usize;
+                if let Some(slot) = level.next_occupied_after(pos) {
+                    let window = self.wheel_now & !((1u64 << (shift + LEVEL_BITS)) - 1);
+                    let base = window | ((slot as u64) << shift);
+                    if cand.is_none_or(|(_, _, b)| base < b) {
+                        cand = Some((l, slot, base));
+                    }
+                }
+            }
+            // The overflow head can still be nearer in time than any wheel
+            // slot (large XOR distance, small arithmetic distance).
+            let over = self.overflow.peek().map(|Reverse(r)| r.at);
+            match (cand, over) {
+                (None, None) => return,
+                (None, Some(t)) => {
+                    self.wheel_now = t; // promote next iteration
+                }
+                (Some((_, _, base)), Some(t)) if t < base => {
+                    self.wheel_now = t;
+                }
+                (Some((l, slot, base)), _) => {
+                    self.wheel_now = base;
+                    let refs = self.levels[l].drain_slot(slot);
+                    self.wheel_count -= refs.len();
+                    if l == 0 {
+                        // A level-0 slot spans a single cycle: everything
+                        // in it is due at `base`. Order by sequence.
+                        let mut due: Vec<Ref> =
+                            refs.into_iter().filter(|&r| self.is_current(r)).collect();
+                        if due.is_empty() {
+                            continue;
+                        }
+                        due.sort_unstable();
+                        self.batch.extend(due);
+                        return;
+                    }
+                    // Cascade: with the cursor at the slot base, every
+                    // entry re-buckets at a strictly lower level (or the
+                    // batch, for entries due exactly at the base).
+                    for r in refs {
+                        if self.is_current(r) {
+                            self.insert_ref(r);
+                        }
+                    }
+                    if !self.batch.is_empty() && self.live_parked_none() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether nothing remains outside the batch (fast path to avoid one
+    /// extra scan when a cascade staged everything).
+    fn live_parked_none(&self) -> bool {
+        self.overflow.is_empty() && self.wheel_count == 0
     }
 }
 
@@ -173,7 +419,24 @@ mod tests {
     #[test]
     fn cancel_unknown_key_is_false() {
         let mut q: EventQueue<u32> = EventQueue::new();
-        assert!(!q.cancel(EventKey(42)));
+        assert!(!q.cancel(EventKey { idx: 42, gen: 0 }));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false_and_len_stays_consistent() {
+        // Regression: the old tombstone-set implementation returned `true`
+        // for a cancel after the event popped and permanently skewed
+        // `len()`/`is_empty()` with the orphaned tombstone.
+        let mut q = EventQueue::new();
+        let k = q.schedule(Cycles(10), 1);
+        q.schedule(Cycles(20), 2);
+        assert_eq!(q.pop(), Some((Cycles(10), 1)));
+        assert!(!q.cancel(k), "cancel after fire must report false");
+        assert_eq!(q.len(), 1, "fired-then-cancelled key must not skew len");
+        assert!(!q.is_empty());
+        assert_eq!(q.pop(), Some((Cycles(20), 2)));
+        assert!(q.is_empty());
+        assert!(!q.cancel(k));
     }
 
     #[test]
@@ -191,6 +454,113 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule_after(Cycles(100), Cycles(11), ());
         assert_eq!(q.pop(), Some((Cycles(111), ())));
+    }
+
+    #[test]
+    fn far_future_overflow_promotes_in_order() {
+        let mut q = EventQueue::new();
+        // Beyond the 2^32-cycle wheel span: parks in the overflow heap.
+        q.schedule(Cycles(1 << 40), "far");
+        q.schedule(Cycles((1 << 40) + 1), "farther");
+        q.schedule(Cycles(7), "near");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((Cycles(7), "near")));
+        assert_eq!(q.pop(), Some((Cycles(1 << 40), "far")));
+        assert_eq!(q.pop(), Some((Cycles((1 << 40) + 1), "farther")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(Cycles(1 << 35), i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((Cycles(1 << 35), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_overflow_entry() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(Cycles(1 << 36), 1);
+        q.schedule(Cycles((1 << 36) + 5), 2);
+        assert!(q.cancel(k));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Cycles((1 << 36) + 5), 2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wheel_boundary_crossings() {
+        // Times straddling level boundaries (255/256, 65535/65536, ...)
+        // must still pop in order.
+        let mut q = EventQueue::new();
+        let times = [
+            255u64, 256, 257, 65_535, 65_536, 65_537, 16_777_215, 16_777_216,
+            (1 << 32) - 1, 1 << 32, (1 << 32) + 1,
+        ];
+        for (i, &t) in times.iter().rev().enumerate() {
+            q.schedule(Cycles(t), i);
+        }
+        let mut prev = Cycles::ZERO;
+        for _ in 0..times.len() {
+            let (t, _) = q.pop().expect("scheduled");
+            assert!(t >= prev);
+            prev = t;
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn schedule_between_peek_and_pop_keeps_order() {
+        // peek_time advances the wheel cursor; a subsequent schedule for an
+        // earlier (but still future-of-last-pop) instant must pop first.
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(50), "late");
+        q.pop(); // last_popped = 50
+        q.schedule(Cycles(10_000), "later");
+        assert_eq!(q.peek_time(), Some(Cycles(10_000)));
+        q.schedule(Cycles(60), "early");
+        assert_eq!(q.pop(), Some((Cycles(60), "early")));
+        assert_eq!(q.pop(), Some((Cycles(10_000), "later")));
+    }
+
+    #[test]
+    fn key_reuse_does_not_cancel_new_event() {
+        // Arena slots are recycled; a stale key must never cancel the
+        // event that re-uses its slot.
+        let mut q = EventQueue::new();
+        let k_old = q.schedule(Cycles(10), 1);
+        q.pop();
+        let _k_new = q.schedule(Cycles(20), 2); // reuses the arena slot
+        assert!(!q.cancel(k_old), "stale key must miss the recycled slot");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Cycles(20), 2)));
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_dense() {
+        // The engine's hot pattern: pop one, schedule a successor close by.
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        for i in 0..64u64 {
+            q.schedule(Cycles(i * 3), i);
+            expect.push((i * 3, i));
+        }
+        let mut seen = Vec::new();
+        while let Some((t, v)) = q.pop() {
+            seen.push((t.0, v));
+            if v < 64 && seen.len() < 200 {
+                let nt = t + Cycles(191);
+                q.schedule(nt, v + 1000);
+                expect.push((nt.0, v + 1000));
+            }
+        }
+        expect.sort();
+        seen.sort();
+        assert_eq!(seen, expect);
     }
 
     #[test]

@@ -5,8 +5,12 @@
 //! * [`time`] — simulated time as CPU [`time::Cycles`] at a configurable
 //!   core frequency (the paper's testbed runs 2.8 GHz Xeon E5-2680v2 parts,
 //!   which is the default).
-//! * [`event`] — a cancellable, FIFO-stable event queue.
+//! * [`event`] — a cancellable, FIFO-stable event queue (hierarchical
+//!   timer wheel with O(1) cancellation).
 //! * [`engine`] — the event loop driving a [`engine::World`].
+//! * [`par`] — a bounded work-stealing task pool with deterministic
+//!   index-ordered result collection, for running experiment grids
+//!   across host cores without changing their output.
 //! * [`rng`] — deterministic, stream-splittable random number generation so
 //!   that every experiment run is exactly reproducible from its seed.
 //! * [`fault`] — seeded fault injection (message drop/delay/corrupt,
@@ -27,6 +31,7 @@ pub mod engine;
 pub mod event;
 pub mod fault;
 pub mod hist;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -1,0 +1,155 @@
+//! Model-based property tests for the timer-wheel [`EventQueue`].
+//!
+//! Random schedule/pop/cancel/peek interleavings run against a naive
+//! reference model (a flat list with true removal, ordered by
+//! `(time, seq)`), covering all four wheel levels, far-future overflow
+//! promotion, cascade boundaries, and FIFO stability at equal
+//! timestamps. The wheel must agree with the model on every pop, every
+//! peek, every cancel return value, and `len()` after each step.
+
+use proptest::prelude::*;
+use simcore::event::EventQueue;
+use simcore::Cycles;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Schedule at `last_popped + delay` (the engine's contract: never
+    /// into the past).
+    Schedule(u64),
+    Pop,
+    /// Cancel the `n`-th key handed out so far (mod count) — may target
+    /// live, fired, or already-cancelled events.
+    Cancel(usize),
+    Peek,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            // Dense level-0 delays dominate; mid delays exercise levels
+            // 1-3 and cascade boundaries; huge delays park in overflow.
+            3 => (0u64..256).prop_map(Op::Schedule),
+            2 => (0u64..70_000).prop_map(Op::Schedule),
+            1 => (0u64..(1u64 << 36)).prop_map(Op::Schedule),
+            3 => Just(Op::Pop),
+            2 => (0usize..256).prop_map(Op::Cancel),
+            1 => Just(Op::Peek),
+        ],
+        1..250,
+    )
+}
+
+/// Reference model: flat list with true removal. `pop` takes the
+/// minimum by `(at, seq)` — the contract the wheel must reproduce.
+#[derive(Default)]
+struct Model {
+    /// `(at, seq, payload)`, `None` once popped or cancelled.
+    entries: Vec<Option<(u64, u64, u64)>>,
+    next_seq: u64,
+    last_popped: u64,
+}
+
+impl Model {
+    fn schedule(&mut self, at: u64, payload: u64) -> usize {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(Some((at, seq, payload)));
+        self.entries.len() - 1
+    }
+
+    fn min_live(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|(at, seq, _)| (at, seq, i)))
+            .min()
+            .map(|(_, _, i)| i)
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        let i = self.min_live()?;
+        let (at, _, payload) = self.entries[i].take().expect("live");
+        self.last_popped = at;
+        Some((at, payload))
+    }
+
+    fn peek(&self) -> Option<u64> {
+        self.min_live().map(|i| self.entries[i].expect("live").0)
+    }
+
+    fn cancel(&mut self, i: usize) -> bool {
+        self.entries[i].take().is_some()
+    }
+
+    fn len(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    /// Lock-step agreement between wheel and model on every operation.
+    #[test]
+    fn wheel_matches_reference_model(ops in ops()) {
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut model = Model::default();
+        let mut keys = Vec::new();
+        let mut payload = 0u64;
+        for op in ops {
+            match op {
+                Op::Schedule(delay) => {
+                    let at = model.last_popped + delay;
+                    payload += 1;
+                    let wk = wheel.schedule(Cycles(at), payload);
+                    let mk = model.schedule(at, payload);
+                    keys.push((wk, mk));
+                }
+                Op::Pop => {
+                    let got = wheel.pop().map(|(t, p)| (t.0, p));
+                    prop_assert_eq!(got, model.pop());
+                }
+                Op::Cancel(n) => {
+                    if keys.is_empty() {
+                        continue;
+                    }
+                    let (wk, mk) = keys[n % keys.len()];
+                    prop_assert_eq!(wheel.cancel(wk), model.cancel(mk));
+                }
+                Op::Peek => {
+                    let got = wheel.peek_time().map(|t| t.0);
+                    prop_assert_eq!(got, model.peek());
+                }
+            }
+            prop_assert_eq!(wheel.len(), model.len());
+            prop_assert_eq!(wheel.is_empty(), model.len() == 0);
+        }
+        // Drain: the full residue must come out in model order.
+        while let Some((at, p)) = model.pop() {
+            prop_assert_eq!(wheel.pop(), Some((Cycles(at), p)));
+        }
+        prop_assert_eq!(wheel.pop(), None);
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// Equal-timestamp events pop in schedule order even when their
+    /// delays route them through different levels and the overflow heap
+    /// before converging on the same instant.
+    #[test]
+    fn fifo_stable_at_equal_timestamps(
+        at in prop_oneof![
+            1 => 0u64..512,
+            1 => 60_000u64..70_000,
+            1 => (1u64 << 33)..(1u64 << 33) + 1024,
+        ],
+        n in 1usize..64,
+    ) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(Cycles(at), i);
+        }
+        for i in 0..n {
+            prop_assert_eq!(q.pop(), Some((Cycles(at), i)));
+        }
+        prop_assert_eq!(q.pop(), None);
+    }
+}

@@ -1,24 +1,31 @@
 #!/usr/bin/env bash
-# Offload hot-path benchmark driver. Run from the repo root.
+# Perf-baseline benchmark driver. Run from the repo root.
 #
 #   scripts/bench.sh              # full run, rewrites BENCH_offload.json
-#   scripts/bench.sh --check      # compare a fresh run against the
-#                                 # committed baseline (2x tolerance),
+#                                 # and BENCH_engine.json
+#   scripts/bench.sh --check      # compare fresh runs against the
+#                                 # committed baselines (2x tolerance),
 #                                 # exit non-zero on regression
 #
 # Knobs (environment):
 #   HLWK_BENCH_ITERS  iterations per metric (default 20000)
-#   HLWK_BENCH_OUT    output path (default BENCH_offload.json)
+#   HLWK_BENCH_OUT    output path override (single-binary runs only)
+#   HLWK_THREADS      worker count for the pool half of fig_engine
 #
-# The metrics are host wall-clock nanoseconds (NOT modeled cycles): the
-# offload round trip, software-TLB translate hit/miss, and an IKC
-# send+recv pair. See EXPERIMENTS.md for how to read and update them.
+# The metrics are host wall-clock nanoseconds (NOT modeled cycles):
+# fig_offload_hotpath covers the offload round trip, software-TLB
+# translate hit/miss, and an IKC send+recv pair; fig_engine covers the
+# timer-wheel event queue (vs. the retired heap baseline) and the
+# simcore::par pool (reduced fig6, serial vs. full pool). See
+# EXPERIMENTS.md for how to read and update them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p bench --bin fig_offload_hotpath
+cargo build --release -p bench --bin fig_offload_hotpath --bin fig_engine
 
 if [[ "${1:-}" == "--check" ]]; then
-    exec ./target/release/fig_offload_hotpath --check BENCH_offload.json
+    ./target/release/fig_offload_hotpath --check BENCH_offload.json
+    exec ./target/release/fig_engine --check BENCH_engine.json
 fi
-exec ./target/release/fig_offload_hotpath
+./target/release/fig_offload_hotpath
+exec ./target/release/fig_engine

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, test, lint. Run from the repo root.
+# Tier-1 gate: build, test, lint, parallel-determinism smoke. Run from
+# the repo root.
 #
-#   scripts/ci.sh                 # build + test + clippy
-#   scripts/ci.sh --bench-smoke   # also run the offload hot-path bench
-#                                 # (few iterations) and fail on a >2x
-#                                 # regression against BENCH_offload.json
+#   scripts/ci.sh                 # build + test + clippy + determinism
+#   scripts/ci.sh --bench-smoke   # also run the offload hot-path and
+#                                 # event-engine benches (few iterations)
+#                                 # and fail on a >2x regression against
+#                                 # BENCH_offload.json / BENCH_engine.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,11 +14,25 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
+# Parallel-determinism smoke: thread count must never change figure
+# output. Run a reduced fig6 sweep serial and parallel, diff stdout.
+reduced="HLWK_RUNS=2 HLWK_NODES=4 HLWK_OSU_ITERS=2"
+env $reduced HLWK_THREADS=1 ./target/release/fig6_osu_latency > /tmp/hlwk_fig6_t1.txt
+env $reduced HLWK_THREADS=4 ./target/release/fig6_osu_latency > /tmp/hlwk_fig6_tn.txt
+if ! diff -q /tmp/hlwk_fig6_t1.txt /tmp/hlwk_fig6_tn.txt >/dev/null; then
+    echo "DETERMINISM FAILURE: fig6 output differs between 1 and 4 threads" >&2
+    diff /tmp/hlwk_fig6_t1.txt /tmp/hlwk_fig6_tn.txt >&2 || true
+    exit 1
+fi
+echo "parallel-determinism smoke passed (fig6 @ 1 thread == 4 threads)"
+
 if [[ "${1:-}" == "--bench-smoke" ]]; then
     # Smoke iterations: enough to exercise every measured path and give
-    # stable-order-of-magnitude numbers, small enough for CI. The check
-    # compares against the committed baseline with the binary's built-in
+    # stable-order-of-magnitude numbers, small enough for CI. The checks
+    # compare against the committed baselines with the binaries' built-in
     # 2x tolerance, so smoke-run noise does not produce false failures.
     HLWK_BENCH_ITERS="${HLWK_BENCH_ITERS:-2000}" \
         ./target/release/fig_offload_hotpath --check BENCH_offload.json
+    HLWK_BENCH_ITERS="${HLWK_BENCH_ITERS:-2000}" \
+        ./target/release/fig_engine --check BENCH_engine.json
 fi

@@ -1,0 +1,81 @@
+//! Determinism contract of the `simcore::par` pool: thread count is a
+//! throughput knob, never a semantics knob. The same fig6 cell grid must
+//! produce bit-identical per-cell values at 1 worker and at N workers.
+
+use cluster::experiment::run_seed;
+use cluster::{Cluster, ClusterConfig, OsVariant};
+use simcore::{par, Cycles};
+use workloads::osu::{Collective, OsuConfig};
+
+/// One reduced fig6 cell: a short size sweep for (collective, OS, run).
+fn fig6_cell(coll: Collective, os: OsVariant, run: usize) -> Vec<f64> {
+    let osu_cfg = OsuConfig {
+        warmup: 2,
+        iters: 2,
+        iter_gap: Cycles::from_us(300),
+    };
+    let cfg = ClusterConfig::paper(os)
+        .with_nodes(4)
+        .with_seed(run_seed(0xF166, run));
+    let mut cluster = Cluster::build(cfg);
+    let mut at = Cycles::from_ms(1);
+    coll.message_sizes()
+        .into_iter()
+        .take(4)
+        .map(|bytes| {
+            let res = cluster.run_osu(coll, bytes, &osu_cfg, at);
+            at = res.end + Cycles::from_secs(2);
+            res.latencies_us.iter().sum::<f64>() / res.latencies_us.len() as f64
+        })
+        .collect()
+}
+
+fn grid(threads: usize) -> Vec<Vec<f64>> {
+    let colls = Collective::all();
+    let oses = [OsVariant::LinuxCgroup, OsVariant::McKernel];
+    let cells: Vec<(Collective, OsVariant, usize)> = colls
+        .iter()
+        .flat_map(|&coll| {
+            oses.iter()
+                .flat_map(move |&os| (0..2).map(move |run| (coll, os, run)))
+        })
+        .collect();
+    par::parallel_map_threads(threads, cells.len(), |ci| {
+        let (coll, os, run) = cells[ci];
+        fig6_cell(coll, os, run)
+    })
+}
+
+/// `HLWK_THREADS=1` and `HLWK_THREADS=N` must agree exactly (f64 bit
+/// equality, not tolerance): each cell is an isolated simulation whose
+/// result depends only on its index, and the pool reduces by index.
+#[test]
+fn fig6_grid_identical_at_any_thread_count() {
+    let serial = grid(1);
+    for threads in [2, 4, par::pool_size().max(3)] {
+        let parallel = grid(threads);
+        assert_eq!(
+            serial, parallel,
+            "per-cell values diverged at {threads} threads"
+        );
+    }
+}
+
+/// The pool preserves index order even when tasks finish wildly out of
+/// order (later indices are much cheaper than early ones).
+#[test]
+fn unbalanced_tasks_collect_in_index_order() {
+    let out = par::parallel_map_threads(4, 64, |i| {
+        if i < 4 {
+            // Early tasks are ~100x the work of late ones.
+            (0..200_000u64).fold(i as u64, |a, x| a.wrapping_add(x * x)) & 0xFFFF_0000
+        } else {
+            0
+        }
+        .wrapping_add(i as u64)
+    });
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(v & 0xFFFF, i as u64 & 0xFFFF);
+    }
+    assert_eq!(out.len(), 64);
+}
