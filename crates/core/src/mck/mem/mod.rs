@@ -10,7 +10,7 @@ use crate::abi::Errno;
 use crate::costs::CostModel;
 use hwmodel::addr::{PhysAddr, VirtAddr, PAGE_SIZE, PAGE_SIZE_2M};
 use pagetable::{PageSize, PageTable, PteFlags, Translation};
-use phys::{AllocError, BuddyAllocator, ORDER_2M};
+use phys::{AllocError, FrameAllocator, ORDER_2M};
 use simcore::Cycles;
 use tlb::TlbSet;
 use vm::{VmSpace, Vma, VmaKind};
@@ -18,6 +18,12 @@ use vm::{VmSpace, Vma, VmaKind};
 /// Default per-CPU software-TLB count for an address space. McKernel
 /// partitions model up to a socket's worth of LWK cores per process.
 const DEFAULT_TLB_CPUS: usize = 8;
+
+/// Fault-around window: on a 4 KiB fault, up to this many consecutive
+/// PTEs are populated in one trap (clipped at the VMA end and the next
+/// 2 MiB boundary, and stopping early at an already-mapped page). The
+/// value mirrors Linux's `fault_around_bytes` default (64 KiB).
+pub const FAULT_AROUND_PAGES: u64 = 16;
 
 /// One process's address space: VMA tree + hardware page table, fronted
 /// by per-CPU software TLBs ([`tlb::TlbSet`]). Hot-path callers
@@ -73,12 +79,17 @@ impl AddressSpace {
 pub enum FaultOutcome {
     /// Anonymous page mapped locally.
     Mapped {
-        /// Base physical address of the installed leaf.
+        /// Base physical address of the leaf installed at the faulting
+        /// page.
         phys: PhysAddr,
         /// Leaf size installed.
         size: PageSize,
         /// Fault service cost.
         cost: Cycles,
+        /// Leaves installed by this trap: 0 for a spurious refault, 1
+        /// for a plain or 2 MiB fault, up to [`FAULT_AROUND_PAGES`] when
+        /// fault-around populated neighbours.
+        pages: u64,
     },
     /// The fault hit a device mapping: resolution requires the Fig. 4
     /// steps 8-10 (IKC round trip to the Linux-side tracking object).
@@ -98,25 +109,43 @@ pub enum FaultOutcome {
     SegFault,
 }
 
-/// Service an LWK page fault at `va`.
+/// Service an LWK page fault at `va` on behalf of `cpu` (partition-
+/// relative index of the faulting core; drives first-touch NUMA
+/// placement and the PCP cache used).
 ///
-/// Anonymous memory is backed from the buddy allocator; when the VMA allows
-/// it, a full 2 MiB naturally aligned window is installed at once (the
-/// McKernel policy that produces its TLB advantage). Falls back to 4 KiB
-/// when the window doesn't fit or physical memory is too fragmented.
+/// Anonymous memory is backed from the per-domain buddy arenas; when the
+/// VMA allows it, a full 2 MiB naturally aligned window is installed at
+/// once (the McKernel policy that produces its TLB advantage). The 4 KiB
+/// path uses fault-around: up to [`FAULT_AROUND_PAGES`] consecutive PTEs
+/// per trap.
 pub fn handle_fault(
     aspace: &mut AddressSpace,
-    alloc: &mut BuddyAllocator,
+    alloc: &mut FrameAllocator,
     costs: &CostModel,
+    cpu: usize,
     va: VirtAddr,
+) -> FaultOutcome {
+    handle_fault_with_window(aspace, alloc, costs, cpu, va, FAULT_AROUND_PAGES)
+}
+
+/// [`handle_fault`] with an explicit fault-around window (window 1 ==
+/// one-page-at-a-time faulting; property tests compare the two).
+pub fn handle_fault_with_window(
+    aspace: &mut AddressSpace,
+    alloc: &mut FrameAllocator,
+    costs: &CostModel,
+    cpu: usize,
+    va: VirtAddr,
+    window: u64,
 ) -> FaultOutcome {
     // Already mapped (racing fault): treat as spurious, cheap refill.
     // One cached translation instead of three raw walks.
-    if let Some(t) = aspace.translate(va) {
+    if let Some(t) = aspace.translate_on(cpu, va) {
         return FaultOutcome::Mapped {
             phys: t.phys.page_align_down(),
             size: t.size,
             cost: costs.lwk_syscall, // TLB refill-ish, nominal
+            pages: 0,
         };
     }
     let Some(vma) = aspace.vm.vma_at(va) else {
@@ -149,55 +178,99 @@ pub fn handle_fault(
             if large_ok {
                 let win = va.raw() / PAGE_SIZE_2M * PAGE_SIZE_2M;
                 if win >= vstart && win + PAGE_SIZE_2M <= vend {
-                    if let Ok(pa) = alloc.alloc(ORDER_2M) {
+                    if let Ok(pa) = alloc.alloc_on(cpu, ORDER_2M) {
                         aspace
                             .pt
                             .map_2m(VirtAddr(win), pa, flags)
                             .expect("fault path checked translate above");
+                        let mut cost = costs.lwk_page_fault + costs.page_touch * 4;
+                        if alloc.domain_of(pa) != Some(alloc.cpu_domain(cpu)) {
+                            cost += costs.remote_numa_touch;
+                        }
                         return FaultOutcome::Mapped {
                             phys: pa,
                             size: PageSize::Size2m,
-                            cost: costs.lwk_page_fault + costs.page_touch * 4,
+                            cost,
+                            pages: 1,
                         };
                     }
                 }
             }
-            match alloc.alloc(0) {
-                Ok(pa) => {
-                    let page = va.page_align_down();
-                    aspace
-                        .pt
-                        .map_4k(page, pa, flags)
-                        .expect("fault path checked translate above");
-                    FaultOutcome::Mapped {
-                        phys: pa,
-                        size: PageSize::Size4k,
-                        cost: costs.lwk_page_fault + costs.page_touch,
-                    }
-                }
-                Err(AllocError::OutOfMemory) => FaultOutcome::SegFault,
-                Err(e) => unreachable!("alloc(0) cannot fail with {e:?}"),
-            }
+            fault_around_4k(aspace, alloc, costs, cpu, VirtAddr(vend), va, flags, window)
         }
         VmaKind::Heap | VmaKind::Stack => {
+            let vend = vma.end;
             let flags = if writable {
                 PteFlags::rw()
             } else {
                 PteFlags::ro()
             };
-            match alloc.alloc(0) {
-                Ok(pa) => {
-                    let page = va.page_align_down();
-                    aspace.pt.map_4k(page, pa, flags).expect("unmapped page");
-                    FaultOutcome::Mapped {
-                        phys: pa,
-                        size: PageSize::Size4k,
-                        cost: costs.lwk_page_fault + costs.page_touch,
-                    }
-                }
-                Err(_) => FaultOutcome::SegFault,
-            }
+            fault_around_4k(aspace, alloc, costs, cpu, vend, va, flags, window)
         }
+    }
+}
+
+/// The shared 4 KiB populate loop: install PTEs for `[page, page+n)`
+/// where `n <= window`, clipped at the VMA end and the next 2 MiB
+/// boundary, stopping early at an already-mapped page or on allocator
+/// exhaustion (a partial run is fine as long as the faulting page
+/// itself mapped).
+///
+/// Cost: one trap (`lwk_page_fault`) + `page_touch` per installed page +
+/// `remote_numa_touch` per frame placed off the faulting CPU's domain —
+/// so a single-page window costs exactly what one-at-a-time faulting
+/// does, and wider windows amortize the trap.
+#[allow(clippy::too_many_arguments)]
+fn fault_around_4k(
+    aspace: &mut AddressSpace,
+    alloc: &mut FrameAllocator,
+    costs: &CostModel,
+    cpu: usize,
+    vma_end: VirtAddr,
+    va: VirtAddr,
+    flags: PteFlags,
+    window: u64,
+) -> FaultOutcome {
+    let page = va.page_align_down();
+    let next_2m = VirtAddr(page.raw() / PAGE_SIZE_2M * PAGE_SIZE_2M + PAGE_SIZE_2M);
+    let limit = vma_end.min(next_2m);
+    let max_pages = ((limit - page) >> 12).min(window.max(1));
+    let home = alloc.cpu_domain(cpu);
+    let mut first_pa = PhysAddr(0);
+    let mut installed = 0u64;
+    let mut remote = 0u64;
+    for i in 0..max_pages {
+        let p_va = page + i * PAGE_SIZE;
+        // Neighbour already mapped: the run ends (raw walk — no TLB fill
+        // for pages nobody touched yet).
+        if i > 0 && aspace.pt.translate(p_va).is_some() {
+            break;
+        }
+        match alloc.alloc_on(cpu, 0) {
+            Ok(pa) => {
+                aspace
+                    .pt
+                    .map_4k(p_va, pa, flags)
+                    .expect("checked unmapped above");
+                if i == 0 {
+                    first_pa = pa;
+                }
+                if alloc.domain_of(pa) != Some(home) {
+                    remote += 1;
+                }
+                installed += 1;
+            }
+            Err(AllocError::OutOfMemory) if i == 0 => return FaultOutcome::SegFault,
+            Err(_) => break, // partial fault-around on exhaustion
+        }
+    }
+    FaultOutcome::Mapped {
+        phys: first_pa,
+        size: PageSize::Size4k,
+        cost: costs.lwk_page_fault
+            + costs.page_touch * installed
+            + costs.remote_numa_touch * remote,
+        pages: installed,
     }
 }
 
@@ -231,14 +304,17 @@ pub struct UnmapStats {
 }
 
 /// `munmap` semantics: drop VMAs over `[start, start+len)`, tear down any
-/// installed leaves, return anonymous frames to the buddy allocator.
+/// installed leaves, return anonymous frames to the buddy arenas.
+///
+/// Frames go back via the direct (cache-bypassing) path: bulk teardown
+/// wants immediate coalescing into large blocks, not cache warmth.
 ///
 /// A 2 MiB leaf partially covered by the range is removed in full (VMA
 /// geometry guarantees leaves never span VMA boundaries, so this only
 /// happens for sub-VMA unmaps; documented simplification).
 pub fn unmap_range(
     aspace: &mut AddressSpace,
-    alloc: &mut BuddyAllocator,
+    alloc: &mut FrameAllocator,
     costs: &CostModel,
     start: VirtAddr,
     len: u64,
@@ -281,10 +357,10 @@ pub fn unmap_range(
 mod tests {
     use super::*;
 
-    fn setup() -> (AddressSpace, BuddyAllocator, CostModel) {
+    fn setup() -> (AddressSpace, FrameAllocator, CostModel) {
         (
             AddressSpace::new(true),
-            BuddyAllocator::new(PhysAddr(64 << 20), 32 << 20),
+            FrameAllocator::single(PhysAddr(64 << 20), 32 << 20, 4),
             CostModel::default(),
         )
     }
@@ -296,12 +372,18 @@ mod tests {
             .vm
             .mmap(0x3000, VmaKind::Anon { large_ok: true }, true, None)
             .unwrap();
-        match handle_fault(&mut a, &mut alloc, &costs, va + 0x1234) {
-            FaultOutcome::Mapped { size, .. } => assert_eq!(size, PageSize::Size4k),
+        match handle_fault(&mut a, &mut alloc, &costs, 0, va + 0x1234) {
+            FaultOutcome::Mapped { size, pages, .. } => {
+                assert_eq!(size, PageSize::Size4k);
+                // Fault at page 1 of 3: pages 1 and 2 populate.
+                assert_eq!(pages, 2);
+            }
             o => panic!("{o:?}"),
         }
         let t = a.pt.translate(va + 0x1234).unwrap();
         assert!(t.flags.write);
+        assert!(a.pt.translate(va + 0x2000).is_some(), "fault-around mapped");
+        assert!(a.pt.translate(va).is_none(), "window runs forward only");
     }
 
     #[test]
@@ -311,10 +393,11 @@ mod tests {
             .vm
             .mmap(8 << 20, VmaKind::Anon { large_ok: true }, true, None)
             .unwrap();
-        match handle_fault(&mut a, &mut alloc, &costs, va + 0x100) {
-            FaultOutcome::Mapped { size, phys, .. } => {
+        match handle_fault(&mut a, &mut alloc, &costs, 0, va + 0x100) {
+            FaultOutcome::Mapped { size, phys, pages, .. } => {
                 assert_eq!(size, PageSize::Size2m);
                 assert!(phys.is_2m_aligned());
+                assert_eq!(pages, 1);
             }
             o => panic!("{o:?}"),
         }
@@ -330,8 +413,70 @@ mod tests {
             .vm
             .mmap(8 << 20, VmaKind::Anon { large_ok: false }, true, None)
             .unwrap();
-        match handle_fault(&mut a, &mut alloc, &costs, va) {
-            FaultOutcome::Mapped { size, .. } => assert_eq!(size, PageSize::Size4k),
+        match handle_fault(&mut a, &mut alloc, &costs, 0, va) {
+            FaultOutcome::Mapped { size, pages, .. } => {
+                assert_eq!(size, PageSize::Size4k);
+                assert_eq!(pages, FAULT_AROUND_PAGES, "full window inside the VMA");
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_around_stops_at_2m_boundary_and_mapped_pages() {
+        let (mut a, mut alloc, costs) = setup();
+        let va = a
+            .vm
+            .mmap(4 << 20, VmaKind::Anon { large_ok: false }, true, None)
+            .unwrap();
+        // Fault 3 pages shy of a 2 MiB boundary: the run clips there.
+        let near_end = va + PAGE_SIZE_2M - 3 * PAGE_SIZE;
+        match handle_fault(&mut a, &mut alloc, &costs, 0, near_end) {
+            FaultOutcome::Mapped { pages, .. } => assert_eq!(pages, 3),
+            o => panic!("{o:?}"),
+        }
+        assert!(
+            a.pt.translate(va + PAGE_SIZE_2M).is_none(),
+            "nothing installed past the boundary"
+        );
+        // Pre-existing mapping ends the run early.
+        match handle_fault(&mut a, &mut alloc, &costs, 0, va + PAGE_SIZE_2M - 5 * PAGE_SIZE) {
+            FaultOutcome::Mapped { pages, .. } => {
+                assert_eq!(pages, 2, "stops at the previously faulted run");
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_around_cost_scales_with_pages() {
+        let (mut a, mut alloc, costs) = setup();
+        let va = a
+            .vm
+            .mmap(1 << 20, VmaKind::Anon { large_ok: false }, true, None)
+            .unwrap();
+        let c_wide = match handle_fault(&mut a, &mut alloc, &costs, 0, va) {
+            FaultOutcome::Mapped { cost, pages, .. } => {
+                assert_eq!(pages, FAULT_AROUND_PAGES);
+                cost
+            }
+            o => panic!("{o:?}"),
+        };
+        assert_eq!(
+            c_wide,
+            costs.lwk_page_fault + costs.page_touch * FAULT_AROUND_PAGES
+        );
+        // Window 1 costs exactly the classic single-page fault.
+        let (mut b, mut alloc2, _) = setup();
+        let vb = b
+            .vm
+            .mmap(1 << 20, VmaKind::Anon { large_ok: false }, true, None)
+            .unwrap();
+        match handle_fault_with_window(&mut b, &mut alloc2, &costs, 0, vb, 1) {
+            FaultOutcome::Mapped { cost, pages, .. } => {
+                assert_eq!(pages, 1);
+                assert_eq!(cost, costs.lwk_page_fault + costs.page_touch);
+            }
             o => panic!("{o:?}"),
         }
     }
@@ -340,7 +485,7 @@ mod tests {
     fn fault_outside_any_vma_segfaults() {
         let (mut a, mut alloc, costs) = setup();
         assert_eq!(
-            handle_fault(&mut a, &mut alloc, &costs, VirtAddr(0x4141_0000)),
+            handle_fault(&mut a, &mut alloc, &costs, 0, VirtAddr(0x4141_0000)),
             FaultOutcome::SegFault
         );
     }
@@ -362,7 +507,7 @@ mod tests {
             )
             .unwrap();
         let fault_va = va + 0x2345;
-        match handle_fault(&mut a, &mut alloc, &costs, fault_va) {
+        match handle_fault(&mut a, &mut alloc, &costs, 0, fault_va) {
             FaultOutcome::NeedsDeviceResolve {
                 dev_name,
                 file_off,
@@ -400,7 +545,7 @@ mod tests {
             .vm
             .mmap(4 << 20, VmaKind::Anon { large_ok: true }, true, None)
             .unwrap();
-        match handle_fault(&mut a, &mut alloc, &costs, va) {
+        match handle_fault(&mut a, &mut alloc, &costs, 0, va) {
             FaultOutcome::Mapped { size, .. } => assert_eq!(size, PageSize::Size4k),
             o => panic!("{o:?}"),
         }
@@ -415,8 +560,8 @@ mod tests {
             .mmap(4 << 20, VmaKind::Anon { large_ok: true }, true, None)
             .unwrap();
         // Touch both 2M windows.
-        handle_fault(&mut a, &mut alloc, &costs, va);
-        handle_fault(&mut a, &mut alloc, &costs, va + PAGE_SIZE_2M);
+        handle_fault(&mut a, &mut alloc, &costs, 0, va);
+        handle_fault(&mut a, &mut alloc, &costs, 0, va + PAGE_SIZE_2M);
         assert_eq!(a.pt.leaf_counts(), (0, 2));
         let stats = unmap_range(&mut a, &mut alloc, &costs, va, 4 << 20).unwrap();
         assert_eq!(stats.pages_2m, 2);
@@ -458,18 +603,53 @@ mod tests {
             .vm
             .mmap(0x1000, VmaKind::Anon { large_ok: false }, true, None)
             .unwrap();
-        let first = handle_fault(&mut a, &mut alloc, &costs, va);
-        let again = handle_fault(&mut a, &mut alloc, &costs, va);
+        let first = handle_fault(&mut a, &mut alloc, &costs, 0, va);
+        let again = handle_fault(&mut a, &mut alloc, &costs, 0, va);
         match (first, again) {
             (
-                FaultOutcome::Mapped { phys: p1, cost: c1, .. },
-                FaultOutcome::Mapped { phys: p2, cost: c2, .. },
+                FaultOutcome::Mapped { phys: p1, cost: c1, pages: n1, .. },
+                FaultOutcome::Mapped { phys: p2, cost: c2, pages: n2, .. },
             ) => {
                 assert_eq!(p1, p2, "no second frame allocated");
                 assert!(c2 < c1);
+                assert_eq!(n1, 1, "one-page VMA: no around");
+                assert_eq!(n2, 0, "spurious refault installs nothing");
             }
             o => panic!("{o:?}"),
         }
         assert_eq!(alloc.allocation_count(), 1);
+    }
+
+    #[test]
+    fn remote_spill_is_charged() {
+        let mut a = AddressSpace::new(true);
+        let costs = CostModel::default();
+        // Two domains; CPU 0 homes to a tiny domain 0 that we exhaust.
+        let mut alloc = FrameAllocator::new(
+            &[
+                (PhysAddr(64 << 20), 4 << 20, hwmodel::cpu::NumaId(0)),
+                (PhysAddr(128 << 20), 8 << 20, hwmodel::cpu::NumaId(1)),
+            ],
+            &[hwmodel::cpu::NumaId(0)],
+        );
+        // Drain domain 0 completely (direct order beyond PCP).
+        let h0 = alloc.alloc_bytes_on(0, 4 << 20).unwrap();
+        assert!(h0.iter().all(|&(p, _)| p.raw() < 128 << 20));
+        let va = a
+            .vm
+            .mmap(2 << 20, VmaKind::Anon { large_ok: true }, true, None)
+            .unwrap();
+        match handle_fault(&mut a, &mut alloc, &costs, 0, va) {
+            FaultOutcome::Mapped { size, cost, phys, .. } => {
+                assert_eq!(size, PageSize::Size2m);
+                assert!(phys.raw() >= 128 << 20, "spilled to domain 1");
+                assert_eq!(
+                    cost,
+                    costs.lwk_page_fault + costs.page_touch * 4 + costs.remote_numa_touch
+                );
+            }
+            o => panic!("{o:?}"),
+        }
+        assert!(alloc.stats.alloc_spill >= 1);
     }
 }

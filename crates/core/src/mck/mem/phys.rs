@@ -1,23 +1,56 @@
-//! Physical page-frame allocator for the LWK partition.
+//! Physical page-frame allocation for the LWK partition.
 //!
-//! A binary buddy allocator over the physically contiguous memory range
-//! IHK reserved for McKernel. Two properties matter for the paper:
+//! Two layers live here:
+//!
+//! * [`BuddyAllocator`] — a flat, index-based binary buddy over one
+//!   physically contiguous range: per-order intrusive free lists threaded
+//!   through a flat per-frame metadata table plus a buddy-pair bitmap.
+//!   Alloc, free and coalescing are all O(1) with zero heap activity on
+//!   the hot path (the metadata arrays are allocated once at boot).
+//! * [`FrameAllocator`] — the kernel-facing engine: one buddy arena per
+//!   NUMA domain with first-touch placement keyed off the faulting CPU,
+//!   deterministic spill to remote domains, and per-CPU page-frame caches
+//!   (PCP lists, Linux-style) for order-0 and 2 MiB blocks so
+//!   steady-state faults never touch the shared buddy.
+//!
+//! Three properties matter for the paper:
 //!
 //! * **Contiguity**: the buddy structure hands out naturally aligned,
 //!   physically contiguous blocks, letting anonymous mappings be backed by
 //!   2 MiB extents — the mechanism behind McKernel's TLB/LLC advantage
 //!   ("contiguous physical memory behind anonymous mappings", Sec. IV-B3).
-//! * **Determinism**: free lists are ordered sets, so allocation is
-//!   lowest-address-first and replays identically across runs.
+//! * **Determinism**: the allocation policy is a pure function of the
+//!   operation history. Free lists are LIFO; blocks split low-half-first;
+//!   never-touched memory is carved from an ascending *virgin watermark*;
+//!   PCP refill/drain happen in fixed batches. Replays are bit-identical.
+//! * **Locality**: frames come from the faulting CPU's NUMA domain when
+//!   possible; spill to a remote domain is deterministic (ascending wrap
+//!   from the local domain) and reported so the cost model can charge it.
+//!
+//! The metadata arrays are zero-initialized (`calloc`-backed) and the
+//! virgin watermark defers free-list seeding, so resident metadata stays
+//! proportional to *touched* memory — a 16 GiB partition that faults a
+//! few megabytes pays for a few metadata pages, not for 4M frame entries.
 
 use hwmodel::addr::{PhysAddr, PAGE_SHIFT, PAGE_SIZE};
-use std::collections::{BTreeSet, HashMap};
+use hwmodel::cpu::NumaId;
 
 /// Maximum buddy order: 2^10 pages = 4 MiB blocks.
 pub const MAX_ORDER: u8 = 10;
 
 /// Order of a 2 MiB block.
 pub const ORDER_2M: u8 = 9;
+
+const NUM_ORDERS: usize = MAX_ORDER as usize + 1;
+
+/// Free-list sentinel ("no frame").
+const NIL: u32 = u32::MAX;
+
+/// Frame states stored in the per-frame tag byte (high nibble).
+const S_TAIL: u8 = 0; // interior of some block (or never touched)
+const S_FREE: u8 = 1; // head of a free block on a free list
+const S_ALLOC: u8 = 2; // head of a live allocation
+const S_CACHED: u8 = 3; // head of a block parked in a per-CPU cache
 
 /// Errors from the allocator.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -28,16 +61,47 @@ pub enum AllocError {
     BadFree(PhysAddr),
 }
 
-/// Binary buddy allocator.
+/// Binary buddy allocator over `[base, base+len)` — flat metadata, O(1)
+/// alloc/free/coalesce.
+///
+/// Implementation notes (the DESIGN.md frame-metadata section mirrors
+/// this):
+/// * `tag[f]` holds the frame state in the high nibble and the block
+///   order in the low nibble; only block *heads* carry state, interior
+///   frames stay `S_TAIL`.
+/// * `next`/`prev` are intrusive doubly-linked free-list links, valid
+///   only while a frame heads a free block.
+/// * `pair_bits` holds one bit per buddy pair per order, toggled whenever
+///   either buddy enters or leaves that order's free list. While freeing
+///   a block (itself not on a list), the bit is `1` iff its buddy is free
+///   at the same order — the O(1) coalesce test.
+/// * `virgin` is the offset of the first never-used frame; everything at
+///   or above it is free by definition and is carved in max-order blocks
+///   as the free lists run dry.
 #[derive(Debug)]
 pub struct BuddyAllocator {
     base: PhysAddr,
     len: u64,
-    /// Free block start offsets (in pages from base), per order.
-    free: Vec<BTreeSet<u64>>,
-    /// Allocated block start page-offset -> order.
-    allocated: HashMap<u64, u8>,
+    pages: u64,
+    /// Intrusive free-list forward links (valid for `S_FREE` heads).
+    next: Vec<u32>,
+    /// Intrusive free-list back links (valid for `S_FREE` heads).
+    prev: Vec<u32>,
+    /// state << 4 | order, per frame.
+    tag: Vec<u8>,
+    /// Buddy-pair bitmaps for orders `0..MAX_ORDER`, concatenated.
+    pair_bits: Vec<u64>,
+    /// Word offset of each order's bitmap inside `pair_bits`.
+    bit_base: [usize; MAX_ORDER as usize],
+    /// Free-list heads per order.
+    heads: [u32; NUM_ORDERS],
+    /// First never-touched page offset (ascending watermark).
+    virgin: u64,
     free_pages: u64,
+    /// Live allocations (excludes cache-parked blocks).
+    live: u64,
+    /// Blocks parked in per-CPU caches (heads in state `S_CACHED`).
+    cached_blocks: u64,
 }
 
 impl BuddyAllocator {
@@ -47,19 +111,31 @@ impl BuddyAllocator {
         let block = PAGE_SIZE << MAX_ORDER;
         assert!(len > 0 && len % block == 0, "length must be 4MiB aligned");
         assert_eq!(base.raw() % block, 0, "base must be 4MiB aligned");
-        let mut free: Vec<BTreeSet<u64>> = (0..=MAX_ORDER).map(|_| BTreeSet::new()).collect();
         let pages = len >> PAGE_SHIFT;
-        let top = &mut free[MAX_ORDER as usize];
-        let step = 1u64 << MAX_ORDER;
-        for off in (0..pages).step_by(step as usize) {
-            top.insert(off);
+        assert!(pages < u64::from(NIL), "partition too large for u32 links");
+        let mut bit_base = [0usize; MAX_ORDER as usize];
+        let mut words = 0usize;
+        for (o, slot) in bit_base.iter_mut().enumerate() {
+            *slot = words;
+            let pairs = (pages >> (o + 1)) as usize;
+            words += pairs.div_ceil(64).max(1);
         }
         BuddyAllocator {
             base,
             len,
-            free,
-            allocated: HashMap::new(),
+            pages,
+            // Zeroed primitive vecs are calloc-backed: untouched frames
+            // cost address space, not resident memory.
+            next: vec![0u32; pages as usize],
+            prev: vec![0u32; pages as usize],
+            tag: vec![0u8; pages as usize],
+            pair_bits: vec![0u64; words],
+            bit_base,
+            heads: [NIL; NUM_ORDERS],
+            virgin: 0,
             free_pages: pages,
+            live: 0,
+            cached_blocks: 0,
         }
     }
 
@@ -73,126 +149,712 @@ impl BuddyAllocator {
         self.len
     }
 
-    /// Free bytes remaining.
+    /// Free bytes remaining (cache-parked blocks count as *allocated*
+    /// here; [`FrameAllocator`] adds them back).
     pub fn free_bytes(&self) -> u64 {
         self.free_pages << PAGE_SHIFT
     }
 
     /// Largest order with a free block, if any.
     pub fn largest_free_order(&self) -> Option<u8> {
-        (0..=MAX_ORDER).rev().find(|&o| !self.free[o as usize].is_empty())
+        if self.pages - self.virgin >= 1 << MAX_ORDER {
+            return Some(MAX_ORDER);
+        }
+        (0..=MAX_ORDER).rev().find(|&o| self.heads[o as usize] != NIL)
+    }
+
+    #[inline]
+    fn state_of(&self, off: u64) -> u8 {
+        self.tag[off as usize] >> 4
+    }
+
+    #[inline]
+    fn order_of(&self, off: u64) -> u8 {
+        self.tag[off as usize] & 0xf
+    }
+
+    #[inline]
+    fn set_tag(&mut self, off: u64, state: u8, order: u8) {
+        self.tag[off as usize] = state << 4 | order;
+    }
+
+    /// Toggle the buddy-pair bit of `off` at `order` (no pairs exist at
+    /// `MAX_ORDER`).
+    #[inline]
+    fn toggle_pair(&mut self, order: u8, off: u64) {
+        if order < MAX_ORDER {
+            let pair = off >> (order + 1);
+            let w = self.bit_base[order as usize] + (pair >> 6) as usize;
+            self.pair_bits[w] ^= 1u64 << (pair & 63);
+        }
+    }
+
+    /// Whether exactly one of the pair containing `off` is free at
+    /// `order`. Called while `off` itself is *not* free, so a set bit
+    /// means "the buddy is free at this order".
+    #[inline]
+    fn buddy_is_free(&self, order: u8, off: u64) -> bool {
+        if order >= MAX_ORDER {
+            return false;
+        }
+        let pair = off >> (order + 1);
+        let w = self.bit_base[order as usize] + (pair >> 6) as usize;
+        self.pair_bits[w] >> (pair & 63) & 1 == 1
+    }
+
+    /// Push `off` onto `order`'s free list (LIFO) and flag it free.
+    #[inline]
+    fn push_free(&mut self, order: u8, off: u64) {
+        let o = order as usize;
+        let head = self.heads[o];
+        self.next[off as usize] = head;
+        self.prev[off as usize] = NIL;
+        if head != NIL {
+            self.prev[head as usize] = off as u32;
+        }
+        self.heads[o] = off as u32;
+        self.set_tag(off, S_FREE, order);
+        self.toggle_pair(order, off);
+    }
+
+    /// Unlink the free block headed at `off` from `order`'s list.
+    #[inline]
+    fn unlink_free(&mut self, order: u8, off: u64) {
+        let (p, n) = (self.prev[off as usize], self.next[off as usize]);
+        if p == NIL {
+            self.heads[order as usize] = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        }
+        self.set_tag(off, S_TAIL, 0);
+        self.toggle_pair(order, off);
     }
 
     /// Allocate a block of `1 << order` pages, naturally aligned.
+    ///
+    /// Policy (deterministic): the smallest populated order >= the
+    /// request is split LIFO-first; when no list can serve it, one
+    /// max-order block is carved off the ascending virgin watermark.
     pub fn alloc(&mut self, order: u8) -> Result<PhysAddr, AllocError> {
         assert!(order <= MAX_ORDER, "order {order} > MAX_ORDER");
-        // Find the smallest order >= requested with a free block.
         let mut o = order;
-        while (o as usize) < self.free.len() && self.free[o as usize].is_empty() {
+        while o <= MAX_ORDER && self.heads[o as usize] == NIL {
             o += 1;
         }
-        if o > MAX_ORDER {
-            return Err(AllocError::OutOfMemory);
-        }
-        let off = *self.free[o as usize].iter().next().expect("nonempty");
-        self.free[o as usize].remove(&off);
+        let off = if o <= MAX_ORDER {
+            let off = u64::from(self.heads[o as usize]);
+            self.unlink_free(o, off);
+            off
+        } else {
+            // Lists dry: carve a pristine max-order block.
+            if self.pages - self.virgin < 1 << MAX_ORDER {
+                return Err(AllocError::OutOfMemory);
+            }
+            let off = self.virgin;
+            self.virgin += 1 << MAX_ORDER;
+            o = MAX_ORDER;
+            off
+        };
         // Split down to the requested order, freeing the upper halves.
         while o > order {
             o -= 1;
-            let buddy = off + (1u64 << o);
-            self.free[o as usize].insert(buddy);
+            self.push_free(o, off + (1u64 << o));
         }
-        self.allocated.insert(off, order);
+        self.set_tag(off, S_ALLOC, order);
         self.free_pages -= 1u64 << order;
+        self.live += 1;
         Ok(self.base + (off << PAGE_SHIFT))
     }
 
-    /// Allocate the smallest block covering `bytes`.
-    pub fn alloc_bytes(&mut self, bytes: u64) -> Result<(PhysAddr, u8), AllocError> {
+    /// Allocate extents covering `bytes`: a greedy binary decomposition
+    /// (largest blocks first, each naturally aligned, capped at
+    /// `MAX_ORDER`), so requests beyond 4 MiB are backed by multiple
+    /// max-order extents instead of failing. All-or-nothing: on
+    /// exhaustion every extent is rolled back.
+    pub fn alloc_bytes(&mut self, bytes: u64) -> Result<Vec<(PhysAddr, u8)>, AllocError> {
         assert!(bytes > 0);
-        let pages = (bytes + PAGE_SIZE - 1) >> PAGE_SHIFT;
-        let order = pages.next_power_of_two().trailing_zeros() as u8;
-        if order > MAX_ORDER {
-            return Err(AllocError::OutOfMemory);
+        let mut remaining = (bytes + PAGE_SIZE - 1) >> PAGE_SHIFT;
+        let mut out = Vec::new();
+        while remaining > 0 {
+            let order = (63 - remaining.leading_zeros() as u8).min(MAX_ORDER);
+            match self.alloc(order) {
+                Ok(p) => {
+                    out.push((p, order));
+                    remaining -= 1u64 << order;
+                }
+                Err(e) => {
+                    for (p, _) in out {
+                        self.free(p).expect("just allocated");
+                    }
+                    return Err(e);
+                }
+            }
         }
-        self.alloc(order).map(|a| (a, order))
+        Ok(out)
     }
 
-    /// Free a previously allocated block (identified by its start address).
+    /// Free a previously allocated block (identified by its start
+    /// address). O(1): the buddy-pair bitmap answers the coalesce
+    /// question without any search.
     pub fn free(&mut self, addr: PhysAddr) -> Result<(), AllocError> {
         if addr < self.base || addr.raw() >= self.base.raw() + self.len {
             return Err(AllocError::BadFree(addr));
         }
         let mut off = (addr - self.base) >> PAGE_SHIFT;
-        let Some(mut order) = self.allocated.remove(&off) else {
+        if self.state_of(off) != S_ALLOC {
             return Err(AllocError::BadFree(addr));
-        };
-        self.free_pages += 1u64 << order;
-        // Coalesce with the buddy while possible.
-        while order < MAX_ORDER {
-            let buddy = off ^ (1u64 << order);
-            if !self.free[order as usize].remove(&buddy) {
-                break;
-            }
-            off = off.min(buddy);
-            order += 1;
         }
-        self.free[order as usize].insert(off);
+        let order = self.order_of(off);
+        self.set_tag(off, S_TAIL, 0);
+        self.free_pages += 1u64 << order;
+        self.live -= 1;
+        // Coalesce upward while the buddy is free at the same order.
+        let mut o = order;
+        while o < MAX_ORDER && self.buddy_is_free(o, off) {
+            let buddy = off ^ (1u64 << o);
+            self.unlink_free(o, buddy);
+            off = off.min(buddy);
+            o += 1;
+        }
+        self.push_free(o, off);
         Ok(())
+    }
+
+    /// Park an allocated block in a per-CPU cache: the head flips to
+    /// `S_CACHED` and stops counting as a live allocation (a second
+    /// `free` of the same address is still rejected). Returns the order.
+    pub(crate) fn cache_block(&mut self, addr: PhysAddr) -> Result<u8, AllocError> {
+        let off = (addr - self.base) >> PAGE_SHIFT;
+        if addr < self.base || off >= self.pages || self.state_of(off) != S_ALLOC {
+            return Err(AllocError::BadFree(addr));
+        }
+        let order = self.order_of(off);
+        self.set_tag(off, S_CACHED, order);
+        self.live -= 1;
+        self.cached_blocks += 1;
+        Ok(order)
+    }
+
+    /// Take a cache-parked block back out as a live allocation.
+    pub(crate) fn uncache_block(&mut self, addr: PhysAddr) -> Result<u8, AllocError> {
+        let off = (addr - self.base) >> PAGE_SHIFT;
+        if addr < self.base || off >= self.pages || self.state_of(off) != S_CACHED {
+            return Err(AllocError::BadFree(addr));
+        }
+        let order = self.order_of(off);
+        self.set_tag(off, S_ALLOC, order);
+        self.live += 1;
+        self.cached_blocks -= 1;
+        Ok(order)
     }
 
     /// Order of the allocated block starting at `addr`, if any.
     pub fn allocated_order(&self, addr: PhysAddr) -> Option<u8> {
-        if addr < self.base {
+        if addr < self.base || addr.raw() >= self.base.raw() + self.len {
             return None;
         }
-        self.allocated
-            .get(&((addr - self.base) >> PAGE_SHIFT))
-            .copied()
+        let off = (addr - self.base) >> PAGE_SHIFT;
+        (self.state_of(off) == S_ALLOC).then(|| self.order_of(off))
     }
 
-    /// Number of live allocations.
+    /// Number of live allocations (cache-parked blocks excluded).
     pub fn allocation_count(&self) -> usize {
-        self.allocated.len()
+        self.live as usize
+    }
+
+    /// Whether `addr` falls inside the managed range.
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        addr >= self.base && addr.raw() < self.base.raw() + self.len
     }
 
     /// Internal consistency check (used by tests and debug assertions):
-    /// free lists disjoint from allocations, page accounting exact.
+    /// free lists disjoint from allocations, page accounting exact,
+    /// buddy-pair bitmap consistent with the lists.
     pub fn check_invariants(&self) -> Result<(), String> {
-        let mut counted = 0u64;
-        let mut seen = BTreeSet::new();
-        for (o, set) in self.free.iter().enumerate() {
-            for &off in set {
-                if off % (1 << o) != 0 {
-                    return Err(format!("free block {off} misaligned for order {o}"));
+        let mut covered = vec![false; self.virgin as usize];
+        let mut free_counted = 0u64;
+        let mut live = 0u64;
+        let mut cached = 0u64;
+        let mut f = 0u64;
+        while f < self.virgin {
+            let state = self.state_of(f);
+            let order = self.order_of(f);
+            match state {
+                S_TAIL => {
+                    f += 1;
+                    continue;
                 }
-                for p in off..off + (1 << o) {
-                    if !seen.insert(p) {
-                        return Err(format!("page {p} on two free lists"));
+                S_FREE | S_ALLOC | S_CACHED => {
+                    if f % (1 << order) != 0 {
+                        return Err(format!("block {f} misaligned for order {order}"));
                     }
+                    if f + (1 << order) > self.virgin {
+                        return Err(format!("block {f} crosses the virgin watermark"));
+                    }
+                    for p in f..f + (1 << order) {
+                        if covered[p as usize] {
+                            return Err(format!("page {p} covered twice"));
+                        }
+                        covered[p as usize] = true;
+                        if p > f && self.state_of(p) != S_TAIL {
+                            return Err(format!("interior page {p} not TAIL"));
+                        }
+                    }
+                    match state {
+                        S_FREE => free_counted += 1 << order,
+                        S_ALLOC => live += 1,
+                        _ => cached += 1,
+                    }
+                    f += 1 << order;
                 }
-                counted += 1 << o;
+                s => return Err(format!("frame {f} has invalid state {s}")),
             }
         }
-        for (&off, &o) in &self.allocated {
-            for p in off..off + (1 << o) {
-                if !seen.insert(p) {
-                    return Err(format!("allocated page {p} also free"));
-                }
-            }
+        // Every page below the watermark must belong to some block: heads
+        // cover their interiors, and a TAIL page outside any block is a
+        // leak. Covered pages were marked above; the only uncovered pages
+        // allowed are none.
+        if let Some(p) = covered.iter().position(|&c| !c) {
+            return Err(format!("page {p} below watermark belongs to no block"));
         }
-        if counted != self.free_pages {
+        if live != self.live {
+            return Err(format!("live count {live} vs tracked {}", self.live));
+        }
+        if cached != self.cached_blocks {
             return Err(format!(
-                "free page accounting mismatch: {counted} vs {}",
+                "cached count {cached} vs tracked {}",
+                self.cached_blocks
+            ));
+        }
+        if free_counted + (self.pages - self.virgin) != self.free_pages {
+            return Err(format!(
+                "free page accounting mismatch: {} listed + {} virgin vs {}",
+                free_counted,
+                self.pages - self.virgin,
                 self.free_pages
             ));
         }
-        if seen.len() as u64 != self.len >> PAGE_SHIFT {
-            return Err(format!(
-                "pages unaccounted for: {} of {}",
-                seen.len(),
-                self.len >> PAGE_SHIFT
-            ));
+        // Free lists are well-linked and members are S_FREE at the order.
+        for o in 0..NUM_ORDERS as u8 {
+            let mut cur = self.heads[o as usize];
+            let mut prev = NIL;
+            while cur != NIL {
+                let off = u64::from(cur);
+                if self.state_of(off) != S_FREE || self.order_of(off) != o {
+                    return Err(format!("list {o} holds non-free block {off}"));
+                }
+                if self.prev[cur as usize] != prev {
+                    return Err(format!("broken prev link at {off} order {o}"));
+                }
+                prev = cur;
+                cur = self.next[cur as usize];
+            }
+        }
+        // Pair bitmap == XOR of the buddies' free-at-order states.
+        for o in 0..MAX_ORDER {
+            let step = 1u64 << (o + 1);
+            let mut off = 0u64;
+            while off < self.virgin {
+                let left = self.state_of(off) == S_FREE && self.order_of(off) == o;
+                let right_off = off + (1 << o);
+                let right = right_off < self.pages
+                    && self.state_of(right_off) == S_FREE
+                    && self.order_of(right_off) == o;
+                let expect = left ^ right;
+                let pair = off >> (o + 1);
+                let w = self.bit_base[o as usize] + (pair >> 6) as usize;
+                let got = self.pair_bits[w] >> (pair & 63) & 1 == 1;
+                if got != expect {
+                    return Err(format!("pair bit wrong at off {off} order {o}"));
+                }
+                off += step;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// PCP (per-CPU page-frame cache) batching policy. Small = order-0,
+/// large = 2 MiB. Refill pulls `*_BATCH` blocks from the owning arena in
+/// one trip; a free that would push the cache past `*_HIGH` first drains
+/// the *oldest* `*_BATCH` entries back to the buddy. All constants are
+/// compile-time policy: replays are deterministic.
+pub const PCP_SMALL_BATCH: usize = 16;
+/// High watermark for the order-0 cache (drain trigger).
+pub const PCP_SMALL_HIGH: usize = 32;
+/// Refill batch for the 2 MiB cache.
+pub const PCP_LARGE_BATCH: usize = 2;
+/// High watermark for the 2 MiB cache.
+pub const PCP_LARGE_HIGH: usize = 4;
+
+/// Allocator-side mechanism counters (mirrored into `simcore::trace` by
+/// the kernel via [`FrameAllocator::publish_stats`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MemStats {
+    /// Order-0 / 2 MiB allocations served straight from a PCP list.
+    pub pcp_hit: u64,
+    /// PCP refill trips to the shared buddy (each pulls a batch).
+    pub pcp_refill: u64,
+    /// PCP drain trips back to the shared buddy.
+    pub pcp_drain: u64,
+    /// Blocks handed out from the faulting CPU's own domain.
+    pub alloc_local: u64,
+    /// Blocks that spilled to a remote domain (local arena dry).
+    pub alloc_spill: u64,
+}
+
+/// One NUMA domain's share of the partition.
+#[derive(Debug)]
+struct Arena {
+    domain: NumaId,
+    buddy: BuddyAllocator,
+}
+
+/// Per-CPU frame cache: LIFO stacks of cache-parked block addresses.
+#[derive(Debug, Default)]
+struct PcpCache {
+    small: Vec<PhysAddr>,
+    large: Vec<PhysAddr>,
+}
+
+/// The LWK physical-memory engine: per-NUMA-domain buddy arenas fronted
+/// by per-CPU frame caches. See the module docs for the policy.
+#[derive(Debug)]
+pub struct FrameAllocator {
+    arenas: Vec<Arena>,
+    /// CPU index (partition-relative) -> arena index. CPUs beyond the
+    /// table use arena 0.
+    cpu_arena: Vec<u32>,
+    pcp: Vec<PcpCache>,
+    /// Bytes currently parked in PCP caches (free from the kernel's
+    /// point of view).
+    cached_bytes: u64,
+    /// Mechanism counters.
+    pub stats: MemStats,
+    /// Snapshot of `stats` at the last `publish_stats` call (published
+    /// as deltas so counters in `Trace` accumulate correctly).
+    published: MemStats,
+}
+
+impl FrameAllocator {
+    /// Single-domain engine over `[base, base+len)` for `ncpus` CPUs —
+    /// the default partition shape (IHK reserves from one domain).
+    pub fn single(base: PhysAddr, len: u64, ncpus: usize) -> Self {
+        FrameAllocator::new(&[(base, len, NumaId(0))], &vec![NumaId(0); ncpus.max(1)])
+    }
+
+    /// Multi-domain engine: one arena per extent `(base, len, domain)`,
+    /// and `cpu_domain[i]` naming CPU `i`'s home domain. Extents must be
+    /// 4 MiB aligned and non-overlapping; a CPU whose domain has no
+    /// arena homes to arena 0.
+    pub fn new(extents: &[(PhysAddr, u64, NumaId)], cpu_domain: &[NumaId]) -> Self {
+        assert!(!extents.is_empty(), "need at least one extent");
+        let arenas: Vec<Arena> = extents
+            .iter()
+            .map(|&(base, len, domain)| Arena {
+                domain,
+                buddy: BuddyAllocator::new(base, len),
+            })
+            .collect();
+        let cpu_arena = cpu_domain
+            .iter()
+            .map(|d| {
+                arenas
+                    .iter()
+                    .position(|a| a.domain == *d)
+                    .unwrap_or(0) as u32
+            })
+            .collect();
+        let pcp = (0..cpu_domain.len().max(1))
+            .map(|_| PcpCache::default())
+            .collect();
+        FrameAllocator {
+            arenas,
+            cpu_arena,
+            pcp,
+            cached_bytes: 0,
+            stats: MemStats::default(),
+            published: MemStats::default(),
+        }
+    }
+
+    /// Number of CPUs with a cache.
+    pub fn ncpus(&self) -> usize {
+        self.pcp.len()
+    }
+
+    /// Number of NUMA arenas.
+    pub fn arena_count(&self) -> usize {
+        self.arenas.len()
+    }
+
+    /// First arena's base (the partition base in the single-domain case).
+    pub fn base(&self) -> PhysAddr {
+        self.arenas[0].buddy.base()
+    }
+
+    /// Total managed bytes across arenas.
+    pub fn len_bytes(&self) -> u64 {
+        self.arenas.iter().map(|a| a.buddy.len_bytes()).sum()
+    }
+
+    /// Free bytes: arena free lists + virgin zones + PCP-parked blocks
+    /// (parked frames are free, just cached close to a CPU).
+    pub fn free_bytes(&self) -> u64 {
+        self.arenas.iter().map(|a| a.buddy.free_bytes()).sum::<u64>() + self.cached_bytes
+    }
+
+    /// Home NUMA domain of `cpu`.
+    pub fn cpu_domain(&self, cpu: usize) -> NumaId {
+        let idx = self.arena_idx_of_cpu(cpu);
+        self.arenas[idx].domain
+    }
+
+    /// NUMA domain owning `addr`, if any arena contains it.
+    pub fn domain_of(&self, addr: PhysAddr) -> Option<NumaId> {
+        self.arenas
+            .iter()
+            .find(|a| a.buddy.contains(addr))
+            .map(|a| a.domain)
+    }
+
+    #[inline]
+    fn arena_idx_of_cpu(&self, cpu: usize) -> usize {
+        self.cpu_arena.get(cpu).copied().unwrap_or(0) as usize
+    }
+
+    #[inline]
+    fn arena_of_addr(&mut self, addr: PhysAddr) -> Option<&mut BuddyAllocator> {
+        self.arenas
+            .iter_mut()
+            .map(|a| &mut a.buddy)
+            .find(|b| b.contains(addr))
+    }
+
+    /// First-touch arena allocation with deterministic spill: try the
+    /// CPU's home arena, then the others in ascending wrap order.
+    fn arena_alloc(&mut self, cpu: usize, order: u8) -> Result<PhysAddr, AllocError> {
+        let home = self.arena_idx_of_cpu(cpu);
+        let n = self.arenas.len();
+        for i in 0..n {
+            let idx = (home + i) % n;
+            if let Ok(p) = self.arenas[idx].buddy.alloc(order) {
+                if i == 0 {
+                    self.stats.alloc_local += 1;
+                } else {
+                    self.stats.alloc_spill += 1;
+                }
+                return Ok(p);
+            }
+        }
+        Err(AllocError::OutOfMemory)
+    }
+
+    /// Allocate a block of `1 << order` pages for `cpu`. Order-0 and
+    /// 2 MiB requests go through the CPU's PCP cache; everything else
+    /// hits the arenas directly.
+    pub fn alloc_on(&mut self, cpu: usize, order: u8) -> Result<PhysAddr, AllocError> {
+        let (batch, is_small) = match order {
+            0 => (PCP_SMALL_BATCH, true),
+            ORDER_2M => (PCP_LARGE_BATCH, false),
+            _ => return self.arena_alloc(cpu, order),
+        };
+        let ci = cpu.min(self.pcp.len() - 1);
+        let cached = if is_small {
+            self.pcp[ci].small.pop()
+        } else {
+            self.pcp[ci].large.pop()
+        };
+        if let Some(pa) = cached {
+            self.stats.pcp_hit += 1;
+            self.cached_bytes -= PAGE_SIZE << order;
+            self.arena_of_addr(pa)
+                .expect("cached frame belongs to an arena")
+                .uncache_block(pa)
+                .expect("cached frame uncaches");
+            return Ok(pa);
+        }
+        // Miss: refill a batch (minus one — the caller takes the first).
+        self.stats.pcp_refill += 1;
+        let first = self.arena_alloc(cpu, order)?;
+        for _ in 1..batch {
+            match self.arena_alloc(cpu, order) {
+                Ok(pa) => {
+                    self.arena_of_addr(pa)
+                        .expect("allocated frame belongs to an arena")
+                        .cache_block(pa)
+                        .expect("fresh block caches");
+                    self.cached_bytes += PAGE_SIZE << order;
+                    let c = &mut self.pcp[ci];
+                    if is_small {
+                        c.small.push(pa);
+                    } else {
+                        c.large.push(pa);
+                    }
+                }
+                Err(_) => break, // partial refill is fine
+            }
+        }
+        Ok(first)
+    }
+
+    /// Allocate on CPU 0 (kernel-internal allocations with no faulting
+    /// CPU context: shm segments, boot-time structures).
+    pub fn alloc(&mut self, order: u8) -> Result<PhysAddr, AllocError> {
+        self.alloc_on(0, order)
+    }
+
+    /// Free a block into `cpu`'s cache when it is PCP-eligible, draining
+    /// the oldest batch first if the cache is at its high watermark.
+    pub fn free_on(&mut self, cpu: usize, addr: PhysAddr) -> Result<(), AllocError> {
+        let order = {
+            let Some(b) = self.arena_of_addr(addr) else {
+                return Err(AllocError::BadFree(addr));
+            };
+            match b.allocated_order(addr) {
+                Some(o) if o == 0 || o == ORDER_2M => o,
+                // Not PCP-eligible (or not allocated: let free() report).
+                _ => return b.free(addr),
+            }
+        };
+        let ci = cpu.min(self.pcp.len() - 1);
+        let (high, batch, is_small) = if order == 0 {
+            (PCP_SMALL_HIGH, PCP_SMALL_BATCH, true)
+        } else {
+            (PCP_LARGE_HIGH, PCP_LARGE_BATCH, false)
+        };
+        let len = if is_small {
+            self.pcp[ci].small.len()
+        } else {
+            self.pcp[ci].large.len()
+        };
+        if len >= high {
+            self.stats.pcp_drain += 1;
+            let drained: Vec<PhysAddr> = if is_small {
+                self.pcp[ci].small.drain(..batch).collect()
+            } else {
+                self.pcp[ci].large.drain(..batch).collect()
+            };
+            for pa in drained {
+                self.cached_bytes -= PAGE_SIZE << order;
+                let b = self
+                    .arena_of_addr(pa)
+                    .expect("cached frame belongs to an arena");
+                b.uncache_block(pa).expect("was cached");
+                b.free(pa).expect("uncached block frees");
+            }
+        }
+        self.arena_of_addr(addr)
+            .expect("checked above")
+            .cache_block(addr)?;
+        self.cached_bytes += PAGE_SIZE << order;
+        let c = &mut self.pcp[ci];
+        if is_small {
+            c.small.push(addr);
+        } else {
+            c.large.push(addr);
+        }
+        Ok(())
+    }
+
+    /// Free straight to the owning arena, bypassing the caches — the
+    /// bulk-teardown path (munmap, process reap, shm destroy), where
+    /// coalescing back to large blocks matters more than cache warmth.
+    pub fn free(&mut self, addr: PhysAddr) -> Result<(), AllocError> {
+        match self.arena_of_addr(addr) {
+            Some(b) => b.free(addr),
+            None => Err(AllocError::BadFree(addr)),
+        }
+    }
+
+    /// Extents covering `bytes` (multi-extent beyond 4 MiB), first-touch
+    /// on `cpu` with deterministic spill and all-or-nothing rollback.
+    pub fn alloc_bytes_on(
+        &mut self,
+        cpu: usize,
+        bytes: u64,
+    ) -> Result<Vec<(PhysAddr, u8)>, AllocError> {
+        assert!(bytes > 0);
+        let mut remaining = (bytes + PAGE_SIZE - 1) >> PAGE_SHIFT;
+        let mut out = Vec::new();
+        while remaining > 0 {
+            let order = (63 - remaining.leading_zeros() as u8).min(MAX_ORDER);
+            match self.arena_alloc(cpu, order) {
+                Ok(p) => {
+                    out.push((p, order));
+                    remaining -= 1u64 << order;
+                }
+                Err(e) => {
+                    for (p, _) in out {
+                        self.free(p).expect("just allocated");
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Order of the live allocation starting at `addr`, if any.
+    pub fn allocated_order(&self, addr: PhysAddr) -> Option<u8> {
+        self.arenas
+            .iter()
+            .find(|a| a.buddy.contains(addr))
+            .and_then(|a| a.buddy.allocated_order(addr))
+    }
+
+    /// Live allocations across arenas (PCP-parked blocks excluded).
+    pub fn allocation_count(&self) -> usize {
+        self.arenas.iter().map(|a| a.buddy.allocation_count()).sum()
+    }
+
+    /// Largest free order across arenas (virgin zones included).
+    pub fn largest_free_order(&self) -> Option<u8> {
+        self.arenas
+            .iter()
+            .filter_map(|a| a.buddy.largest_free_order())
+            .max()
+    }
+
+    /// Return every PCP-parked block to its arena (tests, teardown
+    /// audits: full coalescing only happens once the caches are empty).
+    pub fn drain_all(&mut self) {
+        for ci in 0..self.pcp.len() {
+            let small = std::mem::take(&mut self.pcp[ci].small);
+            let large = std::mem::take(&mut self.pcp[ci].large);
+            for (list, order) in [(small, 0u8), (large, ORDER_2M)] {
+                for pa in list {
+                    self.cached_bytes -= PAGE_SIZE << order;
+                    let b = self
+                        .arena_of_addr(pa)
+                        .expect("cached frame belongs to an arena");
+                    b.uncache_block(pa).expect("was cached");
+                    b.free(pa).expect("uncached block frees");
+                }
+            }
+        }
+    }
+
+    /// Mirror counter deltas since the last publish into `trace` under
+    /// `mck.pcp.*` / `mck.alloc.*`.
+    pub fn publish_stats(&mut self, trace: &mut simcore::Trace) {
+        let s = self.stats;
+        let p = self.published;
+        trace.add("mck.pcp.hit", s.pcp_hit - p.pcp_hit);
+        trace.add("mck.pcp.refill", s.pcp_refill - p.pcp_refill);
+        trace.add("mck.pcp.drain", s.pcp_drain - p.pcp_drain);
+        trace.add("mck.alloc.local", s.alloc_local - p.alloc_local);
+        trace.add("mck.alloc.spill", s.alloc_spill - p.alloc_spill);
+        self.published = s;
+    }
+
+    /// Run every arena's invariant sweep (caches stay parked).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for a in &self.arenas {
+            a.buddy.check_invariants()?;
         }
         Ok(())
     }
@@ -215,13 +877,17 @@ mod tests {
     }
 
     #[test]
-    fn alloc_is_lowest_address_first_and_aligned() {
+    fn alloc_is_deterministic_and_aligned() {
         let mut a = mk();
         let p0 = a.alloc(0).unwrap();
-        assert_eq!(p0, PhysAddr(8 << 20));
+        assert_eq!(p0, PhysAddr(8 << 20), "first alloc carves the base block");
         let p2m = a.alloc(ORDER_2M).unwrap();
         assert_eq!(p2m.raw() % (2 << 20), 0, "2M block naturally aligned");
         a.check_invariants().unwrap();
+        // Same sequence on a fresh allocator replays identically.
+        let mut b = mk();
+        assert_eq!(b.alloc(0).unwrap(), p0);
+        assert_eq!(b.alloc(ORDER_2M).unwrap(), p2m);
     }
 
     #[test]
@@ -264,17 +930,58 @@ mod tests {
     }
 
     #[test]
-    fn alloc_bytes_picks_covering_order() {
+    fn alloc_bytes_decomposes_exactly() {
         let mut a = mk();
-        let (_, o1) = a.alloc_bytes(1).unwrap();
-        assert_eq!(o1, 0);
-        let (_, o2) = a.alloc_bytes(PAGE_SIZE + 1).unwrap();
-        assert_eq!(o2, 1);
-        let (p, o3) = a.alloc_bytes(2 << 20).unwrap();
-        assert_eq!(o3, ORDER_2M);
-        assert!(p.is_2m_aligned());
-        assert!(a.alloc_bytes(4 << 20).is_ok(), "max block is 4 MiB");
-        assert_eq!(a.alloc_bytes(8 << 20), Err(AllocError::OutOfMemory));
+        let e1 = a.alloc_bytes(1).unwrap();
+        assert_eq!(e1.len(), 1);
+        assert_eq!(e1[0].1, 0);
+        let e2 = a.alloc_bytes(PAGE_SIZE + 1).unwrap();
+        assert_eq!(e2.len(), 1);
+        assert_eq!(e2[0].1, 1);
+        let e3 = a.alloc_bytes(2 << 20).unwrap();
+        assert_eq!(e3.len(), 1);
+        assert_eq!(e3[0].1, ORDER_2M);
+        assert!(e3[0].0.is_2m_aligned());
+        // 3 pages: order-1 + order-0, no rounding waste.
+        let e4 = a.alloc_bytes(3 * PAGE_SIZE).unwrap();
+        assert_eq!(e4.iter().map(|&(_, o)| o).collect::<Vec<_>>(), vec![1, 0]);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn alloc_bytes_backs_large_requests_with_multiple_extents() {
+        let mut a = mk();
+        // 8 MiB: two max-order extents — the old allocator refused this.
+        let e = a.alloc_bytes(8 << 20).unwrap();
+        assert_eq!(e.iter().map(|&(_, o)| o).collect::<Vec<_>>(), vec![
+            MAX_ORDER, MAX_ORDER
+        ]);
+        // 16 MiB total: 8 remain.
+        let e2 = a.alloc_bytes(8 << 20).unwrap();
+        assert_eq!(e2.len(), 2);
+        assert_eq!(a.free_bytes(), 0);
+        // Larger than the pool: all-or-nothing rollback.
+        assert_eq!(a.alloc_bytes(4 << 20), Err(AllocError::OutOfMemory));
+        for (p, _) in e.into_iter().chain(e2) {
+            a.free(p).unwrap();
+        }
+        assert_eq!(a.free_bytes(), 16 << 20);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn alloc_bytes_rolls_back_on_exhaustion() {
+        let mut a = mk();
+        let held = a.alloc_bytes(14 << 20).unwrap();
+        let free0 = a.free_bytes();
+        let live0 = a.allocation_count();
+        assert_eq!(a.alloc_bytes(4 << 20), Err(AllocError::OutOfMemory));
+        assert_eq!(a.free_bytes(), free0, "partial extents rolled back");
+        assert_eq!(a.allocation_count(), live0);
+        for (p, _) in held {
+            a.free(p).unwrap();
+        }
+        a.check_invariants().unwrap();
     }
 
     #[test]
@@ -300,5 +1007,182 @@ mod tests {
         assert_eq!(a.allocated_order(p), Some(4));
         assert_eq!(a.allocated_order(p + PAGE_SIZE), None);
         assert_eq!(a.allocation_count(), 1);
+    }
+
+    #[test]
+    fn interleaved_churn_keeps_invariants() {
+        let mut a = mk();
+        let mut held = Vec::new();
+        for round in 0..50u64 {
+            for i in 0..8u64 {
+                if let Ok(p) = a.alloc(((round + i) % 5) as u8) {
+                    held.push(p);
+                }
+            }
+            // Free every other block.
+            let mut i = 0;
+            held.retain(|&p| {
+                i += 1;
+                if i % 2 == 0 {
+                    a.free(p).unwrap();
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        a.check_invariants().unwrap();
+        for p in held {
+            a.free(p).unwrap();
+        }
+        assert_eq!(a.free_bytes(), 16 << 20);
+        assert_eq!(a.largest_free_order(), Some(MAX_ORDER));
+        a.check_invariants().unwrap();
+    }
+
+    fn mk_numa() -> FrameAllocator {
+        // Two 8 MiB domains, 4 CPUs: 0-1 on domain 0, 2-3 on domain 1.
+        FrameAllocator::new(
+            &[
+                (PhysAddr(16 << 20), 8 << 20, NumaId(0)),
+                (PhysAddr(64 << 20), 8 << 20, NumaId(1)),
+            ],
+            &[NumaId(0), NumaId(0), NumaId(1), NumaId(1)],
+        )
+    }
+
+    #[test]
+    fn first_touch_places_locally() {
+        let mut f = mk_numa();
+        let p0 = f.alloc_on(0, 3).unwrap();
+        let p2 = f.alloc_on(2, 3).unwrap();
+        assert_eq!(f.domain_of(p0), Some(NumaId(0)));
+        assert_eq!(f.domain_of(p2), Some(NumaId(1)));
+        assert_eq!(f.stats.alloc_local, 2);
+        assert_eq!(f.stats.alloc_spill, 0);
+    }
+
+    #[test]
+    fn spill_is_deterministic_and_counted() {
+        let mut f = mk_numa();
+        // Exhaust domain 0 with direct (non-PCP) allocations.
+        let mut held = Vec::new();
+        while let Ok(p) = f.alloc_on(0, MAX_ORDER - 1) {
+            if f.domain_of(p) == Some(NumaId(1)) {
+                held.push(p);
+                break;
+            }
+            held.push(p);
+        }
+        assert!(f.stats.alloc_spill >= 1, "domain 0 dry -> spill to 1");
+        for p in held {
+            f.free(p).unwrap();
+        }
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pcp_hits_after_refill_and_drains_at_watermark() {
+        let mut f = mk_numa();
+        // First order-0 alloc refills the batch; the rest hit.
+        let mut pages = Vec::new();
+        for _ in 0..PCP_SMALL_BATCH {
+            pages.push(f.alloc_on(1, 0).unwrap());
+        }
+        assert_eq!(f.stats.pcp_refill, 1);
+        assert_eq!(f.stats.pcp_hit as usize, PCP_SMALL_BATCH - 1);
+        // Frees park in the cache; accounting still sees them as free.
+        let free_before = f.free_bytes();
+        for p in &pages {
+            f.free_on(1, *p).unwrap();
+        }
+        assert_eq!(
+            f.free_bytes(),
+            free_before + (pages.len() as u64) * PAGE_SIZE
+        );
+        assert_eq!(f.allocation_count(), 0);
+        // Push past the high watermark: a drain trip fires.
+        let mut more = Vec::new();
+        for _ in 0..PCP_SMALL_HIGH + 1 {
+            more.push(f.alloc_on(1, 0).unwrap());
+        }
+        for p in &more {
+            f.free_on(1, *p).unwrap();
+        }
+        assert!(f.stats.pcp_drain >= 1);
+        f.drain_all();
+        assert_eq!(f.free_bytes(), f.len_bytes());
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pcp_double_free_rejected() {
+        let mut f = mk_numa();
+        let p = f.alloc_on(0, 0).unwrap();
+        f.free_on(0, p).unwrap();
+        assert_eq!(f.free_on(0, p), Err(AllocError::BadFree(p)));
+        assert_eq!(f.free(p), Err(AllocError::BadFree(p)));
+    }
+
+    #[test]
+    fn large_blocks_cache_separately() {
+        let mut f = mk_numa();
+        let p = f.alloc_on(0, ORDER_2M).unwrap();
+        assert!(p.is_2m_aligned());
+        f.free_on(0, p).unwrap();
+        // Comes straight back out of the large cache.
+        let q = f.alloc_on(0, ORDER_2M).unwrap();
+        assert_eq!(p, q, "LIFO cache returns the parked block");
+        assert!(f.stats.pcp_hit >= 1);
+        f.free(q).unwrap();
+        f.drain_all();
+        assert_eq!(f.free_bytes(), f.len_bytes());
+    }
+
+    #[test]
+    fn publish_stats_emits_deltas() {
+        let mut f = mk_numa();
+        let mut t = simcore::Trace::new();
+        let _ = f.alloc_on(0, 0).unwrap();
+        f.publish_stats(&mut t);
+        assert_eq!(t.get("mck.pcp.refill"), 1);
+        let _ = f.alloc_on(0, 0).unwrap();
+        f.publish_stats(&mut t);
+        assert_eq!(t.get("mck.pcp.hit"), 1);
+        assert_eq!(t.get("mck.pcp.refill"), 1, "published as deltas");
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let run = || {
+            let mut f = mk_numa();
+            let mut trace = Vec::new();
+            let mut held: Vec<PhysAddr> = Vec::new();
+            for i in 0..500u64 {
+                match i % 7 {
+                    0 | 1 | 4 => {
+                        if let Ok(p) = f.alloc_on((i % 4) as usize, 0) {
+                            trace.push(p.raw());
+                            held.push(p);
+                        }
+                    }
+                    2 => {
+                        if let Ok(p) = f.alloc_on((i % 4) as usize, ORDER_2M) {
+                            trace.push(p.raw());
+                            held.push(p);
+                        }
+                    }
+                    _ => {
+                        if !held.is_empty() {
+                            let p = held.swap_remove((i as usize * 31) % held.len());
+                            f.free_on((i % 4) as usize, p).unwrap();
+                            trace.push(u64::MAX - p.raw());
+                        }
+                    }
+                }
+            }
+            trace
+        };
+        assert_eq!(run(), run(), "policy is a pure function of history");
     }
 }

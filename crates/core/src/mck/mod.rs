@@ -16,8 +16,8 @@ pub mod syscall;
 use crate::abi::{Errno, Pid, Sysno, Tid};
 use crate::costs::CostModel;
 use hwmodel::addr::{PhysAddr, VirtAddr};
-use hwmodel::cpu::CoreId;
-use mem::phys::BuddyAllocator;
+use hwmodel::cpu::{CoreId, NumaId};
+use mem::phys::FrameAllocator;
 use mem::vm::VmaKind;
 use mem::FaultOutcome;
 use perfctr::PerfCounters;
@@ -81,8 +81,9 @@ pub struct McKernel {
     /// Cost table.
     pub costs: CostModel,
     cores: Vec<CoreId>,
-    /// Physical allocator over the IHK-reserved range.
-    pub alloc: BuddyAllocator,
+    /// Physical frame engine over the IHK-reserved range: per-NUMA buddy
+    /// arenas fronted by per-CPU frame caches.
+    pub alloc: FrameAllocator,
     /// Cooperative scheduler.
     pub sched: CoopScheduler,
     procs: HashMap<Pid, Process>,
@@ -98,13 +99,33 @@ pub struct McKernel {
 }
 
 impl McKernel {
-    /// Boot the LWK over `cores` and the reserved physical range.
+    /// Boot the LWK over `cores` and one reserved physical range (the
+    /// default single-domain partition: all CPUs home to domain 0).
     pub fn boot(cores: Vec<CoreId>, mem_base: PhysAddr, mem_len: u64, costs: CostModel) -> Self {
+        let ncpus = cores.len();
+        McKernel::boot_numa(
+            cores,
+            &[(mem_base, mem_len, NumaId(0))],
+            &vec![NumaId(0); ncpus],
+            costs,
+        )
+    }
+
+    /// Boot the LWK with an explicit NUMA layout: one buddy arena per
+    /// reserved extent, and `cpu_domain[i]` naming core `i`'s home
+    /// domain (first-touch placement and deterministic spill follow).
+    pub fn boot_numa(
+        cores: Vec<CoreId>,
+        extents: &[(PhysAddr, u64, NumaId)],
+        cpu_domain: &[NumaId],
+        costs: CostModel,
+    ) -> Self {
         assert!(!cores.is_empty(), "LWK needs at least one core");
+        assert_eq!(cores.len(), cpu_domain.len(), "one home domain per core");
         let sched = CoopScheduler::new(&cores);
         McKernel {
             costs,
-            alloc: BuddyAllocator::new(mem_base, mem_len),
+            alloc: FrameAllocator::new(extents, cpu_domain),
             sched,
             cores,
             procs: HashMap::new(),
@@ -356,11 +377,35 @@ impl McKernel {
         }
     }
 
-    /// Page fault entry (split borrow over process map and allocator).
+    /// Page fault entry on CPU 0 (callers without core context).
     pub fn page_fault(&mut self, pid: Pid, va: VirtAddr) -> FaultOutcome {
+        self.page_fault_on(pid, 0, va)
+    }
+
+    /// Page fault entry for `cpu` (partition-relative core index; drives
+    /// first-touch NUMA placement and the per-CPU frame cache). Split
+    /// borrow over process map and allocator.
+    pub fn page_fault_on(&mut self, pid: Pid, cpu: usize, va: VirtAddr) -> FaultOutcome {
         self.trace.bump("mck.fault");
         let proc = self.procs.get_mut(&pid).expect("fault on unknown pid");
-        mem::handle_fault(&mut proc.aspace, &mut self.alloc, &self.costs, va)
+        let out = mem::handle_fault(&mut proc.aspace, &mut self.alloc, &self.costs, cpu, va);
+        if let FaultOutcome::Mapped { size, pages, .. } = &out {
+            match (pages, size) {
+                (0, _) => self.trace.bump("mck.fault.spurious"),
+                (_, mem::pagetable::PageSize::Size2m) => self.trace.bump("mck.fault.2m"),
+                (n, mem::pagetable::PageSize::Size4k) => {
+                    self.trace.bump("mck.fault.4k");
+                    self.trace.add("mck.fault.around", n - 1);
+                }
+            }
+        }
+        out
+    }
+
+    /// Mirror the frame engine's mechanism counters (PCP hit/refill/
+    /// drain, local/spill placement) into the kernel trace as deltas.
+    pub fn publish_mem_stats(&mut self) {
+        self.alloc.publish_stats(&mut self.trace);
     }
 
     /// Install the LWK-side VMA for a device mapping after Linux completed

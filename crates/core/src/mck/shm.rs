@@ -11,7 +11,7 @@
 
 use crate::abi::Errno;
 use crate::mck::mem::pagetable::PteFlags;
-use crate::mck::mem::phys::{BuddyAllocator, ORDER_2M};
+use crate::mck::mem::phys::{FrameAllocator, ORDER_2M};
 use crate::mck::mem::vm::VmaKind;
 use crate::mck::mem::AddressSpace;
 use hwmodel::addr::{PhysAddr, VirtAddr, PAGE_SIZE_2M};
@@ -65,7 +65,7 @@ impl ShmRegistry {
 
     /// Create a segment of at least `len` bytes (rounded up to 2 MiB),
     /// eagerly backed from the buddy allocator.
-    pub fn create(&mut self, alloc: &mut BuddyAllocator, len: u64) -> Result<ShmId, Errno> {
+    pub fn create(&mut self, alloc: &mut FrameAllocator, len: u64) -> Result<ShmId, Errno> {
         if len == 0 {
             return Err(Errno::EINVAL);
         }
@@ -137,7 +137,7 @@ impl ShmRegistry {
 
     /// Destroy a segment; fails while still attached anywhere. Returns
     /// the frames to the allocator.
-    pub fn destroy(&mut self, id: ShmId, alloc: &mut BuddyAllocator) -> Result<(), Errno> {
+    pub fn destroy(&mut self, id: ShmId, alloc: &mut FrameAllocator) -> Result<(), Errno> {
         let seg = self.segments.get(&id).ok_or(Errno::ENOENT)?;
         if seg.refs > 0 {
             return Err(Errno::EBUSY);
@@ -167,10 +167,10 @@ mod tests {
     use hwmodel::addr::PAGE_SIZE;
     use hwmodel::memory::PhysMemory;
 
-    fn setup() -> (ShmRegistry, BuddyAllocator, AddressSpace, AddressSpace) {
+    fn setup() -> (ShmRegistry, FrameAllocator, AddressSpace, AddressSpace) {
         (
             ShmRegistry::new(),
-            BuddyAllocator::new(PhysAddr(1 << 30), 64 << 20),
+            FrameAllocator::single(PhysAddr(1 << 30), 64 << 20, 4),
             AddressSpace::new(true),
             AddressSpace::new(true),
         )

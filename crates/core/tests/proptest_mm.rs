@@ -187,3 +187,182 @@ proptest! {
         prop_assert_eq!((n4k, n2m), (m4k, m2m));
     }
 }
+
+// ---------------------------------------------------------------------------
+// FrameAllocator: NUMA arenas + per-CPU caches against a reference model.
+// ---------------------------------------------------------------------------
+
+use hlwk_core::mck::mem::phys::{FrameAllocator, ORDER_2M};
+use hwmodel::cpu::NumaId;
+
+#[derive(Clone, Debug)]
+enum FaOp {
+    /// Allocate `order` on `cpu` (orders limited to the interesting mix:
+    /// PCP-cached 0 and 2M plus a direct mid order).
+    Alloc { cpu: u8, order_sel: u8 },
+    /// Free the nth live block through `cpu`'s cache path.
+    FreeNth { cpu: u8, n: usize },
+    /// Free the nth live block via the direct (teardown) path.
+    FreeDirectNth { n: usize },
+}
+
+fn fa_ops() -> impl Strategy<Value = Vec<FaOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..4, 0u8..3).prop_map(|(cpu, order_sel)| FaOp::Alloc { cpu, order_sel }),
+            (0u8..4, 0usize..64).prop_map(|(cpu, n)| FaOp::FreeNth { cpu, n }),
+            (0usize..64).prop_map(|n| FaOp::FreeDirectNth { n }),
+        ],
+        1..250,
+    )
+}
+
+fn mk_fa() -> FrameAllocator {
+    // Two NUMA domains, non-adjacent physical ranges, 4 CPUs split 2/2.
+    FrameAllocator::new(
+        &[
+            (PhysAddr(64 << 20), 4 << 20, NumaId(0)),
+            (PhysAddr(256 << 20), 4 << 20, NumaId(1)),
+        ],
+        &[NumaId(0), NumaId(0), NumaId(1), NumaId(1)],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// The NUMA/PCP frame engine agrees with a flat reference model under
+    /// random alloc/free interleavings across CPUs and both free paths:
+    /// exact free-byte accounting, natural alignment, no overlap, and full
+    /// coalescing back to pristine after free-all + cache drain.
+    #[test]
+    fn frame_allocator_matches_reference_model(ops in fa_ops()) {
+        let mut f = mk_fa();
+        let total = f.len_bytes();
+        // Reference model: the set of live blocks (addr, order).
+        let mut live: Vec<(PhysAddr, u8)> = Vec::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                FaOp::Alloc { cpu, order_sel } => {
+                    let order = [0u8, 3, ORDER_2M][order_sel as usize];
+                    if let Ok(p) = f.alloc_on(cpu as usize, order) {
+                        // Natural alignment within the owning arena.
+                        let base = if p.raw() < 256 << 20 { 64u64 << 20 } else { 256 << 20 };
+                        prop_assert_eq!((p.raw() - base) % (PAGE_SIZE << order), 0);
+                        // No overlap with any live block.
+                        for &(q, qo) in &live {
+                            let (ps, pe) = (p.raw(), p.raw() + (PAGE_SIZE << order));
+                            let (qs, qe) = (q.raw(), q.raw() + (PAGE_SIZE << qo));
+                            prop_assert!(pe <= qs || qe <= ps, "overlap");
+                        }
+                        // The frame engine knows where it put the block.
+                        prop_assert!(f.domain_of(p).is_some());
+                        live.push((p, order));
+                    }
+                }
+                FaOp::FreeNth { cpu, n } => {
+                    if !live.is_empty() {
+                        let (p, _) = live.swap_remove(n % live.len());
+                        f.free_on(cpu as usize, p).expect("live block frees");
+                    }
+                }
+                FaOp::FreeDirectNth { n } => {
+                    if !live.is_empty() {
+                        let (p, _) = live.swap_remove(n % live.len());
+                        f.free(p).expect("live block frees directly");
+                    }
+                }
+            }
+            // Exact accounting: free (incl. cached) + live == total.
+            let live_bytes: u64 = live.iter().map(|&(_, o)| PAGE_SIZE << o).sum();
+            prop_assert_eq!(f.free_bytes() + live_bytes, total);
+            prop_assert_eq!(f.allocation_count(), live.len());
+            if i % 37 == 0 {
+                f.check_invariants().map_err(|e| {
+                    TestCaseError::fail(format!("invariant: {e}"))
+                })?;
+            }
+        }
+        // Free-all + drain: full coalescing back to pristine arenas.
+        for (p, _) in live {
+            f.free(p).unwrap();
+        }
+        f.drain_all();
+        prop_assert_eq!(f.free_bytes(), total);
+        prop_assert_eq!(f.largest_free_order(), Some(MAX_ORDER));
+        f.check_invariants().map_err(|e| {
+            TestCaseError::fail(format!("invariant: {e}"))
+        })?;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-around vs one-at-a-time faulting.
+// ---------------------------------------------------------------------------
+
+use hlwk_core::costs::CostModel;
+use hlwk_core::mck::mem::vm::VmaKind;
+use hlwk_core::mck::mem::{handle_fault_with_window, AddressSpace, FaultOutcome};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// Fault-around is an optimization, not a semantic change: after the
+    /// same sequence of touches, a window-W address space maps a superset
+    /// of the window-1 one (same flags), the faulted page is always
+    /// mapped, and touching every page leaves both spaces translating
+    /// identically (every page mapped, one distinct frame per page).
+    #[test]
+    fn fault_around_equivalent_to_one_at_a_time(
+        npages in 1u64..64,
+        window in 2u64..32,
+        touches in prop::collection::vec(0u64..64, 1..40),
+    ) {
+        let costs = CostModel::default();
+        let mut wide = AddressSpace::new(true);
+        let mut one = AddressSpace::new(true);
+        let mut fa_wide = FrameAllocator::single(PhysAddr(64 << 20), 8 << 20, 2);
+        let mut fa_one = FrameAllocator::single(PhysAddr(64 << 20), 8 << 20, 2);
+        let len = npages * PAGE_SIZE;
+        let va_w = wide.vm.mmap(len, VmaKind::Anon { large_ok: false }, true, None).unwrap();
+        let va_o = one.vm.mmap(len, VmaKind::Anon { large_ok: false }, true, None).unwrap();
+        for &t in &touches {
+            let off = (t % npages) * PAGE_SIZE;
+            let rw = handle_fault_with_window(
+                &mut wide, &mut fa_wide, &costs, 0, va_w + off, window);
+            let ro = handle_fault_with_window(
+                &mut one, &mut fa_one, &costs, 0, va_o + off, 1);
+            prop_assert!(matches!(rw, FaultOutcome::Mapped { .. }));
+            prop_assert!(matches!(ro, FaultOutcome::Mapped { .. }));
+            // The faulted page itself is mapped in both.
+            prop_assert!(wide.pt.translate(va_w + off).is_some());
+            prop_assert!(one.pt.translate(va_o + off).is_some());
+        }
+        // Window-1 mapped set is a subset of the fault-around set, with
+        // identical flags.
+        for i in 0..npages {
+            let tw = wide.pt.translate(va_w + i * PAGE_SIZE);
+            let to = one.pt.translate(va_o + i * PAGE_SIZE);
+            if let Some(to) = to {
+                let tw = tw.expect("window-1-mapped page must be mapped under fault-around");
+                prop_assert_eq!(tw.flags, to.flags);
+                prop_assert_eq!(tw.size, to.size);
+            }
+        }
+        // Touch every page: both spaces end fully and identically mapped.
+        let mut phys_seen = std::collections::HashSet::new();
+        for i in 0..npages {
+            let off = i * PAGE_SIZE;
+            handle_fault_with_window(&mut wide, &mut fa_wide, &costs, 0, va_w + off, window);
+            handle_fault_with_window(&mut one, &mut fa_one, &costs, 0, va_o + off, 1);
+            let tw = wide.pt.translate(va_w + off).expect("mapped");
+            let to = one.pt.translate(va_o + off).expect("mapped");
+            prop_assert_eq!(tw.flags, to.flags);
+            prop_assert_eq!(tw.size, to.size);
+            prop_assert!(phys_seen.insert(tw.phys.page_align_down().raw()),
+                "one distinct frame per page");
+        }
+        prop_assert_eq!(wide.pt.leaf_counts().0, npages);
+        prop_assert_eq!(one.pt.leaf_counts().0, npages);
+        prop_assert_eq!(fa_wide.allocation_count() as u64, npages);
+        prop_assert_eq!(fa_one.allocation_count() as u64, npages);
+    }
+}

@@ -326,6 +326,51 @@ mod tests {
     }
 
     #[test]
+    fn reserve_release_churn_coalesces_fully() {
+        // Regression guard for set_owner/coalesce_around bookkeeping:
+        // repeated reserve/release churn must never leave adjacent
+        // same-owner intervals unmerged (interval_count creeping up
+        // round over round would make every later set_owner slower).
+        let mut m = PhysMemory::new(64 << 20, 1);
+        let blk = 1u64 << 20;
+        for round in 0..50u64 {
+            // Checkerboard reserve (every other block)...
+            for i in (0..32u64).step_by(2) {
+                m.set_owner(PhysAddr(i * blk), blk, FrameOwner::Lwk);
+            }
+            assert_eq!(m.interval_count(), 32, "round {round}: checkerboard");
+            // ...then fill the holes: one Lwk run + the Linux tail.
+            for i in (1..32u64).step_by(2) {
+                m.set_owner(PhysAddr(i * blk), blk, FrameOwner::Lwk);
+            }
+            assert!(m.range_uniformly_owned(PhysAddr(0), 32 * blk, FrameOwner::Lwk));
+            assert_eq!(m.interval_count(), 2, "round {round}: holes filled");
+            // Release in descending order: each release must merge with
+            // the growing Linux successor immediately.
+            for i in (0..32u64).rev() {
+                m.set_owner(PhysAddr(i * blk), blk, FrameOwner::Linux);
+                assert!(m.interval_count() <= 3, "round {round}: release {i}");
+            }
+            assert_eq!(m.interval_count(), 1, "round {round}: fully coalesced");
+            assert_eq!(m.bytes_owned_by(FrameOwner::Linux), 64 << 20);
+        }
+    }
+
+    #[test]
+    fn same_owner_reinsert_does_not_fragment() {
+        let mut m = PhysMemory::new(16 << 20, 1);
+        // Re-marking a sub-range with its current owner must stay one
+        // interval (pred merge then succ merge across the insert).
+        m.set_owner(PhysAddr(4 << 20), 4 << 20, FrameOwner::Linux);
+        assert_eq!(m.interval_count(), 1);
+        // Same-owner neighbors created independently coalesce too.
+        m.set_owner(PhysAddr(0), 2 << 20, FrameOwner::Lwk);
+        m.set_owner(PhysAddr(2 << 20), 2 << 20, FrameOwner::Lwk);
+        assert_eq!(m.interval_count(), 2);
+        assert_eq!(m.bytes_owned_by(FrameOwner::Lwk), 4 << 20);
+    }
+
+    #[test]
     fn mmio_above_ram() {
         let m = PhysMemory::new(1 << 30, 1);
         assert_eq!(m.owner_of(PhysAddr(2 << 30)), FrameOwner::Mmio);

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Perf-baseline benchmark driver. Run from the repo root.
 #
-#   scripts/bench.sh              # full run, rewrites BENCH_offload.json
-#                                 # and BENCH_engine.json
+#   scripts/bench.sh              # full run, rewrites BENCH_offload.json,
+#                                 # BENCH_engine.json and BENCH_mem.json
 #   scripts/bench.sh --check      # compare fresh runs against the
 #                                 # committed baselines (2x tolerance),
 #                                 # exit non-zero on regression
@@ -16,16 +16,20 @@
 # fig_offload_hotpath covers the offload round trip, software-TLB
 # translate hit/miss, and an IKC send+recv pair; fig_engine covers the
 # timer-wheel event queue (vs. the retired heap baseline) and the
-# simcore::par pool (reduced fig6, serial vs. full pool). See
-# EXPERIMENTS.md for how to read and update them.
+# simcore::par pool (reduced fig6, serial vs. full pool); fig_mem covers
+# the flat O(1) buddy allocator (vs. the retired BTreeSet baseline), a
+# fragmentation sweep, and a first-touch fault storm with PCP hit rate.
+# See EXPERIMENTS.md for how to read and update them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p bench --bin fig_offload_hotpath --bin fig_engine
+cargo build --release -p bench --bin fig_offload_hotpath --bin fig_engine --bin fig_mem
 
 if [[ "${1:-}" == "--check" ]]; then
     ./target/release/fig_offload_hotpath --check BENCH_offload.json
-    exec ./target/release/fig_engine --check BENCH_engine.json
+    ./target/release/fig_engine --check BENCH_engine.json
+    exec ./target/release/fig_mem --check BENCH_mem.json
 fi
 ./target/release/fig_offload_hotpath
-exec ./target/release/fig_engine
+./target/release/fig_engine
+exec ./target/release/fig_mem

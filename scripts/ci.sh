@@ -3,10 +3,11 @@
 # the repo root.
 #
 #   scripts/ci.sh                 # build + test + clippy + determinism
-#   scripts/ci.sh --bench-smoke   # also run the offload hot-path and
-#                                 # event-engine benches (few iterations)
-#                                 # and fail on a >2x regression against
-#                                 # BENCH_offload.json / BENCH_engine.json
+#   scripts/ci.sh --bench-smoke   # also run the offload hot-path,
+#                                 # event-engine and memory benches (few
+#                                 # iterations) and fail on a >2x
+#                                 # regression against BENCH_offload.json
+#                                 # / BENCH_engine.json / BENCH_mem.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +27,18 @@ if ! diff -q /tmp/hlwk_fig6_t1.txt /tmp/hlwk_fig6_tn.txt >/dev/null; then
 fi
 echo "parallel-determinism smoke passed (fig6 @ 1 thread == 4 threads)"
 
+# Memory-subsystem determinism smoke: the page-size ablation exercises
+# the buddy/PCP/fault-around paths end to end; its figure output must be
+# thread-count independent too.
+env HLWK_THREADS=1 ./target/release/fig_ablation_pagesize > /tmp/hlwk_pgsz_t1.txt
+env HLWK_THREADS=4 ./target/release/fig_ablation_pagesize > /tmp/hlwk_pgsz_tn.txt
+if ! diff -q /tmp/hlwk_pgsz_t1.txt /tmp/hlwk_pgsz_tn.txt >/dev/null; then
+    echo "DETERMINISM FAILURE: pagesize ablation differs between 1 and 4 threads" >&2
+    diff /tmp/hlwk_pgsz_t1.txt /tmp/hlwk_pgsz_tn.txt >&2 || true
+    exit 1
+fi
+echo "memory-determinism smoke passed (pagesize ablation @ 1 thread == 4 threads)"
+
 if [[ "${1:-}" == "--bench-smoke" ]]; then
     # Smoke iterations: enough to exercise every measured path and give
     # stable-order-of-magnitude numbers, small enough for CI. The checks
@@ -35,4 +48,8 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
         ./target/release/fig_offload_hotpath --check BENCH_offload.json
     HLWK_BENCH_ITERS="${HLWK_BENCH_ITERS:-2000}" \
         ./target/release/fig_engine --check BENCH_engine.json
+    # fig_mem needs a few more iterations than the other two before the
+    # fault-storm metrics amortize their setup; still well under a second.
+    HLWK_BENCH_ITERS="${HLWK_MEM_BENCH_ITERS:-5000}" \
+        ./target/release/fig_mem --check BENCH_mem.json
 fi
