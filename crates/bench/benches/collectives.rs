@@ -9,12 +9,12 @@ use mpisim::collectives::{allreduce, alltoall, Ctx, Recorder};
 use mpisim::host::IdealHost;
 use mpisim::p2p::P2pParams;
 use mpisim::regcache::RegCache;
-use netsim::{Fabric, LinkParams};
+use netsim::{LinkParams, ReliableFabric};
 use simcore::{Cycles, StreamRng};
 use std::hint::black_box;
 
 struct Rig {
-    fabric: Fabric,
+    fabric: ReliableFabric,
     host: IdealHost,
     params: P2pParams,
     regcaches: Vec<RegCache>,
@@ -24,7 +24,7 @@ struct Rig {
 impl Rig {
     fn new(p: usize) -> Rig {
         Rig {
-            fabric: Fabric::new(p, LinkParams::fdr_infiniband()),
+            fabric: ReliableFabric::new(p, LinkParams::fdr_infiniband()),
             host: IdealHost::new(),
             params: P2pParams::default(),
             regcaches: (0..p)
@@ -44,6 +44,7 @@ impl Rig {
             recorder: &mut self.recorder,
             reduce_per_kib: Cycles::from_ns(350),
             churn: 0.0,
+            rank_map: None,
         }
     }
 }
@@ -55,11 +56,13 @@ fn report_crossovers() {
         let start = vec![Cycles::ZERO; p];
         let mut a = Rig::new(p);
         let rd = *allreduce::allreduce_rd(&mut a.ctx(), p, bytes, &start)
+            .expect("fault-free")
             .iter()
             .max()
             .expect("nonempty");
         let mut b = Rig::new(p);
         let rab = *allreduce::allreduce_rabenseifner(&mut b.ctx(), p, bytes, &start)
+            .expect("fault-free")
             .iter()
             .max()
             .expect("nonempty");
@@ -76,11 +79,13 @@ fn report_crossovers() {
         let start = vec![Cycles::ZERO; p];
         let mut a = Rig::new(p);
         let bruck = *alltoall::alltoall_bruck(&mut a.ctx(), p, bytes, &start)
+            .expect("fault-free")
             .iter()
             .max()
             .expect("nonempty");
         let mut b = Rig::new(p);
         let pw = *alltoall::alltoall_pairwise(&mut b.ctx(), p, bytes, &start)
+            .expect("fault-free")
             .iter()
             .max()
             .expect("nonempty");

@@ -48,7 +48,7 @@ fn main() {
         sizes
             .iter()
             .map(|&bytes| {
-                let res = cluster.run_osu(coll, bytes, &osu_cfg, at);
+                let res = cluster.run_osu(coll, bytes, &osu_cfg, at).expect("fault-free");
                 // Real OSU sweeps take minutes: cells are separated by
                 // startup/teardown, sampling different phases of the
                 // co-located job.

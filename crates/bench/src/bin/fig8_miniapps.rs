@@ -46,6 +46,7 @@ fn main() {
         let mut cluster = Cluster::build(cfg);
         cluster
             .run_miniapp(app, Cycles::from_ms(1))
+            .expect("fault-free")
             .as_secs_f64()
     });
 

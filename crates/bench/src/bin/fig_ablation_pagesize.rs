@@ -19,7 +19,7 @@ fn run(app: &MiniApp, backing: PageBacking, nodes: u32) -> f64 {
     for n in &mut cluster.host.nodes {
         n.backing = backing;
     }
-    cluster.run_miniapp(app, Cycles::from_ms(1)).as_secs_f64()
+    cluster.run_miniapp(app, Cycles::from_ms(1)).expect("fault-free").as_secs_f64()
 }
 
 fn main() {

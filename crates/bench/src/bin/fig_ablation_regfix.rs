@@ -48,7 +48,7 @@ fn main() {
             .with_seed(run_seed(0x8E6F, run));
         cfg.mpi_hybrid_aware = hybrid_aware;
         let mut cluster = Cluster::build(cfg);
-        let res = cluster.run_osu(Collective::Reduce, bytes, &osu, Cycles::from_ms(1));
+        let res = cluster.run_osu(Collective::Reduce, bytes, &osu, Cycles::from_ms(1)).expect("fault-free");
         res.latencies_us.iter().sum::<f64>() / res.latencies_us.len() as f64
     });
 

@@ -192,7 +192,7 @@ fn fig6_cell(coll: Collective, os: OsVariant, run: usize) -> f64 {
     let mut at = Cycles::from_ms(1);
     let mut acc = 0.0;
     for bytes in coll.message_sizes() {
-        let res = cluster.run_osu(coll, bytes, &osu_cfg, at);
+        let res = cluster.run_osu(coll, bytes, &osu_cfg, at).expect("fault-free");
         at = res.end + Cycles::from_secs(2);
         acc += res.latencies_us.iter().sum::<f64>() / res.latencies_us.len() as f64;
     }

@@ -13,7 +13,7 @@ use mpisim::collectives::{Ctx, Recorder};
 use mpisim::host::{HostModel, IdealHost};
 use mpisim::p2p::P2pParams;
 use mpisim::regcache::RegCache;
-use netsim::{Fabric, LinkParams};
+use netsim::{LinkParams, ReliableFabric};
 use simcore::{Cycles, StreamRng};
 use workloads::miniapps::{self, MiniApp};
 
@@ -81,7 +81,7 @@ fn run(p: usize, period: Cycles, duration: Cycles, seed: u64) -> f64 {
         iterations: 40,
         ..MiniApp::hpccg()
     };
-    let mut fabric = Fabric::new(p, LinkParams::fdr_infiniband());
+    let mut fabric = ReliableFabric::new(p, LinkParams::fdr_infiniband());
     let mut host = InjectedHost::new(p, period, duration, seed);
     let params = P2pParams::default();
     let mut regcaches: Vec<RegCache> = (0..p)
@@ -97,8 +97,11 @@ fn run(p: usize, period: Cycles, duration: Cycles, seed: u64) -> f64 {
         recorder: &mut recorder,
         reduce_per_kib: Cycles::from_ns(350),
         churn: 0.0,
+        rank_map: None,
     };
-    miniapps::run(&mut ctx, &app, p, Cycles::from_ms(1)).as_secs_f64()
+    miniapps::run(&mut ctx, &app, p, Cycles::from_ms(1))
+        .expect("fault-free")
+        .as_secs_f64()
 }
 
 fn main() {

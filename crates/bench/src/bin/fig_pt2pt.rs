@@ -9,12 +9,12 @@ use mpisim::collectives::{Ctx, Recorder};
 use mpisim::host::IdealHost;
 use mpisim::p2p::P2pParams;
 use mpisim::regcache::RegCache;
-use netsim::{Fabric, LinkParams};
+use netsim::{LinkParams, ReliableFabric};
 use simcore::{par, Cycles, StreamRng};
 use workloads::osu::{pt2pt_bandwidth, pt2pt_latency, OsuConfig};
 
 fn with_ctx<R>(f: impl FnOnce(&mut Ctx<'_, IdealHost>) -> R) -> R {
-    let mut fabric = Fabric::new(2, LinkParams::fdr_infiniband());
+    let mut fabric = ReliableFabric::new(2, LinkParams::fdr_infiniband());
     let mut host = IdealHost::new();
     let params = P2pParams::default();
     let mut regcaches: Vec<RegCache> = (0..2)
@@ -30,6 +30,7 @@ fn with_ctx<R>(f: impl FnOnce(&mut Ctx<'_, IdealHost>) -> R) -> R {
         recorder: &mut recorder,
         reduce_per_kib: Cycles::from_ns(350),
         churn: 0.0,
+        rank_map: None,
     };
     f(&mut ctx)
 }
@@ -45,7 +46,8 @@ fn main() {
     // pool submission, print in size order.
     let rows: Vec<(f64, f64)> = par::parallel_map(21, |p| {
         let bytes = 1u64 << p;
-        let lat = with_ctx(|ctx| pt2pt_latency(ctx, bytes, &cfg, Cycles::from_us(1)));
+        let lat =
+            with_ctx(|ctx| pt2pt_latency(ctx, bytes, &cfg, Cycles::from_us(1))).expect("fault-free");
         let bw = with_ctx(|ctx| {
             pt2pt_bandwidth(
                 ctx,
@@ -58,7 +60,8 @@ fn main() {
                 },
                 Cycles::from_us(1),
             )
-        });
+        })
+        .expect("fault-free");
         (lat, bw)
     });
     for (p, (lat, bw)) in rows.iter().enumerate() {

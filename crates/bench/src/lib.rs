@@ -31,6 +31,11 @@ pub fn osu_iters() -> usize {
     env_or("HLWK_OSU_ITERS", 8)
 }
 
+/// Mini-app iterations in the resilience sweep (`HLWK_RESIL_ITERS`).
+pub fn resil_iters() -> u32 {
+    env_or("HLWK_RESIL_ITERS", 12)
+}
+
 fn env_or<T: std::str::FromStr + Copy>(name: &str, default: T) -> T {
     std::env::var(name)
         .ok()

@@ -1,7 +1,8 @@
 //! Experiment configurations — the paper's comparison matrix.
 
 use hwmodel::cpu::CoreId;
-use simcore::fault::FaultConfig;
+use netsim::reliable::CrashTrigger;
+use simcore::fault::{FaultConfig, LinkFaultConfig};
 
 /// Which OS stack runs the HPC workload (Sec. IV-A).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -59,6 +60,21 @@ pub struct ClusterConfig {
     /// Fault injection on the offload path (off by default, so every
     /// existing figure runs unchanged; any experiment can turn it on).
     pub faults: FaultConfig,
+    /// Fault injection on the fabric links (off by default: the reliable
+    /// layer is then an exact passthrough that draws no randomness).
+    pub link_faults: LinkFaultConfig,
+    /// An armed node-crash fault, if any (fail-stop at a configured
+    /// simulated time or in-flight send depth).
+    pub node_crash: Option<NodeCrash>,
+}
+
+/// A configured fail-stop node crash.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeCrash {
+    /// Which node dies.
+    pub node: usize,
+    /// When it dies.
+    pub trigger: CrashTrigger,
 }
 
 impl ClusterConfig {
@@ -73,6 +89,8 @@ impl ClusterConfig {
             seed: 0xC0FFEE,
             mpi_hybrid_aware: false,
             faults: FaultConfig::off(),
+            link_faults: LinkFaultConfig::off(),
+            node_crash: None,
         }
     }
 
@@ -97,6 +115,18 @@ impl ClusterConfig {
     /// Run with fault injection on the offload path.
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Run with fault injection on the fabric links.
+    pub fn with_link_faults(mut self, link_faults: LinkFaultConfig) -> Self {
+        self.link_faults = link_faults;
+        self
+    }
+
+    /// Arm a fail-stop node crash.
+    pub fn with_node_crash(mut self, node: usize, trigger: CrashTrigger) -> Self {
+        self.node_crash = Some(NodeCrash { node, trigger });
         self
     }
 

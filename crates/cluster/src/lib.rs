@@ -14,6 +14,9 @@
 //!   ranks onto node runtimes (1 rank per node, 8 OpenMP threads);
 //! * [`sim`] — the [`sim::Cluster`]: fabric + nodes + workload entry
 //!   points (FWQ, OSU collectives, mini-apps);
+//! * [`recovery`] — job-level recovery over node failures (abort /
+//!   shrink-and-redo / checkpoint-restart) on top of the typed
+//!   detection the fabric and MPI layers provide;
 //! * [`experiment`] — deterministic seeding, parallel repetition runner
 //!   (the [`simcore::par`] bounded work-stealing pool), result tables.
 
@@ -25,8 +28,11 @@ pub mod experiment;
 pub mod host;
 pub mod node;
 pub mod pipeline;
+pub mod recovery;
 pub mod sim;
 
-pub use config::{ClusterConfig, OsVariant};
+pub use config::{ClusterConfig, NodeCrash, OsVariant};
 pub use experiment::{parallel_runs, RunStats};
+pub use node::NodeError;
+pub use recovery::{run_resilient, RecoveryCosts, RecoveryPolicy, RecoveryReport};
 pub use sim::Cluster;

@@ -30,6 +30,55 @@ use simcore::fault::{FaultPlan, MsgFault};
 use simcore::{Cycles, StreamRng};
 use workloads::hadoop;
 
+/// A node-local operation that could not run because the node (or its
+/// LWK application) is gone. Job setup still panics on impossible
+/// states — those are configuration bugs — but everything reachable
+/// *after* a node death reports typed errors instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeError {
+    /// The node is fail-stopped: nothing on it executes any more.
+    NodeDead {
+        /// The dead node.
+        node: u32,
+    },
+    /// The LWK partition was torn down (proxy-death recovery reclaimed
+    /// it), so there is no kernel to take the syscall.
+    LwkGone {
+        /// The affected node.
+        node: u32,
+    },
+    /// The LWK is up but the application thread is gone (SIGKILLed
+    /// during recovery).
+    NoAppThread {
+        /// The affected node.
+        node: u32,
+    },
+    /// The LWK returned an outcome the offload driver has no path for.
+    UnexpectedOutcome {
+        /// The affected node.
+        node: u32,
+        /// Debug rendering of the outcome.
+        outcome: String,
+    },
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::NodeDead { node } => write!(f, "node {node} is dead"),
+            NodeError::LwkGone { node } => write!(f, "node {node}: LWK partition reclaimed"),
+            NodeError::NoAppThread { node } => {
+                write!(f, "node {node}: application thread gone")
+            }
+            NodeError::UnexpectedOutcome { node, outcome } => {
+                write!(f, "node {node}: unexpected LWK outcome {outcome}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
 /// Per-node runtime state.
 pub struct NodeRuntime {
     /// Node index (== MPI rank; 1 rank per node).
@@ -83,6 +132,9 @@ pub struct NodeRuntime {
     /// Whether the proxy is still alive. After proxy death every offload
     /// fast-fails with `-EIO`.
     pub proxy_alive: bool,
+    /// Whether the whole node is still alive (fail-stop model). A dead
+    /// node executes nothing; see [`NodeRuntime::crash_node`].
+    pub alive: bool,
     /// Offload retransmissions performed (timeouts, NACKs, back-pressure).
     pub offload_retries: u64,
     /// Checksum NACKs exchanged over IKC.
@@ -237,6 +289,7 @@ impl NodeRuntime {
             faults,
             retry: RetryPolicy::default(),
             proxy_alive: true,
+            alive: true,
             offload_retries: 0,
             nacks: 0,
             offload_eio: 0,
@@ -376,24 +429,50 @@ impl NodeRuntime {
     /// reclamation. With the fault plan inactive the timing and results
     /// are identical to the fault-free path.
     pub fn offload_syscall(&mut self, sysno: Sysno, args: [u64; 6], at: Cycles) -> (i64, Cycles) {
+        self.try_offload_syscall(sysno, args, at)
+            .expect("node alive with an LWK application")
+    }
+
+    /// [`NodeRuntime::offload_syscall`] with the states a node death can
+    /// leave behind reported as typed [`NodeError`]s instead of panics:
+    /// a fail-stopped node, a reclaimed LWK partition, a SIGKILLed
+    /// application thread, or an outcome the driver has no path for.
+    pub fn try_offload_syscall(
+        &mut self,
+        sysno: Sysno,
+        args: [u64; 6],
+        at: Cycles,
+    ) -> Result<(i64, Cycles), NodeError> {
+        if !self.alive {
+            return Err(NodeError::NodeDead { node: self.id });
+        }
         if self.os == OsVariant::McKernel && !self.proxy_alive {
             // The LWK already knows the proxy is gone (ControlMsg::ProxyDead):
             // offloads fail fast without touching IKC.
             self.offload_eio += 1;
-            return (-(Errno::EIO as i64), at + self.costs.lwk_syscall);
+            return Ok((-(Errno::EIO as i64), at + self.costs.lwk_syscall));
         }
-        let mck = self.mck.as_mut().expect("offload from LWK only");
-        let tid = self.app_tid.expect("thread spawned");
+        let Some(mck) = self.mck.as_mut() else {
+            return Err(NodeError::LwkGone { node: self.id });
+        };
+        let Some(tid) = self.app_tid else {
+            return Err(NodeError::NoAppThread { node: self.id });
+        };
         let outcome = mck.handle_syscall(self.app_pid, tid, sysno, args, at);
-        match outcome {
+        Ok(match outcome {
             SyscallOutcome::Offload { req, cost } => self.drive_offload(req, at + cost),
             SyscallOutcome::Done { ret, cost } => (ret, at + cost),
             SyscallOutcome::DoneInvalidate { ret, cost, ranges } => {
                 self.linux.sync_munmap(self.app_pid, &ranges);
                 (ret, at + cost)
             }
-            o => panic!("unexpected outcome for {sysno:?}: {o:?}"),
-        }
+            o => {
+                return Err(NodeError::UnexpectedOutcome {
+                    node: self.id,
+                    outcome: format!("{sysno:?}: {o:?}"),
+                })
+            }
+        })
     }
 
     /// The request/reply exchange for one marshalled offload, with the
@@ -709,6 +788,23 @@ impl NodeRuntime {
         Some(stranded)
     }
 
+    /// Fail-stop the whole node at `at`. On McKernel the proxy-death
+    /// recovery flow runs first (heartbeat-bounded detection, stranded
+    /// `-EIO` replies, partition reclamation — node death kills the
+    /// proxy along with everything else); either way the node stops
+    /// executing and later operations fail with
+    /// [`NodeError::NodeDead`]. Returns when local teardown completed.
+    /// Peers detect the death separately, through the fabric.
+    pub fn crash_node(&mut self, at: Cycles) -> Cycles {
+        let done = if self.os == OsVariant::McKernel && self.proxy_alive {
+            self.handle_proxy_death(at)
+        } else {
+            at
+        };
+        self.alive = false;
+        done
+    }
+
     /// Whether the co-located job is in a busy phase at `at`.
     pub fn in_busy_phase(&self, at: Cycles) -> bool {
         self.busy_phases.iter().any(|&(a, b)| a <= at && at < b)
@@ -953,6 +1049,35 @@ mod tests {
             mck.linux.occupancy.has_load(CoreId(19)),
             "Hadoop can occupy the proxy core"
         );
+    }
+
+    #[test]
+    fn dead_node_operations_are_typed_errors_not_panics() {
+        let mut n = build(OsVariant::McKernel, false);
+        let at = Cycles::from_ms(1);
+        let done = n.crash_node(at);
+        // McKernel death runs the proxy-death recovery flow first.
+        assert!(done > at, "heartbeat detection takes time");
+        assert!(!n.alive);
+        assert!(!n.proxy_alive);
+        assert!(n.mck.is_none(), "partition reclaimed");
+        let err = n
+            .try_offload_syscall(Sysno::Getpid, [0; 6], done)
+            .expect_err("dead node executes nothing");
+        assert_eq!(err, NodeError::NodeDead { node: 0 });
+        // Crashing twice is idempotent.
+        assert_eq!(n.crash_node(done), done);
+    }
+
+    #[test]
+    fn linux_node_crash_is_immediate_and_offload_free() {
+        let mut n = build(OsVariant::LinuxCgroup, false);
+        let at = Cycles::from_ms(2);
+        assert_eq!(n.crash_node(at), at, "no proxy flow on Linux");
+        assert!(matches!(
+            n.try_offload_syscall(Sysno::Getpid, [0; 6], at),
+            Err(NodeError::NodeDead { node: 0 })
+        ));
     }
 
     #[test]

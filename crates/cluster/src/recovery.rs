@@ -1,0 +1,382 @@
+//! Job-level recovery policies over node failures.
+//!
+//! The layers below give bounded *detection*: the reliable fabric turns
+//! an unreachable peer into a typed [`LinkError`](netsim::LinkError)
+//! once its retry budget drains, and the MPI layer's straggler timers
+//! turn silence into a [`RankFailure`] instead of a hang. This module
+//! decides what the *job* does next:
+//!
+//! * [`RecoveryPolicy::Abort`] — classic MPI behaviour: the failure
+//!   propagates out as a typed error and the job is gone.
+//! * [`RecoveryPolicy::ShrinkAndRedo`] — the survivors form a shrunk
+//!   communicator (ULFM-style), absorb the lost rank's work share, and
+//!   re-run the interrupted iteration.
+//! * [`RecoveryPolicy::CheckpointRestart`] — periodic coordinated
+//!   snapshots; on failure the survivors roll back to the last
+//!   checkpoint and replay from there.
+//!
+//! Every policy *terminates*: each failure permanently removes a rank,
+//! a one-rank job cannot fail (no communication), and detection windows
+//! are bounded, so even adversarial fault schedules end in either a
+//! typed abort or completion.
+
+use crate::sim::Cluster;
+use hlwk_core::ihk::manager::HeartbeatMonitor;
+use mpisim::RankFailure;
+use simcore::Cycles;
+use workloads::miniapps::{self, MiniApp};
+
+/// What the job does when a rank is declared failed mid-run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Propagate the failure; the job is lost.
+    Abort,
+    /// Shrink the communicator to the survivors and redo the
+    /// interrupted iteration with redistributed work.
+    ShrinkAndRedo,
+    /// Coordinated checkpoint every `interval` iterations; on failure
+    /// the survivors roll back to the last checkpoint and replay.
+    CheckpointRestart {
+        /// Iterations between checkpoints.
+        interval: u32,
+    },
+}
+
+impl RecoveryPolicy {
+    /// Display label for figure output.
+    pub fn label(&self) -> String {
+        match self {
+            RecoveryPolicy::Abort => "abort".to_string(),
+            RecoveryPolicy::ShrinkAndRedo => "shrink-redo".to_string(),
+            RecoveryPolicy::CheckpointRestart { interval } => format!("ckpt-{interval}"),
+        }
+    }
+}
+
+/// Time models for the recovery machinery itself.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryCosts {
+    /// Writing one rank's checkpoint (charged to every rank at each
+    /// checkpoint barrier).
+    pub ckpt_write: Cycles,
+    /// Restoring one rank's state from the checkpoint after a rollback.
+    pub ckpt_restore: Cycles,
+    /// Rebuilding the communicator + redistributing data after a shrink
+    /// (charged once per failure to every survivor).
+    pub rebuild: Cycles,
+}
+
+impl Default for RecoveryCosts {
+    fn default() -> Self {
+        RecoveryCosts {
+            // ~64 MiB of rank state at ~25 ns/KiB to the burst buffer.
+            ckpt_write: Cycles::from_ns(25 * 64 * 1024),
+            ckpt_restore: Cycles::from_ns(25 * 64 * 1024),
+            rebuild: Cycles::from_ms(5),
+        }
+    }
+}
+
+/// What happened during one resilient run.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Job start to the last survivor's finish.
+    pub time: Cycles,
+    /// Rank failures the job absorbed.
+    pub failures: u32,
+    /// Iterations executed more than once (redo / replay).
+    pub redone_iters: u32,
+    /// Checkpoints written.
+    pub checkpoints: u32,
+    /// For the first failure: detector firing to cluster-level
+    /// confirmation (heartbeat sweep), the paper-style detection
+    /// latency.
+    pub detection_latency: Option<Cycles>,
+    /// Ranks still alive at completion.
+    pub survivors: usize,
+}
+
+/// Confirm a suspected death at cluster scope. The observer's failure
+/// detector fired at `suspected_at` (straggler timeout or retry-budget
+/// exhaustion); the job runtime then sweeps the suspect with the same
+/// heartbeat machinery the LWK uses for its proxy
+/// ([`HeartbeatMonitor::paper_default`]: misses are declared after a
+/// bounded number of unanswered probes), so confirmation lags suspicion
+/// by at most [`HeartbeatMonitor::detection_bound`].
+fn confirm_death(suspected_at: Cycles) -> Cycles {
+    let mut hb = HeartbeatMonitor::paper_default();
+    let mut t = suspected_at;
+    loop {
+        // A dead node never answers the probe.
+        let _ = hb.poll(t);
+        if hb.is_dead() {
+            break;
+        }
+        t += hb.interval;
+    }
+    debug_assert!(t - suspected_at <= hb.detection_bound());
+    t
+}
+
+/// Run `app` on the whole cluster under `policy`, surviving node
+/// failures. `Ok` means the job completed (possibly shrunk, possibly
+/// with replayed iterations); `Err` is the [`RecoveryPolicy::Abort`]
+/// outcome — a typed failure, never a hang — also returned if every
+/// rank dies.
+pub fn run_resilient(
+    cluster: &mut Cluster,
+    app: &MiniApp,
+    policy: RecoveryPolicy,
+    costs: &RecoveryCosts,
+    start: Cycles,
+) -> Result<RecoveryReport, RankFailure> {
+    cluster.set_mem_intensity(app.mem_intensity);
+    let p0 = cluster.cfg.nodes as usize;
+    // rank -> surviving fabric node. Starts as the identity.
+    let mut ranks: Vec<usize> = (0..p0).collect();
+    let mut clocks = vec![start; p0];
+    let mut quantum = app.thread_quantum(p0);
+    let mut iter: u32 = 0;
+    // Last durable checkpoint: (iteration, per-rank clocks at the
+    // barrier). Iteration 0 is implicitly checkpointed (initial state).
+    let mut ckpt: Option<(u32, Vec<Cycles>)> = match policy {
+        RecoveryPolicy::CheckpointRestart { .. } => Some((0, clocks.clone())),
+        _ => None,
+    };
+    let mut report = RecoveryReport {
+        time: Cycles::ZERO,
+        failures: 0,
+        redone_iters: 0,
+        checkpoints: 0,
+        detection_latency: None,
+        survivors: p0,
+    };
+    while iter < app.iterations {
+        if let RecoveryPolicy::CheckpointRestart { interval } = policy {
+            debug_assert!(interval > 0, "checkpoint interval must be positive");
+            if iter > 0 && iter % interval == 0 && ckpt.as_ref().is_some_and(|c| c.0 != iter) {
+                for c in &mut clocks {
+                    *c += costs.ckpt_write;
+                }
+                ckpt = Some((iter, clocks.clone()));
+                report.checkpoints += 1;
+            }
+        }
+        let pre = clocks.clone();
+        let res = {
+            let mut ctx = cluster.ctx_with_ranks(&ranks);
+            miniapps::step(&mut ctx, app, quantum, &mut clocks)
+        };
+        match res {
+            Ok(()) => iter += 1,
+            Err(f) => {
+                report.failures += 1;
+                let dead_rank = f.rank;
+                let dead_node = ranks[dead_rank];
+                let confirmed = confirm_death(f.detected_at);
+                if report.detection_latency.is_none() {
+                    // Paper-style metric: actual death (if the fabric
+                    // knows it) to cluster-level confirmation.
+                    let died = cluster
+                        .fabric
+                        .node_dead_at(dead_node)
+                        .unwrap_or(f.detected_at);
+                    report.detection_latency = Some(confirmed - died);
+                }
+                // Tear the dead node itself down (proxy-death recovery
+                // on McKernel; fail-stop marking either way).
+                cluster.host.nodes[dead_node].crash_node(confirmed);
+                if policy == RecoveryPolicy::Abort {
+                    return Err(f);
+                }
+                ranks.remove(dead_rank);
+                report.survivors = ranks.len();
+                if ranks.is_empty() {
+                    return Err(f);
+                }
+                quantum = app.thread_quantum_shrunk(p0, ranks.len());
+                match policy {
+                    RecoveryPolicy::Abort => unreachable!("handled above"),
+                    RecoveryPolicy::ShrinkAndRedo => {
+                        // Survivors resume from the iteration start,
+                        // paying confirmation + communicator rebuild,
+                        // then redo the interrupted iteration.
+                        clocks = pre;
+                        clocks.remove(dead_rank);
+                        for c in &mut clocks {
+                            *c = (*c).max(confirmed) + costs.rebuild;
+                        }
+                        report.redone_iters += 1;
+                    }
+                    RecoveryPolicy::CheckpointRestart { .. } => {
+                        let (ck_iter, ck_clocks) =
+                            ckpt.clone().expect("seeded at job start");
+                        let mut rolled = ck_clocks;
+                        rolled.remove(dead_rank);
+                        for c in &mut rolled {
+                            *c = (*c).max(confirmed) + costs.rebuild + costs.ckpt_restore;
+                        }
+                        clocks = rolled;
+                        report.redone_iters += iter - ck_iter;
+                        iter = ck_iter;
+                        // Re-base the checkpoint on the shrunk
+                        // communicator so a second failure rolls back
+                        // consistently.
+                        ckpt = Some((ck_iter, clocks.clone()));
+                    }
+                }
+            }
+        }
+    }
+    report.time = *clocks.iter().max().expect("survivors exist") - start;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, OsVariant};
+    use netsim::reliable::CrashTrigger;
+
+    fn cluster(os: OsVariant, nodes: u32, crash_at: Option<Cycles>) -> Cluster {
+        let mut cfg = ClusterConfig::paper(os).with_nodes(nodes).with_seed(99);
+        cfg.horizon_secs = 30;
+        if let Some(at) = crash_at {
+            cfg = cfg.with_node_crash(1, CrashTrigger::AtTime(at));
+        }
+        Cluster::build(cfg)
+    }
+
+    fn short_app() -> MiniApp {
+        MiniApp {
+            iterations: 8,
+            ..MiniApp::hpccg()
+        }
+    }
+
+    #[test]
+    fn fault_free_run_matches_run_miniapp_exactly() {
+        let app = short_app();
+        let plain = cluster(OsVariant::McKernel, 4, None)
+            .run_miniapp(&app, Cycles::from_ms(1))
+            .expect("fault-free");
+        let mut c = cluster(OsVariant::McKernel, 4, None);
+        let rep = run_resilient(
+            &mut c,
+            &app,
+            RecoveryPolicy::ShrinkAndRedo,
+            &RecoveryCosts::default(),
+            Cycles::from_ms(1),
+        )
+        .expect("fault-free");
+        assert_eq!(rep.time, plain, "resilience wrapper must add zero cost");
+        assert_eq!(rep.failures, 0);
+        assert_eq!(rep.redone_iters, 0);
+        assert_eq!(rep.survivors, 4);
+    }
+
+    #[test]
+    fn abort_is_a_typed_error_with_bounded_detection() {
+        let crash = Cycles::from_ms(400);
+        let mut c = cluster(OsVariant::LinuxCgroup, 4, Some(crash));
+        let err = run_resilient(
+            &mut c,
+            &short_app(),
+            RecoveryPolicy::Abort,
+            &RecoveryCosts::default(),
+            Cycles::from_ms(1),
+        )
+        .expect_err("node 1 dies mid-run");
+        assert_eq!(err.rank, 1);
+        // Detection is communication-driven, so it is bounded by one BSP
+        // iteration (the next time anyone talks to the dead rank,
+        // ~330 ms for HPC-CG) plus the straggler timeout and the full
+        // retry budget — never unbounded, never a hang.
+        let one_iter = short_app().thread_quantum(4) + Cycles::from_ms(50);
+        let budget = c.fabric.policy().detection_budget();
+        assert!(
+            err.detected_at <= crash + one_iter + budget,
+            "{} too late",
+            err.detected_at
+        );
+    }
+
+    #[test]
+    fn shrink_and_redo_completes_on_survivors() {
+        let crash = Cycles::from_ms(400);
+        let mut c = cluster(OsVariant::McKernel, 4, Some(crash));
+        let rep = run_resilient(
+            &mut c,
+            &short_app(),
+            RecoveryPolicy::ShrinkAndRedo,
+            &RecoveryCosts::default(),
+            Cycles::from_ms(1),
+        )
+        .expect("survivors finish the job");
+        assert_eq!(rep.failures, 1);
+        assert_eq!(rep.survivors, 3);
+        assert!(rep.redone_iters >= 1);
+        assert!(rep.detection_latency.is_some());
+        // The dead node was locally torn down too.
+        assert!(!c.host.nodes[1].alive);
+        // Weak scaling on 3 survivors re-runs at 4/3 work: slower than
+        // the fault-free run but it terminates.
+        let plain = cluster(OsVariant::McKernel, 4, None)
+            .run_miniapp(&short_app(), Cycles::from_ms(1))
+            .expect("fault-free");
+        assert!(rep.time > plain);
+    }
+
+    #[test]
+    fn checkpoint_restart_replays_from_the_last_snapshot() {
+        let crash = Cycles::from_ms(900);
+        let mut c = cluster(OsVariant::LinuxCgroup, 4, Some(crash));
+        let rep = run_resilient(
+            &mut c,
+            &short_app(),
+            RecoveryPolicy::CheckpointRestart { interval: 2 },
+            &RecoveryCosts::default(),
+            Cycles::from_ms(1),
+        )
+        .expect("survivors replay and finish");
+        assert_eq!(rep.failures, 1);
+        assert!(rep.checkpoints >= 1);
+        // Rollback replays at most `interval` iterations per failure.
+        assert!(rep.redone_iters <= 2 * rep.failures);
+        assert_eq!(rep.survivors, 3);
+    }
+
+    #[test]
+    fn every_policy_terminates_under_in_flight_crash() {
+        // AfterSends trigger: the node dies mid-protocol rather than at
+        // a tidy time boundary.
+        for policy in [
+            RecoveryPolicy::Abort,
+            RecoveryPolicy::ShrinkAndRedo,
+            RecoveryPolicy::CheckpointRestart { interval: 3 },
+        ] {
+            let mut cfg = ClusterConfig::paper(OsVariant::LinuxCgroup)
+                .with_nodes(4)
+                .with_seed(7);
+            cfg.horizon_secs = 30;
+            cfg = cfg.with_node_crash(2, CrashTrigger::AfterSends(40));
+            let mut c = Cluster::build(cfg);
+            let res = run_resilient(
+                &mut c,
+                &short_app(),
+                policy,
+                &RecoveryCosts::default(),
+                Cycles::from_ms(1),
+            );
+            match (policy, res) {
+                (RecoveryPolicy::Abort, Err(f)) => assert_eq!(f.rank, 2),
+                (RecoveryPolicy::Abort, Ok(_)) => panic!("abort must surface the failure"),
+                (_, Ok(rep)) => {
+                    assert_eq!(rep.survivors, 3);
+                    assert_eq!(rep.failures, 1);
+                }
+                (p, Err(f)) => panic!("{p:?} must complete, got {f}"),
+            }
+        }
+    }
+}

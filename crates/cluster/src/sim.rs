@@ -6,7 +6,9 @@ use crate::node::NodeRuntime;
 use mpisim::collectives::{Ctx, Recorder};
 use mpisim::p2p::P2pParams;
 use mpisim::regcache::RegCache;
-use netsim::{Fabric, LinkParams};
+use mpisim::RankFailure;
+use netsim::reliable::CrashTrigger;
+use netsim::{LinkParams, ReliableFabric};
 use simcore::{Cycles, StreamRng};
 use workloads::miniapps::MiniApp;
 use workloads::osu::{self, Collective, OsuConfig, OsuResult};
@@ -19,8 +21,9 @@ pub struct Cluster {
     /// Node runtimes, wrapped as the MPI host model.
     pub host: ClusterHost,
     /// The InfiniBand fabric (HPC traffic only; Hadoop rides GbE, kept
-    /// separate exactly as in the paper).
-    pub fabric: Fabric,
+    /// separate exactly as in the paper), wrapped in the reliable-delivery
+    /// layer. With link faults disabled it is an exact passthrough.
+    pub fabric: ReliableFabric,
     params: P2pParams,
     regcaches: Vec<RegCache>,
     recorder: Recorder,
@@ -37,8 +40,23 @@ impl Cluster {
         let regcaches = (0..cfg.nodes)
             .map(|i| RegCache::new(rng.stream("regcache", u64::from(i))))
             .collect();
+        // Disabled link faults take the `new` path: no fault RNG stream
+        // is even constructed, preserving bit-identical fault-free runs.
+        let mut fabric = if cfg.link_faults.enabled {
+            ReliableFabric::with_faults(
+                cfg.nodes as usize,
+                LinkParams::fdr_infiniband(),
+                cfg.link_faults,
+                &rng,
+            )
+        } else {
+            ReliableFabric::new(cfg.nodes as usize, LinkParams::fdr_infiniband())
+        };
+        if let Some(crash) = cfg.node_crash {
+            fabric.kill_node(crash.node, crash.trigger);
+        }
         Cluster {
-            fabric: Fabric::new(cfg.nodes as usize, LinkParams::fdr_infiniband()),
+            fabric,
             host: ClusterHost { nodes },
             params: P2pParams::default(),
             regcaches,
@@ -66,7 +84,22 @@ impl Cluster {
             recorder: &mut self.recorder,
             reduce_per_kib: self.reduce_per_kib,
             churn: 0.0,
+            rank_map: None,
         }
+    }
+
+    /// Borrow an MPI context for a shrunk communicator: `rank_map[r]` is
+    /// the surviving node behind communicator rank `r`.
+    pub fn ctx_with_ranks<'m>(&'m mut self, rank_map: &'m [usize]) -> Ctx<'m, ClusterHost> {
+        Ctx {
+            rank_map: Some(rank_map),
+            ..self.ctx()
+        }
+    }
+
+    /// Arm a fail-stop node crash (fabric-level: the node stops ACKing).
+    pub fn kill_node(&mut self, node: usize, trigger: CrashTrigger) {
+        self.fabric.kill_node(node, trigger);
     }
 
     /// Run the FWQ probe on node 0's first application core. FWQ is pure
@@ -89,13 +122,15 @@ impl Cluster {
         bytes: u64,
         cfg: &OsuConfig,
         at: Cycles,
-    ) -> OsuResult {
+    ) -> Result<OsuResult, RankFailure> {
         let p = self.cfg.nodes as usize;
         osu::measure(&mut self.ctx(), coll, p, bytes, cfg, at)
     }
 
-    /// Run one mini-app; returns its execution time.
-    pub fn run_miniapp(&mut self, app: &MiniApp, at: Cycles) -> Cycles {
+    /// Run one mini-app; returns its execution time. A node failure the
+    /// fabric cannot hide surfaces as a typed [`RankFailure`] (see
+    /// [`crate::recovery`] for the job-level policies on top).
+    pub fn run_miniapp(&mut self, app: &MiniApp, at: Cycles) -> Result<Cycles, RankFailure> {
         self.set_mem_intensity(app.mem_intensity);
         let p = self.cfg.nodes as usize;
         miniapps::run(&mut self.ctx(), app, p, at)
@@ -132,9 +167,13 @@ mod tests {
             iter_gap: Cycles::from_us(300),
         };
         let mut lin = small(OsVariant::LinuxCgroup, 4, false);
-        let lr = lin.run_osu(Collective::Allreduce, 1024, &cfg, Cycles::from_ms(1));
+        let lr = lin
+            .run_osu(Collective::Allreduce, 1024, &cfg, Cycles::from_ms(1))
+            .expect("fault-free");
         let mut mck = small(OsVariant::McKernel, 4, false);
-        let mr = mck.run_osu(Collective::Allreduce, 1024, &cfg, Cycles::from_ms(1));
+        let mr = mck
+            .run_osu(Collective::Allreduce, 1024, &cfg, Cycles::from_ms(1))
+            .expect("fault-free");
         let spread = |v: &[f64]| {
             let min = v.iter().cloned().fold(f64::MAX, f64::min);
             let max = v.iter().cloned().fold(0.0, f64::max);
@@ -155,7 +194,7 @@ mod tests {
             ..MiniApp::hpccg()
         };
         let mut c = small(OsVariant::McKernel, 4, false);
-        let t = c.run_miniapp(&app, Cycles::from_ms(1));
+        let t = c.run_miniapp(&app, Cycles::from_ms(1)).expect("fault-free");
         // 5 iterations x ~0.33 s = ~1.6 s.
         let secs = t.as_secs_f64();
         assert!((1.0..3.0).contains(&secs), "{secs}");
@@ -175,6 +214,7 @@ mod tests {
             cfg.horizon_secs = 20;
             Cluster::build(cfg)
                 .run_miniapp(&app, Cycles::from_ms(1))
+                .expect("fault-free")
                 .as_secs_f64()
         };
         let seeds = [11u64, 22, 33, 44];

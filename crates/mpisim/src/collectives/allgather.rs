@@ -3,6 +3,7 @@
 //! Block id = origin rank.
 
 use super::{ceil_log2, Ctx};
+use crate::failure::RankFailure;
 use crate::host::HostModel;
 use simcore::Cycles;
 
@@ -12,7 +13,7 @@ pub fn allgather<H: HostModel>(
     p: usize,
     bytes_per_rank: u64,
     start: &[Cycles],
-) -> Vec<Cycles> {
+) -> Result<Vec<Cycles>, RankFailure> {
     if p.is_power_of_two() && bytes_per_rank <= 32 << 10 {
         allgather_rd(ctx, p, bytes_per_rank, start)
     } else {
@@ -28,7 +29,7 @@ pub fn allgather_rd<H: HostModel>(
     p: usize,
     bytes_per_rank: u64,
     start: &[Cycles],
-) -> Vec<Cycles> {
+) -> Result<Vec<Cycles>, RankFailure> {
     assert!(p.is_power_of_two(), "recursive doubling needs 2^k ranks");
     assert_eq!(start.len(), p);
     let mut clocks = start.to_vec();
@@ -48,13 +49,13 @@ pub fn allgather_rd<H: HostModel>(
             let bytes = window as u64 * bytes_per_rank;
             ctx.xfer_at(r, partner, bytes, round[r], round[partner], &mut clocks, || {
                 (base_r..base_r + window).map(|b| b as u32).collect()
-            });
+            })?;
             ctx.xfer_at(partner, r, bytes, round[partner], round[r], &mut clocks, || {
                 (base_p..base_p + window).map(|b| b as u32).collect()
-            });
+            })?;
         }
     }
-    clocks
+    Ok(clocks)
 }
 
 /// Ring: `p-1` rounds; in round `i` rank `r` forwards the block that
@@ -64,11 +65,11 @@ pub fn allgather_ring<H: HostModel>(
     p: usize,
     bytes_per_rank: u64,
     start: &[Cycles],
-) -> Vec<Cycles> {
+) -> Result<Vec<Cycles>, RankFailure> {
     assert_eq!(start.len(), p);
     let mut clocks = start.to_vec();
     if p == 1 {
-        return clocks;
+        return Ok(clocks);
     }
     for i in 0..p - 1 {
         let round = clocks.clone();
@@ -77,10 +78,10 @@ pub fn allgather_ring<H: HostModel>(
             let origin = (r + p - i) % p;
             ctx.xfer_at(r, dst, bytes_per_rank, round[r], round[dst], &mut clocks, || {
                 vec![origin as u32]
-            });
+            })?;
         }
     }
-    clocks
+    Ok(clocks)
 }
 
 #[cfg(test)]
@@ -97,7 +98,7 @@ mod tests {
         let p = 16;
         let mut rig = Rig::new(p);
         let start = vec![Cycles::ZERO; p];
-        allgather_rd(&mut rig.ctx(), p, 1024, &start);
+        allgather_rd(&mut rig.ctx(), p, 1024, &start).expect("fault-free");
         let held = replay_possession(p, initial(p), rig.records());
         for (r, s) in held.iter().enumerate() {
             assert_eq!(s.len(), p, "rank {r} holds {}", s.len());
@@ -111,7 +112,7 @@ mod tests {
         for p in [2usize, 5, 8, 11] {
             let mut rig = Rig::new(p);
             let start = vec![Cycles::ZERO; p];
-            allgather_ring(&mut rig.ctx(), p, 4096, &start);
+            allgather_ring(&mut rig.ctx(), p, 4096, &start).expect("fault-free");
             let held = replay_possession(p, initial(p), rig.records());
             for s in &held {
                 assert_eq!(s.len(), p);
@@ -125,11 +126,11 @@ mod tests {
         let p = 8;
         let mut rig = Rig::new(p);
         let start = vec![Cycles::ZERO; p];
-        allgather(&mut rig.ctx(), p, 8, &start);
+        allgather(&mut rig.ctx(), p, 8, &start).expect("fault-free");
         let small_msgs = rig.records().len();
         assert_eq!(small_msgs, 3 * p, "recursive doubling rounds");
         let mut rig2 = Rig::new(p);
-        allgather(&mut rig2.ctx(), p, 1 << 20, &start);
+        allgather(&mut rig2.ctx(), p, 1 << 20, &start).expect("fault-free");
         assert_eq!(rig2.records().len(), p * (p - 1), "ring rounds");
     }
 
@@ -138,9 +139,9 @@ mod tests {
         let p = 16;
         let start = vec![Cycles::ZERO; p];
         let mut a = Rig::new(p);
-        let rd_done = allgather_rd(&mut a.ctx(), p, 64, &start);
+        let rd_done = allgather_rd(&mut a.ctx(), p, 64, &start).expect("fault-free");
         let mut b = Rig::new(p);
-        let ring_done = allgather_ring(&mut b.ctx(), p, 64, &start);
+        let ring_done = allgather_ring(&mut b.ctx(), p, 64, &start).expect("fault-free");
         assert!(
             rd_done.iter().max().unwrap() < ring_done.iter().max().unwrap(),
             "log rounds beat linear rounds at small sizes"
@@ -154,7 +155,7 @@ mod tests {
         let mut last = Cycles::ZERO;
         for bytes in [1u64 << 10, 1 << 14, 1 << 18, 1 << 20] {
             let mut rig = Rig::new(p);
-            let done = allgather(&mut rig.ctx(), p, bytes, &start);
+            let done = allgather(&mut rig.ctx(), p, bytes, &start).expect("fault-free");
             let worst = *done.iter().max().unwrap();
             assert!(worst > last);
             last = worst;

@@ -5,6 +5,7 @@
 //! Block id (recursive doubling) = contributing rank.
 
 use super::{allgather, tree, ceil_log2, Ctx};
+use crate::failure::RankFailure;
 use crate::host::HostModel;
 use simcore::Cycles;
 
@@ -15,10 +16,10 @@ pub fn allreduce<H: HostModel>(
     p: usize,
     bytes: u64,
     start: &[Cycles],
-) -> Vec<Cycles> {
+) -> Result<Vec<Cycles>, RankFailure> {
     if !p.is_power_of_two() {
         // Fallback: reduce to 0, then bcast.
-        let mid = tree::reduce(ctx, p, 0, bytes, start);
+        let mid = tree::reduce(ctx, p, 0, bytes, start)?;
         return tree::bcast(ctx, p, 0, bytes, &mid);
     }
     if bytes <= 2048 {
@@ -35,7 +36,7 @@ pub fn allreduce_rd<H: HostModel>(
     p: usize,
     bytes: u64,
     start: &[Cycles],
-) -> Vec<Cycles> {
+) -> Result<Vec<Cycles>, RankFailure> {
     assert!(p.is_power_of_two());
     assert_eq!(start.len(), p);
     let mut clocks = start.to_vec();
@@ -53,15 +54,15 @@ pub fn allreduce_rd<H: HostModel>(
             let base_p = partner & !(window - 1);
             ctx.xfer_at(r, partner, bytes, round[r], round[partner], &mut clocks, || {
                 (base_r..base_r + window).map(|b| b as u32).collect()
-            });
+            })?;
             ctx.xfer_at(partner, r, bytes, round[partner], round[r], &mut clocks, || {
                 (base_p..base_p + window).map(|b| b as u32).collect()
-            });
-            clocks[r] = ctx.host.cpu(r, clocks[r], combine);
-            clocks[partner] = ctx.host.cpu(partner, clocks[partner], combine);
+            })?;
+            clocks[r] = ctx.cpu(r, clocks[r], combine);
+            clocks[partner] = ctx.cpu(partner, clocks[partner], combine);
         }
     }
-    clocks
+    Ok(clocks)
 }
 
 /// Rabenseifner: recursive-halving reduce-scatter, then recursive-doubling
@@ -72,12 +73,12 @@ pub fn allreduce_rabenseifner<H: HostModel>(
     p: usize,
     bytes: u64,
     start: &[Cycles],
-) -> Vec<Cycles> {
+) -> Result<Vec<Cycles>, RankFailure> {
     assert!(p.is_power_of_two());
     assert_eq!(start.len(), p);
     let mut clocks = start.to_vec();
     if p == 1 {
-        return clocks;
+        return Ok(clocks);
     }
     // Allreduce repacks through MPI-internal buffers: registration churn
     // (the paper's Fig. 7 large-message artifact).
@@ -95,11 +96,18 @@ pub fn allreduce_rabenseifner<H: HostModel>(
             if r > partner {
                 continue;
             }
-            ctx.xfer_at(r, partner, chunk, round[r], round[partner], &mut clocks, Vec::new);
-            ctx.xfer_at(partner, r, chunk, round[partner], round[r], &mut clocks, Vec::new);
+            let res = ctx
+                .xfer_at(r, partner, chunk, round[r], round[partner], &mut clocks, Vec::new)
+                .and_then(|_| {
+                    ctx.xfer_at(partner, r, chunk, round[partner], round[r], &mut clocks, Vec::new)
+                });
+            if let Err(e) = res {
+                ctx.churn = saved_churn;
+                return Err(e);
+            }
             let combine = ctx.reduce_cost(chunk);
-            clocks[r] = ctx.host.cpu(r, clocks[r], combine);
-            clocks[partner] = ctx.host.cpu(partner, clocks[partner], combine);
+            clocks[r] = ctx.cpu(r, clocks[r], combine);
+            clocks[partner] = ctx.cpu(partner, clocks[partner], combine);
         }
         chunk = (chunk / 2).max(1);
     }
@@ -120,7 +128,7 @@ mod tests {
         let p = 8;
         let mut rig = Rig::new(p);
         let start = vec![Cycles::ZERO; p];
-        allreduce_rd(&mut rig.ctx(), p, 512, &start);
+        allreduce_rd(&mut rig.ctx(), p, 512, &start).expect("fault-free");
         let initial: Vec<Vec<u32>> = (0..p).map(|r| vec![r as u32]).collect();
         let held = replay_possession(p, initial, rig.records());
         for (r, s) in held.iter().enumerate() {
@@ -134,10 +142,10 @@ mod tests {
         let start = vec![Cycles::ZERO; p];
         let bytes = 1u64 << 20;
         let mut a = Rig::new(p);
-        allreduce_rd(&mut a.ctx(), p, bytes, &start);
+        allreduce_rd(&mut a.ctx(), p, bytes, &start).expect("fault-free");
         let rd_bytes: u64 = a.records().iter().map(|m| m.bytes).sum();
         let mut b = Rig::new(p);
-        allreduce_rabenseifner(&mut b.ctx(), p, bytes, &start);
+        allreduce_rabenseifner(&mut b.ctx(), p, bytes, &start).expect("fault-free");
         let rab_bytes: u64 = b.records().iter().map(|m| m.bytes).sum();
         assert!(
             rab_bytes * 2 < rd_bytes,
@@ -153,10 +161,10 @@ mod tests {
     fn selector_switches_on_size_and_handles_odd_p() {
         let start = vec![Cycles::ZERO; 8];
         let mut small = Rig::new(8);
-        allreduce(&mut small.ctx(), 8, 1024, &start);
+        allreduce(&mut small.ctx(), 8, 1024, &start).expect("fault-free");
         assert!(small.records().iter().all(|m| m.bytes == 1024), "RD ships full vectors");
         let mut large = Rig::new(8);
-        allreduce(&mut large.ctx(), 8, 1 << 20, &start);
+        allreduce(&mut large.ctx(), 8, 1 << 20, &start).expect("fault-free");
         assert!(
             large.records().iter().any(|m| m.bytes < 1 << 19),
             "Rabenseifner ships halved chunks"
@@ -164,7 +172,7 @@ mod tests {
         // Odd communicator falls back to reduce+bcast and still works.
         let start7 = vec![Cycles::ZERO; 7];
         let mut odd = Rig::new(7);
-        let done = allreduce(&mut odd.ctx(), 7, 4096, &start7);
+        let done = allreduce(&mut odd.ctx(), 7, 4096, &start7).expect("fault-free");
         assert_eq!(done.len(), 7);
         assert!(done.iter().all(|&c| c > Cycles::ZERO));
     }
@@ -175,9 +183,9 @@ mod tests {
         let start = vec![Cycles::ZERO; p];
         let bytes = 1u64 << 20;
         let mut a = Rig::new(p);
-        let rd = allreduce_rd(&mut a.ctx(), p, bytes, &start);
+        let rd = allreduce_rd(&mut a.ctx(), p, bytes, &start).expect("fault-free");
         let mut b = Rig::new(p);
-        let rab = allreduce_rabenseifner(&mut b.ctx(), p, bytes, &start);
+        let rab = allreduce_rabenseifner(&mut b.ctx(), p, bytes, &start).expect("fault-free");
         assert!(rab.iter().max().unwrap() < rd.iter().max().unwrap());
     }
 
@@ -189,7 +197,7 @@ mod tests {
         let p = 8;
         let start = vec![Cycles::ZERO; p];
         let mut rig = Rig::new(p);
-        let done = allreduce(&mut rig.ctx(), p, 32 << 10, &start);
+        let done = allreduce(&mut rig.ctx(), p, 32 << 10, &start).expect("fault-free");
         let min = done.iter().min().unwrap().raw() as f64;
         let max = done.iter().max().unwrap().raw() as f64;
         assert!(max / min < 1.5, "skew {}", max / min);

@@ -3,6 +3,7 @@
 //! Block id encodes an (origin, destination) pair as `origin * p + dest`.
 
 use super::Ctx;
+use crate::failure::RankFailure;
 use crate::host::HostModel;
 use simcore::Cycles;
 
@@ -12,7 +13,7 @@ pub fn alltoall<H: HostModel>(
     p: usize,
     bytes_per_pair: u64,
     start: &[Cycles],
-) -> Vec<Cycles> {
+) -> Result<Vec<Cycles>, RankFailure> {
     if bytes_per_pair <= 512 {
         alltoall_bruck(ctx, p, bytes_per_pair, start)
     } else {
@@ -29,11 +30,11 @@ pub fn alltoall_bruck<H: HostModel>(
     p: usize,
     bytes_per_pair: u64,
     start: &[Cycles],
-) -> Vec<Cycles> {
+) -> Result<Vec<Cycles>, RankFailure> {
     assert_eq!(start.len(), p);
     let mut clocks = start.to_vec();
     if p == 1 {
-        return clocks;
+        return Ok(clocks);
     }
     // holdings[r] = blocks (origin, dest) currently at rank r, with their
     // index j. Maintained exactly so the recorder tells the truth.
@@ -62,7 +63,7 @@ pub fn alltoall_bruck<H: HostModel>(
             let dst = (r + dist) % p;
             let bytes = go.len() as u64 * bytes_per_pair;
             let blocks: Vec<u32> = go.iter().map(|&(o, d)| (o * p + d) as u32).collect();
-            ctx.xfer_at(r, dst, bytes, round[r], round[dst], &mut clocks, move || blocks);
+            ctx.xfer_at(r, dst, bytes, round[r], round[dst], &mut clocks, move || blocks)?;
             holdings[dst].extend(go);
         }
         k += 1;
@@ -71,7 +72,7 @@ pub fn alltoall_bruck<H: HostModel>(
     for (r, held) in holdings.iter().enumerate() {
         debug_assert!(held.iter().all(|&(_, d)| d == r));
     }
-    clocks
+    Ok(clocks)
 }
 
 /// Pairwise exchange: `p-1` rounds; in round `i` rank `r` sends its block
@@ -81,7 +82,7 @@ pub fn alltoall_pairwise<H: HostModel>(
     p: usize,
     bytes_per_pair: u64,
     start: &[Cycles],
-) -> Vec<Cycles> {
+) -> Result<Vec<Cycles>, RankFailure> {
     assert_eq!(start.len(), p);
     let mut clocks = start.to_vec();
     for i in 1..p {
@@ -90,10 +91,10 @@ pub fn alltoall_pairwise<H: HostModel>(
             let dst = (r + i) % p;
             ctx.xfer_at(r, dst, bytes_per_pair, round[r], round[dst], &mut clocks, || {
                 vec![(r * p + dst) as u32]
-            });
+            })?;
         }
     }
-    clocks
+    Ok(clocks)
 }
 
 #[cfg(test)]
@@ -121,7 +122,7 @@ mod tests {
         for p in [2usize, 3, 4, 7, 8, 16] {
             let mut rig = Rig::new(p);
             let start = vec![Cycles::ZERO; p];
-            alltoall_bruck(&mut rig.ctx(), p, 64, &start);
+            alltoall_bruck(&mut rig.ctx(), p, 64, &start).expect("fault-free");
             let held = replay_possession(p, initial_pairs(p), rig.records());
             assert_complete(p, &held);
         }
@@ -132,7 +133,7 @@ mod tests {
         for p in [2usize, 5, 8] {
             let mut rig = Rig::new(p);
             let start = vec![Cycles::ZERO; p];
-            alltoall_pairwise(&mut rig.ctx(), p, 4096, &start);
+            alltoall_pairwise(&mut rig.ctx(), p, 4096, &start).expect("fault-free");
             let held = replay_possession(p, initial_pairs(p), rig.records());
             assert_complete(p, &held);
             assert_eq!(rig.records().len(), p * (p - 1));
@@ -144,7 +145,7 @@ mod tests {
         let p = 16;
         let mut rig = Rig::new(p);
         let start = vec![Cycles::ZERO; p];
-        alltoall_bruck(&mut rig.ctx(), p, 8, &start);
+        alltoall_bruck(&mut rig.ctx(), p, 8, &start).expect("fault-free");
         // log2(16) = 4 rounds x 16 ranks = 64 messages, each carrying
         // p/2 = 8 blocks.
         assert_eq!(rig.records().len(), 4 * p);
@@ -156,10 +157,10 @@ mod tests {
         let p = 8;
         let start = vec![Cycles::ZERO; p];
         let mut small = Rig::new(p);
-        alltoall(&mut small.ctx(), p, 256, &start);
+        alltoall(&mut small.ctx(), p, 256, &start).expect("fault-free");
         assert_eq!(small.records().len(), 3 * p, "Bruck rounds");
         let mut large = Rig::new(p);
-        alltoall(&mut large.ctx(), p, 4096, &start);
+        alltoall(&mut large.ctx(), p, 4096, &start).expect("fault-free");
         assert_eq!(large.records().len(), p * (p - 1), "pairwise");
     }
 
@@ -168,9 +169,9 @@ mod tests {
         let p = 32;
         let start = vec![Cycles::ZERO; p];
         let mut a = Rig::new(p);
-        let bruck = alltoall_bruck(&mut a.ctx(), p, 8, &start);
+        let bruck = alltoall_bruck(&mut a.ctx(), p, 8, &start).expect("fault-free");
         let mut b = Rig::new(p);
-        let pw = alltoall_pairwise(&mut b.ctx(), p, 8, &start);
+        let pw = alltoall_pairwise(&mut b.ctx(), p, 8, &start).expect("fault-free");
         assert!(bruck.iter().max().unwrap() < pw.iter().max().unwrap());
     }
 
@@ -179,9 +180,9 @@ mod tests {
         let p = 8;
         let start = vec![Cycles::ZERO; p];
         let mut a = Rig::new(p);
-        let bruck = alltoall_bruck(&mut a.ctx(), p, 1 << 20, &start);
+        let bruck = alltoall_bruck(&mut a.ctx(), p, 1 << 20, &start).expect("fault-free");
         let mut b = Rig::new(p);
-        let pw = alltoall_pairwise(&mut b.ctx(), p, 1 << 20, &start);
+        let pw = alltoall_pairwise(&mut b.ctx(), p, 1 << 20, &start).expect("fault-free");
         assert!(
             pw.iter().max().unwrap() < bruck.iter().max().unwrap(),
             "Bruck forwards data multiple times"
@@ -196,9 +197,9 @@ mod tests {
         let p = 16;
         let start = vec![Cycles::ZERO; p];
         let mut a = Rig::new(p);
-        let a2a = alltoall(&mut a.ctx(), p, 64 << 10, &start);
+        let a2a = alltoall(&mut a.ctx(), p, 64 << 10, &start).expect("fault-free");
         let mut s = Rig::new(p);
-        let sc = tree::scatter(&mut s.ctx(), p, 0, 64 << 10, &start);
+        let sc = tree::scatter(&mut s.ctx(), p, 0, 64 << 10, &start).expect("fault-free");
         assert!(a2a.iter().max().unwrap() > sc.iter().max().unwrap());
     }
 }

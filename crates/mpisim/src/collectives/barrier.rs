@@ -4,6 +4,7 @@
 //! Rabenseifner allreduce is literally reduce-scatter + allgather.
 
 use super::{ceil_log2, Ctx};
+use crate::failure::RankFailure;
 use crate::host::HostModel;
 use simcore::Cycles;
 
@@ -11,11 +12,15 @@ use simcore::Cycles;
 /// signals `(r + 2^k) mod p`. Works for any `p`. Returns per-rank exit
 /// times (each rank may leave as soon as it has heard from all its
 /// transitive predecessors).
-pub fn barrier<H: HostModel>(ctx: &mut Ctx<'_, H>, p: usize, start: &[Cycles]) -> Vec<Cycles> {
+pub fn barrier<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    p: usize,
+    start: &[Cycles],
+) -> Result<Vec<Cycles>, RankFailure> {
     assert_eq!(start.len(), p);
     let mut clocks = start.to_vec();
     if p == 1 {
-        return clocks;
+        return Ok(clocks);
     }
     let token = 0u64; // zero-byte signal; the wire still carries a header
     for k in 0..ceil_log2(p) {
@@ -23,10 +28,10 @@ pub fn barrier<H: HostModel>(ctx: &mut Ctx<'_, H>, p: usize, start: &[Cycles]) -
         let round = clocks.clone();
         for r in 0..p {
             let dst = (r + dist) % p;
-            ctx.xfer_at(r, dst, token, round[r], round[dst], &mut clocks, Vec::new);
+            ctx.xfer_at(r, dst, token, round[r], round[dst], &mut clocks, Vec::new)?;
         }
     }
-    clocks
+    Ok(clocks)
 }
 
 /// Reduce-scatter (recursive halving, power-of-two): after completion,
@@ -37,12 +42,12 @@ pub fn reduce_scatter<H: HostModel>(
     p: usize,
     bytes: u64,
     start: &[Cycles],
-) -> Vec<Cycles> {
+) -> Result<Vec<Cycles>, RankFailure> {
     assert!(p.is_power_of_two(), "recursive halving needs 2^k ranks");
     assert_eq!(start.len(), p);
     let mut clocks = start.to_vec();
     if p == 1 {
-        return clocks;
+        return Ok(clocks);
     }
     let saved = ctx.churn;
     ctx.churn = ctx.internal_churn();
@@ -55,16 +60,23 @@ pub fn reduce_scatter<H: HostModel>(
             if r > partner {
                 continue;
             }
-            ctx.xfer_at(r, partner, chunk, round[r], round[partner], &mut clocks, Vec::new);
-            ctx.xfer_at(partner, r, chunk, round[partner], round[r], &mut clocks, Vec::new);
+            let res = ctx
+                .xfer_at(r, partner, chunk, round[r], round[partner], &mut clocks, Vec::new)
+                .and_then(|_| {
+                    ctx.xfer_at(partner, r, chunk, round[partner], round[r], &mut clocks, Vec::new)
+                });
+            if let Err(e) = res {
+                ctx.churn = saved;
+                return Err(e);
+            }
             let combine = ctx.reduce_cost(chunk);
-            clocks[r] = ctx.host.cpu(r, clocks[r], combine);
-            clocks[partner] = ctx.host.cpu(partner, clocks[partner], combine);
+            clocks[r] = ctx.cpu(r, clocks[r], combine);
+            clocks[partner] = ctx.cpu(partner, clocks[partner], combine);
         }
         chunk = (chunk / 2).max(1);
     }
     ctx.churn = saved;
-    clocks
+    Ok(clocks)
 }
 
 #[cfg(test)]
@@ -80,7 +92,7 @@ mod tests {
         // had time to disseminate.
         let mut start = vec![Cycles::from_us(10); p];
         start[5] = Cycles::from_ms(1);
-        let done = barrier(&mut rig.ctx(), p, &start);
+        let done = barrier(&mut rig.ctx(), p, &start).expect("fault-free");
         for (r, &d) in done.iter().enumerate() {
             assert!(
                 d >= Cycles::from_ms(1),
@@ -97,7 +109,7 @@ mod tests {
         let p = 64;
         let mut rig = Rig::new(p);
         let start = vec![Cycles::ZERO; p];
-        let done = barrier(&mut rig.ctx(), p, &start);
+        let done = barrier(&mut rig.ctx(), p, &start).expect("fault-free");
         let worst = done.iter().max().expect("nonempty").as_us_f64();
         // 6 rounds of ~1.3us hops, not 63.
         assert!((4.0..25.0).contains(&worst), "{worst}us");
@@ -109,7 +121,7 @@ mod tests {
         let mut rig = Rig::new(p);
         let mut start = vec![Cycles::ZERO; p];
         start[3] = Cycles::from_us(500);
-        let done = barrier(&mut rig.ctx(), p, &start);
+        let done = barrier(&mut rig.ctx(), p, &start).expect("fault-free");
         assert!(done.iter().all(|&d| d >= Cycles::from_us(500)));
     }
 
@@ -119,7 +131,7 @@ mod tests {
         let mut rig = Rig::new(p);
         let start = vec![Cycles::ZERO; p];
         let bytes = 1u64 << 20;
-        reduce_scatter(&mut rig.ctx(), p, bytes, &start);
+        reduce_scatter(&mut rig.ctx(), p, bytes, &start).expect("fault-free");
         let moved: u64 = rig.records().iter().map(|m| m.bytes).sum();
         // Recursive halving: each rank sends bytes/2 + bytes/4 + ... =
         // ~bytes * (p-1)/p; total ≈ bytes * (p-1).
@@ -135,10 +147,12 @@ mod tests {
         let bytes = 1u64 << 20;
         let start = vec![Cycles::ZERO; p];
         let mut a = Rig::new(p);
-        let rs = reduce_scatter(&mut a.ctx(), p, bytes, &start);
-        let composed = allgather::allgather_rd(&mut a.ctx(), p, bytes / p as u64, &rs);
+        let rs = reduce_scatter(&mut a.ctx(), p, bytes, &start).expect("fault-free");
+        let composed =
+            allgather::allgather_rd(&mut a.ctx(), p, bytes / p as u64, &rs).expect("fault-free");
         let mut b = Rig::new(p);
-        let rab = allreduce::allreduce_rabenseifner(&mut b.ctx(), p, bytes, &start);
+        let rab =
+            allreduce::allreduce_rabenseifner(&mut b.ctx(), p, bytes, &start).expect("fault-free");
         let c = composed.iter().max().expect("nonempty").raw() as f64;
         let r = rab.iter().max().expect("nonempty").raw() as f64;
         assert!((c / r - 1.0).abs() < 0.15, "composed {c} vs rabenseifner {r}");

@@ -25,10 +25,11 @@ pub mod alltoall;
 pub mod barrier;
 pub mod tree;
 
+use crate::failure::RankFailure;
 use crate::host::HostModel;
 use crate::p2p::{self, P2pParams, SendTiming};
 use crate::regcache::RegCache;
-use netsim::Fabric;
+use netsim::reliable::ReliableFabric;
 use simcore::Cycles;
 
 /// One recorded message with the data blocks it carried (block ids are
@@ -54,8 +55,8 @@ pub struct Ctx<'a, H: HostModel> {
     /// and pre-registers its internal buffer pool at init, so no
     /// registration `write()` ever offloads on the critical path.
     pub hybrid_aware: bool,
-    /// The interconnect.
-    pub fabric: &'a mut Fabric,
+    /// The interconnect (reliable-delivery layer over the switch).
+    pub fabric: &'a mut ReliableFabric,
     /// OS hook.
     pub host: &'a mut H,
     /// p2p protocol parameters.
@@ -71,6 +72,11 @@ pub struct Ctx<'a, H: HostModel> {
     /// while a reduce-family collective cycles MPI-internal buffers (the
     /// Fig. 7 artifact).
     pub churn: f64,
+    /// Communicator rank → fabric node map. `None` is the identity (the
+    /// fault-free fast path). A shrunk communicator after a node death
+    /// runs the same algorithms over the surviving nodes through this
+    /// indirection; failures are reported back in *rank* space.
+    pub rank_map: Option<&'a [usize]>,
 }
 
 impl<H: HostModel> Ctx<'_, H> {
@@ -93,6 +99,41 @@ impl<'a, H: HostModel> Ctx<'a, H> {
         Cycles(self.reduce_per_kib.raw() * bytes.div_ceil(1024))
     }
 
+    /// Fabric node backing a communicator rank.
+    pub fn node_of(&self, rank: usize) -> usize {
+        self.rank_map.map_or(rank, |m| m[rank])
+    }
+
+    /// Invert [`Ctx::node_of`] (failure reporting only — O(p), off the
+    /// fault-free path).
+    fn rank_of(&self, node: usize) -> usize {
+        self.rank_map.map_or(node, |m| {
+            m.iter()
+                .position(|&n| n == node)
+                .expect("failed node is in the rank map")
+        })
+    }
+
+    fn to_rank_space(&self, f: RankFailure) -> RankFailure {
+        RankFailure {
+            rank: self.rank_of(f.rank),
+            observer: self.rank_of(f.observer),
+            ..f
+        }
+    }
+
+    /// Charge CPU work to the node backing `rank`.
+    pub fn cpu(&mut self, rank: usize, at: Cycles, work: Cycles) -> Cycles {
+        let node = self.node_of(rank);
+        self.host.cpu(node, at, work)
+    }
+
+    /// Charge an OpenMP region to the node backing `rank`.
+    pub fn omp(&mut self, rank: usize, at: Cycles, per_thread: Cycles, threads: u32) -> Cycles {
+        let node = self.node_of(rank);
+        self.host.omp_region(node, at, per_thread, threads)
+    }
+
     /// Transfer with clock update + optional recording. `blocks` is only
     /// evaluated when recording.
     pub fn xfer(
@@ -102,7 +143,7 @@ impl<'a, H: HostModel> Ctx<'a, H> {
         bytes: u64,
         clocks: &mut [Cycles],
         blocks: impl FnOnce() -> Vec<u32>,
-    ) -> SendTiming {
+    ) -> Result<SendTiming, RankFailure> {
         let (src_at, dst_at) = (clocks[src], clocks[dst]);
         self.xfer_at(src, dst, bytes, src_at, dst_at, clocks, blocks)
     }
@@ -113,6 +154,9 @@ impl<'a, H: HostModel> Ctx<'a, H> {
     /// round: using the round-start snapshot as the departure time models
     /// that overlap (a rank's send does not wait for its same-round
     /// receive), while the max-merge keeps the next round causal.
+    ///
+    /// Ranks are communicator ranks; the rank map (if any) translates to
+    /// fabric nodes, and any [`RankFailure`] comes back in rank space.
     #[allow(clippy::too_many_arguments)]
     pub fn xfer_at(
         &mut self,
@@ -123,19 +167,21 @@ impl<'a, H: HostModel> Ctx<'a, H> {
         dst_at: Cycles,
         clocks: &mut [Cycles],
         blocks: impl FnOnce() -> Vec<u32>,
-    ) -> SendTiming {
+    ) -> Result<SendTiming, RankFailure> {
+        let (src_node, dst_node) = (self.node_of(src), self.node_of(dst));
         let t = p2p::send(
             self.fabric,
             self.host,
             self.params,
             self.regcaches,
-            src,
-            dst,
+            src_node,
+            dst_node,
             bytes,
             src_at,
             dst_at,
             self.churn,
-        );
+        )
+        .map_err(|f| self.to_rank_space(f))?;
         clocks[src] = clocks[src].max(t.sender_done);
         clocks[dst] = clocks[dst].max(t.receiver_done);
         if let Some(rec) = self.recorder.as_mut() {
@@ -146,7 +192,7 @@ impl<'a, H: HostModel> Ctx<'a, H> {
                 blocks: blocks(),
             });
         }
-        t
+        Ok(t)
     }
 }
 
@@ -176,7 +222,7 @@ pub(crate) mod testutil {
 
     /// Standard small-cluster test rig.
     pub struct Rig {
-        pub fabric: Fabric,
+        pub fabric: ReliableFabric,
         pub host: IdealHost,
         pub params: P2pParams,
         pub regcaches: Vec<RegCache>,
@@ -186,7 +232,7 @@ pub(crate) mod testutil {
     impl Rig {
         pub fn new(p: usize) -> Rig {
             Rig {
-                fabric: Fabric::new(p, LinkParams::fdr_infiniband()),
+                fabric: ReliableFabric::new(p, LinkParams::fdr_infiniband()),
                 host: IdealHost::new(),
                 params: P2pParams::default(),
                 regcaches: (0..p)
@@ -206,6 +252,7 @@ pub(crate) mod testutil {
                 recorder: &mut self.recorder,
                 reduce_per_kib: Cycles::from_ns(350),
                 churn: 0.0,
+                rank_map: None,
             }
         }
 

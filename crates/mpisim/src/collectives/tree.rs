@@ -6,6 +6,7 @@
 //! * bcast — the single block is the root's rank.
 
 use super::{unvrank, ceil_log2, Ctx};
+use crate::failure::RankFailure;
 use crate::host::HostModel;
 use simcore::Cycles;
 
@@ -21,11 +22,11 @@ pub fn scatter<H: HostModel>(
     root: usize,
     bytes_per_rank: u64,
     start: &[Cycles],
-) -> Vec<Cycles> {
+) -> Result<Vec<Cycles>, RankFailure> {
     assert!(p >= 1 && root < p && start.len() == p);
     let mut clocks = start.to_vec();
     if p == 1 {
-        return clocks;
+        return Ok(clocks);
     }
     let mut mask = 1usize << (ceil_log2(p) - 1);
     while mask >= 1 {
@@ -41,11 +42,11 @@ pub fn scatter<H: HostModel>(
                 (vdst..vdst + count as usize)
                     .map(|v| unvrank(v, root, p) as u32)
                     .collect()
-            });
+            })?;
         }
         mask >>= 1;
     }
-    clocks
+    Ok(clocks)
 }
 
 /// Binomial gather: every rank's `bytes_per_rank` ends at the root.
@@ -55,7 +56,7 @@ pub fn gather<H: HostModel>(
     root: usize,
     bytes_per_rank: u64,
     start: &[Cycles],
-) -> Vec<Cycles> {
+) -> Result<Vec<Cycles>, RankFailure> {
     assert!(p >= 1 && root < p && start.len() == p);
     let mut clocks = start.to_vec();
     let mut mask = 1usize;
@@ -69,11 +70,11 @@ pub fn gather<H: HostModel>(
                 (vsrc..vsrc + count as usize)
                     .map(|v| unvrank(v, root, p) as u32)
                     .collect()
-            });
+            })?;
         }
         mask <<= 1;
     }
-    clocks
+    Ok(clocks)
 }
 
 /// Binomial reduce: combine `bytes` from every rank at the root. Each
@@ -84,7 +85,7 @@ pub fn reduce<H: HostModel>(
     root: usize,
     bytes: u64,
     start: &[Cycles],
-) -> Vec<Cycles> {
+) -> Result<Vec<Cycles>, RankFailure> {
     assert!(p >= 1 && root < p && start.len() == p);
     let mut clocks = start.to_vec();
     let reduce_cost = ctx.reduce_cost(bytes);
@@ -97,18 +98,21 @@ pub fn reduce<H: HostModel>(
             let vdst = vsrc - mask;
             let count = (p - vsrc).min(mask);
             let (src, dst) = (unvrank(vsrc, root, p), unvrank(vdst, root, p));
-            ctx.xfer(src, dst, bytes, &mut clocks, || {
+            if let Err(e) = ctx.xfer(src, dst, bytes, &mut clocks, || {
                 (vsrc..vsrc + count)
                     .map(|v| unvrank(v, root, p) as u32)
                     .collect()
-            });
+            }) {
+                ctx.churn = saved_churn;
+                return Err(e);
+            }
             // The receiver combines the incoming vector with its own.
-            clocks[dst] = ctx.host.cpu(dst, clocks[dst], reduce_cost);
+            clocks[dst] = ctx.cpu(dst, clocks[dst], reduce_cost);
         }
         mask <<= 1;
     }
     ctx.churn = saved_churn;
-    clocks
+    Ok(clocks)
 }
 
 /// Binomial broadcast of `bytes` from the root.
@@ -118,11 +122,11 @@ pub fn bcast<H: HostModel>(
     root: usize,
     bytes: u64,
     start: &[Cycles],
-) -> Vec<Cycles> {
+) -> Result<Vec<Cycles>, RankFailure> {
     assert!(p >= 1 && root < p && start.len() == p);
     let mut clocks = start.to_vec();
     if p == 1 {
-        return clocks;
+        return Ok(clocks);
     }
     let mut mask = 1usize << (ceil_log2(p) - 1);
     while mask >= 1 {
@@ -132,11 +136,11 @@ pub fn bcast<H: HostModel>(
                 continue;
             }
             let (src, dst) = (unvrank(vsrc, root, p), unvrank(vdst, root, p));
-            ctx.xfer(src, dst, bytes, &mut clocks, || vec![root as u32]);
+            ctx.xfer(src, dst, bytes, &mut clocks, || vec![root as u32])?;
         }
         mask >>= 1;
     }
-    clocks
+    Ok(clocks)
 }
 
 #[cfg(test)]
@@ -149,7 +153,7 @@ mod tests {
         let p = 8;
         let mut rig = Rig::new(p);
         let start = vec![Cycles::ZERO; p];
-        let done = scatter(&mut rig.ctx(), p, 2, 4096, &start);
+        let done = scatter(&mut rig.ctx(), p, 2, 4096, &start).expect("fault-free");
         // Data-flow check: root starts holding all blocks.
         let mut initial = vec![Vec::new(); p];
         initial[2] = (0..p as u32).collect();
@@ -168,7 +172,7 @@ mod tests {
         let p = 6;
         let mut rig = Rig::new(p);
         let start = vec![Cycles::ZERO; p];
-        scatter(&mut rig.ctx(), p, 0, 1024, &start);
+        scatter(&mut rig.ctx(), p, 0, 1024, &start).expect("fault-free");
         let mut initial = vec![Vec::new(); p];
         initial[0] = (0..p as u32).collect();
         let held = replay_possession(p, initial, rig.records());
@@ -183,7 +187,7 @@ mod tests {
         for p in [4usize, 7, 16] {
             let mut rig = Rig::new(p);
             let start = vec![Cycles::ZERO; p];
-            let done = gather(&mut rig.ctx(), p, 1, 2048, &start);
+            let done = gather(&mut rig.ctx(), p, 1, 2048, &start).expect("fault-free");
             let initial: Vec<Vec<u32>> = (0..p).map(|r| vec![r as u32]).collect();
             let held = replay_possession(p, initial, rig.records());
             assert_eq!(held[1].len(), p, "root holds all contributions (p={p})");
@@ -197,7 +201,7 @@ mod tests {
         let p = 8;
         let mut rig = Rig::new(p);
         let start = vec![Cycles::ZERO; p];
-        let done = reduce(&mut rig.ctx(), p, 0, 64 << 10, &start);
+        let done = reduce(&mut rig.ctx(), p, 0, 64 << 10, &start).expect("fault-free");
         let initial: Vec<Vec<u32>> = (0..p).map(|r| vec![r as u32]).collect();
         let held = replay_possession(p, initial, rig.records());
         assert_eq!(held[0].len(), p);
@@ -216,7 +220,7 @@ mod tests {
         for p in [2usize, 5, 32] {
             let mut rig = Rig::new(p);
             let start = vec![Cycles::ZERO; p];
-            let done = bcast(&mut rig.ctx(), p, 3 % p, 4096, &start);
+            let done = bcast(&mut rig.ctx(), p, 3 % p, 4096, &start).expect("fault-free");
             let mut initial = vec![Vec::new(); p];
             initial[3 % p] = vec![(3 % p) as u32];
             let held = replay_possession(p, initial, rig.records());
@@ -231,7 +235,7 @@ mod tests {
         // latencies, far from 63.
         let mut rig = Rig::new(64);
         let start = vec![Cycles::ZERO; 64];
-        let done = bcast(&mut rig.ctx(), 64, 0, 8, &start);
+        let done = bcast(&mut rig.ctx(), 64, 0, 8, &start).expect("fault-free");
         let worst = done.iter().max().unwrap().as_us_f64();
         let single = 2.0; // ~2us per small hop
         assert!(worst < single * 12.0, "worst {worst}us");
@@ -243,7 +247,7 @@ mod tests {
         let p = 8;
         let mut rig = Rig::new(p);
         let start = vec![Cycles::ZERO; p];
-        scatter(&mut rig.ctx(), p, 0, 1000, &start);
+        scatter(&mut rig.ctx(), p, 0, 1000, &start).expect("fault-free");
         // First message: root -> vrank 4 carries 4 blocks.
         let first = &rig.records()[0];
         assert_eq!(first.bytes, 4000);

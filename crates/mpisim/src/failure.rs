@@ -1,0 +1,91 @@
+//! Typed rank-failure reporting.
+//!
+//! When the reliable fabric gives up on a peer ([`LinkError`]), the MPI
+//! layer translates it into a [`RankFailure`]: *which rank* is
+//! considered failed, *who* observed it, and *when* the observer's
+//! detector fired. Collectives propagate it with `?` instead of
+//! hanging, so a dead peer surfaces within a bounded detection window
+//! — the job-level recovery policies above decide what to do next.
+
+use netsim::reliable::LinkError;
+use simcore::Cycles;
+
+/// Why a rank was declared failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The peer node is dead (crash fault or dying-gasp send).
+    NodeDead,
+    /// The link-level retry budget drained without an ACK. Under the
+    /// fail-stop model the unreachable peer is treated as dead.
+    RetryBudget {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A port stayed down beyond the tolerated flap wait.
+    LinkDown {
+        /// The port that was down.
+        port: usize,
+    },
+}
+
+/// A rank declared failed during an MPI operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankFailure {
+    /// The failed rank (communicator rank space).
+    pub rank: usize,
+    /// The rank whose detector fired.
+    pub observer: usize,
+    /// When the observer declared the failure (straggler timeout or
+    /// retry-budget exhaustion).
+    pub detected_at: Cycles,
+    /// Why.
+    pub cause: FailureCause,
+}
+
+impl RankFailure {
+    /// Default translation of a fabric-level error. The unreachable
+    /// endpoint is the failed rank; the other endpoint observed it when
+    /// the sender gave up. (Ranks here are fabric node ids; callers
+    /// holding a rank→node map remap afterwards.)
+    pub fn from_link(e: LinkError) -> RankFailure {
+        match e {
+            LinkError::PeerDead { node, src, dst, gave_up_at } => RankFailure {
+                rank: node,
+                observer: if node == src { dst } else { src },
+                detected_at: gave_up_at,
+                cause: FailureCause::NodeDead,
+            },
+            LinkError::RetryBudget { src, dst, attempts, gave_up_at } => RankFailure {
+                rank: dst,
+                observer: src,
+                detected_at: gave_up_at,
+                cause: FailureCause::RetryBudget { attempts },
+            },
+            LinkError::LinkDown { port, src, dst, gave_up_at } => RankFailure {
+                rank: if port == src { src } else { dst },
+                observer: if port == src { dst } else { src },
+                detected_at: gave_up_at,
+                cause: FailureCause::LinkDown { port },
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let why = match self.cause {
+            FailureCause::NodeDead => "node dead".to_string(),
+            FailureCause::RetryBudget { attempts } => {
+                format!("unreachable after {attempts} attempts")
+            }
+            FailureCause::LinkDown { port } => format!("link at port {port} down"),
+        };
+        write!(
+            f,
+            "rank {} failed ({why}); detected by rank {} at {}",
+            self.rank, self.observer, self.detected_at
+        )
+    }
+}
+
+impl std::error::Error for RankFailure {}

@@ -21,10 +21,12 @@
 #![warn(missing_docs)]
 
 pub mod collectives;
+pub mod failure;
 pub mod host;
 pub mod p2p;
 pub mod regcache;
 
+pub use failure::{FailureCause, RankFailure};
 pub use host::{HostModel, IdealHost};
 pub use p2p::{P2pParams, SendTiming};
 pub use regcache::RegCache;

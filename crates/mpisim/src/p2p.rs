@@ -9,9 +9,10 @@
 //!   McKernel that registration is an offloaded `write()`), then the data
 //!   moves by RDMA with no receiver CPU involvement until completion.
 
+use crate::failure::{FailureCause, RankFailure};
 use crate::host::HostModel;
 use crate::regcache::RegCache;
-use netsim::Fabric;
+use netsim::reliable::{LinkError, ReliableFabric};
 use simcore::Cycles;
 
 /// Protocol parameters.
@@ -25,6 +26,10 @@ pub struct P2pParams {
     pub copy_per_kib: Cycles,
     /// Rendezvous control message size.
     pub ctrl_bytes: u64,
+    /// Straggler timeout: how long a rank waits on a silent peer (a
+    /// missing sender, or a rendezvous CTS that never comes) before its
+    /// failure detector fires.
+    pub peer_timeout: Cycles,
 }
 
 impl Default for P2pParams {
@@ -35,6 +40,7 @@ impl Default for P2pParams {
             // ~10 GB/s memcpy: 1 KiB ~ 100 ns ~ 280 cycles.
             copy_per_kib: Cycles::from_ns(100),
             ctrl_bytes: 64,
+            peer_timeout: Cycles::from_us(500),
         }
     }
 }
@@ -60,11 +66,41 @@ pub struct SendTiming {
     pub receiver_done: Cycles,
 }
 
+/// Map a fabric error to a rank failure, modelling the *receiver-side*
+/// straggler detector when the sender is the dead endpoint: a dead
+/// sender posts nothing, so its partner only notices when its own
+/// timeout fires after `peer_timeout` of silence.
+fn silent_sender(
+    params: &P2pParams,
+    src_rank: usize,
+    dst_rank: usize,
+    dst_at: Cycles,
+    e: LinkError,
+) -> RankFailure {
+    match e {
+        LinkError::PeerDead { node, gave_up_at, .. } if node == src_rank => RankFailure {
+            rank: src_rank,
+            observer: dst_rank,
+            detected_at: gave_up_at.max(dst_at) + params.peer_timeout,
+            cause: FailureCause::NodeDead,
+        },
+        other => RankFailure::from_link(other),
+    }
+}
+
 /// Transfer `bytes` from `src_rank` (CPU free at `src_at`) to `dst_rank`
-/// (receive posted at `dst_at`). Ranks map 1:1 to fabric nodes.
+/// (receive posted at `dst_at`). Ranks map 1:1 to fabric nodes (callers
+/// holding a communicator rank→node map remap the failure afterwards).
+///
+/// Link faults are absorbed by the reliable fabric and show up as extra
+/// latency only. A failure the fabric cannot hide surfaces as a typed
+/// [`RankFailure`] within a bounded window — retry-budget exhaustion
+/// for an unreachable receiver, or the observer's `peer_timeout`
+/// straggler detector for a peer that should have initiated (a dead
+/// sender, or a rendezvous receiver that never answers RTS with CTS).
 #[allow(clippy::too_many_arguments)]
 pub fn send<H: HostModel>(
-    fabric: &mut Fabric,
+    fabric: &mut ReliableFabric,
     host: &mut H,
     params: &P2pParams,
     regcaches: &mut [RegCache],
@@ -74,8 +110,20 @@ pub fn send<H: HostModel>(
     src_at: Cycles,
     dst_at: Cycles,
     churn: f64,
-) -> SendTiming {
+) -> Result<SendTiming, RankFailure> {
     debug_assert_ne!(src_rank, dst_rank);
+    // A sender already dead when the operation starts never posts: only
+    // the receiver's straggler timer can notice.
+    if let Some(d) = fabric.node_dead_at(src_rank) {
+        if d <= src_at {
+            return Err(RankFailure {
+                rank: src_rank,
+                observer: dst_rank,
+                detected_at: d.max(dst_at) + params.peer_timeout,
+                cause: FailureCause::NodeDead,
+            });
+        }
+    }
     if params.is_eager(bytes) {
         // Copy-in + header, one wire message, copy-out.
         let ready = host.cpu(
@@ -83,21 +131,25 @@ pub fn send<H: HostModel>(
             src_at,
             params.sw_overhead + params.copy_cost(bytes),
         );
-        let tr = fabric.send(src_rank, dst_rank, bytes + params.ctrl_bytes, ready);
+        let tr = fabric
+            .send(src_rank, dst_rank, bytes + params.ctrl_bytes, ready)
+            .map_err(|e| silent_sender(params, src_rank, dst_rank, dst_at, e))?;
         let recv_start = tr.delivered.max(dst_at);
         let receiver_done = host.cpu(
             dst_rank,
             recv_start,
             params.sw_overhead + params.copy_cost(bytes),
         );
-        SendTiming {
+        Ok(SendTiming {
             sender_done: tr.sender_free,
             receiver_done,
-        }
+        })
     } else {
         // Rendezvous. RTS from sender...
         let rts_ready = host.cpu(src_rank, src_at, params.sw_overhead);
-        let rts = fabric.send(src_rank, dst_rank, params.ctrl_bytes, rts_ready);
+        let rts = fabric
+            .send(src_rank, dst_rank, params.ctrl_bytes, rts_ready)
+            .map_err(|e| silent_sender(params, src_rank, dst_rank, dst_at, e))?;
         // Receiver must have posted the receive; registers its buffer if
         // the cache misses, then CTSes back.
         let rts_seen = rts.delivered.max(dst_at);
@@ -107,7 +159,22 @@ pub fn send<H: HostModel>(
             rts_seen
         };
         let cts_ready = host.cpu(dst_rank, dst_reg_done, params.sw_overhead);
-        let cts = fabric.send(dst_rank, src_rank, params.ctrl_bytes, cts_ready);
+        let cts = match fabric.send(dst_rank, src_rank, params.ctrl_bytes, cts_ready) {
+            Ok(t) => t,
+            // The receiver died before (or while) sending CTS. The
+            // *sender* is the rank left waiting: its straggler timer
+            // runs from the RTS post (or the death, whichever is later).
+            Err(LinkError::PeerDead { node, gave_up_at, .. }) if node == dst_rank => {
+                let death = fabric.node_dead_at(dst_rank).unwrap_or(gave_up_at);
+                return Err(RankFailure {
+                    rank: dst_rank,
+                    observer: src_rank,
+                    detected_at: death.max(rts.sender_free) + params.peer_timeout,
+                    cause: FailureCause::NodeDead,
+                });
+            }
+            Err(e) => return Err(RankFailure::from_link(e)),
+        };
         // Sender registers its side (often cached), then RDMA-writes.
         let cts_seen = cts.delivered.max(rts.sender_free);
         let src_reg_done = if regcaches[src_rank].needs_registration(bytes, churn) {
@@ -121,13 +188,15 @@ pub fn send<H: HostModel>(
             .dma_stretch(src_rank, data_ready)
             .max(host.dma_stretch(dst_rank, data_ready));
         let wire_bytes = (bytes as f64 * stretch) as u64;
-        let data = fabric.send(src_rank, dst_rank, wire_bytes, data_ready);
+        let data = fabric
+            .send(src_rank, dst_rank, wire_bytes, data_ready)
+            .map_err(|e| silent_sender(params, src_rank, dst_rank, dst_at, e))?;
         // FIN/completion: receiver polls its CQ, trivial CPU.
         let receiver_done = host.cpu(dst_rank, data.delivered, params.sw_overhead);
-        SendTiming {
+        Ok(SendTiming {
             sender_done: data.sender_free,
             receiver_done,
-        }
+        })
     }
 }
 
@@ -138,8 +207,8 @@ mod tests {
     use netsim::LinkParams;
     use simcore::StreamRng;
 
-    fn setup(n: usize) -> (Fabric, IdealHost, P2pParams, Vec<RegCache>) {
-        let fabric = Fabric::new(n, LinkParams::fdr_infiniband());
+    fn setup(n: usize) -> (ReliableFabric, IdealHost, P2pParams, Vec<RegCache>) {
+        let fabric = ReliableFabric::new(n, LinkParams::fdr_infiniband());
         let caches = (0..n)
             .map(|i| RegCache::new(StreamRng::root(3).stream("rank", i as u64)))
             .collect();
@@ -149,7 +218,8 @@ mod tests {
     #[test]
     fn eager_small_message_is_microseconds() {
         let (mut f, mut h, p, mut rc) = setup(2);
-        let t = send(&mut f, &mut h, &p, &mut rc, 0, 1, 8, Cycles::ZERO, Cycles::ZERO, 0.0);
+        let t = send(&mut f, &mut h, &p, &mut rc, 0, 1, 8, Cycles::ZERO, Cycles::ZERO, 0.0)
+            .expect("fault-free");
         let us = t.receiver_done.as_us_f64();
         assert!((1.0..4.0).contains(&us), "{us} us");
         assert!(t.sender_done < t.receiver_done);
@@ -160,7 +230,8 @@ mod tests {
         let (mut f, mut h, p, mut rc) = setup(2);
         let cold = send(
             &mut f, &mut h, &p, &mut rc, 0, 1, 1 << 20, Cycles::ZERO, Cycles::ZERO, 0.0,
-        );
+        )
+        .expect("fault-free");
         // Warm cache (with zero churn) is faster.
         let (mut f2, mut h2, p2, _) = setup(2);
         let mut warm_rc: Vec<RegCache> = (0..2)
@@ -173,7 +244,8 @@ mod tests {
         }
         let warm = send(
             &mut f2, &mut h2, &p2, &mut warm_rc, 0, 1, 1 << 20, Cycles::ZERO, Cycles::ZERO, 0.0,
-        );
+        )
+        .expect("fault-free");
         assert!(cold.receiver_done > warm.receiver_done);
     }
 
@@ -181,7 +253,8 @@ mod tests {
     fn rendezvous_waits_for_late_receiver() {
         let (mut f, mut h, p, mut rc) = setup(2);
         let late = Cycles::from_ms(1);
-        let t = send(&mut f, &mut h, &p, &mut rc, 0, 1, 1 << 20, Cycles::ZERO, late, 0.0);
+        let t = send(&mut f, &mut h, &p, &mut rc, 0, 1, 1 << 20, Cycles::ZERO, late, 0.0)
+            .expect("fault-free");
         assert!(t.receiver_done > late, "CTS cannot precede the recv post");
     }
 
@@ -190,7 +263,8 @@ mod tests {
         // Eager sender completes regardless of the receiver being late.
         let (mut f, mut h, p, mut rc) = setup(2);
         let late = Cycles::from_ms(5);
-        let t = send(&mut f, &mut h, &p, &mut rc, 0, 1, 1024, Cycles::ZERO, late, 0.0);
+        let t = send(&mut f, &mut h, &p, &mut rc, 0, 1, 1024, Cycles::ZERO, late, 0.0)
+            .expect("fault-free");
         assert!(t.sender_done < Cycles::from_ms(1));
         assert!(t.receiver_done >= late);
     }
@@ -206,7 +280,8 @@ mod tests {
         }
         let t = send(
             &mut f, &mut h, &p, &mut rc, 0, 1, 4 << 20, Cycles::from_ms(1), Cycles::from_ms(1), 0.0,
-        );
+        )
+        .expect("fault-free");
         let wire = LinkParams::fdr_infiniband().byte_time(4 << 20);
         let total = t.receiver_done - Cycles::from_ms(1);
         let ratio = total.raw() as f64 / wire.raw() as f64;

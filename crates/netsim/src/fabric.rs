@@ -28,6 +28,10 @@ pub struct Fabric {
     ports: Vec<Port>,
     messages: u64,
     bytes: u64,
+    /// Counter values at the last [`Fabric::take_stats`] call;
+    /// `stats()` stays cumulative while `take_stats()` reports deltas.
+    taken_messages: u64,
+    taken_bytes: u64,
 }
 
 /// Timing of one transferred message.
@@ -50,6 +54,8 @@ impl Fabric {
             ports: vec![Port::default(); n],
             messages: 0,
             bytes: 0,
+            taken_messages: 0,
+            taken_bytes: 0,
         }
     }
 
@@ -101,6 +107,19 @@ impl Fabric {
     /// (messages, bytes) carried so far.
     pub fn stats(&self) -> (u64, u64) {
         (self.messages, self.bytes)
+    }
+
+    /// (messages, bytes) carried since the previous `take_stats` call —
+    /// a snapshot-and-reset window for per-iteration accounting.
+    /// `stats()` keeps reporting cumulative totals.
+    pub fn take_stats(&mut self) -> (u64, u64) {
+        let d = (
+            self.messages - self.taken_messages,
+            self.bytes - self.taken_bytes,
+        );
+        self.taken_messages = self.messages;
+        self.taken_bytes = self.bytes;
+        d
     }
 
     /// Reset port timelines (new iteration measured from a fresh barrier).
@@ -181,5 +200,18 @@ mod tests {
     #[should_panic(expected = "loopback")]
     fn self_send_rejected() {
         fab(2).send(1, 1, 8, Cycles::ZERO);
+    }
+
+    #[test]
+    fn take_stats_windows_while_stats_stays_cumulative() {
+        let mut f = fab(2);
+        f.send(0, 1, 100, Cycles::ZERO);
+        f.send(0, 1, 200, Cycles::ZERO);
+        assert_eq!(f.take_stats(), (2, 300));
+        assert_eq!(f.stats(), (2, 300), "cumulative view unaffected");
+        assert_eq!(f.take_stats(), (0, 0), "window was reset");
+        f.send(1, 0, 50, Cycles::ZERO);
+        assert_eq!(f.take_stats(), (1, 50));
+        assert_eq!(f.stats(), (3, 350));
     }
 }

@@ -23,8 +23,10 @@
 
 pub mod fabric;
 pub mod loggp;
+pub mod reliable;
 pub mod verbs;
 
 pub use fabric::Fabric;
 pub use loggp::LinkParams;
+pub use reliable::{CrashTrigger, LinkError, ReliableFabric, ReliableStats, RetransmitPolicy};
 pub use verbs::{Cq, IbContext, Mr, Qp};

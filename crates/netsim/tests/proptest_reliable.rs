@@ -1,0 +1,157 @@
+//! Property tests for the reliable-delivery layer: lock-step against
+//! the plain (perfectly reliable) fabric as the reference model.
+
+use netsim::reliable::{LinkError, ReliableFabric};
+use netsim::{Fabric, LinkParams};
+use proptest::prelude::*;
+use simcore::fault::LinkFaultConfig;
+use simcore::{Cycles, StreamRng};
+
+#[derive(Clone, Debug)]
+struct Msg {
+    src: u8,
+    dst: u8,
+    bytes: u32,
+    ready_us: u32,
+}
+
+fn msgs(n_nodes: u8) -> impl Strategy<Value = Vec<Msg>> {
+    prop::collection::vec(
+        (0..n_nodes, 0..n_nodes, 1u32..2_000_000, 0u32..10_000).prop_filter_map(
+            "no loopback",
+            |(src, dst, bytes, ready_us)| {
+                (src != dst).then_some(Msg { src, dst, bytes, ready_us })
+            },
+        ),
+        1..60,
+    )
+}
+
+/// Arbitrary fault schedules: loss up to 60%, corruption up to 40%,
+/// delay spikes, and flaps — all far beyond realistic link quality, but
+/// each individually survivable by the default 7-attempt budget most of
+/// the time (exhaustion is allowed and must be a typed error).
+fn configs() -> impl Strategy<Value = LinkFaultConfig> {
+    (
+        0.0f64..0.6,
+        0.0f64..0.4,
+        0.0f64..0.3,
+        1_000.0f64..50_000.0,
+        0.0f64..200.0,
+        5_000.0f64..100_000.0,
+    )
+        .prop_map(|(drop, corrupt, delay, delay_mean, flap, flap_mean)| LinkFaultConfig {
+            enabled: true,
+            drop_rate: drop,
+            corrupt_rate: corrupt,
+            delay_rate: delay,
+            delay_mean_ns: delay_mean,
+            flap_per_sec: flap,
+            flap_down_mean_ns: flap_mean,
+            flap_horizon_secs: 1,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// With every link plan disabled, the reliable layer is an exact
+    /// passthrough: byte-identical transfers and stats vs the plain
+    /// fabric, zero protocol activity, zero RNG stream movement.
+    #[test]
+    fn fault_free_layer_is_bit_identical_to_plain_fabric(ms in msgs(8)) {
+        let params = LinkParams::fdr_infiniband();
+        let mut reference = Fabric::new(8, params);
+        let root = StreamRng::root(0xBEEF);
+        let mut rel = ReliableFabric::with_faults(
+            8, params, LinkFaultConfig::off(), &root);
+        let mut ms = ms;
+        ms.sort_by_key(|m| m.ready_us);
+        for m in &ms {
+            let ready = Cycles::from_us(u64::from(m.ready_us));
+            let want = reference.send(m.src as usize, m.dst as usize, u64::from(m.bytes), ready);
+            let got = rel.send(m.src as usize, m.dst as usize, u64::from(m.bytes), ready)
+                .expect("fault-free send cannot fail");
+            prop_assert_eq!(got, want);
+        }
+        prop_assert_eq!(rel.stats(), reference.stats());
+        let s = rel.reliable_stats();
+        prop_assert_eq!(s.retransmits + s.corrupt_caught + s.flap_stalls + s.gave_up, 0);
+        // Zero-draw contract at this layer: each port's stream must be
+        // byte-identical to an untouched sibling.
+        let links = std::mem::replace(&mut rel, ReliableFabric::new(1, params))
+            .links()
+            .to_vec();
+        for (i, plan) in links.into_iter().enumerate() {
+            let mut used = plan.into_rng();
+            let mut sibling = root.stream("linkfault", i as u64);
+            for _ in 0..8 {
+                prop_assert_eq!(used.next_u64(), sibling.next_u64());
+            }
+        }
+    }
+
+    /// Under arbitrary drop/corrupt/delay/flap schedules, every send
+    /// either delivers exactly once with latency >= the fault-free
+    /// reference (faults never make anything faster, and never
+    /// duplicate into an earlier slot), or fails with a typed
+    /// LinkError whose give-up time is bounded — after a finite number
+    /// of fabric-level attempts, never a hang.
+    #[test]
+    fn faulty_delivery_is_exactly_once_with_bounded_recovery(
+        ms in msgs(6),
+        cfg in configs(),
+        seed in 0u64..1_000,
+    ) {
+        let params = LinkParams::fdr_infiniband();
+        let mut reference = Fabric::new(6, params);
+        let root = StreamRng::root(seed);
+        let mut rel = ReliableFabric::with_faults(6, params, cfg, &root);
+        let mut ms = ms;
+        ms.sort_by_key(|m| m.ready_us);
+        let budget = rel.policy().detection_budget();
+        let max_wait = rel.policy().max_down_wait;
+        let attempts_cap = u64::from(rel.policy().max_attempts) * ms.len() as u64;
+        let mut delivered_ok = 0u64;
+        for m in &ms {
+            let ready = Cycles::from_us(u64::from(m.ready_us));
+            let want = reference.send(m.src as usize, m.dst as usize, u64::from(m.bytes), ready);
+            match rel.send(m.src as usize, m.dst as usize, u64::from(m.bytes), ready) {
+                Ok(got) => {
+                    delivered_ok += 1;
+                    // Exactly-once: one Transfer per posted send, and it
+                    // cannot beat the uncontended fault-free timing.
+                    prop_assert!(got.delivered >= want.delivered,
+                        "fault recovery delivered early: {:?} < {:?}", got, want);
+                    prop_assert!(got.arrival >= want.arrival);
+                    prop_assert!(got.sender_free >= want.sender_free);
+                }
+                Err(e) => {
+                    // No node crashes armed: only budget/flap errors.
+                    match e {
+                        LinkError::RetryBudget { attempts, .. } => {
+                            prop_assert_eq!(attempts, rel.policy().max_attempts);
+                        }
+                        LinkError::LinkDown { .. } => {}
+                        LinkError::PeerDead { .. } => {
+                            prop_assert!(false, "no crashes armed, got {:?}", e);
+                        }
+                    }
+                    // Bounded: all flaps live inside the 1s generation
+                    // horizon, cumulative port backlog (every message x
+                    // every attempt) stays well under 1s at these sizes,
+                    // and one send adds at most the retransmit budget
+                    // plus one tolerated flap wait on top.
+                    let horizon = Cycles::from_secs(2) + budget + max_wait;
+                    prop_assert!(e.gave_up_at() <= ready + horizon,
+                        "unbounded give-up: {:?} vs ready {:?}", e, ready);
+                }
+            }
+        }
+        // Finite work: fabric-level sends are capped by the per-send
+        // attempt budget (no hidden infinite retransmission).
+        let (msgs_sent, _) = rel.stats();
+        prop_assert!(msgs_sent <= attempts_cap + ms.len() as u64);
+        prop_assert!(delivered_ok + rel.reliable_stats().gave_up == ms.len() as u64);
+    }
+}

@@ -39,7 +39,9 @@ pub mod trace;
 
 pub use engine::{Engine, World};
 pub use event::{EventKey, EventQueue};
-pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultPlan, MsgFault};
+pub use fault::{
+    FaultConfig, FaultEvent, FaultKind, FaultPlan, LinkFaultConfig, LinkFaultPlan, MsgFault,
+};
 pub use hist::LogHistogram;
 pub use rng::StreamRng;
 pub use stats::{RunningStats, Summary};

@@ -14,6 +14,7 @@
 
 use mpisim::collectives::{allgather, allreduce, Ctx};
 use mpisim::host::HostModel;
+use mpisim::RankFailure;
 use simcore::Cycles;
 
 /// How the problem scales with node count.
@@ -140,57 +141,83 @@ impl MiniApp {
 
     /// Per-thread compute quantum per iteration on `p` nodes.
     pub fn thread_quantum(&self, p: usize) -> Cycles {
+        self.thread_quantum_shrunk(p, p)
+    }
+
+    /// Per-thread quantum after a shrink: the job started on `p0` nodes
+    /// but only `alive` survive, and the survivors absorb the dead ranks'
+    /// share. Strong scaling just re-divides the fixed global problem;
+    /// weak scaling redistributes the dead nodes' fixed per-node domains
+    /// (per-node work grows by `p0/alive`). `thread_quantum(p)` is the
+    /// `alive == p0` special case.
+    pub fn thread_quantum_shrunk(&self, p0: usize, alive: usize) -> Cycles {
+        assert!(alive >= 1 && alive <= p0);
         let per_node = match self.scaling {
-            Scaling::Strong => Cycles(self.work_per_iter.raw() / p as u64),
-            Scaling::Weak => self.work_per_iter,
+            Scaling::Strong => Cycles(self.work_per_iter.raw() / alive as u64),
+            Scaling::Weak => Cycles(self.work_per_iter.raw() * p0 as u64 / alive as u64),
         };
         per_node / u64::from(THREADS_PER_NODE)
     }
 }
 
-/// Run a mini-app on `p` nodes. The 8-thread OpenMP compute region runs
-/// through [`HostModel::omp_region`] (region ends at the slowest thread);
-/// MPI communication goes through `ctx`. Returns the execution time (job
-/// start to last rank's finish).
+/// One BSP iteration: the 8-thread OpenMP compute region (through
+/// [`HostModel::omp_region`]; the region ends at the slowest thread),
+/// then the app's communication pattern. `clocks` holds one virtual
+/// clock per *communicator rank* — after a shrink, `ctx.rank_map` routes
+/// those ranks onto the surviving fabric nodes and `quantum` carries the
+/// redistributed work ([`MiniApp::thread_quantum_shrunk`]).
+pub fn step<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    app: &MiniApp,
+    quantum: Cycles,
+    clocks: &mut Vec<Cycles>,
+) -> Result<(), RankFailure> {
+    let p = clocks.len();
+    // OpenMP compute region on every rank.
+    for (r, c) in clocks.iter_mut().enumerate() {
+        *c = ctx.omp(r, *c, quantum, THREADS_PER_NODE);
+    }
+    // Halo exchange with ring neighbours (posted as sendrecv pairs:
+    // all departures at the region end, causality via max-merge).
+    if let (Some(bytes), true) = (app.comm.halo_bytes, p > 1) {
+        let round = clocks.clone();
+        for r in 0..p {
+            let right = (r + 1) % p;
+            ctx.xfer_at(r, right, bytes, round[r], round[right], clocks, Vec::new)?;
+        }
+        for r in 0..p {
+            let left = (r + p - 1) % p;
+            ctx.xfer_at(r, left, bytes, round[r], round[left], clocks, Vec::new)?;
+        }
+    }
+    // Collectives.
+    for &bytes in &app.comm.allreduces {
+        if p > 1 {
+            *clocks = allreduce::allreduce(ctx, p, bytes, clocks)?;
+        }
+    }
+    for &bytes in &app.comm.allgathers {
+        if p > 1 {
+            *clocks = allgather::allgather(ctx, p, bytes, clocks)?;
+        }
+    }
+    Ok(())
+}
+
+/// Run a mini-app on `p` nodes: [`step`] iterated `app.iterations` times.
+/// Returns the execution time (job start to last rank's finish).
 pub fn run<H: HostModel>(
     ctx: &mut Ctx<'_, H>,
     app: &MiniApp,
     p: usize,
     start: Cycles,
-) -> Cycles {
+) -> Result<Cycles, RankFailure> {
     let quantum = app.thread_quantum(p);
     let mut clocks = vec![start; p];
     for _iter in 0..app.iterations {
-        // OpenMP compute region on every rank.
-        for (r, c) in clocks.iter_mut().enumerate() {
-            *c = ctx.host.omp_region(r, *c, quantum, THREADS_PER_NODE);
-        }
-        // Halo exchange with ring neighbours (posted as sendrecv pairs:
-        // all departures at the region end, causality via max-merge).
-        if let (Some(bytes), true) = (app.comm.halo_bytes, p > 1) {
-            let round = clocks.clone();
-            for r in 0..p {
-                let right = (r + 1) % p;
-                ctx.xfer_at(r, right, bytes, round[r], round[right], &mut clocks, Vec::new);
-            }
-            for r in 0..p {
-                let left = (r + p - 1) % p;
-                ctx.xfer_at(r, left, bytes, round[r], round[left], &mut clocks, Vec::new);
-            }
-        }
-        // Collectives.
-        for &bytes in &app.comm.allreduces {
-            if p > 1 {
-                clocks = allreduce::allreduce(ctx, p, bytes, &clocks);
-            }
-        }
-        for &bytes in &app.comm.allgathers {
-            if p > 1 {
-                clocks = allgather::allgather(ctx, p, bytes, &clocks);
-            }
-        }
+        step(ctx, app, quantum, &mut clocks)?;
     }
-    *clocks.iter().max().expect("p >= 1") - start
+    Ok(*clocks.iter().max().expect("p >= 1") - start)
 }
 
 #[cfg(test)]
@@ -199,11 +226,11 @@ mod tests {
     use mpisim::host::IdealHost;
     use mpisim::p2p::P2pParams;
     use mpisim::regcache::RegCache;
-    use netsim::{Fabric, LinkParams};
+    use netsim::{LinkParams, ReliableFabric};
     use simcore::StreamRng;
 
     fn run_ideal(app: &MiniApp, p: usize) -> f64 {
-        let mut fabric = Fabric::new(p, LinkParams::fdr_infiniband());
+        let mut fabric = ReliableFabric::new(p, LinkParams::fdr_infiniband());
         let mut host = IdealHost::new();
         let params = P2pParams::default();
         let mut regcaches: Vec<RegCache> = (0..p)
@@ -219,8 +246,9 @@ mod tests {
             recorder: &mut recorder,
             reduce_per_kib: Cycles::from_ns(350),
             churn: 0.0,
+            rank_map: None,
         };
-        let t = run(&mut ctx, app, p, Cycles::ZERO);
+        let t = run(&mut ctx, app, p, Cycles::ZERO).expect("fault-free");
         t.as_secs_f64()
     }
 
@@ -289,7 +317,7 @@ mod tests {
         };
         let p = 4;
         let run_with = |lag: Cycles| {
-            let mut fabric = Fabric::new(p, LinkParams::fdr_infiniband());
+            let mut fabric = ReliableFabric::new(p, LinkParams::fdr_infiniband());
             let mut host = LaggyHost {
                 inner: IdealHost::new(),
                 lag,
@@ -308,8 +336,9 @@ mod tests {
                 recorder: &mut recorder,
                 reduce_per_kib: Cycles::from_ns(350),
                 churn: 0.0,
+                rank_map: None,
             };
-            run(&mut ctx, &app, p, Cycles::ZERO)
+            run(&mut ctx, &app, p, Cycles::ZERO).expect("fault-free")
         };
         let clean = run_with(Cycles::ZERO);
         let noisy = run_with(Cycles::from_ms(20));

@@ -7,6 +7,7 @@
 
 use mpisim::collectives::{allgather, allreduce, alltoall, tree, Ctx};
 use mpisim::host::HostModel;
+use mpisim::RankFailure;
 use simcore::Cycles;
 
 /// The six collectives the paper plots.
@@ -102,7 +103,7 @@ fn dispatch<H: HostModel>(
     p: usize,
     bytes: u64,
     start: &[Cycles],
-) -> Vec<Cycles> {
+) -> Result<Vec<Cycles>, RankFailure> {
     match coll {
         Collective::Scatter => tree::scatter(ctx, p, 0, bytes, start),
         Collective::Gather => tree::gather(ctx, p, 0, bytes, start),
@@ -121,24 +122,24 @@ pub fn measure<H: HostModel>(
     bytes: u64,
     cfg: &OsuConfig,
     start_at: Cycles,
-) -> OsuResult {
+) -> Result<OsuResult, RankFailure> {
     let mut now = start_at;
     for _ in 0..cfg.warmup {
-        let done = dispatch(ctx, coll, p, bytes, &vec![now; p]);
+        let done = dispatch(ctx, coll, p, bytes, &vec![now; p])?;
         now = *done.iter().max().expect("nonempty") + cfg.iter_gap;
     }
     let mut latencies = Vec::with_capacity(cfg.iters);
     for _ in 0..cfg.iters {
         let t0 = now;
-        let done = dispatch(ctx, coll, p, bytes, &vec![t0; p]);
+        let done = dispatch(ctx, coll, p, bytes, &vec![t0; p])?;
         let end = *done.iter().max().expect("nonempty");
         latencies.push((end - t0).as_us_f64());
         now = end + cfg.iter_gap;
     }
-    OsuResult {
+    Ok(OsuResult {
         latencies_us: latencies,
         end: now,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -147,11 +148,11 @@ mod tests {
     use mpisim::host::IdealHost;
     use mpisim::p2p::P2pParams;
     use mpisim::regcache::RegCache;
-    use netsim::{Fabric, LinkParams};
+    use netsim::{LinkParams, ReliableFabric};
     use simcore::StreamRng;
 
     struct Rig {
-        fabric: Fabric,
+        fabric: ReliableFabric,
         host: IdealHost,
         params: P2pParams,
         regcaches: Vec<RegCache>,
@@ -161,7 +162,7 @@ mod tests {
     impl Rig {
         fn new(p: usize) -> Rig {
             Rig {
-                fabric: Fabric::new(p, LinkParams::fdr_infiniband()),
+                fabric: ReliableFabric::new(p, LinkParams::fdr_infiniband()),
                 host: IdealHost::new(),
                 params: P2pParams::default(),
                 regcaches: (0..p)
@@ -181,6 +182,7 @@ mod tests {
                 recorder: &mut self.recorder,
                 reduce_per_kib: Cycles::from_ns(350),
                 churn: 0.0,
+                rank_map: None,
             }
         }
     }
@@ -196,7 +198,7 @@ mod tests {
         let mut at = Cycles::ZERO;
         for coll in Collective::all() {
             let mut rig = Rig::new(p);
-            let res = measure(&mut rig.ctx(), coll, p, 1024, &cfg, at);
+            let res = measure(&mut rig.ctx(), coll, p, 1024, &cfg, at).expect("fault-free");
             assert_eq!(res.latencies_us.len(), 5);
             assert!(res.latencies_us.iter().all(|&l| l > 0.0), "{coll:?}");
             at = res.end;
@@ -209,10 +211,10 @@ mod tests {
         let cfg = OsuConfig::default();
         for coll in [Collective::Allreduce, Collective::Alltoall] {
             let mut rig = Rig::new(p);
-            let small = measure(&mut rig.ctx(), coll, p, 16, &cfg, Cycles::ZERO);
+            let small = measure(&mut rig.ctx(), coll, p, 16, &cfg, Cycles::ZERO).expect("fault-free");
             let s_avg: f64 =
                 small.latencies_us.iter().sum::<f64>() / small.latencies_us.len() as f64;
-            let big = measure(&mut rig.ctx(), coll, p, 1 << 20, &cfg, small.end);
+            let big = measure(&mut rig.ctx(), coll, p, 1 << 20, &cfg, small.end).expect("fault-free");
             let b_avg: f64 =
                 big.latencies_us.iter().sum::<f64>() / big.latencies_us.len() as f64;
             assert!(b_avg > s_avg * 10.0, "{coll:?}: {s_avg} vs {b_avg}");
@@ -236,7 +238,8 @@ mod tests {
                 iter_gap: Cycles::from_us(300),
             },
             Cycles::ZERO,
-        );
+        )
+        .expect("fault-free");
         let min = res.latencies_us.iter().cloned().fold(f64::MAX, f64::min);
         let max = res.latencies_us.iter().cloned().fold(0.0, f64::max);
         assert!(max / min < 1.05, "{min} .. {max}");
@@ -253,7 +256,8 @@ mod tests {
             iter_gap: Cycles::from_us(300),
         };
         let mut rig = Rig::new(p);
-        let sc = measure(&mut rig.ctx(), Collective::Scatter, p, 2, &cfg, Cycles::ZERO);
+        let sc = measure(&mut rig.ctx(), Collective::Scatter, p, 2, &cfg, Cycles::ZERO)
+            .expect("fault-free");
         let sc_avg = sc.latencies_us.iter().sum::<f64>() / 3.0;
         assert!((2.0..200.0).contains(&sc_avg), "scatter small: {sc_avg}us");
         let mut rig2 = Rig::new(p);
@@ -264,7 +268,8 @@ mod tests {
             1 << 20,
             &cfg,
             Cycles::ZERO,
-        );
+        )
+        .expect("fault-free");
         let a2a_avg = a2a.latencies_us.iter().sum::<f64>() / 3.0;
         assert!(
             (5_000.0..100_000.0).contains(&a2a_avg),
@@ -287,18 +292,18 @@ pub fn pt2pt_latency<H: HostModel>(
     bytes: u64,
     cfg: &OsuConfig,
     start_at: Cycles,
-) -> f64 {
+) -> Result<f64, RankFailure> {
     let mut clocks = vec![start_at; 2];
     for _ in 0..cfg.warmup {
-        ctx.xfer(0, 1, bytes, &mut clocks, Vec::new);
-        ctx.xfer(1, 0, bytes, &mut clocks, Vec::new);
+        ctx.xfer(0, 1, bytes, &mut clocks, Vec::new)?;
+        ctx.xfer(1, 0, bytes, &mut clocks, Vec::new)?;
     }
     let t0 = clocks[0];
     for _ in 0..cfg.iters {
-        ctx.xfer(0, 1, bytes, &mut clocks, Vec::new);
-        ctx.xfer(1, 0, bytes, &mut clocks, Vec::new);
+        ctx.xfer(0, 1, bytes, &mut clocks, Vec::new)?;
+        ctx.xfer(1, 0, bytes, &mut clocks, Vec::new)?;
     }
-    (clocks[0] - t0).as_us_f64() / (2.0 * cfg.iters as f64)
+    Ok((clocks[0] - t0).as_us_f64() / (2.0 * cfg.iters as f64))
 }
 
 /// `osu_bw`-style streaming bandwidth: rank 0 posts a window of sends,
@@ -309,11 +314,11 @@ pub fn pt2pt_bandwidth<H: HostModel>(
     window: usize,
     cfg: &OsuConfig,
     start_at: Cycles,
-) -> f64 {
+) -> Result<f64, RankFailure> {
     let mut clocks = vec![start_at; 2];
     // Warmup.
     for _ in 0..cfg.warmup {
-        ctx.xfer(0, 1, bytes, &mut clocks, Vec::new);
+        ctx.xfer(0, 1, bytes, &mut clocks, Vec::new)?;
     }
     let t0 = clocks[0].max(clocks[1]);
     clocks = vec![t0; 2];
@@ -324,15 +329,15 @@ pub fn pt2pt_bandwidth<H: HostModel>(
         // as the fabric delivers them.
         let round = clocks.clone();
         for _ in 0..window {
-            ctx.xfer_at(0, 1, bytes, clocks[0].max(round[0]), round[1], &mut clocks, Vec::new);
+            ctx.xfer_at(0, 1, bytes, clocks[0].max(round[0]), round[1], &mut clocks, Vec::new)?;
             moved += bytes;
         }
         // Window ack.
         let round = clocks.clone();
-        ctx.xfer_at(1, 0, 8, round[1], round[0], &mut clocks, Vec::new);
+        ctx.xfer_at(1, 0, 8, round[1], round[0], &mut clocks, Vec::new)?;
     }
     let dur_s = (clocks[0].max(clocks[1]) - t0).as_secs_f64();
-    moved as f64 / dur_s / 1e6
+    Ok(moved as f64 / dur_s / 1e6)
 }
 
 #[cfg(test)]
@@ -341,11 +346,11 @@ mod pt2pt_tests {
     use mpisim::host::IdealHost;
     use mpisim::p2p::P2pParams;
     use mpisim::regcache::RegCache;
-    use netsim::{Fabric, LinkParams};
+    use netsim::{LinkParams, ReliableFabric};
     use simcore::StreamRng;
 
     fn with_ctx<R>(f: impl FnOnce(&mut Ctx<'_, IdealHost>) -> R) -> R {
-        let mut fabric = Fabric::new(2, LinkParams::fdr_infiniband());
+        let mut fabric = ReliableFabric::new(2, LinkParams::fdr_infiniband());
         let mut host = IdealHost::new();
         let params = P2pParams::default();
         let mut regcaches: Vec<RegCache> = (0..2)
@@ -361,6 +366,7 @@ mod pt2pt_tests {
             recorder: &mut recorder,
             reduce_per_kib: Cycles::from_ns(350),
             churn: 0.0,
+            rank_map: None,
         };
         f(&mut ctx)
     }
@@ -368,7 +374,7 @@ mod pt2pt_tests {
     #[test]
     fn small_message_latency_matches_fdr_class() {
         let cfg = OsuConfig::default();
-        let lat = with_ctx(|ctx| pt2pt_latency(ctx, 8, &cfg, Cycles::from_us(1)));
+        let lat = with_ctx(|ctx| pt2pt_latency(ctx, 8, &cfg, Cycles::from_us(1))).expect("fault-free");
         // FDR-era osu_latency small messages: ~1-2 us.
         assert!((0.8..3.0).contains(&lat), "{lat}us");
     }
@@ -376,8 +382,8 @@ mod pt2pt_tests {
     #[test]
     fn latency_grows_with_size() {
         let cfg = OsuConfig::default();
-        let small = with_ctx(|ctx| pt2pt_latency(ctx, 8, &cfg, Cycles::from_us(1)));
-        let large = with_ctx(|ctx| pt2pt_latency(ctx, 1 << 20, &cfg, Cycles::from_us(1)));
+        let small = with_ctx(|ctx| pt2pt_latency(ctx, 8, &cfg, Cycles::from_us(1))).expect("fault-free");
+        let large = with_ctx(|ctx| pt2pt_latency(ctx, 1 << 20, &cfg, Cycles::from_us(1))).expect("fault-free");
         assert!(large > small * 20.0, "{small} vs {large}");
         // 1 MiB one-way ~ byte time ~ 180us (+rendezvous overheads).
         assert!((150.0..400.0).contains(&large), "{large}us");
@@ -390,7 +396,7 @@ mod pt2pt_tests {
             iters: 4,
             iter_gap: Cycles::ZERO,
         };
-        let bw = with_ctx(|ctx| pt2pt_bandwidth(ctx, 1 << 20, 16, &cfg, Cycles::from_us(1)));
+        let bw = with_ctx(|ctx| pt2pt_bandwidth(ctx, 1 << 20, 16, &cfg, Cycles::from_us(1))).expect("fault-free");
         // Effective FDR ~ 5800 MB/s; windowed streaming should reach
         // >70% of it.
         assert!(bw > 4_000.0, "bandwidth {bw} MB/s");
@@ -404,7 +410,7 @@ mod pt2pt_tests {
             iters: 4,
             iter_gap: Cycles::ZERO,
         };
-        let bw = with_ctx(|ctx| pt2pt_bandwidth(ctx, 64, 16, &cfg, Cycles::from_us(1)));
+        let bw = with_ctx(|ctx| pt2pt_bandwidth(ctx, 64, 16, &cfg, Cycles::from_us(1))).expect("fault-free");
         // Injection gap + overheads dominate: far below wire rate.
         assert!(bw < 500.0, "{bw} MB/s");
     }

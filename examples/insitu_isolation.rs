@@ -22,7 +22,7 @@ fn main() {
     let baseline = {
         let cfg = ClusterConfig::paper(OsVariant::McKernel).with_nodes(4).with_seed(1);
         Cluster::build(cfg)
-            .run_miniapp(&app, Cycles::from_ms(1))
+            .run_miniapp(&app, Cycles::from_ms(1)).expect("fault-free")
             .as_secs_f64()
     };
     println!("quiet-system baseline: {baseline:.2}s\n");
@@ -38,7 +38,7 @@ fn main() {
                     .with_insitu()
                     .with_seed(100 + seed);
                 Cluster::build(cfg)
-                    .run_miniapp(&app, Cycles::from_ms(1))
+                    .run_miniapp(&app, Cycles::from_ms(1)).expect("fault-free")
                     .as_secs_f64()
             })
             .collect();

@@ -11,6 +11,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Scratch space: a private mktemp dir instead of fixed /tmp names, so
+# concurrent CI runs on one machine cannot clobber each other's files.
+scratch="$(mktemp -d "${TMPDIR:-/tmp}/hlwk-ci.XXXXXX")"
+trap 'rm -rf "$scratch"' EXIT
+
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
@@ -18,11 +23,11 @@ cargo clippy --all-targets -- -D warnings
 # Parallel-determinism smoke: thread count must never change figure
 # output. Run a reduced fig6 sweep serial and parallel, diff stdout.
 reduced="HLWK_RUNS=2 HLWK_NODES=4 HLWK_OSU_ITERS=2"
-env $reduced HLWK_THREADS=1 ./target/release/fig6_osu_latency > /tmp/hlwk_fig6_t1.txt
-env $reduced HLWK_THREADS=4 ./target/release/fig6_osu_latency > /tmp/hlwk_fig6_tn.txt
-if ! diff -q /tmp/hlwk_fig6_t1.txt /tmp/hlwk_fig6_tn.txt >/dev/null; then
+env $reduced HLWK_THREADS=1 ./target/release/fig6_osu_latency > "$scratch/fig6_t1.txt"
+env $reduced HLWK_THREADS=4 ./target/release/fig6_osu_latency > "$scratch/fig6_tn.txt"
+if ! diff -q "$scratch/fig6_t1.txt" "$scratch/fig6_tn.txt" >/dev/null; then
     echo "DETERMINISM FAILURE: fig6 output differs between 1 and 4 threads" >&2
-    diff /tmp/hlwk_fig6_t1.txt /tmp/hlwk_fig6_tn.txt >&2 || true
+    diff "$scratch/fig6_t1.txt" "$scratch/fig6_tn.txt" >&2 || true
     exit 1
 fi
 echo "parallel-determinism smoke passed (fig6 @ 1 thread == 4 threads)"
@@ -30,14 +35,31 @@ echo "parallel-determinism smoke passed (fig6 @ 1 thread == 4 threads)"
 # Memory-subsystem determinism smoke: the page-size ablation exercises
 # the buddy/PCP/fault-around paths end to end; its figure output must be
 # thread-count independent too.
-env HLWK_THREADS=1 ./target/release/fig_ablation_pagesize > /tmp/hlwk_pgsz_t1.txt
-env HLWK_THREADS=4 ./target/release/fig_ablation_pagesize > /tmp/hlwk_pgsz_tn.txt
-if ! diff -q /tmp/hlwk_pgsz_t1.txt /tmp/hlwk_pgsz_tn.txt >/dev/null; then
+env HLWK_THREADS=1 ./target/release/fig_ablation_pagesize > "$scratch/pgsz_t1.txt"
+env HLWK_THREADS=4 ./target/release/fig_ablation_pagesize > "$scratch/pgsz_tn.txt"
+if ! diff -q "$scratch/pgsz_t1.txt" "$scratch/pgsz_tn.txt" >/dev/null; then
     echo "DETERMINISM FAILURE: pagesize ablation differs between 1 and 4 threads" >&2
-    diff /tmp/hlwk_pgsz_t1.txt /tmp/hlwk_pgsz_tn.txt >&2 || true
+    diff "$scratch/pgsz_t1.txt" "$scratch/pgsz_tn.txt" >&2 || true
     exit 1
 fi
 echo "memory-determinism smoke passed (pagesize ablation @ 1 thread == 4 threads)"
+
+# Resilience smoke: link faults + node crash + every recovery policy,
+# reduced grid. Two properties:
+#   1. thread-count independence (faulty runs draw from per-link RNG
+#      streams, which must not observe scheduling);
+#   2. fault-free equivalence — the binary itself asserts per loss-free
+#      cell that the resilient runner reproduces run_miniapp exactly, so
+#      merely *wiring in* the recovery machinery costs nothing.
+resil="HLWK_RESIL_ITERS=6 HLWK_NODES=4"
+env $resil HLWK_THREADS=1 ./target/release/fig_resilience > "$scratch/resil_t1.txt"
+env $resil HLWK_THREADS=4 ./target/release/fig_resilience > "$scratch/resil_tn.txt"
+if ! diff -q "$scratch/resil_t1.txt" "$scratch/resil_tn.txt" >/dev/null; then
+    echo "DETERMINISM FAILURE: fig_resilience differs between 1 and 4 threads" >&2
+    diff "$scratch/resil_t1.txt" "$scratch/resil_tn.txt" >&2 || true
+    exit 1
+fi
+echo "resilience smoke passed (fig_resilience @ 1 thread == 4 threads, fault-free cells == plain runs)"
 
 if [[ "${1:-}" == "--bench-smoke" ]]; then
     # Smoke iterations: enough to exercise every measured path and give

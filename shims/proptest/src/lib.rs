@@ -257,6 +257,21 @@ pub mod strategy {
     }
     int_strategies!(u8, u16, u32, u64, usize);
 
+    macro_rules! float_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // 53 uniform mantissa bits in [0, 1), scaled to span.
+                    let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                    self.start + (self.end - self.start) * (u as $t)
+                }
+            }
+        )*};
+    }
+    float_strategies!(f32, f64);
+
     macro_rules! tuple_strategies {
         ($(($($s:ident . $idx:tt),+);)*) => {$(
             impl<$($s: Strategy),+> Strategy for ($($s,)+) {
@@ -272,6 +287,8 @@ pub mod strategy {
         (A.0, B.1, C.2);
         (A.0, B.1, C.2, D.3);
         (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6);
     }
 }
 

@@ -23,7 +23,7 @@ fn fig6_cell(coll: Collective, os: OsVariant, run: usize) -> Vec<f64> {
         .into_iter()
         .take(4)
         .map(|bytes| {
-            let res = cluster.run_osu(coll, bytes, &osu_cfg, at);
+            let res = cluster.run_osu(coll, bytes, &osu_cfg, at).expect("fault-free");
             at = res.end + Cycles::from_secs(2);
             res.latencies_us.iter().sum::<f64>() / res.latencies_us.len() as f64
         })

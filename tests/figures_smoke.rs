@@ -56,7 +56,7 @@ fn fig6_shape() {
     let sweep = |os| -> Vec<f64> {
         parallel_runs(4, |run| {
             let mut c = cluster(os, 8, false, run_seed(61, run));
-            let res = c.run_osu(Collective::Allreduce, 1024, &osu, Cycles::from_ms(1));
+            let res = c.run_osu(Collective::Allreduce, 1024, &osu, Cycles::from_ms(1)).expect("fault-free");
             res.latencies_us.iter().sum::<f64>() / res.latencies_us.len() as f64
         })
     };
@@ -81,7 +81,7 @@ fn fig7_shape() {
     let measure = |os, bytes| {
         let vals = parallel_runs(5, |run| {
             let mut c = cluster(os, 8, true, run_seed(71, run));
-            let res = c.run_osu(Collective::Reduce, bytes, &osu, Cycles::from_ms(1));
+            let res = c.run_osu(Collective::Reduce, bytes, &osu, Cycles::from_ms(1)).expect("fault-free");
             res.latencies_us.iter().sum::<f64>() / res.latencies_us.len() as f64
         });
         Summary::from_samples(&vals).max_variation_pct()
@@ -111,7 +111,7 @@ fn fig8_shape() {
     };
     let run = |os| {
         let mut c = cluster(os, 4, false, 81);
-        c.run_miniapp(&app, Cycles::from_ms(1)).as_secs_f64()
+        c.run_miniapp(&app, Cycles::from_ms(1)).expect("fault-free").as_secs_f64()
     };
     let linux = run(OsVariant::LinuxCgroup);
     let mck = run(OsVariant::McKernel);
@@ -132,7 +132,7 @@ fn fig9_shape() {
     let measure = |os| {
         let vals = parallel_runs(6, |run| {
             let mut c = cluster(os, 2, true, run_seed(91, run));
-            c.run_miniapp(&app, Cycles::from_ms(1)).as_secs_f64()
+            c.run_miniapp(&app, Cycles::from_ms(1)).expect("fault-free").as_secs_f64()
         });
         RunStats::new(vals).max_variation_pct()
     };

@@ -142,7 +142,7 @@ fn cluster_builds_are_deterministic() {
             iterations: 3,
             ..workloads::miniapps::MiniApp::minife()
         };
-        c.run_miniapp(&app, Cycles::from_ms(1)).raw()
+        c.run_miniapp(&app, Cycles::from_ms(1)).expect("fault-free").raw()
     };
     // Same seed: bit-identical results.
     assert_eq!(
@@ -165,7 +165,7 @@ fn cluster_builds_are_deterministic() {
             iterations: 3,
             ..workloads::miniapps::MiniApp::minife()
         };
-        c.run_miniapp(&app, Cycles::from_ms(1)).raw()
+        c.run_miniapp(&app, Cycles::from_ms(1)).expect("fault-free").raw()
     };
     assert_eq!(quiet(42), quiet(43));
 }
@@ -183,7 +183,7 @@ fn every_os_variant_runs_the_same_binary() {
     for os in OsVariant::all() {
         let cfg = ClusterConfig::paper(os).with_nodes(2).with_seed(9);
         let mut c = Cluster::build(cfg);
-        times.push(c.run_miniapp(&app, Cycles::from_ms(1)).as_secs_f64());
+        times.push(c.run_miniapp(&app, Cycles::from_ms(1)).expect("fault-free").as_secs_f64());
     }
     let max = times.iter().cloned().fold(0.0, f64::max);
     let min = times.iter().cloned().fold(f64::MAX, f64::min);
