@@ -14,7 +14,7 @@
 //! until a fault actually fires. Every faulty cell arms a fail-stop
 //! crash of node 1 halfway through the job.
 
-use bench::{header, max_nodes, resil_iters};
+use bench::{header, max_nodes, resil_iters, seed_base};
 use cluster::experiment::run_seed;
 use cluster::{
     run_resilient, Cluster, ClusterConfig, OsVariant, RecoveryCosts, RecoveryPolicy,
@@ -116,7 +116,7 @@ fn main() {
     }
     let rows: Vec<Row> = par::parallel_map(cells.len(), |ci| {
         let (os, policy, rate) = cells[ci];
-        run_cell(os, policy, rate, run_seed(0x2E51, ci))
+        run_cell(os, policy, rate, run_seed(seed_base(), ci))
     });
 
     for (oi, os) in oses.iter().enumerate() {

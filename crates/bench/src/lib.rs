@@ -36,6 +36,28 @@ pub fn resil_iters() -> u32 {
     env_or("HLWK_RESIL_ITERS", 12)
 }
 
+/// Mini-app iterations in the failure-domain sweep
+/// (`HLWK_DOMAIN_ITERS`). The committed `BENCH_resilience.json`
+/// baseline is recorded at the default; `--check` runs must not
+/// override it.
+pub fn domain_iters() -> u32 {
+    env_or("HLWK_DOMAIN_ITERS", 12)
+}
+
+/// Seed base for the resilience sweep (`HLWK_SEED_BASE`). The default
+/// reproduces the golden figure output; `scripts/ci.sh --soak` varies
+/// it to hunt for schedule-dependent hangs.
+pub fn seed_base() -> u64 {
+    env_or("HLWK_SEED_BASE", 0x2E51)
+}
+
+/// Master seed for the failure-domain sweep (`HLWK_DOMAIN_SEED`).
+/// Leave at the default for `--check` runs against the committed
+/// baseline; the soak varies it.
+pub fn domain_seed() -> u64 {
+    env_or("HLWK_DOMAIN_SEED", 0xD06E_5EED)
+}
+
 fn env_or<T: std::str::FromStr + Copy>(name: &str, default: T) -> T {
     std::env::var(name)
         .ok()

@@ -2,7 +2,9 @@
 
 use hwmodel::cpu::CoreId;
 use netsim::reliable::CrashTrigger;
-use simcore::fault::{FaultConfig, LinkFaultConfig};
+use simcore::fault::{
+    DomainEvent, DomainFaultConfig, DomainTopology, FaultConfig, LinkFaultConfig,
+};
 
 /// Which OS stack runs the HPC workload (Sec. IV-A).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -66,6 +68,17 @@ pub struct ClusterConfig {
     /// An armed node-crash fault, if any (fail-stop at a configured
     /// simulated time or in-flight send depth).
     pub node_crash: Option<NodeCrash>,
+    /// Failure-domain layout: nodes per rack (ToR switch / PDU scope).
+    /// Pure metadata until domain faults or events are armed.
+    pub nodes_per_rack: u32,
+    /// Failure-domain layout: racks per pod (aggregation switch scope).
+    pub racks_per_pod: u32,
+    /// Correlated domain-fault injection (off by default: no per-domain
+    /// RNG streams are derived and nothing is injected).
+    pub domain_faults: DomainFaultConfig,
+    /// Deterministic domain events injected on top of (or without) the
+    /// stochastic plan — "kill rack 1 at t=X". RNG-free.
+    pub domain_events: Vec<DomainEvent>,
 }
 
 /// A configured fail-stop node crash.
@@ -91,6 +104,10 @@ impl ClusterConfig {
             faults: FaultConfig::off(),
             link_faults: LinkFaultConfig::off(),
             node_crash: None,
+            nodes_per_rack: 16,
+            racks_per_pod: 2,
+            domain_faults: DomainFaultConfig::off(),
+            domain_events: Vec::new(),
         }
     }
 
@@ -128,6 +145,35 @@ impl ClusterConfig {
     pub fn with_node_crash(mut self, node: usize, trigger: CrashTrigger) -> Self {
         self.node_crash = Some(NodeCrash { node, trigger });
         self
+    }
+
+    /// Set the failure-domain layout (nodes per rack, racks per pod).
+    pub fn with_domains(mut self, nodes_per_rack: u32, racks_per_pod: u32) -> Self {
+        assert!(nodes_per_rack >= 1 && racks_per_pod >= 1);
+        self.nodes_per_rack = nodes_per_rack;
+        self.racks_per_pod = racks_per_pod;
+        self
+    }
+
+    /// Run with stochastic correlated domain faults.
+    pub fn with_domain_faults(mut self, domain_faults: DomainFaultConfig) -> Self {
+        self.domain_faults = domain_faults;
+        self
+    }
+
+    /// Inject one deterministic domain event ("kill rack 1 at t=X").
+    pub fn with_domain_event(mut self, event: DomainEvent) -> Self {
+        self.domain_events.push(event);
+        self
+    }
+
+    /// The failure-domain layout over this config's node count.
+    pub fn topology(&self) -> DomainTopology {
+        DomainTopology::new(
+            self.nodes as usize,
+            self.nodes_per_rack as usize,
+            self.racks_per_pod as usize,
+        )
     }
 
     /// Application cores (8 OpenMP threads on NUMA 1).

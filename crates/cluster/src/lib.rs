@@ -34,5 +34,7 @@ pub mod sim;
 pub use config::{ClusterConfig, NodeCrash, OsVariant};
 pub use experiment::{parallel_runs, RunStats};
 pub use node::NodeError;
-pub use recovery::{run_resilient, RecoveryCosts, RecoveryPolicy, RecoveryReport};
+pub use recovery::{
+    run_resilient, BuddyPlacement, HierarchicalCkpt, RecoveryCosts, RecoveryPolicy, RecoveryReport,
+};
 pub use sim::Cluster;

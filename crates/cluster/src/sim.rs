@@ -9,6 +9,7 @@ use mpisim::regcache::RegCache;
 use mpisim::RankFailure;
 use netsim::reliable::CrashTrigger;
 use netsim::{LinkParams, ReliableFabric};
+use simcore::fault::{DomainFaultPlan, DomainTopology};
 use simcore::{Cycles, StreamRng};
 use workloads::miniapps::MiniApp;
 use workloads::osu::{self, Collective, OsuConfig, OsuResult};
@@ -24,6 +25,11 @@ pub struct Cluster {
     /// separate exactly as in the paper), wrapped in the reliable-delivery
     /// layer. With link faults disabled it is an exact passthrough.
     pub fabric: ReliableFabric,
+    /// Failure-domain layout (node → rack → pod).
+    pub topo: DomainTopology,
+    /// The correlated-fault schedule, if domain faults were enabled.
+    /// Its events are already applied to the fabric at build time.
+    pub domain_plan: Option<DomainFaultPlan>,
     params: P2pParams,
     regcaches: Vec<RegCache>,
     recorder: Recorder,
@@ -55,8 +61,24 @@ impl Cluster {
         if let Some(crash) = cfg.node_crash {
             fabric.kill_node(crash.node, crash.trigger);
         }
+        // Correlated domain faults follow the same discipline: a
+        // disabled config derives no per-domain streams at all, and
+        // deterministic injected events are RNG-free either way.
+        let topo = cfg.topology();
+        let domain_plan = cfg.domain_faults.enabled.then(|| {
+            let plan = DomainFaultPlan::new(cfg.domain_faults, topo, &rng);
+            for ev in plan.events() {
+                fabric.apply_domain_event(&topo, ev);
+            }
+            plan
+        });
+        for ev in &cfg.domain_events {
+            fabric.apply_domain_event(&topo, ev);
+        }
         Cluster {
             fabric,
+            topo,
+            domain_plan,
             host: ClusterHost { nodes },
             params: P2pParams::default(),
             regcaches,

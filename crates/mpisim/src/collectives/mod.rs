@@ -122,6 +122,18 @@ impl<'a, H: HostModel> Ctx<'a, H> {
         }
     }
 
+    /// Every communicator rank whose backing node is dead at `at`,
+    /// ascending. This is how recovery widens one [`RankFailure`] into
+    /// the full batch lost in a detection window: a correlated domain
+    /// event kills several ranks at one instant, but the in-flight
+    /// collective only reports the first peer it touched.
+    pub fn dead_ranks(&self, at: Cycles) -> Vec<usize> {
+        let p = self.rank_map.map_or(self.fabric.num_nodes(), |m| m.len());
+        (0..p)
+            .filter(|&r| self.fabric.is_dead(self.node_of(r), at))
+            .collect()
+    }
+
     /// Charge CPU work to the node backing `rank`.
     pub fn cpu(&mut self, rank: usize, at: Cycles, work: Cycles) -> Cycles {
         let node = self.node_of(rank);

@@ -71,6 +71,55 @@ impl RankFailure {
     }
 }
 
+/// A *set* of ranks declared failed in one detection window.
+///
+/// Correlated faults (a rack PDU trip, a switch death) take out several
+/// ranks at one instant, but an in-flight collective surfaces only the
+/// first peer it touched as a [`RankFailure`]. Recovery layers widen
+/// that primary failure into a batch by probing the fabric for every
+/// rank dead by the confirmation time, then shrink the communicator
+/// once — not once per victim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailureBatch {
+    /// The failure that tripped the detector.
+    pub primary: RankFailure,
+    /// Every rank dead in the window (sorted, deduped, includes
+    /// `primary.rank`).
+    pub ranks: Vec<usize>,
+}
+
+impl FailureBatch {
+    /// A batch holding only the detector-tripping failure.
+    pub fn single(primary: RankFailure) -> FailureBatch {
+        FailureBatch { ranks: vec![primary.rank], primary }
+    }
+
+    /// A batch from a primary failure plus every other rank found dead
+    /// in the same window. The primary rank is always included.
+    pub fn new(primary: RankFailure, mut ranks: Vec<usize>) -> FailureBatch {
+        ranks.push(primary.rank);
+        ranks.sort_unstable();
+        ranks.dedup();
+        FailureBatch { primary, ranks }
+    }
+
+    /// Number of ranks lost in the window.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// A batch always carries at least the primary rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl std::fmt::Display for FailureBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({} rank(s) lost: {:?})", self.primary, self.len(), self.ranks)
+    }
+}
+
 impl std::fmt::Display for RankFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let why = match self.cause {

@@ -26,7 +26,7 @@ pub mod host;
 pub mod p2p;
 pub mod regcache;
 
-pub use failure::{FailureCause, RankFailure};
+pub use failure::{FailureBatch, FailureCause, RankFailure};
 pub use host::{HostModel, IdealHost};
 pub use p2p::{P2pParams, SendTiming};
 pub use regcache::RegCache;

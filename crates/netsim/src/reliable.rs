@@ -25,7 +25,9 @@
 
 use crate::fabric::{Fabric, Transfer};
 use crate::loggp::LinkParams;
-use simcore::fault::{LinkFaultConfig, LinkFaultPlan, MsgFault};
+use simcore::fault::{
+    DomainEvent, DomainEventKind, DomainTopology, LinkFaultConfig, LinkFaultPlan, MsgFault,
+};
 use simcore::{Cycles, StreamRng};
 
 /// Retransmission knobs (per fabric, applied to every link).
@@ -306,6 +308,31 @@ impl ReliableFabric {
         self.dead_at[node]
     }
 
+    /// Force `[start, end)` downtime onto one port (RNG-free even on a
+    /// fault-free fabric; see [`LinkFaultPlan::force_down`]).
+    pub fn force_link_down(&mut self, port: usize, start: Cycles, end: Cycles) {
+        self.links[port].force_down(start, end);
+    }
+
+    /// Apply one correlated domain event: a fail-stop kills every node
+    /// in the subtree at the event instant; a blackout flaps every port
+    /// in the subtree for the event's duration. Both paths are RNG-free,
+    /// so deterministic injected events keep the zero-draw contract.
+    pub fn apply_domain_event(&mut self, topo: &DomainTopology, ev: &DomainEvent) {
+        for node in topo.nodes_in(ev.scope) {
+            match ev.kind {
+                DomainEventKind::FailStop => self.kill_node(node, CrashTrigger::AtTime(ev.at)),
+                DomainEventKind::Blackout(dur) => self.force_link_down(node, ev.at, ev.at + dur),
+            }
+        }
+    }
+
+    /// Every node dead at simulated time `at`, ascending — the batch a
+    /// heartbeat sweep discovers in one detection window.
+    pub fn dead_nodes_at(&self, at: Cycles) -> Vec<usize> {
+        (0..self.num_nodes()).filter(|&n| self.is_dead(n, at)).collect()
+    }
+
     /// Is `node` dead at simulated time `at`?
     pub fn is_dead(&self, node: usize, at: Cycles) -> bool {
         self.dead_at[node].is_some_and(|d| d <= at)
@@ -430,6 +457,7 @@ impl ReliableFabric {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simcore::fault::DomainScope;
 
     fn params() -> LinkParams {
         LinkParams::fdr_infiniband()
@@ -590,6 +618,45 @@ mod tests {
         }
         assert!(rel.is_dead(0, at));
         assert_eq!(rel.node_dead_at(0), Some(at));
+    }
+
+    #[test]
+    fn domain_failstop_kills_whole_rack_at_once() {
+        let topo = DomainTopology::new(8, 4, 2);
+        let mut rel = ReliableFabric::new(8, params());
+        let at = Cycles::from_ms(1);
+        rel.apply_domain_event(
+            &topo,
+            &DomainEvent { at, scope: DomainScope::Rack(1), kind: DomainEventKind::FailStop },
+        );
+        assert_eq!(rel.dead_nodes_at(at), vec![4, 5, 6, 7], "whole subtree, one instant");
+        assert!(rel.dead_nodes_at(at - Cycles(1)).is_empty(), "nothing before");
+        for n in [4usize, 5, 6, 7] {
+            assert_eq!(rel.node_dead_at(n), Some(at));
+        }
+        // Survivors in the other rack still talk to each other.
+        rel.send(0, 1, 64, at + Cycles::from_us(1)).expect("other rack unaffected");
+        // Zero-draw: correlated kills over fault-free links log nothing.
+        assert!(rel.links().iter().all(|l| l.log().is_empty()));
+    }
+
+    #[test]
+    fn domain_blackout_flaps_every_port_in_subtree() {
+        let topo = DomainTopology::new(8, 4, 2);
+        let mut rel = ReliableFabric::new(8, params());
+        let at = Cycles::from_ms(2);
+        let dur = Cycles::from_us(40);
+        rel.apply_domain_event(
+            &topo,
+            &DomainEvent { at, scope: DomainScope::Rack(0), kind: DomainEventKind::Blackout(dur) },
+        );
+        // A send posted into the blackout stalls until the subtree
+        // re-arms but still delivers (transient, not fatal).
+        let t = rel.send(0, 1, 256, at + Cycles::from_us(1)).expect("blackout is transient");
+        assert!(t.delivered >= at + dur, "stalled past the blackout");
+        assert!(rel.reliable_stats().flap_stalls > 0);
+        // Ports outside the subtree are untouched.
+        assert!(rel.links()[4].down_until(at + Cycles::from_us(1)).is_none());
     }
 
     #[test]

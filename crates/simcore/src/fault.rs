@@ -449,6 +449,366 @@ impl LinkFaultConfig {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Hierarchical failure domains (node → rack → pod)
+// ---------------------------------------------------------------------------
+
+/// Hierarchical failure-domain layout. Nodes pack into racks (sharing a
+/// ToR switch and a PDU) and racks pack into pods (sharing an
+/// aggregation switch and a power feed): one fault at any level takes
+/// out the *whole subtree* at once, which is how real clusters die —
+/// in correlated bursts, not independent single-node events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DomainTopology {
+    /// Total node count.
+    pub nodes: usize,
+    /// Nodes per rack (last rack may be partial).
+    pub nodes_per_rack: usize,
+    /// Racks per pod (last pod may be partial).
+    pub racks_per_pod: usize,
+}
+
+impl DomainTopology {
+    /// A layout with the given packing. Panics on zero sizes.
+    pub fn new(nodes: usize, nodes_per_rack: usize, racks_per_pod: usize) -> Self {
+        assert!(nodes >= 1 && nodes_per_rack >= 1 && racks_per_pod >= 1);
+        DomainTopology { nodes, nodes_per_rack, racks_per_pod }
+    }
+
+    /// Degenerate layout: every node in one rack in one pod (no
+    /// correlated structure — the pre-domain behaviour).
+    pub fn flat(nodes: usize) -> Self {
+        DomainTopology::new(nodes, nodes.max(1), 1)
+    }
+
+    /// Number of racks.
+    pub fn num_racks(&self) -> usize {
+        self.nodes.div_ceil(self.nodes_per_rack)
+    }
+
+    /// Number of pods.
+    pub fn num_pods(&self) -> usize {
+        self.num_racks().div_ceil(self.racks_per_pod)
+    }
+
+    /// The rack holding `node`.
+    pub fn rack_of(&self, node: usize) -> usize {
+        node / self.nodes_per_rack
+    }
+
+    /// The pod holding `node`.
+    pub fn pod_of(&self, node: usize) -> usize {
+        self.rack_of(node) / self.racks_per_pod
+    }
+
+    /// The next rack in ring order (a *different* failure domain
+    /// whenever more than one rack exists) — the canonical cross-domain
+    /// buddy target for hierarchical checkpointing.
+    pub fn partner_rack(&self, rack: usize) -> usize {
+        (rack + 1) % self.num_racks()
+    }
+
+    /// Every node inside `scope`, ascending.
+    pub fn nodes_in(&self, scope: DomainScope) -> Vec<usize> {
+        let range = match scope {
+            DomainScope::Node(n) => n..(n + 1).min(self.nodes),
+            DomainScope::Rack(r) => {
+                let lo = r * self.nodes_per_rack;
+                lo..((r + 1) * self.nodes_per_rack).min(self.nodes)
+            }
+            DomainScope::Pod(p) => {
+                let lo = p * self.racks_per_pod * self.nodes_per_rack;
+                let hi = (p + 1) * self.racks_per_pod * self.nodes_per_rack;
+                lo..hi.min(self.nodes)
+            }
+        };
+        range.collect()
+    }
+}
+
+/// Which subtree of the fault hierarchy an event hits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DomainScope {
+    /// A single node (the PR 5 fail-stop, as a degenerate domain).
+    Node(usize),
+    /// A whole rack (ToR switch / PDU failure).
+    Rack(usize),
+    /// A whole pod (aggregation switch / power-feed failure).
+    Pod(usize),
+}
+
+impl DomainScope {
+    fn level(&self) -> u8 {
+        match self {
+            DomainScope::Node(_) => 0,
+            DomainScope::Rack(_) => 1,
+            DomainScope::Pod(_) => 2,
+        }
+    }
+}
+
+/// What a domain event does to its subtree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DomainEventKind {
+    /// Every node in the subtree fail-stops at the event time
+    /// (permanent: PDU trip, switch bricked).
+    FailStop,
+    /// Every link in the subtree goes down for the given interval
+    /// (transient: switch reboot / firmware update), flapping all ports
+    /// simultaneously.
+    Blackout(Cycles),
+}
+
+/// One correlated fault: a whole domain subtree dies or blacks out at
+/// one instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DomainEvent {
+    /// Simulated time of the event.
+    pub at: Cycles,
+    /// The subtree it hits.
+    pub scope: DomainScope,
+    /// What happens to the subtree.
+    pub kind: DomainEventKind,
+}
+
+/// Correlated fault-injection knobs. Rates are Poisson arrivals *per
+/// domain instance* per simulated hour; the default is everything off
+/// and an off config draws no randomness at all.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DomainFaultConfig {
+    /// Master switch; when false the plan derives no RNG streams.
+    pub enabled: bool,
+    /// Fail-stop arrivals per node per hour.
+    pub node_fail_per_hour: f64,
+    /// Fail-stop arrivals per rack per hour.
+    pub rack_fail_per_hour: f64,
+    /// Fail-stop arrivals per pod per hour.
+    pub pod_fail_per_hour: f64,
+    /// Transient whole-rack blackout arrivals per rack per hour.
+    pub rack_blackout_per_hour: f64,
+    /// Mean blackout duration, nanoseconds (exponential).
+    pub blackout_mean_ns: f64,
+    /// Horizon over which schedules are pre-generated, seconds.
+    pub horizon_secs: u64,
+}
+
+impl Default for DomainFaultConfig {
+    fn default() -> Self {
+        DomainFaultConfig::off()
+    }
+}
+
+impl DomainFaultConfig {
+    /// No correlated faults; the plan will consume no randomness.
+    pub fn off() -> Self {
+        DomainFaultConfig {
+            enabled: false,
+            node_fail_per_hour: 0.0,
+            rack_fail_per_hour: 0.0,
+            pod_fail_per_hour: 0.0,
+            rack_blackout_per_hour: 0.0,
+            blackout_mean_ns: 2_000_000.0,
+            horizon_secs: 600,
+        }
+    }
+
+    /// Set per-node fail-stop arrivals (builder style).
+    pub fn with_node_fails(mut self, per_hour: f64) -> Self {
+        self.enabled = true;
+        self.node_fail_per_hour = per_hour;
+        self
+    }
+
+    /// Set per-rack fail-stop arrivals (builder style).
+    pub fn with_rack_fails(mut self, per_hour: f64) -> Self {
+        self.enabled = true;
+        self.rack_fail_per_hour = per_hour;
+        self
+    }
+
+    /// Set per-pod fail-stop arrivals (builder style).
+    pub fn with_pod_fails(mut self, per_hour: f64) -> Self {
+        self.enabled = true;
+        self.pod_fail_per_hour = per_hour;
+        self
+    }
+
+    /// Set transient rack blackouts (builder style).
+    pub fn with_rack_blackouts(mut self, per_hour: f64, mean_ns: f64) -> Self {
+        self.enabled = true;
+        self.rack_blackout_per_hour = per_hour;
+        self.blackout_mean_ns = mean_ns;
+        self
+    }
+}
+
+/// A seeded, hierarchical correlated-fault injector.
+///
+/// Every domain instance at every level owns its **own** RNG stream
+/// (derived from the experiment master seed with a per-level label and
+/// the domain index), so enabling rack faults never perturbs the node
+/// fault schedule, changing the topology only re-seeds the domains that
+/// moved, and a disabled plan derives no streams at all — the same
+/// zero-draw contract as [`FaultPlan`] and [`LinkFaultPlan`].
+///
+/// The whole schedule is pre-generated at construction (like link
+/// flaps), so consumers replay it RNG-free. Fail-stop arrivals keep only
+/// the *first* event per domain — the subtree is already dead for any
+/// later arrival — while blackouts repeat. Deterministic events can be
+/// added on top with [`DomainFaultPlan::inject`], which never draws.
+#[derive(Clone, Debug)]
+pub struct DomainFaultPlan {
+    cfg: DomainFaultConfig,
+    topo: DomainTopology,
+    events: Vec<DomainEvent>,
+}
+
+impl DomainFaultPlan {
+    /// Build a plan over per-domain streams derived from `rng`.
+    pub fn new(cfg: DomainFaultConfig, topo: DomainTopology, rng: &StreamRng) -> Self {
+        let mut plan = DomainFaultPlan { cfg, topo, events: Vec::new() };
+        if !cfg.enabled {
+            return plan;
+        }
+        let horizon = Cycles::from_secs(cfg.horizon_secs);
+        // First Poisson arrival within the horizon, or None.
+        let first_arrival = |stream: &mut StreamRng, per_hour: f64| -> Option<Cycles> {
+            if per_hour <= 0.0 {
+                return None;
+            }
+            let gap_mean_ns = 3.6e12 / per_hour;
+            let t = Cycles::from_ns(stream.exp_mean(gap_mean_ns) as u64).max(Cycles(1));
+            (t < horizon).then_some(t)
+        };
+        for n in 0..topo.nodes {
+            let mut s = rng.stream("domfault.node", n as u64);
+            if let Some(at) = first_arrival(&mut s, cfg.node_fail_per_hour) {
+                plan.events.push(DomainEvent {
+                    at,
+                    scope: DomainScope::Node(n),
+                    kind: DomainEventKind::FailStop,
+                });
+            }
+        }
+        for r in 0..topo.num_racks() {
+            let mut s = rng.stream("domfault.rack", r as u64);
+            if let Some(at) = first_arrival(&mut s, cfg.rack_fail_per_hour) {
+                plan.events.push(DomainEvent {
+                    at,
+                    scope: DomainScope::Rack(r),
+                    kind: DomainEventKind::FailStop,
+                });
+            }
+            // Blackouts repeat: separate stream so enabling them never
+            // shifts the fail-stop schedule.
+            if cfg.rack_blackout_per_hour > 0.0 && cfg.blackout_mean_ns > 0.0 {
+                let mut s = rng.stream("domfault.rackblackout", r as u64);
+                let gap_mean_ns = 3.6e12 / cfg.rack_blackout_per_hour;
+                let mut t = Cycles::ZERO;
+                loop {
+                    t += Cycles::from_ns(s.exp_mean(gap_mean_ns) as u64).max(Cycles(1));
+                    if t >= horizon {
+                        break;
+                    }
+                    let dur =
+                        Cycles::from_ns(s.exp_mean(cfg.blackout_mean_ns) as u64).max(Cycles(1));
+                    plan.events.push(DomainEvent {
+                        at: t,
+                        scope: DomainScope::Rack(r),
+                        kind: DomainEventKind::Blackout(dur),
+                    });
+                    t += dur;
+                }
+            }
+        }
+        for p in 0..topo.num_pods() {
+            let mut s = rng.stream("domfault.pod", p as u64);
+            if let Some(at) = first_arrival(&mut s, cfg.pod_fail_per_hour) {
+                plan.events.push(DomainEvent {
+                    at,
+                    scope: DomainScope::Pod(p),
+                    kind: DomainEventKind::FailStop,
+                });
+            }
+        }
+        plan.sort_events();
+        plan
+    }
+
+    /// A plan over `topo` that injects nothing and draws nothing.
+    pub fn disabled(topo: DomainTopology) -> Self {
+        DomainFaultPlan::new(DomainFaultConfig::off(), topo, &StreamRng::root(0))
+    }
+
+    fn sort_events(&mut self) {
+        self.events
+            .sort_by_key(|e| (e.at, e.scope.level(), e.scope));
+    }
+
+    /// Add a deterministic event (RNG-free), keeping the schedule
+    /// sorted. This is how experiments arm "kill rack 1 at t=X".
+    pub fn inject(&mut self, event: DomainEvent) {
+        self.events.push(event);
+        self.sort_events();
+    }
+
+    /// The configuration this plan runs.
+    pub fn config(&self) -> &DomainFaultConfig {
+        &self.cfg
+    }
+
+    /// The domain layout.
+    pub fn topology(&self) -> &DomainTopology {
+        &self.topo
+    }
+
+    /// The full schedule, sorted by (time, level, scope).
+    pub fn events(&self) -> &[DomainEvent] {
+        &self.events
+    }
+
+    /// Number of events of each kind: `(fail_stops, blackouts)`.
+    pub fn counts(&self) -> (u64, u64) {
+        let mut c = (0, 0);
+        for e in &self.events {
+            match e.kind {
+                DomainEventKind::FailStop => c.0 += 1,
+                DomainEventKind::Blackout(_) => c.1 += 1,
+            }
+        }
+        c
+    }
+
+    /// FNV-1a fold of the schedule — equal fingerprints mean
+    /// byte-identical correlated-fault sequences.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for e in &self.events {
+            eat(e.at.raw());
+            let (lvl, idx) = match e.scope {
+                DomainScope::Node(n) => (0u64, n as u64),
+                DomainScope::Rack(r) => (1, r as u64),
+                DomainScope::Pod(p) => (2, p as u64),
+            };
+            eat(lvl);
+            eat(idx);
+            let (tag, arg) = match e.kind {
+                DomainEventKind::FailStop => (1u64, 0u64),
+                DomainEventKind::Blackout(d) => (2, d.raw()),
+            };
+            eat(tag);
+            eat(arg);
+        }
+        h
+    }
+}
+
 /// Per-link fault injector for the fabric layer. Owns its own RNG
 /// stream (derive with e.g. `root.stream("linkfault", port)`); a
 /// disabled plan draws nothing, keeping fault-free runs bit-identical.
@@ -466,6 +826,7 @@ pub struct LinkFaultPlan {
     /// Sorted, non-overlapping downtime intervals `[start, end)`.
     down: Vec<(Cycles, Cycles)>,
     seq: u64,
+    forced: u64,
 }
 
 impl LinkFaultPlan {
@@ -479,6 +840,7 @@ impl LinkFaultPlan {
             log: Vec::new(),
             down: Vec::new(),
             seq: 0,
+            forced: 0,
         };
         if cfg.enabled && cfg.flap_per_sec > 0.0 && cfg.flap_down_mean_ns > 0.0 {
             let horizon = Cycles::from_secs(cfg.flap_horizon_secs);
@@ -516,6 +878,33 @@ impl LinkFaultPlan {
     /// The configuration this plan runs.
     pub fn config(&self) -> &LinkFaultConfig {
         &self.cfg
+    }
+
+    /// Force a `[start, end)` downtime interval into the flap schedule
+    /// (RNG-free; works on disabled plans too). This is how correlated
+    /// domain blackouts flap every port of a subtree at one instant
+    /// even when per-link random faults are off. Overlapping intervals
+    /// are merged so `down_until`'s sorted/non-overlapping invariant
+    /// holds.
+    pub fn force_down(&mut self, start: Cycles, end: Cycles) {
+        assert!(start < end, "empty blackout interval");
+        self.log.push(FaultEvent {
+            at: start,
+            leg: "domain",
+            seq: self.forced,
+            kind: FaultKind::LinkDown(end - start),
+        });
+        self.forced += 1;
+        self.down.push((start, end));
+        self.down.sort_unstable();
+        let mut merged: Vec<(Cycles, Cycles)> = Vec::with_capacity(self.down.len());
+        for &(s, e) in &self.down {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        self.down = merged;
     }
 
     /// If the link is down at `now`, the time it comes back up.
@@ -782,5 +1171,121 @@ mod tests {
                 "disabled LinkFaultPlan advanced its stream (draw {i})"
             );
         }
+
+        // force_down is RNG-free even on a disabled plan (domain
+        // blackouts must flap links without breaking the contract).
+        let mut plan = LinkFaultPlan::new(LinkFaultConfig::off(), root.stream("linkfault", 6));
+        plan.force_down(Cycles::from_us(10), Cycles::from_us(20));
+        assert_eq!(plan.down_until(Cycles::from_us(15)), Some(Cycles::from_us(20)));
+        let mut used = plan.into_rng();
+        let mut sibling = root.stream("linkfault", 6);
+        for i in 0..64 {
+            assert_eq!(
+                used.next_u64(),
+                sibling.next_u64(),
+                "force_down advanced the stream (draw {i})"
+            );
+        }
+
+        // A disabled DomainFaultPlan derives no streams and generates no
+        // events — its schedule is seed-independent, and deterministic
+        // injection stays RNG-free.
+        let topo = DomainTopology::new(8, 2, 2);
+        let a = DomainFaultPlan::new(DomainFaultConfig::off(), topo, &StreamRng::root(1));
+        let b = DomainFaultPlan::new(DomainFaultConfig::off(), topo, &StreamRng::root(2));
+        assert!(a.events().is_empty());
+        assert_eq!(a.fingerprint(), b.fingerprint(), "disabled plan must ignore the seed");
+        let mut c = DomainFaultPlan::disabled(topo);
+        c.inject(DomainEvent {
+            at: Cycles::from_ms(1),
+            scope: DomainScope::Rack(1),
+            kind: DomainEventKind::FailStop,
+        });
+        assert_eq!(c.counts(), (1, 0));
+    }
+
+    #[test]
+    fn domain_topology_maps_subtrees() {
+        let topo = DomainTopology::new(10, 4, 2);
+        assert_eq!(topo.num_racks(), 3);
+        assert_eq!(topo.num_pods(), 2);
+        assert_eq!(topo.rack_of(5), 1);
+        assert_eq!(topo.pod_of(5), 0);
+        assert_eq!(topo.pod_of(9), 1);
+        assert_eq!(topo.nodes_in(DomainScope::Node(3)), vec![3]);
+        assert_eq!(topo.nodes_in(DomainScope::Rack(1)), vec![4, 5, 6, 7]);
+        assert_eq!(topo.nodes_in(DomainScope::Rack(2)), vec![8, 9], "partial rack");
+        assert_eq!(topo.nodes_in(DomainScope::Pod(0)), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(topo.nodes_in(DomainScope::Pod(1)), vec![8, 9]);
+        assert_eq!(topo.partner_rack(0), 1);
+        assert_eq!(topo.partner_rack(2), 0, "ring wraps");
+        // partner_rack is a different domain whenever one exists.
+        for r in 0..topo.num_racks() {
+            assert_ne!(topo.partner_rack(r), r);
+        }
+    }
+
+    #[test]
+    fn domain_plan_same_seed_same_schedule() {
+        let topo = DomainTopology::new(16, 4, 2);
+        let cfg = DomainFaultConfig::off()
+            .with_node_fails(40.0)
+            .with_rack_fails(10.0)
+            .with_pod_fails(2.0)
+            .with_rack_blackouts(30.0, 500_000.0);
+        let a = DomainFaultPlan::new(cfg, topo, &StreamRng::root(0xD0));
+        let b = DomainFaultPlan::new(cfg, topo, &StreamRng::root(0xD0));
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(!a.events().is_empty(), "at those rates events must land");
+        // Sorted by time.
+        assert!(a.events().windows(2).all(|w| w[0].at <= w[1].at));
+        let c = DomainFaultPlan::new(cfg, topo, &StreamRng::root(0xD1));
+        assert_ne!(a.fingerprint(), c.fingerprint(), "own streams, not shared");
+    }
+
+    #[test]
+    fn domain_streams_are_independent_per_level() {
+        // Enabling rack blackouts must not shift the node fail-stop
+        // schedule: each domain instance draws from its own stream.
+        let topo = DomainTopology::new(16, 4, 2);
+        let root = StreamRng::root(0xD0);
+        let just_nodes =
+            DomainFaultPlan::new(DomainFaultConfig::off().with_node_fails(60.0), topo, &root);
+        let both = DomainFaultPlan::new(
+            DomainFaultConfig::off()
+                .with_node_fails(60.0)
+                .with_rack_blackouts(50.0, 400_000.0),
+            topo,
+            &root,
+        );
+        let nodes_only = |p: &DomainFaultPlan| {
+            p.events()
+                .iter()
+                .filter(|e| matches!(e.scope, DomainScope::Node(_)))
+                .copied()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(nodes_only(&just_nodes), nodes_only(&both));
+        assert!(both.counts().1 > 0, "blackouts must have fired");
+    }
+
+    #[test]
+    fn forced_down_intervals_merge_with_flaps() {
+        let mut p = link_plan(LinkFaultConfig::off().with_flaps(50.0, 300_000.0));
+        let (at, dur) = p
+            .log()
+            .iter()
+            .find_map(|e| match e.kind {
+                FaultKind::LinkDown(d) => Some((e.at, d)),
+                _ => None,
+            })
+            .expect("at least one flap logged");
+        // Overlap the tail of an existing flap: the merged interval must
+        // extend the downtime.
+        let end = at + dur + Cycles::from_us(100);
+        p.force_down(at + Cycles(dur.raw() / 2), end);
+        assert_eq!(p.down_until(at), Some(end));
+        assert_eq!(p.down_until(end), None);
     }
 }

@@ -40,6 +40,7 @@ pub mod trace;
 pub use engine::{Engine, World};
 pub use event::{EventKey, EventQueue};
 pub use fault::{
+    DomainEvent, DomainEventKind, DomainFaultConfig, DomainFaultPlan, DomainScope, DomainTopology,
     FaultConfig, FaultEvent, FaultKind, FaultPlan, LinkFaultConfig, LinkFaultPlan, MsgFault,
 };
 pub use hist::LogHistogram;

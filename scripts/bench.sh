@@ -2,9 +2,12 @@
 # Perf-baseline benchmark driver. Run from the repo root.
 #
 #   scripts/bench.sh              # full run, rewrites BENCH_offload.json,
-#                                 # BENCH_engine.json and BENCH_mem.json
+#                                 # BENCH_engine.json, BENCH_mem.json and
+#                                 # BENCH_resilience.json
 #   scripts/bench.sh --check      # compare fresh runs against the
-#                                 # committed baselines (2x tolerance),
+#                                 # committed baselines (2x tolerance for
+#                                 # the wall-clock benches; exact for the
+#                                 # simulated-time fig_domains metrics),
 #                                 # exit non-zero on regression
 #
 # Knobs (environment):
@@ -19,17 +22,23 @@
 # simcore::par pool (reduced fig6, serial vs. full pool); fig_mem covers
 # the flat O(1) buddy allocator (vs. the retired BTreeSet baseline), a
 # fragmentation sweep, and a first-touch fault storm with PCP hit rate.
+# fig_domains is the exception: its metrics are *simulated* time
+# (failure-domain recovery sweep), deterministic across machines, so its
+# --check demands an exact match against BENCH_resilience.json.
 # See EXPERIMENTS.md for how to read and update them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p bench --bin fig_offload_hotpath --bin fig_engine --bin fig_mem
+cargo build --release -p bench \
+    --bin fig_offload_hotpath --bin fig_engine --bin fig_mem --bin fig_domains
 
 if [[ "${1:-}" == "--check" ]]; then
     ./target/release/fig_offload_hotpath --check BENCH_offload.json
     ./target/release/fig_engine --check BENCH_engine.json
-    exec ./target/release/fig_mem --check BENCH_mem.json
+    ./target/release/fig_mem --check BENCH_mem.json
+    exec ./target/release/fig_domains --check BENCH_resilience.json
 fi
 ./target/release/fig_offload_hotpath
 ./target/release/fig_engine
-exec ./target/release/fig_mem
+./target/release/fig_mem
+exec ./target/release/fig_domains

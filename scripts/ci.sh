@@ -7,7 +7,16 @@
 #                                 # event-engine and memory benches (few
 #                                 # iterations) and fail on a >2x
 #                                 # regression against BENCH_offload.json
-#                                 # / BENCH_engine.json / BENCH_mem.json
+#                                 # / BENCH_engine.json / BENCH_mem.json,
+#                                 # plus the exact-match failure-domain
+#                                 # check against BENCH_resilience.json
+#   scripts/ci.sh --soak          # also soak the resilience sweeps:
+#                                 # HLWK_SOAK_SEEDS (default 5) fresh
+#                                 # seeds through fig_resilience (5% loss
+#                                 # + node crash) and fig_domains (rack
+#                                 # kills + fault storm), each run under
+#                                 # a wall-clock timeout — a hang or
+#                                 # claim violation on ANY seed fails
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,6 +70,45 @@ if ! diff -q "$scratch/resil_t1.txt" "$scratch/resil_tn.txt" >/dev/null; then
 fi
 echo "resilience smoke passed (fig_resilience @ 1 thread == 4 threads, fault-free cells == plain runs)"
 
+# Failure-domain smoke: correlated rack kills + the stochastic fault
+# storm draw from per-domain RNG streams, which must not observe worker
+# scheduling either. The binary also self-asserts the acceptance claims
+# (buddy rollback < global rollback, degraded completes where abort
+# loses, async overhead < blocking) in every mode, reduced knobs
+# included.
+dom="HLWK_DOMAIN_ITERS=6"
+env $dom HLWK_THREADS=1 HLWK_BENCH_OUT="$scratch/dom_t1.json" \
+    ./target/release/fig_domains > "$scratch/dom_t1.txt"
+env $dom HLWK_THREADS=4 HLWK_BENCH_OUT="$scratch/dom_t4.json" \
+    ./target/release/fig_domains > "$scratch/dom_t4.txt"
+if ! diff -q "$scratch/dom_t1.json" "$scratch/dom_t4.json" >/dev/null; then
+    echo "DETERMINISM FAILURE: fig_domains metrics differ between 1 and 4 threads" >&2
+    diff "$scratch/dom_t1.json" "$scratch/dom_t4.json" >&2 || true
+    exit 1
+fi
+echo "failure-domain smoke passed (fig_domains @ 1 thread == 4 threads, claims hold)"
+
+if [[ "${1:-}" == "--soak" ]]; then
+    # Resilience soak: fresh seeds through both fault sweeps, each run
+    # under a hard wall-clock guard. What it hunts: schedule-dependent
+    # hangs (a recovery loop that fails to terminate shows up as a
+    # timeout, exit 124) and seed-dependent claim violations
+    # (fig_domains exits non-zero if any acceptance claim breaks).
+    seeds="${HLWK_SOAK_SEEDS:-5}"
+    for s in $(seq 1 "$seeds"); do
+        env HLWK_SEED_BASE=$((11851 + s)) HLWK_RESIL_ITERS=6 HLWK_NODES=4 \
+            timeout 300 ./target/release/fig_resilience > "$scratch/soak_resil_$s.txt"
+        # Seed varies, job length stays at the default: the rollback
+        # claims need a kill that lands past a local snapshot that is
+        # newer than the last global commit, which the default length
+        # guarantees.
+        env HLWK_DOMAIN_SEED=$((53870 + s)) \
+            HLWK_BENCH_OUT="$scratch/soak_dom_$s.json" \
+            timeout 300 ./target/release/fig_domains > "$scratch/soak_dom_$s.txt"
+    done
+    echo "soak passed ($seeds seeds x {fig_resilience @ 5% loss + crash, fig_domains rack kills + storm}, no hangs)"
+fi
+
 if [[ "${1:-}" == "--bench-smoke" ]]; then
     # Smoke iterations: enough to exercise every measured path and give
     # stable-order-of-magnitude numbers, small enough for CI. The checks
@@ -74,4 +122,6 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
     # fault-storm metrics amortize their setup; still well under a second.
     HLWK_BENCH_ITERS="${HLWK_MEM_BENCH_ITERS:-5000}" \
         ./target/release/fig_mem --check BENCH_mem.json
+    # Simulated-time metrics are deterministic: exact match, full knobs.
+    ./target/release/fig_domains --check BENCH_resilience.json
 fi
