@@ -13,7 +13,7 @@
 //! * *dense* — hold-pattern churn entirely inside the level-0 window
 //!   (delays < 256 cycles): pop one, schedule one, forever;
 //! * *sparse* — delays up to 2^40 cycles, forcing traffic through the
-//!   upper levels and the far-future overflow heap;
+//!   upper wheel levels and their promotion cascades;
 //! * *cancel* — arm-and-disarm, the preemption-timer pattern;
 //! * *fig6* — end-to-end reduced figure sweep, serial vs full pool.
 //!
@@ -48,18 +48,24 @@ fn iters() -> u64 {
         .unwrap_or(20_000)
 }
 
-/// Best-of-3 wall-clock nanoseconds per call of `f` over `n` calls.
-fn measure<F: FnMut()>(n: u64, mut f: F) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..3 {
+/// Best-of-5 per side with the trials interleaved a, b, a, b, …: the
+/// speedup gates below compare two measured minima, and on a shared
+/// host a sustained ambient-load burst that covers one side's entire
+/// sequential best-of-5 run can fake a >2x swing in either direction.
+/// Interleaved, a burst degrades both minima or neither.
+fn measure_pair<F: FnMut(), G: FnMut()>(n: u64, mut a: F, mut b: G) -> (f64, f64) {
+    let mut best = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..5 {
         let start = Instant::now();
         for _ in 0..n {
-            f();
+            a();
         }
-        let ns = start.elapsed().as_nanos() as f64 / n as f64;
-        if ns < best {
-            best = ns;
+        best.0 = best.0.min(start.elapsed().as_nanos() as f64 / n as f64);
+        let start = Instant::now();
+        for _ in 0..n {
+            b();
         }
+        best.1 = best.1.min(start.elapsed().as_nanos() as f64 / n as f64);
     }
     best
 }
@@ -114,63 +120,59 @@ fn delays(n: usize, max_delay: u64, seed: u64) -> Vec<u64> {
     (0..n).map(|_| rng.range_u64(1, max_delay)).collect()
 }
 
-/// Hold-pattern churn on the timer wheel: prefill `HOLD` events, then
-/// each op pops the nearest event and schedules a replacement.
-fn bench_wheel_churn(n: u64, max_delay: u64, seed: u64) -> f64 {
+/// Hold-pattern churn, wheel and heap interleaved: prefill `HOLD`
+/// events into each, then each op pops the nearest event and schedules
+/// a replacement. Both queues see byte-identical delay sequences.
+/// Returns `(wheel_ns, heap_ns)`.
+fn bench_churn_pair(n: u64, max_delay: u64, seed: u64) -> (f64, f64) {
     let ds = delays(HOLD + n as usize * 3, max_delay, seed);
-    let mut q: EventQueue<u64> = EventQueue::new();
-    let mut now = Cycles::ZERO;
-    let mut di = 0usize;
+    let mut wq: EventQueue<u64> = EventQueue::new();
+    let mut hq = HeapQueue::new();
+    let (mut wnow, mut hnow) = (Cycles::ZERO, Cycles::ZERO);
+    let (mut wdi, mut hdi) = (0usize, 0usize);
     for _ in 0..HOLD {
-        q.schedule(now + Cycles(ds[di]), di as u64);
-        di += 1;
+        wq.schedule(wnow + Cycles(ds[wdi]), wdi as u64);
+        wdi += 1;
+        hq.schedule(hnow + Cycles(ds[hdi]), hdi as u64);
+        hdi += 1;
     }
-    measure(n, || {
-        let (at, p) = q.pop().expect("hold pattern never drains");
-        now = at;
-        black_box(p);
-        q.schedule(now + Cycles(ds[di % ds.len()]), di as u64);
-        di += 1;
-    })
-}
-
-/// The same churn on the retired heap baseline.
-fn bench_heap_churn(n: u64, max_delay: u64, seed: u64) -> f64 {
-    let ds = delays(HOLD + n as usize * 3, max_delay, seed);
-    let mut q = HeapQueue::new();
-    let mut now = Cycles::ZERO;
-    let mut di = 0usize;
-    for _ in 0..HOLD {
-        q.schedule(now + Cycles(ds[di]), di as u64);
-        di += 1;
-    }
-    measure(n, || {
-        let (at, p) = q.pop().expect("hold pattern never drains");
-        now = at;
-        black_box(p);
-        q.schedule(now + Cycles(ds[di % ds.len()]), di as u64);
-        di += 1;
-    })
+    measure_pair(
+        n,
+        || {
+            let (at, p) = wq.pop().expect("hold pattern never drains");
+            wnow = at;
+            black_box(p);
+            wq.schedule(wnow + Cycles(ds[wdi % ds.len()]), wdi as u64);
+            wdi += 1;
+        },
+        || {
+            let (at, p) = hq.pop().expect("hold pattern never drains");
+            hnow = at;
+            black_box(p);
+            hq.schedule(hnow + Cycles(ds[hdi % ds.len()]), hdi as u64);
+            hdi += 1;
+        },
+    )
 }
 
 /// Arm-and-disarm: schedule a timer, cancel it immediately — the
 /// preemption-timer pattern the scheduler runs on every dispatch.
-fn bench_wheel_cancel(n: u64) -> f64 {
-    let mut q: EventQueue<u64> = EventQueue::new();
+/// Returns `(wheel_ns, heap_ns)`.
+fn bench_cancel_pair(n: u64) -> (f64, f64) {
+    let mut wq: EventQueue<u64> = EventQueue::new();
+    let mut hq = HeapQueue::new();
     let now = Cycles::from_ms(1);
-    measure(n, || {
-        let key = q.schedule(now + Cycles(500), 7);
-        black_box(q.cancel(key));
-    })
-}
-
-fn bench_heap_cancel(n: u64) -> f64 {
-    let mut q = HeapQueue::new();
-    let now = Cycles::from_ms(1);
-    measure(n, || {
-        let key = q.schedule(now + Cycles(500), 7);
-        black_box(q.cancel(key));
-    })
+    measure_pair(
+        n,
+        || {
+            let key = wq.schedule(now + Cycles(500), 7);
+            black_box(wq.cancel(key));
+        },
+        || {
+            let key = hq.schedule(now + Cycles(500), 7);
+            black_box(hq.cancel(key));
+        },
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -225,21 +227,27 @@ fn run_all() -> Vec<(&'static str, f64)> {
     let n = iters();
     // Dense: every delay inside the level-0 window (the common case for
     // p2p hops and scheduler ticks).
-    let wheel_dense = bench_wheel_churn(n, 256, 11);
-    let heap_dense = bench_heap_churn(n, 256, 11);
-    // Sparse: delays spanning all four levels plus the overflow heap.
-    let wheel_sparse = bench_wheel_churn(n, 1 << 40, 13);
-    let heap_sparse = bench_heap_churn(n, 1 << 40, 13);
-    let wheel_cancel = bench_wheel_cancel(n);
-    let heap_cancel = bench_heap_cancel(n);
+    let (wheel_dense, heap_dense) = bench_churn_pair(n, 256, 11);
+    // Sparse: delays spanning the upper wheel levels (up to 2^40).
+    let (wheel_sparse, heap_sparse) = bench_churn_pair(n, 1 << 40, 13);
+    let (wheel_cancel, heap_cancel) = bench_cancel_pair(n);
 
     let threads = par::pool_size();
-    let (serial_ms, serial_vals) = fig6_wall_ms(1);
-    let (par_ms, par_vals) = fig6_wall_ms(threads);
-    assert_eq!(
-        serial_vals, par_vals,
-        "fig6 per-cell values must be identical at any thread count"
-    );
+    // Interleave the serial/parallel trials and keep the best of each:
+    // back-to-back one-shot runs let ambient host load (or a thermal
+    // ramp) land entirely on one side and fake a speedup — or a
+    // regression — even when both sides do identical work.
+    let (mut serial_ms, mut par_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        let (s_ms, serial_vals) = fig6_wall_ms(1);
+        let (p_ms, par_vals) = fig6_wall_ms(threads);
+        assert_eq!(
+            serial_vals, par_vals,
+            "fig6 per-cell values must be identical at any thread count"
+        );
+        serial_ms = serial_ms.min(s_ms);
+        par_ms = par_ms.min(p_ms);
+    }
 
     vec![
         ("wheel_dense_ns", wheel_dense),
@@ -309,24 +317,47 @@ fn main() {
         // Speedup ratios are machine-shaped (core count, load), so the
         // gate on them is a floor, not a baseline comparison: the wheel
         // must decisively beat the heap on its design target (dense
-        // horizons), may concede a bounded amount on sparse ones (the
-        // overflow fast path keeps it within ~2x), and the pool must not
-        // lose to serial execution — checked only when this host
-        // actually has multiple workers, since on one core the ratio is
-        // pure scheduling noise.
+        // horizons), must now at least match it on sparse ones (the
+        // level-mask scan plus the singleton fast path put the wheel
+        // ahead of the heap even when every delay spans the upper
+        // levels), and the pool must deliver real speedup over serial
+        // execution — checked only when this host actually has multiple
+        // workers, since on one core the ratio is pure scheduling noise.
         for (k, v) in &metrics {
             if k.ends_with("_x") {
                 let floor = match *k {
                     "dense_speedup_x" => 1.5,
-                    "sparse_speedup_x" => 0.5,
-                    "fig6_speedup_x" if par::pool_size() > 1 => 1.0,
+                    "sparse_speedup_x" => 1.0,
+                    "fig6_speedup_x" if par::pool_size() > 1 => 1.2,
                     _ => continue,
                 };
-                if *v < floor {
-                    eprintln!("PERF REGRESSION: {k} = {v:.2}x (floor {floor:.1}x)");
+                // The floor binds the *committed* baseline exactly — a
+                // regressed ratio cannot be baselined away. The fresh
+                // smoke run gets a 10% noise grace: sparse's margin is
+                // ~1.15x, thin enough that a one-shot CI run on a
+                // shared host occasionally dips a hair under the floor
+                // without any code change.
+                let fresh_floor = floor * 0.9;
+                let base_v = base.iter().find(|(bk, _)| bk == k).map(|(_, bv)| *bv);
+                // fig6's committed ratio is meaningless if the baseline
+                // was recorded on a single-worker host (it is ~1.0 by
+                // construction there, whatever this host looks like).
+                let base_pool = base
+                    .iter()
+                    .find(|(bk, _)| bk == "pool_threads")
+                    .map_or(1.0, |(_, bv)| *bv);
+                let skip_base = *k == "fig6_speedup_x" && base_pool <= 1.0;
+                if !skip_base && matches!(base_v, Some(bv) if bv < floor) {
+                    eprintln!(
+                        "PERF REGRESSION: committed {k} = {:.2}x (floor {floor:.1}x)",
+                        base_v.unwrap()
+                    );
+                    failed = true;
+                } else if *v < fresh_floor {
+                    eprintln!("PERF REGRESSION: {k} = {v:.2}x (floor {fresh_floor:.2}x)");
                     failed = true;
                 } else {
-                    println!("{k:>20}: ok ({v:.2}x, floor {floor:.1}x)");
+                    println!("{k:>20}: ok ({v:.2}x, floor {fresh_floor:.2}x)");
                 }
                 continue;
             }

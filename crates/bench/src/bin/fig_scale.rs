@@ -1,0 +1,305 @@
+//! Fig. 8/9-style scaling sweep at 1024 and 4096 nodes — the headline
+//! workload of the partitioned event engine.
+//!
+//! The per-figure binaries top out at 64 nodes because the collectives
+//! layer walks one shared fabric serially. This sweep runs the
+//! `mpisim::windowed` BSP model (per-node partitions, LogGP links,
+//! conservative lookahead windows) at the paper-scale node counts, in two
+//! noise profiles echoing Fig. 8's OS axis: *quiet* (McKernel-like, ~zero
+//! per-iteration jitter) and *noisy* (Linux-like jitter, which recursive
+//! doubling amplifies into whole-machine stragglers).
+//!
+//! For each node count it also measures the **intra-run speedup**: host
+//! wall-clock of the identical run on 1 worker thread vs the full
+//! `simcore::par` pool, asserting the trace digests match exactly —
+//! thread count must change wall time only, never results. The speedup
+//! lands in `BENCH_engine.json` (merged into the existing metrics, not
+//! overwriting them) as `scale_1024_speedup_x` / `scale_4096_speedup_x`.
+//!
+//! Modes:
+//! * default       — sweep + merge metrics into `HLWK_BENCH_OUT`
+//!   (default `BENCH_engine.json`);
+//! * `--check <p>` — re-run the 1024 point and gate: digests identical at
+//!   1/2/4/pool threads, and the speedup above a floor when this host has
+//!   real workers (on one core the ratio is scheduling noise, skipped);
+//! * `--soak`      — multi-seed hang hunt: runs with deterministic NIC
+//!   blackouts armed, which shrinks the engine window to the bare wire
+//!   latency (the fault-mode lookahead of `ReliableFabric`). A
+//!   conservative-sync bug (window too wide, or a lost wake) shows up as
+//!   a lookahead panic, a non-`Done` node, or a diverging digest.
+//!
+//! `HLWK_SCALE_ITERS` sets BSP iterations per run (default 6).
+
+use mpisim::windowed::{self, Blackout, WindowedConfig, WindowedRun};
+use simcore::{par, Cycles};
+use std::time::Instant;
+
+fn iterations() -> u32 {
+    std::env::var("HLWK_SCALE_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6)
+}
+
+/// Quiet profile: McKernel-like — the LWK schedules nothing behind the
+/// application's back, so per-iteration compute is essentially exact.
+fn quiet(nodes: usize) -> WindowedConfig {
+    WindowedConfig {
+        jitter: Cycles::ZERO,
+        ..WindowedConfig::paper(nodes, iterations())
+    }
+}
+
+/// Noisy profile: Linux-like — timer ticks, kworkers and RCU callbacks
+/// stretch some ranks' compute blocks; the allreduce then holds every
+/// node hostage to the slowest one.
+fn noisy(nodes: usize) -> WindowedConfig {
+    WindowedConfig {
+        jitter: Cycles::from_us(60),
+        ..WindowedConfig::paper(nodes, iterations())
+    }
+}
+
+/// Wall-clock milliseconds (best of `trials`) plus the run result, which
+/// is asserted identical across trials.
+fn timed(cfg: &WindowedConfig, threads: usize, trials: u32) -> (f64, WindowedRun) {
+    let mut best = f64::INFINITY;
+    let mut result: Option<WindowedRun> = None;
+    for _ in 0..trials {
+        let start = Instant::now();
+        let r = windowed::run(cfg, threads);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if let Some(prev) = result {
+            assert_eq!(prev, r, "identical config must reproduce identically");
+        }
+        result = Some(r);
+        if ms < best {
+            best = ms;
+        }
+    }
+    (best, result.expect("at least one trial"))
+}
+
+/// One node-count point: noise table row + intra-run speedup.
+struct Point {
+    nodes: usize,
+    quiet_s: f64,
+    noisy_s: f64,
+    wall_1t_ms: f64,
+    wall_nt_ms: f64,
+    events: u64,
+}
+
+impl Point {
+    fn speedup(&self) -> f64 {
+        self.wall_1t_ms / self.wall_nt_ms
+    }
+}
+
+fn run_point(nodes: usize) -> Point {
+    let threads = par::pool_size();
+    let q = quiet(nodes);
+    let (wall_1t, r1) = timed(&q, 1, 3);
+    let (wall_nt, rn) = timed(&q, threads, 3);
+    assert_eq!(
+        r1, rn,
+        "{nodes}-node run must be bit-identical at 1 and {threads} threads"
+    );
+    let (_, noisy_run) = timed(&noisy(nodes), threads, 1);
+    Point {
+        nodes,
+        quiet_s: r1.makespan.as_secs_f64(),
+        noisy_s: noisy_run.makespan.as_secs_f64(),
+        wall_1t_ms: wall_1t,
+        wall_nt_ms: wall_nt,
+        events: r1.events,
+    }
+}
+
+/// Deterministic blackout schedule for soak seed `s`: two nodes go dark
+/// for staggered windows early in the run. RNG-free, so every failure
+/// reproduces from its seed alone.
+fn soak_config(nodes: usize, s: u64) -> WindowedConfig {
+    let mut cfg = noisy(nodes);
+    cfg.seed = cfg.seed.wrapping_add(s);
+    let pick = |k: u64| (s.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(k as u32) as usize) % nodes;
+    cfg.blackouts = vec![
+        Blackout {
+            node: pick(7),
+            from: Cycles::from_us(400 + 30 * s),
+            until: Cycles::from_us(900 + 70 * s),
+        },
+        Blackout {
+            node: pick(31),
+            from: Cycles::from_ms(1),
+            until: Cycles::from_ms(1) + Cycles::from_us(200 * (s + 1)),
+        },
+    ];
+    cfg
+}
+
+fn soak(seeds: u64) -> bool {
+    let nodes = 256;
+    let threads = par::pool_size();
+    println!("=== soak: {seeds} seeds x {nodes} nodes, blackouts armed (lookahead = wire latency) ===");
+    let mut ok = true;
+    for s in 0..seeds {
+        let cfg = soak_config(nodes, s);
+        assert!(cfg.lookahead() < cfg.link.lookahead(), "soak must run the shrunken window");
+        let (_, a) = timed(&cfg, 1, 1);
+        let (_, b) = timed(&cfg, threads, 1);
+        let line = if a == b { "ok" } else { "DIGEST MISMATCH" };
+        ok &= a == b;
+        println!(
+            "  seed {s:>2}: makespan {:>9.3} ms, {:>8} events, digest {:016x}  {line}",
+            a.makespan.as_secs_f64() * 1e3,
+            a.events,
+            a.digest
+        );
+    }
+    ok
+}
+
+/// Minimal parser for the flat `"key": number` JSON `fig_engine` writes.
+fn parse_metrics(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, val)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if let Ok(v) = val.trim().parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+fn to_json(metrics: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"fig_engine\",\n  \"metrics\": {\n");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        out.push_str(&format!("    \"{k}\": {v:.2}{comma}\n"));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Merge `fresh` into the metrics already in `path` (keeps `fig_engine`'s
+/// numbers; replaces any stale `scale_*` entries), preserving order.
+fn merge_into(path: &str, fresh: &[(String, f64)]) {
+    let mut metrics = std::fs::read_to_string(path)
+        .map(|s| parse_metrics(&s))
+        .unwrap_or_default();
+    for (k, v) in fresh {
+        match metrics.iter_mut().find(|(mk, _)| mk == k) {
+            Some((_, mv)) => *mv = *v,
+            None => metrics.push((k.clone(), *v)),
+        }
+    }
+    std::fs::write(path, to_json(&metrics)).expect("write benchmark output");
+    println!("merged {} scale metrics into {path}", fresh.len());
+}
+
+/// Speedup floor for this host: none on one core (the ratio is noise),
+/// modest with 2-3 workers, the ISSUE's 4-thread target from 4 up.
+fn speedup_floor() -> Option<f64> {
+    match par::pool_size() {
+        0 | 1 => None,
+        2 | 3 => Some(1.2),
+        _ => Some(2.5),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    if args.iter().any(|a| a == "--soak") {
+        let seeds = args
+            .iter()
+            .position(|a| a == "--soak")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(6);
+        if !soak(seeds) {
+            std::process::exit(1);
+        }
+        println!("soak passed: every seed drained, digests thread-invariant");
+        return;
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        // The baseline path argument is accepted for symmetry with
+        // fig_engine, but speedups are machine-shaped so the gate is a
+        // floor on a fresh run, not a baseline comparison.
+        let _ = args.get(i + 1);
+        let threads = par::pool_size();
+        let cfg = quiet(1024);
+        // Digest invariance at every thread count the ISSUE names.
+        let (_, base) = timed(&cfg, 1, 1);
+        for t in [2usize, 4, threads.max(1)] {
+            let (_, r) = timed(&cfg, t, 1);
+            assert_eq!(r, base, "1024-node digest must not depend on {t} threads");
+        }
+        println!("determinism: 1024-node digest {:016x} identical at 1/2/4/{threads} threads", base.digest);
+        let p = run_point(1024);
+        match speedup_floor() {
+            Some(floor) if p.speedup() < floor => {
+                eprintln!(
+                    "PERF REGRESSION: scale_1024_speedup_x = {:.2}x on {threads} workers (floor {floor:.1}x)",
+                    p.speedup()
+                );
+                std::process::exit(1);
+            }
+            Some(floor) => println!(
+                "scale_1024_speedup_x: ok ({:.2}x on {threads} workers, floor {floor:.1}x)",
+                p.speedup()
+            ),
+            None => println!(
+                "scale_1024_speedup_x: {:.2}x (single worker — informational only)",
+                p.speedup()
+            ),
+        }
+        println!("scale check passed");
+        return;
+    }
+
+    let points: Vec<Point> = [1024usize, 4096].iter().map(|&n| run_point(n)).collect();
+
+    println!("=== windowed BSP sweep (quiet = McKernel-like, noisy = Linux-like) ===");
+    println!(
+        "{:>6} {:>10} {:>10} {:>9} {:>12} {:>12} {:>9}",
+        "nodes", "quiet s", "noisy s", "noise x", "wall 1t ms", "wall Nt ms", "speedup"
+    );
+    for p in &points {
+        println!(
+            "{:>6} {:>10.4} {:>10.4} {:>9.3} {:>12.1} {:>12.1} {:>8.2}x",
+            p.nodes,
+            p.quiet_s,
+            p.noisy_s,
+            p.noisy_s / p.quiet_s,
+            p.wall_1t_ms,
+            p.wall_nt_ms,
+            p.speedup()
+        );
+    }
+    println!(
+        "pool: {} worker(s); events per 1024-node run: {}",
+        par::pool_size(),
+        points[0].events
+    );
+
+    let fresh: Vec<(String, f64)> = points
+        .iter()
+        .flat_map(|p| {
+            [
+                (format!("scale_{}_wall_1t_ms", p.nodes), p.wall_1t_ms),
+                (format!("scale_{}_wall_nt_ms", p.nodes), p.wall_nt_ms),
+                (format!("scale_{}_speedup_x", p.nodes), p.speedup()),
+            ]
+        })
+        .collect();
+    let out = std::env::var("HLWK_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
+    merge_into(&out, &fresh);
+}

@@ -124,6 +124,16 @@ impl Cluster {
         self.fabric.kill_node(node, trigger);
     }
 
+    /// Conservative lookahead for windowed parallel simulation of this
+    /// cluster: one window of the partitioned engine per node. Delegates
+    /// to [`ReliableFabric::lookahead`], so it is the full LogGP
+    /// `send_overhead + latency` fault-free and shrinks to the bare wire
+    /// latency once link faults, domain events, or node crashes are
+    /// armed (see `DESIGN.md` D12).
+    pub fn lookahead(&self) -> Cycles {
+        self.fabric.lookahead()
+    }
+
     /// Run the FWQ probe on node 0's first application core. FWQ is pure
     /// ALU work (no memory stretch). Returns per-quantum latencies.
     pub fn fwq(&mut self, quantum: Cycles, duration: Cycles, start: Cycles) -> Vec<u64> {
@@ -253,6 +263,17 @@ mod tests {
             mck_slowdown < cgroup_slowdown,
             "mck {mck_slowdown} vs cgroup {cgroup_slowdown}"
         );
+    }
+
+    #[test]
+    fn lookahead_tracks_fault_arming() {
+        use netsim::LinkParams;
+        let quiet = small(OsVariant::McKernel, 4, false);
+        assert_eq!(quiet.lookahead(), LinkParams::fdr_infiniband().lookahead());
+        let mut armed = small(OsVariant::McKernel, 4, false);
+        armed.kill_node(2, CrashTrigger::AfterSends(5));
+        assert_eq!(armed.lookahead(), LinkParams::fdr_infiniband().latency);
+        assert!(armed.lookahead() >= Cycles(1));
     }
 
     #[test]

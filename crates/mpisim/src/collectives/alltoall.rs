@@ -32,10 +32,75 @@ pub fn alltoall_bruck<H: HostModel>(
     start: &[Cycles],
 ) -> Result<Vec<Cycles>, RankFailure> {
     assert_eq!(start.len(), p);
-    let mut clocks = start.to_vec();
     if p == 1 {
-        return Ok(clocks);
+        return Ok(start.to_vec());
     }
+    if ctx.recorder.is_some() {
+        bruck_recorded(ctx, p, bytes_per_pair, start)
+    } else {
+        bruck_lean(ctx, p, bytes_per_pair, start)
+    }
+}
+
+/// The timing-only walk. Bruck is rank-symmetric: every rank holds the
+/// same multiset of *relative* block indices `(dest - holder) mod p` at
+/// every round (initially `{1, .., p-1}`; movers arrive with their index
+/// reduced by the hop distance), so one shared index vector drives the
+/// per-round message size for all ranks and nothing per-block is ever
+/// allocated. This was the profiled hotspot of the whole collectives
+/// layer: the exact per-rank `(origin, dest)` bookkeeping — two Vec
+/// partitions per rank per round plus a materialized block list per
+/// message, all of it unobservable without a recorder — cost ~10x the
+/// per-message walk of every other algorithm (see EXPERIMENTS.md,
+/// "Profiling the collectives walk"). `bruck_traces_agree` holds the two
+/// paths to identical clocks.
+fn bruck_lean<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    p: usize,
+    bytes_per_pair: u64,
+    start: &[Cycles],
+) -> Result<Vec<Cycles>, RankFailure> {
+    let mut clocks = start.to_vec();
+    let mut idx: Vec<usize> = (1..p).collect();
+    let mut stay: Vec<usize> = Vec::with_capacity(p - 1);
+    let mut k = 0u32;
+    while (1usize << k) < p {
+        let dist = 1usize << k;
+        let mut movers = 0u64;
+        stay.clear();
+        for &j in &idx {
+            if j & dist != 0 {
+                movers += 1;
+                stay.push(j - dist); // arrives `dist` closer to its dest
+            } else {
+                stay.push(j);
+            }
+        }
+        std::mem::swap(&mut idx, &mut stay);
+        if movers > 0 {
+            let bytes = movers * bytes_per_pair;
+            let round = clocks.clone();
+            for r in 0..p {
+                let dst = (r + dist) % p;
+                ctx.xfer_at(r, dst, bytes, round[r], round[dst], &mut clocks, Vec::new)?;
+            }
+        }
+        k += 1;
+    }
+    debug_assert!(idx.iter().all(|&j| j == 0), "every block at its dest");
+    Ok(clocks)
+}
+
+/// The exact-possession walk used when a recorder is attached: tracks
+/// every `(origin, dest)` pair per rank so the recorded block lists tell
+/// the truth, at the cost the lean path avoids.
+fn bruck_recorded<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    p: usize,
+    bytes_per_pair: u64,
+    start: &[Cycles],
+) -> Result<Vec<Cycles>, RankFailure> {
+    let mut clocks = start.to_vec();
     // holdings[r] = blocks (origin, dest) currently at rank r, with their
     // index j. Maintained exactly so the recorder tells the truth.
     let mut holdings: Vec<Vec<(usize, usize)>> = (0..p)
@@ -62,8 +127,9 @@ pub fn alltoall_bruck<H: HostModel>(
             }
             let dst = (r + dist) % p;
             let bytes = go.len() as u64 * bytes_per_pair;
-            let blocks: Vec<u32> = go.iter().map(|&(o, d)| (o * p + d) as u32).collect();
-            ctx.xfer_at(r, dst, bytes, round[r], round[dst], &mut clocks, move || blocks)?;
+            ctx.xfer_at(r, dst, bytes, round[r], round[dst], &mut clocks, || {
+                go.iter().map(|&(o, d)| (o * p + d) as u32).collect()
+            })?;
             holdings[dst].extend(go);
         }
         k += 1;
@@ -150,6 +216,28 @@ mod tests {
         // p/2 = 8 blocks.
         assert_eq!(rig.records().len(), 4 * p);
         assert!(rig.records().iter().all(|m| m.bytes == 8 * 8));
+    }
+
+    #[test]
+    fn bruck_traces_agree_with_and_without_recorder() {
+        // The lean path must be timing-identical to the exact-possession
+        // path — rank symmetry is the whole argument for it.
+        for p in [2usize, 3, 4, 7, 8, 16, 64] {
+            let start = vec![Cycles::ZERO; p];
+            let mut recorded = Rig::new(p);
+            let with_rec =
+                alltoall_bruck(&mut recorded.ctx(), p, 64, &start).expect("fault-free");
+            let mut lean = Rig::new(p);
+            lean.recorder = None;
+            let without =
+                alltoall_bruck(&mut lean.ctx(), p, 64, &start).expect("fault-free");
+            assert_eq!(with_rec, without, "p = {p}");
+            assert_eq!(
+                recorded.fabric.stats(),
+                lean.fabric.stats(),
+                "same messages on the wire, p = {p}"
+            );
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod failure;
 pub mod host;
 pub mod p2p;
 pub mod regcache;
+pub mod windowed;
 
 pub use failure::{FailureBatch, FailureCause, RankFailure};
 pub use host::{HostModel, IdealHost};

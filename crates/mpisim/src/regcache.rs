@@ -10,13 +10,18 @@
 //! causes sporadic re-registration during steady state.
 
 use simcore::StreamRng;
-use std::collections::HashSet;
 
 /// Per-rank registration cache.
+///
+/// This sits on the per-message critical path of every rendezvous send
+/// (twice: receiver and sender side), so membership is a 256-bit bitmap
+/// — 64 size classes x 4 slots — instead of a hashed set, and the
+/// zero-churn fast path never touches the RNG (see EXPERIMENTS.md,
+/// "Profiling the collectives walk").
 #[derive(Debug)]
 pub struct RegCache {
-    /// (size-class, slot) pairs already registered.
-    registered: HashSet<(u32, u32)>,
+    /// Bit `(class - 1) * slots_per_class + slot` set = registered.
+    registered: [u64; 4],
     /// Internal buffer slots cycled per size class.
     slots_per_class: u32,
     rng: StreamRng,
@@ -25,7 +30,7 @@ pub struct RegCache {
     call_counter: u64,
 }
 
-/// Size class of a transfer: log2 bucket.
+/// Size class of a transfer: log2 bucket, in `1..=64`.
 fn size_class(bytes: u64) -> u32 {
     64 - bytes.max(1).leading_zeros()
 }
@@ -34,7 +39,7 @@ impl RegCache {
     /// Cache with MVAPICH-ish defaults.
     pub fn new(rng: StreamRng) -> Self {
         RegCache {
-            registered: HashSet::new(),
+            registered: [0; 4],
             slots_per_class: 4,
             rng,
             hits: 0,
@@ -55,14 +60,19 @@ impl RegCache {
         self.call_counter += 1;
         let class = size_class(bytes);
         let slot = (self.call_counter % u64::from(self.slots_per_class)) as u32;
-        let key = (class, slot);
-        if self.registered.insert(key) {
+        let bit = (class - 1) * self.slots_per_class + slot;
+        let (word, mask) = ((bit / 64) as usize, 1u64 << (bit % 64));
+        if self.registered[word] & mask == 0 {
+            self.registered[word] |= mask;
             self.misses += 1;
             return true;
         }
-        // Steady state: occasional eviction/churn.
-        let mut r = self.rng.stream("rereg", self.call_counter);
-        if churn > 0.0 && r.chance(churn) {
+        // Steady state: occasional eviction/churn. The zero-churn path
+        // (every non-reduce collective) must not even derive the child
+        // stream — and skipping it is draw-invisible, since a child
+        // stream's seed depends on the parent's seed and the call index,
+        // never on the parent's draw position.
+        if churn > 0.0 && self.rng.stream("rereg", self.call_counter).chance(churn) {
             self.misses += 1;
             true
         } else {
@@ -78,7 +88,7 @@ impl RegCache {
 
     /// Drop all cached registrations (job teardown).
     pub fn clear(&mut self) {
-        self.registered.clear();
+        self.registered = [0; 4];
     }
 }
 

@@ -1,0 +1,460 @@
+//! Windowed (partitioned) BSP application model for large node counts.
+//!
+//! The [`crate::collectives`] machinery walks per-rank virtual clocks
+//! through one shared [`netsim::Fabric`] — exact port-contention modeling,
+//! but inherently serial: one thread owns the fabric for the whole run.
+//! That is fine at 64 nodes and hopeless at 4096. This module is the
+//! scale path: every node is **one partition** of
+//! [`simcore::PartitionedEngine`], messages are pure LogGP arithmetic
+//! ([`LinkParams::message_time`], no shared port state — a deliberate
+//! modeling trade: contention-free links in exchange for near-linear
+//! parallel speedup), and cross-node delivery rides the engine's
+//! index-ordered inbox merge so results are bit-identical at any worker
+//! count.
+//!
+//! Each node runs a BSP iteration loop shaped like the paper's
+//! mini-apps (stencil + global reduction):
+//!
+//! 1. **compute** — an analytic work block plus per-node jitter drawn
+//!    from the node's own [`StreamRng::partition`] stream;
+//! 2. **halo exchange** — one message to each ring neighbor `i ± 1 mod p`;
+//! 3. **allreduce** — recursive doubling over `log2(p)` rounds (`p` must
+//!    be a power of two; the 1024/4096 sweep points are);
+//! 4. next iteration, or finish.
+//!
+//! ## Why one iteration of buffering suffices
+//!
+//! The allreduce butterfly makes every node's iteration-`k` completion
+//! depend (transitively) on every node's round-0 send of iteration `k`.
+//! So by the time any peer can emit a message of iteration `k + 2` —
+//! which requires that peer to *finish* iteration `k + 1` — this node has
+//! at least entered iteration `k + 1`'s allreduce. Messages therefore
+//! arrive at most **one iteration ahead** of the receiver, and two
+//! parity-indexed buffer slots (`iter % 2`), cleared when the
+//! matching-parity iteration completes, hold every early arrival. A debug
+//! assertion enforces the bound.
+//!
+//! ## Lookahead
+//!
+//! Fault-free, the engine window is [`LinkParams::lookahead`] (`o_send +
+//! L`). With blackouts armed the window shrinks to the bare wire latency,
+//! mirroring [`netsim::ReliableFabric::lookahead`]'s conservative
+//! position that protocol-generated traffic may skip the caller-side send
+//! overhead. Every arrival computed here is `departure + message_time ≥
+//! now + o_send + L`, so both window widths are safe; the shrunken one
+//! exists so the `--soak` hang hunt in `fig_scale` exercises the same
+//! window geometry a faulted cluster would. See `DESIGN.md` D12.
+
+use netsim::LinkParams;
+use simcore::{Cycles, PartIo, PartWorld, PartitionedEngine, RunOutcome, StreamRng};
+
+/// An RNG-free outage window: node `node` cannot inject messages during
+/// `[from, until)`; sends issued inside the window depart at `until`.
+/// Deterministic by construction (no draw), so soak runs stay replayable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Blackout {
+    /// The node whose NIC stalls.
+    pub node: usize,
+    /// First stalled cycle.
+    pub from: Cycles,
+    /// First cycle sends flow again.
+    pub until: Cycles,
+}
+
+/// Parameters of one windowed BSP run.
+#[derive(Clone, Debug)]
+pub struct WindowedConfig {
+    /// Node count; must be a power of two and at least 2 (recursive
+    /// doubling + ring halos).
+    pub nodes: usize,
+    /// BSP iterations to run.
+    pub iterations: u32,
+    /// Analytic per-iteration compute block.
+    pub compute: Cycles,
+    /// Per-node, per-iteration jitter: uniform in `[0, jitter)` added to
+    /// the compute block (zero disables the draw entirely).
+    pub jitter: Cycles,
+    /// Halo message size to each ring neighbor.
+    pub halo_bytes: u64,
+    /// Allreduce vector size (exchanged in full each round).
+    pub allreduce_bytes: u64,
+    /// LogGP link parameters.
+    pub link: LinkParams,
+    /// Root RNG seed; node `i` draws from `partition(i)`.
+    pub seed: u64,
+    /// Outage windows for the soak/hang-hunt mode.
+    pub blackouts: Vec<Blackout>,
+}
+
+impl WindowedConfig {
+    /// A paper-shaped default: FDR InfiniBand, mini-app-scale messages.
+    pub fn paper(nodes: usize, iterations: u32) -> Self {
+        WindowedConfig {
+            nodes,
+            iterations,
+            compute: Cycles::from_us(400),
+            jitter: Cycles::from_us(20),
+            halo_bytes: 48 * 1024,
+            allreduce_bytes: 8,
+            link: LinkParams::fdr_infiniband(),
+            seed: 0x51_CA1E,
+            blackouts: Vec::new(),
+        }
+    }
+
+    /// The engine window for this run: full LogGP lookahead fault-free,
+    /// bare latency once blackouts are armed (the same shrink
+    /// [`netsim::ReliableFabric::lookahead`] applies when faults arm).
+    pub fn lookahead(&self) -> Cycles {
+        if self.blackouts.is_empty() {
+            self.link.lookahead()
+        } else {
+            self.link.latency
+        }
+    }
+
+    fn rounds(&self) -> u8 {
+        self.nodes.trailing_zeros() as u8
+    }
+}
+
+/// What one run produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowedRun {
+    /// Completion instant of the slowest node.
+    pub makespan: Cycles,
+    /// Total events handled across all partitions.
+    pub events: u64,
+    /// Order-sensitive digest of every node's event trace, folded in node
+    /// index order — equal digests mean identical traces. The determinism
+    /// tests (and `fig_scale`) compare this across worker counts.
+    pub digest: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Ev {
+    /// This node's compute block for `iter` finished.
+    ComputeDone { iter: u32 },
+    /// A halo arrived; `side` is 0 if it came from the left ring
+    /// neighbor, 1 from the right (receiver's perspective).
+    Halo { iter: u32, side: u8 },
+    /// The recursive-doubling partner's vector for `round` arrived.
+    Reduce { iter: u32, round: u8 },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    /// Waiting for own `ComputeDone` (halos may arrive early).
+    Compute,
+    /// Compute done, halos sent, waiting for both neighbor halos.
+    WaitHalo,
+    /// Own round-`r` vector sent, waiting for the partner's.
+    Reduce(u8),
+    /// All iterations complete.
+    Done,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+struct NodeWorld {
+    cfg: WindowedConfig,
+    rng: StreamRng,
+    iter: u32,
+    phase: Phase,
+    /// Received-halo bitmask (bit = side) per iteration parity.
+    halo_got: [u8; 2],
+    /// Received-allreduce-round bitmask per iteration parity. `u16`
+    /// bounds recursive doubling at 16 rounds = 65_536 nodes.
+    ar_got: [u16; 2],
+    finish: Cycles,
+    digest: u64,
+}
+
+impl NodeWorld {
+    fn absorb(&mut self, now: Cycles, tag: u64) {
+        for word in [now.raw(), tag] {
+            self.digest = (self.digest ^ word).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// When a message issued at `now` actually departs this node's NIC:
+    /// stalled to the end of any blackout covering `now`.
+    fn departure(&self, me: usize, now: Cycles) -> Cycles {
+        let mut t = now;
+        for b in &self.cfg.blackouts {
+            if b.node == me && t >= b.from && t < b.until {
+                t = b.until;
+            }
+        }
+        t
+    }
+
+    /// Schedule the next compute block (jitter drawn from this node's own
+    /// stream, in iteration order — draw position is thread-invariant).
+    fn start_compute(&mut self, now: Cycles, iter: u32, io: &mut PartIo<'_, Ev>) {
+        let mut block = self.cfg.compute;
+        if self.cfg.jitter > Cycles::ZERO {
+            block += Cycles(self.rng.range_u64(0, self.cfg.jitter.raw()));
+        }
+        io.schedule_after(now, block, Ev::ComputeDone { iter });
+    }
+
+    /// Compute finished: push halos to both ring neighbors.
+    fn send_halos(&mut self, now: Cycles, io: &mut PartIo<'_, Ev>) {
+        let me = io.part();
+        let p = io.num_partitions();
+        let depart = self.departure(me, now);
+        let arrival = depart + self.cfg.link.message_time(self.cfg.halo_bytes);
+        let iter = self.iter;
+        // Our message is the *left*-side halo (side 0) of the right
+        // neighbor, and vice versa. With p == 2 both land on the same
+        // node, distinguished by side.
+        io.send((me + 1) % p, arrival, Ev::Halo { iter, side: 0 });
+        io.send((me + p - 1) % p, arrival, Ev::Halo { iter, side: 1 });
+    }
+
+    /// Send this node's vector for allreduce round `round`.
+    fn send_reduce(&mut self, now: Cycles, round: u8, io: &mut PartIo<'_, Ev>) {
+        let me = io.part();
+        let partner = me ^ (1usize << round);
+        let depart = self.departure(me, now);
+        let arrival = depart + self.cfg.link.message_time(self.cfg.allreduce_bytes);
+        let iter = self.iter;
+        io.send(partner, arrival, Ev::Reduce { iter, round });
+    }
+
+    /// Drive the state machine as far as buffered arrivals allow. Each
+    /// step consumes state that only this call can consume, so the loop
+    /// terminates (at most 2 + rounds steps per iteration).
+    fn advance(&mut self, now: Cycles, io: &mut PartIo<'_, Ev>) {
+        loop {
+            let slot = (self.iter % 2) as usize;
+            match self.phase {
+                Phase::Compute | Phase::Done => return,
+                Phase::WaitHalo => {
+                    if self.halo_got[slot] != 0b11 {
+                        return;
+                    }
+                    self.phase = Phase::Reduce(0);
+                    self.send_reduce(now, 0, io);
+                }
+                Phase::Reduce(r) => {
+                    if self.ar_got[slot] & (1 << r) == 0 {
+                        return;
+                    }
+                    let next = r + 1;
+                    if next < self.cfg.rounds() {
+                        self.phase = Phase::Reduce(next);
+                        self.send_reduce(now, next, io);
+                    } else {
+                        // Iteration complete: clear this parity's buffers
+                        // for reuse by iteration `iter + 2`.
+                        self.halo_got[slot] = 0;
+                        self.ar_got[slot] = 0;
+                        self.iter += 1;
+                        if self.iter < self.cfg.iterations {
+                            self.phase = Phase::Compute;
+                            let iter = self.iter;
+                            self.start_compute(now, iter, io);
+                        } else {
+                            self.phase = Phase::Done;
+                            self.finish = now;
+                        }
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl PartWorld for NodeWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, now: Cycles, ev: Ev, io: &mut PartIo<'_, Ev>) {
+        match ev {
+            Ev::ComputeDone { iter } => {
+                self.absorb(now, 0x10 | (u64::from(iter) << 8));
+                debug_assert_eq!(iter, self.iter, "compute events are self-paced");
+                debug_assert_eq!(self.phase, Phase::Compute);
+                self.phase = Phase::WaitHalo;
+                self.send_halos(now, io);
+            }
+            Ev::Halo { iter, side } => {
+                self.absorb(now, 0x20 | u64::from(side) | (u64::from(iter) << 8));
+                debug_assert!(
+                    iter == self.iter || iter == self.iter + 1,
+                    "halo {iter} vs current {} — buffering bound violated",
+                    self.iter
+                );
+                self.halo_got[(iter % 2) as usize] |= 1 << side;
+            }
+            Ev::Reduce { iter, round } => {
+                self.absorb(now, 0x40 | u64::from(round) | (u64::from(iter) << 8));
+                debug_assert!(
+                    iter == self.iter || iter == self.iter + 1,
+                    "reduce {iter} vs current {} — buffering bound violated",
+                    self.iter
+                );
+                self.ar_got[(iter % 2) as usize] |= 1 << round;
+            }
+        }
+        self.advance(now, io);
+    }
+}
+
+/// Run the windowed BSP model on `threads` workers.
+///
+/// The returned [`WindowedRun`] — makespan, event count, and trace digest
+/// — is bit-identical for every `threads` value (the determinism tests
+/// hold it to that), so thread count is purely a wall-clock knob.
+///
+/// # Panics
+///
+/// If `nodes` is not a power of two ≥ 2, `iterations` is zero, or the
+/// recursive-doubling round count exceeds 16 (nodes > 65_536).
+pub fn run(cfg: &WindowedConfig, threads: usize) -> WindowedRun {
+    assert!(
+        cfg.nodes >= 2 && cfg.nodes.is_power_of_two(),
+        "recursive doubling needs a power-of-two node count ≥ 2, got {}",
+        cfg.nodes
+    );
+    assert!(cfg.nodes <= 1 << 16, "round bitmask is 16 bits");
+    assert!(cfg.iterations > 0, "zero-iteration run has no makespan");
+    let root = StreamRng::root(cfg.seed);
+    let worlds: Vec<NodeWorld> = (0..cfg.nodes)
+        .map(|i| NodeWorld {
+            cfg: cfg.clone(),
+            rng: root.partition(i as u64),
+            iter: 0,
+            phase: Phase::Compute,
+            halo_got: [0; 2],
+            ar_got: [0; 2],
+            finish: Cycles::ZERO,
+            digest: FNV_OFFSET,
+        })
+        .collect();
+    let mut engine = PartitionedEngine::new(worlds, cfg.lookahead());
+    // Seed every node's first compute block. Seeding via the wheel (not a
+    // handler) keeps draw order identical to the steady state: one jitter
+    // draw per iteration, in iteration order.
+    let start = Cycles::from_us(1);
+    for i in 0..cfg.nodes {
+        let mut block = cfg.compute;
+        let w = engine.world_mut(i);
+        if w.cfg.jitter > Cycles::ZERO {
+            block += Cycles(w.rng.range_u64(0, w.cfg.jitter.raw()));
+        }
+        engine
+            .queue_mut(i)
+            .schedule(start + block, Ev::ComputeDone { iter: 0 });
+    }
+    let outcome = engine.run_to_completion(threads);
+    assert_eq!(outcome, RunOutcome::Drained, "BSP run must drain");
+    let events = engine.events_processed();
+    let mut makespan = Cycles::ZERO;
+    let mut digest = FNV_OFFSET;
+    for w in engine.into_worlds() {
+        assert_eq!(w.phase, Phase::Done, "every node must finish — hang?");
+        makespan = makespan.max(w.finish);
+        digest = (digest ^ w.digest).wrapping_mul(FNV_PRIME);
+    }
+    WindowedRun {
+        makespan,
+        events,
+        digest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet(nodes: usize, iterations: u32) -> WindowedConfig {
+        WindowedConfig {
+            jitter: Cycles::ZERO,
+            ..WindowedConfig::paper(nodes, iterations)
+        }
+    }
+
+    #[test]
+    fn two_nodes_one_iteration_matches_closed_form() {
+        let cfg = quiet(2, 1);
+        let r = run(&cfg, 1);
+        // Lock-step nodes: compute, one halo hop, one allreduce round.
+        let expect = Cycles::from_us(1)
+            + cfg.compute
+            + cfg.link.message_time(cfg.halo_bytes)
+            + cfg.link.message_time(cfg.allreduce_bytes);
+        assert_eq!(r.makespan, expect);
+        // Per node: 1 compute + 2 halos + 1 reduce = 4 events.
+        assert_eq!(r.events, 8);
+    }
+
+    #[test]
+    fn makespan_scales_with_rounds_and_iterations() {
+        let one = run(&quiet(4, 1), 1);
+        let five = run(&quiet(4, 5), 1);
+        let wide = run(&quiet(64, 1), 1);
+        // log2(4) = 2 rounds vs log2(64) = 6 rounds.
+        assert!(wide.makespan > one.makespan);
+        // Lock-step iterations pipeline nothing: 5x the per-iteration time
+        // (minus the shared 1 us start offset).
+        let per = one.makespan - Cycles::from_us(1);
+        assert_eq!(five.makespan, Cycles::from_us(1) + Cycles(per.raw() * 5));
+    }
+
+    #[test]
+    fn digest_and_makespan_identical_across_thread_counts() {
+        let cfg = WindowedConfig::paper(32, 6);
+        let base = run(&cfg, 1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(run(&cfg, threads), base, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn jitter_desyncs_nodes_but_stays_deterministic() {
+        let cfg = WindowedConfig::paper(16, 4);
+        assert!(cfg.jitter > Cycles::ZERO);
+        let a = run(&cfg, 1);
+        let b = run(&cfg, 4);
+        assert_eq!(a, b);
+        // Jitter can only stretch the critical path.
+        assert!(a.makespan > run(&quiet(16, 4), 1).makespan);
+        // A different seed jitters differently.
+        let other = WindowedConfig {
+            seed: 999,
+            ..cfg
+        };
+        assert_ne!(run(&other, 1).digest, a.digest);
+    }
+
+    #[test]
+    fn blackout_delays_completion_and_shrinks_lookahead() {
+        let cfg = quiet(8, 3);
+        let clean = run(&cfg, 1);
+        let mut soak = cfg.clone();
+        soak.blackouts = vec![Blackout {
+            node: 3,
+            from: Cycles::from_us(1),
+            until: Cycles::from_ms(2),
+        }];
+        assert_eq!(soak.lookahead(), cfg.link.latency);
+        assert!(soak.lookahead() < cfg.lookahead());
+        let stalled = run(&soak, 1);
+        // Node 3 cannot send its first halos until the blackout lifts;
+        // the butterfly drags every node behind it.
+        assert!(stalled.makespan >= Cycles::from_ms(2));
+        assert!(stalled.makespan > clean.makespan);
+        // Still deterministic across worker counts at the shrunken window.
+        assert_eq!(run(&soak, 4), stalled);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two() {
+        run(&quiet(6, 1), 1);
+    }
+}

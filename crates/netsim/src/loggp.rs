@@ -67,6 +67,17 @@ impl LinkParams {
     pub fn injection_occupancy(&self, bytes: u64) -> Cycles {
         self.gap_msg + self.byte_time(bytes)
     }
+
+    /// Conservative lookahead this link guarantees between nodes: nothing
+    /// a node does at time `t` can be observed by any other node before
+    /// `t + send_overhead + latency` — a message must pay the sender CPU
+    /// overhead and one wire traversal before its first byte exists at
+    /// the far NIC (serialization and receive overhead only add to this).
+    /// This is the window width the partitioned engine
+    /// (`simcore::partition`) drains per epoch; see `DESIGN.md` D12.
+    pub fn lookahead(&self) -> Cycles {
+        self.send_overhead + self.latency
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +121,18 @@ mod tests {
         let eth = LinkParams::gige_ethernet();
         assert!(eth.message_time(8).raw() > 10 * ib.message_time(8).raw());
         assert!(eth.byte_time(1 << 20).raw() > 30 * ib.byte_time(1 << 20).raw());
+    }
+
+    #[test]
+    fn lookahead_lower_bounds_every_message() {
+        for p in [LinkParams::fdr_infiniband(), LinkParams::gige_ethernet()] {
+            let la = p.lookahead();
+            assert!(la >= Cycles(1), "windows need a positive width");
+            for bytes in [0u64, 8, 4096, 1 << 20] {
+                assert!(p.message_time(bytes) >= la);
+                assert!(p.send_overhead + p.wire_time(bytes) >= la);
+            }
+        }
     }
 
     #[test]

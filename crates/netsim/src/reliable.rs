@@ -338,6 +338,37 @@ impl ReliableFabric {
         self.dead_at[node].is_some_and(|d| d <= at)
     }
 
+    /// Whether any fault machinery is armed anywhere on this fabric:
+    /// an enabled per-port plan, a forced downtime (domain blackouts
+    /// land as forced flaps, so they are visible through the plan log
+    /// even on otherwise-disabled plans), or an armed node death.
+    pub fn faults_armed(&self) -> bool {
+        self.dead_at.iter().any(Option::is_some)
+            || self.crash_after_sends.iter().any(Option::is_some)
+            || self
+                .links
+                .iter()
+                .any(|l| l.config().enabled || !l.log().is_empty())
+    }
+
+    /// Conservative lookahead for windowed parallel simulation over this
+    /// fabric (see `DESIGN.md` D12). Fault-free, it is the full
+    /// [`LinkParams::lookahead`] — CPU send overhead plus one wire
+    /// traversal. With any fault machinery armed it shrinks to the bare
+    /// wire `latency`: protocol-generated traffic (NACKs, retransmits
+    /// re-injected by the HCA, packets released when a blackout lifts)
+    /// can reach the far NIC without repaying a fresh caller-side send
+    /// overhead, so only the wire traversal itself remains guaranteed.
+    /// Never below `latency`, which every cross-node signal must pay.
+    pub fn lookahead(&self) -> Cycles {
+        let p = self.fabric.params();
+        if self.faults_armed() {
+            p.latency
+        } else {
+            p.lookahead()
+        }
+    }
+
     /// RTO for the given attempt: nominal backoff plus seeded jitter
     /// from the source port's plan (a disabled plan contributes zero
     /// jitter without drawing).
@@ -657,6 +688,45 @@ mod tests {
         assert!(rel.reliable_stats().flap_stalls > 0);
         // Ports outside the subtree are untouched.
         assert!(rel.links()[4].down_until(at + Cycles::from_us(1)).is_none());
+    }
+
+    #[test]
+    fn lookahead_shrinks_when_faults_arm() {
+        let p = params();
+        // Fault-free: full overhead + latency window.
+        let rel = ReliableFabric::new(4, p);
+        assert!(!rel.faults_armed());
+        assert_eq!(rel.lookahead(), p.lookahead());
+
+        // Per-link random faults: latency only.
+        let rng = StreamRng::root(1);
+        let faulty = ReliableFabric::with_faults(4, p, LinkFaultConfig::loss(0.1), &rng);
+        assert!(faulty.faults_armed());
+        assert_eq!(faulty.lookahead(), p.latency);
+
+        // A domain blackout on an otherwise fault-free fabric shrinks it
+        // too (forced downs are visible through the plan log).
+        let mut blk = ReliableFabric::new(8, p);
+        assert_eq!(blk.lookahead(), p.lookahead());
+        let topo = DomainTopology::new(8, 4, 2);
+        blk.apply_domain_event(
+            &topo,
+            &DomainEvent {
+                at: Cycles::from_ms(1),
+                scope: DomainScope::Rack(0),
+                kind: DomainEventKind::Blackout(Cycles::from_us(10)),
+            },
+        );
+        assert!(blk.faults_armed());
+        assert_eq!(blk.lookahead(), p.latency);
+
+        // An armed node death shrinks it as well.
+        let mut dying = ReliableFabric::new(2, p);
+        dying.kill_node(1, CrashTrigger::AfterSends(100));
+        assert_eq!(dying.lookahead(), p.latency);
+
+        // Never below the wire latency.
+        assert!(faulty.lookahead() >= p.latency);
     }
 
     #[test]

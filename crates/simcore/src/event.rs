@@ -3,12 +3,24 @@
 //!
 //! Events scheduled for the same instant pop in insertion order, which keeps
 //! simulations deterministic regardless of container internals. The queue is
-//! a 4-level × 256-slot timer wheel: level *l* buckets events whose time
-//! differs from the wheel cursor somewhere in bit range `[8l, 8l+8)`
-//! (XOR-based level assignment, so an entry's slot is always strictly ahead
-//! of the cursor and cascades monotonically toward level 0). Events beyond
-//! the wheel span (2^32 cycles ≈ 1.5 s of simulated time) park in an
-//! overflow heap and are promoted when the cursor approaches.
+//! an 8-level × 256-slot timer wheel covering the full `u64` time range:
+//! level *l* buckets events whose time differs from the wheel cursor
+//! somewhere in bit range `[8l, 8l+8)` (XOR-based level assignment, so an
+//! entry's slot is always strictly ahead of the cursor and cascades
+//! monotonically toward level 0). There is no overflow structure — every
+//! horizon is an O(1) slot insert. Upper-level slot arrays are allocated
+//! lazily, so a queue that never schedules beyond a few milliseconds never
+//! pays for the far levels, and a `level_mask` of non-empty levels keeps
+//! the per-refill candidate scan to the handful of levels actually in use
+//! (one for dense timer churn, two or three for sparse horizons).
+//!
+//! Two refill fast paths keep sparse workloads competitive with a binary
+//! heap: a level-0 slot spans a single cycle, so its contents stage
+//! directly; and a higher-level slot holding exactly one live event skips
+//! the cascade entirely when it is provably the earliest pending work,
+//! jumping the cursor straight to its instant. Routing far-future events
+//! through per-level promotion cascades without these paths was the
+//! sparse-workload regression tracked in `BENCH_engine.json`.
 //!
 //! Every scheduled event owns a generation-tagged arena slot;
 //! [`EventQueue::cancel`] is O(1) slot surgery (bump the generation, free
@@ -19,16 +31,13 @@
 //! frequently armed and disarmed.
 
 use crate::time::Cycles;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
-/// Wheel geometry: 4 levels of 256 slots, 8 bits per level.
-const LEVELS: usize = 4;
+/// Wheel geometry: 8 levels of 256 slots, 8 bits per level — the full
+/// `u64` range.
+const LEVELS: usize = 8;
 const SLOTS: usize = 256;
 const LEVEL_BITS: u32 = 8;
-/// Bits covered by the whole wheel; times whose XOR distance from the
-/// cursor needs more bits go to the overflow heap.
-const WHEEL_BITS: u32 = LEVEL_BITS * LEVELS as u32;
 
 /// Handle to a scheduled event, usable to cancel it before it fires.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -37,8 +46,8 @@ pub struct EventKey {
     gen: u32,
 }
 
-/// Reference to an arena entry as parked in a wheel slot, the due batch,
-/// or the overflow heap. Ordering is by `(at, seq)` — the pop contract.
+/// Reference to an arena entry as parked in a wheel slot or the due
+/// batch. Ordering is by `(at, seq)` — the pop contract.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Ref {
     at: u64,
@@ -78,9 +87,12 @@ impl Level {
         self.occ[slot / 64] |= 1 << (slot % 64);
     }
 
-    fn drain_slot(&mut self, slot: usize) -> Vec<Ref> {
+    /// Move a slot's refs into `out`, keeping the slot `Vec`'s capacity
+    /// (a `mem::take` here would reallocate the slot on every reuse —
+    /// measurable on churn workloads that revisit the same slots).
+    fn drain_slot_into(&mut self, slot: usize, out: &mut Vec<Ref>) {
         self.occ[slot / 64] &= !(1 << (slot % 64));
-        std::mem::take(&mut self.slots[slot])
+        out.append(&mut self.slots[slot]);
     }
 
     /// First occupied slot index strictly after `pos`, if any. XOR level
@@ -111,21 +123,26 @@ impl Level {
 /// Pop order is entirely by `(time, sequence)`; `E` needs no bounds.
 pub struct EventQueue<E> {
     levels: [Level; LEVELS],
-    /// Events beyond the wheel span, ordered by `(at, seq)`.
-    overflow: BinaryHeap<Reverse<Ref>>,
     /// Due events staged for pop, sorted ascending by `(at, seq)`.
     batch: VecDeque<Ref>,
+    /// Reusable drain buffer (cascades and level stages run through it
+    /// so steady-state refills allocate nothing).
+    scratch: Vec<Ref>,
     arena: Vec<ArenaEntry<E>>,
     free: Vec<u32>,
     /// Live (scheduled, uncancelled, unfired) event count.
     live: usize,
     /// References currently parked in wheel slots (stale ones included);
-    /// zero means every pending event is in the batch or overflow heap.
+    /// zero means every pending event is already staged in the batch.
     wheel_count: usize,
+    /// Parked-reference count per level; `level_mask` mirrors which
+    /// counts are non-zero so refills scan only levels actually in use.
+    level_pop: [u32; LEVELS],
+    level_mask: u8,
     next_seq: u64,
-    /// Wheel cursor: advances to each drained slot's base time. Always
-    /// `>= last_popped` and `<=` every event still parked in the wheel
-    /// or overflow.
+    /// Wheel cursor: advances to each drained slot's base time (or
+    /// directly to a fast-pathed event's instant). Always
+    /// `>= last_popped` and `<=` every event still parked in the wheel.
     wheel_now: u64,
     /// Last time returned by `pop`; used to assert monotonicity.
     last_popped: Cycles,
@@ -141,13 +158,15 @@ impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
         EventQueue {
-            levels: [Level::new(), Level::new(), Level::new(), Level::new()],
-            overflow: BinaryHeap::new(),
+            levels: std::array::from_fn(|_| Level::new()),
             batch: VecDeque::new(),
+            scratch: Vec::new(),
             arena: Vec::new(),
             free: Vec::new(),
             live: 0,
             wheel_count: 0,
+            level_pop: [0; LEVELS],
+            level_mask: 0,
             next_seq: 0,
             wheel_now: 0,
             last_popped: Cycles::ZERO,
@@ -256,9 +275,9 @@ impl<E> EventQueue<E> {
         self.arena[r.idx as usize].gen == r.gen
     }
 
-    /// Park `r` where it belongs: the due batch (at or before the cursor),
-    /// a wheel slot keyed by the highest differing bit vs. the cursor, or
-    /// the overflow heap beyond the wheel span.
+    /// Park `r` where it belongs: the due batch (at or before the cursor)
+    /// or a wheel slot keyed by the highest bit in which its time differs
+    /// from the cursor.
     fn insert_ref(&mut self, r: Ref) {
         if r.at <= self.wheel_now {
             // Due already (the cursor may have advanced ahead of
@@ -272,108 +291,109 @@ impl<E> EventQueue<E> {
             return;
         }
         let diff = r.at ^ self.wheel_now;
-        let level = (63 - diff.leading_zeros()) / LEVEL_BITS;
-        if level >= WHEEL_BITS / LEVEL_BITS {
-            self.overflow.push(Reverse(r));
-            return;
-        }
-        let slot = ((r.at >> (level * LEVEL_BITS)) & (SLOTS as u64 - 1)) as usize;
-        self.levels[level as usize].insert(slot, r);
+        let level = ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize;
+        let slot = ((r.at >> (level as u32 * LEVEL_BITS)) & (SLOTS as u64 - 1)) as usize;
+        self.levels[level].insert(slot, r);
         self.wheel_count += 1;
+        self.level_pop[level] += 1;
+        self.level_mask |= 1 << level;
     }
 
-    /// Advance the cursor to the next due instant and stage that slot's
-    /// events (in `(at, seq)` order) in the batch. Cascades higher-level
-    /// slots and promotes overflow entries as the cursor approaches them.
+    /// Advance the cursor to the next due instant and stage that instant's
+    /// events (in `(at, seq)` order) in the batch.
+    ///
+    /// Each round picks the minimum slot base across the non-empty levels
+    /// (a slot's base lower-bounds every event in it; `level_mask` skips
+    /// the empty levels). Level-0 slots span a single cycle, so their
+    /// contents are due and stage directly; higher-level slots normally
+    /// cascade — with the cursor at the slot base every entry re-buckets
+    /// at a strictly lower level — but a slot holding exactly one live
+    /// event skips the cascade entirely when it is provably the earliest
+    /// pending work (the singleton fast path): it must strictly beat
+    /// `runner_up`, the best base among the *other* levels (later slots of
+    /// its own level lie beyond its slot span, hence beyond it; a tie must
+    /// cascade so same-instant FIFO order holds).
+    ///
+    /// Early returns after staging are safe because same-instant events
+    /// always co-locate: two live events due at the same time `t` can
+    /// never sit in different slots once the cursor is about to reach `t`
+    /// — each cascade re-buckets every entry of the drained slot against
+    /// the same cursor, and a fixed time's level is non-increasing as the
+    /// cursor advances, so by the time `t`'s slot drains at level 0 (or
+    /// wins as a singleton, which requires *strictly* beating every other
+    /// candidate) all events at `t` are in that one slot.
     fn refill_batch(&mut self) {
-        // Fast path for sparse horizons: when every wheel level is empty,
-        // all live events sit in the overflow heap, which is already
-        // `(at, seq)`-ordered — stage its head directly instead of walking
-        // the cursor toward it in wheel-slot steps.
-        if self.wheel_count == 0 {
-            while let Some(Reverse(top)) = self.overflow.pop() {
-                if !self.is_current(top) {
-                    continue;
-                }
-                debug_assert!(top.at >= self.wheel_now);
-                self.wheel_now = top.at;
-                self.batch.push_back(top);
-                return;
-            }
-            return;
-        }
-        loop {
-            // Promote parked far-future events that now fit in the wheel.
-            while let Some(&Reverse(top)) = self.overflow.peek() {
-                if (top.at ^ self.wheel_now) >> WHEEL_BITS != 0 {
-                    break;
-                }
-                let top = self.overflow.pop().expect("peeked").0;
-                if self.is_current(top) {
-                    self.insert_ref(top);
-                }
-            }
-            // Earliest wheel slot across levels (min slot base wins; a
-            // slot's base lower-bounds every event in it).
+        while self.wheel_count > 0 {
+            // Earliest slot across the non-empty levels (min slot base
+            // wins; on a base tie the lowest level wins, whose entries
+            // cascade no further).
             let mut cand: Option<(usize, usize, u64)> = None;
-            for (l, level) in self.levels.iter().enumerate() {
+            let mut runner_up = u64::MAX;
+            let mut mask = self.level_mask;
+            while mask != 0 {
+                let l = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
                 let shift = l as u32 * LEVEL_BITS;
                 let pos = ((self.wheel_now >> shift) & (SLOTS as u64 - 1)) as usize;
-                if let Some(slot) = level.next_occupied_after(pos) {
-                    let window = self.wheel_now & !((1u64 << (shift + LEVEL_BITS)) - 1);
-                    let base = window | ((slot as u64) << shift);
-                    if cand.is_none_or(|(_, _, b)| base < b) {
-                        cand = Some((l, slot, base));
+                if let Some(slot) = self.levels[l].next_occupied_after(pos) {
+                    // Span mask via u128: for the top level the span is
+                    // the whole u64 range and a 64-bit shift would wrap.
+                    let span = ((1u128 << (shift + LEVEL_BITS)) - 1) as u64;
+                    let base = (self.wheel_now & !span) | ((slot as u64) << shift);
+                    match cand {
+                        Some((_, _, b)) if base >= b => runner_up = runner_up.min(base),
+                        Some((_, _, b)) => {
+                            runner_up = b;
+                            cand = Some((l, slot, base));
+                        }
+                        None => cand = Some((l, slot, base)),
                     }
                 }
             }
-            // The overflow head can still be nearer in time than any wheel
-            // slot (large XOR distance, small arithmetic distance).
-            let over = self.overflow.peek().map(|Reverse(r)| r.at);
-            match (cand, over) {
-                (None, None) => return,
-                (None, Some(t)) => {
-                    self.wheel_now = t; // promote next iteration
+            let Some((l, slot, base)) = cand else { return };
+            self.wheel_now = base;
+            let mut scratch = std::mem::take(&mut self.scratch);
+            self.levels[l].drain_slot_into(slot, &mut scratch);
+            self.wheel_count -= scratch.len();
+            self.level_pop[l] -= scratch.len() as u32;
+            if self.level_pop[l] == 0 {
+                self.level_mask &= !(1 << l);
+            }
+            scratch.retain(|&r| self.is_current(r));
+            let mut staged = false;
+            if l == 0 {
+                // A level-0 slot spans a single cycle: everything in it
+                // is due at exactly `base`, in seq order after a sort.
+                if !scratch.is_empty() {
+                    scratch.sort_unstable();
+                    self.batch.extend(scratch.drain(..));
+                    staged = true;
                 }
-                (Some((_, _, base)), Some(t)) if t < base => {
-                    self.wheel_now = t;
+            } else if let [r] = scratch[..] {
+                // Singleton fast path (strict comparison: a base tie must
+                // cascade so FIFO order against the tying slot holds).
+                if r.at < runner_up {
+                    self.wheel_now = r.at;
+                    self.batch.push_back(r);
+                    staged = true;
+                } else {
+                    self.insert_ref(r);
                 }
-                (Some((l, slot, base)), _) => {
-                    self.wheel_now = base;
-                    let refs = self.levels[l].drain_slot(slot);
-                    self.wheel_count -= refs.len();
-                    if l == 0 {
-                        // A level-0 slot spans a single cycle: everything
-                        // in it is due at `base`. Order by sequence.
-                        let mut due: Vec<Ref> =
-                            refs.into_iter().filter(|&r| self.is_current(r)).collect();
-                        if due.is_empty() {
-                            continue;
-                        }
-                        due.sort_unstable();
-                        self.batch.extend(due);
-                        return;
-                    }
-                    // Cascade: with the cursor at the slot base, every
-                    // entry re-buckets at a strictly lower level (or the
-                    // batch, for entries due exactly at the base).
-                    for r in refs {
-                        if self.is_current(r) {
-                            self.insert_ref(r);
-                        }
-                    }
-                    if !self.batch.is_empty() && self.live_parked_none() {
-                        return;
-                    }
+                scratch.clear();
+            } else {
+                // Cascade: with the cursor at the slot base, every entry
+                // re-buckets at a strictly lower level (or sort-inserts
+                // into the batch, for entries due exactly at the base).
+                for &r in &scratch {
+                    self.insert_ref(r);
                 }
+                scratch.clear();
+            }
+            self.scratch = scratch;
+            if staged || !self.batch.is_empty() {
+                return;
             }
         }
-    }
-
-    /// Whether nothing remains outside the batch (fast path to avoid one
-    /// extra scan when a cascade staged everything).
-    fn live_parked_none(&self) -> bool {
-        self.overflow.is_empty() && self.wheel_count == 0
     }
 }
 

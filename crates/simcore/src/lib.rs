@@ -8,6 +8,9 @@
 //! * [`event`] — a cancellable, FIFO-stable event queue (hierarchical
 //!   timer wheel with O(1) cancellation).
 //! * [`engine`] — the event loop driving a [`engine::World`].
+//! * [`partition`] — the parallel engine: per-partition event wheels
+//!   synchronized by conservative lookahead windows, bit-identical at any
+//!   worker-thread count (see `DESIGN.md` D12).
 //! * [`par`] — a bounded work-stealing task pool with deterministic
 //!   index-ordered result collection, for running experiment grids
 //!   across host cores without changing their output.
@@ -32,18 +35,20 @@ pub mod event;
 pub mod fault;
 pub mod hist;
 pub mod par;
+pub mod partition;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Engine, World};
+pub use engine::{Engine, RunOutcome, World};
 pub use event::{EventKey, EventQueue};
 pub use fault::{
     DomainEvent, DomainEventKind, DomainFaultConfig, DomainFaultPlan, DomainScope, DomainTopology,
     FaultConfig, FaultEvent, FaultKind, FaultPlan, LinkFaultConfig, LinkFaultPlan, MsgFault,
 };
 pub use hist::LogHistogram;
+pub use partition::{PartIo, PartWorld, PartitionedEngine, SoloWorld};
 pub use rng::StreamRng;
 pub use stats::{RunningStats, Summary};
 pub use time::Cycles;

@@ -1,0 +1,670 @@
+//! Conservatively synchronized partitioned event engine (parallel DES).
+//!
+//! The global [`crate::Engine`] drives one timer wheel; a single large
+//! run therefore uses one core no matter how many the host has. This
+//! module splits a simulation into **partitions** (one per node, or per
+//! node group), each owning a private [`EventQueue`] wheel, and runs them
+//! in **conservative lookahead windows** (null-message / YAWNS style):
+//!
+//! 1. *GVT*: the orchestrator takes the minimum pending event time across
+//!    all partitions — the global virtual time floor.
+//! 2. *Window*: every partition whose next event falls in
+//!    `[gvt, gvt + lookahead)` independently drains its wheel up to the
+//!    window end, on the [`crate::par`] claim/steal primitives across
+//!    worker threads. `lookahead` is the minimum cross-partition latency
+//!    (for a cluster: the LogGP wire latency floor — see
+//!    `netsim`'s lookahead extraction), so nothing a remote partition
+//!    does in this window can affect a local event inside it.
+//! 3. *Merge*: cross-partition messages collected during the window are
+//!    delivered into destination queues **serially, in source-partition
+//!    index order** (the "inbox merge"). Sequence numbers in every
+//!    destination wheel are therefore assigned identically at any worker
+//!    count, which preserves the `(time, seq)` FIFO pop contract —
+//!    thread count is a throughput knob, never a semantics knob.
+//!
+//! Determinism argument, in full: within a window, partitions share no
+//! state (handlers see only their own world and queue — the type system
+//! enforces it); each partition's event order is fixed by its own wheel's
+//! `(time, seq)` contract; and everything that crosses partitions funnels
+//! through the index-ordered merge. Per-partition randomness must come
+//! from [`crate::StreamRng::partition`] streams so draws depend only on
+//! the partition's own event sequence.
+//!
+//! The trade against the global engine: events at the *same* instant in
+//! *different* partitions no longer interleave by global sequence number
+//! — they execute concurrently. Because partitions are share-nothing,
+//! the per-partition `(time, seq)` traces (what tests compare) are
+//! unaffected; `tests/proptest_partitioned.rs` proves the equivalence
+//! against a single global wheel across generated topologies.
+
+use crate::engine::{Engine, RunOutcome};
+use crate::event::{EventKey, EventQueue};
+use crate::par;
+use crate::time::Cycles;
+use crate::World;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// A partition's simulation state machine.
+///
+/// Like [`World`], but handlers communicate with other partitions through
+/// [`PartIo::send`] instead of scheduling into a shared queue. A
+/// cross-partition send must arrive at least one lookahead after the
+/// window it was issued in — [`PartIo::send`] asserts it.
+pub trait PartWorld {
+    /// Event payload dispatched within (and between) partitions.
+    type Event: Eq + Send;
+
+    /// React to `ev` occurring at `now` in this partition.
+    fn handle(&mut self, now: Cycles, ev: Self::Event, io: &mut PartIo<'_, Self::Event>);
+}
+
+/// Handler-side interface of one partition: local scheduling plus the
+/// cross-partition outbox.
+pub struct PartIo<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    outbox: &'a mut Vec<(usize, Cycles, E)>,
+    part: usize,
+    nparts: usize,
+    window_end: Cycles,
+    lookahead: Cycles,
+}
+
+impl<E> PartIo<'_, E> {
+    /// Schedule a local event at absolute time `at` (no lookahead floor —
+    /// a partition may schedule itself arbitrarily close).
+    pub fn schedule(&mut self, at: Cycles, ev: E) -> EventKey {
+        self.queue.schedule(at, ev)
+    }
+
+    /// Schedule a local event `delay` after `now`.
+    pub fn schedule_after(&mut self, now: Cycles, delay: Cycles, ev: E) -> EventKey {
+        self.queue.schedule_after(now, delay, ev)
+    }
+
+    /// Cancel a locally scheduled event.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        self.queue.cancel(key)
+    }
+
+    /// Direct access to the local wheel (for [`World`] adapters).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<E> {
+        self.queue
+    }
+
+    /// Send `ev` to partition `dst`, arriving at absolute time `at`.
+    ///
+    /// Conservative-synchronization contract: `at` must lie at or beyond
+    /// the current window's end, which holds whenever the model's
+    /// delivery delay is at least the engine's lookahead. A violation is
+    /// a lookahead-extraction bug (the window was too wide), not a
+    /// recoverable condition — it panics in all build profiles.
+    /// A self-send (`dst == part`) is a plain local schedule and carries
+    /// no floor.
+    pub fn send(&mut self, dst: usize, at: Cycles, ev: E) {
+        assert!(dst < self.nparts, "send to unknown partition {dst}");
+        if dst == self.part {
+            self.queue.schedule(at, ev);
+            return;
+        }
+        assert!(
+            at >= self.window_end,
+            "cross-partition send violates lookahead: arrival {at:?} before \
+             window end {:?} (partition {} -> {dst}, lookahead {:?})",
+            self.window_end,
+            self.part,
+            self.lookahead
+        );
+        self.outbox.push((dst, at, ev));
+    }
+
+    /// This partition's index.
+    pub fn part(&self) -> usize {
+        self.part
+    }
+
+    /// Number of partitions in the engine.
+    pub fn num_partitions(&self) -> usize {
+        self.nparts
+    }
+
+    /// The engine's lookahead (minimum legal cross-partition delay).
+    pub fn lookahead(&self) -> Cycles {
+        self.lookahead
+    }
+}
+
+/// Adapter: run any share-nothing [`World`] as one partition. `handle`
+/// sees the local wheel exactly as under the global engine, so a
+/// single-partition [`PartitionedEngine`] reproduces [`Engine`]'s event
+/// order event-for-event (there are no cross-sends and one queue).
+pub struct SoloWorld<W: World>(pub W);
+
+impl<W: World> PartWorld for SoloWorld<W>
+where
+    W::Event: Send,
+{
+    type Event = W::Event;
+
+    fn handle(&mut self, now: Cycles, ev: Self::Event, io: &mut PartIo<'_, Self::Event>) {
+        self.0.handle(now, ev, io.queue_mut());
+    }
+}
+
+/// Internal adapter: presents one partition to the inner [`Engine`] as a
+/// [`World`], capturing cross-partition sends in an outbox.
+struct Shim<W: PartWorld> {
+    world: W,
+    outbox: Vec<(usize, Cycles, W::Event)>,
+    part: usize,
+    nparts: usize,
+    window_end: Cycles,
+    lookahead: Cycles,
+}
+
+impl<W: PartWorld> World for Shim<W> {
+    type Event = W::Event;
+
+    fn handle(&mut self, now: Cycles, ev: Self::Event, q: &mut EventQueue<Self::Event>) {
+        let mut io = PartIo {
+            queue: q,
+            outbox: &mut self.outbox,
+            part: self.part,
+            nparts: self.nparts,
+            window_end: self.window_end,
+            lookahead: self.lookahead,
+        };
+        self.world.handle(now, ev, &mut io);
+    }
+}
+
+/// What one partition reports after draining a window.
+struct Report<E> {
+    part: usize,
+    delta: u64,
+    next: Option<u64>,
+    sends: Vec<(usize, Cycles, E)>,
+}
+
+/// Per-window control block shared with workers.
+struct Ctl {
+    active: Arc<Vec<usize>>,
+    end: Cycles,
+    budget: u64,
+    done: bool,
+}
+
+/// The partitioned engine: per-partition wheels + windowed execution.
+pub struct PartitionedEngine<W: PartWorld> {
+    parts: Vec<Mutex<Engine<Shim<W>>>>,
+    lookahead: Cycles,
+    now: Cycles,
+    events_processed: u64,
+}
+
+impl<W: PartWorld> PartitionedEngine<W> {
+    /// One partition per world, synchronized with `lookahead` windows.
+    /// `lookahead` must be positive: a zero window could never contain an
+    /// event and the engine would spin.
+    pub fn new(worlds: Vec<W>, lookahead: Cycles) -> Self {
+        assert!(lookahead >= Cycles(1), "lookahead must be positive");
+        let nparts = worlds.len();
+        let parts = worlds
+            .into_iter()
+            .enumerate()
+            .map(|(part, world)| {
+                Mutex::new(Engine::new(Shim {
+                    world,
+                    outbox: Vec::new(),
+                    part,
+                    nparts,
+                    window_end: Cycles::ZERO,
+                    lookahead,
+                }))
+            })
+            .collect();
+        PartitionedEngine {
+            parts,
+            lookahead,
+            now: Cycles::ZERO,
+            events_processed: 0,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The synchronization lookahead.
+    pub fn lookahead(&self) -> Cycles {
+        self.lookahead
+    }
+
+    /// Global virtual time (the floor of the last executed window).
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Total events handled across all partitions.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Seed partition `part`'s wheel (setup, before `run`).
+    pub fn queue_mut(&mut self, part: usize) -> &mut EventQueue<W::Event> {
+        self.parts[part]
+            .get_mut()
+            .expect("partition lock poisoned")
+            .queue_mut()
+    }
+
+    /// Mutable access to partition `part`'s world.
+    pub fn world_mut(&mut self, part: usize) -> &mut W {
+        &mut self.parts[part]
+            .get_mut()
+            .expect("partition lock poisoned")
+            .world_mut()
+            .world
+    }
+
+    /// Consume the engine, returning every partition's world in index
+    /// order (result extraction).
+    pub fn into_worlds(self) -> Vec<W> {
+        self.parts
+            .into_iter()
+            .map(|m| m.into_inner().expect("partition lock poisoned").into_world().world)
+            .collect()
+    }
+
+    /// Run windows until every wheel drains, `horizon` is passed, or the
+    /// event budget is exhausted. `threads` is the worker count for the
+    /// drain phase (1 = fully serial); results are identical for every
+    /// value — `tests/determinism.rs` and the figure smokes in
+    /// `scripts/ci.sh` hold the engine to that.
+    ///
+    /// The budget is enforced at window granularity (each window may
+    /// complete past the cap before the check), so the outcome is
+    /// thread-count independent.
+    pub fn run(&mut self, horizon: Cycles, max_events: u64, threads: usize) -> RunOutcome
+    where
+        W: Send,
+    {
+        let nparts = self.parts.len();
+        if nparts == 0 {
+            return RunOutcome::Drained;
+        }
+        // (Re)build the next-event cache + heap. `next[p]` is authoritative;
+        // heap entries disagreeing with it are stale and skipped lazily.
+        let mut next: Vec<Option<u64>> = Vec::with_capacity(nparts);
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for (p, m) in self.parts.iter_mut().enumerate() {
+            let t = m
+                .get_mut()
+                .expect("partition lock poisoned")
+                .next_event_time()
+                .map(Cycles::raw);
+            next.push(t);
+            if let Some(t) = t {
+                heap.push(Reverse((t, p)));
+            }
+        }
+        let la = self.lookahead.raw();
+        let mut processed = self.events_processed;
+        let mut now = self.now;
+        let workers = threads.max(1).min(nparts);
+        let parts = &self.parts;
+
+        let outcome = if workers == 1 {
+            let mut reports: Vec<Report<W::Event>> = Vec::new();
+            loop {
+                let Some(gvt) = peek_gvt(&mut heap, &next) else {
+                    break RunOutcome::Drained;
+                };
+                if gvt > horizon.raw() {
+                    break RunOutcome::HorizonReached;
+                }
+                if processed >= max_events {
+                    break RunOutcome::BudgetExhausted;
+                }
+                now = Cycles(gvt);
+                let end = Cycles(gvt.saturating_add(la).min(horizon.raw().saturating_add(1)));
+                let active = collect_active(&mut heap, &mut next, end.raw());
+                let budget = max_events - processed;
+                for &part in &active {
+                    reports.push(drain_one(&parts[part], part, end, budget));
+                }
+                merge_reports(parts, &mut next, &mut heap, &mut reports, &mut processed);
+            }
+        } else {
+            let ctl = Mutex::new(Ctl {
+                active: Arc::new(Vec::new()),
+                end: Cycles::ZERO,
+                budget: 0,
+                done: false,
+            });
+            let cursor = AtomicU64::new(0);
+            let staging: Vec<Mutex<Vec<Report<W::Event>>>> =
+                (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+            let barrier = Barrier::new(workers + 1);
+            std::thread::scope(|s| {
+                for w in 0..workers {
+                    let (ctl, cursor, staging, barrier) = (&ctl, &cursor, &staging, &barrier);
+                    s.spawn(move || loop {
+                        barrier.wait();
+                        let (active, end, budget, done) = {
+                            let c = ctl.lock().expect("ctl lock");
+                            (Arc::clone(&c.active), c.end, c.budget, c.done)
+                        };
+                        if done {
+                            return;
+                        }
+                        let mut out: Vec<Report<W::Event>> = Vec::new();
+                        while let Some(i) = par::claim_front(cursor) {
+                            let part = active[i];
+                            out.push(drain_one(&parts[part], part, end, budget));
+                        }
+                        staging[w].lock().expect("staging lock").append(&mut out);
+                        barrier.wait();
+                    });
+                }
+                let outcome = loop {
+                    let Some(gvt) = peek_gvt(&mut heap, &next) else {
+                        break RunOutcome::Drained;
+                    };
+                    if gvt > horizon.raw() {
+                        break RunOutcome::HorizonReached;
+                    }
+                    if processed >= max_events {
+                        break RunOutcome::BudgetExhausted;
+                    }
+                    now = Cycles(gvt);
+                    let end =
+                        Cycles(gvt.saturating_add(la).min(horizon.raw().saturating_add(1)));
+                    let active = collect_active(&mut heap, &mut next, end.raw());
+                    let n_active = active.len() as u32;
+                    {
+                        let mut c = ctl.lock().expect("ctl lock");
+                        c.active = Arc::new(active);
+                        c.end = end;
+                        c.budget = max_events - processed;
+                    }
+                    cursor.store(par::pack(0, n_active), Ordering::Release);
+                    barrier.wait(); // open the window
+                    barrier.wait(); // drain complete
+                    let mut reports: Vec<Report<W::Event>> = Vec::new();
+                    for st in &staging {
+                        reports.append(&mut st.lock().expect("staging lock"));
+                    }
+                    merge_reports(parts, &mut next, &mut heap, &mut reports, &mut processed);
+                };
+                ctl.lock().expect("ctl lock").done = true;
+                barrier.wait(); // release workers into the `done` exit
+                outcome
+            })
+        };
+
+        self.events_processed = processed;
+        self.now = now;
+        outcome
+    }
+
+    /// [`PartitionedEngine::run`] with no horizon and no budget.
+    pub fn run_to_completion(&mut self, threads: usize) -> RunOutcome
+    where
+        W: Send,
+    {
+        self.run(Cycles::MAX, u64::MAX, threads)
+    }
+}
+
+/// Global virtual time: the minimum authoritative next-event time.
+/// Stale heap entries (disagreeing with `next`) are popped on the way.
+fn peek_gvt(heap: &mut BinaryHeap<Reverse<(u64, usize)>>, next: &[Option<u64>]) -> Option<u64> {
+    loop {
+        let &Reverse((t, p)) = heap.peek()?;
+        if next[p] == Some(t) {
+            return Some(t);
+        }
+        heap.pop();
+    }
+}
+
+/// Pop every partition with work strictly before `end` into the active
+/// list (deterministic `(time, partition)` pop order). Claimed partitions
+/// get `next = None` until their drain report restores it, which also
+/// dedupes multiple heap entries for one partition.
+fn collect_active(
+    heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
+    next: &mut [Option<u64>],
+    end: u64,
+) -> Vec<usize> {
+    let mut active = Vec::new();
+    while let Some(&Reverse((t, p))) = heap.peek() {
+        if t >= end {
+            break;
+        }
+        heap.pop();
+        if next[p] == Some(t) {
+            next[p] = None;
+            active.push(p);
+        }
+    }
+    active
+}
+
+/// Drain one partition's window `[.., end)` and report what happened.
+fn drain_one<W: PartWorld>(
+    slot: &Mutex<Engine<Shim<W>>>,
+    part: usize,
+    end: Cycles,
+    budget: u64,
+) -> Report<W::Event> {
+    let mut eng = slot.lock().expect("partition lock poisoned");
+    eng.world_mut().window_end = end;
+    let before = eng.events_processed();
+    eng.run_before(end, budget);
+    let delta = eng.events_processed() - before;
+    let next = eng.next_event_time().map(Cycles::raw);
+    let sends = std::mem::take(&mut eng.world_mut().outbox);
+    Report {
+        part,
+        delta,
+        next,
+        sends,
+    }
+}
+
+/// The inbox merge: apply drain reports in source-partition index order.
+/// Destination queues assign sequence numbers during this serial pass, so
+/// the assignment is identical at any worker count.
+fn merge_reports<W: PartWorld>(
+    parts: &[Mutex<Engine<Shim<W>>>],
+    next: &mut [Option<u64>],
+    heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
+    reports: &mut Vec<Report<W::Event>>,
+    processed: &mut u64,
+) {
+    reports.sort_by_key(|r| r.part);
+    for r in reports.iter() {
+        *processed += r.delta;
+        next[r.part] = r.next;
+        if let Some(t) = r.next {
+            heap.push(Reverse((t, r.part)));
+        }
+    }
+    for r in reports.drain(..) {
+        for (dst, at, ev) in r.sends {
+            parts[dst]
+                .lock()
+                .expect("partition lock poisoned")
+                .queue_mut()
+                .schedule(at, ev);
+            let t = at.raw();
+            if next[dst].is_none_or(|cur| t < cur) {
+                next[dst] = Some(t);
+                heap.push(Reverse((t, dst)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Partitions pass a token around a ring, recording every arrival.
+    struct RingNode {
+        hops_left: u32,
+        delay: Cycles,
+        trace: Vec<(Cycles, u32)>,
+    }
+
+    impl PartWorld for RingNode {
+        type Event = u32;
+        fn handle(&mut self, now: Cycles, ev: u32, io: &mut PartIo<'_, u32>) {
+            self.trace.push((now, ev));
+            if self.hops_left > 0 {
+                self.hops_left -= 1;
+                let dst = (io.part() + 1) % io.num_partitions();
+                io.send(dst, now + self.delay, ev + 1);
+            }
+        }
+    }
+
+    fn ring_traces(nparts: usize, threads: usize) -> Vec<Vec<(Cycles, u32)>> {
+        let worlds: Vec<RingNode> = (0..nparts)
+            .map(|_| RingNode {
+                hops_left: 40,
+                delay: Cycles(100),
+                trace: Vec::new(),
+            })
+            .collect();
+        let mut eng = PartitionedEngine::new(worlds, Cycles(100));
+        eng.queue_mut(0).schedule(Cycles(5), 0);
+        assert_eq!(eng.run_to_completion(threads), RunOutcome::Drained);
+        eng.into_worlds().into_iter().map(|w| w.trace).collect()
+    }
+
+    #[test]
+    fn ring_trace_identical_at_any_thread_count() {
+        let serial = ring_traces(8, 1);
+        assert!(serial.iter().any(|t| !t.is_empty()));
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(serial, ring_traces(8, threads), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn ring_token_is_causal() {
+        let traces = ring_traces(4, 4);
+        // Token 0 lands on partition 0 at t=5, token k at 5 + 100k on
+        // partition k mod 4.
+        for (p, trace) in traces.iter().enumerate() {
+            for &(t, hop) in trace {
+                assert_eq!(hop as usize % 4, p);
+                assert_eq!(t, Cycles(5 + 100 * u64::from(hop)));
+            }
+        }
+    }
+
+    /// A `World` that chains local events; used through [`SoloWorld`] to
+    /// check single-partition equivalence with the global engine.
+    struct Countdown {
+        fired: Vec<(Cycles, u32)>,
+    }
+
+    impl World for Countdown {
+        type Event = u32;
+        fn handle(&mut self, now: Cycles, ev: u32, q: &mut EventQueue<u32>) {
+            self.fired.push((now, ev));
+            if ev > 0 {
+                q.schedule_after(now, Cycles(7), ev - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn single_partition_matches_global_engine() {
+        let mut global = Engine::new(Countdown { fired: vec![] });
+        global.queue_mut().schedule(Cycles(3), 5);
+        global.queue_mut().schedule(Cycles(3), 2);
+        global.run_to_completion();
+
+        let mut part =
+            PartitionedEngine::new(vec![SoloWorld(Countdown { fired: vec![] })], Cycles(1));
+        part.queue_mut(0).schedule(Cycles(3), 5);
+        part.queue_mut(0).schedule(Cycles(3), 2);
+        assert_eq!(part.run_to_completion(1), RunOutcome::Drained);
+
+        let part_events = part.events_processed();
+        let solo = part.into_worlds().remove(0).0;
+        assert_eq!(global.world().fired, solo.fired);
+        assert_eq!(global.events_processed(), part_events);
+    }
+
+    #[test]
+    fn horizon_and_budget_outcomes() {
+        let worlds: Vec<RingNode> = (0..2)
+            .map(|_| RingNode {
+                hops_left: 1000,
+                delay: Cycles(10),
+                trace: Vec::new(),
+            })
+            .collect();
+        let mut eng = PartitionedEngine::new(worlds, Cycles(10));
+        eng.queue_mut(0).schedule(Cycles(0), 0);
+        assert_eq!(eng.run(Cycles(55), u64::MAX, 2), RunOutcome::HorizonReached);
+        // Events at 0, 10, ..., 50 fired (6), the one at 60 is pending.
+        assert_eq!(eng.events_processed(), 6);
+        assert_eq!(eng.run(Cycles::MAX, 3, 2), RunOutcome::BudgetExhausted);
+        assert_eq!(eng.run_to_completion(2), RunOutcome::Drained);
+        // Each node forwards until its own 1000-hop budget drains, plus
+        // the final arrival that forwards nothing: 2 * 1000 + 1.
+        assert_eq!(eng.events_processed(), 2001);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates lookahead")]
+    fn undershooting_lookahead_panics() {
+        struct Cheat;
+        impl PartWorld for Cheat {
+            type Event = ();
+            fn handle(&mut self, now: Cycles, _ev: (), io: &mut PartIo<'_, ()>) {
+                io.send(1, now + Cycles(1), ()); // lookahead is 1000
+            }
+        }
+        let mut eng = PartitionedEngine::new(vec![Cheat, Cheat], Cycles(1000));
+        eng.queue_mut(0).schedule(Cycles(0), ());
+        eng.run_to_completion(1);
+    }
+
+    #[test]
+    fn empty_engine_drains() {
+        let mut eng: PartitionedEngine<RingNode> = PartitionedEngine::new(Vec::new(), Cycles(1));
+        assert_eq!(eng.run_to_completion(4), RunOutcome::Drained);
+    }
+
+    #[test]
+    fn self_send_has_no_lookahead_floor() {
+        struct SelfTalk {
+            left: u32,
+        }
+        impl PartWorld for SelfTalk {
+            type Event = ();
+            fn handle(&mut self, now: Cycles, _ev: (), io: &mut PartIo<'_, ()>) {
+                if self.left > 0 {
+                    self.left -= 1;
+                    let me = io.part();
+                    io.send(me, now + Cycles(1), ()); // below lookahead: legal locally
+                }
+            }
+        }
+        let mut eng = PartitionedEngine::new(vec![SelfTalk { left: 9 }], Cycles(1000));
+        eng.queue_mut(0).schedule(Cycles(0), ());
+        assert_eq!(eng.run_to_completion(1), RunOutcome::Drained);
+        assert_eq!(eng.events_processed(), 10);
+    }
+}

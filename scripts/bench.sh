@@ -22,7 +22,11 @@
 # simcore::par pool (reduced fig6, serial vs. full pool); fig_mem covers
 # the flat O(1) buddy allocator (vs. the retired BTreeSet baseline), a
 # fragmentation sweep, and a first-touch fault storm with PCP hit rate.
-# fig_domains is the exception: its metrics are *simulated* time
+# fig_scale covers the partitioned engine: 1024/4096-node windowed BSP
+# sweeps, merging intra-run speedup metrics (scale_*_speedup_x) into
+# BENCH_engine.json — it must run after fig_engine, which rewrites that
+# file wholesale. fig_domains is the exception: its metrics are
+# *simulated* time
 # (failure-domain recovery sweep), deterministic across machines, so its
 # --check demands an exact match against BENCH_resilience.json.
 # See EXPERIMENTS.md for how to read and update them.
@@ -30,15 +34,22 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release -p bench \
-    --bin fig_offload_hotpath --bin fig_engine --bin fig_mem --bin fig_domains
+    --bin fig_offload_hotpath --bin fig_engine --bin fig_mem \
+    --bin fig_domains --bin fig_scale
 
 if [[ "${1:-}" == "--check" ]]; then
     ./target/release/fig_offload_hotpath --check BENCH_offload.json
     ./target/release/fig_engine --check BENCH_engine.json
+    # fig_scale gates determinism everywhere, the intra-run speedup floor
+    # only on hosts with >1 pool worker (the ratio is noise on one core).
+    ./target/release/fig_scale --check BENCH_engine.json
     ./target/release/fig_mem --check BENCH_mem.json
     exec ./target/release/fig_domains --check BENCH_resilience.json
 fi
 ./target/release/fig_offload_hotpath
+# Order matters: fig_engine rewrites BENCH_engine.json wholesale,
+# fig_scale then merges its scale_* metrics into the fresh file.
 ./target/release/fig_engine
+./target/release/fig_scale
 ./target/release/fig_mem
 exec ./target/release/fig_domains

@@ -9,7 +9,10 @@
 #                                 # regression against BENCH_offload.json
 #                                 # / BENCH_engine.json / BENCH_mem.json,
 #                                 # plus the exact-match failure-domain
-#                                 # check against BENCH_resilience.json
+#                                 # check against BENCH_resilience.json,
+#                                 # plus the fig_scale partitioned-engine
+#                                 # gate (digest invariance + speedup
+#                                 # floor + blackout soak)
 #   scripts/ci.sh --soak          # also soak the resilience sweeps:
 #                                 # HLWK_SOAK_SEEDS (default 5) fresh
 #                                 # seeds through fig_resilience (5% loss
@@ -118,6 +121,14 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
         ./target/release/fig_offload_hotpath --check BENCH_offload.json
     HLWK_BENCH_ITERS="${HLWK_BENCH_ITERS:-2000}" \
         ./target/release/fig_engine --check BENCH_engine.json
+    # Partitioned-engine scale gate: 1024-node digest identical at
+    # 1/2/4/N threads everywhere; intra-run speedup floor only when the
+    # pool has real workers. Then a short multi-seed hang hunt with NIC
+    # blackouts armed (shrunken fault-mode lookahead windows).
+    HLWK_SCALE_ITERS="${HLWK_SCALE_ITERS:-3}" \
+        ./target/release/fig_scale --check BENCH_engine.json
+    HLWK_SCALE_ITERS="${HLWK_SCALE_ITERS:-3}" \
+        timeout 300 ./target/release/fig_scale --soak 4
     # fig_mem needs a few more iterations than the other two before the
     # fault-storm metrics amortize their setup; still well under a second.
     HLWK_BENCH_ITERS="${HLWK_MEM_BENCH_ITERS:-5000}" \
