@@ -2,11 +2,14 @@
 //!
 //! Unlike the `fig*` binaries (which regenerate paper figures in
 //! *modeled* time), this binary measures **host wall-clock** cost of the
-//! three structures the offload path hammers: the end-to-end offload
-//! round trip, address translation, and the IKC channel itself. The
-//! numbers land in `BENCH_offload.json` so every future PR is held to a
-//! perf trajectory (CI compares against the committed baseline with a
-//! 2x tolerance — see `scripts/ci.sh --bench-smoke`).
+//! structures the offload path hammers: the end-to-end offload round
+//! trip (interleaved with the promoted in-LWK read it is compared
+//! against, so the bypass-floor ratio is ambient-burst-proof), address
+//! translation, and the IKC channel itself. The numbers land in
+//! `BENCH_offload.json` so every future PR is held to a perf trajectory
+//! (CI compares against the committed baseline with a 2x tolerance —
+//! see `scripts/ci.sh --bench-smoke`); `fig_bypass` merges the rest of
+//! the bypass sweep into the same file.
 //!
 //! Knobs:
 //! * `HLWK_BENCH_ITERS` — iterations per metric (default 20000);
@@ -19,7 +22,7 @@ use hlwk_core::abi::Sysno;
 use hlwk_core::ihk::ikc::{IkcChannel, MsgKind};
 use hlwk_core::mck::mem::pagetable::{PageTable, PteFlags};
 use hlwk_core::mck::mem::tlb::SoftTlb;
-use hlwk_core::mck::syscall::SyscallRequest;
+use hlwk_core::mck::syscall::{BypassConfig, SyscallRequest};
 use hwmodel::addr::{PhysAddr, VirtAddr, PAGE_SIZE, PAGE_SIZE_2M};
 use simcore::{Cycles, StreamRng};
 use std::hint::black_box;
@@ -28,6 +31,12 @@ use std::time::Instant;
 /// Tolerance for the CI regression gate: a metric may regress up to
 /// this factor against the committed baseline before CI fails.
 const REGRESSION_TOLERANCE: f64 = 2.0;
+
+/// Floor for the profile-guided bypass: a promoted read must beat the
+/// full offload round trip by at least this factor, with the MPK-style
+/// protection domains armed (their entry/exit bookkeeping is part of
+/// the measured cost).
+const BYPASS_FLOOR: f64 = 3.0;
 
 fn iters() -> u64 {
     std::env::var("HLWK_BENCH_ITERS")
@@ -52,25 +61,98 @@ fn measure<F: FnMut()>(n: u64, mut f: F) -> f64 {
     best
 }
 
+/// Best-of-5 per side with the trials interleaved a, b, a, b, …: the
+/// bypass floor below compares two measured minima, and on a shared
+/// host a sustained ambient-load burst covering one side's entire
+/// sequential best-of-5 run could fake a >3x swing either way.
+/// Interleaved, a burst degrades both minima or neither.
+fn measure_pair<F: FnMut(), G: FnMut()>(n: u64, mut a: F, mut b: G) -> (f64, f64) {
+    let mut best = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..n {
+            a();
+        }
+        best.0 = best.0.min(start.elapsed().as_nanos() as f64 / n as f64);
+        let start = Instant::now();
+        for _ in 0..n {
+            b();
+        }
+        best.1 = best.1.min(start.elapsed().as_nanos() as f64 / n as f64);
+    }
+    best
+}
+
 fn build_node() -> NodeRuntime {
     let mut cfg = ClusterConfig::paper(OsVariant::McKernel).with_nodes(1);
     cfg.horizon_secs = 5;
     NodeRuntime::build(&cfg, 0, &StreamRng::root(1))
 }
 
-/// The offload round trip: marshal, IKC, delegator, proxy service with
-/// unified-address-space dereference, reply. The headline metric.
-fn bench_offload_roundtrip(n: u64) -> f64 {
-    let mut node = build_node();
-    let mut t = Cycles::from_ms(1);
-    measure(n, || {
-        t += Cycles(1000);
-        black_box(node.offload_syscall(
-            Sysno::GetRandom,
-            [node.arena_va.raw(), 64, 0, 0, 0, 0],
-            t,
-        ));
-    })
+/// Open a regular (page-cached) file through the full offload path,
+/// reusing the already-faulted arena page for the path string.
+fn open_regular(node: &mut NodeRuntime) -> (u64, Cycles) {
+    let pa = node
+        .mck
+        .as_ref()
+        .expect("mckernel node")
+        .process(node.app_pid)
+        .expect("app")
+        .aspace
+        .pt
+        .translate(node.arena_va)
+        .expect("arena faulted at setup")
+        .phys;
+    node.hw.mem.write(pa, b"/data/bench.bin\0");
+    let (fd, t) = node.offload_syscall(
+        Sysno::Open,
+        [node.arena_va.raw(), 0, 0, 0, 0, 0],
+        Cycles::from_ms(1),
+    );
+    assert!(fd >= 0, "offloaded open failed: {fd}");
+    (fd as u64, t)
+}
+
+/// The headline pair, interleaved: the full offload round trip
+/// (marshal, IKC, delegator, proxy service with unified-address-space
+/// dereference, reply) against a promoted in-LWK read with protection
+/// domains armed. The `--check` floor gates on this ratio, so the two
+/// sides must be measured under the same ambient load.
+fn bench_offload_vs_bypass(n: u64) -> (f64, f64) {
+    let mut off = build_node();
+    let mut t_off = Cycles::from_ms(1);
+    let arena = off.arena_va.raw();
+
+    let mut fast = build_node();
+    fast.mck.as_mut().expect("mckernel node").bypass = BypassConfig {
+        enabled: true,
+        promote_after: 1,
+        domains: false,
+    };
+    fast.enable_domains();
+    let (fd, t) = open_regular(&mut fast);
+    // Warm the promotion: one offloaded read seeds the heat profiler
+    // and the promotability lease; everything after stays in-LWK.
+    let buf = fast.arena_va.raw();
+    let (r, mut t_fast) = fast.offload_syscall(Sysno::Read, [fd, buf, 64, 0, 0, 0], t);
+    assert_eq!(r, 64);
+
+    let pair = measure_pair(
+        n,
+        || {
+            t_off += Cycles(1000);
+            black_box(off.offload_syscall(Sysno::GetRandom, [arena, 64, 0, 0, 0, 0], t_off));
+        },
+        || {
+            t_fast += Cycles(1000);
+            black_box(fast.offload_syscall(Sysno::Read, [fd, buf, 64, 0, 0, 0], t_fast));
+        },
+    );
+    // Honesty: the fast side really did bypass (exactly one offloaded
+    // read — the warmup — ever reached Linux's read arm).
+    assert!(fast.bypass_promoted >= 5 * n);
+    assert_eq!(fast.bypass_fallbacks, 0);
+    pair
 }
 
 fn populated_pt() -> PageTable {
@@ -148,11 +230,16 @@ fn bench_channel(n: u64) -> f64 {
 
 fn run_all() -> Vec<(&'static str, f64)> {
     let n = iters();
+    let (roundtrip, bypass_read) = bench_offload_vs_bypass(n);
     vec![
-        ("offload_roundtrip_ns", bench_offload_roundtrip(n)),
+        ("offload_roundtrip_ns", roundtrip),
+        ("bypass_read_ns", bypass_read),
         ("translate_hit_ns", bench_translate_hit(n)),
         ("translate_miss_ns", bench_translate_miss(n)),
         ("channel_send_recv_ns", bench_channel(n / 32)),
+        // Environment honesty: how hard this baseline was driven. Not a
+        // performance metric — `--check` exempts it from the gate.
+        ("bench_iters", n as f64),
     ]
 }
 
@@ -187,7 +274,11 @@ fn main() {
     let metrics = run_all();
     println!("=== offload hot path (host wall clock) ===");
     for (k, v) in &metrics {
-        println!("{k:>24}: {v:10.1} ns");
+        if *k == "bench_iters" {
+            println!("{k:>24}: {v:10.0}");
+        } else {
+            println!("{k:>24}: {v:10.1} ns");
+        }
     }
 
     if let Some(i) = args.iter().position(|a| a == "--check") {
@@ -197,6 +288,9 @@ fn main() {
         let base = parse_metrics(&baseline);
         let mut failed = false;
         for (k, v) in &metrics {
+            if *k == "bench_iters" {
+                continue; // environment record, not a perf metric
+            }
             match base.iter().find(|(bk, _)| bk == k) {
                 Some((_, bv)) if *v > bv * REGRESSION_TOLERANCE => {
                     eprintln!(
@@ -208,6 +302,21 @@ fn main() {
                     println!("{k:>24}: ok ({:.2}x of baseline)", v / bv);
                 }
                 None => eprintln!("warning: baseline is missing metric {k}"),
+            }
+        }
+        // Bypass floor on the FRESH interleaved pair (not the committed
+        // baseline): the promoted read must beat the offload round trip
+        // by BYPASS_FLOOR even while paying domain switches.
+        let get = |name: &str| metrics.iter().find(|(k, _)| *k == name).map(|(_, v)| *v);
+        if let (Some(rt), Some(by)) = (get("offload_roundtrip_ns"), get("bypass_read_ns")) {
+            if by * BYPASS_FLOOR > rt {
+                eprintln!(
+                    "BYPASS FLOOR: promoted read {by:.1} ns is not {BYPASS_FLOOR}x faster \
+                     than the {rt:.1} ns offload roundtrip"
+                );
+                failed = true;
+            } else {
+                println!("{:>24}: ok ({:.1}x of roundtrip)", "bypass floor", rt / by);
             }
         }
         if failed {

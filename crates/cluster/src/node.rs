@@ -9,21 +9,25 @@
 //! does the node run application work.
 
 use crate::config::{ClusterConfig, OsVariant};
-use hlwk_core::abi::{Errno, Pid, Sysno, Tid};
+use hlwk_core::abi::{encode_result, Errno, Fd, Pid, Sysno, Tid};
 use hlwk_core::costs::CostModel;
 use hlwk_core::ihk::delegator::DispatchAction;
 use hlwk_core::ihk::ikc::{message_checksum, ControlMsg, IkcPair, MsgKind};
 use hlwk_core::ihk::manager::HeartbeatMonitor;
+use hlwk_core::mck::domains::{DomainId, DomainModel};
 use hlwk_core::mck::mem::FaultOutcome;
-use hlwk_core::mck::syscall::{RetryPolicy, SyscallReply, SyscallRequest};
+use hlwk_core::mck::syscall::{
+    BypassConfig, Disposition, RetryPolicy, SyscallReply, SyscallRequest,
+};
 use hlwk_core::mck::{McKernel, SyscallOutcome};
 use hlwk_core::proxy::devmap;
 use hlwk_core::IhkManager;
-use hwmodel::addr::VirtAddr;
+use hwmodel::addr::{VirtAddr, PAGE_SIZE};
 use hwmodel::cpu::{CoreId, NumaId};
 use hwmodel::interference::{InterferenceModel, MemProfile, PageBacking, Pollution};
 use hwmodel::node::{NodeHw, NodeId, NodeSpec};
 use hwmodel::pci::DeviceClass;
+use linuxsim::vfs::FileKind;
 use linuxsim::{LinuxKernel, NoiseConfig};
 use netsim::verbs::IbContext;
 use simcore::fault::{FaultPlan, MsgFault};
@@ -142,12 +146,38 @@ pub struct NodeRuntime {
     /// Offloads that ultimately failed with `-EIO` (proxy dead or retry
     /// budget exhausted).
     pub offload_eio: u64,
+    /// Syscalls served by the promoted in-LWK fast path (never reached
+    /// IKC). A plain field, not a trace counter: the fast path is the
+    /// thing being measured, and a string-keyed counter bump would be a
+    /// visible fraction of its budget.
+    pub bypass_promoted: u64,
+    /// Promotion attempts that fell back to the offload path (missing
+    /// lease, cold time page, unsupported flag, straddling futex word).
+    pub bypass_fallbacks: u64,
     costs: CostModel,
     /// Reusable request wire buffer: each offload encodes its request
     /// here exactly once; retransmits replay these bytes (and their CRC)
     /// without re-serializing. Zero steady-state allocation.
     tx_wire: Vec<u8>,
+    /// Promotability lease per fd number, indexed flat by fd for the
+    /// hot path ([`LEASE_NONE`] / [`LEASE_REGULAR`] / [`LEASE_OTHER`]):
+    /// `LEASE_REGULAR` iff the last offloaded result proved the fd is a
+    /// `Regular` file whose read/write/lseek semantics the LWK can
+    /// reproduce locally. McKernel itself holds no fd table (fd state
+    /// lives in Linux's VFS), so the bypass layer keeps this node-side
+    /// shadow; any fd it has no lease for falls back to offload, and
+    /// `close()`, job reap, and proxy death all revoke leases.
+    fd_lease: Vec<u8>,
 }
+
+/// No offloaded call has classified this fd yet (or it was closed).
+const LEASE_NONE: u8 = 0;
+/// Linux's VFS says the fd is a regular file — promotable.
+const LEASE_REGULAR: u8 = 1;
+/// Device / proc fd — never promotable, stop re-checking.
+const LEASE_OTHER: u8 = 2;
+/// Flat lease table cap; fds above it simply stay offloaded.
+const LEASE_MAX_FD: u64 = 4096;
 
 impl NodeRuntime {
     /// Build and fully set up one node for `cfg`.
@@ -293,14 +323,18 @@ impl NodeRuntime {
             offload_retries: 0,
             nacks: 0,
             offload_eio: 0,
+            bypass_promoted: 0,
+            bypass_fallbacks: 0,
             costs,
             tx_wire: Vec::with_capacity(SyscallRequest::WIRE_SIZE),
+            fd_lease: Vec::new(),
         };
 
         // --- Job setup. ---
         match cfg.os {
             OsVariant::McKernel => {
                 let mut k = mck.take().expect("booted above");
+                k.bypass = BypassConfig::from_env();
                 let app_pid = k.create_process(None);
                 let tid = k.spawn_thread(app_pid, node.app_cores[0]);
                 for &core in &node.app_cores[1..] {
@@ -458,9 +492,35 @@ impl NodeRuntime {
         let Some(tid) = self.app_tid else {
             return Err(NodeError::NoAppThread { node: self.id });
         };
+        // Profile-guided bypass: a call the heat profiler promoted runs
+        // entirely on the LWK when every precondition holds. Any miss
+        // (unknown fd, cold time page, unsupported flag, straddling
+        // futex word) falls through to the normal offload path, so the
+        // bypass can change timing but never results.
+        if mck.bypass.enabled
+            && mck.effective_disposition(self.app_pid, sysno, &args) == Disposition::Promoted
+        {
+            if let Some(out) = self.promoted_syscall(sysno, args, at) {
+                self.bypass_promoted += 1;
+                return Ok(out);
+            }
+            self.bypass_fallbacks += 1;
+        }
+        let mck = self.mck.as_mut().expect("present above");
         let outcome = mck.handle_syscall(self.app_pid, tid, sysno, args, at);
         Ok(match outcome {
-            SyscallOutcome::Offload { req, cost } => self.drive_offload(req, at + cost),
+            SyscallOutcome::Offload { req, cost } => {
+                let (ret, done) = self.drive_offload(req, at + cost);
+                // Feed the heat profiler the observed roundtrip and keep
+                // the promotability lease in sync with offload results.
+                if let Some(m) = self.mck.as_mut() {
+                    m.prof.record_cycles(self.app_pid, sysno, done - at);
+                }
+                if self.mck.as_ref().is_some_and(|m| m.bypass.enabled) {
+                    self.note_offload_result(sysno, &args, ret);
+                }
+                (ret, done)
+            }
             SyscallOutcome::Done { ret, cost } => (ret, at + cost),
             SyscallOutcome::DoneInvalidate { ret, cost, ranges } => {
                 self.linux.sync_munmap(self.app_pid, &ranges);
@@ -473,6 +533,248 @@ impl NodeRuntime {
                 })
             }
         })
+    }
+
+    /// Attempt to run a promoted syscall entirely on the LWK, without
+    /// touching IKC, the delegator, or the proxy. Returns `None` when
+    /// any precondition fails; the caller then takes the normal offload
+    /// path, so a bypass miss can change timing but never results. The
+    /// modeled cost is one in-LWK syscall entry plus (when MPK-style
+    /// domains are armed) a protection-domain entry/exit pair; the user
+    /// copy itself is application-side work, charged the same way the
+    /// offload path charges it (not at all — only the kernel-side
+    /// machinery is modeled).
+    fn promoted_syscall(
+        &mut self,
+        sysno: Sysno,
+        args: [u64; 6],
+        at: Cycles,
+    ) -> Option<(i64, Cycles)> {
+        let proxy_pid = self.proxy_pid?;
+        let mut cost = self.costs.lwk_syscall;
+        let ret: i64 = match sysno {
+            Sysno::Read => {
+                // Only fds the offload path proved Regular are served
+                // locally; everything else (devices, /proc, unknown
+                // fds) stays offloaded. A held lease is an invariant,
+                // not a hint: every way a VFS entry can disappear
+                // (close, job reap, proxy death) also revokes it, so
+                // the hot path skips re-validating against the VFS.
+                if self.lease(args[0]) != LEASE_REGULAR {
+                    return None;
+                }
+                let n = args[2].min(64 << 10);
+                cost += self.enter_domain(DomainId::FdRing);
+                // Same fill bytes and same partial-write-then-EFAULT
+                // behavior as Linux's service arm writing through the
+                // unified address space.
+                match self.lwk_fill_user(VirtAddr(args[1]), n, 0xAB) {
+                    Ok(()) => {
+                        self.linux
+                            .vfs
+                            .advance(proxy_pid, Fd(args[0] as i32), n)
+                            .expect("held lease implies a live VFS entry");
+                        n as i64
+                    }
+                    Err(()) => encode_result(Err(Errno::EFAULT)),
+                }
+            }
+            Sysno::Write => {
+                if self.lease(args[0]) != LEASE_REGULAR {
+                    return None;
+                }
+                let n = args[2].min(64 << 10);
+                cost += self.enter_domain(DomainId::FdRing);
+                // The offload path reads min(len, 64 KiB) bytes from the
+                // app buffer but advances and returns the full length —
+                // reproduce that quirk exactly.
+                match self.lwk_check_user(VirtAddr(args[1]), n) {
+                    Ok(()) => {
+                        self.linux
+                            .vfs
+                            .advance(proxy_pid, Fd(args[0] as i32), args[2])
+                            .expect("held lease implies a live VFS entry");
+                        args[2] as i64
+                    }
+                    Err(()) => encode_result(Err(Errno::EFAULT)),
+                }
+            }
+            Sysno::Lseek => {
+                if self.lease(args[0]) != LEASE_REGULAR {
+                    return None;
+                }
+                cost += self.enter_domain(DomainId::FdRing);
+                match self
+                    .linux
+                    .vfs
+                    .seek(proxy_pid, Fd(args[0] as i32), args[1] as i64, args[2] as u32)
+                {
+                    Ok(pos) => pos,
+                    Err(e) => encode_result(Err(e)),
+                }
+            }
+            Sysno::Futex => {
+                const FUTEX_PRIVATE_FLAG: u64 = 128;
+                match args[1] & !FUTEX_PRIVATE_FLAG {
+                    // FUTEX_WAIT: load the 32-bit word natively. A word
+                    // straddling a page boundary is the rare case —
+                    // offload it rather than splitting the load.
+                    0 => {
+                        let va = VirtAddr(args[0]);
+                        if va.page_offset() > PAGE_SIZE - 4 {
+                            return None;
+                        }
+                        cost += self.enter_domain(DomainId::FdRing);
+                        match self.lwk_read_u32(va) {
+                            Some(cur) if cur == args[2] as u32 => 0,
+                            Some(_) => encode_result(Err(Errno::EAGAIN)),
+                            None => encode_result(Err(Errno::EFAULT)),
+                        }
+                    }
+                    // FUTEX_WAKE: the wait table lives in the LWK
+                    // scheduler; through the syscall surface a wake is
+                    // always 0, exactly like the offloaded arm.
+                    1 => {
+                        cost += self.enter_domain(DomainId::FdRing);
+                        0
+                    }
+                    // Other ops delegate (Linux answers -ENOSYS).
+                    _ => return None,
+                }
+            }
+            Sysno::ClockGettime => {
+                // Cold time page (never published) → offload.
+                let ns = self.mck.as_ref()?.time_page()?;
+                cost += self.enter_domain(DomainId::TimePage);
+                ns as i64
+            }
+            _ => return None,
+        };
+        cost += self.exit_domain();
+        Some((ret, at + cost))
+    }
+
+    /// Current lease state for `fd` (flat-indexed; out-of-range fds
+    /// have no lease and stay offloaded).
+    #[inline]
+    fn lease(&self, fd: u64) -> u8 {
+        self.fd_lease.get(fd as usize).copied().unwrap_or(LEASE_NONE)
+    }
+
+    /// Maintain the per-fd promotability lease from an offloaded call's
+    /// result: a successful read/write/lseek proves the fd exists and
+    /// records (from Linux's VFS) whether it is a regular file the LWK
+    /// may serve locally; `close()` revokes the lease.
+    fn note_offload_result(&mut self, sysno: Sysno, args: &[u64; 6], ret: i64) {
+        let fd = args[0];
+        if fd >= LEASE_MAX_FD {
+            return;
+        }
+        match sysno {
+            Sysno::Read | Sysno::Write | Sysno::Lseek if ret >= 0 => {
+                let Some(proxy_pid) = self.proxy_pid else { return };
+                let regular = self
+                    .linux
+                    .vfs
+                    .file(proxy_pid, Fd(fd as i32))
+                    .is_ok_and(|f| matches!(f.kind, FileKind::Regular { .. }));
+                if self.fd_lease.len() <= fd as usize {
+                    self.fd_lease.resize(fd as usize + 1, LEASE_NONE);
+                }
+                self.fd_lease[fd as usize] =
+                    if regular { LEASE_REGULAR } else { LEASE_OTHER };
+            }
+            Sysno::Close => {
+                if let Some(l) = self.fd_lease.get_mut(fd as usize) {
+                    *l = LEASE_NONE;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Charge a protection-domain entry (zero while domains are unarmed
+    /// or the LWK is already inside `domain`).
+    fn enter_domain(&mut self, domain: DomainId) -> Cycles {
+        self.mck
+            .as_mut()
+            .map_or(Cycles::ZERO, |m| m.domains.enter(domain))
+    }
+
+    /// Return to the kernel-core domain, charging the switch.
+    fn exit_domain(&mut self) -> Cycles {
+        self.mck.as_mut().map_or(Cycles::ZERO, |m| m.domains.exit())
+    }
+
+    /// Fill `[va, va+len)` in the app's address space with `byte`,
+    /// page by page through the LWK page tables. Mirrors the unified
+    /// address space's copy loop: pages before the first unmapped one
+    /// stay written when the fill faults.
+    fn lwk_fill_user(&mut self, va: VirtAddr, len: u64, byte: u8) -> Result<(), ()> {
+        let mut done = 0u64;
+        while done < len {
+            let cur = va + done;
+            let pa = {
+                let m = self.mck.as_mut().ok_or(())?;
+                let proc = m.process_mut(self.app_pid).ok_or(())?;
+                proc.aspace.translate(cur).ok_or(())?.phys
+            };
+            let n = (len - done).min(PAGE_SIZE - cur.page_offset());
+            self.hw.mem.fill(pa, n, byte);
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Verify `[va, va+len)` is fully mapped (the promoted `write()`
+    /// source-buffer check); reads nothing.
+    fn lwk_check_user(&mut self, va: VirtAddr, len: u64) -> Result<(), ()> {
+        let mut done = 0u64;
+        while done < len {
+            let cur = va + done;
+            let m = self.mck.as_mut().ok_or(())?;
+            let proc = m.process_mut(self.app_pid).ok_or(())?;
+            proc.aspace.translate(cur).ok_or(())?;
+            done += (len - done).min(PAGE_SIZE - cur.page_offset());
+        }
+        Ok(())
+    }
+
+    /// Load a naturally-contained 32-bit little-endian word from app
+    /// memory through the LWK page tables (futex word load).
+    fn lwk_read_u32(&mut self, va: VirtAddr) -> Option<u32> {
+        let pa = {
+            let m = self.mck.as_mut()?;
+            let proc = m.process_mut(self.app_pid)?;
+            proc.aspace.translate(va)?.phys
+        };
+        let mut w = [0u8; 4];
+        self.hw.mem.read(pa, &mut w);
+        Some(u32::from_le_bytes(w))
+    }
+
+    /// Publish the current wall-clock to both kernels' vDSO-style time
+    /// pages, making `clock_gettime` answerable without any kernel
+    /// transition (and keeping the promoted and offloaded answers
+    /// identical).
+    pub fn publish_time(&mut self, ns: u64) {
+        self.linux.publish_vdso_time(ns);
+        if let Some(m) = self.mck.as_mut() {
+            m.publish_time_page(ns);
+        }
+    }
+
+    /// Arm the MPK-style protection domains: fast-path state (IKC ring,
+    /// delegator slabs, per-fd rings, time page) moves behind pkeys and
+    /// every promoted entry/exit pays `costs.domain_switch`.
+    pub fn enable_domains(&mut self) {
+        let switch = self.costs.domain_switch;
+        if let Some(m) = self.mck.as_mut() {
+            m.bypass.domains = true;
+            m.domains = DomainModel::enabled(switch);
+        }
+        self.ikc.set_pkey(DomainId::IkcRing as u8);
+        self.linux.delegator.set_pkey(DomainId::DelegatorSlab as u8);
     }
 
     /// The request/reply exchange for one marshalled offload, with the
@@ -765,6 +1067,7 @@ impl NodeRuntime {
         }
         self.mck = None;
         self.app_tid = None;
+        self.fd_lease.clear();
         // Reclaim the partition: no reboot needed, exactly like a normal
         // destroy (Sec. IV-B3 reinit policy).
         if let (Some(ihk), Some(os_idx)) = (self.ihk.as_mut(), self.os_idx) {
@@ -922,6 +1225,7 @@ impl NodeRuntime {
         if let Some(proxy) = self.proxy_pid {
             self.linux.reap_proxy(proxy);
         }
+        self.fd_lease.clear();
     }
 }
 
@@ -1085,5 +1389,201 @@ mod tests {
         let mut n = build(OsVariant::McKernel, false);
         n.reap_job();
         assert!(n.mck.as_ref().unwrap().is_pristine());
+    }
+
+    /// Arm the bypass programmatically (tests never touch the process
+    /// environment) with an immediate promotion threshold.
+    fn arm_bypass(n: &mut NodeRuntime, promote_after: u64) {
+        n.mck.as_mut().unwrap().bypass = BypassConfig {
+            enabled: true,
+            promote_after,
+            domains: false,
+        };
+    }
+
+    /// Offload an `open()` of a regular (page-cached) file and return
+    /// its fd plus the completion instant.
+    fn open_regular(n: &mut NodeRuntime, at: Cycles) -> (u64, Cycles) {
+        let (path_va, t) = n.mck_mmap_anon(4096, at);
+        let pa = n
+            .mck
+            .as_ref()
+            .unwrap()
+            .process(n.app_pid)
+            .unwrap()
+            .aspace
+            .pt
+            .translate(path_va)
+            .unwrap()
+            .phys;
+        n.hw.mem.write(pa, b"/data/input.bin\0");
+        let (fd, t) = n.offload_syscall(Sysno::Open, [path_va.raw(), 0, 0, 0, 0, 0], t);
+        assert!(fd >= 0, "open failed: {fd}");
+        (fd as u64, t)
+    }
+
+    #[test]
+    fn promoted_read_write_lseek_match_the_offloaded_results_exactly() {
+        // Two identical nodes, one with the bypass armed; drive the same
+        // syscall sequence and demand identical results and fd state.
+        let mut base = build(OsVariant::McKernel, false);
+        let mut fast = build(OsVariant::McKernel, false);
+        arm_bypass(&mut fast, 1);
+        let mut outs = Vec::new();
+        for n in [&mut base, &mut fast] {
+            let (fd, mut t) = open_regular(n, Cycles::from_ms(1));
+            let buf = n.arena_va.raw();
+            let mut rets = Vec::new();
+            // First read offloads on both nodes (cold profiler + no
+            // lease); later ones are promoted only on `fast`.
+            for _ in 0..4 {
+                let (r, t2) = n.offload_syscall(Sysno::Read, [fd, buf, 100, 0, 0, 0], t);
+                rets.push(r);
+                t = t2;
+            }
+            let (r, t2) = n.offload_syscall(Sysno::Lseek, [fd, 64, 0, 0, 0, 0], t);
+            rets.push(r);
+            let (r, t2) = n.offload_syscall(Sysno::Write, [fd, buf, 200, 0, 0, 0], t2);
+            rets.push(r);
+            // EFAULT: unmapped buffer, both paths.
+            let (r, t2) = n.offload_syscall(Sysno::Read, [fd, 0xdead_0000, 8, 0, 0, 0], t2);
+            rets.push(r);
+            let pos = n
+                .linux
+                .vfs
+                .file(n.proxy_pid.unwrap(), Fd(fd as i32))
+                .unwrap()
+                .pos;
+            let mut data = [0u8; 100];
+            let pa = n
+                .mck
+                .as_ref()
+                .unwrap()
+                .process(n.app_pid)
+                .unwrap()
+                .aspace
+                .pt
+                .translate(n.arena_va)
+                .unwrap()
+                .phys;
+            n.hw.mem.read(pa, &mut data);
+            outs.push((rets, pos, data, t2));
+        }
+        assert_eq!(outs[0].0, outs[1].0, "return values diverged");
+        assert_eq!(outs[0].1, outs[1].1, "fd position diverged");
+        assert_eq!(outs[0].2, outs[1].2, "app memory diverged");
+        // The bypass actually engaged and actually skipped offloads.
+        let promoted = fast.bypass_promoted;
+        assert!(promoted >= 4, "promoted {promoted} calls");
+        assert!(
+            fast.linux.trace.get("linux.offload.serviced")
+                < base.linux.trace.get("linux.offload.serviced"),
+            "promotion must shed offloads"
+        );
+        // And it is dramatically cheaper in modeled time too.
+        assert!(outs[1].3 < outs[0].3, "bypass must not be slower");
+    }
+
+    #[test]
+    fn promoted_futex_and_clock_match_offload_and_cold_paths_fall_back() {
+        let mut n = build(OsVariant::McKernel, false);
+        arm_bypass(&mut n, 1);
+        let t = Cycles::from_ms(1);
+        let word = n.arena_va.raw();
+        // Cold profiler: first futex offloads. Word is zeroed memory.
+        let (r1, t) = n.offload_syscall(Sysno::Futex, [word, 128, 0, 0, 0, 0], t);
+        assert_eq!(r1, 0, "value matches -> modeled spurious wakeup");
+        // Promoted now: same convention natively.
+        let (r2, t) = n.offload_syscall(Sysno::Futex, [word, 128, 0, 0, 0, 0], t);
+        assert_eq!(r2, 0);
+        let (r3, t) = n.offload_syscall(Sysno::Futex, [word, 128, 7, 0, 0, 0], t);
+        assert_eq!(r3, -(Errno::EAGAIN as i64));
+        let (r4, t) = n.offload_syscall(Sysno::Futex, [0xdead_0000, 128, 0, 0, 0, 0], t);
+        assert_eq!(r4, -(Errno::EFAULT as i64));
+        // FUTEX_WAKE returns 0 on both paths; unknown ops fall back and
+        // come back -ENOSYS from Linux.
+        let (r5, t) = n.offload_syscall(Sysno::Futex, [word, 129, 1, 0, 0, 0], t);
+        assert_eq!(r5, 0);
+        let (r6, t) = n.offload_syscall(Sysno::Futex, [word, 9, 0, 0, 0, 0], t);
+        assert_eq!(r6, -(Errno::ENOSYS as i64));
+        // clock_gettime: cold time page falls back to offload (Linux's
+        // vDSO value, 0 until published), then the published value is
+        // read from the LWK's shared page with no kernel transition.
+        let (c1, t) = n.offload_syscall(Sysno::ClockGettime, [0, 0, 0, 0, 0, 0], t);
+        assert_eq!(c1, 0, "unpublished clock reads 0 via offload");
+        n.publish_time(987_654_321);
+        let serviced_before = n.linux.trace.get("linux.offload.serviced");
+        let (c2, _) = n.offload_syscall(Sysno::ClockGettime, [0, 0, 0, 0, 0, 0], t);
+        assert_eq!(c2, 987_654_321);
+        assert_eq!(
+            n.linux.trace.get("linux.offload.serviced"),
+            serviced_before,
+            "published clock never leaves the LWK"
+        );
+        assert!(n.bypass_fallbacks >= 1);
+    }
+
+    #[test]
+    fn device_fds_are_never_promoted() {
+        let mut n = build(OsVariant::McKernel, false);
+        arm_bypass(&mut n, 1);
+        let fd = n.uverbs_fd as u64;
+        let buf = n.arena_va.raw();
+        let mut t = Cycles::from_ms(1);
+        let before = n.linux.trace.get("linux.offload.serviced");
+        for _ in 0..5 {
+            let (_, t2) = n.offload_syscall(Sysno::Write, [fd, buf, 64, 0, 0, 0], t);
+            t = t2;
+        }
+        assert_eq!(
+            n.linux.trace.get("linux.offload.serviced"),
+            before + 5,
+            "device-fd writes must all reach Linux"
+        );
+        assert_eq!(n.bypass_promoted, 0);
+    }
+
+    #[test]
+    fn armed_domains_charge_one_switch_pair_per_promoted_call() {
+        let mut cheap = build(OsVariant::McKernel, false);
+        let mut guarded = build(OsVariant::McKernel, false);
+        arm_bypass(&mut cheap, 1);
+        arm_bypass(&mut guarded, 1);
+        guarded.enable_domains();
+        let t0 = Cycles::from_ms(1);
+        let mut done = [Cycles::ZERO; 2];
+        for (i, n) in [&mut cheap, &mut guarded].into_iter().enumerate() {
+            let (fd, t) = open_regular(n, t0);
+            let buf = n.arena_va.raw();
+            let (_, t) = n.offload_syscall(Sysno::Read, [fd, buf, 32, 0, 0, 0], t);
+            // Promoted from here on.
+            let (_, t) = n.offload_syscall(Sysno::Read, [fd, buf, 32, 0, 0, 0], t);
+            done[i] = t;
+        }
+        let switch = CostModel::default().domain_switch;
+        assert_eq!(
+            done[1] - done[0],
+            switch * 2,
+            "exactly one enter/exit pair per promoted call"
+        );
+        assert_eq!(guarded.mck.as_ref().unwrap().domains.switches, 2);
+        assert_eq!(guarded.ikc.to_linux.pkey(), Some(DomainId::IkcRing as u8));
+        assert_eq!(
+            guarded.linux.delegator.pkey(),
+            Some(DomainId::DelegatorSlab as u8)
+        );
+    }
+
+    #[test]
+    fn bypass_disabled_leaves_the_trace_untouched() {
+        let mut n = build(OsVariant::McKernel, false);
+        let (fd, mut t) = open_regular(&mut n, Cycles::from_ms(1));
+        for _ in 0..20 {
+            let (_, t2) = n.offload_syscall(Sysno::Read, [fd, n.arena_va.raw(), 16, 0, 0, 0], t);
+            t = t2;
+        }
+        assert_eq!(n.bypass_promoted, 0);
+        assert_eq!(n.bypass_fallbacks, 0);
+        assert!(n.fd_lease.is_empty(), "no lease bookkeeping while disabled");
     }
 }

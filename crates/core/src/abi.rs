@@ -108,6 +108,7 @@ pub enum Sysno {
     Open = 2,
     Close = 3,
     Stat = 4,
+    Lseek = 8,
     Mmap = 9,
     Mprotect = 10,
     Munmap = 11,
@@ -126,8 +127,10 @@ pub enum Sysno {
     Fcntl = 72,
     Getcwd = 79,
     Gettimeofday = 96,
+    Futex = 202,
     SchedSetaffinity = 203,
     SchedGetaffinity = 204,
+    ClockGettime = 228,
     ExitGroup = 231,
     Openat = 257,
     PerfEventOpen = 298,
@@ -149,6 +152,7 @@ impl Sysno {
             2 => Open,
             3 => Close,
             4 => Stat,
+            8 => Lseek,
             9 => Mmap,
             10 => Mprotect,
             11 => Munmap,
@@ -167,8 +171,10 @@ impl Sysno {
             72 => Fcntl,
             79 => Getcwd,
             96 => Gettimeofday,
+            202 => Futex,
             203 => SchedSetaffinity,
             204 => SchedGetaffinity,
+            228 => ClockGettime,
             231 => ExitGroup,
             257 => Openat,
             298 => PerfEventOpen,
@@ -186,6 +192,7 @@ impl Sysno {
             Open,
             Close,
             Stat,
+            Lseek,
             Mmap,
             Mprotect,
             Munmap,
@@ -204,8 +211,10 @@ impl Sysno {
             Fcntl,
             Getcwd,
             Gettimeofday,
+            Futex,
             SchedSetaffinity,
             SchedGetaffinity,
+            ClockGettime,
             ExitGroup,
             Openat,
             PerfEventOpen,

@@ -41,6 +41,11 @@ pub struct CostModel {
     /// Extra first-touch cost when a frame lands on a remote NUMA domain
     /// (local arena exhausted, placement spilled across the socket).
     pub remote_numa_touch: Cycles,
+    /// One MPK-style protection-domain switch (a WRPKRU-class register
+    /// write plus its serializing cost). Charged on every fast-path
+    /// entry/exit when intra-kernel protection domains are enabled, so
+    /// the offload-bypass win is reported net of protection.
+    pub domain_switch: Cycles,
 }
 
 impl Default for CostModel {
@@ -59,6 +64,7 @@ impl Default for CostModel {
             tlb_shootdown_page: Cycles::from_ns(900),
             page_touch: Cycles::from_ns(300),
             remote_numa_touch: Cycles::from_ns(220),
+            domain_switch: Cycles::from_ns(25),
         }
     }
 }
@@ -102,5 +108,15 @@ mod tests {
         // two cross kernels; devmap additionally resolves tracking state).
         assert!(c.lwk_page_fault < c.unified_fault);
         assert!(c.unified_fault < c.devmap_fault);
+    }
+
+    #[test]
+    fn domain_switch_is_cheap_relative_to_offload() {
+        let c = CostModel::default();
+        // The whole point of the bypass: an in-LWK call plus two domain
+        // switches (enter + exit the protected region) must stay far
+        // below the fixed offload round trip, or promotion buys nothing.
+        let guarded = c.lwk_syscall + c.domain_switch * 2;
+        assert!(guarded.raw() * 3 < c.offload_fixed_rtt().raw());
     }
 }

@@ -228,6 +228,10 @@ pub struct Delegator {
     completed: ReplyCache,
     tracking: HashMap<u64, TrackingObject>,
     next_tracking: u64,
+    /// MPK protection key tagging the in-flight/reply slabs, if the
+    /// kernel armed intra-kernel domains. Tagged slabs may only be
+    /// touched while the matching domain is open.
+    pkey: Option<u8>,
 }
 
 /// What the delegator wants done after accepting a request.
@@ -251,6 +255,21 @@ impl Delegator {
     /// Fresh module state.
     pub fn new() -> Self {
         Delegator::default()
+    }
+
+    /// Tag the delegator slabs with an MPK protection key. Idempotent;
+    /// retagging with a different key is a bug.
+    pub fn set_pkey(&mut self, key: u8) {
+        assert!(
+            self.pkey.is_none_or(|k| k == key),
+            "delegator slabs already tagged with a different pkey"
+        );
+        self.pkey = Some(key);
+    }
+
+    /// Protection key tagging the slabs, if domains are armed.
+    pub fn pkey(&self) -> Option<u8> {
+        self.pkey
     }
 
     /// Register a proxy process for an application. The proxy immediately

@@ -416,6 +416,11 @@ pub struct IkcChannel {
     sent: u64,
     received: u64,
     full_events: u64,
+    /// MPK protection key tagging the slot arena, if the kernel armed
+    /// intra-kernel domains. A tagged ring may only be touched while
+    /// the matching domain is open (the fast paths charge a
+    /// `domain_switch` to open it); untagged rings behave as before.
+    pkey: Option<u8>,
 }
 
 impl IkcChannel {
@@ -435,7 +440,24 @@ impl IkcChannel {
             sent: 0,
             received: 0,
             full_events: 0,
+            pkey: None,
         }
+    }
+
+    /// Tag the ring's slot arena with an MPK protection key. Idempotent;
+    /// retagging with a different key is a bug (two domains cannot own
+    /// one arena).
+    pub fn set_pkey(&mut self, key: u8) {
+        assert!(
+            self.pkey.is_none_or(|k| k == key),
+            "IKC ring already tagged with a different pkey"
+        );
+        self.pkey = Some(key);
+    }
+
+    /// Protection key tagging this ring, if domains are armed.
+    pub fn pkey(&self) -> Option<u8> {
+        self.pkey
     }
 
     /// Default depth used by the stack (and swept by the A6 ablation).
@@ -578,6 +600,13 @@ impl IkcPair {
             to_lwk: IkcChannel::new(depth),
         }
     }
+
+    /// Tag both directions with one protection key — the rings are one
+    /// shared surface as far as the domain model is concerned.
+    pub fn set_pkey(&mut self, key: u8) {
+        self.to_linux.set_pkey(key);
+        self.to_lwk.set_pkey(key);
+    }
 }
 
 impl Default for IkcPair {
@@ -710,6 +739,24 @@ mod tests {
         assert!(!ch.recv_ref().unwrap().verify());
         // Corrupting an empty channel is a no-op.
         ch.corrupt_newest(7);
+    }
+
+    #[test]
+    fn pkey_tagging_is_sticky_and_pairwise() {
+        let mut pair = IkcPair::default();
+        assert_eq!(pair.to_linux.pkey(), None, "untagged by default");
+        pair.set_pkey(1);
+        assert_eq!(pair.to_linux.pkey(), Some(1));
+        assert_eq!(pair.to_lwk.pkey(), Some(1));
+        pair.set_pkey(1); // idempotent retag is fine
+    }
+
+    #[test]
+    #[should_panic(expected = "already tagged")]
+    fn retagging_with_a_different_pkey_is_a_bug() {
+        let mut ch = IkcChannel::new(4);
+        ch.set_pkey(1);
+        ch.set_pkey(2);
     }
 
     #[test]

@@ -191,6 +191,16 @@ impl TlbSet {
         self.cpus[cpu % n].translate(pt, va)
     }
 
+    /// Cache-only lookup on `cpu` — never consults a page table. This is
+    /// the shootdown audit hook: after any unmap, a `lookup_on` of the
+    /// torn-down page must miss on *every* CPU, otherwise a stale
+    /// translation survived the shootdown.
+    #[inline]
+    pub fn lookup_on(&mut self, cpu: usize, va: VirtAddr) -> Option<Translation> {
+        let n = self.cpus.len();
+        self.cpus[cpu % n].lookup(va)
+    }
+
     /// Shoot down the page containing `va` on every CPU.
     pub fn shootdown_page(&mut self, va: VirtAddr) {
         for tlb in &mut self.cpus {

@@ -5,6 +5,7 @@
 //! signaling, inter-process mappings and perf counters — everything else
 //! is delegated to Linux through IKC.
 
+pub mod domains;
 pub mod mem;
 pub mod perfctr;
 pub mod process;
@@ -27,7 +28,7 @@ use shm::{ShmId, ShmRegistry};
 use signal::SignalState;
 use simcore::{Cycles, Trace};
 use std::collections::HashMap;
-use syscall::{Disposition, SyscallRequest};
+use syscall::{BypassConfig, Disposition, SyscallProfiler, SyscallRequest};
 
 /// What the kernel wants the simulation to do after a syscall entry.
 #[derive(Debug, PartialEq, Eq)]
@@ -96,6 +97,18 @@ pub struct McKernel {
     shm: ShmRegistry,
     /// Mechanism counters (offloads, faults, ...).
     pub trace: Trace,
+    /// Per-process syscall heat profiler (drives the promoted tier).
+    pub prof: SyscallProfiler,
+    /// Offload-bypass policy (off by default: figures stay identical).
+    pub bypass: BypassConfig,
+    /// MPK-style protection-domain model guarding the IKC ring,
+    /// delegator slabs, fd rings, and time page (disabled by default).
+    pub domains: domains::DomainModel,
+    /// vDSO-style shared time page: the nanosecond value Linux last
+    /// published toward the LWK (None until the first publish). The
+    /// promoted clock fast path reads this; cold it falls back to
+    /// offload, where Linux answers from the same page.
+    time_page: Option<u64>,
 }
 
 impl McKernel {
@@ -137,6 +150,10 @@ impl McKernel {
             next_seq: 1,
             shm: ShmRegistry::new(),
             trace: Trace::new(),
+            prof: SyscallProfiler::new(),
+            bypass: BypassConfig::default(),
+            domains: domains::DomainModel::disabled(),
+            time_page: None,
         }
     }
 
@@ -235,6 +252,9 @@ impl McKernel {
         };
         if disposition == Disposition::Delegate {
             self.trace.bump("mck.syscall.offloaded");
+            // Heat bookkeeping only — no modeled cycles, so figure
+            // output is untouched whether or not bypass is armed.
+            self.prof.record_call(pid, sysno);
             let req = SyscallRequest {
                 seq: self.next_seq,
                 pid: pid.0,
@@ -408,6 +428,34 @@ impl McKernel {
         self.alloc.publish_stats(&mut self.trace);
     }
 
+    /// Mirror the syscall profiler into the kernel trace as deltas
+    /// (`publish_mem_stats` pattern): total delegated calls observed and
+    /// the number of (pid, sysno) entries with a live cost EWMA.
+    pub fn publish_prof_stats(&mut self) {
+        let (calls, hot) = self.prof.take_publish_delta();
+        self.trace.add("mck.prof.calls", calls);
+        self.trace.add("mck.prof.hot", hot);
+    }
+
+    /// Linux published a fresh time value to the vDSO-style shared page.
+    pub fn publish_time_page(&mut self, ns: u64) {
+        self.time_page = Some(ns);
+    }
+
+    /// The shared time page's current value (None until first publish).
+    pub fn time_page(&self) -> Option<u64> {
+        self.time_page
+    }
+
+    /// The effective disposition of one syscall under the current
+    /// bypass policy and heat state. `mmap` keeps its backing split.
+    pub fn effective_disposition(&self, pid: Pid, sysno: Sysno, args: &[u64; 6]) -> Disposition {
+        if sysno == Sysno::Mmap {
+            return syscall::mmap_disposition(args[4]);
+        }
+        self.prof.disposition(&self.bypass, pid, sysno)
+    }
+
     /// Install the LWK-side VMA for a device mapping after Linux completed
     /// its half of the Fig. 4 flow (steps 4-5: "Linux replies to McKernel
     /// so that it can also allocate its own virtual memory range").
@@ -430,6 +478,21 @@ impl McKernel {
             true,
             None,
         )
+    }
+
+    /// Unmap `len` bytes at `start` through the TLB-coherent teardown
+    /// path — identical to the `munmap` syscall arm but callable from
+    /// kernel-internal flows (zero-copy devmap teardown). Every leaf
+    /// removal routes through `AddressSpace::unmap_page`, so the
+    /// software-TLB shootdown is structural, not optional.
+    pub fn munmap_range(
+        &mut self,
+        pid: Pid,
+        start: VirtAddr,
+        len: u64,
+    ) -> Result<mem::UnmapStats, Errno> {
+        let proc = self.procs.get_mut(&pid).ok_or(Errno::ENOENT)?;
+        mem::unmap_range(&mut proc.aspace, &mut self.alloc, &self.costs, start, len)
     }
 
     /// Create an inter-process shared segment (Sec. II: "it also allows
@@ -486,10 +549,14 @@ impl McKernel {
         for (start, len) in ranges {
             let _ = mem::unmap_range(&mut proc.aspace, &mut self.alloc, &self.costs, start, len);
         }
-        for tid in proc.threads {
-            self.threads.remove(&tid);
-            self.perf.remove(&tid);
+        for tid in &proc.threads {
+            self.threads.remove(tid);
+            self.perf.remove(tid);
         }
+        // No stranded futex waiters or stale heat for the reaped job.
+        let dead = proc.threads;
+        self.sched.futex_reap(|t| dead.contains(&t));
+        self.prof.forget(pid);
         self.signals.remove(&pid);
     }
 
@@ -515,9 +582,12 @@ impl McKernel {
     }
 
     /// Whether the kernel is back to a pristine state (no processes, all
-    /// physical memory free).
+    /// physical memory free, no parked futex waiters, no stale heat).
     pub fn is_pristine(&self) -> bool {
-        self.procs.is_empty() && self.alloc.free_bytes() == self.alloc.len_bytes()
+        self.procs.is_empty()
+            && self.alloc.free_bytes() == self.alloc.len_bytes()
+            && !self.sched.has_futex_waiters()
+            && self.prof.is_empty()
     }
 }
 

@@ -11,14 +11,23 @@
 //!   work stealing, no IPIs between LWK cores.
 
 use crate::abi::Tid;
+use hwmodel::addr::VirtAddr;
 use hwmodel::cpu::CoreId;
 use std::collections::{BTreeMap, VecDeque};
 
-/// Per-core cooperative run queues.
+/// Per-core cooperative run queues, plus the native futex wait table
+/// used by the promoted `futex` fast path (keyed by the *virtual*
+/// address of the futex word — LWK threads of one process share the
+/// address space, so the VA is the identity).
 #[derive(Debug)]
 pub struct CoopScheduler {
     queues: BTreeMap<CoreId, VecDeque<Tid>>,
     current: BTreeMap<CoreId, Option<Tid>>,
+    /// FIFO waiters per futex word. Waiters parked here are invisible to
+    /// the Linux side by design: a futex word shared with the proxy must
+    /// stay on the delegated path (that is exactly why the promoted path
+    /// only handles process-private futexes).
+    futexes: BTreeMap<VirtAddr, VecDeque<(CoreId, Tid)>>,
 }
 
 impl CoopScheduler {
@@ -27,6 +36,7 @@ impl CoopScheduler {
         CoopScheduler {
             queues: cores.iter().map(|&c| (c, VecDeque::new())).collect(),
             current: cores.iter().map(|&c| (c, None)).collect(),
+            futexes: BTreeMap::new(),
         }
     }
 
@@ -110,6 +120,59 @@ impl CoopScheduler {
     /// Runnable (queued, not running) count on a core.
     pub fn queued(&self, core: CoreId) -> usize {
         self.queues.get(&core).map(VecDeque::len).unwrap_or(0)
+    }
+
+    /// Park the current thread of `core` on the futex word at `uaddr`
+    /// (`FUTEX_WAIT` after the value check passed). The core picks its
+    /// next runnable thread, which is returned.
+    pub fn futex_wait(&mut self, core: CoreId, uaddr: VirtAddr) -> Option<Tid> {
+        let tid = self
+            .current(core)
+            .unwrap_or_else(|| panic!("futex_wait with nothing running on {core}"));
+        self.futexes.entry(uaddr).or_default().push_back((core, tid));
+        self.block_current(core)
+    }
+
+    /// Wake up to `n` FIFO waiters parked on `uaddr` (`FUTEX_WAKE`).
+    /// Each is re-dispatched onto the core it blocked on. Returns the
+    /// woken (core, tid) pairs in wake order.
+    pub fn futex_wake(&mut self, uaddr: VirtAddr, n: usize) -> Vec<(CoreId, Tid)> {
+        let mut woken = Vec::new();
+        if let Some(q) = self.futexes.get_mut(&uaddr) {
+            for _ in 0..n {
+                match q.pop_front() {
+                    Some(pair) => woken.push(pair),
+                    None => break,
+                }
+            }
+        }
+        for &(core, tid) in &woken {
+            self.wake(core, tid);
+        }
+        if self.futexes.get(&uaddr).is_some_and(VecDeque::is_empty) {
+            self.futexes.remove(&uaddr);
+        }
+        woken
+    }
+
+    /// Waiters currently parked on `uaddr`.
+    pub fn futex_waiters(&self, uaddr: VirtAddr) -> usize {
+        self.futexes.get(&uaddr).map_or(0, VecDeque::len)
+    }
+
+    /// Whether any futex word has parked waiters (pristine-LWK check:
+    /// a reaped job must leave no thread stranded on a wait queue).
+    pub fn has_futex_waiters(&self) -> bool {
+        !self.futexes.is_empty()
+    }
+
+    /// Drop every parked waiter whose tid satisfies `dead` (process
+    /// teardown: SIGKILL must not leave tombstones in the wait table).
+    pub fn futex_reap(&mut self, dead: impl Fn(Tid) -> bool) {
+        for q in self.futexes.values_mut() {
+            q.retain(|&(_, t)| !dead(t));
+        }
+        self.futexes.retain(|_, q| !q.is_empty());
     }
 }
 
@@ -201,5 +264,44 @@ mod tests {
         s.pick_next(c);
         assert_eq!(s.exit_current(c), Some(Tid(2)));
         assert_eq!(s.exit_current(c), None);
+    }
+
+    #[test]
+    fn futex_wait_parks_and_wake_redispatches_fifo() {
+        let mut s = CoopScheduler::new(&cores());
+        let (c1, c2) = (CoreId(10), CoreId(11));
+        s.enqueue(c1, Tid(1));
+        s.enqueue(c2, Tid(2));
+        s.pick_next(c1);
+        s.pick_next(c2);
+        let word = VirtAddr(0x7000_1000);
+        // Both threads park on the same word; their cores go idle.
+        assert_eq!(s.futex_wait(c1, word), None);
+        assert_eq!(s.futex_wait(c2, word), None);
+        assert_eq!(s.futex_waiters(word), 2);
+        assert!(s.has_futex_waiters());
+        // Wake 1: strictly FIFO, back onto the parking core.
+        assert_eq!(s.futex_wake(word, 1), vec![(c1, Tid(1))]);
+        assert_eq!(s.current(c1), Some(Tid(1)), "idle core dispatches");
+        assert_eq!(s.futex_waiters(word), 1);
+        // Wake everything (n larger than the queue is fine).
+        assert_eq!(s.futex_wake(word, 100), vec![(c2, Tid(2))]);
+        assert_eq!(s.futex_waiters(word), 0);
+        assert!(!s.has_futex_waiters(), "empty queues are pruned");
+        // Waking an unknown word wakes nobody.
+        assert!(s.futex_wake(VirtAddr(0xdead_0000), 5).is_empty());
+    }
+
+    #[test]
+    fn futex_reap_drops_dead_waiters() {
+        let mut s = CoopScheduler::new(&cores());
+        let c = CoreId(10);
+        s.enqueue(c, Tid(1));
+        s.pick_next(c);
+        let word = VirtAddr(0x7000_2000);
+        s.futex_wait(c, word);
+        s.futex_reap(|t| t == Tid(1));
+        assert!(!s.has_futex_waiters());
+        assert!(s.futex_wake(word, 1).is_empty(), "no tombstone wakeups");
     }
 }

@@ -8,8 +8,9 @@
 //! mappings and it provides interfaces to hardware performance counters."
 //! Everything filesystem/device shaped goes to the proxy.
 
-use crate::abi::Sysno;
+use crate::abi::{Pid, Sysno};
 use simcore::Cycles;
+use std::collections::HashMap;
 
 /// Where a system call executes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -18,6 +19,11 @@ pub enum Disposition {
     Lwk,
     /// Marshalled over IKC and executed by the proxy process on Linux.
     Delegate,
+    /// Statically delegated, but measured hot by the [`SyscallProfiler`]
+    /// and promoted to an in-LWK fast path. The fast path must fall back
+    /// to [`Disposition::Delegate`] on any flag, state, or cache miss it
+    /// does not handle, so results never diverge from the proxy's.
+    Promoted,
 }
 
 /// Static disposition of a syscall. `mmap` is special-cased: anonymous
@@ -38,9 +44,24 @@ pub fn disposition(s: Sysno) -> Disposition {
         // Cheap local reads.
         Gettimeofday => Disposition::Lwk,
         // Everything touching files, devices, or Linux state.
-        Read | Write | Open | Openat | Close | Stat | Ioctl | Fcntl | Getcwd | Uname
-        | GetRandom => Disposition::Delegate,
+        Read | Write | Lseek | Open | Openat | Close | Stat | Ioctl | Fcntl | Getcwd
+        | Uname | GetRandom => Disposition::Delegate,
+        // Futex and clock reads are delegated by default in this model
+        // (they live in the promotable subset below); the profiler can
+        // promote them to the in-LWK futex table / vDSO time page.
+        Futex | ClockGettime => Disposition::Delegate,
     }
+}
+
+/// Whether a delegated syscall has an in-LWK fast-path implementation
+/// the profiler may promote it to: positional I/O on proxy-backed fds
+/// (shared-ring file cache), futex wait/wake (native wait queues in
+/// `mck::sched`), and clock reads (vDSO-style shared time page).
+pub fn promotable(s: Sysno) -> bool {
+    matches!(
+        s,
+        Sysno::Read | Sysno::Write | Sysno::Lseek | Sysno::Futex | Sysno::ClockGettime
+    )
 }
 
 /// `mmap` disposition by backing: `fd == -1` (anonymous) stays local;
@@ -209,6 +230,163 @@ impl RetryPolicy {
     }
 }
 
+/// Offload-bypass policy knobs.
+///
+/// Promotion is **off by default**: the paper-reproduction binaries must
+/// stay byte-identical, so nothing promotes unless a bench (or
+/// `HLWK_BYPASS`) arms it explicitly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BypassConfig {
+    /// Master switch. Disabled ⇒ every delegated call takes the IKC trip
+    /// exactly as before, and the promotion check costs nothing.
+    pub enabled: bool,
+    /// A (pid, sysno) pair is promoted once the profiler has seen this
+    /// many offloaded executions of it (the EWMA then has a signal).
+    /// `u64::MAX` arms the machinery without ever promoting — the
+    /// "on-but-cold" determinism smoke.
+    pub promote_after: u64,
+    /// Charge `costs.domain_switch` on fast-path entry and exit (the
+    /// MPK-style protection domains around the IKC ring / delegator
+    /// surface). Reported separately so the bypass win is honest.
+    pub domains: bool,
+}
+
+impl Default for BypassConfig {
+    fn default() -> Self {
+        BypassConfig {
+            enabled: false,
+            promote_after: 8,
+            domains: false,
+        }
+    }
+}
+
+impl BypassConfig {
+    /// Read the policy from `HLWK_BYPASS`: `off` (default) /
+    /// `on-but-cold` (armed, never promotes) / `on`.
+    pub fn from_env() -> BypassConfig {
+        match std::env::var("HLWK_BYPASS").as_deref() {
+            Ok("on") => BypassConfig {
+                enabled: true,
+                ..BypassConfig::default()
+            },
+            Ok("on-but-cold") => BypassConfig {
+                enabled: true,
+                promote_after: u64::MAX,
+                ..BypassConfig::default()
+            },
+            _ => BypassConfig::default(),
+        }
+    }
+}
+
+/// Per-(pid, sysno) heat entry.
+#[derive(Clone, Copy, Debug, Default)]
+struct Heat {
+    /// Executions observed (local count, not a trace counter).
+    count: u64,
+    /// EWMA of the observed per-call cost in raw cycles (α = 1/8,
+    /// integer arithmetic so replays are bit-identical). 0 = no sample.
+    ewma_raw: u64,
+}
+
+/// Per-process syscall heat profiler: counts plus an EWMA of observed
+/// cycles per [`Sysno`], driving the [`Disposition::Promoted`] tier.
+///
+/// Recording is branch-light bookkeeping on the LWK side of the offload
+/// path; it charges no modeled cycles, so arming the profiler never
+/// perturbs figure output. Stats are exported as trace-counter deltas by
+/// `McKernel::publish_prof_stats` (same pattern as `publish_mem_stats`).
+#[derive(Debug, Default)]
+pub struct SyscallProfiler {
+    heat: HashMap<(Pid, u32), Heat>,
+    /// Totals already pushed to the trace (delta export).
+    published_calls: u64,
+    published_samples: u64,
+}
+
+impl SyscallProfiler {
+    /// Fresh profiler.
+    pub fn new() -> Self {
+        SyscallProfiler::default()
+    }
+
+    /// Record one execution of `sysno` by `pid`; returns the new count.
+    pub fn record_call(&mut self, pid: Pid, sysno: Sysno) -> u64 {
+        let h = self.heat.entry((pid, sysno.nr())).or_default();
+        h.count += 1;
+        h.count
+    }
+
+    /// Fold one observed per-call cost into the EWMA (α = 1/8).
+    pub fn record_cycles(&mut self, pid: Pid, sysno: Sysno, cost: Cycles) {
+        let h = self.heat.entry((pid, sysno.nr())).or_default();
+        if h.ewma_raw == 0 {
+            h.ewma_raw = cost.raw();
+        } else {
+            h.ewma_raw = h.ewma_raw - h.ewma_raw / 8 + cost.raw() / 8;
+        }
+    }
+
+    /// Executions recorded for (pid, sysno).
+    pub fn count(&self, pid: Pid, sysno: Sysno) -> u64 {
+        self.heat.get(&(pid, sysno.nr())).map_or(0, |h| h.count)
+    }
+
+    /// Smoothed per-call cost, if any sample landed yet.
+    pub fn ewma(&self, pid: Pid, sysno: Sysno) -> Option<Cycles> {
+        match self.heat.get(&(pid, sysno.nr())) {
+            Some(h) if h.ewma_raw > 0 => Some(Cycles(h.ewma_raw)),
+            _ => None,
+        }
+    }
+
+    /// The tiered disposition under `cfg`: [`Disposition::Promoted`] for
+    /// a measured-hot promotable call, the static table otherwise.
+    pub fn disposition(&self, cfg: &BypassConfig, pid: Pid, sysno: Sysno) -> Disposition {
+        let stat = disposition(sysno);
+        if stat != Disposition::Delegate || !cfg.enabled || !promotable(sysno) {
+            return stat;
+        }
+        if self.count(pid, sysno) >= cfg.promote_after {
+            Disposition::Promoted
+        } else {
+            Disposition::Delegate
+        }
+    }
+
+    /// Drop all state for a reaped process.
+    pub fn forget(&mut self, pid: Pid) {
+        self.heat.retain(|(p, _), _| *p != pid);
+    }
+
+    /// Whether any state is live (pristine-LWK check).
+    pub fn is_empty(&self) -> bool {
+        self.heat.is_empty()
+    }
+
+    /// Totals for delta export: (calls recorded, EWMA samples folded).
+    pub fn totals(&self) -> (u64, u64) {
+        let calls = self.heat.values().map(|h| h.count).sum();
+        let samples = self.heat.values().filter(|h| h.ewma_raw > 0).count() as u64;
+        (calls, samples)
+    }
+
+    /// Take the not-yet-published delta of (calls, hot entries) — the
+    /// `publish_mem_stats` pattern, so repeated publishes never
+    /// double-count.
+    pub fn take_publish_delta(&mut self) -> (u64, u64) {
+        let (calls, samples) = self.totals();
+        let d = (
+            calls - self.published_calls,
+            samples.saturating_sub(self.published_samples),
+        );
+        self.published_calls = calls;
+        self.published_samples = samples;
+        d
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,5 +475,78 @@ mod tests {
     fn decode_rejects_short_buffers() {
         assert_eq!(SyscallRequest::decode(&[0u8; 10]), None);
         assert_eq!(SyscallReply::decode(&[0u8; 15]), None);
+    }
+
+    #[test]
+    fn promotable_subset_is_delegated_by_default() {
+        for s in [
+            Sysno::Read,
+            Sysno::Write,
+            Sysno::Lseek,
+            Sysno::Futex,
+            Sysno::ClockGettime,
+        ] {
+            assert!(promotable(s), "{s:?}");
+            assert_eq!(disposition(s), Disposition::Delegate, "{s:?}");
+        }
+        assert!(!promotable(Sysno::Open), "control-plane calls never promote");
+        assert!(!promotable(Sysno::Ioctl), "device calls never promote");
+    }
+
+    #[test]
+    fn profiler_promotes_only_hot_promotable_calls() {
+        let mut prof = SyscallProfiler::new();
+        let cfg = BypassConfig {
+            enabled: true,
+            promote_after: 3,
+            domains: false,
+        };
+        let pid = Pid(1000);
+        // Cold: still delegated.
+        assert_eq!(prof.disposition(&cfg, pid, Sysno::Read), Disposition::Delegate);
+        for _ in 0..3 {
+            prof.record_call(pid, Sysno::Read);
+            prof.record_call(pid, Sysno::Open);
+        }
+        assert_eq!(prof.disposition(&cfg, pid, Sysno::Read), Disposition::Promoted);
+        // Equally hot but not promotable: stays delegated.
+        assert_eq!(prof.disposition(&cfg, pid, Sysno::Open), Disposition::Delegate);
+        // Another process's heat does not leak.
+        assert_eq!(
+            prof.disposition(&cfg, Pid(2000), Sysno::Read),
+            Disposition::Delegate
+        );
+        // Locally-dispatched calls are untouched by promotion.
+        assert_eq!(prof.disposition(&cfg, pid, Sysno::Getpid), Disposition::Lwk);
+        // Master switch off: nothing promotes no matter the heat.
+        let off = BypassConfig::default();
+        assert!(!off.enabled);
+        assert_eq!(prof.disposition(&off, pid, Sysno::Read), Disposition::Delegate);
+        // on-but-cold: armed, never promotes.
+        let cold = BypassConfig {
+            enabled: true,
+            promote_after: u64::MAX,
+            domains: false,
+        };
+        assert_eq!(prof.disposition(&cold, pid, Sysno::Read), Disposition::Delegate);
+    }
+
+    #[test]
+    fn ewma_tracks_and_forget_clears() {
+        let mut prof = SyscallProfiler::new();
+        let pid = Pid(1000);
+        assert_eq!(prof.ewma(pid, Sysno::Read), None);
+        prof.record_cycles(pid, Sysno::Read, Cycles(8000));
+        assert_eq!(prof.ewma(pid, Sysno::Read), Some(Cycles(8000)), "seeded");
+        prof.record_cycles(pid, Sysno::Read, Cycles(800));
+        // 8000 - 1000 + 100 = 7100: pulled 1/8 toward the new sample.
+        assert_eq!(prof.ewma(pid, Sysno::Read), Some(Cycles(7100)));
+        prof.record_call(pid, Sysno::Read);
+        let (calls, hot) = prof.take_publish_delta();
+        assert_eq!((calls, hot), (1, 1));
+        assert_eq!(prof.take_publish_delta(), (0, 0), "delta export");
+        prof.forget(pid);
+        assert!(prof.is_empty());
+        assert_eq!(prof.count(pid, Sysno::Read), 0);
     }
 }

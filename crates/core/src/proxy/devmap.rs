@@ -119,6 +119,82 @@ pub fn device_fault(
     }
 }
 
+/// Result of a zero-copy device `mmap`: the ordinary Fig. 4 setup plus
+/// an eager, batched population of every PTE in the range.
+#[derive(Debug, PartialEq, Eq)]
+pub struct DevMmapZeroCopyResult {
+    /// The underlying mapping (same fields as the lazy flow).
+    pub map: DevMmapResult,
+    /// PTEs installed eagerly.
+    pub pages: u64,
+    /// Modeled cost of the batched population: one PFN-resolve IKC
+    /// exchange amortized over the whole range, plus a per-page PTE
+    /// install. After this, device touches cost nothing extra — the
+    /// lazy flow instead pays `devmap_fault` (an offload-class round
+    /// trip) on the first touch of *every* page.
+    pub populate_cost: Cycles,
+}
+
+/// Zero-copy device mmap: run the Fig. 4 setup, then resolve **all**
+/// pages of the mapping through the tracking object in one batched
+/// exchange and install the device PTEs up front. The mapped frames are
+/// the device's own BAR frames — no bounce buffer, no copy — and the
+/// app's first touch of any page is already a plain user-space access.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's actors
+pub fn device_mmap_zero_copy(
+    mck: &mut McKernel,
+    app_pid: Pid,
+    proxy: &mut ProxyProcess,
+    delegator: &mut Delegator,
+    dev: &PciDevice,
+    bar: u8,
+    file_off: u64,
+    len: u64,
+) -> Result<DevMmapZeroCopyResult, Errno> {
+    let map = device_mmap(mck, app_pid, proxy, delegator, dev, bar, file_off, len)?;
+    let pages = len.div_ceil(hwmodel::addr::PAGE_SIZE);
+    // One batched resolve trip for the whole range (the request carries
+    // the page count; the reply carries every PFN) ...
+    let mut populate_cost = mck.costs.devmap_fault;
+    for i in 0..pages {
+        let offset = i * hwmodel::addr::PAGE_SIZE;
+        let phys = delegator
+            .resolve_pfn(map.tracking, offset)
+            .ok_or(Errno::EFAULT)?;
+        let proc = mck.process_mut(app_pid).ok_or(Errno::ENOENT)?;
+        mem::complete_device_fault(&mut proc.aspace, map.lwk_va + offset, phys)
+            .map_err(|_| Errno::EEXIST)?;
+        // ... plus the local PTE install per page.
+        populate_cost += mck.costs.page_touch;
+    }
+    mck.trace.add("mck.devmap.zero_copy_pages", pages);
+    Ok(DevMmapZeroCopyResult {
+        map,
+        pages,
+        populate_cost,
+    })
+}
+
+/// Tear down a zero-copy mapping: unmap every PTE through the
+/// TLB-coherent path (each leaf removal broadcasts a software-TLB
+/// shootdown to every CPU) and drop the Linux-side tracking object.
+/// Returns the modeled teardown cost.
+pub fn device_munmap_zero_copy(
+    mck: &mut McKernel,
+    app_pid: Pid,
+    delegator: &mut Delegator,
+    lwk_va: VirtAddr,
+    len: u64,
+    tracking: u64,
+) -> Result<Cycles, Errno> {
+    let stats = mck.munmap_range(app_pid, lwk_va, len)?;
+    // The tracking object may already be gone (proxy death reclaimed it);
+    // the unmap itself must still succeed.
+    delegator.drop_tracking(tracking);
+    mck.trace.bump("mck.devmap.zero_copy_unmap");
+    Ok(stats.cost)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +259,107 @@ mod tests {
         assert_eq!(t.phys, phys);
         let (_, refault_cost) = device_fault(&mut mck, pid, &mut delegator, fault_va).unwrap();
         assert_eq!(refault_cost, Cycles::ZERO, "already mapped: no IKC trip");
+    }
+
+    #[test]
+    fn zero_copy_mmap_populates_every_pte_eagerly() {
+        let (mut mck, mut proxy, mut delegator, dev) = setup();
+        let pid = mck.create_process(Some(proxy.pid));
+        proxy.app_pid = pid;
+        let res = device_mmap_zero_copy(
+            &mut mck,
+            pid,
+            &mut proxy,
+            &mut delegator,
+            &dev,
+            0,
+            0x1000,
+            0x4000,
+        )
+        .unwrap();
+        assert_eq!(res.pages, 4);
+        assert!(res.populate_cost > mck.costs.devmap_fault);
+        assert!(
+            res.populate_cost < mck.costs.devmap_fault * 4,
+            "batched: far cheaper than one resolve trip per page"
+        );
+        // Every page translates immediately — no faults, no IKC.
+        let bar_base = dev.bars[0].base;
+        for i in 0..4u64 {
+            let (phys, cost) =
+                device_fault(&mut mck, pid, &mut delegator, res.map.lwk_va + i * 0x1000)
+                    .unwrap();
+            assert_eq!(cost, Cycles::ZERO, "page {i} pre-resolved");
+            assert_eq!(phys, bar_base + 0x1000 + i * 0x1000);
+        }
+        assert_eq!(
+            mck.trace.get("mck.devmap.fault"),
+            0,
+            "no lazy faults were needed"
+        );
+    }
+
+    #[test]
+    fn zero_copy_unmap_shoots_down_every_cpu_tlb() {
+        // Regression: a stale software-TLB entry must never survive a
+        // devmap unmap. Warm every CPU's TLB on every page, tear the
+        // mapping down, then do *cache-only* lookups — any hit means a
+        // CPU could still touch device frames through a dead mapping.
+        let (mut mck, mut proxy, mut delegator, dev) = setup();
+        let pid = mck.create_process(Some(proxy.pid));
+        proxy.app_pid = pid;
+        let res = device_mmap_zero_copy(
+            &mut mck,
+            pid,
+            &mut proxy,
+            &mut delegator,
+            &dev,
+            0,
+            0,
+            0x3000,
+        )
+        .unwrap();
+        let ncpus = {
+            let proc = mck.process_mut(pid).unwrap();
+            let n = proc.aspace.tlb.len();
+            for cpu in 0..n {
+                for i in 0..3u64 {
+                    assert!(proc
+                        .aspace
+                        .translate_on(cpu, res.map.lwk_va + i * 0x1000)
+                        .is_some());
+                }
+            }
+            n
+        };
+        let cost = device_munmap_zero_copy(
+            &mut mck,
+            pid,
+            &mut delegator,
+            res.map.lwk_va,
+            0x3000,
+            res.map.tracking,
+        )
+        .unwrap();
+        assert!(cost > Cycles::ZERO, "teardown charges shootdown work");
+        let proc = mck.process_mut(pid).unwrap();
+        for cpu in 0..ncpus {
+            for i in 0..3u64 {
+                assert!(
+                    proc.aspace
+                        .tlb
+                        .lookup_on(cpu, res.map.lwk_va + i * 0x1000)
+                        .is_none(),
+                    "stale TLB entry for page {i} survived on cpu {cpu}"
+                );
+            }
+        }
+        assert_eq!(delegator.tracking_count(), 0, "tracking object dropped");
+        // The VMA itself is gone: a new fault is a clean EFAULT.
+        assert_eq!(
+            device_fault(&mut mck, pid, &mut delegator, res.map.lwk_va),
+            Err(Errno::EFAULT)
+        );
     }
 
     #[test]

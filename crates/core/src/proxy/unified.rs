@@ -159,6 +159,31 @@ impl UnifiedAddressSpace {
         Ok(cost)
     }
 
+    /// Batch-prefault every page of `[start, start+len)` in one sweep —
+    /// the Linux-side half of a zero-copy device mmap, where the proxy
+    /// pre-populates its pseudo mapping instead of taking one
+    /// `unified_fault` per later pointer dereference. Returns the pages
+    /// resolved and the total (one-time) fault cost.
+    pub fn prefault_range(
+        &mut self,
+        start: VirtAddr,
+        len: u64,
+        lwk_pt: &PageTable,
+        costs: &CostModel,
+    ) -> Result<(u64, Cycles), UasFault> {
+        let mut cost = Cycles::ZERO;
+        let mut pages = 0u64;
+        let mut va = start.page_align_down();
+        let end = start.raw() + len;
+        while va.raw() < end {
+            let (_, c) = self.resolve(va, lwk_pt, costs)?;
+            cost += c;
+            pages += 1;
+            va = va + PAGE_SIZE;
+        }
+        Ok((pages, cost))
+    }
+
     /// Synchronization on `munmap`: "Linux' page table entries in the
     /// pseudo mapping have to be occasionally synchronized with McKernel,
     /// for instance, when the application calls munmap()". Returns the
@@ -256,6 +281,30 @@ mod tests {
         assert_eq!(&buf[..16], b"AAAABBBBCCCCDDDD");
         assert_eq!(&buf[16..], b"tail-on-page-two");
         assert_eq!(uas.resident_ptes(), 2);
+    }
+
+    #[test]
+    fn prefault_range_populates_in_one_sweep() {
+        let (pt, _, costs) = setup();
+        let mut uas = UnifiedAddressSpace::new();
+        let (pages, cost) = uas
+            .prefault_range(VirtAddr(0x100_0000), 2 * PAGE_SIZE, &pt, &costs)
+            .unwrap();
+        assert_eq!(pages, 2);
+        assert_eq!(cost, costs.unified_fault * 2);
+        assert_eq!(uas.resident_ptes(), 2);
+        // Later dereferences are all hits: the prefault paid everything.
+        let (_, c) = uas.resolve(VirtAddr(0x100_0abc), &pt, &costs).unwrap();
+        assert_eq!(c, Cycles::ZERO);
+        // Prefaulting again is free (already resident).
+        let (pages2, cost2) = uas
+            .prefault_range(VirtAddr(0x100_0000), 2 * PAGE_SIZE, &pt, &costs)
+            .unwrap();
+        assert_eq!((pages2, cost2), (2, Cycles::ZERO));
+        // A range the app never mapped propagates the EFAULT.
+        assert!(uas
+            .prefault_range(VirtAddr(0x7000_0000), PAGE_SIZE, &pt, &costs)
+            .is_err());
     }
 
     #[test]

@@ -232,6 +232,27 @@ impl PhysMemory {
         }
     }
 
+    /// Fill `[addr, addr+len)` with `byte` (may span frames) without a
+    /// bounce buffer — the memset runs directly in the backing frames.
+    /// The in-LWK promoted `read()` path uses this to produce its
+    /// result bytes; a per-call staging buffer would dominate its cost.
+    pub fn fill(&mut self, addr: PhysAddr, len: u64, byte: u8) {
+        let mut cur = addr;
+        let mut rest = len as usize;
+        while rest > 0 {
+            let frame = FrameId::containing(cur);
+            let off = cur.page_offset() as usize;
+            let n = rest.min(PAGE_SIZE as usize - off);
+            let buf = self
+                .content
+                .entry(frame)
+                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            buf[off..off + n].fill(byte);
+            rest -= n;
+            cur = cur + n as u64;
+        }
+    }
+
     /// Read bytes at a physical address (may span frames). Unmaterialized
     /// frames read as zero.
     pub fn read(&self, addr: PhysAddr, out: &mut [u8]) {

@@ -80,6 +80,10 @@ pub struct LinuxKernel {
     params: CfsParams,
     next_pid: u32,
     rng: StreamRng,
+    /// vDSO-style shared time page (nanoseconds). Published to both
+    /// kernels at once, so the offloaded `clock_gettime` arm and the
+    /// promoted in-LWK read are observationally identical.
+    vdso_ns: u64,
     /// Mechanism counters.
     pub trace: Trace,
 }
@@ -135,6 +139,7 @@ impl LinuxKernel {
             params: CfsParams::default(),
             next_pid: 300,
             rng,
+            vdso_ns: 0,
             trace: Trace::new(),
         }
     }
@@ -332,6 +337,46 @@ impl LinuxKernel {
                     Err(e) => (encode_result(Err(e)), vfs.costs.rw_base),
                 }
             }
+            Some(Sysno::Lseek) => {
+                let (fd, off, whence) =
+                    (Fd(req.args[0] as i32), req.args[1] as i64, req.args[2] as u32);
+                match vfs.seek(proxy_pid, fd, off, whence) {
+                    Ok(pos) => (pos, vfs.costs.rw_base),
+                    Err(e) => (encode_result(Err(e)), vfs.costs.rw_base),
+                }
+            }
+            Some(Sysno::Futex) => {
+                // Must match the promoted in-LWK path bit for bit:
+                // WAIT loads the 32-bit word and reports -EFAULT /
+                // -EAGAIN / 0 (a satisfied wait surfaces as a modeled
+                // spurious wakeup); WAKE returns 0 through the syscall
+                // surface either way.
+                const FUTEX_PRIVATE_FLAG: u64 = 128;
+                let (uaddr, op, val) =
+                    (req.args[0], req.args[1] & !FUTEX_PRIVATE_FLAG, req.args[2]);
+                match op {
+                    0 => {
+                        let mut w = [0u8; 4];
+                        match proxy.uas.read(VirtAddr(uaddr), &mut w, lwk_pt, mem, &costs) {
+                            Ok(fc) => {
+                                if u32::from_le_bytes(w) == val as u32 {
+                                    (0, Cycles::from_us(1) + fc)
+                                } else {
+                                    (encode_result(Err(Errno::EAGAIN)), Cycles::from_us(1) + fc)
+                                }
+                            }
+                            Err(_) => (encode_result(Err(Errno::EFAULT)), Cycles::from_us(1)),
+                        }
+                    }
+                    1 => (0, Cycles::from_us(1)),
+                    _ => (encode_result(Err(Errno::ENOSYS)), Cycles::from_us(1)),
+                }
+            }
+            Some(Sysno::ClockGettime) => {
+                // Pointer-free convention shared with the promoted vDSO
+                // read: ret carries the published timestamp in ns.
+                (self.vdso_ns as i64, Cycles::from_us(1))
+            }
             Some(Sysno::Ioctl) => match vfs.ioctl_cost(proxy_pid, Fd(req.args[0] as i32)) {
                 Ok(c) => (0, c),
                 Err(e) => (encode_result(Err(e)), vfs.costs.ioctl),
@@ -363,6 +408,18 @@ impl LinuxKernel {
             wake_delay,
             service: service + costs.linux_syscall_entry,
         }
+    }
+
+    /// Publish the vDSO-style shared time page (nanoseconds). Node
+    /// runtimes publish to Linux and McKernel in the same step, so the
+    /// two `clock_gettime` paths can never disagree.
+    pub fn publish_vdso_time(&mut self, ns: u64) {
+        self.vdso_ns = ns;
+    }
+
+    /// Current contents of the shared time page.
+    pub fn vdso_time(&self) -> u64 {
+        self.vdso_ns
     }
 
     /// Invalidate proxy pseudo-mapping PTEs after an LWK munmap.
@@ -528,6 +585,92 @@ mod tests {
         };
         let res = linux.service_syscall(proxy, &req, Cycles::ZERO, &pt, &mut mem);
         assert_eq!(res.ret, -(Errno::ENOSYS as i32 as i64));
+    }
+
+    #[test]
+    fn offloaded_lseek_futex_and_clock_arms() {
+        let mut linux = boot_linux();
+        let (pt, mut mem) = app_world();
+        let proxy = linux.spawn_proxy(Pid(1000), CoreId(19));
+        mem.write(PhysAddr(0x40_0100), b"/tmp/f\0");
+        let mk = |seq, sysno: Sysno, args: [u64; 6]| SyscallRequest {
+            seq,
+            pid: 1000,
+            tid: 1000,
+            sysno: sysno.nr(),
+            args,
+        };
+        let fd = linux
+            .service_syscall(
+                proxy,
+                &mk(1, Sysno::Open, [0x100_0100, 0, 0, 0, 0, 0]),
+                Cycles::ZERO,
+                &pt,
+                &mut mem,
+            )
+            .ret as u64;
+        // lseek: SEEK_SET then SEEK_END (unmodeled ⇒ EINVAL).
+        let r = linux.service_syscall(
+            proxy,
+            &mk(2, Sysno::Lseek, [fd, 8192, 0, 0, 0, 0]),
+            Cycles::ZERO,
+            &pt,
+            &mut mem,
+        );
+        assert_eq!(r.ret, 8192);
+        let r = linux.service_syscall(
+            proxy,
+            &mk(3, Sysno::Lseek, [fd, 0, 2, 0, 0, 0]),
+            Cycles::ZERO,
+            &pt,
+            &mut mem,
+        );
+        assert_eq!(r.ret, -(Errno::EINVAL as i64));
+        // futex WAIT on a word holding 0 (bytes at 0x40_0000 start as 0):
+        // expected 0 ⇒ modeled spurious wakeup; expected 7 ⇒ -EAGAIN.
+        let word = 0x100_0800u64;
+        let r = linux.service_syscall(
+            proxy,
+            &mk(4, Sysno::Futex, [word, 128, 0, 0, 0, 0]), // WAIT|PRIVATE
+            Cycles::ZERO,
+            &pt,
+            &mut mem,
+        );
+        assert_eq!(r.ret, 0, "value matched: wait returns (spurious wake)");
+        let r = linux.service_syscall(
+            proxy,
+            &mk(5, Sysno::Futex, [word, 0, 7, 0, 0, 0]),
+            Cycles::ZERO,
+            &pt,
+            &mut mem,
+        );
+        assert_eq!(r.ret, -(Errno::EAGAIN as i64));
+        let r = linux.service_syscall(
+            proxy,
+            &mk(6, Sysno::Futex, [0x7770_0000, 0, 0, 0, 0, 0]),
+            Cycles::ZERO,
+            &pt,
+            &mut mem,
+        );
+        assert_eq!(r.ret, -(Errno::EFAULT as i64), "unmapped futex word");
+        let r = linux.service_syscall(
+            proxy,
+            &mk(7, Sysno::Futex, [word, 9, 0, 0, 0, 0]),
+            Cycles::ZERO,
+            &pt,
+            &mut mem,
+        );
+        assert_eq!(r.ret, -(Errno::ENOSYS as i64), "FUTEX_REQUEUE unmodeled");
+        // clock_gettime reads the published time page.
+        linux.publish_vdso_time(123_456_789);
+        let r = linux.service_syscall(
+            proxy,
+            &mk(8, Sysno::ClockGettime, [0; 6]),
+            Cycles::ZERO,
+            &pt,
+            &mut mem,
+        );
+        assert_eq!(r.ret, 123_456_789);
     }
 
     #[test]

@@ -198,6 +198,29 @@ impl Vfs {
         Ok(())
     }
 
+    /// `lseek(fd, off, whence)` on a regular file: SEEK_SET (0) and
+    /// SEEK_CUR (1) reposition; SEEK_END (2) needs a file size this
+    /// model does not track, so it is `EINVAL` — deliberately identical
+    /// on the offloaded and promoted paths. A resulting negative
+    /// position is `EINVAL` per POSIX. Returns the new position.
+    pub fn seek(&mut self, pid: Pid, fd: Fd, off: i64, whence: u32) -> Result<i64, Errno> {
+        let table = self.tables.get_mut(&pid).ok_or(Errno::ENOENT)?;
+        let f = table.files.get_mut(&fd.0).ok_or(Errno::EBADF)?;
+        if !matches!(f.kind, FileKind::Regular { .. }) {
+            return Err(Errno::EINVAL);
+        }
+        let new = match whence {
+            0 => off,
+            1 => f.pos as i64 + off,
+            _ => return Err(Errno::EINVAL),
+        };
+        if new < 0 {
+            return Err(Errno::EINVAL);
+        }
+        f.pos = new as u64;
+        Ok(new)
+    }
+
     /// `ioctl` service cost on `fd`.
     pub fn ioctl_cost(&self, pid: Pid, fd: Fd) -> Result<Cycles, Errno> {
         let f = self.file(pid, fd)?;
@@ -305,6 +328,21 @@ mod tests {
         let (fd, _) = v.open(Pid(500), "/tmp/f").unwrap();
         v.advance(Pid(500), fd, 4096).unwrap();
         assert_eq!(v.file(Pid(500), fd).unwrap().pos, 4096);
+    }
+
+    #[test]
+    fn seek_set_cur_and_error_cases() {
+        let mut v = vfs();
+        let (fd, _) = v.open(Pid(500), "/tmp/f").unwrap();
+        assert_eq!(v.seek(Pid(500), fd, 8192, 0), Ok(8192), "SEEK_SET");
+        assert_eq!(v.seek(Pid(500), fd, -4096, 1), Ok(4096), "SEEK_CUR back");
+        assert_eq!(v.file(Pid(500), fd).unwrap().pos, 4096);
+        assert_eq!(v.seek(Pid(500), fd, 0, 2), Err(Errno::EINVAL), "SEEK_END unmodeled");
+        assert_eq!(v.seek(Pid(500), fd, -9999, 1), Err(Errno::EINVAL), "negative pos");
+        assert_eq!(v.file(Pid(500), fd).unwrap().pos, 4096, "failed seeks do not move");
+        let (dev, _) = v.open(Pid(500), "/dev/eth0").unwrap();
+        assert_eq!(v.seek(Pid(500), dev, 0, 0), Err(Errno::EINVAL), "devices do not seek");
+        assert_eq!(v.seek(Pid(500), Fd(99), 0, 0), Err(Errno::EBADF));
     }
 
     #[test]

@@ -17,7 +17,11 @@
 #
 # The metrics are host wall-clock nanoseconds (NOT modeled cycles):
 # fig_offload_hotpath covers the offload round trip, software-TLB
-# translate hit/miss, and an IKC send+recv pair; fig_engine covers the
+# translate hit/miss, and an IKC send+recv pair; fig_bypass sweeps the
+# in-LWK promoted syscalls across {offload, bypass, bypass+domains},
+# the zero-copy device mmap, and the MPK-style domain switch, merging
+# bypass_* metrics into BENCH_offload.json (run after
+# fig_offload_hotpath, which rewrites that file); fig_engine covers the
 # timer-wheel event queue (vs. the retired heap baseline) and the
 # simcore::par pool (reduced fig6, serial vs. full pool); fig_mem covers
 # the flat O(1) buddy allocator (vs. the retired BTreeSet baseline), a
@@ -34,11 +38,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release -p bench \
-    --bin fig_offload_hotpath --bin fig_engine --bin fig_mem \
-    --bin fig_domains --bin fig_scale
+    --bin fig_offload_hotpath --bin fig_bypass --bin fig_engine \
+    --bin fig_mem --bin fig_domains --bin fig_scale
 
 if [[ "${1:-}" == "--check" ]]; then
     ./target/release/fig_offload_hotpath --check BENCH_offload.json
+    # fig_bypass gates the syscall fast path: bypass_* metrics within
+    # 2x of the baseline AND the promoted read >= 3x cheaper than the
+    # offload round trip with protection domains armed.
+    ./target/release/fig_bypass --check BENCH_offload.json
     ./target/release/fig_engine --check BENCH_engine.json
     # fig_scale gates determinism everywhere, the intra-run speedup floor
     # only on hosts with >1 pool worker (the ratio is noise on one core).
@@ -47,8 +55,10 @@ if [[ "${1:-}" == "--check" ]]; then
     exec ./target/release/fig_domains --check BENCH_resilience.json
 fi
 ./target/release/fig_offload_hotpath
-# Order matters: fig_engine rewrites BENCH_engine.json wholesale,
-# fig_scale then merges its scale_* metrics into the fresh file.
+# Order matters: fig_offload_hotpath rewrites BENCH_offload.json
+# wholesale, fig_bypass then merges its bypass_* / devmap / domain
+# metrics into the fresh file (same pattern as fig_engine/fig_scale).
+./target/release/fig_bypass
 ./target/release/fig_engine
 ./target/release/fig_scale
 ./target/release/fig_mem

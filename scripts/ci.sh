@@ -44,6 +44,31 @@ if ! diff -q "$scratch/fig6_t1.txt" "$scratch/fig6_tn.txt" >/dev/null; then
 fi
 echo "parallel-determinism smoke passed (fig6 @ 1 thread == 4 threads)"
 
+# Bypass-determinism smoke: the offload-bypass machinery must be
+# invisible to modeled time unless a call is actually promoted. Figure
+# output must be byte-identical with the bypass unset (the default,
+# already captured above), explicitly off, and armed-but-cold
+# (enabled with an infinite promotion threshold: every check runs,
+# nothing promotes).
+env $reduced HLWK_THREADS=1 HLWK_BYPASS=off \
+    ./target/release/fig6_osu_latency > "$scratch/fig6_off.txt"
+env $reduced HLWK_THREADS=1 HLWK_BYPASS=on-but-cold \
+    ./target/release/fig6_osu_latency > "$scratch/fig6_cold.txt"
+env HLWK_FWQ_SECS=1 HLWK_BYPASS=off \
+    ./target/release/fig5_fwq > "$scratch/fig5_off.txt"
+env HLWK_FWQ_SECS=1 HLWK_BYPASS=on-but-cold \
+    ./target/release/fig5_fwq > "$scratch/fig5_cold.txt"
+for pair in "fig6_t1 fig6_off" "fig6_t1 fig6_cold" "fig5_off fig5_cold"; do
+    a="${pair% *}"
+    b="${pair#* }"
+    if ! diff -q "$scratch/$a.txt" "$scratch/$b.txt" >/dev/null; then
+        echo "DETERMINISM FAILURE: $a differs from $b (bypass must not change figures)" >&2
+        diff "$scratch/$a.txt" "$scratch/$b.txt" >&2 || true
+        exit 1
+    fi
+done
+echo "bypass-determinism smoke passed (fig5/fig6 byte-identical: default == off == armed-but-cold)"
+
 # Memory-subsystem determinism smoke: the page-size ablation exercises
 # the buddy/PCP/fault-around paths end to end; its figure output must be
 # thread-count independent too.
@@ -119,6 +144,11 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
     # 2x tolerance, so smoke-run noise does not produce false failures.
     HLWK_BENCH_ITERS="${HLWK_BENCH_ITERS:-2000}" \
         ./target/release/fig_offload_hotpath --check BENCH_offload.json
+    # Syscall fast-path gate: bypass_* metrics within tolerance AND the
+    # promoted read >= 3x cheaper than the offload round trip with
+    # protection domains armed (the fresh-run floor, not baseline-relative).
+    HLWK_BENCH_ITERS="${HLWK_BENCH_ITERS:-2000}" \
+        ./target/release/fig_bypass --check BENCH_offload.json
     HLWK_BENCH_ITERS="${HLWK_BENCH_ITERS:-2000}" \
         ./target/release/fig_engine --check BENCH_engine.json
     # Partitioned-engine scale gate: 1024-node digest identical at
