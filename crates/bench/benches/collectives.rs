@@ -45,6 +45,7 @@ impl Rig {
             reduce_per_kib: Cycles::from_ns(350),
             churn: 0.0,
             rank_map: None,
+            sink: None,
         }
     }
 }

@@ -98,6 +98,7 @@ fn run(p: usize, period: Cycles, duration: Cycles, seed: u64) -> f64 {
         reduce_per_kib: Cycles::from_ns(350),
         churn: 0.0,
         rank_map: None,
+        sink: None,
     };
     miniapps::run(&mut ctx, &app, p, Cycles::from_ms(1))
         .expect("fault-free")

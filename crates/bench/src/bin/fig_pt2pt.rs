@@ -31,6 +31,7 @@ fn with_ctx<R>(f: impl FnOnce(&mut Ctx<'_, IdealHost>) -> R) -> R {
         reduce_per_kib: Cycles::from_ns(350),
         churn: 0.0,
         rank_map: None,
+        sink: None,
     };
     f(&mut ctx)
 }

@@ -160,48 +160,6 @@ fn soak(seeds: u64) -> bool {
     ok
 }
 
-/// Minimal parser for the flat `"key": number` JSON `fig_engine` writes.
-fn parse_metrics(json: &str) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    for line in json.lines() {
-        let line = line.trim().trim_end_matches(',');
-        let Some((key, val)) = line.split_once(':') else {
-            continue;
-        };
-        let key = key.trim().trim_matches('"');
-        if let Ok(v) = val.trim().parse::<f64>() {
-            out.push((key.to_string(), v));
-        }
-    }
-    out
-}
-
-fn to_json(metrics: &[(String, f64)]) -> String {
-    let mut out = String::from("{\n  \"bench\": \"fig_engine\",\n  \"metrics\": {\n");
-    for (i, (k, v)) in metrics.iter().enumerate() {
-        let comma = if i + 1 == metrics.len() { "" } else { "," };
-        out.push_str(&format!("    \"{k}\": {v:.2}{comma}\n"));
-    }
-    out.push_str("  }\n}\n");
-    out
-}
-
-/// Merge `fresh` into the metrics already in `path` (keeps `fig_engine`'s
-/// numbers; replaces any stale `scale_*` entries), preserving order.
-fn merge_into(path: &str, fresh: &[(String, f64)]) {
-    let mut metrics = std::fs::read_to_string(path)
-        .map(|s| parse_metrics(&s))
-        .unwrap_or_default();
-    for (k, v) in fresh {
-        match metrics.iter_mut().find(|(mk, _)| mk == k) {
-            Some((_, mv)) => *mv = *v,
-            None => metrics.push((k.clone(), *v)),
-        }
-    }
-    std::fs::write(path, to_json(&metrics)).expect("write benchmark output");
-    println!("merged {} scale metrics into {path}", fresh.len());
-}
-
 /// Speedup floor for this host: none on one core (the ratio is noise),
 /// modest with 2-3 workers, the ISSUE's 4-thread target from 4 up.
 fn speedup_floor() -> Option<f64> {
@@ -301,5 +259,5 @@ fn main() {
         })
         .collect();
     let out = std::env::var("HLWK_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
-    merge_into(&out, &fresh);
+    bench::merge_metrics_into(&out, &fresh);
 }

@@ -52,6 +52,7 @@ impl Rig {
             reduce_per_kib: Cycles::from_ns(350),
             churn,
             rank_map: None,
+            sink: None,
         }
     }
 }

@@ -101,6 +101,51 @@ pub fn fmt_summary(s: &Summary, unit: &str) -> String {
     )
 }
 
+/// Minimal parser for the flat `"key": number` JSON `fig_engine` writes.
+pub fn parse_metrics(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, val)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if let Ok(v) = val.trim().parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Render metrics back into the flat `fig_engine`-style JSON.
+pub fn metrics_to_json(metrics: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"fig_engine\",\n  \"metrics\": {\n");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        out.push_str(&format!("    \"{k}\": {v:.2}{comma}\n"));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Merge `fresh` into the metrics already in `path` (keeps existing
+/// entries; replaces stale values for the same keys), preserving order.
+/// `fig_engine` rewrites the file wholesale, so the sweeps that ride
+/// along (`fig_scale`, `fig_scale_app`) must run after it and merge.
+pub fn merge_metrics_into(path: &str, fresh: &[(String, f64)]) {
+    let mut metrics = std::fs::read_to_string(path)
+        .map(|s| parse_metrics(&s))
+        .unwrap_or_default();
+    for (k, v) in fresh {
+        match metrics.iter_mut().find(|(mk, _)| mk == k) {
+            Some((_, mv)) => *mv = *v,
+            None => metrics.push((k.clone(), *v)),
+        }
+    }
+    std::fs::write(path, metrics_to_json(&metrics)).expect("write benchmark output");
+    println!("merged {} metrics into {path}", fresh.len());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -38,7 +38,7 @@ use hlwk_core::ihk::manager::HeartbeatMonitor;
 use mpisim::{FailureBatch, RankFailure};
 use simcore::fault::DomainTopology;
 use simcore::Cycles;
-use workloads::miniapps::{self, MiniApp};
+use workloads::miniapps::MiniApp;
 
 /// What the job does when a rank is declared failed mid-run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -325,10 +325,7 @@ pub fn run_resilient(
             }
         }
         let pre = clocks.clone();
-        let res = {
-            let mut ctx = cluster.ctx_with_ranks(&ranks);
-            miniapps::step(&mut ctx, app, quantum, &mut clocks)
-        };
+        let res = cluster.step_miniapp(app, quantum, &ranks, &mut clocks);
         match res {
             Ok(()) => iter += 1,
             Err(f) => {
@@ -490,10 +487,7 @@ fn run_hierarchical(
             }
             last_ckpt_iter = iter;
         }
-        let res = {
-            let mut ctx = cluster.ctx_with_ranks(&ranks);
-            miniapps::step(&mut ctx, app, quantum, &mut clocks)
-        };
+        let res = cluster.step_miniapp(app, quantum, &ranks, &mut clocks);
         match res {
             Ok(()) => iter += 1,
             Err(f) => {

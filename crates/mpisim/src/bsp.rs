@@ -1,0 +1,80 @@
+//! Shared BSP arithmetic.
+//!
+//! The windowed scale model ([`crate::windowed`]) and the exact
+//! collectives ([`crate::collectives`]) both walk the same communication
+//! shapes — a ring halo exchange and a recursive-doubling butterfly.
+//! This module is the single source of truth for that geometry and for
+//! the contention-free LogGP arrival arithmetic the windowed proxy uses,
+//! so the two paths cannot drift apart.
+
+use netsim::LinkParams;
+use simcore::Cycles;
+
+/// Recursive-doubling partner of `me` in `round` (0-based).
+#[inline]
+pub fn reduce_partner(me: usize, round: u8) -> usize {
+    me ^ (1usize << round)
+}
+
+/// Ring neighbors of `me` among `p` nodes: `(right, left)`, i.e.
+/// `(me + 1, me - 1)` mod `p`.
+#[inline]
+pub fn ring_neighbors(me: usize, p: usize) -> (usize, usize) {
+    ((me + 1) % p, (me + p - 1) % p)
+}
+
+/// Contention-free LogGP arrival of a message departing at `depart`:
+/// the whole `message_time` pipeline (send overhead, wire, receive
+/// overhead) with no port queueing. The windowed model's deliberate
+/// trade (see `DESIGN.md` D12).
+#[inline]
+pub fn loggp_arrival(link: &LinkParams, depart: Cycles, bytes: u64) -> Cycles {
+    depart + link.message_time(bytes)
+}
+
+/// The butterfly buffering bound: with a ring + recursive-doubling
+/// iteration structure, a message tagged `iter` can reach a node whose
+/// current iteration is `current` only if `iter ∈ {current, current+1}`
+/// — every node's iteration-`k` completion depends transitively on
+/// every node's round-0 send of iteration `k`, so no peer can run more
+/// than one iteration ahead. Two parity-indexed buffer slots therefore
+/// hold every early arrival.
+#[inline]
+pub fn within_buffering_bound(iter: u32, current: u32) -> bool {
+    iter == current || iter == current + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partner_is_an_involution() {
+        for p in [2usize, 8, 1024] {
+            let rounds = p.trailing_zeros() as u8;
+            for me in 0..p {
+                for r in 0..rounds {
+                    let partner = reduce_partner(me, r);
+                    assert!(partner < p);
+                    assert_ne!(partner, me);
+                    assert_eq!(reduce_partner(partner, r), me);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_wraps() {
+        assert_eq!(ring_neighbors(0, 4), (1, 3));
+        assert_eq!(ring_neighbors(3, 4), (0, 2));
+        assert_eq!(ring_neighbors(0, 2), (1, 1));
+    }
+
+    #[test]
+    fn bound_accepts_exactly_one_iteration_ahead() {
+        assert!(within_buffering_bound(5, 5));
+        assert!(within_buffering_bound(6, 5));
+        assert!(!within_buffering_bound(7, 5));
+        assert!(!within_buffering_bound(4, 5));
+    }
+}

@@ -5,6 +5,7 @@
 //! Block id (recursive doubling) = contributing rank.
 
 use super::{allgather, tree, ceil_log2, Ctx};
+use crate::bsp;
 use crate::failure::RankFailure;
 use crate::host::HostModel;
 use simcore::Cycles;
@@ -42,11 +43,10 @@ pub fn allreduce_rd<H: HostModel>(
     let mut clocks = start.to_vec();
     let combine = ctx.reduce_cost(bytes);
     for k in 0..ceil_log2(p) {
-        let dist = 1usize << k;
         let window = 1usize << k;
         let round = clocks.clone();
         for r in 0..p {
-            let partner = r ^ dist;
+            let partner = bsp::reduce_partner(r, k as u8);
             if r > partner {
                 continue;
             }
@@ -89,10 +89,12 @@ pub fn allreduce_rabenseifner<H: HostModel>(
     let rounds = ceil_log2(p);
     let mut chunk = bytes / 2;
     for k in 0..rounds {
-        let dist = p >> (k + 1);
+        // Recursive halving pairs across shrinking distances: the same
+        // butterfly as recursive doubling, walked top round first.
+        let round_bit = (rounds - 1 - k) as u8;
         let round = clocks.clone();
         for r in 0..p {
-            let partner = r ^ dist;
+            let partner = bsp::reduce_partner(r, round_bit);
             if r > partner {
                 continue;
             }

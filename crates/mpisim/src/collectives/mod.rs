@@ -28,6 +28,7 @@ pub mod tree;
 use crate::failure::RankFailure;
 use crate::host::HostModel;
 use crate::p2p::{self, P2pParams, SendTiming};
+use crate::record::RecordSink;
 use crate::regcache::RegCache;
 use netsim::reliable::ReliableFabric;
 use simcore::Cycles;
@@ -77,6 +78,12 @@ pub struct Ctx<'a, H: HostModel> {
     /// runs the same algorithms over the surviving nodes through this
     /// indirection; failures are reported back in *rank* space.
     pub rank_map: Option<&'a [usize]>,
+    /// When set, the walk runs in *recording* mode: clocks carry symbolic
+    /// tokens, every hook appends a [`crate::record::ReplayOp`] to the
+    /// sink instead of touching host/fabric/cache state, and transfers
+    /// never fail. The recorded per-node op lists replay on the
+    /// partitioned engine (see [`crate::pcoll`]).
+    pub sink: Option<&'a mut RecordSink>,
 }
 
 impl<H: HostModel> Ctx<'_, H> {
@@ -137,12 +144,18 @@ impl<'a, H: HostModel> Ctx<'a, H> {
     /// Charge CPU work to the node backing `rank`.
     pub fn cpu(&mut self, rank: usize, at: Cycles, work: Cycles) -> Cycles {
         let node = self.node_of(rank);
+        if let Some(s) = self.sink.as_mut() {
+            return s.record_cpu(node, at, work);
+        }
         self.host.cpu(node, at, work)
     }
 
     /// Charge an OpenMP region to the node backing `rank`.
     pub fn omp(&mut self, rank: usize, at: Cycles, per_thread: Cycles, threads: u32) -> Cycles {
         let node = self.node_of(rank);
+        if let Some(s) = self.sink.as_mut() {
+            return s.record_omp(node, at, per_thread, threads);
+        }
         self.host.omp_region(node, at, per_thread, threads)
     }
 
@@ -181,6 +194,17 @@ impl<'a, H: HostModel> Ctx<'a, H> {
         blocks: impl FnOnce() -> Vec<u32>,
     ) -> Result<SendTiming, RankFailure> {
         let (src_node, dst_node) = (self.node_of(src), self.node_of(dst));
+        if let Some(s) = self.sink.as_mut() {
+            let (s_tok, d_tok) = s.record_xfer(
+                src_node, dst_node, bytes, self.churn, src_at, dst_at, clocks[src], clocks[dst],
+            );
+            clocks[src] = s_tok;
+            clocks[dst] = d_tok;
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.push(MsgRecord { src, dst, bytes, blocks: blocks() });
+            }
+            return Ok(SendTiming { sender_done: s_tok, receiver_done: d_tok });
+        }
         let t = p2p::send(
             self.fabric,
             self.host,
@@ -265,6 +289,7 @@ pub(crate) mod testutil {
                 reduce_per_kib: Cycles::from_ns(350),
                 churn: 0.0,
                 rank_map: None,
+                sink: None,
             }
         }
 

@@ -20,14 +20,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bsp;
 pub mod collectives;
 pub mod failure;
 pub mod host;
 pub mod p2p;
+pub mod pcoll;
+pub mod record;
 pub mod regcache;
 pub mod windowed;
 
 pub use failure::{FailureBatch, FailureCause, RankFailure};
 pub use host::{HostModel, IdealHost};
 pub use p2p::{P2pParams, SendTiming};
+pub use pcoll::{replay, NodeSeat, ReplayConfig};
+pub use record::{ReplayOp, RecordSink};
 pub use regcache::RegCache;

@@ -70,7 +70,7 @@ pub struct SendTiming {
 /// straggler detector when the sender is the dead endpoint: a dead
 /// sender posts nothing, so its partner only notices when its own
 /// timeout fires after `peer_timeout` of silence.
-fn silent_sender(
+pub(crate) fn silent_sender(
     params: &P2pParams,
     src_rank: usize,
     dst_rank: usize,

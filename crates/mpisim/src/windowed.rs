@@ -45,6 +45,7 @@
 //! exists so the `--soak` hang hunt in `fig_scale` exercises the same
 //! window geometry a faulted cluster would. See `DESIGN.md` D12.
 
+use crate::bsp;
 use netsim::LinkParams;
 use simcore::{Cycles, PartIo, PartWorld, PartitionedEngine, RunOutcome, StreamRng};
 
@@ -203,23 +204,23 @@ impl NodeWorld {
     /// Compute finished: push halos to both ring neighbors.
     fn send_halos(&mut self, now: Cycles, io: &mut PartIo<'_, Ev>) {
         let me = io.part();
-        let p = io.num_partitions();
         let depart = self.departure(me, now);
-        let arrival = depart + self.cfg.link.message_time(self.cfg.halo_bytes);
+        let arrival = bsp::loggp_arrival(&self.cfg.link, depart, self.cfg.halo_bytes);
         let iter = self.iter;
         // Our message is the *left*-side halo (side 0) of the right
         // neighbor, and vice versa. With p == 2 both land on the same
         // node, distinguished by side.
-        io.send((me + 1) % p, arrival, Ev::Halo { iter, side: 0 });
-        io.send((me + p - 1) % p, arrival, Ev::Halo { iter, side: 1 });
+        let (right, left) = bsp::ring_neighbors(me, io.num_partitions());
+        io.send(right, arrival, Ev::Halo { iter, side: 0 });
+        io.send(left, arrival, Ev::Halo { iter, side: 1 });
     }
 
     /// Send this node's vector for allreduce round `round`.
     fn send_reduce(&mut self, now: Cycles, round: u8, io: &mut PartIo<'_, Ev>) {
         let me = io.part();
-        let partner = me ^ (1usize << round);
+        let partner = bsp::reduce_partner(me, round);
         let depart = self.departure(me, now);
-        let arrival = depart + self.cfg.link.message_time(self.cfg.allreduce_bytes);
+        let arrival = bsp::loggp_arrival(&self.cfg.link, depart, self.cfg.allreduce_bytes);
         let iter = self.iter;
         io.send(partner, arrival, Ev::Reduce { iter, round });
     }
@@ -284,7 +285,7 @@ impl PartWorld for NodeWorld {
             Ev::Halo { iter, side } => {
                 self.absorb(now, 0x20 | u64::from(side) | (u64::from(iter) << 8));
                 debug_assert!(
-                    iter == self.iter || iter == self.iter + 1,
+                    bsp::within_buffering_bound(iter, self.iter),
                     "halo {iter} vs current {} — buffering bound violated",
                     self.iter
                 );
@@ -293,7 +294,7 @@ impl PartWorld for NodeWorld {
             Ev::Reduce { iter, round } => {
                 self.absorb(now, 0x40 | u64::from(round) | (u64::from(iter) << 8));
                 debug_assert!(
-                    iter == self.iter || iter == self.iter + 1,
+                    bsp::within_buffering_bound(iter, self.iter),
                     "reduce {iter} vs current {} — buffering bound violated",
                     self.iter
                 );

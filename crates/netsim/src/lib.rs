@@ -23,10 +23,12 @@
 
 pub mod fabric;
 pub mod loggp;
+pub mod plink;
 pub mod reliable;
 pub mod verbs;
 
 pub use fabric::Fabric;
+pub use plink::{FaultView, LinkEnd};
 pub use loggp::LinkParams;
 pub use reliable::{CrashTrigger, LinkError, ReliableFabric, ReliableStats, RetransmitPolicy};
 pub use verbs::{Cq, IbContext, Mr, Qp};

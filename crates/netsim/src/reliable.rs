@@ -369,15 +369,6 @@ impl ReliableFabric {
         }
     }
 
-    /// RTO for the given attempt: nominal backoff plus seeded jitter
-    /// from the source port's plan (a disabled plan contributes zero
-    /// jitter without drawing).
-    fn rto(&mut self, src: usize, attempt: u32) -> Cycles {
-        let base = self.policy.nominal_rto(attempt);
-        let j = self.links[src].draw_retrans_jitter();
-        base + base.scale(self.policy.jitter_frac * j)
-    }
-
     /// Reliably send `bytes` from `src` to `dst`, sender CPU ready at
     /// `ready`. On success the [`Transfer`] reflects all retransmission
     /// and stall latency; on failure the typed error says why and when
@@ -405,81 +396,205 @@ impl ReliableFabric {
                 return Err(LinkError::PeerDead { node: src, src, dst, gave_up_at: ready });
             }
         }
+        let mut env = FabEnv {
+            fabric: &mut self.fabric,
+            links: &mut self.links,
+            dead_at: &self.dead_at,
+            src,
+            dst,
+            bytes,
+        };
+        reliable_send_loop(&self.policy, src, dst, ready, &mut self.stats, &mut env)
+    }
 
-        let mut at = ready;
-        let mut attempt: u32 = 0;
-        loop {
-            // Wait out link flaps on both endpoints' ports.
-            for port in [src, dst] {
-                if let Some(up) = self.links[port].down_until(at) {
-                    if up - at > self.policy.max_down_wait {
-                        self.stats.gave_up += 1;
-                        return Err(LinkError::LinkDown {
-                            port,
-                            src,
-                            dst,
-                            gave_up_at: at + self.policy.max_down_wait,
-                        });
-                    }
-                    self.stats.flap_stalls += 1;
-                    at = up;
+    /// An immutable fault snapshot partitions can share (`Arc`) while
+    /// each owns its node's [`crate::plink::LinkEnd`]. `Some` exactly
+    /// when every armed fault is deterministic — fixed-time node deaths
+    /// and forced/blackout downtimes. `None` when any behaviour would
+    /// need shared *mutable* state or an RNG stream during the run: an
+    /// enabled per-port random plan (draw order is global) or a pending
+    /// [`CrashTrigger::AfterSends`] (the death instant depends on the
+    /// global posting order) — those runs stay on the global wheel.
+    pub fn partition_view(&self) -> Option<crate::plink::FaultView> {
+        if self.crash_after_sends.iter().any(Option::is_some) {
+            return None;
+        }
+        if self.links.iter().any(|l| l.config().enabled) {
+            return None;
+        }
+        Some(crate::plink::FaultView::new(
+            self.dead_at.clone(),
+            self.links.iter().map(|l| l.down_windows().to_vec()).collect(),
+        ))
+    }
+
+    /// Break the shared fabric into per-node link ends, one per port, in
+    /// node-index order. The fabric keeps the fault plans and counters
+    /// but routes nothing until [`ReliableFabric::absorb_ends`] returns
+    /// the ends.
+    pub fn detach_ends(&mut self) -> Vec<crate::plink::LinkEnd> {
+        self.fabric
+            .detach_ports()
+            .into_iter()
+            .map(crate::plink::LinkEnd::new)
+            .collect()
+    }
+
+    /// Reinstall detached link ends (node-index order) and fold their
+    /// traffic, posted-send and protocol counters back into the shared
+    /// totals. Sums plus an index-ordered reinstall: the merged state is
+    /// independent of partition scheduling, which is what keeps
+    /// [`ReliableFabric::take_stats`] windows thread-count invariant.
+    pub fn absorb_ends(&mut self, ends: Vec<crate::plink::LinkEnd>) {
+        assert_eq!(ends.len(), self.sends_posted.len(), "one end per node");
+        let mut messages = 0u64;
+        let mut bytes = 0u64;
+        let mut ports = Vec::with_capacity(ends.len());
+        for (node, e) in ends.into_iter().enumerate() {
+            messages += e.messages;
+            bytes += e.bytes;
+            self.sends_posted[node] += e.posted;
+            self.stats.retransmits += e.stats.retransmits;
+            self.stats.corrupt_caught += e.stats.corrupt_caught;
+            self.stats.flap_stalls += e.stats.flap_stalls;
+            self.stats.gave_up += e.stats.gave_up;
+            ports.push(e.port);
+        }
+        self.fabric.absorb_ports(ports, messages, bytes);
+    }
+}
+
+/// The environment one reliable send runs against: the shared fabric
+/// for the global-wheel walk ([`FabEnv`], private), or a pair of
+/// detached per-node link ends plus an immutable fault snapshot for the
+/// partitioned replay (see [`crate::plink`]). Keeping the retransmit
+/// cascade generic over this trait is what guarantees the two execution
+/// modes time out, back off, NACK and give up identically.
+pub trait LinkEnv {
+    /// If the given port is down at `at`, when it re-arms.
+    fn down_until(&self, port: usize, at: Cycles) -> Option<Cycles>;
+    /// Is the destination node dead at `at`?
+    fn dst_dead(&self, at: Cycles) -> bool;
+    /// Run one wire attempt starting at `at` (mutates port timelines).
+    fn transfer(&mut self, at: Cycles) -> Transfer;
+    /// Draw the fate of the packet that arrived at `at`.
+    fn packet_fault(&mut self, at: Cycles) -> MsgFault;
+    /// Uniform retransmit-jitter fraction in `[0, 1)`.
+    fn jitter(&mut self) -> f64;
+}
+
+struct FabEnv<'a> {
+    fabric: &'a mut Fabric,
+    links: &'a mut [LinkFaultPlan],
+    dead_at: &'a [Option<Cycles>],
+    src: usize,
+    dst: usize,
+    bytes: u64,
+}
+
+impl LinkEnv for FabEnv<'_> {
+    fn down_until(&self, port: usize, at: Cycles) -> Option<Cycles> {
+        self.links[port].down_until(at)
+    }
+    fn dst_dead(&self, at: Cycles) -> bool {
+        self.dead_at[self.dst].is_some_and(|d| d <= at)
+    }
+    fn transfer(&mut self, at: Cycles) -> Transfer {
+        self.fabric.send(self.src, self.dst, self.bytes, at)
+    }
+    fn packet_fault(&mut self, at: Cycles) -> MsgFault {
+        self.links[self.src].draw_packet_fault(at)
+    }
+    fn jitter(&mut self) -> f64 {
+        self.links[self.src].draw_retrans_jitter()
+    }
+}
+
+/// The RC retransmission cascade: flap stalls, wire attempts, timeout
+/// backoff with jitter, NACK turnarounds, and the bounded retry budget.
+/// Single source of truth shared by [`ReliableFabric::send`] and the
+/// partitioned per-pair path ([`crate::plink::pair_send`]); dead-sender
+/// pre-checks and crash triggers stay with the caller.
+pub fn reliable_send_loop<E: LinkEnv>(
+    policy: &RetransmitPolicy,
+    src: usize,
+    dst: usize,
+    ready: Cycles,
+    stats: &mut ReliableStats,
+    env: &mut E,
+) -> Result<Transfer, LinkError> {
+    let mut at = ready;
+    let mut attempt: u32 = 0;
+    loop {
+        // Wait out link flaps on both endpoints' ports.
+        for port in [src, dst] {
+            if let Some(up) = env.down_until(port, at) {
+                if up - at > policy.max_down_wait {
+                    stats.gave_up += 1;
+                    return Err(LinkError::LinkDown {
+                        port,
+                        src,
+                        dst,
+                        gave_up_at: at + policy.max_down_wait,
+                    });
                 }
+                stats.flap_stalls += 1;
+                at = up;
             }
-            let t = self.fabric.send(src, dst, bytes, at);
-            // A dead receiver generates no ACK; the packet is lost
-            // regardless of what the link would have drawn (no draw —
-            // zero-RNG contract holds for crash-only configs too).
-            let fault = if self.is_dead(dst, t.arrival) {
-                MsgFault::Drop
-            } else {
-                self.links[src].draw_packet_fault(t.arrival)
-            };
-            match fault {
-                MsgFault::None => return Ok(t),
-                MsgFault::Delay(d) => {
-                    return Ok(Transfer {
-                        sender_free: t.sender_free,
-                        arrival: t.arrival + d,
-                        delivered: t.delivered + d,
-                    })
+        }
+        let t = env.transfer(at);
+        // A dead receiver generates no ACK; the packet is lost
+        // regardless of what the link would have drawn (no draw —
+        // zero-RNG contract holds for crash-only configs too).
+        let fault = if env.dst_dead(t.arrival) {
+            MsgFault::Drop
+        } else {
+            env.packet_fault(t.arrival)
+        };
+        match fault {
+            MsgFault::None => return Ok(t),
+            MsgFault::Delay(d) => {
+                return Ok(Transfer {
+                    sender_free: t.sender_free,
+                    arrival: t.arrival + d,
+                    delivered: t.delivered + d,
+                })
+            }
+            MsgFault::Drop => {
+                // Silent loss: only the retransmit timer recovers. RTO =
+                // nominal backoff plus seeded jitter from the source
+                // port (a disabled plan contributes zero without
+                // drawing).
+                let base = policy.nominal_rto(attempt);
+                let next = t.sender_free + base + base.scale(policy.jitter_frac * env.jitter());
+                attempt += 1;
+                if attempt >= policy.max_attempts {
+                    stats.gave_up += 1;
+                    return Err(if env.dst_dead(t.arrival) {
+                        LinkError::PeerDead { node: dst, src, dst, gave_up_at: next }
+                    } else {
+                        LinkError::RetryBudget { src, dst, attempts: attempt, gave_up_at: next }
+                    });
                 }
-                MsgFault::Drop => {
-                    // Silent loss: only the retransmit timer recovers.
-                    let next = t.sender_free + self.rto(src, attempt);
-                    attempt += 1;
-                    if attempt >= self.policy.max_attempts {
-                        self.stats.gave_up += 1;
-                        return Err(if self.is_dead(dst, t.arrival) {
-                            LinkError::PeerDead { node: dst, src, dst, gave_up_at: next }
-                        } else {
-                            LinkError::RetryBudget {
-                                src,
-                                dst,
-                                attempts: attempt,
-                                gave_up_at: next,
-                            }
-                        });
-                    }
-                    self.stats.retransmits += 1;
-                    at = next;
+                stats.retransmits += 1;
+                at = next;
+            }
+            MsgFault::Corrupt => {
+                // ICRC rejection at the receiver: fast NACK path.
+                let next = t.arrival + policy.nack_turnaround;
+                attempt += 1;
+                stats.corrupt_caught += 1;
+                if attempt >= policy.max_attempts {
+                    stats.gave_up += 1;
+                    return Err(LinkError::RetryBudget {
+                        src,
+                        dst,
+                        attempts: attempt,
+                        gave_up_at: next,
+                    });
                 }
-                MsgFault::Corrupt => {
-                    // ICRC rejection at the receiver: fast NACK path.
-                    let next = t.arrival + self.policy.nack_turnaround;
-                    attempt += 1;
-                    self.stats.corrupt_caught += 1;
-                    if attempt >= self.policy.max_attempts {
-                        self.stats.gave_up += 1;
-                        return Err(LinkError::RetryBudget {
-                            src,
-                            dst,
-                            attempts: attempt,
-                            gave_up_at: next,
-                        });
-                    }
-                    self.stats.retransmits += 1;
-                    at = next;
-                }
+                stats.retransmits += 1;
+                at = next;
             }
         }
     }

@@ -907,6 +907,14 @@ impl LinkFaultPlan {
         self.down = merged;
     }
 
+    /// The full downtime schedule: sorted, non-overlapping
+    /// `[start, end)` intervals. This is the immutable part of the plan
+    /// a partitioned simulation snapshots so every partition can answer
+    /// [`LinkFaultPlan::down_until`] without sharing the plan itself.
+    pub fn down_windows(&self) -> &[(Cycles, Cycles)] {
+        &self.down
+    }
+
     /// If the link is down at `now`, the time it comes back up.
     /// RNG-free: the flap schedule was drawn at construction.
     pub fn down_until(&self, now: Cycles) -> Option<Cycles> {

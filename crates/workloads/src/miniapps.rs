@@ -205,6 +205,24 @@ pub fn step<H: HostModel>(
 }
 
 /// Run a mini-app on `p` nodes: [`step`] iterated `app.iterations` times.
+/// Returns the final per-rank clocks. Unlike [`run`], the result is safe
+/// under a recording [`Ctx`] (whose clocks are symbolic tokens that must
+/// not be compared across ranks or subtracted).
+pub fn run_clocks<H: HostModel>(
+    ctx: &mut Ctx<'_, H>,
+    app: &MiniApp,
+    p: usize,
+    start: Cycles,
+) -> Result<Vec<Cycles>, RankFailure> {
+    let quantum = app.thread_quantum(p);
+    let mut clocks = vec![start; p];
+    for _iter in 0..app.iterations {
+        step(ctx, app, quantum, &mut clocks)?;
+    }
+    Ok(clocks)
+}
+
+/// Run a mini-app on `p` nodes: [`step`] iterated `app.iterations` times.
 /// Returns the execution time (job start to last rank's finish).
 pub fn run<H: HostModel>(
     ctx: &mut Ctx<'_, H>,
@@ -212,12 +230,7 @@ pub fn run<H: HostModel>(
     p: usize,
     start: Cycles,
 ) -> Result<Cycles, RankFailure> {
-    let quantum = app.thread_quantum(p);
-    let mut clocks = vec![start; p];
-    for _iter in 0..app.iterations {
-        step(ctx, app, quantum, &mut clocks)?;
-    }
-    Ok(*clocks.iter().max().expect("p >= 1") - start)
+    Ok(*run_clocks(ctx, app, p, start)?.iter().max().expect("p >= 1") - start)
 }
 
 #[cfg(test)]
@@ -247,6 +260,7 @@ mod tests {
             reduce_per_kib: Cycles::from_ns(350),
             churn: 0.0,
             rank_map: None,
+            sink: None,
         };
         let t = run(&mut ctx, app, p, Cycles::ZERO).expect("fault-free");
         t.as_secs_f64()
@@ -337,6 +351,7 @@ mod tests {
                 reduce_per_kib: Cycles::from_ns(350),
                 churn: 0.0,
                 rank_map: None,
+                sink: None,
             };
             run(&mut ctx, &app, p, Cycles::ZERO).expect("fault-free")
         };

@@ -183,6 +183,7 @@ mod tests {
                 reduce_per_kib: Cycles::from_ns(350),
                 churn: 0.0,
                 rank_map: None,
+                sink: None,
             }
         }
     }
@@ -367,6 +368,7 @@ mod pt2pt_tests {
             reduce_per_kib: Cycles::from_ns(350),
             churn: 0.0,
             rank_map: None,
+            sink: None,
         };
         f(&mut ctx)
     }

@@ -29,7 +29,10 @@
 # fig_scale covers the partitioned engine: 1024/4096-node windowed BSP
 # sweeps, merging intra-run speedup metrics (scale_*_speedup_x) into
 # BENCH_engine.json — it must run after fig_engine, which rewrites that
-# file wholesale. fig_domains is the exception: its metrics are
+# file wholesale. fig_scale_app replays the *real* mini-app (HPC-CG via
+# the full collectives layer) at 1024/4096 nodes on the partitioned
+# engine, merging app_scale_* metrics the same way (also after
+# fig_engine). fig_domains is the exception: its metrics are
 # *simulated* time
 # (failure-domain recovery sweep), deterministic across machines, so its
 # --check demands an exact match against BENCH_resilience.json.
@@ -39,7 +42,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --release -p bench \
     --bin fig_offload_hotpath --bin fig_bypass --bin fig_engine \
-    --bin fig_mem --bin fig_domains --bin fig_scale
+    --bin fig_mem --bin fig_domains --bin fig_scale --bin fig_scale_app
 
 if [[ "${1:-}" == "--check" ]]; then
     ./target/release/fig_offload_hotpath --check BENCH_offload.json
@@ -51,6 +54,9 @@ if [[ "${1:-}" == "--check" ]]; then
     # fig_scale gates determinism everywhere, the intra-run speedup floor
     # only on hosts with >1 pool worker (the ratio is noise on one core).
     ./target/release/fig_scale --check BENCH_engine.json
+    # fig_scale_app replays the real 1024-node mini-app: digest
+    # invariance across worker counts, walk-verified, pool-gated floor.
+    ./target/release/fig_scale_app --check
     ./target/release/fig_mem --check BENCH_mem.json
     exec ./target/release/fig_domains --check BENCH_resilience.json
 fi
@@ -61,5 +67,6 @@ fi
 ./target/release/fig_bypass
 ./target/release/fig_engine
 ./target/release/fig_scale
+./target/release/fig_scale_app
 ./target/release/fig_mem
 exec ./target/release/fig_domains

@@ -12,7 +12,9 @@
 #                                 # check against BENCH_resilience.json,
 #                                 # plus the fig_scale partitioned-engine
 #                                 # gate (digest invariance + speedup
-#                                 # floor + blackout soak)
+#                                 # floor + blackout soak) and the
+#                                 # fig_scale_app real-mini-app replay
+#                                 # gate (1024 nodes, walk-verified)
 #   scripts/ci.sh --soak          # also soak the resilience sweeps:
 #                                 # HLWK_SOAK_SEEDS (default 5) fresh
 #                                 # seeds through fig_resilience (5% loss
@@ -116,6 +118,20 @@ if ! diff -q "$scratch/dom_t1.json" "$scratch/dom_t4.json" >/dev/null; then
 fi
 echo "failure-domain smoke passed (fig_domains @ 1 thread == 4 threads, claims hold)"
 
+# Partitioned-engine app smoke: fig8's fault-free mini-app grid now
+# records on the global wheel and replays on the partitioned engine
+# (one partition per node). The replay worker count must never change
+# figure output — reduced grid, 1 vs 4 engine workers, diff stdout.
+fig8r="HLWK_RUNS=2 HLWK_NODES=8 HLWK_THREADS=1"
+env $fig8r HLWK_ENGINE_THREADS=1 ./target/release/fig8_miniapps > "$scratch/fig8_e1.txt"
+env $fig8r HLWK_ENGINE_THREADS=4 ./target/release/fig8_miniapps > "$scratch/fig8_e4.txt"
+if ! diff -q "$scratch/fig8_e1.txt" "$scratch/fig8_e4.txt" >/dev/null; then
+    echo "DETERMINISM FAILURE: fig8 output differs between 1 and 4 engine workers" >&2
+    diff "$scratch/fig8_e1.txt" "$scratch/fig8_e4.txt" >&2 || true
+    exit 1
+fi
+echo "partitioned-app smoke passed (fig8 @ 1 engine worker == 4 engine workers)"
+
 if [[ "${1:-}" == "--soak" ]]; then
     # Resilience soak: fresh seeds through both fault sweeps, each run
     # under a hard wall-clock guard. What it hunts: schedule-dependent
@@ -159,6 +175,12 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
         ./target/release/fig_scale --check BENCH_engine.json
     HLWK_SCALE_ITERS="${HLWK_SCALE_ITERS:-3}" \
         timeout 300 ./target/release/fig_scale --soak 4
+    # Real mini-app on the partitioned engine: 1024-node HPC-CG digest
+    # invariance at 1/2/4/N workers, replay verified against a direct
+    # global-wheel walk, pool-gated speedup floor (logs an explicit
+    # "speedup floor skipped: pool_threads=1" on single-core hosts).
+    HLWK_SCALE_APP_ITERS="${HLWK_SCALE_APP_ITERS:-3}" \
+        timeout 300 ./target/release/fig_scale_app --check
     # fig_mem needs a few more iterations than the other two before the
     # fault-storm metrics amortize their setup; still well under a second.
     HLWK_BENCH_ITERS="${HLWK_MEM_BENCH_ITERS:-5000}" \
