@@ -58,6 +58,25 @@ pub fn domain_seed() -> u64 {
     env_or("HLWK_DOMAIN_SEED", 0xD06E_5EED)
 }
 
+/// Nodes in the elastic-tenancy serving sweep (`HLWK_SERVE_NODES`).
+pub fn serve_nodes() -> u32 {
+    env_or("HLWK_SERVE_NODES", 4)
+}
+
+/// Serving windows per tenancy profile (`HLWK_SERVE_WINDOWS`). The
+/// committed `BENCH_serve.json` baseline is recorded at the default
+/// (240 × 10 ms), where the resize storm completes 100+ cycles; CI
+/// smokes run shorter.
+pub fn serve_windows() -> u32 {
+    env_or("HLWK_SERVE_WINDOWS", 240)
+}
+
+/// Master seed for the tenancy sweep (`HLWK_SERVE_SEED`). Leave at the
+/// default for `--check` runs; the soak varies it.
+pub fn serve_seed() -> u64 {
+    env_or("HLWK_SERVE_SEED", 0x5E12_7E4A)
+}
+
 fn env_or<T: std::str::FromStr + Copy>(name: &str, default: T) -> T {
     std::env::var(name)
         .ok()

@@ -30,6 +30,7 @@ pub mod node;
 pub mod pipeline;
 pub mod recovery;
 pub mod sim;
+pub mod tenancy;
 
 pub use config::{ClusterConfig, NodeCrash, OsVariant};
 pub use experiment::{parallel_runs, RunStats};
@@ -38,3 +39,4 @@ pub use recovery::{
     run_resilient, BuddyPlacement, HierarchicalCkpt, RecoveryCosts, RecoveryPolicy, RecoveryReport,
 };
 pub use sim::Cluster;
+pub use tenancy::{run_tenancy, JobSpec, TenancyConfig, TenancyReport};

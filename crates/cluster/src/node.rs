@@ -14,6 +14,7 @@ use hlwk_core::costs::CostModel;
 use hlwk_core::ihk::delegator::DispatchAction;
 use hlwk_core::ihk::ikc::{message_checksum, ControlMsg, IkcPair, MsgKind};
 use hlwk_core::ihk::manager::HeartbeatMonitor;
+use hlwk_core::ihk::partition::PartitionError;
 use hlwk_core::mck::domains::{DomainId, DomainModel};
 use hlwk_core::mck::mem::FaultOutcome;
 use hlwk_core::mck::syscall::{
@@ -1215,6 +1216,114 @@ impl NodeRuntime {
         }
     }
 
+    /// Online LWK width (schedulable cores). Linux-variant nodes report
+    /// their full app-core set.
+    pub fn lwk_online_width(&self) -> usize {
+        match self.mck.as_ref() {
+            Some(mck) => mck.online_cores().len(),
+            None => self.app_cores.len(),
+        }
+    }
+
+    /// Elastic shrink: hand the highest online LWK core back to Linux
+    /// through the real IHK release path. The drain protocol, in order:
+    /// refuse while offloads are in flight (`CoreBusy`), migrate every
+    /// app thread off the victim, offline it in the LWK (run-queue
+    /// removal + software-TLB shootdown + per-CPU frame-cache drain),
+    /// reclaim the delegator reply slab, and only then release the core
+    /// from the IHK partition. Returns the released core.
+    pub fn shrink_lwk_core(&mut self) -> Result<CoreId, PartitionError> {
+        let (Some(mck), Some(ihk), Some(os_idx)) =
+            (self.mck.as_mut(), self.ihk.as_mut(), self.os_idx)
+        else {
+            panic!("shrink_lwk_core on a Linux-variant node");
+        };
+        let online = mck.online_cores();
+        assert!(online.len() >= 2, "cannot shrink below one LWK core");
+        let victim = *online.last().expect("online core");
+        if self.linux.delegator.in_flight() > 0 {
+            return Err(PartitionError::CoreBusy(victim));
+        }
+        // Rebalance the gang off the victim: deterministic round-robin
+        // over the surviving cores, ascending by tid.
+        let survivors: Vec<CoreId> = online[..online.len() - 1].to_vec();
+        for (i, tid) in mck.threads_on(victim).into_iter().enumerate() {
+            mck.migrate_thread(tid, survivors[i % survivors.len()])
+                .expect("migrate off shrinking core");
+        }
+        mck.offline_core(victim).expect("drained core must offline");
+        if self.linux.delegator.completed_cache_len() > 0 {
+            self.linux.delegator.reclaim_completed();
+        }
+        ihk.shrink_os(os_idx, &[victim])?;
+        self.app_cores = mck.online_cores();
+        Ok(victim)
+    }
+
+    /// Elastic expand: reclaim the lowest released core back from Linux
+    /// (LIFO against [`NodeRuntime::shrink_lwk_core`]), rebalance the
+    /// gang across the widened partition, and return the regrown core.
+    pub fn grow_lwk_core(&mut self) -> Result<CoreId, PartitionError> {
+        let (Some(mck), Some(ihk), Some(os_idx)) =
+            (self.mck.as_mut(), self.ihk.as_mut(), self.os_idx)
+        else {
+            panic!("grow_lwk_core on a Linux-variant node");
+        };
+        let candidate = *mck
+            .offline_cores()
+            .first()
+            .expect("grow with no released core");
+        ihk.grow_os(os_idx, &[candidate])?;
+        mck.online_core(candidate).expect("regrow released core");
+        let online = mck.online_cores();
+        let mut tids: Vec<Tid> = online
+            .iter()
+            .flat_map(|&c| mck.threads_on(c))
+            .collect();
+        tids.sort_unstable();
+        for (i, tid) in tids.into_iter().enumerate() {
+            mck.migrate_thread(tid, online[i % online.len()])
+                .expect("rebalance onto grown core");
+        }
+        self.app_cores = mck.online_cores();
+        Ok(candidate)
+    }
+
+    /// Audit that a released core left nothing behind: not reserved in
+    /// IHK, offline in the LWK, software TLBs shot down, frame cache
+    /// drained, no run queue, and the delegator fully reclaimed. The
+    /// resize-storm soak runs this after every release.
+    pub fn audit_released_core(&self, core: CoreId) -> Result<(), String> {
+        let (Some(mck), Some(ihk)) = (self.mck.as_ref(), self.ihk.as_ref()) else {
+            return Err("audit on a Linux-variant node".into());
+        };
+        if ihk.is_reserved(core) {
+            return Err(format!("{core} still reserved in IHK"));
+        }
+        if mck.core_online(core) {
+            return Err(format!("{core} still online in the LWK"));
+        }
+        let cpu = mck.cpu_index_of(core).ok_or(format!("{core} unknown"))?;
+        let tlb = mck.tlb_resident_on(cpu);
+        if tlb > 0 {
+            return Err(format!("{core}: {tlb} software-TLB entries resident"));
+        }
+        let pcp = mck.alloc.pcp_cached_on(cpu);
+        if pcp > 0 {
+            return Err(format!("{core}: {pcp} frames cached in the PCP"));
+        }
+        if mck.sched.has_core(core) {
+            return Err(format!("{core} still has a run queue"));
+        }
+        if self.linux.delegator.in_flight() > 0 {
+            return Err("offloads in flight across the release".into());
+        }
+        if self.linux.delegator.completed_cache_len() > 0 {
+            return Err("delegator reply slab not reclaimed".into());
+        }
+        Ok(())
+    }
+
     /// Tear the job down. McKernel nodes must return to a pristine LWK —
     /// the paper reinitializes McKernel between runs (Sec. IV-B3).
     pub fn reap_job(&mut self) {
@@ -1239,6 +1348,50 @@ mod tests {
         cfg.insitu = insitu;
         cfg.horizon_secs = 5;
         NodeRuntime::build(&cfg, 0, &StreamRng::root(cfg.seed))
+    }
+
+    #[test]
+    fn elastic_shrink_release_audit_and_regrow() {
+        let mut n = build(OsVariant::McKernel, false);
+        let width0 = n.lwk_online_width();
+        assert!(width0 >= 2, "paper layout has a multi-core LWK");
+
+        let c1 = n.shrink_lwk_core().unwrap();
+        n.audit_released_core(c1).unwrap();
+        let c2 = n.shrink_lwk_core().unwrap();
+        n.audit_released_core(c2).unwrap();
+        assert!(c2 < c1, "victims walk down from the top core");
+        assert_eq!(n.lwk_online_width(), width0 - 2);
+        assert_eq!(n.app_cores.len(), width0 - 2);
+
+        // Released cores are Linux's again.
+        let ihk = n.ihk.as_ref().unwrap();
+        assert!(!ihk.is_reserved(c1) && !ihk.is_reserved(c2));
+
+        // The shrunk node still executes app quanta and offloads.
+        let done = n.omp_region(Cycles::ZERO, Cycles::from_us(10), 8);
+        assert!(done > Cycles::ZERO);
+        let (ret, _) = n.offload_syscall(Sysno::Getpid, [0; 6], done);
+        assert!(ret >= 0);
+        assert_eq!(n.linux.delegator.in_flight(), 0);
+
+        // Grow back LIFO: lowest released core returns first.
+        let g1 = n.grow_lwk_core().unwrap();
+        assert_eq!(g1, c2);
+        let g2 = n.grow_lwk_core().unwrap();
+        assert_eq!(g2, c1);
+        assert_eq!(n.lwk_online_width(), width0);
+        assert!(n.ihk.as_ref().unwrap().is_reserved(c1));
+
+        // Gang is rebalanced over the full width again.
+        let mck = n.mck.as_ref().unwrap();
+        let spread: usize = mck
+            .online_cores()
+            .iter()
+            .filter(|&&c| !mck.threads_on(c).is_empty())
+            .count();
+        assert_eq!(spread, 8.min(width0), "threads spread across the gang");
+        n.reap_job();
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::config::ClusterConfig;
 use crate::host::{ClusterHost, NodeHost};
 use crate::node::NodeRuntime;
+use hlwk_core::ihk::partition::PartitionError;
 use mpisim::collectives::{Ctx, Recorder};
 use mpisim::p2p::P2pParams;
 use mpisim::record::{decode, resolve};
@@ -131,6 +132,46 @@ impl Cluster {
             sink: None,
             ..self.ctx()
         }
+    }
+
+    /// Online LWK width (uniform across nodes — the elastic controller
+    /// always resizes the whole allocation in lock-step).
+    pub fn lwk_width(&self) -> usize {
+        self.host.nodes[0].lwk_online_width()
+    }
+
+    /// Elastic shrink on every node: release one LWK core per node back
+    /// to Linux through the real IHK path, then audit that each released
+    /// core left no TLB entries, cached frames, run queue, or delegator
+    /// state behind. Returns the released cores (one per node). On
+    /// `CoreBusy` nothing is released on any node — the caller drains
+    /// offloads and retries.
+    pub fn shrink_lwk_all(&mut self) -> Result<Vec<hwmodel::cpu::CoreId>, PartitionError> {
+        // Probe first so a busy node cannot leave the cluster half-shrunk.
+        for n in &self.host.nodes {
+            if n.linux.delegator.in_flight() > 0 {
+                let online = n.mck.as_ref().expect("LWK node").online_cores();
+                return Err(PartitionError::CoreBusy(*online.last().expect("core")));
+            }
+        }
+        let mut released = Vec::with_capacity(self.host.nodes.len());
+        for n in &mut self.host.nodes {
+            let core = n.shrink_lwk_core()?;
+            n.audit_released_core(core)
+                .unwrap_or_else(|e| panic!("release audit failed: {e}"));
+            released.push(core);
+        }
+        Ok(released)
+    }
+
+    /// Elastic expand on every node: regrow one released core per node
+    /// (LIFO against [`Cluster::shrink_lwk_all`]).
+    pub fn grow_lwk_all(&mut self) -> Result<Vec<hwmodel::cpu::CoreId>, PartitionError> {
+        let mut grown = Vec::with_capacity(self.host.nodes.len());
+        for n in &mut self.host.nodes {
+            grown.push(n.grow_lwk_core()?);
+        }
+        Ok(grown)
     }
 
     /// Arm a fail-stop node crash (fabric-level: the node stops ACKing).

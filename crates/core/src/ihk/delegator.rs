@@ -374,6 +374,24 @@ impl Delegator {
         self.completed.len()
     }
 
+    /// Reclaim the completed-reply slab: drop every cached reply and
+    /// return how many were freed. Only legal on a quiesced delegator —
+    /// with a request still in flight a retransmit window could still be
+    /// open, and dropping its dedup entry would allow a double
+    /// execution. The online core-release drain protocol calls this
+    /// after proving `in_flight() == 0`.
+    pub fn reclaim_completed(&mut self) -> usize {
+        assert_eq!(
+            self.in_flight.len(),
+            0,
+            "reply-slab reclaim on a delegator with offloads in flight"
+        );
+        let n = self.completed.live;
+        self.completed.seqs.fill(EMPTY);
+        self.completed.live = 0;
+        n
+    }
+
     /// Create a tracking object for a freshly mapped device file
     /// (Fig. 4, step 3). Returns its id.
     pub fn create_tracking(

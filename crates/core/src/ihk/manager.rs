@@ -120,6 +120,62 @@ impl IhkManager {
     pub fn instance(&self, index: u32) -> Option<&OsInstance> {
         self.instances.get(index as usize)
     }
+
+    /// Online expansion: reserve `cores` away from Linux and add them to
+    /// a live instance's partition — no reboot, the LWK picks them up
+    /// via `McKernel::online_core`. All-or-nothing like `create_os`.
+    pub fn grow_os(&mut self, index: u32, cores: &[CoreId]) -> Result<(), PartitionError> {
+        let inst = self
+            .instances
+            .get_mut(index as usize)
+            .ok_or(PartitionError::NotReserved)?;
+        assert_ne!(inst.state, OsState::Destroyed, "grow of a destroyed instance");
+        self.cpus.reserve(cores)?;
+        inst.partition.cores.extend_from_slice(cores);
+        Ok(())
+    }
+
+    /// Online shrink: return `cores` of a live instance to Linux. Each
+    /// must belong to the instance ([`PartitionError::NotReserved`]
+    /// otherwise) and must have been drained — a core still marked busy
+    /// fails the whole shrink with [`PartitionError::CoreBusy`] and
+    /// releases nothing. The partition must keep at least one core.
+    pub fn shrink_os(&mut self, index: u32, cores: &[CoreId]) -> Result<(), PartitionError> {
+        let inst = self
+            .instances
+            .get_mut(index as usize)
+            .ok_or(PartitionError::NotReserved)?;
+        assert_ne!(inst.state, OsState::Destroyed, "shrink of a destroyed instance");
+        for c in cores {
+            if !inst.partition.cores.contains(c) {
+                return Err(PartitionError::NotReserved);
+            }
+        }
+        assert!(
+            inst.partition.cores.len() > cores.len(),
+            "shrink would leave the LWK without cores"
+        );
+        self.cpus.release(cores)?;
+        inst.partition.cores.retain(|c| !cores.contains(c));
+        Ok(())
+    }
+
+    /// Set or clear the live-offload busy mark on a reserved core (the
+    /// node runtime pins cores for the duration of an offload round
+    /// trip; a busy core cannot be shrunk out of the partition).
+    pub fn set_core_busy(&mut self, core: CoreId, busy: bool) -> Result<(), PartitionError> {
+        if busy {
+            self.cpus.mark_busy(core)
+        } else {
+            self.cpus.clear_busy(core);
+            Ok(())
+        }
+    }
+
+    /// Whether a core carries the live-offload busy mark.
+    pub fn is_core_busy(&self, core: CoreId) -> bool {
+        self.cpus.is_busy(core)
+    }
 }
 
 /// Liveness tracking for one proxy process via heartbeat `Control`
@@ -257,6 +313,38 @@ mod tests {
             .create_os(&mut mem, &[CoreId(18), CoreId(19)], NumaId(0), 1 << 30)
             .unwrap_err();
         assert_eq!(err, PartitionError::CpuUnavailable(CoreId(18)));
+    }
+
+    #[test]
+    fn online_grow_and_shrink_without_reboot() {
+        let mut mem = PhysMemory::new(8 << 30, 2);
+        let mut ihk = IhkManager::new(20);
+        let idx = ihk
+            .create_os(&mut mem, &lwk_cores(), NumaId(1), 2 << 30)
+            .unwrap();
+        ihk.boot(idx, CostModel::default()).unwrap();
+        // Shrink a live instance: core 18 goes back to Linux.
+        ihk.shrink_os(idx, &[CoreId(18)]).unwrap();
+        assert!(!ihk.is_reserved(CoreId(18)));
+        assert_eq!(ihk.instance(idx).unwrap().partition.cores.len(), 8);
+        assert_eq!(ihk.linux_cores().len(), 12);
+        // Grow it back.
+        ihk.grow_os(idx, &[CoreId(18)]).unwrap();
+        assert!(ihk.is_reserved(CoreId(18)));
+        assert_eq!(ihk.instance(idx).unwrap().partition.cores.len(), 9);
+        // Shrinking a core the instance does not own is typed.
+        assert_eq!(
+            ihk.shrink_os(idx, &[CoreId(2)]),
+            Err(PartitionError::NotReserved)
+        );
+        // A busy core blocks the shrink until drained.
+        ihk.set_core_busy(CoreId(18), true).unwrap();
+        assert_eq!(
+            ihk.shrink_os(idx, &[CoreId(18)]),
+            Err(PartitionError::CoreBusy(CoreId(18)))
+        );
+        ihk.set_core_busy(CoreId(18), false).unwrap();
+        ihk.shrink_os(idx, &[CoreId(18)]).unwrap();
     }
 
     #[test]

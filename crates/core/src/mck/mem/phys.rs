@@ -823,17 +823,36 @@ impl FrameAllocator {
     /// audits: full coalescing only happens once the caches are empty).
     pub fn drain_all(&mut self) {
         for ci in 0..self.pcp.len() {
-            let small = std::mem::take(&mut self.pcp[ci].small);
-            let large = std::mem::take(&mut self.pcp[ci].large);
-            for (list, order) in [(small, 0u8), (large, ORDER_2M)] {
-                for pa in list {
-                    self.cached_bytes -= PAGE_SIZE << order;
-                    let b = self
-                        .arena_of_addr(pa)
-                        .expect("cached frame belongs to an arena");
-                    b.uncache_block(pa).expect("was cached");
-                    b.free(pa).expect("uncached block frees");
-                }
+            self.drain_index(ci);
+        }
+    }
+
+    /// Return one CPU's parked blocks to the arenas (core going offline:
+    /// a released core must not keep frames parked in its cache).
+    pub fn drain_cpu(&mut self, cpu: usize) {
+        if !self.pcp.is_empty() {
+            self.drain_index(cpu % self.pcp.len());
+        }
+    }
+
+    /// Blocks currently parked in one CPU's cache — the release audit.
+    pub fn pcp_cached_on(&self, cpu: usize) -> usize {
+        self.pcp
+            .get(cpu % self.pcp.len().max(1))
+            .map_or(0, |c| c.small.len() + c.large.len())
+    }
+
+    fn drain_index(&mut self, ci: usize) {
+        let small = std::mem::take(&mut self.pcp[ci].small);
+        let large = std::mem::take(&mut self.pcp[ci].large);
+        for (list, order) in [(small, 0u8), (large, ORDER_2M)] {
+            for pa in list {
+                self.cached_bytes -= PAGE_SIZE << order;
+                let b = self
+                    .arena_of_addr(pa)
+                    .expect("cached frame belongs to an arena");
+                b.uncache_block(pa).expect("was cached");
+                b.free(pa).expect("uncached block frees");
             }
         }
     }

@@ -145,6 +145,13 @@ impl SoftTlb {
         self.e2m.fill(INVALID);
     }
 
+    /// Valid cached leaves (both granularities) — the core-offline audit:
+    /// a released core must hold zero resident translations.
+    pub fn resident(&self) -> usize {
+        self.e4k.iter().filter(|e| e.tag != u64::MAX).count()
+            + self.e2m.iter().filter(|e| e.tag != u64::MAX).count()
+    }
+
     /// (hits, misses) counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
@@ -213,6 +220,19 @@ impl TlbSet {
         for tlb in &mut self.cpus {
             tlb.flush_all();
         }
+    }
+
+    /// Flush one CPU's cache (core going offline: its translations must
+    /// not survive the core's release back to Linux).
+    pub fn flush_cpu(&mut self, cpu: usize) {
+        let n = self.cpus.len();
+        self.cpus[cpu % n].flush_all();
+    }
+
+    /// Valid cached leaves on one CPU — the release audit hook.
+    pub fn resident_on(&self, cpu: usize) -> usize {
+        let n = self.cpus.len();
+        self.cpus[cpu % n].resident()
     }
 
     /// Aggregate (hits, misses) over all CPUs.

@@ -27,7 +27,7 @@ use sched::CoopScheduler;
 use shm::{ShmId, ShmRegistry};
 use signal::SignalState;
 use simcore::{Cycles, Trace};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use syscall::{BypassConfig, Disposition, SyscallProfiler, SyscallRequest};
 
 /// What the kernel wants the simulation to do after a syscall entry.
@@ -82,6 +82,11 @@ pub struct McKernel {
     /// Cost table.
     pub costs: CostModel,
     cores: Vec<CoreId>,
+    /// Cores handed back to Linux mid-run (elastic shrink). They keep
+    /// their slot in `cores` so partition-relative CPU indices stay
+    /// stable for the TLB sets and frame caches; they just stop
+    /// scheduling until `online_core` brings them back.
+    offline: BTreeSet<CoreId>,
     /// Physical frame engine over the IHK-reserved range: per-NUMA buddy
     /// arenas fronted by per-CPU frame caches.
     pub alloc: FrameAllocator,
@@ -141,6 +146,7 @@ impl McKernel {
             alloc: FrameAllocator::new(extents, cpu_domain),
             sched,
             cores,
+            offline: BTreeSet::new(),
             procs: HashMap::new(),
             threads: HashMap::new(),
             signals: HashMap::new(),
@@ -162,6 +168,121 @@ impl McKernel {
         &self.cores
     }
 
+    /// Cores currently schedulable (boot set minus offlined cores), in
+    /// boot order.
+    pub fn online_cores(&self) -> Vec<CoreId> {
+        self.cores
+            .iter()
+            .copied()
+            .filter(|c| !self.offline.contains(c))
+            .collect()
+    }
+
+    /// Cores offlined by an elastic shrink, ascending.
+    pub fn offline_cores(&self) -> Vec<CoreId> {
+        self.offline.iter().copied().collect()
+    }
+
+    /// Whether `core` is in the partition and schedulable.
+    pub fn core_online(&self, core: CoreId) -> bool {
+        self.cores.contains(&core) && !self.offline.contains(&core)
+    }
+
+    /// Partition-relative CPU index of `core` (index into the boot core
+    /// list — stable across offline/online cycles).
+    pub fn cpu_index_of(&self, core: CoreId) -> Option<usize> {
+        self.cores.iter().position(|&c| c == core)
+    }
+
+    /// Threads currently bound to `core`, ascending by tid.
+    pub fn threads_on(&self, core: CoreId) -> Vec<Tid> {
+        let mut tids: Vec<Tid> = self
+            .threads
+            .values()
+            .filter(|t| t.core == core)
+            .map(|t| t.tid)
+            .collect();
+        tids.sort_unstable();
+        tids
+    }
+
+    /// Software-TLB entries still resident for `cpu` across every
+    /// process (the reclaim audit after a core release).
+    pub fn tlb_resident_on(&self, cpu: usize) -> usize {
+        self.procs
+            .values()
+            .map(|p| p.aspace.tlb.resident_on(cpu))
+            .sum()
+    }
+
+    /// Take `core` out of service for an elastic shrink. The caller must
+    /// first migrate every thread off the core; this then removes the
+    /// run queue, shoots down the core's software TLBs in every address
+    /// space, and drains its per-CPU frame cache back to the buddy
+    /// arenas so the IHK release hands back a fully reclaimed core.
+    pub fn offline_core(&mut self, core: CoreId) -> Result<(), &'static str> {
+        if !self.cores.contains(&core) {
+            return Err("core not in LWK partition");
+        }
+        if self.offline.contains(&core) {
+            return Err("core already offline");
+        }
+        if self.cores.len() - self.offline.len() <= 1 {
+            return Err("cannot offline the last LWK core");
+        }
+        if self.threads.values().any(|t| t.core == core) {
+            return Err("threads still bound to the core");
+        }
+        self.sched.remove_core(core)?;
+        let cpu = self.cpu_index_of(core).expect("core index");
+        for p in self.procs.values_mut() {
+            p.aspace.tlb.flush_cpu(cpu);
+        }
+        self.alloc.drain_cpu(cpu);
+        self.offline.insert(core);
+        Ok(())
+    }
+
+    /// Bring an offlined core back into service (elastic expand).
+    pub fn online_core(&mut self, core: CoreId) -> Result<(), &'static str> {
+        if !self.cores.contains(&core) {
+            return Err("core not in LWK partition");
+        }
+        if !self.offline.remove(&core) {
+            return Err("core is not offline");
+        }
+        self.sched.add_core(core);
+        Ok(())
+    }
+
+    /// Move a runnable (or blocked) thread to another online core.
+    /// Refuses for the running thread on its core and for futex-parked
+    /// threads, whose wake is bound to the parking core.
+    pub fn migrate_thread(&mut self, tid: Tid, to: CoreId) -> Result<(), &'static str> {
+        if !self.core_online(to) {
+            return Err("destination core is not online");
+        }
+        let from = match self.threads.get(&tid) {
+            Some(t) => t.core,
+            None => return Err("no such thread"),
+        };
+        if from == to {
+            return Ok(());
+        }
+        if self.sched.current(from) == Some(tid) {
+            return Err("thread is running on its core");
+        }
+        if self.sched.is_futex_parked(tid) {
+            return Err("thread is parked on a futex");
+        }
+        let was_queued = self.sched.dequeue(from, tid);
+        self.threads.get_mut(&tid).expect("thread").core = to;
+        if was_queued {
+            self.sched.enqueue(to, tid);
+        }
+        Ok(())
+    }
+
     /// Create a process (paired with a Linux proxy).
     pub fn create_process(&mut self, proxy_pid: Option<Pid>) -> Pid {
         let pid = Pid(self.next_pid);
@@ -175,7 +296,7 @@ impl McKernel {
 
     /// Create a thread bound to `core` and make it runnable.
     pub fn spawn_thread(&mut self, pid: Pid, core: CoreId) -> Tid {
-        assert!(self.cores.contains(&core), "{core} not in LWK partition");
+        assert!(self.core_online(core), "{core} not online in LWK partition");
         let tid = Tid(self.next_tid);
         self.next_tid += 1;
         self.threads.insert(
@@ -334,7 +455,7 @@ impl McKernel {
             },
             Sysno::Clone => {
                 let core = CoreId(args[0] as u16);
-                if !self.cores.contains(&core) {
+                if !self.core_online(core) {
                     return SyscallOutcome::Done {
                         ret: crate::abi::encode_result(Err(Errno::EINVAL)),
                         cost: base,
@@ -777,6 +898,72 @@ mod tests {
         k.reap_process(pid);
         assert!(k.is_pristine(), "reinit policy requires clean state");
         assert!(k.thread(tid).is_none());
+    }
+
+    #[test]
+    fn core_offline_migrates_flushes_and_restores() {
+        let mut k = boot();
+        let pid = k.create_process(None);
+        let t0 = k.spawn_thread(pid, CoreId(18));
+        let t1 = k.spawn_thread(pid, CoreId(18));
+        // Touch memory from cpu 8 (core 18) so its TLB and frame cache
+        // hold state the shrink must provably reclaim.
+        let va = match k.handle_syscall(
+            pid,
+            t0,
+            Sysno::Mmap,
+            [0, 4 << 20, 3, 0x22, u64::MAX, 0],
+            Cycles::ZERO,
+        ) {
+            SyscallOutcome::Done { ret, .. } => VirtAddr(ret as u64),
+            o => panic!("{o:?}"),
+        };
+        k.page_fault_on(pid, 8, va);
+        k.process_mut(pid).unwrap().aspace.translate_on(8, va);
+        assert!(k.tlb_resident_on(8) > 0, "translate must warm the TLB");
+
+        // Threads still bound: refuse, then migrate and retry.
+        assert!(k.offline_core(CoreId(18)).is_err());
+        k.migrate_thread(t0, CoreId(10)).unwrap();
+        k.migrate_thread(t1, CoreId(11)).unwrap();
+        k.offline_core(CoreId(18)).unwrap();
+
+        assert!(!k.core_online(CoreId(18)));
+        assert_eq!(k.online_cores().len(), 8);
+        assert_eq!(k.tlb_resident_on(8), 0, "shootdown on release");
+        assert_eq!(k.alloc.pcp_cached_on(8), 0, "frame cache drained");
+        assert!(!k.sched.has_core(CoreId(18)));
+        assert!(k.offline_core(CoreId(18)).is_err(), "double offline");
+
+        // Spawning on the offline core is a partition violation.
+        match k.handle_syscall(
+            pid,
+            t0,
+            Sysno::Clone,
+            [18, 0, 0, 0, 0, 0],
+            Cycles::ZERO,
+        ) {
+            SyscallOutcome::Done { ret, .. } => assert!(ret < 0),
+            o => panic!("{o:?}"),
+        }
+
+        // Expand brings it back, schedulable again.
+        k.online_core(CoreId(18)).unwrap();
+        assert!(k.core_online(CoreId(18)));
+        k.migrate_thread(t1, CoreId(18)).unwrap();
+        assert_eq!(k.threads_on(CoreId(18)), vec![t1]);
+        assert_eq!(k.sched.queued(CoreId(18)), 1);
+    }
+
+    #[test]
+    fn cannot_offline_last_core() {
+        let mut k = McKernel::boot(
+            vec![CoreId(10)],
+            PhysAddr(1 << 30),
+            64 << 20,
+            CostModel::default(),
+        );
+        assert!(k.offline_core(CoreId(10)).is_err());
     }
 
     #[test]

@@ -45,6 +45,58 @@ impl CoopScheduler {
         self.queues.keys().copied()
     }
 
+    /// Whether `core` has a run queue here.
+    pub fn has_core(&self, core: CoreId) -> bool {
+        self.queues.contains_key(&core)
+    }
+
+    /// Core hotplug (online expansion): give `core` an empty run queue.
+    pub fn add_core(&mut self, core: CoreId) {
+        assert!(!self.has_core(core), "{core} already scheduled");
+        self.queues.insert(core, VecDeque::new());
+        self.current.insert(core, None);
+    }
+
+    /// Core hotplug (online shrink): remove `core`'s run queue. Refuses
+    /// while anything still runs, queues, or waits on the core — the
+    /// caller must migrate threads off first.
+    pub fn remove_core(&mut self, core: CoreId) -> Result<(), &'static str> {
+        if !self.has_core(core) {
+            return Err("core not scheduled here");
+        }
+        if self.current(core).is_some() {
+            return Err("a thread is running on the core");
+        }
+        if self.queued(core) > 0 {
+            return Err("runnable threads still queued on the core");
+        }
+        if self.futexes.values().flatten().any(|&(c, _)| c == core) {
+            return Err("futex waiters still parked on the core");
+        }
+        self.queues.remove(&core);
+        self.current.remove(&core);
+        Ok(())
+    }
+
+    /// Remove `tid` from `core`'s run queue (thread migration). Returns
+    /// whether it was queued there.
+    pub fn dequeue(&mut self, core: CoreId, tid: Tid) -> bool {
+        let q = self.queue_mut(core);
+        match q.iter().position(|&t| t == tid) {
+            Some(i) => {
+                q.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `tid` is parked on any futex word (such a thread cannot
+    /// be migrated — its wake is bound to the parking core).
+    pub fn is_futex_parked(&self, tid: Tid) -> bool {
+        self.futexes.values().flatten().any(|&(_, t)| t == tid)
+    }
+
     fn queue_mut(&mut self, core: CoreId) -> &mut VecDeque<Tid> {
         self.queues
             .get_mut(&core)

@@ -2,8 +2,9 @@
 # Perf-baseline benchmark driver. Run from the repo root.
 #
 #   scripts/bench.sh              # full run, rewrites BENCH_offload.json,
-#                                 # BENCH_engine.json, BENCH_mem.json and
-#                                 # BENCH_resilience.json
+#                                 # BENCH_engine.json, BENCH_mem.json,
+#                                 # BENCH_resilience.json and
+#                                 # BENCH_serve.json
 #   scripts/bench.sh --check      # compare fresh runs against the
 #                                 # committed baselines (2x tolerance for
 #                                 # the wall-clock benches; exact for the
@@ -36,13 +37,17 @@
 # *simulated* time
 # (failure-domain recovery sweep), deterministic across machines, so its
 # --check demands an exact match against BENCH_resilience.json.
+# fig_serve is simulated time too (elastic-tenancy serving sweep: SLO
+# shrink/grow, overload shedding, the 100+-cycle resize storm); its
+# --check demands an exact match against BENCH_serve.json.
 # See EXPERIMENTS.md for how to read and update them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release -p bench \
     --bin fig_offload_hotpath --bin fig_bypass --bin fig_engine \
-    --bin fig_mem --bin fig_domains --bin fig_scale --bin fig_scale_app
+    --bin fig_mem --bin fig_domains --bin fig_scale --bin fig_scale_app \
+    --bin fig_serve
 
 if [[ "${1:-}" == "--check" ]]; then
     ./target/release/fig_offload_hotpath --check BENCH_offload.json
@@ -58,7 +63,9 @@ if [[ "${1:-}" == "--check" ]]; then
     # invariance across worker counts, walk-verified, pool-gated floor.
     ./target/release/fig_scale_app --check
     ./target/release/fig_mem --check BENCH_mem.json
-    exec ./target/release/fig_domains --check BENCH_resilience.json
+    ./target/release/fig_domains --check BENCH_resilience.json
+    # fig_serve: simulated-time elastic-tenancy metrics, exact match.
+    exec ./target/release/fig_serve --check BENCH_serve.json
 fi
 ./target/release/fig_offload_hotpath
 # Order matters: fig_offload_hotpath rewrites BENCH_offload.json
@@ -69,4 +76,5 @@ fi
 ./target/release/fig_scale
 ./target/release/fig_scale_app
 ./target/release/fig_mem
-exec ./target/release/fig_domains
+./target/release/fig_domains
+exec ./target/release/fig_serve

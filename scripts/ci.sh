@@ -14,14 +14,18 @@
 #                                 # gate (digest invariance + speedup
 #                                 # floor + blackout soak) and the
 #                                 # fig_scale_app real-mini-app replay
-#                                 # gate (1024 nodes, walk-verified)
+#                                 # gate (1024 nodes, walk-verified),
+#                                 # and the fig_serve elastic-tenancy
+#                                 # gate (exact match vs BENCH_serve.json
+#                                 # at full knobs, 100+ resize cycles)
 #   scripts/ci.sh --soak          # also soak the resilience sweeps:
 #                                 # HLWK_SOAK_SEEDS (default 5) fresh
 #                                 # seeds through fig_resilience (5% loss
-#                                 # + node crash) and fig_domains (rack
-#                                 # kills + fault storm), each run under
-#                                 # a wall-clock timeout — a hang or
-#                                 # claim violation on ANY seed fails
+#                                 # + node crash), fig_domains (rack
+#                                 # kills + fault storm) and the
+#                                 # fig_serve resize storm, each run
+#                                 # under a wall-clock timeout — a hang
+#                                 # or claim violation on ANY seed fails
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -132,6 +136,27 @@ if ! diff -q "$scratch/fig8_e1.txt" "$scratch/fig8_e4.txt" >/dev/null; then
 fi
 echo "partitioned-app smoke passed (fig8 @ 1 engine worker == 4 engine workers)"
 
+# Elastic-tenancy smoke: SLO-driven online LWK resizing under the mixed
+# serving + gang workload, reduced knobs (40 windows, 2 nodes). The
+# binary self-asserts the acceptance claims (conservation, idle holds,
+# overload sheds then gets elastic relief, storm audits every released
+# core) in every mode; here we additionally require the figure output to
+# be byte-identical at 1 vs 4 engine workers (the batch plane replays on
+# the partitioned engine).
+serve="HLWK_SERVE_WINDOWS=40 HLWK_SERVE_NODES=2 HLWK_THREADS=1"
+env $serve HLWK_ENGINE_THREADS=1 HLWK_BENCH_OUT="$scratch/serve_e1.json" \
+    ./target/release/fig_serve > "$scratch/serve_e1.txt"
+env $serve HLWK_ENGINE_THREADS=4 HLWK_BENCH_OUT="$scratch/serve_e4.json" \
+    ./target/release/fig_serve > "$scratch/serve_e4.txt"
+if ! diff -q "$scratch/serve_e1.json" "$scratch/serve_e4.json" >/dev/null \
+    || ! diff <(grep -v '^wrote ' "$scratch/serve_e1.txt") \
+              <(grep -v '^wrote ' "$scratch/serve_e4.txt") >/dev/null; then
+    echo "DETERMINISM FAILURE: fig_serve differs between 1 and 4 engine workers" >&2
+    diff "$scratch/serve_e1.txt" "$scratch/serve_e4.txt" >&2 || true
+    exit 1
+fi
+echo "elastic-tenancy smoke passed (fig_serve @ 1 engine worker == 4 engine workers, claims hold)"
+
 if [[ "${1:-}" == "--soak" ]]; then
     # Resilience soak: fresh seeds through both fault sweeps, each run
     # under a hard wall-clock guard. What it hunts: schedule-dependent
@@ -150,7 +175,14 @@ if [[ "${1:-}" == "--soak" ]]; then
             HLWK_BENCH_OUT="$scratch/soak_dom_$s.json" \
             timeout 300 ./target/release/fig_domains > "$scratch/soak_dom_$s.txt"
     done
-    echo "soak passed ($seeds seeds x {fig_resilience @ 5% loss + crash, fig_domains rack kills + storm}, no hangs)"
+    # Resize-storm soak: fresh seeds through the tenancy storm profile
+    # (one reserve/release cycle per 10 ms window, width-pinned gang
+    # evicted and resumed on every cycle). Hunts schedule-dependent
+    # hangs in the drain protocol and seed-dependent reclaim-audit or
+    # digest failures; any lost request or corrupted job fails the run.
+    env HLWK_SERVE_WINDOWS=60 HLWK_SERVE_NODES=2 \
+        timeout 300 ./target/release/fig_serve --soak "$seeds"
+    echo "soak passed ($seeds seeds x {fig_resilience @ 5% loss + crash, fig_domains rack kills + storm, fig_serve resize storm}, no hangs)"
 fi
 
 if [[ "${1:-}" == "--bench-smoke" ]]; then
@@ -187,4 +219,9 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
         ./target/release/fig_mem --check BENCH_mem.json
     # Simulated-time metrics are deterministic: exact match, full knobs.
     ./target/release/fig_domains --check BENCH_resilience.json
+    # Elastic-tenancy gate: exact match against the committed baseline
+    # at full knobs (240 windows, 4 nodes: the resize storm completes
+    # 100+ reserve/release cycles) plus the built-in claims, including
+    # the coloc p99-isolation floor against idle.
+    timeout 600 ./target/release/fig_serve --check BENCH_serve.json
 fi
